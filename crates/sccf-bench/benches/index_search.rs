@@ -1,0 +1,185 @@
+//! Index benchmarks: exact vs IVF search, dynamic updates — the Table III
+//! "identifying time" cost model, isolated from model inference.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sccf_index::{DynamicIndex, FlatIndex, HnswConfig, HnswIndex, IvfIndex, Metric, PqConfig, PqIndex, SqIndex};
+
+fn random_slab(n: usize, dim: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn bench_flat_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_search_beta100");
+    let dim = 32;
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let slab = random_slab(n, dim, &mut rng);
+        let mut idx = FlatIndex::new(dim, Metric::Cosine);
+        idx.add_batch(&slab);
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(idx.search(&q, 100, Some(0))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ivf_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ivf_search_beta100");
+    let dim = 32;
+    for &n in &[10_000usize, 50_000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let slab = random_slab(n, dim, &mut rng);
+        let nlist = (n as f64).sqrt() as usize;
+        let mut idx = IvfIndex::train(dim, Metric::Cosine, nlist, &slab, &mut rng);
+        for v in slab.chunks_exact(dim) {
+            idx.add(v);
+        }
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        for &nprobe in &[4usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_probe{nprobe}")),
+                &n,
+                |bench, _| {
+                    bench.iter(|| black_box(idx.search_with_nprobe(&q, 100, Some(0), nprobe)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hnsw_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hnsw_search_beta100");
+    let dim = 32;
+    // 20k (not 50k like the scan indexes): graph construction with the
+    // diversity heuristic takes minutes at 50k, which would dominate the
+    // whole bench suite for no extra signal — search cost is already
+    // measured across a 2x size step.
+    for &n in &[10_000usize, 20_000] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let slab = random_slab(n, dim, &mut rng);
+        let mut idx = HnswIndex::new(dim, Metric::Cosine, HnswConfig::default());
+        for v in slab.chunks_exact(dim) {
+            idx.add(v);
+        }
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        for &ef in &[128usize, 256] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_ef{ef}")),
+                &n,
+                |bench, _| {
+                    bench.iter(|| black_box(idx.search_with_ef(&q, 100, Some(0), ef)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// SQ8 vs flat at matched corpus sizes: the quantized scan touches a
+/// quarter of the bytes — the memory-bound serving-shard trade-off.
+fn bench_sq_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sq8_search_beta100");
+    let dim = 32;
+    for &n in &[10_000usize, 50_000] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let slab = random_slab(n, dim, &mut rng);
+        let idx = SqIndex::build(&slab, dim, Metric::Cosine);
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(idx.search(&q, 100, Some(0))));
+        });
+    }
+    group.finish();
+}
+
+/// PQ ADC scan at matched corpus sizes — m table adds per row.
+fn bench_pq_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pq_search_beta100");
+    let dim = 32;
+    for &n in &[10_000usize, 50_000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let slab = random_slab(n, dim, &mut rng);
+        let idx = PqIndex::build(
+            &slab,
+            dim,
+            Metric::Cosine,
+            PqConfig {
+                m: 8,
+                k: 128,
+                ..Default::default()
+            },
+        );
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(idx.search(&q, 100, Some(0))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamic_update(c: &mut Criterion) {
+    let dim = 32;
+    let n = 10_000;
+    let mut rng = StdRng::seed_from_u64(3);
+    let slab = random_slab(n, dim, &mut rng);
+    let idx = DynamicIndex::from_vectors(&slab, dim, Metric::Cosine);
+    let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    c.bench_function("dynamic_update_10k", |bench| {
+        let mut i = 0u32;
+        bench.iter(|| {
+            idx.update(i % n as u32, &v);
+            i += 1;
+        });
+    });
+}
+
+/// The paper's Table III contrast in one bench: UserKNN-style sparse-set
+/// neighbor identification vs dense low-d index search, same corpus.
+fn bench_userknn_vs_index(c: &mut Criterion) {
+    use sccf_models::{UserKnn, UserSim};
+    let mut rng = StdRng::seed_from_u64(4);
+    let n_users = 2_000;
+    let n_items = 5_000usize;
+    let sets: Vec<Vec<u32>> = (0..n_users)
+        .map(|_| {
+            (0..40)
+                .map(|_| rng.gen_range(0..n_items as u32))
+                .collect()
+        })
+        .collect();
+    let userknn = UserKnn::fit(n_items, &sets, 100, UserSim::Cosine);
+    let mut query = sets[0].clone();
+    query.sort_unstable();
+    query.dedup();
+
+    let dim = 32;
+    let slab = random_slab(n_users, dim, &mut rng);
+    let mut flat = FlatIndex::new(dim, Metric::Cosine);
+    flat.add_batch(&slab);
+    let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+    let mut group = c.benchmark_group("identify_2000users");
+    group.bench_function("userknn_sparse_scan", |bench| {
+        bench.iter(|| black_box(userknn.identify_neighbors(&query, Some(0))));
+    });
+    group.bench_function("sccf_dense_index", |bench| {
+        bench.iter(|| black_box(flat.search(&q, 100, Some(0))));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flat_search,
+    bench_ivf_search,
+    bench_hnsw_search,
+    bench_sq_search,
+    bench_pq_search,
+    bench_dynamic_update,
+    bench_userknn_vs_index
+);
+criterion_main!(benches);

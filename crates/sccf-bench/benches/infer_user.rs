@@ -1,0 +1,136 @@
+//! Per-backend `infer_user` latency — the Table III "inferring time" leg
+//! measured across every inductive model SCCF can wrap.
+//!
+//! The paper reports inference cost for one backend (SASRec, 1.66 ms on
+//! a V100); this bench shows how the cost scales with backend complexity
+//! on CPU: FISM is a pooled lookup, AvgPoolDNN adds an MLP, GRU4Rec runs
+//! a step-wise recurrence, Caser a convolution stack, SASRec a full
+//! Transformer encode. All stay in real-time territory, which is the
+//! property the SCCF design needs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sccf_data::dataset::{Dataset, Interaction};
+use sccf_data::LeaveOneOut;
+use sccf_models::{
+    AvgPoolConfig, AvgPoolDnn, Caser, CaserConfig, Fism, FismConfig, Gru4Rec, Gru4RecConfig,
+    InductiveUiModel, SasRec, SasRecConfig, TrainConfig,
+};
+
+/// Small dataset just to give the models shapes; inference latency does
+/// not depend on training quality.
+fn tiny_split(n_items: usize) -> LeaveOneOut {
+    let mut inter = Vec::new();
+    for u in 0..30u32 {
+        for t in 0..10i64 {
+            inter.push(Interaction {
+                user: u,
+                item: ((u as i64 * 3 + t) % n_items as i64) as u32,
+                ts: t,
+            });
+        }
+    }
+    LeaveOneOut::split(&Dataset::from_interactions("b", 30, n_items, &inter, None))
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig {
+        dim: 64,
+        epochs: 1,
+        ..Default::default()
+    }
+}
+
+fn bench_infer_user(c: &mut Criterion) {
+    let split = tiny_split(500);
+    let history: Vec<u32> = (0..30u32).map(|t| (t * 7) % 500).collect();
+
+    let fism = Fism::train(
+        &split,
+        &FismConfig {
+            train: train_cfg(),
+            ..Default::default()
+        },
+    );
+    let avgpool = AvgPoolDnn::train(
+        &split,
+        &AvgPoolConfig {
+            train: train_cfg(),
+            ..Default::default()
+        },
+    );
+    let gru = Gru4Rec::train(
+        &split,
+        &Gru4RecConfig {
+            train: train_cfg(),
+            max_len: 30,
+        },
+    );
+    let caser = Caser::train(
+        &split,
+        &CaserConfig {
+            train: train_cfg(),
+            ..Default::default()
+        },
+    );
+    let sasrec = SasRec::train(
+        &split,
+        &SasRecConfig {
+            train: train_cfg(),
+            max_len: 30,
+            ..Default::default()
+        },
+    );
+
+    let mut group = c.benchmark_group("infer_user_d64_hist30");
+    group.bench_function("fism_pooling", |b| {
+        b.iter(|| black_box(fism.infer_user(&history)))
+    });
+    group.bench_function("avgpool_dnn", |b| {
+        b.iter(|| black_box(avgpool.infer_user(&history)))
+    });
+    group.bench_function("gru4rec_recurrence", |b| {
+        b.iter(|| black_box(gru.infer_user(&history)))
+    });
+    group.bench_function("caser_convolution", |b| {
+        b.iter(|| black_box(caser.infer_user(&history)))
+    });
+    group.bench_function("sasrec_transformer", |b| {
+        b.iter(|| black_box(sasrec.infer_user(&history)))
+    });
+    group.finish();
+}
+
+/// Inference cost vs history length for the sequence models — the cost
+/// model behind the paper's "recent 15 items" truncation choice.
+fn bench_infer_vs_history_len(c: &mut Criterion) {
+    let split = tiny_split(500);
+    let sasrec = SasRec::train(
+        &split,
+        &SasRecConfig {
+            train: train_cfg(),
+            max_len: 120,
+            ..Default::default()
+        },
+    );
+    let gru = Gru4Rec::train(
+        &split,
+        &Gru4RecConfig {
+            train: train_cfg(),
+            max_len: 120,
+        },
+    );
+    let mut group = c.benchmark_group("infer_vs_history_len");
+    for &len in &[10usize, 40, 120] {
+        let history: Vec<u32> = (0..len as u32).map(|t| (t * 13) % 500).collect();
+        group.bench_function(format!("sasrec_len{len}"), |b| {
+            b.iter(|| black_box(sasrec.infer_user(&history)))
+        });
+        group.bench_function(format!("gru4rec_len{len}"), |b| {
+            b.iter(|| black_box(gru.infer_user(&history)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_infer_user, bench_infer_vs_history_len);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Micro-benchmarks for the numeric kernels on the training/inference hot
+//! path: GEMM layouts, the attention block, and a full Transformer
+//! training step.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sccf_tensor::nn::{FwdCtx, MultiHeadSelfAttention, TransformerBlock};
+use sccf_tensor::{Initializer, Mat, ParamStore, Tape};
+
+fn rand_mat(rng: &mut StdRng, r: usize, c: usize) -> Mat {
+    Mat::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &n in &[32usize, 64, 128] {
+        let a = rand_mat(&mut rng, n, n);
+        let b = rand_mat(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_nt(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_tn(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a: Vec<f32> = (0..64).map(|_| rng.gen()).collect();
+    let b: Vec<f32> = (0..64).map(|_| rng.gen()).collect();
+    c.bench_function("dot_64", |bench| {
+        bench.iter(|| black_box(sccf_tensor::dot(&a, &b)));
+    });
+}
+
+fn bench_attention_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_forward");
+    for &(len, d) in &[(20usize, 32usize), (50, 32), (50, 64)] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let mha = MultiHeadSelfAttention::new(
+            &mut store,
+            "mha",
+            d,
+            1,
+            Initializer::XavierUniform,
+            &mut rng,
+        );
+        let x = rand_mat(&mut rng, len, d);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("L{len}_d{d}")),
+            &(len, d),
+            |bench, _| {
+                bench.iter(|| {
+                    let mut tape = Tape::new(&store);
+                    let xv = tape.input(x.clone());
+                    black_box(mha.forward(&mut tape, xv))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_transformer_block_train_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let d = 32;
+    let len = 50;
+    let mut store = ParamStore::new();
+    let block = TransformerBlock::new(
+        &mut store,
+        "blk",
+        d,
+        1,
+        d,
+        0.2,
+        Initializer::XavierUniform,
+        &mut rng,
+    );
+    let x = rand_mat(&mut rng, len, d);
+    c.bench_function("transformer_block_fwd_bwd_L50_d32", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new(&store);
+            let mut drop_rng = StdRng::seed_from_u64(5);
+            let mut ctx = FwdCtx::new(true, &mut drop_rng);
+            let xv = tape.input(x.clone());
+            let y = block.forward(&mut tape, xv, &mut ctx);
+            let sq = tape.mul(y, y);
+            let loss = tape.mean_all(sq);
+            black_box(tape.backward(loss))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_dot,
+    bench_attention_forward,
+    bench_transformer_block_train_step
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! End-to-end real-time step benchmark: the full per-event pipeline
+//! (infer → index update → neighbor search) for FISM and SASRec backends,
+//! plus the fused recommend call — the operations Table III and the
+//! production deployment (§IV-F) care about.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sccf_core::{IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
+use sccf_data::catalog::{ml1m_sim, Scale};
+use sccf_data::synthetic::generate;
+use sccf_data::LeaveOneOut;
+use sccf_models::{Fism, FismConfig, InductiveUiModel, SasRec, SasRecConfig, TrainConfig};
+
+fn world() -> (LeaveOneOut, Vec<Vec<u32>>) {
+    let mut cfg = ml1m_sim(Scale::Quick);
+    cfg.n_users = 300;
+    cfg.n_items = 300;
+    let data = generate(&cfg, 1).dataset;
+    let split = LeaveOneOut::split(&data);
+    let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
+        .map(|u| split.train_plus_val(u))
+        .collect();
+    (split, histories)
+}
+
+fn engine_for<M: InductiveUiModel>(
+    model: M,
+    split: &LeaveOneOut,
+    histories: Vec<Vec<u32>>,
+) -> RealtimeEngine<M> {
+    let mut sccf = Sccf::build(
+        model,
+        split,
+        SccfConfig {
+            user_based: UserBasedConfig {
+                beta: 100,
+                recent_window: 15,
+            },
+            candidate_n: 100,
+            integrator: IntegratorConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+            threads: 4,
+            profiles: None,
+        },
+    );
+    sccf.refresh_for_test(split);
+    RealtimeEngine::new(sccf, histories)
+}
+
+fn bench_event_fism(c: &mut Criterion) {
+    let (split, histories) = world();
+    let fism = Fism::train(
+        &split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 32,
+                epochs: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let mut engine = engine_for(fism, &split, histories);
+    let mut i = 0u32;
+    c.bench_function("realtime_event_fism_d32", |bench| {
+        bench.iter(|| {
+            let user = i % 300;
+            let item = (i * 7) % 300;
+            i += 1;
+            black_box(engine.process_event(user, item))
+        });
+    });
+}
+
+fn bench_event_sasrec(c: &mut Criterion) {
+    let (split, histories) = world();
+    let sasrec = SasRec::train(
+        &split,
+        &SasRecConfig {
+            train: TrainConfig {
+                dim: 32,
+                epochs: 1,
+                ..Default::default()
+            },
+            max_len: 50,
+            ..Default::default()
+        },
+    );
+    let mut engine = engine_for(sasrec, &split, histories);
+    let mut i = 0u32;
+    c.bench_function("realtime_event_sasrec_d32_L50", |bench| {
+        bench.iter(|| {
+            let user = i % 300;
+            let item = (i * 7) % 300;
+            i += 1;
+            black_box(engine.process_event(user, item))
+        });
+    });
+}
+
+fn bench_fused_recommend(c: &mut Criterion) {
+    let (split, histories) = world();
+    let fism = Fism::train(
+        &split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 32,
+                epochs: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let engine = engine_for(fism, &split, histories);
+    c.bench_function("sccf_recommend_top10", |bench| {
+        bench.iter(|| black_box(engine.recommend(5, 10)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_fism,
+    bench_event_sasrec,
+    bench_fused_recommend
+);
+criterion_main!(benches);

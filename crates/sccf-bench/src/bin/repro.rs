@@ -1,0 +1,144 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale quick|full] [--seed N] [--dim D]
+//!       [--beta B] [--out DIR] [--verbose]
+//!
+//! experiments:
+//!   table1       dataset statistics (Table I)
+//!   table2       main quality comparison (Table II)
+//!   table3       real-time latency, UserKNN vs SCCF (Table III)
+//!   table4       neighborhood-size sweep (Table IV)
+//!   table5       simulated online A/B test (Table V)
+//!   fig1         category-revisit distribution (Figure 1)
+//!   fig4         similarity-score distributions (Figure 4)
+//!   fig5         embedding-dimension sweep (Figure 5)
+//!   ablate-norm  integrator normalization ablation (DESIGN.md §5)
+//!   ablate-window neighbor-visible history window sweep (DESIGN.md §5)
+//!   extended     SCCF over GRU4Rec/Caser backends + SLIM/LRec baselines
+//!   ranking      SCCF applied to the ranking stage (§V future work)
+//!   all          everything above, in order
+//! ```
+//!
+//! Results print to stdout as markdown and are archived under `--out`
+//! (default `results/`).
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use sccf_bench::experiments;
+use sccf_bench::harness::HarnessConfig;
+use sccf_data::catalog::Scale;
+use sccf_util::Table;
+
+struct Args {
+    experiment: String,
+    harness: HarnessConfig,
+    out_dir: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|all> \
+         [--scale quick|full] [--seed N] [--dim D] [--beta B] [--out DIR] [--verbose]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let Some(experiment) = argv.next() else { usage() };
+    let mut harness = HarnessConfig::default();
+    let mut out_dir = PathBuf::from("results");
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                harness.scale = Scale::parse(&v).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                harness.seed = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--dim" => {
+                harness.dim = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--beta" => {
+                harness.beta = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                out_dir = PathBuf::from(argv.next().unwrap_or_else(|| usage()));
+            }
+            "--verbose" => harness.verbose = true,
+            _ => usage(),
+        }
+    }
+    Args {
+        experiment,
+        harness,
+        out_dir,
+    }
+}
+
+fn run_one(name: &str, h: &HarnessConfig) -> Vec<Table> {
+    match name {
+        "table1" => experiments::table1(h),
+        "table2" => experiments::table2(h),
+        "table3" => experiments::table3(h),
+        "table4" => experiments::table4(h),
+        "table5" => experiments::table5(h),
+        "fig1" => experiments::fig1(h),
+        "fig4" => experiments::fig4(h),
+        "fig5" => experiments::fig5(h),
+        "ablate-norm" => experiments::ablate_norm(h),
+        "ablate-window" => experiments::ablate_window(h),
+        "extended" => experiments::extended(h),
+        "ranking" => experiments::ranking(h),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let experiments_to_run: Vec<&str> = if args.experiment == "all" {
+        vec![
+            "table1", "fig1", "table2", "fig4", "table3", "table4", "fig5", "table5",
+            "ablate-norm", "ablate-window", "extended", "ranking",
+        ]
+    } else {
+        vec![args.experiment.as_str()]
+    };
+
+    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+    let stdout = std::io::stdout();
+    for name in experiments_to_run {
+        eprintln!("=== running {name} (scale {:?}) ===", args.harness.scale);
+        let started = std::time::Instant::now();
+        let tables = run_one(name, &args.harness);
+        let mut file_buf = String::new();
+        {
+            let mut lock = stdout.lock();
+            for t in &tables {
+                let md = t.to_markdown();
+                let _ = writeln!(lock, "{md}");
+                file_buf.push_str(&md);
+                file_buf.push('\n');
+            }
+        }
+        let path = args.out_dir.join(format!("{name}.md"));
+        std::fs::write(&path, file_buf).expect("write result file");
+        eprintln!(
+            "=== {name} done in {:.1}s -> {} ===",
+            started.elapsed().as_secs_f64(),
+            path.display()
+        );
+    }
+}

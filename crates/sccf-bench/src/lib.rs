@@ -1,0 +1,11 @@
+//! # sccf-bench
+//!
+//! The reproduction harness: shared experiment plumbing for the `repro`
+//! binary (every table and figure of the paper) and the Criterion
+//! micro-benchmarks. See DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured results.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{HarnessConfig, ModelSuite, PreparedData};

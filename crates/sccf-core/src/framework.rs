@@ -1,0 +1,373 @@
+//! The SCCF framework (Figure 2): an inductive UI model, the user-based
+//! component riding on its representations, and the integrating MLP.
+//!
+//! Build pipeline (mirrors §III and §IV-A.4):
+//!
+//! 1. Infer every user's representation from her *training* history and
+//!    load them into a cosine user index (Eq. 11 is served by search).
+//! 2. For every user with a validation item, form both candidate lists
+//!    (top-N by Eq. 10 and Eq. 12), and train the integrator on the
+//!    union with the validation item as the positive (Eq. 17).
+//! 3. Before test measurement, refresh representations with validation
+//!    items added back ([`Sccf::refresh_for_test`]) — exactly the state a
+//!    real-time deployment would be in, since inference is free.
+//!
+//! The framework implements [`Recommender`], so the standard protocol can
+//! score `SCCF`, and exposes UI-only / UU-only scorers for the ablation
+//! rows of Table II (`FISMᵁᵁ`, `SASRecᵁᵁ`).
+
+use sccf_data::LeaveOneOut;
+use sccf_index::{DynamicIndex, Metric};
+use sccf_models::{InductiveUiModel, Recommender};
+use sccf_util::topk::Scored;
+
+use crate::integrator::{CandidateFeatures, Integrator, IntegratorConfig};
+use crate::profile::UserProfiles;
+use crate::user_component::{UserBasedComponent, UserBasedConfig};
+
+/// Framework hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SccfConfig {
+    /// Neighborhood size β and the recent-item window.
+    pub user_based: UserBasedConfig,
+    /// Candidate list length N for *each* of the two lists (the paper
+    /// restricts the candidate set per stage; offline it must cover the
+    /// largest report cutoff, i.e. ≥ 100).
+    pub candidate_n: usize,
+    pub integrator: IntegratorConfig,
+    /// Threads for the representation pre-computation.
+    pub threads: usize,
+    /// Optional side information (§V future work): when set, neighbor
+    /// search runs over `[m̂_u ⊕ w·p̂_u]` so profile similarity
+    /// co-determines the neighborhood. `None` is exactly the paper's
+    /// Eq. 11.
+    pub profiles: Option<UserProfiles>,
+}
+
+impl Default for SccfConfig {
+    fn default() -> Self {
+        Self {
+            user_based: UserBasedConfig::default(),
+            candidate_n: 100,
+            integrator: IntegratorConfig::default(),
+            threads: 4,
+            profiles: None,
+        }
+    }
+}
+
+/// A built SCCF instance wrapping the inductive UI model `M`.
+pub struct Sccf<M: InductiveUiModel> {
+    model: M,
+    cfg: SccfConfig,
+    /// Cosine index over current user representations (Eq. 11).
+    user_index: DynamicIndex,
+    user_comp: UserBasedComponent,
+    integrator: Integrator,
+}
+
+/// Compute all user representations, sharded across threads.
+fn infer_all_reps<M: InductiveUiModel>(
+    model: &M,
+    histories: &[Vec<u32>],
+    threads: usize,
+) -> Vec<Vec<f32>> {
+    if threads <= 1 || histories.len() < 2 * threads {
+        return histories.iter().map(|h| model.infer_user(h)).collect();
+    }
+    let chunk = histories.len().div_ceil(threads);
+    let mut out: Vec<Vec<Vec<f32>>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = histories
+            .chunks(chunk)
+            .map(|shard| scope.spawn(move |_| shard.iter().map(|h| model.infer_user(h)).collect()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("inference shard panicked"));
+        }
+    })
+    .expect("inference scope failed");
+    out.into_iter().flatten().collect()
+}
+
+impl<M: InductiveUiModel> Sccf<M> {
+    /// Build the framework: index training-time representations and train
+    /// the integrator on validation labels.
+    pub fn build(model: M, split: &LeaveOneOut, cfg: SccfConfig) -> Self {
+        let n_users = split.n_users();
+        let n_items = split.n_items();
+        let train_histories: Vec<Vec<u32>> = (0..n_users as u32)
+            .map(|u| split.train_seq(u).to_vec())
+            .collect();
+        let reps = infer_all_reps(&model, &train_histories, cfg.threads);
+        let dim = model.dim();
+        let index_dim = cfg.profiles.as_ref().map_or(dim, |p| p.augmented_dim(dim));
+        let flat: Vec<f32> = reps
+            .iter()
+            .enumerate()
+            .flat_map(|(u, r)| match &cfg.profiles {
+                Some(p) => p.augment(u as u32, r),
+                None => r.clone(),
+            })
+            .collect();
+        let user_index = DynamicIndex::from_vectors(&flat, index_dim, Metric::Cosine);
+        let user_comp = UserBasedComponent::new(
+            cfg.user_based.clone(),
+            n_items,
+            train_histories.iter().cloned(),
+        );
+        let mut integrator = Integrator::new(dim, cfg.integrator.clone());
+
+        // ---- integrator training set (Eq. 17) ----
+        let mut examples: Vec<(CandidateFeatures, u32)> = Vec::new();
+        for u in split.val_users() {
+            let val = split.val_item(u).expect("val user");
+            let rep = &reps[u as usize];
+            let query = match &cfg.profiles {
+                Some(p) => p.augment(u, rep),
+                None => rep.clone(),
+            };
+            let cand = assemble_candidates(
+                &model,
+                &user_index,
+                &user_comp,
+                u,
+                rep,
+                &query,
+                &train_histories[u as usize],
+                cfg.candidate_n,
+                cfg.user_based.beta,
+            );
+            if !cand.is_empty() {
+                examples.push((cand, val));
+            }
+        }
+        integrator.train(&examples, model.item_embeddings());
+
+        Self {
+            model,
+            cfg,
+            user_index,
+            user_comp,
+            integrator,
+        }
+    }
+
+    /// Advance every user's state from `train` to `train + val` — the
+    /// real-time refresh before test measurement (§IV-A.4: "we add all
+    /// validation items and users back").
+    pub fn refresh_for_test(&mut self, split: &LeaveOneOut) {
+        let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
+            .map(|u| split.train_plus_val(u))
+            .collect();
+        let reps = infer_all_reps(&self.model, &histories, self.cfg.threads);
+        for (u, rep) in reps.iter().enumerate() {
+            let q = self.index_vector(u as u32, rep);
+            self.user_index.update(u as u32, &q);
+            self.user_comp.reset_user(u as u32, &histories[u]);
+        }
+    }
+
+    /// The vector stored in / queried against the user index for `user`:
+    /// the raw representation, or its profile-augmented form (§V).
+    pub fn index_vector(&self, user: u32, rep: &[f32]) -> Vec<f32> {
+        match &self.cfg.profiles {
+            Some(p) => p.augment(user, rep),
+            None => rep.to_vec(),
+        }
+    }
+
+    /// The wrapped UI model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Unwrap the UI model (hyper-parameter sweeps rebuild SCCF around
+    /// one trained model).
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    pub fn config(&self) -> &SccfConfig {
+        &self.cfg
+    }
+
+    /// Current neighborhood of a representation (Eq. 11; profile-blended
+    /// when side information is attached).
+    pub fn neighbors(&self, user: u32, rep: &[f32]) -> Vec<Scored> {
+        let q = self.index_vector(user, rep);
+        self.user_index
+            .search(&q, self.cfg.user_based.beta, Some(user))
+    }
+
+    /// Full-catalog UU scores for `user` given a fresh representation.
+    pub fn uu_scores(&self, user: u32, rep: &[f32]) -> Vec<f32> {
+        let neighbors = self.neighbors(user, rep);
+        self.user_comp.scores(&neighbors)
+    }
+
+    /// Scorer for the UU-only ablation rows (`FISMᵁᵁ` / `SASRecᵁᵁ`).
+    pub fn uu_scorer(&self) -> impl sccf_eval::Scorer + '_ {
+        sccf_eval::FnScorer(move |user: u32, history: &[u32]| {
+            let rep = self.model.infer_user(history);
+            self.uu_scores(user, &rep)
+        })
+    }
+
+    /// Mutable access used by the realtime engine.
+    pub(crate) fn record_event(&mut self, user: u32, item: u32, rep: &[f32]) {
+        let q = self.index_vector(user, rep);
+        self.user_index.update(user, &q);
+        self.user_comp.record(user, item);
+    }
+
+    /// Number of users in the user index.
+    pub fn user_count(&self) -> usize {
+        self.user_index.len()
+    }
+
+    /// Reset one user's derived state (index vector + recent items) from
+    /// a full history — the failover-restore path of the realtime engine.
+    pub(crate) fn reset_user_state(&mut self, user: u32, history: &[u32], rep: &[f32]) {
+        let q = self.index_vector(user, rep);
+        self.user_index.update(user, &q);
+        self.user_comp.reset_user(user, history);
+    }
+
+    /// The union candidate set with raw scores — the integrator's input.
+    pub fn candidate_features(&self, user: u32, history: &[u32]) -> CandidateFeatures {
+        let rep = self.model.infer_user(history);
+        let query = self.index_vector(user, &rep);
+        assemble_candidates(
+            &self.model,
+            &self.user_index,
+            &self.user_comp,
+            user,
+            &rep,
+            &query,
+            history,
+            self.cfg.candidate_n,
+            self.cfg.user_based.beta,
+        )
+    }
+
+    /// Features for an *externally supplied* candidate list — the ranking
+    /// stage (§V future work): instead of forming its own union, SCCF
+    /// scores someone else's candidates with both UI and UU evidence.
+    /// Duplicates and already-interacted items are dropped.
+    pub fn features_for(&self, user: u32, history: &[u32], items: &[u32]) -> CandidateFeatures {
+        let rep = self.model.infer_user(history);
+        let query = self.index_vector(user, &rep);
+        let neighbors = self
+            .user_index
+            .search(&query, self.cfg.user_based.beta, Some(user));
+        let uu_all = self.user_comp.scores(&neighbors);
+        let hist_set: sccf_util::FxHashSet<u32> = history.iter().copied().collect();
+        let mut seen: sccf_util::FxHashSet<u32> =
+            sccf_util::hash::fx_set_with_capacity(items.len());
+        let mut kept: Vec<u32> = Vec::with_capacity(items.len());
+        for &i in items {
+            if !hist_set.contains(&i) && seen.insert(i) {
+                kept.push(i);
+            }
+        }
+        let ui = kept
+            .iter()
+            .map(|&i| sccf_tensor::dot(&rep, self.model.item_embedding(i)))
+            .collect();
+        let uu = kept.iter().map(|&i| uu_all[i as usize]).collect();
+        CandidateFeatures {
+            user_rep: rep,
+            items: kept,
+            ui_scores: ui,
+            uu_scores: uu,
+        }
+    }
+
+    /// Final SCCF ranking over the union (item id, fused score), sorted
+    /// descending — the real-time `recommend` call.
+    pub fn recommend(&self, user: u32, history: &[u32], n: usize) -> Vec<Scored> {
+        let cand = self.candidate_features(user, history);
+        let fused = self.integrator.score(&cand, self.model.item_embeddings());
+        let mut scored: Vec<Scored> = cand
+            .items
+            .iter()
+            .zip(&fused)
+            .map(|(&id, &score)| Scored { id, score })
+            .collect();
+        scored.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        scored.truncate(n);
+        scored
+    }
+}
+
+/// Build the candidate union and raw scores for one user.
+#[allow(clippy::too_many_arguments)]
+fn assemble_candidates<M: InductiveUiModel>(
+    model: &M,
+    user_index: &DynamicIndex,
+    user_comp: &UserBasedComponent,
+    user: u32,
+    rep: &[f32],
+    index_query: &[f32],
+    history: &[u32],
+    candidate_n: usize,
+    beta: usize,
+) -> CandidateFeatures {
+    let hist_set: sccf_util::FxHashSet<u32> = history.iter().copied().collect();
+    // UI side (Eq. 10)
+    let mut ui_scores = model.score_by_rep(rep);
+    for &i in history {
+        ui_scores[i as usize] = f32::NEG_INFINITY;
+    }
+    let ui_top = sccf_util::topk::topk_of_scores(&ui_scores, candidate_n);
+    // UU side (Eq. 12)
+    let neighbors = user_index.search(index_query, beta, Some(user));
+    let mut uu_scores = user_comp.scores(&neighbors);
+    for &i in history {
+        uu_scores[i as usize] = 0.0;
+    }
+    let uu_top: Vec<Scored> = sccf_util::topk::topk_of_scores(&uu_scores, candidate_n)
+        .into_iter()
+        .filter(|s| s.score > 0.0)
+        .collect();
+    // union, stable order: UI list then new UU entries
+    let mut items: Vec<u32> = Vec::with_capacity(ui_top.len() + uu_top.len());
+    let mut seen: sccf_util::FxHashSet<u32> = sccf_util::hash::fx_set_with_capacity(ui_top.len());
+    for s in ui_top.iter().chain(uu_top.iter()) {
+        if !hist_set.contains(&s.id) && seen.insert(s.id) {
+            items.push(s.id);
+        }
+    }
+    let ui = items.iter().map(|&i| ui_scores[i as usize]).collect();
+    let uu = items.iter().map(|&i| uu_scores[i as usize]).collect();
+    CandidateFeatures {
+        user_rep: rep.to_vec(),
+        items,
+        ui_scores: ui,
+        uu_scores: uu,
+    }
+}
+
+impl<M: InductiveUiModel> Recommender for Sccf<M> {
+    fn name(&self) -> String {
+        format!("{}-SCCF", self.model.name())
+    }
+
+    fn n_items(&self) -> usize {
+        self.model.n_items()
+    }
+
+    /// Full-catalog scores: fused scores on the candidate union, −∞
+    /// elsewhere (non-candidates are never recommended — the two-stage
+    /// contract of candidate generation).
+    fn score_all(&self, user: u32, history: &[u32]) -> Vec<f32> {
+        let cand = self.candidate_features(user, history);
+        let fused = self.integrator.score(&cand, self.model.item_embeddings());
+        let mut scores = vec![f32::NEG_INFINITY; self.model.n_items()];
+        for (&i, &s) in cand.items.iter().zip(&fused) {
+            scores[i as usize] = s;
+        }
+        scores
+    }
+}

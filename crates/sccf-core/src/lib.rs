@@ -1,0 +1,37 @@
+//! # sccf-core
+//!
+//! The paper's primary contribution: **Self-Complementary Collaborative
+//! Filtering** (Xie et al., ICDE 2021) — real-time fusion of global
+//! user–item retrieval with local user-neighborhood evidence.
+//!
+//! * [`user_component`] — Eq. 11–12: the parameter-free user-based scorer
+//!   over a real-time neighborhood.
+//! * [`integrator`] — Eq. 15–17: the per-user-normalized fusion MLP over
+//!   the candidate union.
+//! * [`framework`] — [`Sccf`]: wires any
+//!   [`sccf_models::InductiveUiModel`] to a cosine user index, the
+//!   user-based component, and the integrator; implements `Recommender`
+//!   so the standard protocol can evaluate it (Table II).
+//! * [`realtime`] — [`RealtimeEngine`]: the event loop with the Table III
+//!   infer/identify timing split.
+//! * [`profile`] — side-information-aware neighborhoods (the paper's §V
+//!   future work), blending behavioral and profile similarity.
+//! * [`ranking`] — [`RankingStage`]: the paper's second §V direction —
+//!   applying the fused UI+UU evidence to an upstream generator's
+//!   candidates in the ranking step.
+//! * [`analysis`] — the Figure 4 similarity-distribution computation.
+
+pub mod analysis;
+pub mod framework;
+pub mod integrator;
+pub mod profile;
+pub mod ranking;
+pub mod realtime;
+pub mod user_component;
+
+pub use framework::{Sccf, SccfConfig};
+pub use profile::UserProfiles;
+pub use integrator::{CandidateFeatures, Integrator, IntegratorConfig};
+pub use ranking::RankingStage;
+pub use realtime::{EngineTimings, EventTiming, RealtimeEngine, SnapshotDecodeError};
+pub use user_component::{UserBasedComponent, UserBasedConfig};

@@ -1,0 +1,138 @@
+//! Side-information-aware neighborhoods — the paper's §V future work:
+//! *"we will investigate how to incorporate side information such as user
+//! profile to identify similar users for each user."*
+//!
+//! The mechanism: each user's index vector becomes the concatenation of
+//! her unit-normalized behavioral representation and a weighted,
+//! unit-normalized profile vector,
+//!
+//! ```text
+//! v_u = [ m̂_u ⊕ w · p̂_u ]
+//! ```
+//!
+//! Cosine over the concatenation is then a fixed blend of behavioral and
+//! profile similarity: `cos(v_u, v_v) = (cos(m̂) + w²·cos(p̂)) / (1 + w²)`.
+//! With `w = 0` this degrades exactly to the paper's Eq. 11; growing `w`
+//! shifts trust toward the profile — useful for cold users whose
+//! behavioral representation is still noisy.
+
+use sccf_tensor::normalize;
+
+/// Unit-normalized user profiles plus the blend weight `w`.
+#[derive(Debug, Clone)]
+pub struct UserProfiles {
+    profiles: Vec<Vec<f32>>,
+    dim: usize,
+    /// Blend weight `w ≥ 0` (0 = ignore profiles).
+    pub weight: f32,
+}
+
+impl UserProfiles {
+    /// Normalize and store one profile per user. All profiles must share
+    /// one dimension.
+    pub fn new(mut profiles: Vec<Vec<f32>>, weight: f32) -> Self {
+        assert!(!profiles.is_empty(), "need at least one profile");
+        assert!(weight >= 0.0, "weight must be non-negative");
+        let dim = profiles[0].len();
+        assert!(dim > 0, "profiles must be non-empty vectors");
+        for p in profiles.iter_mut() {
+            assert_eq!(p.len(), dim, "ragged profile dimensions");
+            normalize(p);
+        }
+        Self {
+            profiles,
+            dim,
+            weight,
+        }
+    }
+
+    pub fn n_users(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Profile feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Dimension of the augmented index vector for a rep of width `d`.
+    pub fn augmented_dim(&self, d: usize) -> usize {
+        d + self.dim
+    }
+
+    pub fn profile(&self, user: u32) -> &[f32] {
+        &self.profiles[user as usize]
+    }
+
+    /// Build the augmented index vector `[m̂_u ⊕ w·p̂_u]`.
+    pub fn augment(&self, user: u32, rep: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(rep.len() + self.dim);
+        let mut r = rep.to_vec();
+        normalize(&mut r);
+        out.extend_from_slice(&r);
+        out.extend(self.profiles[user as usize].iter().map(|&x| x * self.weight));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccf_tensor::mat::cosine;
+
+    fn profiles() -> UserProfiles {
+        UserProfiles::new(
+            vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 0.0]],
+            0.5,
+        )
+    }
+
+    #[test]
+    fn profiles_are_normalized() {
+        let p = profiles();
+        for u in 0..3 {
+            let n: f32 = p.profile(u).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn augment_shape_and_blend() {
+        let p = profiles();
+        let v = p.augment(0, &[3.0, 4.0, 0.0]);
+        assert_eq!(v.len(), 5);
+        // rep part unit-normalized
+        let rn: f32 = v[..3].iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((rn - 1.0).abs() < 1e-6);
+        // profile part scaled by w
+        assert!((v[3] - 0.5).abs() < 1e-6);
+        assert_eq!(v[4], 0.0);
+    }
+
+    #[test]
+    fn cosine_blend_formula() {
+        // cos over concatenation = (cos_rep + w²·cos_prof) / (1 + w²)
+        let w = 0.5f32;
+        let p = UserProfiles::new(vec![vec![1.0, 0.0], vec![1.0, 0.0]], w);
+        let a = p.augment(0, &[1.0, 0.0]);
+        let b = p.augment(1, &[0.0, 1.0]);
+        let got = cosine(&a, &b);
+        let expect = (0.0 + w * w * 1.0) / (1.0 + w * w);
+        assert!((got - expect).abs() < 1e-5, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn zero_weight_reduces_to_behavioral_cosine() {
+        let p = UserProfiles::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]], 0.0);
+        let a = p.augment(0, &[1.0, 2.0]);
+        let b = p.augment(1, &[2.0, 1.0]);
+        let plain = cosine(&[1.0, 2.0], &[2.0, 1.0]);
+        assert!((cosine(&a, &b) - plain).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_profiles_rejected() {
+        let _ = UserProfiles::new(vec![vec![1.0], vec![1.0, 2.0]], 0.3);
+    }
+}

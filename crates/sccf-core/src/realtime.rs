@@ -1,0 +1,422 @@
+//! The real-time serving engine (§III-C.2, §IV-D).
+//!
+//! Every incoming interaction triggers the two-step refresh the paper
+//! times in Table III:
+//!
+//! 1. **Inferring** — run the inductive UI model on the updated history
+//!    to get the fresh `m_u` (milliseconds; no training).
+//! 2. **Identifying** — update the user index and search it for the new
+//!    β-neighborhood.
+//!
+//! The engine keeps per-event timing statistics split exactly along those
+//! two legs so the Table III comparison against UserKNN (whose
+//! "identifying" step is a full sparse-set scan that grows with catalog
+//! size) drops out of the same run.
+
+use sccf_models::InductiveUiModel;
+use sccf_util::timer::{Stopwatch, TimingStats};
+use sccf_util::topk::Scored;
+
+use crate::framework::Sccf;
+
+/// Timing breakdown of one processed event, in milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct EventTiming {
+    pub infer_ms: f64,
+    pub identify_ms: f64,
+}
+
+impl EventTiming {
+    pub fn total_ms(&self) -> f64 {
+        self.infer_ms + self.identify_ms
+    }
+}
+
+/// Aggregated engine timings (Table III rows).
+#[derive(Debug, Clone, Default)]
+pub struct EngineTimings {
+    pub infer: TimingStats,
+    pub identify: TimingStats,
+}
+
+impl EngineTimings {
+    pub fn record(&mut self, t: EventTiming) {
+        self.infer.record_ms(t.infer_ms);
+        self.identify.record_ms(t.identify_ms);
+    }
+
+    pub fn mean_total_ms(&self) -> f64 {
+        self.infer.mean_ms() + self.identify.mean_ms()
+    }
+}
+
+/// Streaming wrapper around a built [`Sccf`] instance.
+pub struct RealtimeEngine<M: InductiveUiModel> {
+    sccf: Sccf<M>,
+    /// Full per-user histories, grown as events arrive.
+    histories: Vec<Vec<u32>>,
+    timings: EngineTimings,
+}
+
+impl<M: InductiveUiModel> RealtimeEngine<M> {
+    /// Wrap a built framework with the users' current histories.
+    pub fn new(sccf: Sccf<M>, histories: Vec<Vec<u32>>) -> Self {
+        Self {
+            sccf,
+            histories,
+            timings: EngineTimings::default(),
+        }
+    }
+
+    pub fn sccf(&self) -> &Sccf<M> {
+        &self.sccf
+    }
+
+    /// Tear down the engine, returning the framework (repeated simulation
+    /// runs rebuild a fresh engine from pristine state).
+    pub fn into_sccf(self) -> Sccf<M> {
+        self.sccf
+    }
+
+    pub fn history(&self, user: u32) -> &[u32] {
+        &self.histories[user as usize]
+    }
+
+    pub fn timings(&self) -> &EngineTimings {
+        &self.timings
+    }
+
+    /// Ingest one interaction: append to the history, re-infer the user
+    /// representation, refresh index + recent-items state, and find the
+    /// new neighborhood. Returns the neighborhood and the measured
+    /// timing split.
+    pub fn process_event(&mut self, user: u32, item: u32) -> (Vec<Scored>, EventTiming) {
+        self.histories[user as usize].push(item);
+
+        let mut sw = Stopwatch::start();
+        let rep = self.sccf.model().infer_user(&self.histories[user as usize]);
+        let infer_ms = sw.lap_ms();
+
+        self.sccf.record_event(user, item, &rep);
+        let neighbors = self.sccf.neighbors(user, &rep);
+        let identify_ms = sw.lap_ms();
+
+        let timing = EventTiming {
+            infer_ms,
+            identify_ms,
+        };
+        self.timings.record(timing);
+        (neighbors, timing)
+    }
+
+    /// Produce the fused top-`n` recommendation for a user right now.
+    pub fn recommend(&self, user: u32, n: usize) -> Vec<Scored> {
+        self.sccf
+            .recommend(user, &self.histories[user as usize], n)
+    }
+
+    /// Serialize the engine's mutable state — the per-user histories.
+    /// Everything else (representations, index contents, recent-item
+    /// ring) is derived from them by inference, so this is the complete
+    /// failover snapshot; model weights are persisted separately via the
+    /// models' own `save_bytes`.
+    ///
+    /// Format: magic, user count, then per user a length-prefixed item
+    /// list, all little-endian u32/u64.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.histories.len() * 8);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&(self.histories.len() as u64).to_le_bytes());
+        for h in &self.histories {
+            out.extend_from_slice(&(h.len() as u32).to_le_bytes());
+            for &item in h {
+                out.extend_from_slice(&item.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Rebuild an engine from a snapshot: decode the histories, then
+    /// re-infer every representation and reset index + recent-item state.
+    /// Timing statistics start fresh (they describe a process lifetime,
+    /// not the logical state).
+    pub fn restore(mut sccf: Sccf<M>, bytes: &[u8]) -> Result<Self, SnapshotDecodeError> {
+        let histories = decode_histories(bytes)?;
+        if histories.len() != sccf.user_count() {
+            return Err(SnapshotDecodeError::UserCountMismatch {
+                snapshot: histories.len(),
+                index: sccf.user_count(),
+            });
+        }
+        // Validate content before touching any state: a corrupted item id
+        // would otherwise panic deep inside an embedding lookup, leaving a
+        // half-initialized engine.
+        let n_items = sccf.model().n_items();
+        for (u, h) in histories.iter().enumerate() {
+            if let Some(&bad) = h.iter().find(|&&i| i as usize >= n_items) {
+                return Err(SnapshotDecodeError::ItemOutOfRange {
+                    user: u,
+                    item: bad,
+                    n_items,
+                });
+            }
+        }
+        for (u, h) in histories.iter().enumerate() {
+            let rep = sccf.model().infer_user(h);
+            sccf.reset_user_state(u as u32, h, &rep);
+        }
+        Ok(Self {
+            sccf,
+            histories,
+            timings: EngineTimings::default(),
+        })
+    }
+}
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"SCCFRT01";
+
+/// Why a snapshot could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotDecodeError {
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// Bytes ran out mid-record.
+    Truncated,
+    /// The snapshot's user count differs from the framework's index.
+    UserCountMismatch { snapshot: usize, index: usize },
+    /// A history contains an item id outside the model's catalog
+    /// (corruption, or a snapshot from a different catalog version).
+    ItemOutOfRange { user: usize, item: u32, n_items: usize },
+}
+
+impl std::fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "snapshot header is not an SCCF realtime snapshot"),
+            Self::Truncated => write!(f, "snapshot is truncated"),
+            Self::UserCountMismatch { snapshot, index } => write!(
+                f,
+                "snapshot has {snapshot} users but the framework index has {index}"
+            ),
+            Self::ItemOutOfRange { user, item, n_items } => write!(
+                f,
+                "user {user}'s history references item {item} outside the catalog of {n_items}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {}
+
+fn decode_histories(bytes: &[u8]) -> Result<Vec<Vec<u32>>, SnapshotDecodeError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], SnapshotDecodeError> {
+        let end = pos.checked_add(n).ok_or(SnapshotDecodeError::Truncated)?;
+        if end > bytes.len() {
+            return Err(SnapshotDecodeError::Truncated);
+        }
+        let s = &bytes[*pos..end];
+        *pos = end;
+        Ok(s)
+    };
+    if take(&mut pos, 8)? != SNAPSHOT_MAGIC {
+        return Err(SnapshotDecodeError::BadMagic);
+    }
+    let n_users = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    let mut histories = Vec::with_capacity(n_users.min(1 << 20));
+    for _ in 0..n_users {
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let raw = take(&mut pos, len * 4)?;
+        let mut h = Vec::with_capacity(len);
+        for c in raw.chunks_exact(4) {
+            h.push(u32::from_le_bytes(c.try_into().unwrap()));
+        }
+        histories.push(h);
+    }
+    if pos != bytes.len() {
+        return Err(SnapshotDecodeError::Truncated);
+    }
+    Ok(histories)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::SccfConfig;
+    use crate::integrator::IntegratorConfig;
+    use crate::user_component::UserBasedConfig;
+    use sccf_data::{Dataset, Interaction, LeaveOneOut};
+    use sccf_models::{Fism, FismConfig, TrainConfig};
+
+    fn tiny_world() -> (LeaveOneOut, Dataset) {
+        // Two taste groups over 12 items; 12 users.
+        let mut inter = Vec::new();
+        use rand::Rng;
+        let mut rng = sccf_util::rng::rng_for(9, 1);
+        for u in 0..12u32 {
+            let base = if u < 6 { 0 } else { 6 };
+            let mut seen = sccf_util::hash::fx_set();
+            let mut t = 0i64;
+            while (t as usize) < 5 {
+                let item = base + rng.gen_range(0..6u32);
+                if seen.insert(item) {
+                    inter.push(Interaction { user: u, item, ts: t });
+                    t += 1;
+                }
+            }
+        }
+        let d = Dataset::from_interactions("tiny", 12, 12, &inter, None);
+        (LeaveOneOut::split(&d), d)
+    }
+
+    fn build_engine() -> RealtimeEngine<Fism> {
+        let (split, _) = tiny_world();
+        let fism = Fism::train(
+            &split,
+            &FismConfig {
+                train: TrainConfig {
+                    dim: 8,
+                    epochs: 8,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let mut sccf = Sccf::build(
+            fism,
+            &split,
+            SccfConfig {
+                user_based: UserBasedConfig {
+                    beta: 4,
+                    recent_window: 5,
+                },
+                candidate_n: 8,
+                integrator: IntegratorConfig {
+                    epochs: 5,
+                    ..Default::default()
+                },
+                threads: 1,
+                profiles: None,
+            },
+        );
+        // advance index + recent-item state to the same histories the
+        // engine starts from — the consistent deployment state
+        sccf.refresh_for_test(&split);
+        let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
+            .map(|u| split.train_plus_val(u))
+            .collect();
+        RealtimeEngine::new(sccf, histories)
+    }
+
+    #[test]
+    fn event_updates_history_and_times_both_legs() {
+        let mut engine = build_engine();
+        let before = engine.history(0).len();
+        let (neighbors, t) = engine.process_event(0, 3);
+        assert_eq!(engine.history(0).len(), before + 1);
+        assert!(t.infer_ms >= 0.0 && t.identify_ms >= 0.0);
+        assert!(t.total_ms() >= t.infer_ms);
+        assert!(!neighbors.is_empty());
+        assert!(neighbors.iter().all(|n| n.id != 0), "u ∉ N_u");
+        assert_eq!(engine.timings().infer.count(), 1);
+    }
+
+    #[test]
+    fn new_interaction_changes_neighborhood_inputs() {
+        let mut engine = build_engine();
+        // user 0 (group A) suddenly consumes group-B items; her vector
+        // must move toward group B in the index.
+        let rep_before = engine.sccf().model().infer_user(engine.history(0));
+        for item in [6u32, 7, 8, 9, 10] {
+            engine.process_event(0, item);
+        }
+        let rep_after = engine.sccf().model().infer_user(engine.history(0));
+        assert_ne!(rep_before, rep_after);
+        // the index reflects the fresh vector
+        let stored_sim = sccf_tensor::cosine(
+            &rep_after,
+            &engine.sccf().model().infer_user(engine.history(0)),
+        );
+        assert!(stored_sim > 0.99);
+    }
+
+    #[test]
+    fn recommendations_available_after_events() {
+        let mut engine = build_engine();
+        engine.process_event(0, 4);
+        let recs = engine.recommend(0, 5);
+        assert!(!recs.is_empty());
+        // never recommend the user's own history
+        let hist: sccf_util::FxHashSet<u32> = engine.history(0).iter().copied().collect();
+        assert!(recs.iter().all(|r| !hist.contains(&r.id)));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_state() {
+        let mut engine = build_engine();
+        engine.process_event(0, 6);
+        engine.process_event(3, 7);
+        let snap = engine.snapshot();
+        let histories: Vec<Vec<u32>> = (0..12u32).map(|u| engine.history(u).to_vec()).collect();
+        let recs_before = engine.recommend(0, 5);
+
+        let restored = RealtimeEngine::restore(engine.into_sccf(), &snap).unwrap();
+        for (u, h) in histories.iter().enumerate() {
+            assert_eq!(restored.history(u as u32), h.as_slice());
+        }
+        // recommendations are identical: the state is fully derived
+        assert_eq!(restored.recommend(0, 5), recs_before);
+        // timing statistics start fresh
+        assert_eq!(restored.timings().infer.count(), 0);
+    }
+
+    #[test]
+    fn restore_reflects_post_snapshot_drift_correctly() {
+        // Events after the snapshot must NOT be visible in the restored
+        // engine — restore is point-in-time, not tail-replay.
+        let mut engine = build_engine();
+        engine.process_event(0, 6);
+        let snap = engine.snapshot();
+        engine.process_event(0, 7); // post-snapshot event
+        let len_after = engine.history(0).len();
+        let restored = RealtimeEngine::restore(engine.into_sccf(), &snap).unwrap();
+        assert_eq!(restored.history(0).len(), len_after - 1);
+        assert!(!restored.history(0).contains(&7));
+    }
+
+    #[test]
+    fn restore_rejects_garbage_and_truncation() {
+        let engine = build_engine();
+        let snap = engine.snapshot();
+        let sccf = engine.into_sccf();
+        let err = match RealtimeEngine::restore(sccf, b"not a snapshot") {
+            Err(e) => e,
+            Ok(_) => panic!("garbage snapshot must not restore"),
+        };
+        assert_eq!(err, SnapshotDecodeError::BadMagic);
+
+        let engine2 = build_engine();
+        let sccf2 = engine2.into_sccf();
+        let err2 = match RealtimeEngine::restore(sccf2, &snap[..snap.len() - 3]) {
+            Err(e) => e,
+            Ok(_) => panic!("truncated snapshot must not restore"),
+        };
+        assert_eq!(err2, SnapshotDecodeError::Truncated);
+    }
+
+    #[test]
+    fn restore_rejects_user_count_mismatch() {
+        let engine = build_engine();
+        let mut snap = engine.snapshot();
+        // corrupt the user count field (bytes 8..16) to a smaller value,
+        // and truncate the payload to match one user
+        snap[8..16].copy_from_slice(&1u64.to_le_bytes());
+        let one_user_len = 16 + 4 + engine.history(0).len() * 4;
+        snap.truncate(one_user_len);
+        let err = match RealtimeEngine::restore(engine.into_sccf(), &snap) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched snapshot must not restore"),
+        };
+        assert!(matches!(err, SnapshotDecodeError::UserCountMismatch { .. }));
+    }
+}

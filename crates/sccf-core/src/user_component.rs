@@ -1,0 +1,224 @@
+//! The user-based component (§III-C): local preference scores from a
+//! real-time user neighborhood.
+//!
+//! Given neighbors `N_u = {v₁ … v_β}` ranked by `cos(m_u, m_v)` (Eq. 11,
+//! served by the user index), the component scores items by
+//!
+//! ```text
+//! r̂ᵁᵁ(u, i) = Σ_{v ∈ N_u} sim(u, v) · δ_{vi}        (Eq. 12)
+//! ```
+//!
+//! where `δ_{vi} = 1` iff `i` is in `v`'s recent interactions. Following
+//! §IV-A.4, each user contributes only her latest `recent_window` (15)
+//! items to her neighbors' recommendations. The component carries **no
+//! learnable parameters** — that is the paper's point: it rides for free
+//! on the UI model's representations.
+
+use sccf_util::topk::Scored;
+
+/// Configuration of the user-based component.
+#[derive(Debug, Clone)]
+pub struct UserBasedConfig {
+    /// Neighborhood size β (paper sweeps {50, 100, 200}; default 100).
+    pub beta: usize,
+    /// How many of each user's latest items are shared with neighbors
+    /// (paper: 15).
+    pub recent_window: usize,
+}
+
+impl Default for UserBasedConfig {
+    fn default() -> Self {
+        Self {
+            beta: 100,
+            recent_window: 15,
+        }
+    }
+}
+
+/// Per-user recent-item state plus the Eq. 12 aggregation.
+#[derive(Debug, Clone)]
+pub struct UserBasedComponent {
+    cfg: UserBasedConfig,
+    n_items: usize,
+    /// Latest `recent_window` items per user, oldest first.
+    recent: Vec<Vec<u32>>,
+}
+
+impl UserBasedComponent {
+    /// Initialize from per-user histories (each truncated to the window).
+    pub fn new(
+        cfg: UserBasedConfig,
+        n_items: usize,
+        histories: impl Iterator<Item = Vec<u32>>,
+    ) -> Self {
+        let recent = histories
+            .map(|h| {
+                if h.len() > cfg.recent_window {
+                    h[h.len() - cfg.recent_window..].to_vec()
+                } else {
+                    h
+                }
+            })
+            .collect();
+        Self {
+            cfg,
+            n_items,
+            recent,
+        }
+    }
+
+    pub fn config(&self) -> &UserBasedConfig {
+        &self.cfg
+    }
+
+    pub fn n_users(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// The items user `v` currently shares with neighbors.
+    pub fn recent_items(&self, v: u32) -> &[u32] {
+        &self.recent[v as usize]
+    }
+
+    /// Record a new interaction for `user` (real-time path): appends and
+    /// truncates to the window.
+    pub fn record(&mut self, user: u32, item: u32) {
+        let r = &mut self.recent[user as usize];
+        r.push(item);
+        if r.len() > self.cfg.recent_window {
+            r.remove(0);
+        }
+    }
+
+    /// Replace a user's state wholesale (e.g. when switching from the
+    /// train view to the train+val view between tuning and testing).
+    pub fn reset_user(&mut self, user: u32, history: &[u32]) {
+        let h = if history.len() > self.cfg.recent_window {
+            &history[history.len() - self.cfg.recent_window..]
+        } else {
+            history
+        };
+        self.recent[user as usize] = h.to_vec();
+    }
+
+    /// Eq. 12 over a pre-identified neighborhood: full-catalog score
+    /// vector (0 where no neighbor interacted).
+    pub fn scores(&self, neighbors: &[Scored]) -> Vec<f32> {
+        let mut scores = vec![0.0f32; self.n_items];
+        for n in neighbors {
+            // δ is binary: de-dup a neighbor's window on the fly so an
+            // item a neighbor clicked twice is not double-counted
+            let items = &self.recent[n.id as usize];
+            for (pos, &i) in items.iter().enumerate() {
+                if items[..pos].contains(&i) {
+                    continue;
+                }
+                scores[i as usize] += n.score;
+            }
+        }
+        scores
+    }
+
+    /// Top-N of the Eq. 12 scores — the UU candidate list `Cᵁᵁ_u`.
+    pub fn candidates(&self, neighbors: &[Scored], n: usize) -> Vec<Scored> {
+        sccf_util::topk::topk_of_scores(&self.scores(neighbors), n)
+            .into_iter()
+            .filter(|s| s.score > 0.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp() -> UserBasedComponent {
+        UserBasedComponent::new(
+            UserBasedConfig {
+                beta: 10,
+                recent_window: 3,
+            },
+            6,
+            vec![
+                vec![0, 1],       // u0
+                vec![1, 2, 3, 4], // u1 → window [2,3,4]
+                vec![5],          // u2
+            ]
+            .into_iter(),
+        )
+    }
+
+    #[test]
+    fn histories_truncated_to_window() {
+        let c = comp();
+        assert_eq!(c.recent_items(1), &[2, 3, 4]);
+        assert_eq!(c.recent_items(0), &[0, 1]);
+    }
+
+    #[test]
+    fn eq12_weighted_sum() {
+        let c = comp();
+        let neighbors = vec![
+            Scored { id: 0, score: 0.9 },
+            Scored { id: 1, score: 0.5 },
+        ];
+        let s = c.scores(&neighbors);
+        assert!((s[0] - 0.9).abs() < 1e-6);
+        assert!((s[1] - 0.9).abs() < 1e-6); // only u0's window has 1
+        assert!((s[2] - 0.5).abs() < 1e-6);
+        assert_eq!(s[5], 0.0);
+    }
+
+    #[test]
+    fn shared_item_sums_similarities() {
+        let mut c = comp();
+        c.record(0, 2); // now u0 window [0,1,2] overlaps u1's [2,3,4]
+        let neighbors = vec![
+            Scored { id: 0, score: 0.9 },
+            Scored { id: 1, score: 0.5 },
+        ];
+        let s = c.scores(&neighbors);
+        assert!((s[2] - 1.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn record_rolls_the_window() {
+        let mut c = comp();
+        c.record(0, 2);
+        c.record(0, 3); // window size 3: [1, 2, 3]
+        assert_eq!(c.recent_items(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_in_window_counts_once() {
+        let mut c = comp();
+        c.record(2, 5); // u2 window now [5, 5]
+        let neighbors = vec![Scored { id: 2, score: 1.0 }];
+        let s = c.scores(&neighbors);
+        assert!((s[5] - 1.0).abs() < 1e-6, "δ is binary, got {}", s[5]);
+    }
+
+    #[test]
+    fn candidates_drop_zero_scores() {
+        let c = comp();
+        let neighbors = vec![Scored { id: 2, score: 0.7 }];
+        let cands = c.candidates(&neighbors, 5);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].id, 5);
+    }
+
+    #[test]
+    fn reset_user_swaps_state() {
+        let mut c = comp();
+        c.reset_user(2, &[0, 1, 2, 3]);
+        assert_eq!(c.recent_items(2), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_neighborhood_gives_zero_scores() {
+        let c = comp();
+        let s = c.scores(&[]);
+        assert!(s.iter().all(|&x| x == 0.0));
+        assert!(c.candidates(&[], 5).is_empty());
+    }
+}

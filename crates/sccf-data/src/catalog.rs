@@ -1,0 +1,224 @@
+//! The four benchmark dataset configurations, mirroring Table I.
+//!
+//! The paper evaluates on ML-1M / ML-20M (dense, long histories) and
+//! Amazon Games / Beauty (sparse, ~9 actions per user). The synthetic
+//! configs keep those *contrasts* — relative density, sequence length,
+//! catalog size ordering — at two CPU-friendly scales. `Quick` keeps the
+//! full Table II reproduction in minutes; `Full` is roughly 4× larger.
+
+use crate::synthetic::SyntheticConfig;
+
+/// Experiment scale knob shared by the whole harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale: CI and default `repro` runs.
+    Quick,
+    /// Larger datasets; tens of minutes for the full suite.
+    Full,
+}
+
+impl Scale {
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    fn mul(&self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// `ml1m-sim`: dense, long sequences, small catalog — the ML-1M analogue
+/// (ML-1M: 6040 users × 3416 items, avg 163.5, density 4.79 %).
+pub fn ml1m_sim(scale: Scale) -> SyntheticConfig {
+    SyntheticConfig {
+        name: "ml1m-sim".into(),
+        n_users: scale.mul(400, 1200),
+        n_items: scale.mul(350, 900),
+        n_categories: 18,
+        n_groups: 10,
+        latent_dim: 16,
+        mean_len: 48.0,
+        min_len: 8,
+        zipf_s: 1.0,
+        user_scatter: 0.22,
+        item_scatter: 0.32,
+        drift: 0.06,
+        jump_prob: 0.05,
+        category_temp: 5.0,
+        item_temp: 3.0,
+        markov_prob: 0.35,
+        seq_temp: 4.0,
+        niche_pairs: 1,
+        niche_prob: 0.35,
+        n_days: 30,
+    }
+}
+
+/// `ml20m-sim`: the largest dataset — more users and items, long
+/// sequences (ML-20M: 138 k users × 26.7 k items, avg 144.4, 0.54 %).
+pub fn ml20m_sim(scale: Scale) -> SyntheticConfig {
+    SyntheticConfig {
+        name: "ml20m-sim".into(),
+        n_users: scale.mul(900, 3000),
+        n_items: scale.mul(700, 2400),
+        n_categories: 28,
+        n_groups: 16,
+        latent_dim: 16,
+        mean_len: 40.0,
+        min_len: 8,
+        zipf_s: 1.05,
+        user_scatter: 0.22,
+        item_scatter: 0.32,
+        drift: 0.06,
+        jump_prob: 0.05,
+        category_temp: 5.0,
+        item_temp: 3.0,
+        markov_prob: 0.35,
+        seq_temp: 4.0,
+        niche_pairs: 1,
+        niche_prob: 0.35,
+        n_days: 30,
+    }
+}
+
+/// `games-sim`: sparse, short sequences (Amazon Games: 29.3 k users ×
+/// 23.5 k items, avg 9.1, density 0.04 %).
+pub fn games_sim(scale: Scale) -> SyntheticConfig {
+    SyntheticConfig {
+        name: "games-sim".into(),
+        n_users: scale.mul(700, 2400),
+        n_items: scale.mul(800, 2800),
+        n_categories: 24,
+        n_groups: 12,
+        latent_dim: 16,
+        mean_len: 10.0,
+        min_len: 6,
+        zipf_s: 1.1,
+        user_scatter: 0.25,
+        item_scatter: 0.4,
+        drift: 0.1,
+        jump_prob: 0.08,
+        category_temp: 5.0,
+        item_temp: 3.0,
+        markov_prob: 0.3,
+        seq_temp: 4.0,
+        niche_pairs: 1,
+        niche_prob: 0.3,
+        n_days: 30,
+    }
+}
+
+/// `beauty-sim`: the sparsest dataset (Amazon Beauty: 40.2 k users ×
+/// 54.5 k items, avg 8.8, density 0.02 %).
+pub fn beauty_sim(scale: Scale) -> SyntheticConfig {
+    SyntheticConfig {
+        name: "beauty-sim".into(),
+        n_users: scale.mul(900, 3200),
+        n_items: scale.mul(1200, 4200),
+        n_categories: 30,
+        n_groups: 14,
+        latent_dim: 16,
+        mean_len: 9.0,
+        min_len: 6,
+        zipf_s: 1.15,
+        user_scatter: 0.25,
+        item_scatter: 0.4,
+        drift: 0.1,
+        jump_prob: 0.08,
+        category_temp: 5.0,
+        item_temp: 3.0,
+        markov_prob: 0.3,
+        seq_temp: 4.0,
+        niche_pairs: 1,
+        niche_prob: 0.3,
+        n_days: 30,
+    }
+}
+
+/// All four benchmark configs in the paper's presentation order.
+pub fn all_benchmarks(scale: Scale) -> Vec<SyntheticConfig> {
+    vec![
+        ml1m_sim(scale),
+        ml20m_sim(scale),
+        games_sim(scale),
+        beauty_sim(scale),
+    ]
+}
+
+/// A Taobao-like stream config for Figure 1 and the A/B simulator:
+/// pronounced drift and frequent category adoption.
+pub fn taobao_sim(scale: Scale) -> SyntheticConfig {
+    SyntheticConfig {
+        name: "taobao-sim".into(),
+        n_users: scale.mul(800, 3000),
+        n_items: scale.mul(900, 3000),
+        n_categories: 40,
+        n_groups: 16,
+        latent_dim: 16,
+        mean_len: 60.0,
+        min_len: 15,
+        zipf_s: 1.0,
+        user_scatter: 0.22,
+        item_scatter: 0.35,
+        drift: 0.12,
+        jump_prob: 0.12,
+        category_temp: 4.0,
+        item_temp: 3.0,
+        markov_prob: 0.3,
+        seq_temp: 4.0,
+        niche_pairs: 2,
+        niche_prob: 0.4,
+        n_days: 30,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::generate;
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn density_ordering_matches_paper() {
+        // ML-like configs must be denser than Amazon-like ones, as in
+        // Table I (4.79 % / 0.54 % vs 0.04 % / 0.02 %).
+        let ds: Vec<_> = all_benchmarks(Scale::Quick)
+            .iter()
+            .map(|cfg| generate(cfg, 1).dataset.stats())
+            .collect();
+        assert!(ds[0].density > ds[2].density, "ml1m vs games");
+        assert!(ds[0].density > ds[3].density, "ml1m vs beauty");
+        assert!(ds[1].density > ds[3].density, "ml20m vs beauty");
+    }
+
+    #[test]
+    fn sequence_length_ordering_matches_paper() {
+        let ds: Vec<_> = all_benchmarks(Scale::Quick)
+            .iter()
+            .map(|cfg| generate(cfg, 1).dataset.stats())
+            .collect();
+        assert!(ds[0].avg_length > 3.0 * ds[2].avg_length);
+        assert!(ds[1].avg_length > 3.0 * ds[3].avg_length);
+    }
+
+    #[test]
+    fn full_scale_is_larger() {
+        let q = ml1m_sim(Scale::Quick);
+        let f = ml1m_sim(Scale::Full);
+        assert!(f.n_users > 2 * q.n_users);
+        assert!(f.n_items > 2 * q.n_items);
+    }
+}

@@ -1,0 +1,97 @@
+//! Negative sampling for the implicit-feedback objective (Eq. 9).
+//!
+//! Observed interactions are positives; negatives are sampled uniformly
+//! from items the user never interacted with (`Neg ⊂ R⁻`), following
+//! He et al. / Kang & McAuley, which the paper adopts.
+
+use rand::Rng;
+use sccf_util::hash::FxHashSet;
+
+/// Uniform negative sampler over a user's non-interacted items.
+#[derive(Debug, Clone)]
+pub struct NegativeSampler {
+    n_items: u32,
+}
+
+impl NegativeSampler {
+    pub fn new(n_items: usize) -> Self {
+        assert!(n_items > 0, "cannot sample from an empty item set");
+        Self {
+            n_items: n_items as u32,
+        }
+    }
+
+    /// One item uniformly from `I − exclude`. Panics only if `exclude`
+    /// covers the entire catalog (which the core filter makes impossible).
+    pub fn sample(&self, rng: &mut impl Rng, exclude: &FxHashSet<u32>) -> u32 {
+        assert!(
+            (exclude.len() as u32) < self.n_items,
+            "user has interacted with every item"
+        );
+        loop {
+            let cand = rng.gen_range(0..self.n_items);
+            if !exclude.contains(&cand) {
+                return cand;
+            }
+        }
+    }
+
+    /// `k` negatives (independent draws, duplicates allowed, as in the
+    /// standard sampled-BCE setup).
+    pub fn sample_k(&self, rng: &mut impl Rng, exclude: &FxHashSet<u32>, k: usize) -> Vec<u32> {
+        (0..k).map(|_| self.sample(rng, exclude)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sccf_util::hash::fx_set;
+
+    #[test]
+    fn never_returns_excluded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut ex = fx_set();
+        ex.insert(0);
+        ex.insert(2);
+        let s = NegativeSampler::new(4);
+        for _ in 0..200 {
+            let x = s.sample(&mut rng, &ex);
+            assert!(x == 1 || x == 3);
+        }
+    }
+
+    #[test]
+    fn sample_k_length() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let s = NegativeSampler::new(100);
+        let ex = fx_set();
+        assert_eq!(s.sample_k(&mut rng, &ex, 7).len(), 7);
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let s = NegativeSampler::new(4);
+        let ex = fx_set();
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[s.sample(&mut rng, &ex) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 800 && c < 1200, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "every item")]
+    fn full_exclusion_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let s = NegativeSampler::new(2);
+        let mut ex = fx_set();
+        ex.insert(0);
+        ex.insert(1);
+        let _ = s.sample(&mut rng, &ex);
+    }
+}

@@ -1,0 +1,170 @@
+//! Leave-one-out evaluation split (§IV-A.2).
+//!
+//! For each user: the **latest** interaction is the test item, the one
+//! just before it is the validation item (also the training label of the
+//! integrating component), and everything earlier is training data. When
+//! measuring test performance the paper adds validation items back into
+//! the training set; [`LeaveOneOut::train_plus_val`] provides that view.
+
+use crate::dataset::Dataset;
+
+/// The three-way split of one dataset.
+#[derive(Debug, Clone)]
+pub struct LeaveOneOut {
+    /// Per-user training prefix (all interactions except the last two).
+    train: Vec<Vec<u32>>,
+    /// Per-user validation item (second-to-last), if the user has ≥ 3 events.
+    val: Vec<Option<u32>>,
+    /// Per-user test item (last), if the user has ≥ 2 events.
+    test: Vec<Option<u32>>,
+    n_items: usize,
+}
+
+impl LeaveOneOut {
+    /// Split every user's chronological sequence.
+    pub fn split(data: &Dataset) -> Self {
+        let n = data.n_users();
+        let mut train = Vec::with_capacity(n);
+        let mut val = Vec::with_capacity(n);
+        let mut test = Vec::with_capacity(n);
+        for u in 0..n as u32 {
+            let seq = data.sequence(u);
+            match seq.len() {
+                0 => {
+                    train.push(Vec::new());
+                    val.push(None);
+                    test.push(None);
+                }
+                1 => {
+                    train.push(seq.to_vec());
+                    val.push(None);
+                    test.push(None);
+                }
+                2 => {
+                    train.push(seq[..1].to_vec());
+                    val.push(None);
+                    test.push(Some(seq[1]));
+                }
+                len => {
+                    train.push(seq[..len - 2].to_vec());
+                    val.push(Some(seq[len - 2]));
+                    test.push(Some(seq[len - 1]));
+                }
+            }
+        }
+        Self {
+            train,
+            val,
+            test,
+            n_items: data.n_items(),
+        }
+    }
+
+    pub fn n_users(&self) -> usize {
+        self.train.len()
+    }
+
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Training prefix for `user` (no val/test leakage).
+    pub fn train_seq(&self, user: u32) -> &[u32] {
+        &self.train[user as usize]
+    }
+
+    pub fn val_item(&self, user: u32) -> Option<u32> {
+        self.val[user as usize]
+    }
+
+    pub fn test_item(&self, user: u32) -> Option<u32> {
+        self.test[user as usize]
+    }
+
+    /// Training prefix plus the validation item — the history used when
+    /// scoring the *test* item (the paper adds validation data back for
+    /// the final measurement).
+    pub fn train_plus_val(&self, user: u32) -> Vec<u32> {
+        let mut s = self.train[user as usize].clone();
+        if let Some(v) = self.val[user as usize] {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Users that have a test item (the evaluation population).
+    pub fn test_users(&self) -> Vec<u32> {
+        (0..self.n_users() as u32)
+            .filter(|&u| self.test[u as usize].is_some())
+            .collect()
+    }
+
+    /// Users that have a validation item (the integrator training
+    /// population).
+    pub fn val_users(&self) -> Vec<u32> {
+        (0..self.n_users() as u32)
+            .filter(|&u| self.val[u as usize].is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Interaction;
+
+    fn data(lens: &[usize]) -> Dataset {
+        let mut inter = Vec::new();
+        let mut item = 0u32;
+        let n_items = lens.iter().sum::<usize>().max(1);
+        for (u, &len) in lens.iter().enumerate() {
+            for t in 0..len {
+                inter.push(Interaction {
+                    user: u as u32,
+                    item,
+                    ts: t as i64,
+                });
+                item += 1;
+            }
+        }
+        Dataset::from_interactions("t", lens.len(), n_items, &inter, None)
+    }
+
+    #[test]
+    fn split_partitions_sequence() {
+        let d = data(&[5]);
+        let s = LeaveOneOut::split(&d);
+        assert_eq!(s.train_seq(0), &[0, 1, 2]);
+        assert_eq!(s.val_item(0), Some(3));
+        assert_eq!(s.test_item(0), Some(4));
+        assert_eq!(s.train_plus_val(0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn short_sequences_degrade_gracefully() {
+        let d = data(&[0, 1, 2, 3]);
+        let s = LeaveOneOut::split(&d);
+        assert_eq!(s.test_item(0), None);
+        assert_eq!(s.test_item(1), None);
+        assert_eq!(s.val_item(1), None);
+        assert!(!s.train_seq(1).is_empty());
+        assert!(s.test_item(2).is_some());
+        assert_eq!(s.val_item(2), None);
+        assert!(s.val_item(3).is_some());
+        assert_eq!(s.test_users(), vec![2, 3]);
+        assert_eq!(s.val_users(), vec![3]);
+    }
+
+    #[test]
+    fn no_leakage_between_splits() {
+        let d = data(&[6]);
+        let s = LeaveOneOut::split(&d);
+        let train = s.train_seq(0);
+        let val = s.val_item(0).unwrap();
+        let test = s.test_item(0).unwrap();
+        assert!(!train.contains(&val));
+        assert!(!train.contains(&test));
+        assert_ne!(val, test);
+        assert_eq!(train.len() + 2, d.sequence(0).len());
+    }
+}

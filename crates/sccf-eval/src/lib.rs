@@ -1,0 +1,14 @@
+//! # sccf-eval
+//!
+//! Evaluation substrate: HR@k / NDCG@k / MRR ([`metrics`]), and the
+//! paper's leave-one-out whole-catalog protocol ([`protocol`]) with
+//! thread-sharded execution. Any [`sccf_models::Recommender`] — or any
+//! closure via [`protocol::FnScorer`] — can be plugged in, which is how
+//! the SCCF framework itself is measured against its base UI models in
+//! Table II.
+
+pub mod metrics;
+pub mod protocol;
+
+pub use metrics::MetricAccumulator;
+pub use protocol::{evaluate, EvalResult, EvalTarget, FnScorer, Scorer};

@@ -1,0 +1,170 @@
+//! Ranking metrics (§IV-A.2).
+//!
+//! Both metrics are functions of the 1-based rank of the ground-truth
+//! item in the full-catalog ordering:
+//!
+//! * `HR@k   = 1(rank ≤ k)` averaged over users,
+//! * `NDCG@k = (2^{1(rank ≤ k)} − 1) / log₂(rank + 1)` averaged over
+//!   users — with a single relevant item this is `1/log₂(rank+1)` inside
+//!   the cut and 0 outside, matching the paper's formula.
+
+/// Hit ratio contribution of one user.
+#[inline]
+pub fn hr_at_k(rank: usize, k: usize) -> f64 {
+    if rank <= k {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// NDCG contribution of one user (single relevant item).
+#[inline]
+pub fn ndcg_at_k(rank: usize, k: usize) -> f64 {
+    if rank <= k {
+        1.0 / ((rank as f64) + 1.0).log2()
+    } else {
+        0.0
+    }
+}
+
+/// Reciprocal rank of one user.
+#[inline]
+pub fn reciprocal_rank(rank: usize) -> f64 {
+    1.0 / rank as f64
+}
+
+/// Accumulates HR/NDCG at several cutoffs plus MRR over many users.
+#[derive(Debug, Clone)]
+pub struct MetricAccumulator {
+    ks: Vec<usize>,
+    hr: Vec<f64>,
+    ndcg: Vec<f64>,
+    mrr: f64,
+    n: u64,
+}
+
+impl MetricAccumulator {
+    pub fn new(ks: &[usize]) -> Self {
+        Self {
+            ks: ks.to_vec(),
+            hr: vec![0.0; ks.len()],
+            ndcg: vec![0.0; ks.len()],
+            mrr: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Record one user's ground-truth rank.
+    pub fn push_rank(&mut self, rank: usize) {
+        assert!(rank >= 1, "ranks are 1-based");
+        for (i, &k) in self.ks.iter().enumerate() {
+            self.hr[i] += hr_at_k(rank, k);
+            self.ndcg[i] += ndcg_at_k(rank, k);
+        }
+        self.mrr += reciprocal_rank(rank);
+        self.n += 1;
+    }
+
+    pub fn merge(&mut self, other: &MetricAccumulator) {
+        assert_eq!(self.ks, other.ks, "cutoff mismatch");
+        for i in 0..self.ks.len() {
+            self.hr[i] += other.hr[i];
+            self.ndcg[i] += other.ndcg[i];
+        }
+        self.mrr += other.mrr;
+        self.n += other.n;
+    }
+
+    pub fn n_users(&self) -> u64 {
+        self.n
+    }
+
+    pub fn ks(&self) -> &[usize] {
+        &self.ks
+    }
+
+    pub fn hr(&self, k: usize) -> f64 {
+        let i = self.ks.iter().position(|&x| x == k).expect("unknown k");
+        self.hr[i] / self.n.max(1) as f64
+    }
+
+    pub fn ndcg(&self, k: usize) -> f64 {
+        let i = self.ks.iter().position(|&x| x == k).expect("unknown k");
+        self.ndcg[i] / self.n.max(1) as f64
+    }
+
+    pub fn mrr(&self) -> f64 {
+        self.mrr / self.n.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hr_boundary() {
+        assert_eq!(hr_at_k(10, 10), 1.0);
+        assert_eq!(hr_at_k(11, 10), 0.0);
+        assert_eq!(hr_at_k(1, 1), 1.0);
+    }
+
+    #[test]
+    fn ndcg_hand_values() {
+        // rank 1: 1/log2(2) = 1
+        assert!((ndcg_at_k(1, 10) - 1.0).abs() < 1e-12);
+        // rank 3: 1/log2(4) = 0.5
+        assert!((ndcg_at_k(3, 10) - 0.5).abs() < 1e-12);
+        assert_eq!(ndcg_at_k(11, 10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_decreases_with_rank() {
+        let mut prev = f64::INFINITY;
+        for r in 1..=20 {
+            let v = ndcg_at_k(r, 20);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = MetricAccumulator::new(&[1, 3]);
+        acc.push_rank(1); // hits both
+        acc.push_rank(2); // hits @3 only
+        acc.push_rank(9); // misses both
+        assert!((acc.hr(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((acc.hr(3) - 2.0 / 3.0).abs() < 1e-12);
+        let expected_ndcg3 = (1.0 + 1.0 / 3f64.log2()) / 3.0;
+        assert!((acc.ndcg(3) - expected_ndcg3).abs() < 1e-12);
+        let expected_mrr = (1.0 + 0.5 + 1.0 / 9.0) / 3.0;
+        assert!((acc.mrr() - expected_mrr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = MetricAccumulator::new(&[5]);
+        let mut b = MetricAccumulator::new(&[5]);
+        let mut whole = MetricAccumulator::new(&[5]);
+        for (i, r) in [1usize, 4, 6, 2, 8].iter().enumerate() {
+            whole.push_rank(*r);
+            if i % 2 == 0 {
+                a.push_rank(*r);
+            } else {
+                b.push_rank(*r);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.n_users(), whole.n_users());
+        assert!((a.hr(5) - whole.hr(5)).abs() < 1e-12);
+        assert!((a.ndcg(5) - whole.ndcg(5)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_rank_rejected() {
+        MetricAccumulator::new(&[1]).push_rank(0);
+    }
+}

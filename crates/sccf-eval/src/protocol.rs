@@ -1,0 +1,227 @@
+//! The leave-one-out, whole-catalog evaluation protocol (§IV-A.2).
+//!
+//! For every user with a held-out test item: score the entire item set
+//! given the history `train + val` (the paper adds validation items back
+//! for the final measurement), mask everything the user already
+//! interacted with (the paper never recommends repeats, §III-C.1), and
+//! record the rank of the ground-truth item. Users are sharded across
+//! threads — models are `Sync` and scoring is read-only.
+
+use sccf_data::LeaveOneOut;
+use sccf_models::Recommender;
+use sccf_util::topk::rank_of;
+
+use crate::metrics::MetricAccumulator;
+
+/// Which held-out item to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalTarget {
+    /// The last item, with `train + val` as history (the paper's test
+    /// measurement).
+    Test,
+    /// The second-to-last item, with `train` as history (used for
+    /// hyper-parameter tuning / early stopping).
+    Validation,
+}
+
+/// Evaluation output: metric accumulator plus protocol metadata.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    pub model: String,
+    pub dataset: String,
+    pub target: EvalTarget,
+    pub metrics: MetricAccumulator,
+}
+
+/// A scoring function: user id + history → full-catalog scores. Wrapping
+/// this (instead of `Recommender` directly) lets the SCCF framework and
+/// ad-hoc scorers share the protocol.
+pub trait Scorer: Sync {
+    fn score(&self, user: u32, history: &[u32]) -> Vec<f32>;
+}
+
+impl<M: Recommender + ?Sized> Scorer for M {
+    fn score(&self, user: u32, history: &[u32]) -> Vec<f32> {
+        self.score_all(user, history)
+    }
+}
+
+/// Closure adapter for [`Scorer`].
+pub struct FnScorer<F: Fn(u32, &[u32]) -> Vec<f32> + Sync>(pub F);
+
+impl<F: Fn(u32, &[u32]) -> Vec<f32> + Sync> Scorer for FnScorer<F> {
+    fn score(&self, user: u32, history: &[u32]) -> Vec<f32> {
+        self.0(user, history)
+    }
+}
+
+/// Evaluate a scorer under the protocol. `ks` are the report cutoffs
+/// (the paper uses 20/50/100). `threads` ≤ 1 runs single-threaded.
+pub fn evaluate<S: Scorer + ?Sized>(
+    scorer: &S,
+    split: &LeaveOneOut,
+    target: EvalTarget,
+    ks: &[usize],
+    threads: usize,
+    model_name: &str,
+    dataset_name: &str,
+) -> EvalResult {
+    let users: Vec<u32> = match target {
+        EvalTarget::Test => split.test_users(),
+        EvalTarget::Validation => split.val_users(),
+    };
+
+    let eval_user = |acc: &mut MetricAccumulator, u: u32| {
+        let (history, truth) = match target {
+            EvalTarget::Test => (split.train_plus_val(u), split.test_item(u).unwrap()),
+            EvalTarget::Validation => (split.train_seq(u).to_vec(), split.val_item(u).unwrap()),
+        };
+        let mut scores = scorer.score(u, &history);
+        debug_assert_eq!(scores.len(), split.n_items());
+        // never recommend items already interacted with
+        for &i in &history {
+            scores[i as usize] = f32::NEG_INFINITY;
+        }
+        acc.push_rank(rank_of(&scores, truth));
+    };
+
+    let metrics = if threads <= 1 || users.len() < 2 * threads {
+        let mut acc = MetricAccumulator::new(ks);
+        for &u in &users {
+            eval_user(&mut acc, u);
+        }
+        acc
+    } else {
+        let chunk = users.len().div_ceil(threads);
+        let mut partials: Vec<MetricAccumulator> = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = users
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move |_| {
+                        let mut acc = MetricAccumulator::new(ks);
+                        for &u in shard {
+                            eval_user(&mut acc, u);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("evaluation shard panicked"));
+            }
+        })
+        .expect("evaluation scope failed");
+        let mut acc = MetricAccumulator::new(ks);
+        for p in &partials {
+            acc.merge(p);
+        }
+        acc
+    };
+
+    EvalResult {
+        model: model_name.to_string(),
+        dataset: dataset_name.to_string(),
+        target,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccf_data::{Dataset, Interaction};
+
+    /// Oracle scorer: gives the test item the top score. HR@1 must be 1.
+    struct Oracle {
+        split: LeaveOneOut,
+    }
+
+    impl Scorer for Oracle {
+        fn score(&self, user: u32, _history: &[u32]) -> Vec<f32> {
+            let mut s = vec![0.0f32; self.split.n_items()];
+            if let Some(t) = self.split.test_item(user) {
+                s[t as usize] = 1.0;
+            }
+            s
+        }
+    }
+
+    fn data() -> Dataset {
+        let mut inter = Vec::new();
+        for u in 0..8u32 {
+            for t in 0..5i64 {
+                inter.push(Interaction {
+                    user: u,
+                    item: ((u as i64 + t) % 10) as u32,
+                    ts: t,
+                });
+            }
+        }
+        Dataset::from_interactions("t", 8, 10, &inter, None)
+    }
+
+    #[test]
+    fn oracle_scores_perfectly() {
+        let d = data();
+        let split = LeaveOneOut::split(&d);
+        let oracle = Oracle {
+            split: split.clone(),
+        };
+        let res = evaluate(&oracle, &split, EvalTarget::Test, &[1, 5], 1, "oracle", "t");
+        assert_eq!(res.metrics.hr(1), 1.0);
+        assert_eq!(res.metrics.ndcg(1), 1.0);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let d = data();
+        let split = LeaveOneOut::split(&d);
+        let oracle = Oracle {
+            split: split.clone(),
+        };
+        let serial = evaluate(&oracle, &split, EvalTarget::Test, &[1], 1, "o", "t");
+        let parallel = evaluate(&oracle, &split, EvalTarget::Test, &[1], 4, "o", "t");
+        assert_eq!(serial.metrics.n_users(), parallel.metrics.n_users());
+        assert_eq!(serial.metrics.hr(1), parallel.metrics.hr(1));
+    }
+
+    /// A scorer that loves an item the user already consumed: masking
+    /// must prevent it from being recommended.
+    struct RepeatLover;
+
+    impl Scorer for RepeatLover {
+        fn score(&self, _user: u32, history: &[u32]) -> Vec<f32> {
+            let mut s = vec![0.0f32; 10];
+            if let Some(&first) = history.first() {
+                s[first as usize] = 100.0;
+            }
+            s
+        }
+    }
+
+    #[test]
+    fn history_items_are_masked() {
+        let d = data();
+        let split = LeaveOneOut::split(&d);
+        let res = evaluate(&RepeatLover, &split, EvalTarget::Test, &[1], 1, "r", "t");
+        // the loved item is masked, so it can never produce a hit@1 unless
+        // the test item ties at 0 — with ties broken by id the hit rate
+        // stays strictly below 1
+        assert!(res.metrics.hr(1) < 1.0);
+    }
+
+    #[test]
+    fn validation_target_uses_train_history() {
+        let d = data();
+        let split = LeaveOneOut::split(&d);
+        let oracle = Oracle {
+            split: split.clone(),
+        };
+        // oracle boosts the *test* item; under Validation the measured
+        // item is the val item, so HR@1 should not be perfect
+        let res = evaluate(&oracle, &split, EvalTarget::Validation, &[1], 1, "o", "t");
+        assert!(res.metrics.hr(1) < 1.0);
+        assert!(res.metrics.n_users() > 0);
+    }
+}

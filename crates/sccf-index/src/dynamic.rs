@@ -1,0 +1,167 @@
+//! Concurrent, updatable user-vector index for real-time serving.
+//!
+//! The serving loop of the paper (§III-C.2) interleaves two operations on
+//! the user index: *update* (a user clicked; her freshly-inferred vector
+//! replaces the old one) and *search* (find β nearest users for a
+//! recommendation request). [`DynamicIndex`] wraps a [`FlatIndex`] in a
+//! `parking_lot::RwLock` so many request threads can search while updates
+//! take brief exclusive locks — the same reader/writer pattern a
+//! production vector store uses.
+
+use parking_lot::RwLock;
+
+use sccf_util::topk::Scored;
+
+use crate::flat::FlatIndex;
+use crate::metric::Metric;
+
+/// Thread-safe updatable vector index with fixed capacity (one slot per
+/// user id).
+#[derive(Debug)]
+pub struct DynamicIndex {
+    inner: RwLock<FlatIndex>,
+}
+
+impl DynamicIndex {
+    /// Create with `n` zero vectors, one per id in `0..n`.
+    pub fn with_capacity(n: usize, dim: usize, metric: Metric) -> Self {
+        let mut idx = FlatIndex::new(dim, metric);
+        let zero = vec![0.0f32; dim];
+        for _ in 0..n {
+            idx.add(&zero);
+        }
+        Self {
+            inner: RwLock::new(idx),
+        }
+    }
+
+    /// Create from pre-computed vectors (row-major slab).
+    pub fn from_vectors(vectors: &[f32], dim: usize, metric: Metric) -> Self {
+        let mut idx = FlatIndex::new(dim, metric);
+        idx.add_batch(vectors);
+        Self {
+            inner: RwLock::new(idx),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn dim(&self) -> usize {
+        self.inner.read().dim()
+    }
+
+    /// Replace the vector for `id` (the real-time user-embedding refresh).
+    pub fn update(&self, id: u32, v: &[f32]) {
+        self.inner.write().update(id, v);
+    }
+
+    /// Snapshot of the stored vector.
+    pub fn vector(&self, id: u32) -> Vec<f32> {
+        self.inner.read().vector(id).to_vec()
+    }
+
+    /// Top-k nearest ids to `query`, excluding `exclude` (Eq. 11's
+    /// `u ∉ N_u`).
+    pub fn search(&self, query: &[f32], k: usize, exclude: Option<u32>) -> Vec<Scored> {
+        self.inner.read().search(query, k, exclude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn update_then_search_sees_new_vector() {
+        let idx = DynamicIndex::with_capacity(3, 2, Metric::Cosine);
+        idx.update(0, &[1.0, 0.0]);
+        idx.update(1, &[0.0, 1.0]);
+        idx.update(2, &[0.7, 0.7]);
+        let hits = idx.search(&[1.0, 0.0], 2, Some(0));
+        assert_eq!(hits[0].id, 2);
+        assert_eq!(hits[1].id, 1);
+    }
+
+    #[test]
+    fn zero_slots_are_invisible_under_cosine() {
+        let idx = DynamicIndex::with_capacity(4, 2, Metric::Cosine);
+        idx.update(3, &[1.0, 1.0]);
+        let hits = idx.search(&[1.0, 1.0], 4, None);
+        // zero vectors have undefined cosine and are skipped entirely
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 3);
+    }
+
+    #[test]
+    fn concurrent_search_and_update() {
+        let idx = Arc::new(DynamicIndex::with_capacity(64, 8, Metric::InnerProduct));
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..200u32 {
+                    let id = (t * 16 + round % 16) % 64;
+                    let v: Vec<f32> = (0..8).map(|j| ((id + j + round) % 7) as f32).collect();
+                    idx.update(id, &v);
+                    let hits = idx.search(&v, 5, None);
+                    assert!(hits.len() <= 5);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 64);
+    }
+
+    #[test]
+    fn from_vectors_roundtrip() {
+        let idx = DynamicIndex::from_vectors(&[1.0, 2.0, 3.0, 4.0], 2, Metric::InnerProduct);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.vector(1), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn updates_are_atomic_no_torn_vectors() {
+        // Writers store constant-valued vectors (all elements equal);
+        // under the RwLock a reader must never observe a mix of two
+        // writes. This is the property the real-time engine's
+        // neighbor-search correctness rests on.
+        let idx = Arc::new(DynamicIndex::with_capacity(4, 16, Metric::InnerProduct));
+        idx.update(0, &[1.0; 16]);
+        let writer = {
+            let idx = Arc::clone(&idx);
+            std::thread::spawn(move || {
+                for round in 1..500u32 {
+                    idx.update(0, &[round as f32; 16]);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let idx = Arc::clone(&idx);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let v = idx.vector(0);
+                        let first = v[0];
+                        assert!(
+                            v.iter().all(|&x| x == first),
+                            "torn read observed: {v:?}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}

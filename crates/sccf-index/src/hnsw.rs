@@ -1,0 +1,461 @@
+//! HNSW (Hierarchical Navigable Small World) graph index — the
+//! logarithmic-time ANN structure used in production vector stores
+//! (Malkov & Yashunin 2018), completing the Faiss-role substrate next to
+//! the exact [`FlatIndex`](crate::flat::FlatIndex) and the
+//! [`IvfIndex`](crate::ivf::IvfIndex).
+//!
+//! Nodes are inserted with a geometrically distributed top level; search
+//! descends greedily through the upper layers and runs a best-first
+//! beam (`ef`) at the bottom layer. Neighbor selection uses Malkov &
+//! Yashunin's diversity heuristic (their Algorithm 4): a candidate is
+//! linked only if it is closer to the new node than to any
+//! already-selected neighbor, with pruned candidates refilled when slots
+//! remain. On clustered data — exactly what user embeddings look like
+//! (interest groups) — the naive top-M rule wires each cluster into an
+//! isolated clique and search cannot leave the entry cluster; the
+//! heuristic keeps inter-cluster bridges and restores recall (see the
+//! `clustered_data_recall` regression test).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sccf_util::hash::FxHashSet;
+use sccf_util::topk::{Scored, TopK};
+
+use crate::metric::Metric;
+
+/// HNSW build/search parameters.
+#[derive(Debug, Clone)]
+pub struct HnswConfig {
+    /// Max neighbors per node per upper layer (layer 0 keeps `2·m`).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Default beam width during search (raise for recall).
+    pub ef_search: usize,
+    /// Level sampling seed.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 42,
+        }
+    }
+}
+
+/// Approximate nearest-neighbor graph index.
+pub struct HnswIndex {
+    dim: usize,
+    metric: Metric,
+    cfg: HnswConfig,
+    data: Vec<f32>,
+    /// Per-node top level.
+    levels: Vec<u8>,
+    /// `graph[l][node]` = neighbor ids at layer `l` (empty above a node's
+    /// level).
+    graph: Vec<Vec<Vec<u32>>>,
+    entry: Option<u32>,
+    rng: StdRng,
+    /// 1 / ln(m): the standard level-sampling multiplier.
+    level_mult: f64,
+}
+
+impl HnswIndex {
+    pub fn new(dim: usize, metric: Metric, cfg: HnswConfig) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(cfg.m >= 2, "m must be at least 2");
+        let level_mult = 1.0 / (cfg.m as f64).ln();
+        Self {
+            dim,
+            metric,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            data: Vec::new(),
+            levels: Vec::new(),
+            graph: Vec::new(),
+            entry: None,
+            level_mult,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn vector(&self, id: u32) -> &[f32] {
+        let start = id as usize * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    #[inline]
+    fn score(&self, q: &[f32], id: u32) -> f32 {
+        self.metric.score(q, self.vector(id))
+    }
+
+    fn max_neighbors(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.cfg.m * 2
+        } else {
+            self.cfg.m
+        }
+    }
+
+    fn sample_level(&mut self) -> usize {
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        ((-u.ln()) * self.level_mult).floor() as usize
+    }
+
+    /// Greedy best-first search restricted to one layer; returns up to
+    /// `ef` best candidates (descending score).
+    fn search_layer(&self, q: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<Scored> {
+        let mut visited: FxHashSet<u32> = sccf_util::hash::fx_set_with_capacity(ef * 4);
+        visited.insert(entry);
+        let entry_scored = Scored {
+            id: entry,
+            score: self.score(q, entry),
+        };
+        // frontier: max-heap by score (explore best first)
+        let mut frontier = std::collections::BinaryHeap::new();
+        frontier.push(entry_scored);
+        let mut best = TopK::new(ef);
+        best.push(entry_scored.id, entry_scored.score);
+        while let Some(cand) = frontier.pop() {
+            if let Some(threshold) = best.threshold() {
+                if cand.score < threshold {
+                    break; // no candidate can improve the beam anymore
+                }
+            }
+            for &n in &self.graph[layer][cand.id as usize] {
+                if !visited.insert(n) {
+                    continue;
+                }
+                let s = self.score(q, n);
+                if best.threshold().is_none_or(|t| s > t) {
+                    frontier.push(Scored { id: n, score: s });
+                    best.push(n, s);
+                }
+            }
+        }
+        best.into_sorted_vec()
+    }
+
+    /// Diversity-aware neighbor selection (Malkov & Yashunin, Alg. 4):
+    /// walk `candidates` best-first and keep `c` only if it is more
+    /// similar to `base` than to every neighbor kept so far; refill
+    /// leftover slots from the pruned list (the `keepPrunedConnections`
+    /// variant). This is what keeps bridges between clusters alive.
+    fn select_diverse(&self, candidates: &[Scored], max_n: usize) -> Vec<u32> {
+        let mut selected: Vec<u32> = Vec::with_capacity(max_n);
+        let mut pruned: Vec<u32> = Vec::new();
+        for c in candidates {
+            if selected.len() >= max_n {
+                break;
+            }
+            let cv = self.vector(c.id);
+            let diverse = selected
+                .iter()
+                .all(|&s| self.metric.score(cv, self.vector(s)) < c.score);
+            if diverse {
+                selected.push(c.id);
+            } else {
+                pruned.push(c.id);
+            }
+        }
+        for p in pruned {
+            if selected.len() >= max_n {
+                break;
+            }
+            selected.push(p);
+        }
+        selected
+    }
+
+    /// Insert a vector; its id is `len()` before the call.
+    pub fn add(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let id = self.len() as u32;
+        let level = self.sample_level();
+        self.data.extend_from_slice(v);
+        self.levels.push(level as u8);
+        while self.graph.len() <= level {
+            let mut layer = Vec::with_capacity(self.len());
+            layer.resize(self.len().saturating_sub(1), Vec::new());
+            self.graph.push(layer);
+        }
+        let n = self.len();
+        for layer in &mut self.graph {
+            layer.resize(n, Vec::new());
+        }
+
+        let Some(mut ep) = self.entry else {
+            self.entry = Some(id);
+            return id;
+        };
+
+        let top = self.graph.len() - 1;
+        let ep_level = self.levels[ep as usize] as usize;
+        // greedy descent through layers above the new node's level
+        for l in ((level + 1)..=ep_level.min(top)).rev() {
+            ep = self.greedy_step(v, ep, l);
+        }
+        // connect at each layer from min(level, top) down to 0
+        for l in (0..=level.min(top)).rev() {
+            let found = self.search_layer(v, ep, self.cfg.ef_construction, l);
+            let max_n = self.max_neighbors(l);
+            let neighbors = self.select_diverse(&found, max_n);
+            for &n in &neighbors {
+                self.graph[l][id as usize].push(n);
+                self.graph[l][n as usize].push(id);
+                // re-select the neighbor's adjacency if it overflowed
+                if self.graph[l][n as usize].len() > max_n {
+                    let nv = self.vector(n).to_vec();
+                    let mut scored: Vec<Scored> = self.graph[l][n as usize]
+                        .iter()
+                        .map(|&x| Scored {
+                            id: x,
+                            score: self.metric.score(&nv, self.vector(x)),
+                        })
+                        .collect();
+                    scored.sort_unstable_by(|a, b| b.cmp(a));
+                    self.graph[l][n as usize] = self.select_diverse(&scored, max_n);
+                }
+            }
+            if let Some(first) = found.first() {
+                ep = first.id;
+            }
+        }
+        // new global entry point if this node tops the hierarchy
+        if level > self.levels[self.entry.expect("non-empty") as usize] as usize {
+            self.entry = Some(id);
+        }
+        id
+    }
+
+    fn greedy_step(&self, q: &[f32], mut ep: u32, layer: usize) -> u32 {
+        let mut best = self.score(q, ep);
+        loop {
+            let mut improved = false;
+            for &n in &self.graph[layer][ep as usize] {
+                let s = self.score(q, n);
+                if s > best {
+                    best = s;
+                    ep = n;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return ep;
+            }
+        }
+    }
+
+    /// Approximate top-k search with the default beam width.
+    pub fn search(&self, query: &[f32], k: usize, exclude: Option<u32>) -> Vec<Scored> {
+        self.search_with_ef(query, k, exclude, self.cfg.ef_search)
+    }
+
+    /// Approximate top-k with an explicit beam width `ef ≥ k`.
+    pub fn search_with_ef(
+        &self,
+        query: &[f32],
+        k: usize,
+        exclude: Option<u32>,
+        ef: usize,
+    ) -> Vec<Scored> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let Some(mut ep) = self.entry else {
+            return Vec::new();
+        };
+        let top = self.graph.len().saturating_sub(1);
+        let ep_level = self.levels[ep as usize] as usize;
+        for l in (1..=ep_level.min(top)).rev() {
+            ep = self.greedy_step(query, ep, l);
+        }
+        let mut out = self.search_layer(query, ep, ef.max(k), 0);
+        if let Some(ex) = exclude {
+            out.retain(|s| s.id != ex);
+        }
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+
+    fn random_slab(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    fn build(n: usize, dim: usize, metric: Metric) -> (HnswIndex, FlatIndex) {
+        let slab = random_slab(n, dim, 7);
+        let mut hnsw = HnswIndex::new(dim, metric, HnswConfig::default());
+        let mut flat = FlatIndex::new(dim, metric);
+        for v in slab.chunks_exact(dim) {
+            hnsw.add(v);
+            flat.add(v);
+        }
+        (hnsw, flat)
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let h = HnswIndex::new(4, Metric::InnerProduct, HnswConfig::default());
+        assert!(h.search(&[0.0; 4], 5, None).is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let mut h = HnswIndex::new(2, Metric::InnerProduct, HnswConfig::default());
+        h.add(&[1.0, 0.0]);
+        let hits = h.search(&[1.0, 0.0], 3, None);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn recall_against_flat() {
+        let (hnsw, flat) = build(2000, 16, Metric::Cosine);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for _ in 0..30 {
+            let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let exact: FxHashSet<u32> = flat.search(&q, 10, None).iter().map(|s| s.id).collect();
+            let approx = hnsw.search_with_ef(&q, 10, None, 128);
+            hits += approx.iter().filter(|s| exact.contains(&s.id)).count();
+            total += exact.len();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.85, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn higher_ef_does_not_reduce_recall() {
+        let (hnsw, flat) = build(1000, 8, Metric::InnerProduct);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut recall_at = |ef: usize| {
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            for qi in 0..20 {
+                let _ = qi;
+                let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let exact: FxHashSet<u32> =
+                    flat.search(&q, 5, None).iter().map(|s| s.id).collect();
+                hits += hnsw
+                    .search_with_ef(&q, 5, None, ef)
+                    .iter()
+                    .filter(|s| exact.contains(&s.id))
+                    .count();
+                total += 5;
+            }
+            hits as f64 / total as f64
+        };
+        let low = recall_at(8);
+        let high = recall_at(256);
+        assert!(high >= low - 0.05, "ef=8: {low}, ef=256: {high}");
+        assert!(high > 0.8, "high-beam recall too low: {high}");
+    }
+
+    #[test]
+    fn exclude_is_respected() {
+        let (hnsw, _) = build(200, 8, Metric::InnerProduct);
+        let q = hnsw.vector(17).to_vec();
+        let hits = hnsw.search(&q, 10, Some(17));
+        assert!(hits.iter().all(|s| s.id != 17));
+    }
+
+    #[test]
+    fn results_sorted_descending() {
+        let (hnsw, _) = build(500, 8, Metric::Cosine);
+        let q = random_slab(1, 8, 11);
+        let hits = hnsw.search(&q, 20, None);
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+        assert!(hits.len() <= 20);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let slab = random_slab(300, 8, 13);
+        let build_once = || {
+            let mut h = HnswIndex::new(8, Metric::InnerProduct, HnswConfig::default());
+            for v in slab.chunks_exact(8) {
+                h.add(v);
+            }
+            h
+        };
+        let a = build_once();
+        let b = build_once();
+        let q = &slab[..8];
+        let ha: Vec<u32> = a.search(q, 5, None).iter().map(|s| s.id).collect();
+        let hb: Vec<u32> = b.search(q, 5, None).iter().map(|s| s.id).collect();
+        assert_eq!(ha, hb);
+    }
+
+    #[test]
+    fn clustered_data_recall() {
+        // Regression: with naive top-M neighbor selection, tight clusters
+        // become isolated cliques and beam search cannot leave the entry
+        // cluster (measured recall@100 ≈ 0.31 on this workload). The
+        // diversity heuristic must keep inter-cluster bridges.
+        let (n, dim, clusters) = (2000usize, 16usize, 12usize);
+        let mut rng = StdRng::seed_from_u64(21);
+        let centers: Vec<Vec<f32>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let mut slab = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            let c = &centers[i % clusters];
+            slab.extend(c.iter().map(|&v| v + rng.gen_range(-0.25f32..0.25)));
+        }
+        let mut hnsw = HnswIndex::new(dim, Metric::Cosine, HnswConfig::default());
+        let mut flat = FlatIndex::new(dim, Metric::Cosine);
+        for v in slab.chunks_exact(dim) {
+            hnsw.add(v);
+            flat.add(v);
+        }
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let exact: FxHashSet<u32> =
+                flat.search(&q, 100, None).iter().map(|s| s.id).collect();
+            hits += hnsw
+                .search_with_ef(&q, 100, None, 128)
+                .iter()
+                .filter(|s| exact.contains(&s.id))
+                .count();
+            total += exact.len();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.8, "clustered recall@100 = {recall}");
+    }
+
+    #[test]
+    fn degree_bounds_hold() {
+        let (hnsw, _) = build(800, 8, Metric::InnerProduct);
+        for (l, layer) in hnsw.graph.iter().enumerate() {
+            let cap = hnsw.max_neighbors(l);
+            for adj in layer {
+                assert!(adj.len() <= cap, "layer {l} degree {} > {cap}", adj.len());
+            }
+        }
+    }
+}

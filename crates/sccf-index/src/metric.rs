@@ -1,0 +1,79 @@
+//! Similarity metrics for vector search.
+//!
+//! The paper's user-based component ranks neighbors by cosine similarity
+//! of user representations (Eq. 11) and the UI component ranks items by
+//! inner product (Eq. 10); both are served by the same index machinery.
+//! Scores are "larger is better" for every metric (L2 is negated).
+
+use sccf_tensor::mat::{dot, norm};
+
+/// Vector similarity used by an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Raw inner product — the UI retrieval score `m_u · q_i` (Eq. 10).
+    InnerProduct,
+    /// Cosine similarity — the neighbor score `cos(m_u, m_v)` (Eq. 11).
+    Cosine,
+    /// Negated squared Euclidean distance.
+    L2,
+}
+
+impl Metric {
+    /// Similarity between two vectors (higher = more similar).
+    #[inline]
+    pub fn score(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::InnerProduct => dot(a, b),
+            Metric::Cosine => {
+                let na = norm(a);
+                let nb = norm(b);
+                if na <= f32::EPSILON || nb <= f32::EPSILON {
+                    0.0
+                } else {
+                    dot(a, b) / (na * nb)
+                }
+            }
+            Metric::L2 => {
+                let mut acc = 0.0f32;
+                for (x, y) in a.iter().zip(b) {
+                    let d = x - y;
+                    acc += d * d;
+                }
+                -acc
+            }
+        }
+    }
+
+    /// Whether stored vectors should be pre-normalized so the hot path can
+    /// use a plain dot product (cosine against a normalized query).
+    pub fn normalizes_storage(&self) -> bool {
+        matches!(self, Metric::Cosine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_product() {
+        assert_eq!(Metric::InnerProduct.score(&[1., 2.], &[3., 4.]), 11.0);
+    }
+
+    #[test]
+    fn cosine_bounds_and_degenerate() {
+        let s = Metric::Cosine.score(&[1., 0.], &[1., 0.]);
+        assert!((s - 1.0).abs() < 1e-6);
+        let o = Metric::Cosine.score(&[1., 0.], &[0., 1.]);
+        assert!(o.abs() < 1e-6);
+        assert_eq!(Metric::Cosine.score(&[0., 0.], &[1., 0.]), 0.0);
+    }
+
+    #[test]
+    fn l2_is_negated_distance() {
+        assert_eq!(Metric::L2.score(&[0., 0.], &[3., 4.]), -25.0);
+        assert_eq!(Metric::L2.score(&[1., 1.], &[1., 1.]), 0.0);
+        // closer pair scores higher
+        assert!(Metric::L2.score(&[0.], &[1.]) > Metric::L2.score(&[0.], &[2.]));
+    }
+}

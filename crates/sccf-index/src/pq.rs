@@ -1,0 +1,379 @@
+//! Product quantization (PQ) — Jégou et al.'s compressed vector index,
+//! the Faiss `IndexPQ` role.
+//!
+//! The `d`-dimensional space is split into `m` subspaces of `d/m` dims;
+//! each subspace gets its own k-means codebook of `k ≤ 256` centroids, so
+//! a vector compresses to `m` bytes — far below SQ8's `d` bytes — with
+//! graceful recall loss. Search uses the asymmetric distance computation
+//! (ADC): per query, a `m × k` lookup table of subspace scores is built
+//! once, after which each row's score is `m` table reads and adds.
+//!
+//! Inner-product scores decompose exactly across subspaces
+//! (`q·x = Σ_s q_s·x_s`), so ADC is unbiased up to quantization error;
+//! cosine is served by normalizing stored vectors (and the query) first.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sccf_util::topk::{Scored, TopK};
+
+use crate::kmeans::{kmeans, KMeans};
+use crate::metric::Metric;
+
+/// PQ build parameters.
+#[derive(Debug, Clone)]
+pub struct PqConfig {
+    /// Number of subspaces (`d` must divide by it). Memory per vector is
+    /// exactly `m` bytes.
+    pub m: usize,
+    /// Centroids per subspace codebook (≤ 256 so codes fit one byte).
+    pub k: usize,
+    /// k-means iterations per codebook.
+    pub iters: usize,
+    /// Codebook training seed.
+    pub seed: u64,
+}
+
+impl Default for PqConfig {
+    fn default() -> Self {
+        Self {
+            m: 8,
+            k: 256,
+            iters: 12,
+            seed: 42,
+        }
+    }
+}
+
+/// Product-quantized index with asymmetric (ADC) search.
+pub struct PqIndex {
+    dim: usize,
+    dsub: usize,
+    metric: Metric,
+    cfg: PqConfig,
+    /// One codebook per subspace.
+    codebooks: Vec<KMeans>,
+    /// `n × m` codes, row-major.
+    codes: Vec<u8>,
+    n: usize,
+}
+
+impl PqIndex {
+    /// Build from row-major vectors; codebooks are trained per subspace
+    /// on the same data. For [`Metric::Cosine`], vectors are normalized
+    /// before training/encoding.
+    pub fn build(data: &[f32], dim: usize, metric: Metric, cfg: PqConfig) -> Self {
+        assert!(dim > 0 && data.len().is_multiple_of(dim), "bad data slab");
+        assert!(cfg.m >= 1 && dim.is_multiple_of(cfg.m), "m must divide dim");
+        assert!((1..=256).contains(&cfg.k), "k must be in 1..=256");
+        let n = data.len() / dim;
+        assert!(n > 0, "PQ training needs vectors");
+        let dsub = dim / cfg.m;
+
+        let prepared: Vec<f32> = if metric.normalizes_storage() {
+            let mut out = Vec::with_capacity(data.len());
+            for row in data.chunks_exact(dim) {
+                let nrm = sccf_tensor::mat::norm(row);
+                if nrm <= f32::EPSILON {
+                    out.extend_from_slice(row);
+                } else {
+                    out.extend(row.iter().map(|&v| v / nrm));
+                }
+            }
+            out
+        } else {
+            data.to_vec()
+        };
+
+        // train one codebook per subspace on that subspace's columns
+        let k = cfg.k.min(n);
+        let mut codebooks = Vec::with_capacity(cfg.m);
+        for s in 0..cfg.m {
+            let mut sub = Vec::with_capacity(n * dsub);
+            for row in prepared.chunks_exact(dim) {
+                sub.extend_from_slice(&row[s * dsub..(s + 1) * dsub]);
+            }
+            let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(s as u64));
+            codebooks.push(kmeans(&sub, dsub, k, cfg.iters, &mut rng));
+        }
+
+        let mut codes = vec![0u8; n * cfg.m];
+        for (r, row) in prepared.chunks_exact(dim).enumerate() {
+            for s in 0..cfg.m {
+                let sub = &row[s * dsub..(s + 1) * dsub];
+                codes[r * cfg.m + s] = codebooks[s].assign(sub) as u8;
+            }
+        }
+        Self {
+            dim,
+            dsub,
+            metric,
+            cfg,
+            codebooks,
+            codes,
+            n,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Bytes of code storage: `n × m` (plus the fixed-size codebooks).
+    pub fn storage_bytes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Decoded (reconstructed) vector for `id` — the concatenation of its
+    /// subspace centroids.
+    pub fn vector(&self, id: u32) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dim);
+        let row = &self.codes[id as usize * self.cfg.m..(id as usize + 1) * self.cfg.m];
+        for (s, &c) in row.iter().enumerate() {
+            out.extend_from_slice(self.codebooks[s].centroid(c as usize));
+        }
+        out
+    }
+
+    /// Re-encode the vector for `id` under the existing codebooks
+    /// (real-time updates do not retrain).
+    pub fn update(&mut self, id: u32, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let prepared: Vec<f32> = if self.metric.normalizes_storage() {
+            let nrm = sccf_tensor::mat::norm(v);
+            if nrm > f32::EPSILON {
+                v.iter().map(|&x| x / nrm).collect()
+            } else {
+                v.to_vec()
+            }
+        } else {
+            v.to_vec()
+        };
+        for s in 0..self.cfg.m {
+            let sub = &prepared[s * self.dsub..(s + 1) * self.dsub];
+            self.codes[id as usize * self.cfg.m + s] = self.codebooks[s].assign(sub) as u8;
+        }
+    }
+
+    /// ADC top-k: build the per-query subspace lookup table, then scan
+    /// codes with `m` adds per row.
+    pub fn search(&self, query: &[f32], k: usize, exclude: Option<u32>) -> Vec<Scored> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let q: Vec<f32> = match self.metric {
+            Metric::Cosine => {
+                let nrm = sccf_tensor::mat::norm(query);
+                if nrm <= f32::EPSILON {
+                    return Vec::new();
+                }
+                query.iter().map(|&v| v / nrm).collect()
+            }
+            _ => query.to_vec(),
+        };
+        // LUT[s][c] = subspace score of centroid c against q's subspace.
+        // IP and cosine decompose additively; L2 decomposes as a sum of
+        // per-subspace (negated) squared distances.
+        let kk = self.codebooks[0].k;
+        let mut lut = vec![0.0f32; self.cfg.m * kk];
+        for s in 0..self.cfg.m {
+            let qs = &q[s * self.dsub..(s + 1) * self.dsub];
+            for c in 0..self.codebooks[s].k {
+                let score = match self.metric {
+                    Metric::InnerProduct | Metric::Cosine => {
+                        sccf_tensor::mat::dot(qs, self.codebooks[s].centroid(c))
+                    }
+                    Metric::L2 => Metric::L2.score(qs, self.codebooks[s].centroid(c)),
+                };
+                lut[s * kk + c] = score;
+            }
+        }
+        let mut tk = TopK::new(k);
+        for (id, row) in self.codes.chunks_exact(self.cfg.m).enumerate() {
+            if exclude == Some(id as u32) {
+                continue;
+            }
+            let mut acc = 0.0f32;
+            for (s, &c) in row.iter().enumerate() {
+                acc += lut[s * kk + c as usize];
+            }
+            tk.push(id as u32, acc);
+        }
+        tk.into_sorted_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::Rng;
+
+    fn clustered(rng: &mut StdRng, n: usize, d: usize, clusters: usize) -> Vec<f32> {
+        let centers: Vec<Vec<f32>> = (0..clusters)
+            .map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let mut out = Vec::with_capacity(n * d);
+        for i in 0..n {
+            let c = &centers[i % clusters];
+            out.extend(c.iter().map(|&v| v + rng.gen_range(-0.1..0.1)));
+        }
+        out
+    }
+
+    #[test]
+    fn adc_is_exact_when_data_equals_centroids() {
+        // k ≥ distinct points ⇒ every point is its own centroid ⇒ ADC
+        // reproduces exact inner products.
+        let data = vec![
+            1.0, 0.0, 0.0, 1.0, //
+            0.0, 1.0, 1.0, 0.0, //
+            0.5, 0.5, 0.5, 0.5,
+        ];
+        let pq = PqIndex::build(
+            &data,
+            4,
+            Metric::InnerProduct,
+            PqConfig {
+                m: 2,
+                k: 3,
+                iters: 30,
+                seed: 1,
+            },
+        );
+        let q = [1.0, 0.0, 0.0, 1.0];
+        let hits = pq.search(&q, 3, None);
+        assert_eq!(hits[0].id, 0);
+        assert!((hits[0].score - 2.0).abs() < 1e-4, "score {}", hits[0].score);
+    }
+
+    #[test]
+    fn recall_reasonable_on_clustered_data() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (n, d) = (600usize, 16usize);
+        let data = clustered(&mut rng, n, d, 10);
+        let mut flat = FlatIndex::new(d, Metric::Cosine);
+        flat.add_batch(&data);
+        let pq = PqIndex::build(
+            &data,
+            d,
+            Metric::Cosine,
+            PqConfig {
+                m: 4,
+                k: 64,
+                ..Default::default()
+            },
+        );
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for _ in 0..15 {
+            let q: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let exact: Vec<u32> = flat.search(&q, 30, None).iter().map(|s| s.id).collect();
+            let approx: Vec<u32> = pq.search(&q, 30, None).iter().map(|s| s.id).collect();
+            hits += exact.iter().filter(|id| approx.contains(id)).count();
+            total += exact.len();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.7, "PQ recall@30 = {recall}");
+    }
+
+    #[test]
+    fn memory_is_m_bytes_per_vector() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let data = clustered(&mut rng, 200, 32, 5);
+        let pq = PqIndex::build(
+            &data,
+            32,
+            Metric::InnerProduct,
+            PqConfig {
+                m: 8,
+                k: 16,
+                ..Default::default()
+            },
+        );
+        assert_eq!(pq.storage_bytes(), 200 * 8); // vs 200·32·4 = 25 600 f32 bytes
+    }
+
+    #[test]
+    fn more_subspaces_reduce_reconstruction_error() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = clustered(&mut rng, 300, 16, 7);
+        let err = |m: usize| {
+            let pq = PqIndex::build(
+                &data,
+                16,
+                Metric::InnerProduct,
+                PqConfig {
+                    m,
+                    k: 16,
+                    ..Default::default()
+                },
+            );
+            let mut acc = 0.0f64;
+            for (i, row) in data.chunks_exact(16).enumerate() {
+                let rec = pq.vector(i as u32);
+                acc += row
+                    .iter()
+                    .zip(&rec)
+                    .map(|(a, b)| ((a - b) * (a - b)) as f64)
+                    .sum::<f64>();
+            }
+            acc
+        };
+        let coarse = err(2);
+        let fine = err(8);
+        assert!(
+            fine < coarse,
+            "8 subspaces ({fine:.3}) should beat 2 ({coarse:.3})"
+        );
+    }
+
+    #[test]
+    fn update_reencodes_and_moves_in_ranking() {
+        let data = vec![
+            1.0, 0.0, //
+            0.9, 0.1, //
+            0.0, 1.0,
+        ];
+        let mut pq = PqIndex::build(
+            &data,
+            2,
+            Metric::InnerProduct,
+            PqConfig {
+                m: 1,
+                k: 3,
+                iters: 25,
+                seed: 2,
+            },
+        );
+        // move vector 2 to point along x; it should now rank first for an
+        // x-axis query (ties broken by id would still place 0/1 ahead, so
+        // use a slightly stronger vector)
+        pq.update(2, &[1.0, 0.0]);
+        let hits = pq.search(&[1.0, 0.0], 3, None);
+        let top_score = hits[0].score;
+        let id2_score = hits.iter().find(|s| s.id == 2).unwrap().score;
+        assert!((top_score - id2_score).abs() < 1e-5, "updated vector must tie the top");
+    }
+
+    #[test]
+    fn exclude_and_empty_query_paths() {
+        let data = vec![1.0, 0.0, 0.0, 1.0];
+        let pq = PqIndex::build(&data, 2, Metric::Cosine, PqConfig { m: 1, k: 2, ..Default::default() });
+        assert!(pq.search(&[0.0, 0.0], 2, None).is_empty(), "zero query has no cosine");
+        let hits = pq.search(&[1.0, 0.0], 2, Some(0));
+        assert!(hits.iter().all(|s| s.id != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "m must divide dim")]
+    fn rejects_indivisible_subspaces() {
+        let _ = PqIndex::build(&[0.0; 10], 5, Metric::L2, PqConfig { m: 2, k: 4, ..Default::default() });
+    }
+}

@@ -1,0 +1,185 @@
+//! BPR-MF (Rendle et al. 2009): matrix factorization trained with the
+//! pairwise Bayesian Personalized Ranking loss — the classic latent-factor
+//! baseline of Table II.
+//!
+//! Transductive: each user owns a free embedding row, so a new interaction
+//! cannot update the representation without more SGD. It therefore
+//! implements only [`Recommender`], never [`InductiveUiModel`](crate::traits::InductiveUiModel) — exactly
+//! the limitation (§II-C) that motivates SCCF.
+
+use sccf_data::{LeaveOneOut, NegativeSampler};
+use sccf_tensor::nn::Embedding;
+use sccf_tensor::optim::Adam;
+use sccf_tensor::{Initializer, Mat, ParamStore, Tape};
+use sccf_util::rng::{rng_for, streams};
+
+use crate::trainer::{shuffled_user_batches, EpochStats, TrainConfig};
+use crate::traits::Recommender;
+
+/// Trained BPR-MF model.
+pub struct BprMf {
+    store: ParamStore,
+    users: Embedding,
+    items: Embedding,
+    n_items: usize,
+}
+
+impl BprMf {
+    /// Train on the leave-one-out training split.
+    pub fn train(split: &LeaveOneOut, cfg: &TrainConfig) -> Self {
+        let n_users = split.n_users();
+        let n_items = split.n_items();
+        let mut store = ParamStore::new();
+        let mut init_rng = rng_for(cfg.seed, streams::MODEL_INIT);
+        let init = Initializer::paper_default();
+        let users = Embedding::new(&mut store, "bprmf.users", n_users, cfg.dim, init, &mut init_rng);
+        let items = Embedding::new(&mut store, "bprmf.items", n_items, cfg.dim, init, &mut init_rng);
+
+        let sampler = NegativeSampler::new(n_items);
+        let mut neg_rng = rng_for(cfg.seed, streams::NEG_SAMPLING);
+        let mut shuffle_rng = rng_for(cfg.seed, streams::TRAIN_SHUFFLE);
+        let steps = (n_users / cfg.batch_users.max(1)).max(1);
+        let mut adam = Adam::new(cfg.adam(steps));
+
+        for epoch in 0..cfg.epochs {
+            let mut stats = EpochStats {
+                epoch,
+                ..Default::default()
+            };
+            for batch in shuffled_user_batches(n_users, cfg.batch_users, &mut shuffle_rng) {
+                let mut grads = store.grads();
+                let mut batch_loss = 0.0f64;
+                let mut batch_examples = 0u64;
+                for &u in &batch {
+                    let seq = split.train_seq(u);
+                    if seq.is_empty() {
+                        continue;
+                    }
+                    let positives: Vec<u32> = seq.to_vec();
+                    let pos_set = positives.iter().copied().collect();
+                    let negs: Vec<u32> = (0..positives.len() * cfg.neg_k)
+                        .map(|_| sampler.sample(&mut neg_rng, &pos_set))
+                        .collect();
+                    // repeat each positive neg_k times to align rows
+                    let pos_rep: Vec<u32> = positives
+                        .iter()
+                        .flat_map(|&p| std::iter::repeat_n(p, cfg.neg_k))
+                        .collect();
+                    let uid_rep: Vec<u32> = vec![u; pos_rep.len()];
+
+                    let mut tape = Tape::new(&store);
+                    let ue = tape.gather(users.table, &uid_rep);
+                    let pe = tape.gather(items.table, &pos_rep);
+                    let ne = tape.gather(items.table, &negs);
+                    let pos_scores = tape.rows_dot(ue, pe);
+                    let neg_scores = tape.rows_dot(ue, ne);
+                    let loss = tape.bpr_loss(pos_scores, neg_scores);
+                    batch_loss += tape.scalar(loss) as f64;
+                    batch_examples += pos_rep.len() as u64;
+                    grads.merge(tape.backward(loss));
+                }
+                if batch_examples == 0 {
+                    continue;
+                }
+                grads.scale(1.0 / batch.len() as f32);
+                adam.step(&mut store, &grads);
+                stats.mean_loss += batch_loss;
+                stats.n_examples += batch_examples;
+            }
+            stats.mean_loss /= steps as f64;
+            stats.log("BPR-MF", cfg.verbose);
+        }
+        Self {
+            store,
+            users,
+            items,
+            n_items,
+        }
+    }
+
+    /// The learned user embedding (transductive lookup).
+    pub fn user_embedding(&self, user: u32) -> &[f32] {
+        self.users.row(&self.store, user)
+    }
+
+    /// The learned item table.
+    pub fn item_table(&self) -> &Mat {
+        self.store.value(self.items.table)
+    }
+}
+
+impl Recommender for BprMf {
+    fn name(&self) -> String {
+        "BPR-MF".into()
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    fn score_all(&self, user: u32, _history: &[u32]) -> Vec<f32> {
+        let ue = self.user_embedding(user);
+        let table = self.item_table();
+        (0..self.n_items)
+            .map(|i| sccf_tensor::dot(ue, table.row(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use sccf_data::{Dataset, Interaction};
+
+    /// Two disjoint user blocks consuming two disjoint item blocks:
+    /// any sane CF model must separate them.
+    fn block_dataset() -> Dataset {
+        let mut inter = Vec::new();
+        let mut rng = rng_for(1, 99);
+        for u in 0..16u32 {
+            let base = if u < 8 { 0u32 } else { 8 };
+            for t in 0..6 {
+                let item = base + rng.gen_range(0..8u32);
+                inter.push(Interaction {
+                    user: u,
+                    item,
+                    ts: t,
+                });
+            }
+        }
+        Dataset::from_interactions("blocks", 16, 16, &inter, None)
+    }
+
+    #[test]
+    fn learns_block_structure() {
+        let data = block_dataset();
+        let split = LeaveOneOut::split(&data);
+        let cfg = TrainConfig {
+            dim: 8,
+            epochs: 40,
+            batch_users: 4,
+            ..Default::default()
+        };
+        let model = BprMf::train(&split, &cfg);
+        // user 0 should prefer items 0..8 over items 8..16 on average
+        let scores = model.score_all(0, split.train_seq(0));
+        let own: f32 = scores[..8].iter().sum();
+        let other: f32 = scores[8..].iter().sum();
+        assert!(own > other, "own {own} vs other {other}");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let data = block_dataset();
+        let split = LeaveOneOut::split(&data);
+        let cfg = TrainConfig {
+            dim: 4,
+            epochs: 2,
+            ..Default::default()
+        };
+        let a = BprMf::train(&split, &cfg);
+        let b = BprMf::train(&split, &cfg);
+        assert_eq!(a.user_embedding(3), b.user_embedding(3));
+    }
+}

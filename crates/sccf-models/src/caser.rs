@@ -1,0 +1,324 @@
+//! Caser (Tang & Wang 2018) — convolutional sequence embedding, the
+//! paper's reference \[45\] in the sequential-models line of related work
+//! (§II-B).
+//!
+//! The most recent `l` item embeddings form an `l×d` "image"; horizontal
+//! filters of several heights capture union-level sequential patterns
+//! (max-pooled over time) and vertical filters capture weighted
+//! point-level patterns; a fully connected layer maps the concatenation
+//! to the user representation. We omit Caser's per-user id embedding so
+//! the encoder stays *inductive* (SCCF's §III-B requirement) — with it,
+//! a brand-new interaction could shift a user only through retraining.
+//!
+//! Training slides a window over the sequence and predicts the next item
+//! with sampled BCE against the homogeneous item table, the same
+//! instance derivation as the other sequential models here.
+
+use rand::rngs::StdRng;
+use sccf_data::{LeaveOneOut, NegativeSampler};
+use sccf_tensor::nn::{CaserEncoder, Embedding};
+use sccf_tensor::optim::Adam;
+use sccf_tensor::{Initializer, Mat, ParamStore, Tape};
+use sccf_util::rng::{rng_for, streams};
+
+use crate::trainer::{shuffled_user_batches, EpochStats, TrainConfig};
+use crate::traits::{score_all_inductive, InductiveUiModel, Recommender};
+
+/// Caser hyper-parameters beyond the shared [`TrainConfig`].
+#[derive(Debug, Clone)]
+pub struct CaserConfig {
+    pub train: TrainConfig,
+    /// Sequence-image height `l` (most recent items; shorter histories
+    /// are zero-padded at the front). Caser's `L`.
+    pub l: usize,
+    /// Horizontal filter heights (Caser sweeps 1..=l; the common setting
+    /// is a few small heights).
+    pub heights: Vec<usize>,
+    /// Filters per horizontal height.
+    pub n_h: usize,
+    /// Vertical filters.
+    pub n_v: usize,
+    /// Most recent target positions trained per user per epoch (each
+    /// window is a separate forward/backward, so this caps cost the way
+    /// `max_train_hist` does for FISM).
+    pub max_windows: usize,
+}
+
+impl Default for CaserConfig {
+    fn default() -> Self {
+        Self {
+            train: TrainConfig::default(),
+            l: 5,
+            heights: vec![2, 3, 4],
+            n_h: 8,
+            n_v: 2,
+            max_windows: 8,
+        }
+    }
+}
+
+/// Trained Caser model.
+pub struct Caser {
+    store: ParamStore,
+    items: Embedding,
+    encoder: CaserEncoder,
+    cfg: CaserConfig,
+    n_items: usize,
+}
+
+impl Caser {
+    fn build(
+        n_items: usize,
+        cfg: &CaserConfig,
+        rng: &mut StdRng,
+    ) -> (ParamStore, Embedding, CaserEncoder) {
+        let d = cfg.train.dim;
+        let mut store = ParamStore::new();
+        let init = Initializer::paper_default();
+        let items = Embedding::new(&mut store, "caser.items", n_items, d, init, rng);
+        let encoder = CaserEncoder::new(
+            &mut store,
+            "caser.enc",
+            cfg.l,
+            d,
+            &cfg.heights,
+            cfg.n_h,
+            cfg.n_v,
+            init,
+            rng,
+        );
+        (store, items, encoder)
+    }
+
+    /// Train on the leave-one-out split.
+    pub fn train(split: &LeaveOneOut, cfg: &CaserConfig) -> Self {
+        let tc = cfg.train.clone();
+        let n_users = split.n_users();
+        let n_items = split.n_items();
+        let mut init_rng = rng_for(tc.seed, streams::MODEL_INIT);
+        let (store, items, encoder) = Self::build(n_items, cfg, &mut init_rng);
+        let mut model = Self {
+            store,
+            items,
+            encoder,
+            cfg: cfg.clone(),
+            n_items,
+        };
+
+        let sampler = NegativeSampler::new(n_items);
+        let mut neg_rng = rng_for(tc.seed, streams::NEG_SAMPLING);
+        let mut shuffle_rng = rng_for(tc.seed, streams::TRAIN_SHUFFLE);
+        let steps = (n_users / tc.batch_users.max(1)).max(1);
+        let mut adam = Adam::new(tc.adam(steps));
+
+        for epoch in 0..tc.epochs {
+            let mut stats = EpochStats {
+                epoch,
+                ..Default::default()
+            };
+            for batch in shuffled_user_batches(n_users, tc.batch_users, &mut shuffle_rng) {
+                let mut grads = model.store.grads();
+                let mut batch_loss = 0.0f64;
+                let mut n_loss = 0u64;
+                for &u in &batch {
+                    let seq = split.train_seq(u);
+                    if seq.len() < 2 {
+                        continue;
+                    }
+                    let pos_set = seq.iter().copied().collect();
+                    // One training example per target position, most
+                    // recent `max_windows` positions only.
+                    let first = seq.len().saturating_sub(cfg.max_windows).max(1);
+                    for t in first..seq.len() {
+                        let target = seq[t];
+                        let history = &seq[..t];
+                        let negs = sampler.sample_k(&mut neg_rng, &pos_set, tc.neg_k);
+                        let mut target_ids = Vec::with_capacity(1 + negs.len());
+                        target_ids.push(target);
+                        target_ids.extend_from_slice(&negs);
+                        let mut labels = vec![0.0f32; target_ids.len()];
+                        labels[0] = 1.0;
+
+                        let mut tape = Tape::new(&model.store);
+                        let image = model.encoder.image(&mut tape, &model.items, history);
+                        let rep = model.encoder.forward(&mut tape, image);
+                        let t_emb = tape.gather(model.items.table, &target_ids);
+                        let logits = tape.rows_dot(rep, t_emb);
+                        let loss = tape.bce_with_logits(logits, &labels);
+                        batch_loss += tape.scalar(loss) as f64;
+                        n_loss += 1;
+                        grads.merge(tape.backward(loss));
+                    }
+                }
+                if n_loss == 0 {
+                    continue;
+                }
+                grads.scale(1.0 / n_loss as f32);
+                adam.step(&mut model.store, &grads);
+                stats.mean_loss += batch_loss / n_loss as f64;
+                stats.n_examples += n_loss;
+            }
+            stats.mean_loss /= steps as f64;
+            stats.log("Caser", tc.verbose);
+        }
+        model
+    }
+
+    /// Serialize the trained weights (including optimizer moments).
+    pub fn save_bytes(&self) -> Vec<u8> {
+        sccf_tensor::save_store(&self.store)
+    }
+
+    /// Rehydrate a model from a snapshot; the architecture is rebuilt
+    /// from `cfg` and must match the snapshot exactly.
+    pub fn load_bytes(
+        n_items: usize,
+        cfg: &CaserConfig,
+        bytes: &[u8],
+    ) -> Result<Self, sccf_tensor::SnapshotError> {
+        let mut init_rng = rng_for(cfg.train.seed, streams::MODEL_INIT);
+        let (mut store, items, encoder) = Self::build(n_items, cfg, &mut init_rng);
+        sccf_tensor::load_into(&mut store, bytes)?;
+        Ok(Self {
+            store,
+            items,
+            encoder,
+            cfg: cfg.clone(),
+            n_items,
+        })
+    }
+}
+
+impl Recommender for Caser {
+    fn name(&self) -> String {
+        "Caser".into()
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    fn score_all(&self, _user: u32, history: &[u32]) -> Vec<f32> {
+        score_all_inductive(self, history)
+    }
+}
+
+impl InductiveUiModel for Caser {
+    fn dim(&self) -> usize {
+        self.cfg.train.dim
+    }
+
+    /// Encode the most recent `l` items (zero-padded) — pure inference.
+    fn infer_user(&self, history: &[u32]) -> Vec<f32> {
+        let mut tape = Tape::new(&self.store);
+        let image = self.encoder.image(&mut tape, &self.items, history);
+        let rep = self.encoder.forward(&mut tape, image);
+        tape.value(rep).row(0).to_vec()
+    }
+
+    fn item_embeddings(&self) -> &Mat {
+        self.store.value(self.items.table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccf_data::{Dataset, Interaction};
+
+    fn chain_dataset(n_users: usize, chain_len: usize) -> Dataset {
+        let mut inter = Vec::new();
+        for u in 0..n_users as u32 {
+            let start = (u as usize * 3) % chain_len;
+            for t in 0..8 {
+                let item = ((start + t) % chain_len) as u32;
+                inter.push(Interaction {
+                    user: u,
+                    item,
+                    ts: t as i64,
+                });
+            }
+        }
+        Dataset::from_interactions("chain", n_users, chain_len, &inter, None)
+    }
+
+    fn quick_cfg() -> CaserConfig {
+        CaserConfig {
+            train: TrainConfig {
+                dim: 16,
+                epochs: 25,
+                batch_users: 8,
+                ..Default::default()
+            },
+            l: 4,
+            heights: vec![2, 3],
+            n_h: 4,
+            n_v: 2,
+            max_windows: 6,
+        }
+    }
+
+    #[test]
+    fn learns_successor_structure() {
+        let data = chain_dataset(30, 12);
+        let split = LeaveOneOut::split(&data);
+        let model = Caser::train(&split, &quick_cfg());
+        let scores = model.score_all(0, &[2, 3, 4]);
+        assert!(
+            scores[5] > scores[9],
+            "next {} vs far {}",
+            scores[5],
+            scores[9]
+        );
+    }
+
+    #[test]
+    fn infer_user_uses_only_last_l_items() {
+        let data = chain_dataset(10, 12);
+        let split = LeaveOneOut::split(&data);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 1;
+        let model = Caser::train(&split, &cfg);
+        let long: Vec<u32> = (0..10).map(|i| i % 12).collect();
+        let short = &long[long.len() - cfg.l..];
+        assert_eq!(model.infer_user(&long), model.infer_user(short));
+    }
+
+    #[test]
+    fn infer_user_is_order_sensitive() {
+        let data = chain_dataset(30, 12);
+        let split = LeaveOneOut::split(&data);
+        let model = Caser::train(&split, &quick_cfg());
+        let a = model.infer_user(&[1, 2, 3]);
+        let b = model.infer_user(&[3, 2, 1]);
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4, "convolutional encoder must be order-sensitive");
+    }
+
+    #[test]
+    fn empty_history_is_finite() {
+        let data = chain_dataset(10, 12);
+        let split = LeaveOneOut::split(&data);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 1;
+        let model = Caser::train(&split, &cfg);
+        let rep = model.infer_user(&[]);
+        assert_eq!(rep.len(), 16);
+        assert!(rep.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_scores() {
+        let data = chain_dataset(12, 12);
+        let split = LeaveOneOut::split(&data);
+        let mut cfg = quick_cfg();
+        cfg.train.epochs = 3;
+        let model = Caser::train(&split, &cfg);
+        let bytes = model.save_bytes();
+        let loaded = Caser::load_bytes(split.n_items(), &cfg, &bytes).unwrap();
+        assert_eq!(
+            model.score_all(0, &[1, 2, 3]),
+            loaded.score_all(0, &[1, 2, 3])
+        );
+    }
+}

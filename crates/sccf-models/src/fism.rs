@@ -1,0 +1,394 @@
+//! FISM (Kabbur et al. 2013) — Factored Item Similarity Model, one of the
+//! paper's two UI components (§III-B.1).
+//!
+//! The user representation is pooled from the history's item embeddings
+//! (Eq. 1): `m_u = |R⁺_u|^{-α} · Σ_{j ∈ R⁺_u} p_j`, making the model
+//! *inductive* — a fresh interaction changes `m_u` by inference alone.
+//! Following §III-B.3 the default uses a homogeneous item embedding
+//! (`q ≡ p`); a separate output table is available for the ablation
+//! DESIGN.md calls out. Training follows He et al.'s NAIS protocol (the
+//! paper cites it): per-user minibatches, each observed item predicted
+//! from the rest of the history (self-exclusion), sampled BCE (Eq. 9).
+
+use sccf_data::{LeaveOneOut, NegativeSampler};
+use sccf_tensor::nn::Embedding;
+use sccf_tensor::optim::Adam;
+use sccf_tensor::{Initializer, Mat, ParamStore, Tape};
+use sccf_util::rng::{rng_for, streams};
+
+use crate::trainer::{shuffled_user_batches, EpochStats, TrainConfig};
+use crate::traits::{score_all_inductive, InductiveUiModel, Recommender};
+
+/// FISM hyper-parameters beyond the shared [`TrainConfig`].
+#[derive(Debug, Clone)]
+pub struct FismConfig {
+    pub train: TrainConfig,
+    /// Pooling exponent α of Eq. 1 (paper uses 0.5).
+    pub alpha: f32,
+    /// History window used at inference time; the paper infers user
+    /// embeddings from the most recent 15 items (§IV-A.4).
+    pub recent_window: usize,
+    /// Cap on history length used per training example (cost control).
+    pub max_train_hist: usize,
+    /// Use a separate output item table instead of the homogeneous
+    /// embedding (ablation; default false per §III-B.3).
+    pub separate_output_table: bool,
+}
+
+impl Default for FismConfig {
+    fn default() -> Self {
+        Self {
+            train: TrainConfig::default(),
+            alpha: 0.5,
+            recent_window: 15,
+            max_train_hist: 30,
+            separate_output_table: false,
+        }
+    }
+}
+
+/// Trained FISM model.
+pub struct Fism {
+    store: ParamStore,
+    /// Input item embeddings `P` (also the output table when homogeneous).
+    p: Embedding,
+    /// Output table `Q` if `separate_output_table`.
+    q: Option<Embedding>,
+    cfg: FismConfig,
+    n_items: usize,
+}
+
+impl Fism {
+    /// Register the architecture's parameters (deterministic order and
+    /// names — the contract [`Fism::load_bytes`] relies on).
+    fn build_arch(n_items: usize, cfg: &FismConfig) -> (ParamStore, Embedding, Option<Embedding>) {
+        let tc = &cfg.train;
+        let mut store = ParamStore::new();
+        let mut init_rng = rng_for(tc.seed, streams::MODEL_INIT);
+        let init = Initializer::paper_default();
+        let p = Embedding::new(&mut store, "fism.p", n_items, tc.dim, init, &mut init_rng);
+        let q = cfg
+            .separate_output_table
+            .then(|| Embedding::new(&mut store, "fism.q", n_items, tc.dim, init, &mut init_rng));
+        (store, p, q)
+    }
+
+    /// Serialize the trained weights (including optimizer moments).
+    pub fn save_bytes(&self) -> Vec<u8> {
+        sccf_tensor::save_store(&self.store)
+    }
+
+    /// Rehydrate a model: rebuild the architecture from `cfg`, then load
+    /// the snapshot. Fails if the snapshot does not match the
+    /// architecture (wrong catalog size, dimension, or table layout).
+    pub fn load_bytes(
+        n_items: usize,
+        cfg: &FismConfig,
+        bytes: &[u8],
+    ) -> Result<Self, sccf_tensor::SnapshotError> {
+        let (mut store, p, q) = Self::build_arch(n_items, cfg);
+        sccf_tensor::load_into(&mut store, bytes)?;
+        Ok(Self {
+            store,
+            p,
+            q,
+            cfg: cfg.clone(),
+            n_items,
+        })
+    }
+
+    pub fn train(split: &LeaveOneOut, cfg: &FismConfig) -> Self {
+        let tc = &cfg.train;
+        let n_users = split.n_users();
+        let n_items = split.n_items();
+        let (mut store, p, q) = Self::build_arch(n_items, cfg);
+
+        let sampler = NegativeSampler::new(n_items);
+        let mut neg_rng = rng_for(tc.seed, streams::NEG_SAMPLING);
+        let mut shuffle_rng = rng_for(tc.seed, streams::TRAIN_SHUFFLE);
+        let steps = (n_users / tc.batch_users.max(1)).max(1);
+        let mut adam = Adam::new(tc.adam(steps));
+
+        let out_table = |p: &Embedding, q: &Option<Embedding>| match q {
+            Some(q) => q.table,
+            None => p.table,
+        };
+
+        for epoch in 0..tc.epochs {
+            let mut stats = EpochStats {
+                epoch,
+                ..Default::default()
+            };
+            for batch in shuffled_user_batches(n_users, tc.batch_users, &mut shuffle_rng) {
+                let mut grads = store.grads();
+                let mut batch_loss = 0.0f64;
+                let mut n_loss = 0u64;
+                for &u in &batch {
+                    let seq = split.train_seq(u);
+                    if seq.len() < 2 {
+                        continue;
+                    }
+                    let pos_set = seq.iter().copied().collect();
+                    // NAIS protocol: every observed item is a target once.
+                    for (t, &target) in seq.iter().enumerate() {
+                        // history = other items, truncated to the most
+                        // recent `max_train_hist` (self excluded — FISM's
+                        // diagonal removal).
+                        let mut hist: Vec<u32> = seq
+                            .iter()
+                            .enumerate()
+                            .filter(|&(s, _)| s != t)
+                            .map(|(_, &i)| i)
+                            .collect();
+                        if hist.len() > cfg.max_train_hist {
+                            let skip = hist.len() - cfg.max_train_hist;
+                            hist.drain(..skip);
+                        }
+                        if hist.is_empty() {
+                            continue;
+                        }
+                        let negs = sampler.sample_k(&mut neg_rng, &pos_set, tc.neg_k);
+                        let mut targets_ids = Vec::with_capacity(1 + negs.len());
+                        targets_ids.push(target);
+                        targets_ids.extend_from_slice(&negs);
+                        let mut labels = vec![0.0f32; targets_ids.len()];
+                        labels[0] = 1.0;
+
+                        let mut tape = Tape::new(&store);
+                        let h = tape.gather(p.table, &hist);
+                        let m_u = tape.mean_rows_alpha(h, cfg.alpha);
+                        let q_t = tape.gather(out_table(&p, &q), &targets_ids);
+                        let logits = tape.rows_dot(m_u, q_t);
+                        let loss = tape.bce_with_logits(logits, &labels);
+                        batch_loss += tape.scalar(loss) as f64;
+                        n_loss += 1;
+                        grads.merge(tape.backward(loss));
+                    }
+                }
+                if n_loss == 0 {
+                    continue;
+                }
+                grads.scale(1.0 / n_loss as f32);
+                adam.step(&mut store, &grads);
+                stats.mean_loss += batch_loss / n_loss as f64;
+                stats.n_examples += n_loss;
+            }
+            stats.mean_loss /= steps as f64;
+            stats.log("FISM", tc.verbose);
+        }
+        Self {
+            store,
+            p,
+            q,
+            cfg: cfg.clone(),
+            n_items,
+        }
+    }
+
+    /// α pooling exponent in use.
+    pub fn alpha(&self) -> f32 {
+        self.cfg.alpha
+    }
+
+    fn output_table(&self) -> &Mat {
+        match &self.q {
+            Some(q) => self.store.value(q.table),
+            None => self.store.value(self.p.table),
+        }
+    }
+}
+
+impl Recommender for Fism {
+    fn name(&self) -> String {
+        "FISM".into()
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    fn score_all(&self, _user: u32, history: &[u32]) -> Vec<f32> {
+        score_all_inductive(self, history)
+    }
+}
+
+impl InductiveUiModel for Fism {
+    fn dim(&self) -> usize {
+        self.cfg.train.dim
+    }
+
+    /// Eq. 1 over the most recent `recent_window` items — pure inference,
+    /// no training, which is what makes FISM SCCF-compatible.
+    fn infer_user(&self, history: &[u32]) -> Vec<f32> {
+        let window = if history.len() > self.cfg.recent_window {
+            &history[history.len() - self.cfg.recent_window..]
+        } else {
+            history
+        };
+        let table = self.store.value(self.p.table);
+        let mut rep = vec![0.0f32; self.dim()];
+        for &i in window {
+            for (r, &v) in rep.iter_mut().zip(table.row(i as usize)) {
+                *r += v;
+            }
+        }
+        let scale = (window.len().max(1) as f32).powf(-self.cfg.alpha);
+        for r in rep.iter_mut() {
+            *r *= scale;
+        }
+        rep
+    }
+
+    fn item_embeddings(&self) -> &Mat {
+        self.output_table()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use sccf_data::{Dataset, Interaction};
+
+    fn block_dataset() -> Dataset {
+        let mut inter = Vec::new();
+        let mut rng = rng_for(2, 98);
+        for u in 0..16u32 {
+            let base = if u < 8 { 0u32 } else { 8 };
+            let mut seen = sccf_util::hash::fx_set();
+            let mut t = 0;
+            while t < 6 {
+                let item = base + rng.gen_range(0..8u32);
+                if seen.insert(item) {
+                    inter.push(Interaction { user: u, item, ts: t });
+                    t += 1;
+                }
+            }
+        }
+        Dataset::from_interactions("blocks", 16, 16, &inter, None)
+    }
+
+    #[test]
+    fn learns_block_structure() {
+        let split = LeaveOneOut::split(&block_dataset());
+        let cfg = FismConfig {
+            train: TrainConfig {
+                dim: 8,
+                epochs: 30,
+                batch_users: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let model = Fism::train(&split, &cfg);
+        let scores = model.score_all(0, split.train_seq(0));
+        let own: f32 = scores[..8].iter().sum();
+        let other: f32 = scores[8..].iter().sum();
+        assert!(own > other, "own {own} vs other {other}");
+    }
+
+    #[test]
+    fn inference_pools_recent_window() {
+        let split = LeaveOneOut::split(&block_dataset());
+        let cfg = FismConfig {
+            train: TrainConfig {
+                dim: 4,
+                epochs: 1,
+                ..Default::default()
+            },
+            recent_window: 2,
+            ..Default::default()
+        };
+        let model = Fism::train(&split, &cfg);
+        // Only the last 2 items matter.
+        let a = model.infer_user(&[0, 1, 2, 3]);
+        let b = model.infer_user(&[5, 7, 2, 3]);
+        assert_eq!(a, b);
+        let c = model.infer_user(&[2, 4]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn alpha_scaling_matches_eq1() {
+        let split = LeaveOneOut::split(&block_dataset());
+        let cfg = FismConfig {
+            train: TrainConfig {
+                dim: 4,
+                epochs: 1,
+                ..Default::default()
+            },
+            alpha: 1.0,
+            recent_window: 4,
+            ..Default::default()
+        };
+        let model = Fism::train(&split, &cfg);
+        let rep1 = model.infer_user(&[3]);
+        // α = 1: pooling of the same item repeated is identical to one copy
+        // only if normalization divides by n — check via a 2-item history
+        // of the same embedding row... use different items instead: the
+        // average has norm ≤ max of norms.
+        let rep2 = model.infer_user(&[3, 3, 3, 3]);
+        for (a, b) in rep1.iter().zip(&rep2) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn homogeneous_embedding_shares_table() {
+        let split = LeaveOneOut::split(&block_dataset());
+        let cfg = FismConfig {
+            train: TrainConfig {
+                dim: 4,
+                epochs: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let model = Fism::train(&split, &cfg);
+        // infer_user over a single item history with α=0.5: rep = p_i / 1
+        let rep = model.infer_user(&[5]);
+        assert_eq!(rep.as_slice(), model.item_embedding(5));
+    }
+
+    #[test]
+    fn separate_output_table_changes_scoring() {
+        let split = LeaveOneOut::split(&block_dataset());
+        let base = FismConfig {
+            train: TrainConfig {
+                dim: 4,
+                epochs: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let hom = Fism::train(&split, &base);
+        let sep = Fism::train(
+            &split,
+            &FismConfig {
+                separate_output_table: true,
+                ..base
+            },
+        );
+        assert_ne!(
+            hom.score_all(0, &[0, 1]),
+            sep.score_all(0, &[0, 1]),
+            "separate table should decouple input/output embeddings"
+        );
+    }
+
+    #[test]
+    fn empty_history_gives_zero_rep() {
+        let split = LeaveOneOut::split(&block_dataset());
+        let cfg = FismConfig {
+            train: TrainConfig {
+                dim: 4,
+                epochs: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let model = Fism::train(&split, &cfg);
+        let rep = model.infer_user(&[]);
+        assert!(rep.iter().all(|&x| x == 0.0));
+    }
+}

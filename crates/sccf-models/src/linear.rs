@@ -1,0 +1,362 @@
+//! Learned linear collaborative filtering: SLIM and LRec.
+//!
+//! Both appear in the paper's related work as the "introduce learnable
+//! parameters" step beyond memory-based KNN:
+//!
+//! * **SLIM** (Ning & Karypis 2011, ref \[14\]) learns a sparse item-item
+//!   aggregation matrix `W` with `R ≈ R·W`, zero diagonal, non-negative
+//!   entries and elastic-net regularization. Prediction is
+//!   `r̂(u,i) = Σ_{j ∈ R⁺_u} W[j,i]`.
+//! * **LRec** (Sedhain et al. 2016, ref \[18\]) is the user-side analogue:
+//!   a user-user matrix `S` with `R ≈ S·R`, so
+//!   `r̂(u,i) = Σ_v S[u,v]·δ_{vi}` — a *learned* UserKNN. (The original
+//!   optimizes a logistic loss; we use the squared-loss elastic-net of
+//!   the SLIM family, which keeps the one solver shared and preserves
+//!   the characteristic the paper cares about: both are **transductive**
+//!   — any new interaction changes `R` and requires re-solving.)
+//!
+//! The solver is covariance-form coordinate descent: with Gram matrix
+//! `G = AᵀA`, each target column solves
+//! `min ‖a_t − A·w‖² + λ₂‖w‖² + λ₁‖w‖₁, w_t = 0, w ≥ 0`
+//! by cycling `w_j ← max(0, G[j,t] − Σ_{k≠j} G[j,k]·w_k − λ₁) / (G[j,j] + λ₂)`.
+//! Columns are independent and solved in parallel.
+
+use sccf_tensor::Mat;
+use sccf_util::hash::FxHashSet;
+
+use crate::traits::Recommender;
+
+/// Elastic-net coordinate-descent hyper-parameters shared by [`Slim`] and
+/// [`LRec`].
+#[derive(Debug, Clone)]
+pub struct LinearCfConfig {
+    /// ℓ1 penalty (sparsity). SLIM's `β`.
+    pub l1: f32,
+    /// ℓ2 penalty (ridge). SLIM's `λ`.
+    pub l2: f32,
+    /// Full coordinate-descent sweeps per target column.
+    pub sweeps: usize,
+    /// Worker threads for the per-column solves.
+    pub threads: usize,
+}
+
+impl Default for LinearCfConfig {
+    fn default() -> Self {
+        Self {
+            l1: 0.1,
+            l2: 1.0,
+            sweeps: 10,
+            threads: 4,
+        }
+    }
+}
+
+/// Gram matrix `G = AᵀA` of a binary interaction matrix given as one
+/// sorted "row support" list per left index. `G[j,k]` is the number of
+/// rows containing both `j` and `k` — co-occurrence counts.
+fn gram_from_supports(supports: &[Vec<u32>], n: usize) -> Mat {
+    let mut g = Mat::zeros(n, n);
+    for row in supports {
+        for (a, &j) in row.iter().enumerate() {
+            let gj = g.row_mut(j as usize);
+            gj[j as usize] += 1.0;
+            for &k in &row[a + 1..] {
+                gj[k as usize] += 1.0;
+            }
+        }
+    }
+    // mirror the upper triangle
+    for j in 0..n {
+        for k in (j + 1)..n {
+            let v = g.get(j, k);
+            g.set(k, j, v);
+        }
+    }
+    g
+}
+
+/// Solve one target column `t` by non-negative elastic-net coordinate
+/// descent over the Gram matrix; writes the weights into `w` (length n,
+/// `w[t]` stays 0).
+fn solve_column(gram: &Mat, t: usize, cfg: &LinearCfConfig, w: &mut [f32]) {
+    let n = gram.rows();
+    w.iter_mut().for_each(|x| *x = 0.0);
+    // s[j] = Σ_k G[j,k]·w_k, maintained incrementally.
+    let mut s = vec![0.0f32; n];
+    for _ in 0..cfg.sweeps {
+        let mut changed = false;
+        for j in 0..n {
+            if j == t {
+                continue;
+            }
+            let gjj = gram.get(j, j);
+            if gjj == 0.0 {
+                continue; // item/user never observed — weight stays 0
+            }
+            // residual correlation with w_j's own contribution removed
+            let rho = gram.get(j, t) - (s[j] - gjj * w[j]);
+            let new = ((rho - cfg.l1) / (gjj + cfg.l2)).max(0.0);
+            let delta = new - w[j];
+            if delta.abs() > 1e-7 {
+                changed = true;
+                w[j] = new;
+                // s += delta · G[:, j]  (G is symmetric: use row j)
+                for (sv, &gv) in s.iter_mut().zip(gram.row(j)) {
+                    *sv += delta * gv;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Solve all columns in parallel; returns `Wᵀ` (row `t` = weights of
+/// target `t`), which keeps each solve's output contiguous.
+fn solve_all(gram: &Mat, cfg: &LinearCfConfig) -> Mat {
+    let n = gram.rows();
+    let mut wt = Mat::zeros(n, n);
+    let threads = cfg.threads.max(1);
+    if threads == 1 || n < 2 * threads {
+        let mut buf = vec![0.0f32; n];
+        for t in 0..n {
+            solve_column(gram, t, cfg, &mut buf);
+            wt.row_mut(t).copy_from_slice(&buf);
+        }
+        return wt;
+    }
+    let chunk = n.div_ceil(threads);
+    let mut rows: Vec<&mut [f32]> = wt.data_mut().chunks_mut(n).collect();
+    crossbeam::scope(|scope| {
+        for (shard_idx, shard) in rows.chunks_mut(chunk).enumerate() {
+            let start = shard_idx * chunk;
+            scope.spawn(move |_| {
+                for (off, row) in shard.iter_mut().enumerate() {
+                    solve_column(gram, start + off, cfg, row);
+                }
+            });
+        }
+    })
+    .expect("linear CF solver thread panicked");
+    wt
+}
+
+/// SLIM — sparse linear item-item model (transductive).
+pub struct Slim {
+    /// `Wᵀ`: row `i` holds the incoming weights of target item `i`.
+    wt: Mat,
+    n_items: usize,
+}
+
+impl Slim {
+    /// Fit on per-user sorted item lists (the training interactions).
+    pub fn fit(user_items: &[Vec<u32>], n_items: usize, cfg: &LinearCfConfig) -> Self {
+        let gram = gram_from_supports(user_items, n_items);
+        let wt = solve_all(&gram, cfg);
+        Self { wt, n_items }
+    }
+
+    /// Number of non-zero weights (sparsity diagnostic).
+    pub fn nnz(&self) -> usize {
+        self.wt.data().iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Incoming weights of one target item.
+    pub fn weights_of(&self, item: u32) -> &[f32] {
+        self.wt.row(item as usize)
+    }
+}
+
+impl Recommender for Slim {
+    fn name(&self) -> String {
+        "SLIM".into()
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// `r̂(u,i) = Σ_{j ∈ history} W[j,i]`. Unlike LRec, scoring uses the
+    /// *supplied* history, so fresh interactions do contribute — but the
+    /// weights themselves only change by re-fitting.
+    fn score_all(&self, _user: u32, history: &[u32]) -> Vec<f32> {
+        let hist: FxHashSet<u32> = history.iter().copied().collect();
+        (0..self.n_items)
+            .map(|i| {
+                let row = self.wt.row(i);
+                hist.iter().map(|&j| row[j as usize]).sum()
+            })
+            .collect()
+    }
+}
+
+/// LRec — learned user-user linear model (transductive).
+pub struct LRec {
+    /// `Sᵀ`: row `u` holds user `u`'s learned neighbor weights.
+    st: Mat,
+    /// Training interaction sets (δ_{vi} of Eq. 12's learned analogue).
+    sets: Vec<Vec<u32>>,
+    n_items: usize,
+}
+
+impl LRec {
+    /// Fit on per-user sorted item lists.
+    pub fn fit(user_items: &[Vec<u32>], n_items: usize, cfg: &LinearCfConfig) -> Self {
+        let n_users = user_items.len();
+        // Gram over users: supports are per-item user lists.
+        let mut item_users: Vec<Vec<u32>> = vec![Vec::new(); n_items];
+        for (u, items) in user_items.iter().enumerate() {
+            for &i in items {
+                item_users[i as usize].push(u as u32);
+            }
+        }
+        let gram = gram_from_supports(&item_users, n_users);
+        let st = solve_all(&gram, cfg);
+        Self {
+            st,
+            sets: user_items.to_vec(),
+            n_items,
+        }
+    }
+
+    /// Learned neighbor weights of one user.
+    pub fn weights_of(&self, user: u32) -> &[f32] {
+        self.st.row(user as usize)
+    }
+}
+
+impl Recommender for LRec {
+    fn name(&self) -> String {
+        "LRec".into()
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// `r̂(u,i) = Σ_v S[u,v]·δ_{vi}` over the *training* sets — the model
+    /// is transductive on both axes: a new interaction by `u` or by a
+    /// neighbor is invisible until re-fitting (the real-time failure mode
+    /// §III-C.2 describes).
+    fn score_all(&self, user: u32, _history: &[u32]) -> Vec<f32> {
+        let mut scores = vec![0.0f32; self.n_items];
+        let weights = self.st.row(user as usize);
+        for (v, items) in self.sets.iter().enumerate() {
+            let w = weights[v];
+            if w == 0.0 {
+                continue;
+            }
+            for &i in items {
+                scores[i as usize] += w;
+            }
+        }
+        scores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint item blocks; users interact within one block only.
+    fn block_sets() -> Vec<Vec<u32>> {
+        let mut sets = Vec::new();
+        for u in 0..16u32 {
+            let base = if u < 8 { 0u32 } else { 4 };
+            // leave one item out per user so there is something to predict
+            let skip = u % 4;
+            sets.push((0..4u32).filter(|&k| k != skip).map(|k| base + k).collect());
+        }
+        sets
+    }
+
+    #[test]
+    fn gram_counts_cooccurrence() {
+        let g = gram_from_supports(&[vec![0, 1], vec![0, 1], vec![1, 2]], 3);
+        assert_eq!(g.get(0, 0), 2.0);
+        assert_eq!(g.get(0, 1), 2.0);
+        assert_eq!(g.get(1, 0), 2.0); // symmetric
+        assert_eq!(g.get(1, 2), 1.0);
+        assert_eq!(g.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn slim_prefers_in_block_items() {
+        let sets = block_sets();
+        let slim = Slim::fit(&sets, 8, &LinearCfConfig::default());
+        // user 0 interacted with items 1,2,3; item 0 is the in-block
+        // held-out item, items 4..8 are the other block.
+        let scores = slim.score_all(0, &[1, 2, 3]);
+        for far in 4..8 {
+            assert!(
+                scores[0] > scores[far],
+                "in-block {} vs cross-block {}",
+                scores[0],
+                scores[far]
+            );
+        }
+    }
+
+    #[test]
+    fn slim_diagonal_is_zero() {
+        let sets = block_sets();
+        let slim = Slim::fit(&sets, 8, &LinearCfConfig::default());
+        for i in 0..8u32 {
+            assert_eq!(slim.weights_of(i)[i as usize], 0.0, "w_ii must stay 0");
+        }
+    }
+
+    #[test]
+    fn slim_weights_nonnegative_and_sparse_with_l1() {
+        let sets = block_sets();
+        let dense = Slim::fit(&sets, 8, &LinearCfConfig { l1: 0.0, ..Default::default() });
+        let sparse = Slim::fit(&sets, 8, &LinearCfConfig { l1: 5.0, ..Default::default() });
+        assert!(dense.wt.data().iter().all(|&v| v >= 0.0));
+        assert!(
+            sparse.nnz() < dense.nnz(),
+            "stronger ℓ1 must prune weights ({} vs {})",
+            sparse.nnz(),
+            dense.nnz()
+        );
+    }
+
+    #[test]
+    fn slim_parallel_matches_serial() {
+        let sets = block_sets();
+        let serial = Slim::fit(&sets, 8, &LinearCfConfig { threads: 1, ..Default::default() });
+        let parallel = Slim::fit(&sets, 8, &LinearCfConfig { threads: 4, ..Default::default() });
+        assert_eq!(serial.wt.data(), parallel.wt.data());
+    }
+
+    #[test]
+    fn lrec_recovers_user_blocks() {
+        let sets = block_sets();
+        let lrec = LRec::fit(&sets, 8, &LinearCfConfig::default());
+        // user 0's learned neighbors should be in users 0..8
+        let w = lrec.weights_of(0);
+        let own: f32 = w[..8].iter().sum();
+        let other: f32 = w[8..].iter().sum();
+        assert!(own > other, "own-block {own} vs cross-block {other}");
+        // ...and its scores should favor in-block items
+        let scores = lrec.score_all(0, &[]);
+        assert!(scores[..4].iter().sum::<f32>() > scores[4..].iter().sum::<f32>());
+    }
+
+    #[test]
+    fn lrec_is_transductive_history_is_ignored() {
+        let sets = block_sets();
+        let lrec = LRec::fit(&sets, 8, &LinearCfConfig::default());
+        // supplying a different history changes nothing — the documented
+        // transductive failure mode.
+        assert_eq!(lrec.score_all(0, &[]), lrec.score_all(0, &[4, 5, 6]));
+    }
+
+    #[test]
+    fn empty_training_data_is_harmless() {
+        let slim = Slim::fit(&[], 4, &LinearCfConfig::default());
+        assert_eq!(slim.score_all(0, &[1]), vec![0.0; 4]);
+        let lrec = LRec::fit(&[], 4, &LinearCfConfig::default());
+        assert!(lrec.sets.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! Popularity baseline (`Pop` in Table II): rank items by interaction
+//! count, identically for every user. The non-personalized floor every
+//! personalized method must clear.
+
+use sccf_data::Dataset;
+
+use crate::traits::Recommender;
+
+/// Most-popular recommender.
+#[derive(Debug, Clone)]
+pub struct Pop {
+    scores: Vec<f32>,
+}
+
+impl Pop {
+    /// Count interactions in `data` (training split only — callers pass a
+    /// dataset view built from training sequences).
+    pub fn fit(data: &Dataset) -> Self {
+        Self {
+            scores: data.item_counts().into_iter().map(|c| c as f32).collect(),
+        }
+    }
+
+    /// Build directly from per-user training sequences.
+    pub fn fit_sequences(n_items: usize, sequences: impl Iterator<Item = Vec<u32>>) -> Self {
+        let mut scores = vec![0.0f32; n_items];
+        for seq in sequences {
+            for i in seq {
+                scores[i as usize] += 1.0;
+            }
+        }
+        Self { scores }
+    }
+}
+
+impl Recommender for Pop {
+    fn name(&self) -> String {
+        "Pop".into()
+    }
+
+    fn n_items(&self) -> usize {
+        self.scores.len()
+    }
+
+    fn score_all(&self, _user: u32, _history: &[u32]) -> Vec<f32> {
+        self.scores.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sccf_data::Interaction;
+
+    #[test]
+    fn ranks_by_count() {
+        let inter = vec![
+            Interaction { user: 0, item: 1, ts: 0 },
+            Interaction { user: 1, item: 1, ts: 0 },
+            Interaction { user: 0, item: 0, ts: 1 },
+        ];
+        let d = Dataset::from_interactions("t", 2, 3, &inter, None);
+        let p = Pop::fit(&d);
+        let s = p.score_all(0, &[]);
+        assert_eq!(s, vec![1.0, 2.0, 0.0]);
+        assert_eq!(p.n_items(), 3);
+    }
+
+    #[test]
+    fn fit_sequences_equivalent() {
+        let p = Pop::fit_sequences(3, vec![vec![1], vec![1, 0]].into_iter());
+        assert_eq!(p.score_all(0, &[]), vec![1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn user_independent() {
+        let p = Pop::fit_sequences(2, vec![vec![0]].into_iter());
+        assert_eq!(p.score_all(0, &[]), p.score_all(1, &[1]));
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared training configuration and the epoch driver.
+//!
+//! All gradient-trained models (BPR-MF, FISM, SASRec, AvgPoolDNN) follow
+//! the paper's §IV-A.4 recipe: Adam (β₁ = 0.9, β₂ = 0.999, lr = 0.001,
+//! linear decay), truncated-normal init, negative sampling, per-user
+//! minibatches, early stopping on a validation metric when requested.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use sccf_tensor::optim::AdamConfig;
+
+/// Hyper-parameters shared by every trained model.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Embedding dimensionality `d` (the paper sweeps {16, 32, 64, 128}).
+    pub dim: usize,
+    pub epochs: usize,
+    pub lr: f32,
+    /// ℓ2 coefficient λ of Eq. 9.
+    pub l2: f32,
+    /// Negatives per positive.
+    pub neg_k: usize,
+    /// Users per optimizer step (gradient accumulation).
+    pub batch_users: usize,
+    /// Dropout rate (SASRec / AvgPoolDNN).
+    pub dropout: f32,
+    /// Root RNG seed for init / sampling / shuffling.
+    pub seed: u64,
+    /// Print a one-line progress summary per epoch.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            epochs: 12,
+            lr: 1e-3,
+            l2: 0.0,
+            neg_k: 1,
+            batch_users: 16,
+            dropout: 0.2,
+            seed: 42,
+            verbose: false,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// The Adam setup of §IV-A.4, decaying over the expected step count.
+    pub fn adam(&self, steps_per_epoch: usize) -> AdamConfig {
+        AdamConfig {
+            lr: self.lr,
+            l2: self.l2,
+            decay_steps: Some((steps_per_epoch * self.epochs).max(1) as u64),
+            final_lr_frac: 0.1,
+            ..Default::default()
+        }
+    }
+}
+
+/// One pass of shuffled user ids, chunked into optimizer batches.
+pub fn shuffled_user_batches(n_users: usize, batch: usize, rng: &mut StdRng) -> Vec<Vec<u32>> {
+    let mut ids: Vec<u32> = (0..n_users as u32).collect();
+    ids.shuffle(rng);
+    ids.chunks(batch.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Per-epoch training diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct EpochStats {
+    pub epoch: usize,
+    pub mean_loss: f64,
+    pub n_examples: u64,
+}
+
+impl EpochStats {
+    pub fn log(&self, model: &str, verbose: bool) {
+        if verbose {
+            eprintln!(
+                "[{model}] epoch {:>3}  loss {:.5}  ({} examples)",
+                self.epoch, self.mean_loss, self.n_examples
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batches_cover_all_users_once() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let batches = shuffled_user_batches(10, 3, &mut rng);
+        let mut all: Vec<u32> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn batch_sizes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let batches = shuffled_user_batches(10, 4, &mut rng);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+    }
+
+    #[test]
+    fn adam_decay_spans_training() {
+        let cfg = TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        };
+        let adam = cfg.adam(100);
+        assert_eq!(adam.decay_steps, Some(1000));
+    }
+
+    #[test]
+    fn zero_batch_treated_as_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let batches = shuffled_user_batches(3, 0, &mut rng);
+        assert_eq!(batches.len(), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Model traits.
+//!
+//! [`Recommender`] is what the evaluation protocol consumes: a full-item
+//! scoring function for a user. [`InductiveUiModel`] is the paper's key
+//! requirement for the SCCF framework (§III-B): a model whose user
+//! representation can be *inferred* from the interaction history alone —
+//! no retraining when new interactions arrive. FISM, SASRec and the
+//! average-pooling DNN are inductive; BPR-MF and UserKNN are transductive
+//! and only implement [`Recommender`].
+
+use sccf_tensor::Mat;
+
+/// Anything that can rank the whole catalog for a user.
+pub trait Recommender: Send + Sync {
+    /// Short display name (Table II row label).
+    fn name(&self) -> String;
+
+    /// Number of items in the catalog.
+    fn n_items(&self) -> usize;
+
+    /// Score every item for `user` with interaction history `history`
+    /// (chronological, oldest first). Higher = better. Scores for items
+    /// already in the history are left as-is; the evaluation protocol is
+    /// responsible for masking `R⁺_u` (the paper never recommends
+    /// repeats).
+    fn score_all(&self, user: u32, history: &[u32]) -> Vec<f32>;
+}
+
+/// A UI model that can infer user representations on the fly (Eq. 10).
+pub trait InductiveUiModel: Recommender {
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Infer the user representation `m_u` from history alone. This is
+    /// the operation whose latency Table III calls "inferring time".
+    fn infer_user(&self, history: &[u32]) -> Vec<f32>;
+
+    /// The item embedding table `Q` (`n_items × d`) — shared with the UI
+    /// scorer and, through homogeneous embeddings (§III-B.3), with the
+    /// user representation.
+    fn item_embeddings(&self) -> &Mat;
+
+    /// Embedding of one item.
+    fn item_embedding(&self, item: u32) -> &[f32] {
+        self.item_embeddings().row(item as usize)
+    }
+
+    /// UI preference scores for a pre-computed user representation:
+    /// `r̂ᵁᴵ_{ui} = m_u · q_i` for all i (Eq. 10).
+    fn score_by_rep(&self, user_rep: &[f32]) -> Vec<f32> {
+        let table = self.item_embeddings();
+        (0..table.rows())
+            .map(|i| sccf_tensor::dot(user_rep, table.row(i)))
+            .collect()
+    }
+}
+
+/// Blanket helper used by every inductive model's `score_all`.
+pub fn score_all_inductive<M: InductiveUiModel + ?Sized>(model: &M, history: &[u32]) -> Vec<f32> {
+    let rep = model.infer_user(history);
+    model.score_by_rep(&rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        items: Mat,
+    }
+
+    impl Recommender for Fake {
+        fn name(&self) -> String {
+            "fake".into()
+        }
+        fn n_items(&self) -> usize {
+            self.items.rows()
+        }
+        fn score_all(&self, _user: u32, history: &[u32]) -> Vec<f32> {
+            score_all_inductive(self, history)
+        }
+    }
+
+    impl InductiveUiModel for Fake {
+        fn dim(&self) -> usize {
+            self.items.cols()
+        }
+        fn infer_user(&self, history: &[u32]) -> Vec<f32> {
+            // mean of history embeddings
+            let mut rep = vec![0.0; self.dim()];
+            for &i in history {
+                for (r, &v) in rep.iter_mut().zip(self.items.row(i as usize)) {
+                    *r += v;
+                }
+            }
+            for r in rep.iter_mut() {
+                *r /= history.len().max(1) as f32;
+            }
+            rep
+        }
+        fn item_embeddings(&self) -> &Mat {
+            &self.items
+        }
+    }
+
+    #[test]
+    fn default_scoring_is_inner_product() {
+        let f = Fake {
+            items: Mat::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]),
+        };
+        let scores = f.score_all(0, &[0]);
+        // rep = [1, 0]; scores = [1, 0, 1]
+        assert_eq!(scores, vec![1.0, 0.0, 1.0]);
+        assert_eq!(f.item_embedding(1), &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,262 @@
+//! UserKNN (Sarwar et al. 2000) — the transductive user-based baseline
+//! SCCF is measured against in quality (Table II) and latency (Table III).
+//!
+//! Similarity between users is computed from their raw interaction *sets*:
+//! cosine `|R⁺_u ∩ R⁺_v| / √(|R⁺_u|·|R⁺_v|)` by default, or the paper's
+//! Eq. 13 normalization `|∩| / (|R⁺_u|·|R⁺_v|)` as an option. Prediction
+//! follows Eq. 12: `r̂(u,i) = Σ_{v ∈ N_u} sim(u,v)·δ_{vi}`.
+//!
+//! The latency experiment (§IV-D) hinges on this model's cost profile:
+//! finding `N_u` means intersecting `u`'s set with **every** other user's
+//! set — work that grows with catalog size and density — and any new
+//! interaction invalidates all similarities involving `u`. The
+//! [`UserKnn::identify_neighbors`] method is deliberately exposed so the
+//! Table III harness can time exactly that step.
+
+use sccf_util::hash::FxHashSet;
+use sccf_util::topk::{Scored, TopK};
+
+use crate::traits::Recommender;
+
+/// Which user-user normalization to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserSim {
+    /// `|∩| / √(|R⁺_u|·|R⁺_v|)` — cosine over binary vectors (the
+    /// baseline setting in §IV-A.3).
+    Cosine,
+    /// `|∩| / (|R⁺_u|·|R⁺_v|)` — the exact Eq. 13 form.
+    Eq13,
+}
+
+/// Memory-based user CF over stored interaction sets.
+#[derive(Debug, Clone)]
+pub struct UserKnn {
+    n_items: usize,
+    /// Sorted item lists per user (sorted → O(m+n) intersections).
+    sets: Vec<Vec<u32>>,
+    /// Neighborhood size β.
+    pub beta: usize,
+    pub sim: UserSim,
+}
+
+/// Sorted-list intersection size.
+fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+impl UserKnn {
+    /// Store (deduplicated, sorted) training sets for every user.
+    pub fn fit(n_items: usize, sequences: &[Vec<u32>], beta: usize, sim: UserSim) -> Self {
+        let sets = sequences
+            .iter()
+            .map(|s| {
+                let mut v = s.clone();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        Self {
+            n_items,
+            sets,
+            beta,
+            sim,
+        }
+    }
+
+    pub fn n_users(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Update user `u`'s set with a new interaction — the transductive
+    /// "retrain": every similarity involving `u` silently becomes stale
+    /// and must be recomputed at query time, which is exactly the cost
+    /// the paper measures.
+    pub fn add_interaction(&mut self, user: u32, item: u32) {
+        let set = &mut self.sets[user as usize];
+        if let Err(pos) = set.binary_search(&item) {
+            set.insert(pos, item);
+        }
+    }
+
+    fn similarity(&self, len_u: usize, len_v: usize, inter: usize) -> f32 {
+        if inter == 0 || len_u == 0 || len_v == 0 {
+            return 0.0;
+        }
+        match self.sim {
+            UserSim::Cosine => inter as f32 / ((len_u as f64 * len_v as f64).sqrt() as f32),
+            UserSim::Eq13 => inter as f32 / (len_u as f32 * len_v as f32),
+        }
+    }
+
+    /// Find the β most similar users to `query_set` (a sorted item list),
+    /// excluding `exclude`. This is the "identifying time" leg of
+    /// Table III: a full scan of all user sets.
+    pub fn identify_neighbors(&self, query_set: &[u32], exclude: Option<u32>) -> Vec<Scored> {
+        let mut tk = TopK::new(self.beta);
+        for (v, set) in self.sets.iter().enumerate() {
+            if exclude == Some(v as u32) {
+                continue;
+            }
+            let inter = intersection_size(query_set, set);
+            let s = self.similarity(query_set.len(), set.len(), inter);
+            if s > 0.0 {
+                tk.push(v as u32, s);
+            }
+        }
+        tk.into_sorted_vec()
+    }
+
+    /// Eq. 12 aggregation over a pre-identified neighborhood.
+    pub fn aggregate(&self, neighbors: &[Scored]) -> Vec<f32> {
+        let mut scores = vec![0.0f32; self.n_items];
+        for n in neighbors {
+            for &i in &self.sets[n.id as usize] {
+                scores[i as usize] += n.score;
+            }
+        }
+        scores
+    }
+}
+
+impl Recommender for UserKnn {
+    fn name(&self) -> String {
+        "UserKNN".into()
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    fn score_all(&self, user: u32, history: &[u32]) -> Vec<f32> {
+        // Transductive: rank with the stored set if the history matches,
+        // otherwise build the query set from the provided history.
+        let query: Vec<u32> = {
+            let mut v: Vec<u32> = history.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let stored: FxHashSet<u32> = self.sets[user as usize].iter().copied().collect();
+        let exclude = if query.len() == stored.len() && query.iter().all(|i| stored.contains(i)) {
+            Some(user)
+        } else {
+            // evaluating with an unseen history (e.g. val added back):
+            // still exclude the user's own stored set from neighbors
+            Some(user)
+        };
+        let neighbors = self.identify_neighbors(&query, exclude);
+        self.aggregate(&neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> UserKnn {
+        // u0: {0,1}; u1: {0,1,2}; u2: {3}
+        UserKnn::fit(
+            4,
+            &[vec![0, 1], vec![0, 1, 2], vec![3]],
+            2,
+            UserSim::Cosine,
+        )
+    }
+
+    #[test]
+    fn intersection_of_sorted_lists() {
+        assert_eq!(intersection_size(&[0, 1, 2], &[1, 2, 3]), 2);
+        assert_eq!(intersection_size(&[], &[1]), 0);
+        assert_eq!(intersection_size(&[5], &[5]), 1);
+    }
+
+    #[test]
+    fn neighbor_similarities_cosine() {
+        let m = toy();
+        let n = m.identify_neighbors(&[0, 1], Some(0));
+        assert_eq!(n.len(), 1); // u2 shares nothing
+        assert_eq!(n[0].id, 1);
+        let expect = 2.0 / (2.0f32 * 3.0).sqrt();
+        assert!((n[0].score - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq13_normalization() {
+        let m = UserKnn::fit(
+            4,
+            &[vec![0, 1], vec![0, 1, 2], vec![3]],
+            2,
+            UserSim::Eq13,
+        );
+        let n = m.identify_neighbors(&[0, 1], Some(0));
+        assert!((n[0].score - 2.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregation_follows_eq12() {
+        let m = toy();
+        let n = m.identify_neighbors(&[0, 1], Some(0));
+        let scores = m.aggregate(&n);
+        let s = n[0].score;
+        assert!((scores[0] - s).abs() < 1e-6);
+        assert!((scores[2] - s).abs() < 1e-6);
+        assert_eq!(scores[3], 0.0);
+    }
+
+    #[test]
+    fn add_interaction_changes_neighborhood() {
+        let mut m = toy();
+        // u2 starts disconnected from u0
+        let before = m.identify_neighbors(&[0, 1], Some(0));
+        assert!(before.iter().all(|s| s.id != 2));
+        m.add_interaction(2, 0);
+        let after = m.identify_neighbors(&[0, 1], Some(0));
+        assert!(after.iter().any(|s| s.id == 2));
+    }
+
+    #[test]
+    fn add_interaction_is_idempotent() {
+        let mut m = toy();
+        m.add_interaction(2, 0);
+        m.add_interaction(2, 0);
+        assert_eq!(m.sets[2], vec![0, 3]);
+    }
+
+    #[test]
+    fn score_all_excludes_self() {
+        let m = toy();
+        let scores = m.score_all(1, &[0, 1, 2]);
+        // u1's best neighbor is u0 (shares 2 of 2);
+        // only items 0 and 1 can get scores from u0.
+        assert!(scores[0] > 0.0);
+        assert!(scores[1] > 0.0);
+        assert_eq!(scores[3], 0.0);
+    }
+
+    #[test]
+    fn beta_truncates_neighborhood() {
+        let m = UserKnn::fit(
+            2,
+            &[vec![0], vec![0], vec![0], vec![0]],
+            2,
+            UserSim::Cosine,
+        );
+        let n = m.identify_neighbors(&[0], Some(0));
+        assert_eq!(n.len(), 2);
+    }
+}

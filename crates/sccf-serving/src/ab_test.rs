@@ -1,0 +1,424 @@
+//! The online A/B experiment simulator (Table V, §IV-F).
+//!
+//! Reproduces the paper's setup on the synthetic platform: users are
+//! split into two equal buckets; both share every downstream module
+//! (ranking stage, click model, ground truth) and differ **only** in the
+//! candidate-generation stage. Bucket A uses the production-style deep
+//! baseline, bucket B plugs SCCF in front of the same ranker. The
+//! simulation runs day by day; clicked items feed back into user
+//! histories, so a candidate generator that adapts to fresh interests
+//! compounds its advantage — exactly the real-time story of the paper.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sccf_data::GroundTruth;
+use sccf_util::rng::{rng_for, streams};
+use sccf_util::topk::topk_of_pairs;
+
+use crate::click_model::ClickModel;
+
+/// A candidate-generation stage: produce up to `n` item ids for a user.
+pub trait CandidateGen: Sync {
+    fn candidates(&self, user: u32, history: &[u32], n: usize) -> Vec<u32>;
+}
+
+/// Closure adapter.
+pub struct FnCandidateGen<F: Fn(u32, &[u32], usize) -> Vec<u32> + Sync>(pub F);
+
+impl<F: Fn(u32, &[u32], usize) -> Vec<u32> + Sync> CandidateGen for FnCandidateGen<F> {
+    fn candidates(&self, user: u32, history: &[u32], n: usize) -> Vec<u32> {
+        self.0(user, history, n)
+    }
+}
+
+/// Shared-ranker + experiment parameters.
+#[derive(Debug, Clone)]
+pub struct AbTestConfig {
+    /// Simulated days (paper: one week).
+    pub n_days: usize,
+    /// Candidate set size fed to the ranker (paper: 500).
+    pub candidate_n: usize,
+    /// Items actually shown per session after ranking.
+    pub slate_size: usize,
+    /// Noise std of the ranking stage's affinity estimate. The ranker is
+    /// deliberately imperfect — with a perfect oracle ranker the
+    /// candidate stage would only matter through set coverage.
+    pub ranker_noise: f32,
+    /// Per-day magnitude of *group-correlated* preference drift during
+    /// the experiment. This is the paper's Figure 1 phenomenon: user
+    /// interests keep moving while the system serves, and users in one
+    /// interest group move together — which is precisely why a fresh
+    /// neighborhood is informative. 0 disables drift (static truth).
+    pub daily_drift: f32,
+    /// Share of the drift direction that is group-shared (vs individual).
+    pub drift_group_share: f32,
+    pub click_model: ClickModel,
+    pub seed: u64,
+}
+
+impl Default for AbTestConfig {
+    fn default() -> Self {
+        Self {
+            n_days: 7,
+            candidate_n: 100,
+            slate_size: 10,
+            ranker_noise: 0.35,
+            daily_drift: 0.0,
+            drift_group_share: 0.7,
+            click_model: ClickModel::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Advance every user's true preference by one day of drift: a shared
+/// per-group direction plus an individual component, re-normalized.
+pub fn drift_truth(truth: &mut GroundTruth, cfg: &AbTestConfig, rng: &mut StdRng) {
+    if cfg.daily_drift <= 0.0 {
+        return;
+    }
+    let d = truth.user_latent.first().map_or(0, Vec::len);
+    if d == 0 {
+        return;
+    }
+    let n_groups = truth
+        .user_group
+        .iter()
+        .copied()
+        .max()
+        .map_or(1, |g| g as usize + 1);
+    let gauss = |rng: &mut StdRng| {
+        let u1: f32 = 1.0 - rng.gen::<f32>();
+        let u2: f32 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    };
+    let group_dirs: Vec<Vec<f32>> = (0..n_groups)
+        .map(|_| {
+            let mut v: Vec<f32> = (0..d).map(|_| gauss(rng)).collect();
+            let n = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+            v.iter_mut().for_each(|x| *x /= n);
+            v
+        })
+        .collect();
+    let gs = cfg.drift_group_share;
+    for (u, z) in truth.user_latent.iter_mut().enumerate() {
+        let g = truth.user_group[u] as usize;
+        for (k, zk) in z.iter_mut().enumerate() {
+            let step = gs * group_dirs[g][k] + (1.0 - gs) * gauss(rng);
+            *zk += cfg.daily_drift * step;
+        }
+        let n = z.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        z.iter_mut().for_each(|x| *x /= n);
+    }
+}
+
+/// One bucket's totals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BucketOutcome {
+    pub impressions: u64,
+    pub clicks: u64,
+    pub trades: u64,
+}
+
+impl BucketOutcome {
+    pub fn ctr(&self) -> f64 {
+        self.clicks as f64 / self.impressions.max(1) as f64
+    }
+}
+
+/// Full experiment outcome.
+#[derive(Debug, Clone)]
+pub struct AbResult {
+    pub baseline: BucketOutcome,
+    pub experiment: BucketOutcome,
+}
+
+impl AbResult {
+    /// Relative click lift (the paper reports +2.5 %).
+    pub fn click_lift(&self) -> f64 {
+        per_user_lift(self.baseline.clicks, self.experiment.clicks)
+    }
+
+    /// Relative trade lift (the paper reports +2.3 %).
+    pub fn trade_lift(&self) -> f64 {
+        per_user_lift(self.baseline.trades, self.experiment.trades)
+    }
+}
+
+fn per_user_lift(base: u64, exp: u64) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
+    (exp as f64 - base as f64) / base as f64
+}
+
+/// The shared ranking stage: noisy ground-truth affinity, identical for
+/// both buckets ("we keep all downstream modules unchanged").
+fn rank_slate(
+    truth: &GroundTruth,
+    user: u32,
+    candidates: &[u32],
+    slate: usize,
+    noise: f32,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    let scored = candidates.iter().map(|&i| {
+        let eps: f32 = {
+            // Box–Muller
+            let u1: f32 = 1.0 - rng.gen::<f32>();
+            let u2: f32 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        };
+        (i, truth.affinity(user, i) + noise * eps)
+    });
+    topk_of_pairs(scored, slate).into_iter().map(|s| s.id).collect()
+}
+
+/// One bucket-day: sessions for every user, clicks fed back into
+/// histories and (via `on_event`) into model state.
+#[allow(clippy::too_many_arguments)] // the experiment state is intentionally explicit
+fn run_day(
+    users: &[u32],
+    histories: &mut [Vec<u32>],
+    generator: &dyn CandidateGen,
+    truth: &GroundTruth,
+    cfg: &AbTestConfig,
+    rng: &mut StdRng,
+    out: &mut BucketOutcome,
+    on_event: &mut dyn FnMut(u32, u32),
+) {
+    for &u in users {
+        let history = histories[u as usize].clone();
+        let cands = generator.candidates(u, &history, cfg.candidate_n);
+        if cands.is_empty() {
+            continue;
+        }
+        let slate = rank_slate(truth, u, &cands, cfg.slate_size, cfg.ranker_noise, rng);
+        out.impressions += slate.len() as u64;
+        let (clicks, trades) = cfg.click_model.respond(truth, u, &slate, rng);
+        out.clicks += clicks.len() as u64;
+        out.trades += trades.len() as u64;
+        for c in clicks {
+            histories[u as usize].push(c);
+            on_event(u, c);
+        }
+    }
+}
+
+/// Run one bucket for `cfg.n_days` against a *static* truth, feeding
+/// clicks back into histories. `on_event` lets the caller propagate
+/// feedback into model state (the SCCF bucket refreshes its user index
+/// here). For the drifting two-bucket experiment use [`run_ab_test`],
+/// which shares one truth trajectory across buckets.
+pub fn run_bucket(
+    users: &[u32],
+    histories: &mut [Vec<u32>],
+    generator: &dyn CandidateGen,
+    truth: &GroundTruth,
+    cfg: &AbTestConfig,
+    rng_stream: u64,
+    mut on_event: impl FnMut(u32, u32),
+) -> BucketOutcome {
+    let mut rng = rng_for(cfg.seed, streams::CLICK_MODEL ^ rng_stream);
+    let mut out = BucketOutcome::default();
+    for _day in 0..cfg.n_days {
+        run_day(
+            users,
+            histories,
+            generator,
+            truth,
+            cfg,
+            &mut rng,
+            &mut out,
+            &mut on_event,
+        );
+    }
+    out
+}
+
+/// Split users into two equal buckets by a seeded shuffle.
+pub fn split_buckets(n_users: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    use rand::seq::SliceRandom;
+    let mut ids: Vec<u32> = (0..n_users as u32).collect();
+    let mut rng = rng_for(seed, streams::BUCKET_SPLIT);
+    ids.shuffle(&mut rng);
+    let half = ids.len() / 2;
+    let b = ids.split_off(half);
+    (ids, b)
+}
+
+/// Run the full A/B comparison. Both buckets start from identical
+/// history snapshots and experience the **same** day-by-day truth
+/// trajectory (drift is applied once per day, before either bucket's
+/// sessions), so the only systematic difference is candidate generation.
+pub fn run_ab_test(
+    n_users: usize,
+    initial_histories: &[Vec<u32>],
+    baseline: &dyn CandidateGen,
+    experiment: &dyn CandidateGen,
+    truth: &GroundTruth,
+    cfg: &AbTestConfig,
+    mut on_experiment_event: impl FnMut(u32, u32),
+) -> AbResult {
+    let (bucket_a, bucket_b) = split_buckets(n_users, cfg.seed);
+    let mut hist_a = initial_histories.to_vec();
+    let mut hist_b = initial_histories.to_vec();
+    let mut truth_now = truth.clone();
+    let mut drift_rng = rng_for(cfg.seed, streams::DATA_GEN ^ 0xAB);
+    let mut rng_a = rng_for(cfg.seed, streams::CLICK_MODEL ^ 1);
+    let mut rng_b = rng_for(cfg.seed, streams::CLICK_MODEL ^ 2);
+    let mut base = BucketOutcome::default();
+    let mut exp = BucketOutcome::default();
+    for _day in 0..cfg.n_days {
+        drift_truth(&mut truth_now, cfg, &mut drift_rng);
+        run_day(
+            &bucket_a,
+            &mut hist_a,
+            baseline,
+            &truth_now,
+            cfg,
+            &mut rng_a,
+            &mut base,
+            &mut |_, _| {},
+        );
+        run_day(
+            &bucket_b,
+            &mut hist_b,
+            experiment,
+            &truth_now,
+            cfg,
+            &mut rng_b,
+            &mut exp,
+            &mut |u, i| on_experiment_event(u, i),
+        );
+    }
+    // normalize by bucket size (buckets can differ by one user)
+    let scale = |o: &BucketOutcome, n: usize| BucketOutcome {
+        impressions: (o.impressions as f64 / n.max(1) as f64 * 1000.0) as u64,
+        clicks: (o.clicks as f64 / n.max(1) as f64 * 1000.0) as u64,
+        trades: (o.trades as f64 / n.max(1) as f64 * 1000.0) as u64,
+    };
+    AbResult {
+        baseline: scale(&base, bucket_a.len()),
+        experiment: scale(&exp, bucket_b.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_truth(n_users: usize, n_items: usize) -> GroundTruth {
+        let mut rng = rng_for(7, 70);
+        let unit = |rng: &mut StdRng| {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            let n = (a * a + b * b).sqrt().max(1e-6);
+            vec![a / n, b / n]
+        };
+        GroundTruth {
+            user_latent: (0..n_users).map(|_| unit(&mut rng)).collect(),
+            item_latent: (0..n_items).map(|_| unit(&mut rng)).collect(),
+            item_pop: vec![1.0; n_items],
+            user_group: vec![0; n_users],
+            niche: vec![vec![]],
+        }
+    }
+
+    /// Oracle generator: the truly best items for the user.
+    struct Oracle<'t> {
+        truth: &'t GroundTruth,
+        n_items: usize,
+    }
+
+    impl CandidateGen for Oracle<'_> {
+        fn candidates(&self, user: u32, _history: &[u32], n: usize) -> Vec<u32> {
+            let scored = (0..self.n_items as u32).map(|i| (i, self.truth.affinity(user, i)));
+            topk_of_pairs(scored, n).into_iter().map(|s| s.id).collect()
+        }
+    }
+
+    /// Random generator — a deliberately bad candidate stage.
+    struct Random;
+
+    impl CandidateGen for Random {
+        fn candidates(&self, user: u32, _history: &[u32], n: usize) -> Vec<u32> {
+            (0..n as u32).map(|i| (user + i * 7) % 40).collect()
+        }
+    }
+
+    #[test]
+    fn oracle_beats_random() {
+        let truth = tiny_truth(40, 40);
+        let hists: Vec<Vec<u32>> = vec![vec![]; 40];
+        let cfg = AbTestConfig {
+            n_days: 3,
+            candidate_n: 15,
+            slate_size: 5,
+            ..Default::default()
+        };
+        let res = run_ab_test(
+            40,
+            &hists,
+            &Random,
+            &Oracle { truth: &truth, n_items: 40 },
+            &truth,
+            &cfg,
+            |_, _| {},
+        );
+        assert!(
+            res.click_lift() > 0.1,
+            "oracle lift {} should be clearly positive",
+            res.click_lift()
+        );
+    }
+
+    #[test]
+    fn aa_test_is_near_neutral() {
+        let truth = tiny_truth(60, 40);
+        let hists: Vec<Vec<u32>> = vec![vec![]; 60];
+        let cfg = AbTestConfig {
+            n_days: 3,
+            candidate_n: 15,
+            slate_size: 5,
+            ..Default::default()
+        };
+        let oracle = Oracle { truth: &truth, n_items: 40 };
+        let res = run_ab_test(60, &hists, &oracle, &oracle, &truth, &cfg, |_, _| {});
+        assert!(
+            res.click_lift().abs() < 0.15,
+            "A/A lift {} too large",
+            res.click_lift()
+        );
+    }
+
+    #[test]
+    fn buckets_partition_users() {
+        let (a, b) = split_buckets(11, 3);
+        assert_eq!(a.len() + b.len(), 11);
+        let mut all: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..11).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn clicks_feed_back_into_history() {
+        let truth = tiny_truth(4, 10);
+        let mut hists: Vec<Vec<u32>> = vec![vec![]; 4];
+        let cfg = AbTestConfig {
+            n_days: 2,
+            candidate_n: 10,
+            slate_size: 5,
+            click_model: ClickModel {
+                click_bias: 5.0, // near-certain clicks
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let oracle = Oracle { truth: &truth, n_items: 10 };
+        let users = [0u32, 1, 2, 3];
+        let out = run_bucket(&users, &mut hists, &oracle, &truth, &cfg, 1, |_, _| {});
+        assert!(out.clicks > 0);
+        assert!(hists.iter().any(|h| !h.is_empty()));
+    }
+}

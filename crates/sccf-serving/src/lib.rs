@@ -1,0 +1,22 @@
+//! # sccf-serving
+//!
+//! Serving-side simulation: the chronological event replayer
+//! ([`stream`]), the bounded out-of-order reordering buffer
+//! ([`watermark`]), the behavioral click/trade model ([`click_model`])
+//! and the two-bucket A/B experiment harness ([`ab_test`]) that
+//! regenerates Table V. The judge of the A/B test is the synthetic generator's
+//! ground-truth latent state — never a learned model — so neither bucket
+//! can win by flattering its own scorer.
+
+pub mod ab_test;
+pub mod click_model;
+pub mod stream;
+pub mod watermark;
+
+pub use ab_test::{
+    run_ab_test, run_bucket, split_buckets, AbResult, AbTestConfig, BucketOutcome, CandidateGen,
+    FnCandidateGen,
+};
+pub use click_model::ClickModel;
+pub use stream::{events_after, replay_events, StreamEvent};
+pub use watermark::WatermarkBuffer;

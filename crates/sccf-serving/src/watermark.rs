@@ -1,0 +1,229 @@
+//! Bounded out-of-order event buffering.
+//!
+//! Production event streams (the Taobao click log feeding the paper's
+//! real-time loop) are never perfectly time-ordered: collection shards
+//! race, mobile clients batch uploads, retries duplicate. Feeding the
+//! [`RealtimeEngine`](sccf_core::RealtimeEngine) raw would corrupt
+//! per-user history order, which sequential backends (SASRec, GRU4Rec)
+//! are sensitive to.
+//!
+//! [`WatermarkBuffer`] implements the standard streaming fix: events wait
+//! in a min-heap until the *watermark* — the maximum observed timestamp
+//! minus an allowed lateness — passes them, then drain in timestamp
+//! order. Events older than the watermark on arrival are dropped and
+//! counted (the operator-visible data-loss signal).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::stream::StreamEvent;
+
+/// Heap adapter ordering events by `(ts, user, item)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapEvent {
+    ts: i64,
+    user: u32,
+    item: u32,
+}
+
+impl From<StreamEvent> for HeapEvent {
+    fn from(e: StreamEvent) -> Self {
+        Self {
+            ts: e.ts,
+            user: e.user,
+            item: e.item,
+        }
+    }
+}
+
+impl From<HeapEvent> for StreamEvent {
+    fn from(e: HeapEvent) -> Self {
+        Self {
+            ts: e.ts,
+            user: e.user,
+            item: e.item,
+        }
+    }
+}
+
+/// Reordering buffer with bounded lateness.
+#[derive(Debug)]
+pub struct WatermarkBuffer {
+    /// How far behind the max observed timestamp an event may arrive.
+    allowed_lateness: i64,
+    heap: BinaryHeap<Reverse<HeapEvent>>,
+    max_ts: Option<i64>,
+    dropped: u64,
+    accepted: u64,
+}
+
+impl WatermarkBuffer {
+    /// `allowed_lateness` in the stream's own time unit (≥ 0).
+    pub fn new(allowed_lateness: i64) -> Self {
+        assert!(allowed_lateness >= 0, "lateness must be non-negative");
+        Self {
+            allowed_lateness,
+            heap: BinaryHeap::new(),
+            max_ts: None,
+            dropped: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Current watermark: no event at or before this timestamp may still
+    /// arrive (events at `ts ≤ watermark` are safe to emit).
+    pub fn watermark(&self) -> Option<i64> {
+        self.max_ts.map(|m| m - self.allowed_lateness)
+    }
+
+    /// Events accepted so far (buffered or already emitted).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Events dropped as too late.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently waiting in the buffer.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Offer one event; returns every event the advancing watermark has
+    /// released, in timestamp order. A too-late event (older than the
+    /// watermark *before* this arrival advances it) is dropped.
+    pub fn push(&mut self, event: StreamEvent) -> Vec<StreamEvent> {
+        if let Some(w) = self.watermark() {
+            if event.ts < w {
+                self.dropped += 1;
+                return self.drain_ready();
+            }
+        }
+        self.accepted += 1;
+        self.max_ts = Some(self.max_ts.map_or(event.ts, |m| m.max(event.ts)));
+        self.heap.push(Reverse(event.into()));
+        self.drain_ready()
+    }
+
+    fn drain_ready(&mut self) -> Vec<StreamEvent> {
+        let Some(w) = self.watermark() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.ts <= w {
+                out.push(StreamEvent::from(self.heap.pop().unwrap().0));
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// End of stream: release everything still buffered, in order.
+    pub fn flush(&mut self) -> Vec<StreamEvent> {
+        let mut rest: Vec<StreamEvent> = Vec::with_capacity(self.heap.len());
+        while let Some(Reverse(e)) = self.heap.pop() {
+            rest.push(e.into());
+        }
+        rest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: i64, user: u32, item: u32) -> StreamEvent {
+        StreamEvent { ts, user, item }
+    }
+
+    /// Push all events, collecting emissions plus the final flush.
+    fn run(buffer: &mut WatermarkBuffer, events: &[StreamEvent]) -> Vec<StreamEvent> {
+        let mut out = Vec::new();
+        for &e in events {
+            out.extend(buffer.push(e));
+        }
+        out.extend(buffer.flush());
+        out
+    }
+
+    #[test]
+    fn reorders_within_lateness_bound() {
+        let mut b = WatermarkBuffer::new(5);
+        // 12 arrives before 10; both inside the bound
+        let out = run(&mut b, &[ev(12, 0, 1), ev(10, 1, 2), ev(20, 2, 3)]);
+        let ts: Vec<i64> = out.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![10, 12, 20]);
+        assert_eq!(b.dropped(), 0);
+    }
+
+    #[test]
+    fn drops_events_older_than_watermark() {
+        let mut b = WatermarkBuffer::new(2);
+        b.push(ev(100, 0, 1)); // watermark = 98
+        let out = b.push(ev(10, 1, 2)); // far too late
+        assert!(out.is_empty() || out.iter().all(|e| e.ts != 10));
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(b.accepted(), 1);
+    }
+
+    #[test]
+    fn boundary_event_exactly_at_watermark_is_kept() {
+        let mut b = WatermarkBuffer::new(2);
+        let mut all = b.push(ev(100, 0, 1)); // watermark = 98
+        all.extend(b.push(ev(98, 1, 2))); // exactly at the watermark — not older
+        assert_eq!(b.dropped(), 0);
+        all.extend(b.flush());
+        assert!(all.iter().any(|e| e.ts == 98));
+    }
+
+    #[test]
+    fn zero_lateness_is_pass_through_in_order() {
+        let mut b = WatermarkBuffer::new(0);
+        let out = run(&mut b, &[ev(1, 0, 1), ev(2, 0, 2), ev(3, 0, 3)]);
+        assert_eq!(out.len(), 3);
+        assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn emission_is_globally_sorted_even_under_shuffle() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        // timestamps 0..200, shuffled within windows of 8 (bounded disorder)
+        let mut events: Vec<StreamEvent> =
+            (0..200).map(|t| ev(t, (t % 7) as u32, t as u32)).collect();
+        for chunk in events.chunks_mut(8) {
+            chunk.shuffle(&mut rng);
+        }
+        let mut b = WatermarkBuffer::new(8);
+        let out = run(&mut b, &events);
+        assert_eq!(out.len(), 200, "no event lost within the bound");
+        assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert_eq!(b.dropped(), 0);
+    }
+
+    #[test]
+    fn flush_releases_everything() {
+        let mut b = WatermarkBuffer::new(100);
+        b.push(ev(1, 0, 1));
+        b.push(ev(2, 0, 2));
+        assert_eq!(b.pending(), 2); // watermark far behind, nothing emitted
+        let rest = b.flush();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn duplicate_timestamps_all_survive() {
+        let mut b = WatermarkBuffer::new(1);
+        let out = run(
+            &mut b,
+            &[ev(5, 0, 1), ev(5, 1, 2), ev(5, 2, 3), ev(9, 0, 4)],
+        );
+        assert_eq!(out.len(), 4);
+    }
+}

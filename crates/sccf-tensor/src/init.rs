@@ -1,0 +1,138 @@
+//! Weight initialization.
+//!
+//! The paper (§IV-A.4) initializes all parameters from a truncated normal
+//! distribution in the range `[-0.01, 0.01]`. [`trunc_normal`] implements
+//! truncated-normal sampling by rejection; [`Initializer`] bundles the
+//! common schemes so model constructors stay declarative.
+
+use rand::Rng;
+use rand_distr_normal::sample_standard_normal;
+
+use crate::mat::Mat;
+
+/// Standard normal sampling via Box–Muller (rand's `StandardNormal` lives
+/// in `rand_distr`, which is outside the approved dependency set).
+mod rand_distr_normal {
+    use rand::Rng;
+
+    pub fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+        // Box–Muller transform; u1 in (0,1] to avoid ln(0).
+        let u1: f32 = 1.0 - rng.gen::<f32>();
+        let u2: f32 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+}
+
+/// One sample from `N(mean, std²)` truncated to `[lo, hi]` (rejection
+/// sampling; falls back to clamping after 100 rejections, which for the
+/// ±2σ windows used here essentially never happens).
+pub fn trunc_normal(rng: &mut impl Rng, mean: f32, std: f32, lo: f32, hi: f32) -> f32 {
+    assert!(lo < hi, "empty truncation window");
+    for _ in 0..100 {
+        let x = mean + std * sample_standard_normal(rng);
+        if x >= lo && x <= hi {
+            return x;
+        }
+    }
+    mean.clamp(lo, hi)
+}
+
+/// Initialization schemes used across the models.
+#[derive(Debug, Clone, Copy)]
+pub enum Initializer {
+    /// All zeros (biases, LayerNorm shift).
+    Zeros,
+    /// All ones (LayerNorm scale).
+    Ones,
+    /// Truncated normal, the paper's default: `N(0, std²)` clipped to ±2σ.
+    TruncNormal { std: f32 },
+    /// Glorot/Xavier uniform for `(fan_in × fan_out)` weight matrices.
+    XavierUniform,
+}
+
+impl Initializer {
+    /// The paper's §IV-A.4 default: truncated normal over `[-0.01, 0.01]`
+    /// (σ = 0.005, clipped at ±2σ).
+    pub fn paper_default() -> Self {
+        Initializer::TruncNormal { std: 0.005 }
+    }
+
+    /// Materialize a `(rows × cols)` matrix.
+    pub fn init(&self, rng: &mut impl Rng, rows: usize, cols: usize) -> Mat {
+        match *self {
+            Initializer::Zeros => Mat::zeros(rows, cols),
+            Initializer::Ones => Mat::filled(rows, cols, 1.0),
+            Initializer::TruncNormal { std } => {
+                let lo = -2.0 * std;
+                let hi = 2.0 * std;
+                let data = (0..rows * cols)
+                    .map(|_| trunc_normal(rng, 0.0, std, lo, hi))
+                    .collect();
+                Mat::from_vec(rows, cols, data)
+            }
+            Initializer::XavierUniform => {
+                let limit = (6.0 / (rows + cols) as f32).sqrt();
+                let data = (0..rows * cols)
+                    .map(|_| rng.gen_range(-limit..limit))
+                    .collect();
+                Mat::from_vec(rows, cols, data)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trunc_normal_respects_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = trunc_normal(&mut rng, 0.0, 1.0, -0.5, 0.5);
+            assert!((-0.5..=0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn paper_default_within_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let m = Initializer::paper_default().init(&mut rng, 10, 10);
+        for &v in m.data() {
+            assert!(v.abs() <= 0.01 + 1e-6, "{v}");
+        }
+        // not all identical
+        assert!(m.data().iter().any(|&v| (v - m.get(0, 0)).abs() > 1e-9));
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_fan() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let small = Initializer::XavierUniform.init(&mut rng, 4, 4);
+        let big = Initializer::XavierUniform.init(&mut rng, 400, 400);
+        let max_small = small.data().iter().cloned().fold(0.0f32, |a, b| a.max(b.abs()));
+        let max_big = big.data().iter().cloned().fold(0.0f32, |a, b| a.max(b.abs()));
+        assert!(max_big < max_small);
+    }
+
+    #[test]
+    fn zeros_and_ones() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        assert!(Initializer::Zeros.init(&mut rng, 2, 2).data().iter().all(|&v| v == 0.0));
+        assert!(Initializer::Ones.init(&mut rng, 2, 2).data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n)
+            .map(|_| super::rand_distr_normal::sample_standard_normal(&mut rng))
+            .collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

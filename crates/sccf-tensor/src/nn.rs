@@ -1,0 +1,851 @@
+//! Neural-network layers assembled from tape ops.
+//!
+//! A layer owns [`ParamId`]s (registered into a [`ParamStore`] at build
+//! time) plus hyper-parameters, and exposes `forward(&self, &mut Tape, ..)`.
+//! The composition mirrors Figure 3 of the paper: Transformer encoder
+//! blocks = multi-head self-attention + position-wise FFN, each wrapped in
+//! `LayerNorm(x + Dropout(sublayer(x)))` (Eq. 7).
+
+use rand::rngs::StdRng;
+
+use crate::init::Initializer;
+use crate::mat::Mat;
+use crate::store::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+
+/// Shared forward-pass context: training mode toggles dropout, and the RNG
+/// keeps dropout reproducible.
+pub struct FwdCtx<'r> {
+    pub train: bool,
+    pub rng: &'r mut StdRng,
+}
+
+impl<'r> FwdCtx<'r> {
+    pub fn new(train: bool, rng: &'r mut StdRng) -> Self {
+        Self { train, rng }
+    }
+}
+
+/// Fully connected layer `y = x W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    pub w: ParamId,
+    pub b: Option<ParamId>,
+    pub d_in: usize,
+    pub d_out: usize,
+}
+
+impl Linear {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        bias: bool,
+        init: Initializer,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), init.init(rng, d_in, d_out));
+        let b = bias.then(|| store.add(format!("{name}.b"), Mat::zeros(1, d_out)));
+        Self { w, b, d_in, d_out }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let w = tape.param(self.w);
+        let y = tape.matmul(x, w);
+        match self.b {
+            Some(b) => {
+                let bv = tape.param(b);
+                tape.add_bias(y, bv)
+            }
+            None => y,
+        }
+    }
+}
+
+/// Embedding table: id → dense row.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    pub table: ParamId,
+    pub n: usize,
+    pub d: usize,
+}
+
+impl Embedding {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        n: usize,
+        d: usize,
+        init: Initializer,
+        rng: &mut StdRng,
+    ) -> Self {
+        let table = store.add_sparse(name, init.init(rng, n, d));
+        Self { table, n, d }
+    }
+
+    /// Gather rows for `ids` → `(ids.len() × d)`.
+    pub fn lookup(&self, tape: &mut Tape, ids: &[u32]) -> Var {
+        tape.gather(self.table, ids)
+    }
+
+    /// Inference-only row read, bypassing the tape.
+    pub fn row<'s>(&self, store: &'s ParamStore, id: u32) -> &'s [f32] {
+        store.value(self.table).row(id as usize)
+    }
+}
+
+/// Row-wise LayerNorm with learnable scale and shift.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    pub gamma: ParamId,
+    pub beta: ParamId,
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    pub fn new(store: &mut ParamStore, name: &str, d: usize) -> Self {
+        Self {
+            gamma: store.add(format!("{name}.gamma"), Mat::filled(1, d, 1.0)),
+            beta: store.add(format!("{name}.beta"), Mat::zeros(1, d)),
+            eps: 1e-8,
+        }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let g = tape.param(self.gamma);
+        let b = tape.param(self.beta);
+        tape.layer_norm(x, g, b, self.eps)
+    }
+}
+
+/// Multi-head causal self-attention over one sequence `(L × d)` (Eq. 4–5).
+///
+/// The paper's SASRec configuration uses a single head; the implementation
+/// is generic over `heads` (d must be divisible by it).
+#[derive(Debug, Clone)]
+pub struct MultiHeadSelfAttention {
+    pub wq: Linear,
+    pub wk: Linear,
+    pub wv: Linear,
+    pub wo: Linear,
+    pub heads: usize,
+    pub d: usize,
+}
+
+impl MultiHeadSelfAttention {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d: usize,
+        heads: usize,
+        init: Initializer,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(heads > 0 && d.is_multiple_of(heads), "d must divide by heads");
+        Self {
+            wq: Linear::new(store, &format!("{name}.wq"), d, d, false, init, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), d, d, false, init, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), d, d, false, init, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), d, d, false, init, rng),
+            heads,
+            d,
+        }
+    }
+
+    /// Causal forward: position `i` attends to positions `0..=i`.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let q = self.wq.forward(tape, x);
+        let k = self.wk.forward(tape, x);
+        let v = self.wv.forward(tape, x);
+        let dh = self.d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut outs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = tape.slice_cols(q, h * dh, dh);
+            let kh = tape.slice_cols(k, h * dh, dh);
+            let vh = tape.slice_cols(v, h * dh, dh);
+            let scores = tape.matmul_nt(qh, kh);
+            let scaled = tape.scale(scores, scale);
+            let attn = tape.causal_softmax(scaled, 0);
+            outs.push(tape.matmul(attn, vh));
+        }
+        let concat = if outs.len() == 1 {
+            outs[0]
+        } else {
+            tape.concat_cols(&outs)
+        };
+        self.wo.forward(tape, concat)
+    }
+}
+
+/// Position-wise feed-forward network (Eq. 6):
+/// `FFN(h) = ReLU(h W₁ + b₁) W₂ + b₂`.
+#[derive(Debug, Clone)]
+pub struct PointwiseFfn {
+    pub l1: Linear,
+    pub l2: Linear,
+}
+
+impl PointwiseFfn {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d: usize,
+        d_hidden: usize,
+        init: Initializer,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self {
+            l1: Linear::new(store, &format!("{name}.l1"), d, d_hidden, true, init, rng),
+            l2: Linear::new(store, &format!("{name}.l2"), d_hidden, d, true, init, rng),
+        }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let h = self.l1.forward(tape, x);
+        let a = tape.relu(h);
+        self.l2.forward(tape, a)
+    }
+}
+
+/// One Transformer encoder block (Figure 3a, Eq. 7):
+/// `y = LN(x + Dropout(MHA(x)))`, `z = LN(y + Dropout(FFN(y)))`.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    pub mha: MultiHeadSelfAttention,
+    pub ffn: PointwiseFfn,
+    pub ln1: LayerNorm,
+    pub ln2: LayerNorm,
+    pub dropout: f32,
+}
+
+impl TransformerBlock {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d: usize,
+        heads: usize,
+        d_ffn: usize,
+        dropout: f32,
+        init: Initializer,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self {
+            mha: MultiHeadSelfAttention::new(store, &format!("{name}.mha"), d, heads, init, rng),
+            ffn: PointwiseFfn::new(store, &format!("{name}.ffn"), d, d_ffn, init, rng),
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), d),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), d),
+            dropout,
+        }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, x: Var, ctx: &mut FwdCtx) -> Var {
+        let a = self.mha.forward(tape, x);
+        let a = self.maybe_dropout(tape, a, ctx);
+        let res1 = tape.add(x, a);
+        let y = self.ln1.forward(tape, res1);
+
+        let f = self.ffn.forward(tape, y);
+        let f = self.maybe_dropout(tape, f, ctx);
+        let res2 = tape.add(y, f);
+        self.ln2.forward(tape, res2)
+    }
+
+    fn maybe_dropout(&self, tape: &mut Tape, x: Var, ctx: &mut FwdCtx) -> Var {
+        if ctx.train && self.dropout > 0.0 {
+            tape.dropout(x, self.dropout, ctx.rng)
+        } else {
+            x
+        }
+    }
+}
+
+/// Gated recurrent unit processed step by step over one sequence.
+///
+/// For each step with input `x` (`1×d_in`) and state `h` (`1×d_h`):
+///
+/// ```text
+/// z = σ(x·Wz + h·Uz + bz)          update gate
+/// r = σ(x·Wr + h·Ur + br)          reset gate
+/// ĥ = tanh(x·Wh + (r⊙h)·Uh + bh)   candidate state
+/// h' = (1−z)⊙h + z⊙ĥ
+/// ```
+///
+/// This is the recurrence of GRU4Rec (Hidasi et al., the paper's reference
+/// \[43\]) — the session-based baseline the related-work section positions
+/// SASRec against. Step inputs are passed as separate `1×d_in` vars so the
+/// caller can gather each item embedding individually (no row slicing
+/// needed on the tape).
+#[derive(Debug, Clone)]
+pub struct Gru {
+    pub wz: Linear,
+    pub uz: Linear,
+    pub wr: Linear,
+    pub ur: Linear,
+    pub wh: Linear,
+    pub uh: Linear,
+    pub d_in: usize,
+    pub d_h: usize,
+}
+
+impl Gru {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_h: usize,
+        init: Initializer,
+        rng: &mut StdRng,
+    ) -> Self {
+        // Biases live on the input-side projections; the state-side
+        // projections are bias-free (adding both is redundant).
+        Self {
+            wz: Linear::new(store, &format!("{name}.wz"), d_in, d_h, true, init, rng),
+            uz: Linear::new(store, &format!("{name}.uz"), d_h, d_h, false, init, rng),
+            wr: Linear::new(store, &format!("{name}.wr"), d_in, d_h, true, init, rng),
+            ur: Linear::new(store, &format!("{name}.ur"), d_h, d_h, false, init, rng),
+            wh: Linear::new(store, &format!("{name}.wh"), d_in, d_h, true, init, rng),
+            uh: Linear::new(store, &format!("{name}.uh"), d_h, d_h, false, init, rng),
+            d_in,
+            d_h,
+        }
+    }
+
+    /// One recurrence step: `(x: 1×d_in, h: 1×d_h) → 1×d_h`.
+    pub fn step(&self, tape: &mut Tape, x: Var, h: Var) -> Var {
+        let z = {
+            let a = self.wz.forward(tape, x);
+            let b = self.uz.forward(tape, h);
+            let s = tape.add(a, b);
+            tape.sigmoid(s)
+        };
+        let r = {
+            let a = self.wr.forward(tape, x);
+            let b = self.ur.forward(tape, h);
+            let s = tape.add(a, b);
+            tape.sigmoid(s)
+        };
+        let cand = {
+            let a = self.wh.forward(tape, x);
+            let rh = tape.mul(r, h);
+            let b = self.uh.forward(tape, rh);
+            let s = tape.add(a, b);
+            tape.tanh(s)
+        };
+        let keep = tape.affine(z, -1.0, 1.0); // 1 − z
+        let old = tape.mul(keep, h);
+        let new = tape.mul(z, cand);
+        tape.add(old, new)
+    }
+
+    /// Run the recurrence from a zero state over `xs` (each `1×d_in`);
+    /// returns every hidden state in step order (each `1×d_h`).
+    pub fn run(&self, tape: &mut Tape, xs: &[Var]) -> Vec<Var> {
+        let mut h = tape.input(Mat::zeros(1, self.d_h));
+        let mut states = Vec::with_capacity(xs.len());
+        for &x in xs {
+            h = self.step(tape, x, h);
+            states.push(h);
+        }
+        states
+    }
+
+    /// Tape-free recurrence step for the inference hot path. The tape
+    /// version copies six weight matrices onto the tape *per step*; this
+    /// one reads them in place, which is what keeps `infer_user` in
+    /// real-time territory (Table III's "inferring time"). Verified equal
+    /// to [`Gru::step`] in the test suite.
+    pub fn infer_step(&self, store: &ParamStore, x: &[f32], h: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.d_in);
+        debug_assert_eq!(h.len(), self.d_h);
+        let dh = self.d_h;
+        // gate(x·W + h·U + b)
+        let gate = |w: &Linear, u: &Linear, out: &mut [f32], h: &[f32]| {
+            let wm = store.value(w.w);
+            let um = store.value(u.w);
+            for (j, o) in out.iter_mut().enumerate() {
+                let mut acc = match w.b {
+                    Some(b) => store.value(b).get(0, j),
+                    None => 0.0,
+                };
+                for (i, &xv) in x.iter().enumerate() {
+                    acc += xv * wm.get(i, j);
+                }
+                for (i, &hv) in h.iter().enumerate() {
+                    acc += hv * um.get(i, j);
+                }
+                *o = acc;
+            }
+        };
+        let mut z = vec![0.0f32; dh];
+        let mut r = vec![0.0f32; dh];
+        gate(&self.wz, &self.uz, &mut z, h);
+        gate(&self.wr, &self.ur, &mut r, h);
+        for v in z.iter_mut().chain(r.iter_mut()) {
+            *v = crate::tape::stable_sigmoid(*v);
+        }
+        // candidate uses r ⊙ h on the state side
+        let rh: Vec<f32> = r.iter().zip(h.iter()).map(|(&rv, &hv)| rv * hv).collect();
+        let mut cand = vec![0.0f32; dh];
+        gate(&self.wh, &self.uh, &mut cand, &rh);
+        for ((hv, &zv), &cv) in h.iter_mut().zip(&z).zip(&cand) {
+            *hv = (1.0 - zv) * *hv + zv * cv.tanh();
+        }
+    }
+}
+
+/// Caser's convolutional sequence encoder (Tang & Wang, the paper's
+/// reference \[45\]): the last `l` item embeddings form an `l×d` "image";
+/// horizontal filters of several heights slide over time and are
+/// max-pooled, a vertical filter takes weighted sums over time, and a
+/// fully connected layer maps the concatenation to the `d`-dimensional
+/// user representation.
+///
+/// The original Caser concatenates a learned per-user id embedding before
+/// the final projection; we omit it so the encoder stays *inductive* (the
+/// SCCF requirement, §III-B) — the representation must be computable for
+/// any new history without retraining.
+#[derive(Debug, Clone)]
+pub struct CaserEncoder {
+    /// `(window height h, conv = Linear(h·d → n_h))` per height.
+    pub horizontal: Vec<(usize, Linear)>,
+    /// Vertical filter bank `n_v × l` (a dense param used as the left
+    /// operand of a matmul over the sequence image).
+    pub vertical: ParamId,
+    /// Final projection to the user representation.
+    pub fc: Linear,
+    /// Fixed sequence length (shorter histories are front-padded with
+    /// zero rows, longer ones truncated to the most recent `l`).
+    pub l: usize,
+    pub d: usize,
+    pub n_v: usize,
+}
+
+impl CaserEncoder {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        l: usize,
+        d: usize,
+        heights: &[usize],
+        n_h: usize,
+        n_v: usize,
+        init: Initializer,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(!heights.is_empty(), "need at least one horizontal height");
+        assert!(heights.iter().all(|&h| h >= 1 && h <= l), "heights must fit in l");
+        let horizontal = heights
+            .iter()
+            .map(|&h| {
+                let conv = Linear::new(
+                    store,
+                    &format!("{name}.h{h}"),
+                    h * d,
+                    n_h,
+                    true,
+                    init,
+                    rng,
+                );
+                (h, conv)
+            })
+            .collect();
+        let vertical = store.add(format!("{name}.v"), init.init(rng, n_v, l));
+        let fc_in = heights.len() * n_h + n_v * d;
+        let fc = Linear::new(store, &format!("{name}.fc"), fc_in, d, true, init, rng);
+        Self {
+            horizontal,
+            vertical,
+            fc,
+            l,
+            d,
+            n_v,
+        }
+    }
+
+    /// Encode a padded sequence image `E` (`l×d`) to the user
+    /// representation (`1×d`).
+    pub fn forward(&self, tape: &mut Tape, image: Var) -> Var {
+        assert_eq!(tape.shape(image), (self.l, self.d), "image must be l×d");
+        let mut features = Vec::with_capacity(self.horizontal.len() + 1);
+        for (h, conv) in &self.horizontal {
+            let windows = tape.unfold_rows(image, *h);
+            let convolved = conv.forward(tape, windows);
+            let act = tape.relu(convolved);
+            features.push(tape.max_rows(act));
+        }
+        // Vertical filters: (n_v × l)(l × d) → n_v × d, flattened to
+        // 1 × (n_v·d) via a full-height unfold.
+        let v = tape.param(self.vertical);
+        let vert = tape.matmul(v, image);
+        features.push(tape.unfold_rows(vert, self.n_v));
+        let cat = tape.concat_cols(&features);
+        let proj = self.fc.forward(tape, cat);
+        tape.relu(proj)
+    }
+
+    /// Build the `l×d` image for a history: gather the most recent `l`
+    /// item embeddings and front-pad with zero rows when shorter.
+    pub fn image(&self, tape: &mut Tape, emb: &Embedding, history: &[u32]) -> Var {
+        let recent = if history.len() > self.l {
+            &history[history.len() - self.l..]
+        } else {
+            history
+        };
+        if recent.is_empty() {
+            return tape.input(Mat::zeros(self.l, self.d));
+        }
+        let items = emb.lookup(tape, recent);
+        if recent.len() == self.l {
+            items
+        } else {
+            let pad = tape.input(Mat::zeros(self.l - recent.len(), self.d));
+            tape.concat_rows(&[pad, items])
+        }
+    }
+}
+
+/// A plain MLP: alternating `Linear` + ReLU, final layer linear. This is
+/// the fusion network of the integrating component (Eq. 15).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    pub layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// `dims = [d_in, h1, ..., d_out]`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dims: &[usize],
+        init: Initializer,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                Linear::new(store, &format!("{name}.fc{i}"), w[0], w[1], true, init, rng)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, h);
+            if i < last {
+                h = tape.relu(h);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let lin = Linear::new(&mut store, "l", 3, 5, true, Initializer::XavierUniform, &mut r);
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::zeros(2, 3));
+        let y = lin.forward(&mut tape, x);
+        assert_eq!(tape.shape(y), (2, 5));
+        // zero input → output equals bias (zeros initially)
+        assert!(tape.value(y).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn embedding_lookup_matches_rows() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let emb = Embedding::new(&mut store, "e", 10, 4, Initializer::XavierUniform, &mut r);
+        let mut tape = Tape::new(&store);
+        let x = emb.lookup(&mut tape, &[3, 7]);
+        assert_eq!(tape.value(x).row(0), emb.row(&store, 3));
+        assert_eq!(tape.value(x).row(1), emb.row(&store, 7));
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::from_vec(2, 4, vec![1., 2., 3., 4., 10., 20., 30., 40.]));
+        let y = ln.forward(&mut tape, x);
+        for r in 0..2 {
+            let row = tape.value(y).row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn attention_is_causal() {
+        // Changing a later input must not change earlier outputs.
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let mha = MultiHeadSelfAttention::new(
+            &mut store,
+            "mha",
+            4,
+            2,
+            Initializer::XavierUniform,
+            &mut r,
+        );
+        let base = Mat::from_vec(3, 4, (0..12).map(|v| v as f32 * 0.1).collect());
+        let mut tape1 = Tape::new(&store);
+        let x1 = tape1.input(base.clone());
+        let y1 = mha.forward(&mut tape1, x1);
+        let mut modified = base.clone();
+        modified.row_mut(2)[0] = 99.0; // perturb the last position
+        let mut tape2 = Tape::new(&store);
+        let x2 = tape2.input(modified);
+        let y2 = mha.forward(&mut tape2, x2);
+        for pos in 0..2 {
+            for c in 0..4 {
+                assert!(
+                    (tape1.value(y1).get(pos, c) - tape2.value(y2).get(pos, c)).abs() < 1e-6,
+                    "position {pos} leaked future information"
+                );
+            }
+        }
+        // ... but the last position does change
+        let delta: f32 = (0..4)
+            .map(|c| (tape1.value(y1).get(2, c) - tape2.value(y2).get(2, c)).abs())
+            .sum();
+        assert!(delta > 1e-6);
+    }
+
+    #[test]
+    fn transformer_block_roundtrip_shapes() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let block = TransformerBlock::new(
+            &mut store,
+            "b0",
+            8,
+            1,
+            8,
+            0.2,
+            Initializer::XavierUniform,
+            &mut r,
+        );
+        let mut drop_rng = rng();
+        let mut ctx = FwdCtx::new(true, &mut drop_rng);
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::filled(5, 8, 0.3));
+        let y = block.forward(&mut tape, x, &mut ctx);
+        assert_eq!(tape.shape(y), (5, 8));
+        assert!(!tape.value(y).has_non_finite());
+    }
+
+    #[test]
+    fn eval_mode_disables_dropout() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let block = TransformerBlock::new(
+            &mut store,
+            "b0",
+            4,
+            1,
+            4,
+            0.9,
+            Initializer::XavierUniform,
+            &mut r,
+        );
+        let x_mat = Mat::filled(3, 4, 1.0);
+        let run = |train: bool| {
+            let mut drop_rng = StdRng::seed_from_u64(99);
+            let mut ctx = FwdCtx::new(train, &mut drop_rng);
+            let mut tape = Tape::new(&store);
+            let x = tape.input(x_mat.clone());
+            let y = block.forward(&mut tape, x, &mut ctx);
+            tape.value(y).clone()
+        };
+        // eval is deterministic
+        assert_eq!(run(false), run(false));
+    }
+
+    #[test]
+    fn gru_step_shapes_and_state_mixing() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let gru = Gru::new(&mut store, "g", 3, 5, Initializer::XavierUniform, &mut r);
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::filled(1, 3, 0.5));
+        let h = tape.input(Mat::zeros(1, 5));
+        let h1 = gru.step(&mut tape, x, h);
+        assert_eq!(tape.shape(h1), (1, 5));
+        // With a zero state, h' = z ⊙ tanh(x·Wh + bh) — bounded by 1.
+        assert!(tape.value(h1).data().iter().all(|v| v.abs() < 1.0));
+        // A second distinct step must change the state.
+        let x2 = tape.input(Mat::filled(1, 3, -0.8));
+        let h2 = gru.step(&mut tape, x2, h1);
+        assert_ne!(tape.value(h1).data(), tape.value(h2).data());
+    }
+
+    #[test]
+    fn gru_run_returns_all_states_in_order() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let gru = Gru::new(&mut store, "g", 2, 4, Initializer::XavierUniform, &mut r);
+        let mut tape = Tape::new(&store);
+        let xs: Vec<_> = (0..3)
+            .map(|i| tape.input(Mat::filled(1, 2, 0.1 * (i + 1) as f32)))
+            .collect();
+        let states = gru.run(&mut tape, &xs);
+        assert_eq!(states.len(), 3);
+        // Prefix property: running only the first two steps reproduces
+        // state 2 exactly (the recurrence is left-to-right).
+        let mut tape2 = Tape::new(&store);
+        let xs2: Vec<_> = (0..2)
+            .map(|i| tape2.input(Mat::filled(1, 2, 0.1 * (i + 1) as f32)))
+            .collect();
+        let states2 = gru.run(&mut tape2, &xs2);
+        assert_eq!(
+            tape.value(states[1]).data(),
+            tape2.value(states2[1]).data()
+        );
+    }
+
+    #[test]
+    fn gru_zero_update_gate_preserves_state() {
+        // Force Wz/Uz/bz towards -∞ ⇒ z ≈ 0 ⇒ h' ≈ h.
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let gru = Gru::new(&mut store, "g", 2, 3, Initializer::XavierUniform, &mut r);
+        if let Some(b) = gru.wz.b {
+            store.value_mut(b).data_mut().fill(-50.0);
+        }
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::filled(1, 2, 1.0));
+        let h = tape.input(Mat::from_vec(1, 3, vec![0.3, -0.2, 0.9]));
+        let h1 = gru.step(&mut tape, x, h);
+        for (a, b) in tape.value(h1).data().iter().zip(tape.value(h).data()) {
+            assert!((a - b).abs() < 1e-4, "state should carry through");
+        }
+    }
+
+    #[test]
+    fn gru_infer_step_matches_tape_step() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let gru = Gru::new(&mut store, "g", 3, 5, Initializer::XavierUniform, &mut r);
+        let xs_data = [
+            vec![0.4f32, -0.2, 0.9],
+            vec![-0.7, 0.1, 0.3],
+            vec![0.0, 0.8, -0.5],
+        ];
+        // tape path
+        let mut tape = Tape::new(&store);
+        let xs: Vec<Var> = xs_data
+            .iter()
+            .map(|x| tape.input(Mat::row_vector(x)))
+            .collect();
+        let states = gru.run(&mut tape, &xs);
+        let tape_final = tape.value(*states.last().unwrap()).row(0).to_vec();
+        // fast path
+        let mut h = vec![0.0f32; 5];
+        for x in &xs_data {
+            gru.infer_step(&store, x, &mut h);
+        }
+        for (a, b) in tape_final.iter().zip(&h) {
+            assert!((a - b).abs() < 1e-5, "tape {a} vs fast {b}");
+        }
+    }
+
+    #[test]
+    fn caser_encoder_output_shape_and_padding() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let emb = Embedding::new(&mut store, "e", 20, 4, Initializer::XavierUniform, &mut r);
+        let enc = CaserEncoder::new(
+            &mut store,
+            "c",
+            5,
+            4,
+            &[2, 3],
+            3,
+            2,
+            Initializer::XavierUniform,
+            &mut r,
+        );
+        let mut tape = Tape::new(&store);
+        // Short history is front-padded to l rows.
+        let img = enc.image(&mut tape, &emb, &[7, 2]);
+        assert_eq!(tape.shape(img), (5, 4));
+        assert!(tape.value(img).row(0).iter().all(|&v| v == 0.0));
+        assert_eq!(tape.value(img).row(3), emb.row(&store, 7));
+        let rep = enc.forward(&mut tape, img);
+        assert_eq!(tape.shape(rep), (1, 4));
+        // Long history truncates to the most recent l items.
+        let img2 = enc.image(&mut tape, &emb, &[1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(tape.value(img2).row(0), emb.row(&store, 3));
+    }
+
+    #[test]
+    fn caser_empty_history_encodes_zero_image() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let emb = Embedding::new(&mut store, "e", 10, 4, Initializer::XavierUniform, &mut r);
+        let enc = CaserEncoder::new(
+            &mut store,
+            "c",
+            4,
+            4,
+            &[2],
+            2,
+            1,
+            Initializer::XavierUniform,
+            &mut r,
+        );
+        let mut tape = Tape::new(&store);
+        let img = enc.image(&mut tape, &emb, &[]);
+        assert!(tape.value(img).data().iter().all(|&v| v == 0.0));
+        let rep = enc.forward(&mut tape, img);
+        assert!(!tape.value(rep).has_non_finite());
+    }
+
+    #[test]
+    fn mlp_forward_shapes() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let mlp = Mlp::new(
+            &mut store,
+            "mlp",
+            &[6, 8, 4, 1],
+            Initializer::XavierUniform,
+            &mut r,
+        );
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::zeros(7, 6));
+        let y = mlp.forward(&mut tape, x);
+        assert_eq!(tape.shape(y), (7, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "MLP needs at least")]
+    fn mlp_rejects_single_dim() {
+        let mut store = ParamStore::new();
+        let mut r = rng();
+        let _ = Mlp::new(&mut store, "m", &[4], Initializer::Zeros, &mut r);
+    }
+}

@@ -1,0 +1,337 @@
+//! Parameter storage and gradient buffers.
+//!
+//! Parameters live outside the autodiff tape so one set of weights can be
+//! shared across many forward passes (and across threads for read-only
+//! inference). A [`Tape`](crate::tape::Tape) borrows the store immutably
+//! during forward/backward and produces a [`Grads`] buffer; the optimizer
+//! then applies the buffer to the store.
+//!
+//! Embedding tables are huge relative to how many rows a single step
+//! touches, so their gradients are accumulated **sparsely** (per touched
+//! row) — the same trick every large-scale recommender trainer uses.
+
+use sccf_util::hash::{fx_map, FxHashMap};
+
+use crate::mat::Mat;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// One learnable tensor plus its Adam moments.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    pub value: Mat,
+    /// First/second Adam moment estimates, lazily sized with the value.
+    pub m: Mat,
+    pub v: Mat,
+    /// Hint that gradients arrive as sparse rows (embedding tables).
+    pub sparse: bool,
+}
+
+/// Gradient of one parameter for one (mini-)batch.
+#[derive(Debug, Clone)]
+pub enum GradSlot {
+    Dense(Mat),
+    /// row id → accumulated gradient row. Only rows touched by a `gather`.
+    SparseRows(FxHashMap<u32, Vec<f32>>),
+}
+
+/// Gradients for a subset of parameters, indexed like the store.
+#[derive(Debug, Default)]
+pub struct Grads {
+    pub(crate) slots: Vec<Option<GradSlot>>,
+}
+
+impl Grads {
+    pub fn new(n_params: usize) -> Self {
+        Self {
+            slots: (0..n_params).map(|_| None).collect(),
+        }
+    }
+
+    pub fn get(&self, pid: ParamId) -> Option<&GradSlot> {
+        self.slots.get(pid.0).and_then(|s| s.as_ref())
+    }
+
+    /// Accumulate a dense gradient for `pid`.
+    pub fn accumulate_dense(&mut self, pid: ParamId, grad: &Mat) {
+        match &mut self.slots[pid.0] {
+            Some(GradSlot::Dense(g)) => g.add_assign(grad),
+            Some(GradSlot::SparseRows(rows)) => {
+                // Mixing dense and sparse contributions for one param:
+                // densify the sparse rows into the new dense grad.
+                let mut g = grad.clone();
+                for (&r, row) in rows.iter() {
+                    for (dst, &src) in g.row_mut(r as usize).iter_mut().zip(row) {
+                        *dst += src;
+                    }
+                }
+                self.slots[pid.0] = Some(GradSlot::Dense(g));
+            }
+            slot @ None => *slot = Some(GradSlot::Dense(grad.clone())),
+        }
+    }
+
+    /// Accumulate one sparse row gradient for `pid`.
+    pub fn accumulate_row(&mut self, pid: ParamId, row_id: u32, grad_row: &[f32]) {
+        match &mut self.slots[pid.0] {
+            Some(GradSlot::Dense(g)) => {
+                for (dst, &src) in g.row_mut(row_id as usize).iter_mut().zip(grad_row) {
+                    *dst += src;
+                }
+            }
+            Some(GradSlot::SparseRows(rows)) => {
+                let entry = rows
+                    .entry(row_id)
+                    .or_insert_with(|| vec![0.0; grad_row.len()]);
+                for (dst, &src) in entry.iter_mut().zip(grad_row) {
+                    *dst += src;
+                }
+            }
+            slot @ None => {
+                let mut rows = fx_map();
+                rows.insert(row_id, grad_row.to_vec());
+                *slot = Some(GradSlot::SparseRows(rows));
+            }
+        }
+    }
+
+    /// Merge another gradient buffer (e.g. from a parallel shard).
+    pub fn merge(&mut self, other: Grads) {
+        for (i, slot) in other.slots.into_iter().enumerate() {
+            let pid = ParamId(i);
+            match slot {
+                None => {}
+                Some(GradSlot::Dense(g)) => self.accumulate_dense(pid, &g),
+                Some(GradSlot::SparseRows(rows)) => {
+                    for (r, row) in rows {
+                        self.accumulate_row(pid, r, &row);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Scale every stored gradient by `alpha` (e.g. 1/batch for averaging).
+    pub fn scale(&mut self, alpha: f32) {
+        for slot in self.slots.iter_mut().flatten() {
+            match slot {
+                GradSlot::Dense(g) => {
+                    for x in g.data_mut() {
+                        *x *= alpha;
+                    }
+                }
+                GradSlot::SparseRows(rows) => {
+                    for row in rows.values_mut() {
+                        for x in row {
+                            *x *= alpha;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Global L2 norm across all gradients — training diagnostics.
+    pub fn global_norm(&self) -> f32 {
+        let mut acc = 0.0f64;
+        for slot in self.slots.iter().flatten() {
+            match slot {
+                GradSlot::Dense(g) => {
+                    for &x in g.data() {
+                        acc += (x as f64) * (x as f64);
+                    }
+                }
+                GradSlot::SparseRows(rows) => {
+                    for row in rows.values() {
+                        for &x in row {
+                            acc += (x as f64) * (x as f64);
+                        }
+                    }
+                }
+            }
+        }
+        acc.sqrt() as f32
+    }
+}
+
+/// Owns every learnable parameter of a model.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a dense parameter.
+    pub fn add(&mut self, name: impl Into<String>, value: Mat) -> ParamId {
+        self.add_inner(name.into(), value, false)
+    }
+
+    /// Register a parameter whose gradients arrive as sparse rows
+    /// (embedding tables).
+    pub fn add_sparse(&mut self, name: impl Into<String>, value: Mat) -> ParamId {
+        self.add_inner(name.into(), value, true)
+    }
+
+    fn add_inner(&mut self, name: String, value: Mat, sparse: bool) -> ParamId {
+        let (r, c) = value.shape();
+        self.params.push(Param {
+            name,
+            m: Mat::zeros(r, c),
+            v: Mat::zeros(r, c),
+            value,
+            sparse,
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    pub fn value(&self, pid: ParamId) -> &Mat {
+        &self.params[pid.0].value
+    }
+
+    pub fn value_mut(&mut self, pid: ParamId) -> &mut Mat {
+        &mut self.params[pid.0].value
+    }
+
+    pub fn param(&self, pid: ParamId) -> &Param {
+        &self.params[pid.0]
+    }
+
+    pub fn param_mut(&mut self, pid: ParamId) -> &mut Param {
+        &mut self.params[pid.0]
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Fresh, correctly sized gradient buffer.
+    pub fn grads(&self) -> Grads {
+        Grads::new(self.params.len())
+    }
+
+    /// Total number of scalar parameters — model-size reporting.
+    pub fn n_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Sum of squared parameter values — the ℓ2 term of Eq. 9.
+    pub fn l2_norm_sq(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| {
+                p.value
+                    .data()
+                    .iter()
+                    .map(|&x| (x as f64) * (x as f64))
+                    .sum::<f64>()
+            })
+            .sum::<f64>() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Mat::filled(2, 2, 1.0));
+        let e = store.add_sparse("emb", Mat::zeros(10, 4));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.value(w).get(0, 0), 1.0);
+        assert!(store.param(e).sparse);
+        assert!(!store.param(w).sparse);
+        assert_eq!(store.n_scalars(), 4 + 40);
+    }
+
+    #[test]
+    fn dense_grad_accumulates() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Mat::zeros(2, 2));
+        let mut g = store.grads();
+        g.accumulate_dense(w, &Mat::filled(2, 2, 1.0));
+        g.accumulate_dense(w, &Mat::filled(2, 2, 2.0));
+        match g.get(w).unwrap() {
+            GradSlot::Dense(m) => assert_eq!(m.data(), &[3.0; 4]),
+            _ => panic!("expected dense"),
+        }
+    }
+
+    #[test]
+    fn sparse_rows_accumulate_and_merge_into_dense() {
+        let mut store = ParamStore::new();
+        let e = store.add_sparse("emb", Mat::zeros(4, 2));
+        let mut g = store.grads();
+        g.accumulate_row(e, 1, &[1.0, 1.0]);
+        g.accumulate_row(e, 1, &[0.5, 0.0]);
+        g.accumulate_row(e, 3, &[2.0, 2.0]);
+        match g.get(e).unwrap() {
+            GradSlot::SparseRows(rows) => {
+                assert_eq!(rows[&1], vec![1.5, 1.0]);
+                assert_eq!(rows[&3], vec![2.0, 2.0]);
+            }
+            _ => panic!("expected sparse"),
+        }
+        // Now a dense contribution arrives for the same param.
+        g.accumulate_dense(e, &Mat::filled(4, 2, 1.0));
+        match g.get(e).unwrap() {
+            GradSlot::Dense(m) => {
+                assert_eq!(m.row(0), &[1.0, 1.0]);
+                assert_eq!(m.row(1), &[2.5, 2.0]);
+                assert_eq!(m.row(3), &[3.0, 3.0]);
+            }
+            _ => panic!("expected densified"),
+        }
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Mat::zeros(1, 2));
+        let e = store.add_sparse("e", Mat::zeros(3, 2));
+        let mut g1 = store.grads();
+        g1.accumulate_dense(w, &Mat::row_vector(&[1.0, 2.0]));
+        g1.accumulate_row(e, 0, &[1.0, 0.0]);
+        let mut g2 = store.grads();
+        g2.accumulate_dense(w, &Mat::row_vector(&[3.0, 4.0]));
+        g2.accumulate_row(e, 0, &[0.0, 1.0]);
+        g2.accumulate_row(e, 2, &[5.0, 5.0]);
+        g1.merge(g2);
+        g1.scale(0.5);
+        match g1.get(w).unwrap() {
+            GradSlot::Dense(m) => assert_eq!(m.data(), &[2.0, 3.0]),
+            _ => panic!(),
+        }
+        match g1.get(e).unwrap() {
+            GradSlot::SparseRows(rows) => {
+                assert_eq!(rows[&0], vec![0.5, 0.5]);
+                assert_eq!(rows[&2], vec![2.5, 2.5]);
+            }
+            _ => panic!(),
+        }
+        assert!(g1.global_norm() > 0.0);
+    }
+
+    #[test]
+    fn l2_norm_sq_matches_hand_value() {
+        let mut store = ParamStore::new();
+        store.add("w", Mat::row_vector(&[3.0, 4.0]));
+        assert!((store.l2_norm_sq() - 25.0).abs() < 1e-6);
+    }
+}

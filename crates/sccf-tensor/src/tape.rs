@@ -1,0 +1,1071 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! The tape records an eager computation over [`Mat`] values; calling
+//! [`Tape::backward`] walks the record in reverse and accumulates
+//! gradients. Parameters are *not* stored on the tape — ops that read them
+//! ([`Tape::param`], [`Tape::gather`]) reference a borrowed
+//! [`ParamStore`], and their gradients land in a [`Grads`] buffer
+//! (dense for weight matrices, sparse rows for embedding tables).
+//!
+//! The op set is exactly what the paper's models need: FISM's pooled
+//! history (Eq. 1), SASRec's Transformer encoder (Eq. 2–8), the BCE
+//! training objective (Eq. 9), BPR for the MF baseline, and the fusion MLP
+//! of the integrating component (Eq. 15–17). Every op's backward pass is
+//! verified against finite differences in the test suite.
+#![allow(clippy::needless_range_loop)] // backward passes index several aligned buffers at once
+
+use crate::mat::Mat;
+use crate::store::{Grads, ParamId, ParamStore};
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// Recorded operation; fields are parent node indices plus whatever the
+/// backward pass needs (saved activations, masks, ids).
+#[derive(Debug)]
+enum Op {
+    /// Constant input — no gradient flows past it.
+    Input,
+    /// Whole parameter copied onto the tape (for small matrices).
+    ParamDense(ParamId),
+    /// Row lookup into a (usually sparse-gradient) parameter table.
+    Gather { pid: ParamId, ids: Vec<u32> },
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Scale(usize, f32),
+    /// Broadcast-add a `1×c` bias row onto every row of `x`.
+    AddBias { x: usize, b: usize },
+    /// `(n×k)(k×m)`.
+    MatMul(usize, usize),
+    /// `(n×k)(m×k)ᵀ`.
+    MatMulNt(usize, usize),
+    Relu(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    /// Numerically-stable `log σ(x)`.
+    LogSigmoid(usize),
+    /// Elementwise `a·x + c` with scalar constants (`c` has no gradient).
+    Affine { x: usize, a: f32 },
+    /// Row-wise dot product `(n×d, n×d) → n×1`; `a` may be `1×d`
+    /// (broadcast over the rows of `b`).
+    RowsDot(usize, usize),
+    /// FISM pooling (Eq. 1): column means scaled by `n^(1-α)/n = n^{-α}`.
+    MeanRowsAlpha { x: usize, alpha: f32 },
+    SliceCols { x: usize, start: usize, len: usize },
+    ConcatCols(Vec<usize>),
+    /// Vertical concatenation (sequence stacking / front padding).
+    ConcatRows(Vec<usize>),
+    /// Sliding windows of `h` consecutive rows, each flattened row-major:
+    /// `(L×d) → (L−h+1)×(h·d)` — Caser's horizontal-convolution im2col.
+    UnfoldRows { x: usize, h: usize },
+    /// Column-wise max over rows `(n×c) → 1×c`; per-column argmax rows are
+    /// cached for the backward routing (Caser's max-pool over time).
+    MaxRows { x: usize, argmax: Vec<usize> },
+    /// Row-wise LayerNorm with learnable scale/shift (`1×d` each).
+    LayerNorm {
+        x: usize,
+        gamma: usize,
+        beta: usize,
+        /// Per-row `(mean, rstd)` saved by the forward pass.
+        cache: Vec<(f32, f32)>,
+    },
+    /// Inverted dropout; `mask[i] ∈ {0, 1/keep}`.
+    Dropout { x: usize, mask: Vec<f32> },
+    /// Row-wise softmax where row `i` may only attend to columns
+    /// `0..=i + offset` (causal attention). `offset = cols` disables
+    /// masking (plain softmax).
+    CausalSoftmax { x: usize, offset: usize },
+    /// Mean of all elements — the final loss reduction.
+    MeanAll(usize),
+    /// Mean binary cross-entropy with logits against fixed targets.
+    BceWithLogits { logits: usize, targets: Vec<f32> },
+}
+
+struct Node {
+    value: Mat,
+    op: Op,
+}
+
+/// The autodiff tape. Create one per forward/backward step.
+pub struct Tape<'s> {
+    store: &'s ParamStore,
+    nodes: Vec<Node>,
+}
+
+impl<'s> Tape<'s> {
+    pub fn new(store: &'s ParamStore) -> Self {
+        Self {
+            store,
+            nodes: Vec::with_capacity(64),
+        }
+    }
+
+    fn push(&mut self, value: Mat, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The current value of a node.
+    pub fn value(&self, v: Var) -> &Mat {
+        &self.nodes[v.0].value
+    }
+
+    /// Shape of a node.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    /// Scalar value of a `1×1` node (e.g. a loss).
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = self.value(v);
+        assert_eq!(m.shape(), (1, 1), "scalar() on non-scalar node");
+        m.get(0, 0)
+    }
+
+    // ---------------------------------------------------------------- inputs
+
+    /// Gradient-less constant input.
+    pub fn input(&mut self, value: Mat) -> Var {
+        self.push(value, Op::Input)
+    }
+
+    /// Copy a (small) parameter onto the tape; its gradient is dense.
+    pub fn param(&mut self, pid: ParamId) -> Var {
+        let value = self.store.value(pid).clone();
+        self.push(value, Op::ParamDense(pid))
+    }
+
+    /// Look up rows `ids` of parameter table `pid` → `(ids.len() × d)`.
+    pub fn gather(&mut self, pid: ParamId, ids: &[u32]) -> Var {
+        let table = self.store.value(pid);
+        let d = table.cols();
+        let mut out = Mat::zeros(ids.len(), d);
+        for (r, &id) in ids.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(table.row(id as usize));
+        }
+        self.push(
+            out,
+            Op::Gather {
+                pid,
+                ids: ids.to_vec(),
+            },
+        )
+    }
+
+    // ------------------------------------------------------------ arithmetic
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let mut out = self.nodes[a.0].value.clone();
+        out.add_assign(&self.nodes[b.0].value);
+        self.push(out, Op::Add(a.0, b.0))
+    }
+
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let mut out = self.nodes[a.0].value.clone();
+        out.scaled_add_assign(-1.0, &self.nodes[b.0].value);
+        self.push(out, Op::Sub(a.0, b.0))
+    }
+
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let out = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(out, Op::Mul(a.0, b.0))
+    }
+
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let out = self.nodes[a.0].value.scale(alpha);
+        self.push(out, Op::Scale(a.0, alpha))
+    }
+
+    /// Broadcast-add bias row `b` (`1×c`) to every row of `x` (`n×c`).
+    pub fn add_bias(&mut self, x: Var, b: Var) -> Var {
+        let xb = &self.nodes[x.0].value;
+        let bias = &self.nodes[b.0].value;
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), xb.cols(), "bias width mismatch");
+        let mut out = xb.clone();
+        for r in 0..out.rows() {
+            for (o, &bv) in out.row_mut(r).iter_mut().zip(bias.row(0)) {
+                *o += bv;
+            }
+        }
+        self.push(out, Op::AddBias { x: x.0, b: b.0 })
+    }
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let out = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(out, Op::MatMul(a.0, b.0))
+    }
+
+    /// `a @ bᵀ`.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let out = self.nodes[a.0].value.matmul_nt(&self.nodes[b.0].value);
+        self.push(out, Op::MatMulNt(a.0, b.0))
+    }
+
+    // ----------------------------------------------------------- activations
+
+    pub fn relu(&mut self, x: Var) -> Var {
+        let out = self.nodes[x.0].value.map(|v| v.max(0.0));
+        self.push(out, Op::Relu(x.0))
+    }
+
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let out = self.nodes[x.0].value.map(stable_sigmoid);
+        self.push(out, Op::Sigmoid(x.0))
+    }
+
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let out = self.nodes[x.0].value.map(f32::tanh);
+        self.push(out, Op::Tanh(x.0))
+    }
+
+    /// Elementwise `a·x + c` with scalar constants. `affine(x, -1, 1)` is
+    /// the `1 − z` gate complement GRUs need.
+    pub fn affine(&mut self, x: Var, a: f32, c: f32) -> Var {
+        let out = self.nodes[x.0].value.map(|v| a * v + c);
+        self.push(out, Op::Affine { x: x.0, a })
+    }
+
+    /// `log σ(x)`, stable for large negative inputs.
+    pub fn log_sigmoid(&mut self, x: Var) -> Var {
+        let out = self.nodes[x.0].value.map(|v| {
+            // log σ(v) = -softplus(-v) = min(v,0) - ln(1+e^{-|v|})
+            v.min(0.0) - (-v.abs()).exp().ln_1p()
+        });
+        self.push(out, Op::LogSigmoid(x.0))
+    }
+
+    /// Row-wise dot products; `a` is `n×d` or `1×d` (broadcast).
+    pub fn rows_dot(&mut self, a: Var, b: Var) -> Var {
+        let am = &self.nodes[a.0].value;
+        let bm = &self.nodes[b.0].value;
+        assert_eq!(am.cols(), bm.cols(), "rows_dot width mismatch");
+        assert!(
+            am.rows() == bm.rows() || am.rows() == 1,
+            "rows_dot needs equal rows or broadcastable a"
+        );
+        let n = bm.rows();
+        let mut out = Mat::zeros(n, 1);
+        for i in 0..n {
+            let ar = if am.rows() == 1 { am.row(0) } else { am.row(i) };
+            out.set(i, 0, crate::mat::dot(ar, bm.row(i)));
+        }
+        self.push(out, Op::RowsDot(a.0, b.0))
+    }
+
+    /// FISM pooling (Eq. 1): `(n×d) → 1×d`, `out = n^{-α} · Σ rows`.
+    pub fn mean_rows_alpha(&mut self, x: Var, alpha: f32) -> Var {
+        let xm = &self.nodes[x.0].value;
+        let n = xm.rows().max(1);
+        let scale = (n as f32).powf(-alpha);
+        let mut out = Mat::zeros(1, xm.cols());
+        for r in 0..xm.rows() {
+            for (o, &v) in out.row_mut(0).iter_mut().zip(xm.row(r)) {
+                *o += v;
+            }
+        }
+        for o in out.data_mut() {
+            *o *= scale;
+        }
+        self.push(out, Op::MeanRowsAlpha { x: x.0, alpha })
+    }
+
+    /// Columns `[start, start+len)` of `x` — the per-head view in MHA.
+    pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let xm = &self.nodes[x.0].value;
+        assert!(start + len <= xm.cols(), "slice_cols out of range");
+        let mut out = Mat::zeros(xm.rows(), len);
+        for r in 0..xm.rows() {
+            out.row_mut(r).copy_from_slice(&xm.row(r)[start..start + len]);
+        }
+        self.push(out, Op::SliceCols { x: x.0, start, len })
+    }
+
+    /// Horizontal concatenation — re-joining attention heads.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty());
+        let rows = self.nodes[parts[0].0].value.rows();
+        let total: usize = parts.iter().map(|p| self.nodes[p.0].value.cols()).sum();
+        let mut out = Mat::zeros(rows, total);
+        let mut off = 0;
+        for p in parts {
+            let pm = &self.nodes[p.0].value;
+            assert_eq!(pm.rows(), rows, "concat_cols ragged rows");
+            for r in 0..rows {
+                out.row_mut(r)[off..off + pm.cols()].copy_from_slice(pm.row(r));
+            }
+            off += pm.cols();
+        }
+        self.push(out, Op::ConcatCols(parts.iter().map(|p| p.0).collect()))
+    }
+
+    /// Vertical concatenation — stacking per-step GRU states, or padding a
+    /// short sequence with a zero block.
+    pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty());
+        let cols = self.nodes[parts[0].0].value.cols();
+        let total: usize = parts.iter().map(|p| self.nodes[p.0].value.rows()).sum();
+        let mut out = Mat::zeros(total, cols);
+        let mut off = 0;
+        for p in parts {
+            let pm = &self.nodes[p.0].value;
+            assert_eq!(pm.cols(), cols, "concat_rows ragged cols");
+            for r in 0..pm.rows() {
+                out.row_mut(off + r).copy_from_slice(pm.row(r));
+            }
+            off += pm.rows();
+        }
+        self.push(out, Op::ConcatRows(parts.iter().map(|p| p.0).collect()))
+    }
+
+    /// Sliding windows of `h` consecutive rows, flattened row-major:
+    /// `(L×d) → (L−h+1)×(h·d)`. A horizontal convolution with `F ∈ R^{h×d}`
+    /// filters becomes `unfold_rows(x, h) @ F_flat` — Caser's im2col.
+    pub fn unfold_rows(&mut self, x: Var, h: usize) -> Var {
+        let xm = &self.nodes[x.0].value;
+        let (rows, d) = xm.shape();
+        assert!(h >= 1 && h <= rows, "unfold_rows: window {h} over {rows} rows");
+        let n = rows - h + 1;
+        let mut out = Mat::zeros(n, h * d);
+        for w in 0..n {
+            for k in 0..h {
+                out.row_mut(w)[k * d..(k + 1) * d].copy_from_slice(xm.row(w + k));
+            }
+        }
+        self.push(out, Op::UnfoldRows { x: x.0, h })
+    }
+
+    /// Column-wise max over rows `(n×c) → 1×c` — Caser's max-pool over
+    /// time. Ties route the gradient to the earliest maximizing row.
+    pub fn max_rows(&mut self, x: Var) -> Var {
+        let xm = &self.nodes[x.0].value;
+        let (rows, cols) = xm.shape();
+        assert!(rows >= 1, "max_rows on empty matrix");
+        let mut out = Mat::zeros(1, cols);
+        let mut argmax = vec![0usize; cols];
+        for c in 0..cols {
+            let mut best = xm.get(0, c);
+            for r in 1..rows {
+                let v = xm.get(r, c);
+                if v > best {
+                    best = v;
+                    argmax[c] = r;
+                }
+            }
+            out.set(0, c, best);
+        }
+        self.push(out, Op::MaxRows { x: x.0, argmax })
+    }
+
+    /// Row-wise LayerNorm with learnable `gamma`/`beta` (`1×d` params).
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let xm = &self.nodes[x.0].value;
+        let g = &self.nodes[gamma.0].value;
+        let b = &self.nodes[beta.0].value;
+        assert_eq!(g.shape(), (1, xm.cols()));
+        assert_eq!(b.shape(), (1, xm.cols()));
+        let d = xm.cols() as f32;
+        let mut out = Mat::zeros(xm.rows(), xm.cols());
+        let mut cache = Vec::with_capacity(xm.rows());
+        for r in 0..xm.rows() {
+            let row = xm.row(r);
+            let mean = row.iter().sum::<f32>() / d;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d;
+            let rstd = 1.0 / (var + eps).sqrt();
+            cache.push((mean, rstd));
+            for (c, o) in out.row_mut(r).iter_mut().enumerate() {
+                let xhat = (row[c] - mean) * rstd;
+                *o = g.get(0, c) * xhat + b.get(0, c);
+            }
+        }
+        self.push(
+            out,
+            Op::LayerNorm {
+                x: x.0,
+                gamma: gamma.0,
+                beta: beta.0,
+                cache,
+            },
+        )
+    }
+
+    /// Inverted dropout with keep probability `1 - p`. The caller supplies
+    /// randomness so training runs stay reproducible. `p == 0` is a no-op
+    /// pass-through (still recorded, mask of ones).
+    pub fn dropout(&mut self, x: Var, p: f32, rng: &mut impl rand::Rng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        let xm = &self.nodes[x.0].value;
+        let keep = 1.0 - p;
+        let mask: Vec<f32> = (0..xm.len())
+            .map(|_| {
+                if p == 0.0 || rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut out = xm.clone();
+        for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
+            *o *= m;
+        }
+        self.push(out, Op::Dropout { x: x.0, mask })
+    }
+
+    /// Causal row softmax: row `i` attends to columns `0..=i+offset`
+    /// (`offset ≥ 0`). With `offset ≥ cols - 1` this is a plain softmax.
+    pub fn causal_softmax(&mut self, x: Var, offset: usize) -> Var {
+        let xm = &self.nodes[x.0].value;
+        let mut out = Mat::zeros(xm.rows(), xm.cols());
+        for r in 0..xm.rows() {
+            let limit = (r + offset + 1).min(xm.cols());
+            let row = &xm.row(r)[..limit];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for &v in row {
+                denom += (v - max).exp();
+            }
+            for c in 0..limit {
+                out.set(r, c, (xm.get(r, c) - max).exp() / denom);
+            }
+        }
+        self.push(out, Op::CausalSoftmax { x: x.0, offset })
+    }
+
+    /// Plain row softmax.
+    pub fn softmax(&mut self, x: Var) -> Var {
+        let cols = self.nodes[x.0].value.cols();
+        self.causal_softmax(x, cols)
+    }
+
+    // ---------------------------------------------------------------- losses
+
+    /// Mean over all elements → `1×1`.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let xm = &self.nodes[x.0].value;
+        let n = xm.len().max(1) as f32;
+        let out = Mat::from_vec(1, 1, vec![xm.sum() / n]);
+        self.push(out, Op::MeanAll(x.0))
+    }
+
+    /// Mean binary cross-entropy with logits (Eq. 9 without the ℓ2 term).
+    /// `targets` must have one entry per element of `logits`.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
+        let lm = &self.nodes[logits.0].value;
+        assert_eq!(lm.len(), targets.len(), "targets length mismatch");
+        let mut acc = 0.0f64;
+        for (&x, &t) in lm.data().iter().zip(targets) {
+            // Stable: max(x,0) - x·t + ln(1 + e^{-|x|})
+            let loss = x.max(0.0) - x * t + (-x.abs()).exp().ln_1p();
+            acc += loss as f64;
+        }
+        let out = Mat::from_vec(1, 1, vec![(acc / targets.len().max(1) as f64) as f32]);
+        self.push(
+            out,
+            Op::BceWithLogits {
+                logits: logits.0,
+                targets: targets.to_vec(),
+            },
+        )
+    }
+
+    /// BPR pairwise loss: `-mean(log σ(pos - neg))` over aligned `n×1`
+    /// score columns. Built from primitive ops so it needs no backward of
+    /// its own.
+    pub fn bpr_loss(&mut self, pos: Var, neg: Var) -> Var {
+        let diff = self.sub(pos, neg);
+        let ls = self.log_sigmoid(diff);
+        let mean = self.mean_all(ls);
+        self.scale(mean, -1.0)
+    }
+
+    // -------------------------------------------------------------- backward
+
+    /// Run reverse-mode accumulation from scalar node `loss`; returns
+    /// parameter gradients.
+    pub fn backward(&mut self, loss: Var) -> Grads {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward needs a scalar loss"
+        );
+        let n = self.nodes.len();
+        let mut grads: Vec<Option<Mat>> = (0..n).map(|_| None).collect();
+        grads[loss.0] = Some(Mat::from_vec(1, 1, vec![1.0]));
+        let mut pgrads = Grads::new(self.store.len());
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            // Helper: accumulate `delta` into node `j`'s gradient.
+            macro_rules! acc {
+                ($j:expr, $delta:expr) => {{
+                    let j = $j;
+                    let delta: Mat = $delta;
+                    match &mut grads[j] {
+                        Some(existing) => existing.add_assign(&delta),
+                        slot @ None => *slot = Some(delta),
+                    }
+                }};
+            }
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::ParamDense(pid) => pgrads.accumulate_dense(*pid, &g),
+                Op::Gather { pid, ids } => {
+                    for (r, &id) in ids.iter().enumerate() {
+                        pgrads.accumulate_row(*pid, id, g.row(r));
+                    }
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    acc!(a, g.clone());
+                    acc!(b, g);
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    acc!(a, g.clone());
+                    acc!(b, g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da = g.hadamard(&self.nodes[b].value);
+                    let db = g.hadamard(&self.nodes[a].value);
+                    acc!(a, da);
+                    acc!(b, db);
+                }
+                Op::Scale(a, alpha) => {
+                    let (a, alpha) = (*a, *alpha);
+                    acc!(a, g.scale(alpha));
+                }
+                Op::AddBias { x, b } => {
+                    let (x, b) = (*x, *b);
+                    let mut db = Mat::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &v) in db.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += v;
+                        }
+                    }
+                    acc!(x, g);
+                    acc!(b, db);
+                }
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da = g.matmul_nt(&self.nodes[b].value);
+                    let db = self.nodes[a].value.matmul_tn(&g);
+                    acc!(a, da);
+                    acc!(b, db);
+                }
+                Op::MatMulNt(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da = g.matmul(&self.nodes[b].value);
+                    let db = g.matmul_tn(&self.nodes[a].value);
+                    acc!(a, da);
+                    acc!(b, db);
+                }
+                Op::Relu(x) => {
+                    let x = *x;
+                    let mut dx = g;
+                    for (d, &v) in dx.data_mut().iter_mut().zip(self.nodes[x].value.data()) {
+                        if v <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
+                    acc!(x, dx);
+                }
+                Op::Sigmoid(x) => {
+                    let x = *x;
+                    // dσ = σ(1-σ); node i's value *is* σ.
+                    let mut dx = g;
+                    for (d, &s) in dx.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
+                        *d *= s * (1.0 - s);
+                    }
+                    acc!(x, dx);
+                }
+                Op::Tanh(x) => {
+                    let x = *x;
+                    // d tanh = 1 - y²; node i's value *is* tanh.
+                    let mut dx = g;
+                    for (d, &y) in dx.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
+                        *d *= 1.0 - y * y;
+                    }
+                    acc!(x, dx);
+                }
+                Op::Affine { x, a } => {
+                    let (x, a) = (*x, *a);
+                    acc!(x, g.scale(a));
+                }
+                Op::LogSigmoid(x) => {
+                    let x = *x;
+                    // d log σ(v) = 1 - σ(v) = σ(-v)
+                    let mut dx = g;
+                    for (d, &v) in dx.data_mut().iter_mut().zip(self.nodes[x].value.data()) {
+                        *d *= stable_sigmoid(-v);
+                    }
+                    acc!(x, dx);
+                }
+                Op::RowsDot(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let am = &self.nodes[a].value;
+                    let bm = &self.nodes[b].value;
+                    let broadcast = am.rows() == 1 && bm.rows() > 1;
+                    let mut da = Mat::zeros(am.rows(), am.cols());
+                    let mut db = Mat::zeros(bm.rows(), bm.cols());
+                    for r in 0..bm.rows() {
+                        let gi = g.get(r, 0);
+                        let ar = if broadcast { am.row(0) } else { am.row(r) };
+                        let dar = if broadcast { da.row_mut(0) } else { da.row_mut(r) };
+                        for ((dav, dbv), (&av, &bv)) in dar
+                            .iter_mut()
+                            .zip(db.row_mut(r).iter_mut())
+                            .zip(ar.iter().zip(bm.row(r)))
+                        {
+                            *dav += gi * bv;
+                            *dbv += gi * av;
+                        }
+                    }
+                    acc!(a, da);
+                    acc!(b, db);
+                }
+                Op::MeanRowsAlpha { x, alpha } => {
+                    let (x, alpha) = (*x, *alpha);
+                    let xm = &self.nodes[x].value;
+                    let n = xm.rows().max(1);
+                    let s = (n as f32).powf(-alpha);
+                    let mut dx = Mat::zeros(xm.rows(), xm.cols());
+                    for r in 0..xm.rows() {
+                        for (d, &gv) in dx.row_mut(r).iter_mut().zip(g.row(0)) {
+                            *d = gv * s;
+                        }
+                    }
+                    acc!(x, dx);
+                }
+                Op::SliceCols { x, start, len } => {
+                    let (x, start, len) = (*x, *start, *len);
+                    let xm = &self.nodes[x].value;
+                    let mut dx = Mat::zeros(xm.rows(), xm.cols());
+                    for r in 0..xm.rows() {
+                        dx.row_mut(r)[start..start + len].copy_from_slice(g.row(r));
+                    }
+                    acc!(x, dx);
+                }
+                Op::ConcatCols(parts) => {
+                    let parts = parts.clone();
+                    let mut off = 0;
+                    for p in parts {
+                        let cols = self.nodes[p].value.cols();
+                        let rows = self.nodes[p].value.rows();
+                        let mut dp = Mat::zeros(rows, cols);
+                        for r in 0..rows {
+                            dp.row_mut(r).copy_from_slice(&g.row(r)[off..off + cols]);
+                        }
+                        off += cols;
+                        acc!(p, dp);
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let parts = parts.clone();
+                    let mut off = 0;
+                    for p in parts {
+                        let rows = self.nodes[p].value.rows();
+                        let cols = self.nodes[p].value.cols();
+                        let mut dp = Mat::zeros(rows, cols);
+                        for r in 0..rows {
+                            dp.row_mut(r).copy_from_slice(g.row(off + r));
+                        }
+                        off += rows;
+                        acc!(p, dp);
+                    }
+                }
+                Op::UnfoldRows { x, h } => {
+                    let (x, h) = (*x, *h);
+                    let xm = &self.nodes[x].value;
+                    let (rows, d) = xm.shape();
+                    let mut dx = Mat::zeros(rows, d);
+                    // Each source row appears in up to `h` windows; scatter-add.
+                    for w in 0..g.rows() {
+                        for k in 0..h {
+                            let src = &g.row(w)[k * d..(k + 1) * d];
+                            for (o, &v) in dx.row_mut(w + k).iter_mut().zip(src) {
+                                *o += v;
+                            }
+                        }
+                    }
+                    acc!(x, dx);
+                }
+                Op::MaxRows { x, argmax } => {
+                    let x = *x;
+                    let argmax = argmax.clone();
+                    let xm = &self.nodes[x].value;
+                    let mut dx = Mat::zeros(xm.rows(), xm.cols());
+                    for (c, &r) in argmax.iter().enumerate() {
+                        dx.set(r, c, g.get(0, c));
+                    }
+                    acc!(x, dx);
+                }
+                Op::LayerNorm {
+                    x,
+                    gamma,
+                    beta,
+                    cache,
+                } => {
+                    let (x, gamma, beta) = (*x, *gamma, *beta);
+                    let cache = cache.clone();
+                    let xm = &self.nodes[x].value;
+                    let gm = &self.nodes[gamma].value;
+                    let d = xm.cols();
+                    let df = d as f32;
+                    let mut dx = Mat::zeros(xm.rows(), d);
+                    let mut dgamma = Mat::zeros(1, d);
+                    let mut dbeta = Mat::zeros(1, d);
+                    for r in 0..xm.rows() {
+                        let (mean, rstd) = cache[r];
+                        let row = xm.row(r);
+                        let grow = g.row(r);
+                        // xhat and gγ = g * gamma for this row
+                        let mut sum_gg = 0.0f32;
+                        let mut sum_gg_xhat = 0.0f32;
+                        for c in 0..d {
+                            let xhat = (row[c] - mean) * rstd;
+                            let gg = grow[c] * gm.get(0, c);
+                            sum_gg += gg;
+                            sum_gg_xhat += gg * xhat;
+                            dgamma.row_mut(0)[c] += grow[c] * xhat;
+                            dbeta.row_mut(0)[c] += grow[c];
+                        }
+                        for c in 0..d {
+                            let xhat = (row[c] - mean) * rstd;
+                            let gg = grow[c] * gm.get(0, c);
+                            dx.set(
+                                r,
+                                c,
+                                rstd / df * (df * gg - sum_gg - xhat * sum_gg_xhat),
+                            );
+                        }
+                    }
+                    acc!(x, dx);
+                    acc!(gamma, dgamma);
+                    acc!(beta, dbeta);
+                }
+                Op::Dropout { x, mask } => {
+                    let x = *x;
+                    let mut dx = g;
+                    for (d, &m) in dx.data_mut().iter_mut().zip(mask) {
+                        *d *= m;
+                    }
+                    acc!(x, dx);
+                }
+                Op::CausalSoftmax { x, offset } => {
+                    let (x, offset) = (*x, *offset);
+                    let y = &self.nodes[i].value;
+                    let mut dx = Mat::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let limit = (r + offset + 1).min(y.cols());
+                        let yr = y.row(r);
+                        let gr = g.row(r);
+                        let mut s = 0.0f32;
+                        for c in 0..limit {
+                            s += gr[c] * yr[c];
+                        }
+                        for c in 0..limit {
+                            dx.set(r, c, yr[c] * (gr[c] - s));
+                        }
+                    }
+                    acc!(x, dx);
+                }
+                Op::MeanAll(x) => {
+                    let x = *x;
+                    let xm = &self.nodes[x].value;
+                    let gv = g.get(0, 0) / xm.len().max(1) as f32;
+                    acc!(x, Mat::filled(xm.rows(), xm.cols(), gv));
+                }
+                Op::BceWithLogits { logits, targets } => {
+                    let logits = *logits;
+                    let targets = targets.clone();
+                    let lm = &self.nodes[logits].value;
+                    let gv = g.get(0, 0) / targets.len().max(1) as f32;
+                    let mut dl = Mat::zeros(lm.rows(), lm.cols());
+                    for ((d, &x), &t) in dl.data_mut().iter_mut().zip(lm.data()).zip(&targets) {
+                        *d = gv * (stable_sigmoid(x) - t);
+                    }
+                    acc!(logits, dl);
+                }
+            }
+        }
+        pgrads
+    }
+}
+
+/// Numerically stable logistic function.
+#[inline]
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::GradSlot;
+
+    #[test]
+    fn forward_values_simple_graph() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::row_vector(&[1.0, 1.0]));
+        let wv = tape.param(w);
+        let y = tape.matmul(x, wv); // [1+3, 2+4] = [4, 6]
+        assert_eq!(tape.value(y).data(), &[4.0, 6.0]);
+        let s = tape.mean_all(y);
+        assert!((tape.scalar(s) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_matmul_param_grad() {
+        // loss = mean(x @ W) with x = [1, 2]; dW = outer(x, 1/2 ones)
+        let mut store = ParamStore::new();
+        let w = store.add("w", Mat::zeros(2, 2));
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::row_vector(&[1.0, 2.0]));
+        let wv = tape.param(w);
+        let y = tape.matmul(x, wv);
+        let loss = tape.mean_all(y);
+        let grads = tape.backward(loss);
+        match grads.get(w).unwrap() {
+            GradSlot::Dense(g) => {
+                assert_eq!(g.shape(), (2, 2));
+                let expect = [0.5, 0.5, 1.0, 1.0];
+                for (a, e) in g.data().iter().zip(&expect) {
+                    assert!((a - e).abs() < 1e-6, "{:?}", g.data());
+                }
+            }
+            _ => panic!("dense expected"),
+        }
+    }
+
+    #[test]
+    fn gather_backward_is_sparse() {
+        let mut store = ParamStore::new();
+        let e = store.add_sparse("emb", Mat::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+        let mut tape = Tape::new(&store);
+        let rows = tape.gather(e, &[2, 0, 2]);
+        assert_eq!(tape.value(rows).row(0), &[5.0, 6.0]);
+        let loss = tape.mean_all(rows);
+        let grads = tape.backward(loss);
+        match grads.get(e).unwrap() {
+            GradSlot::SparseRows(map) => {
+                // each of 6 elements weighted 1/6; row 2 gathered twice
+                assert!((map[&2][0] - 2.0 / 6.0).abs() < 1e-6);
+                assert!((map[&0][0] - 1.0 / 6.0).abs() < 1e-6);
+                assert!(!map.contains_key(&1));
+            }
+            _ => panic!("sparse expected"),
+        }
+    }
+
+    #[test]
+    fn sigmoid_matches_closed_form() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::row_vector(&[0.0, 100.0, -100.0]));
+        let s = tape.sigmoid(x);
+        let v = tape.value(s).data().to_vec();
+        assert!((v[0] - 0.5).abs() < 1e-6);
+        assert!((v[1] - 1.0).abs() < 1e-6);
+        assert!(v[2].abs() < 1e-6);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn causal_softmax_masks_future() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::from_vec(3, 3, vec![1.0; 9]));
+        let y = tape.causal_softmax(x, 0);
+        let ym = tape.value(y);
+        assert!((ym.get(0, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(ym.get(0, 1), 0.0);
+        assert_eq!(ym.get(0, 2), 0.0);
+        assert!((ym.get(1, 0) - 0.5).abs() < 1e-6);
+        assert!((ym.get(2, 0) - 1.0 / 3.0).abs() < 1e-6);
+        // rows sum to one over the unmasked region
+        for r in 0..3 {
+            let s: f32 = ym.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bce_with_logits_hand_value() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::row_vector(&[0.0, 0.0]));
+        let loss = tape.bce_with_logits(x, &[1.0, 0.0]);
+        // -ln σ(0) = ln 2 for both entries
+        assert!((tape.scalar(loss) - (2.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bpr_loss_decreases_with_margin() {
+        let store = ParamStore::new();
+        let mut t1 = Tape::new(&store);
+        let p = t1.input(Mat::from_vec(2, 1, vec![1.0, 1.0]));
+        let n = t1.input(Mat::from_vec(2, 1, vec![0.0, 0.0]));
+        let l1 = t1.bpr_loss(p, n);
+        let mut t2 = Tape::new(&store);
+        let p2 = t2.input(Mat::from_vec(2, 1, vec![5.0, 5.0]));
+        let n2 = t2.input(Mat::from_vec(2, 1, vec![0.0, 0.0]));
+        let l2 = t2.bpr_loss(p2, n2);
+        assert!(t2.scalar(l2) < t1.scalar(l1));
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        use rand::SeedableRng;
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x = tape.input(Mat::row_vector(&[1.0, -2.0, 3.0]));
+        let y = tape.dropout(x, 0.0, &mut rng);
+        assert_eq!(tape.value(y).data(), &[1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn dropout_scales_survivors() {
+        use rand::SeedableRng;
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let x = tape.input(Mat::filled(1, 1000, 1.0));
+        let y = tape.dropout(x, 0.5, &mut rng);
+        let kept: Vec<f32> = tape
+            .value(y)
+            .data()
+            .iter()
+            .cloned()
+            .filter(|&v| v != 0.0)
+            .collect();
+        assert!(kept.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        // roughly half survive
+        assert!(kept.len() > 400 && kept.len() < 600);
+    }
+
+    #[test]
+    fn rows_dot_broadcast() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let a = tape.input(Mat::row_vector(&[1.0, 2.0]));
+        let b = tape.input(Mat::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]));
+        let d = tape.rows_dot(a, b);
+        assert_eq!(tape.value(d).data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_rows_alpha_limits() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::from_vec(4, 1, vec![1.0, 2.0, 3.0, 6.0]));
+        // α = 1 → average
+        let avg = tape.mean_rows_alpha(x, 1.0);
+        assert!((tape.value(avg).get(0, 0) - 3.0).abs() < 1e-6);
+        // α = 0 → sum
+        let sum = tape.mean_rows_alpha(x, 0.0);
+        assert!((tape.value(sum).get(0, 0) - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_matches_closed_form() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::row_vector(&[0.0, 1.0, -30.0, 30.0]));
+        let y = tape.tanh(x);
+        let v = tape.value(y).data();
+        assert!(v[0].abs() < 1e-7);
+        assert!((v[1] - 1.0f32.tanh()).abs() < 1e-6);
+        assert!((v[2] + 1.0).abs() < 1e-6);
+        assert!((v[3] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn affine_computes_ax_plus_c() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::row_vector(&[0.0, 0.5, 1.0]));
+        let y = tape.affine(x, -1.0, 1.0); // the GRU gate complement
+        assert_eq!(tape.value(y).data(), &[1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn concat_rows_stacks_in_order() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let a = tape.input(Mat::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = tape.input(Mat::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]));
+        let y = tape.concat_rows(&[a, b]);
+        assert_eq!(tape.shape(y), (3, 2));
+        assert_eq!(tape.value(y).data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn unfold_rows_windows() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        // 4 rows of width 2: [0,1],[2,3],[4,5],[6,7]
+        let x = tape.input(Mat::from_vec(4, 2, (0..8).map(|v| v as f32).collect()));
+        let y = tape.unfold_rows(x, 2);
+        assert_eq!(tape.shape(y), (3, 4));
+        assert_eq!(tape.value(y).row(0), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(tape.value(y).row(2), &[4.0, 5.0, 6.0, 7.0]);
+        // h == rows collapses to a single window (full flatten)
+        let full = tape.unfold_rows(x, 4);
+        assert_eq!(tape.shape(full), (1, 8));
+    }
+
+    #[test]
+    fn max_rows_takes_columnwise_max() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::from_vec(3, 2, vec![1.0, 9.0, 5.0, -2.0, 3.0, 0.0]));
+        let y = tape.max_rows(x);
+        assert_eq!(tape.shape(y), (1, 2));
+        assert_eq!(tape.value(y).data(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn max_rows_gradient_routes_to_argmax() {
+        let mut store = ParamStore::new();
+        let p = store.add("p", Mat::from_vec(3, 2, vec![1.0, 9.0, 5.0, -2.0, 3.0, 0.0]));
+        let mut tape = Tape::new(&store);
+        let x = tape.param(p);
+        let y = tape.max_rows(x);
+        let loss = tape.mean_all(y);
+        let grads = tape.backward(loss);
+        match grads.get(p).unwrap() {
+            GradSlot::Dense(g) => {
+                // max of col 0 is row 1 (5.0), col 1 is row 0 (9.0); each
+                // contributes 1/2 through the mean.
+                assert_eq!(g.get(1, 0), 0.5);
+                assert_eq!(g.get(0, 1), 0.5);
+                assert_eq!(g.get(2, 0), 0.0);
+                assert_eq!(g.get(2, 1), 0.0);
+            }
+            _ => panic!("dense expected"),
+        }
+    }
+
+    #[test]
+    fn slice_concat_roundtrip() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new(&store);
+        let x = tape.input(Mat::from_vec(2, 4, (0..8).map(|v| v as f32).collect()));
+        let a = tape.slice_cols(x, 0, 2);
+        let b = tape.slice_cols(x, 2, 2);
+        let y = tape.concat_cols(&[a, b]);
+        assert_eq!(tape.value(y).data(), tape.value(x).data());
+    }
+}

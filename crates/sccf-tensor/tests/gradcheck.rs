@@ -1,0 +1,544 @@
+//! Finite-difference gradient checks for every differentiable op and layer.
+//!
+//! For each graph builder `f: &ParamStore -> scalar loss`, we compare the
+//! analytic gradient from `Tape::backward` against the central difference
+//! `(f(θ+ε) − f(θ−ε)) / 2ε` for every scalar parameter. This is the
+//! ground-truth test that makes the rest of the workspace trustworthy:
+//! if these pass, training loops can only fail for modeling reasons, not
+//! calculus bugs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sccf_tensor::nn::{
+    Embedding, FwdCtx, LayerNorm, Linear, Mlp, MultiHeadSelfAttention, PointwiseFfn,
+    TransformerBlock,
+};
+use sccf_tensor::store::GradSlot;
+use sccf_tensor::{Initializer, Mat, ParamStore, Tape};
+
+const EPS: f32 = 1e-3;
+/// Relative tolerance; f32 finite differences are noisy, so compare with
+/// a mixed absolute/relative criterion.
+const TOL: f32 = 2e-2;
+
+fn rand_mat(rng: &mut StdRng, r: usize, c: usize) -> Mat {
+    Mat::from_vec(r, c, (0..r * c).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+/// Extract the analytic gradient for `pid` as a dense matrix.
+fn dense_grad(store: &ParamStore, grads: &sccf_tensor::Grads, pid: sccf_tensor::ParamId) -> Mat {
+    match grads.get(pid) {
+        None => Mat::zeros(store.value(pid).rows(), store.value(pid).cols()),
+        Some(GradSlot::Dense(g)) => g.clone(),
+        Some(GradSlot::SparseRows(rows)) => {
+            let mut g = Mat::zeros(store.value(pid).rows(), store.value(pid).cols());
+            for (&r, row) in rows {
+                g.row_mut(r as usize).copy_from_slice(row);
+            }
+            g
+        }
+    }
+}
+
+/// Check every parameter's analytic gradient against central differences.
+fn gradcheck(mut store: ParamStore, f: impl Fn(&ParamStore) -> (f32, sccf_tensor::Grads)) {
+    let (_, grads) = f(&store);
+    let pids: Vec<sccf_tensor::ParamId> = store.iter().map(|(pid, _)| pid).collect();
+    for pid in pids {
+        let analytic = dense_grad(&store, &grads, pid);
+        let (rows, cols) = store.value(pid).shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = store.value(pid).get(r, c);
+                store.value_mut(pid).set(r, c, orig + EPS);
+                let (lp, _) = f(&store);
+                store.value_mut(pid).set(r, c, orig - EPS);
+                let (lm, _) = f(&store);
+                store.value_mut(pid).set(r, c, orig);
+                let numeric = (lp - lm) / (2.0 * EPS);
+                let a = analytic.get(r, c);
+                let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+                assert!(
+                    (a - numeric).abs() / denom < TOL,
+                    "param {:?} [{r},{c}]: analytic {a} vs numeric {numeric}",
+                    store.param(pid).name,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gradcheck_matmul_chain() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let a = store.add("a", rand_mat(&mut rng, 2, 3));
+    let b = store.add("b", rand_mat(&mut rng, 3, 4));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let av = t.param(a);
+        let bv = t.param(b);
+        let y = t.matmul(av, bv);
+        let loss = t.mean_all(y);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_matmul_nt() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let a = store.add("a", rand_mat(&mut rng, 3, 4));
+    let b = store.add("b", rand_mat(&mut rng, 5, 4));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let av = t.param(a);
+        let bv = t.param(b);
+        let y = t.matmul_nt(av, bv);
+        let sq = t.mul(y, y);
+        let loss = t.mean_all(sq);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_elementwise_ops() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let a = store.add("a", rand_mat(&mut rng, 2, 5));
+    let b = store.add("b", rand_mat(&mut rng, 2, 5));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let av = t.param(a);
+        let bv = t.param(b);
+        let sum = t.add(av, bv);
+        let diff = t.sub(sum, bv);
+        let prod = t.mul(diff, bv);
+        let scaled = t.scale(prod, 0.7);
+        let loss = t.mean_all(scaled);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_activations() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut store = ParamStore::new();
+    let a = store.add("a", rand_mat(&mut rng, 3, 4));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let av = t.param(a);
+        let r = t.relu(av);
+        let sg = t.sigmoid(r);
+        let ls = t.log_sigmoid(sg);
+        let loss = t.mean_all(ls);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_add_bias() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 4, 3));
+    let b = store.add("b", rand_mat(&mut rng, 1, 3));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let xv = t.param(x);
+        let bv = t.param(b);
+        let y = t.add_bias(xv, bv);
+        let sq = t.mul(y, y);
+        let loss = t.mean_all(sq);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_rows_dot_and_broadcast() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut store = ParamStore::new();
+    let a = store.add("a", rand_mat(&mut rng, 4, 3));
+    let b = store.add("b", rand_mat(&mut rng, 4, 3));
+    let u = store.add("u", rand_mat(&mut rng, 1, 3));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let av = t.param(a);
+        let bv = t.param(b);
+        let uv = t.param(u);
+        let d1 = t.rows_dot(av, bv); // aligned
+        let d2 = t.rows_dot(uv, bv); // broadcast
+        let sum = t.add(d1, d2);
+        let loss = t.mean_all(sum);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_mean_rows_alpha() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 5, 3));
+    for &alpha in &[0.0f32, 0.5, 1.0] {
+        let (_, _) = (0, 0);
+        let store2 = store.clone();
+        gradcheck(store2, move |s| {
+            let mut t = Tape::new(s);
+            let xv = t.param(x);
+            let m = t.mean_rows_alpha(xv, alpha);
+            let sq = t.mul(m, m);
+            let loss = t.mean_all(sq);
+            (t.scalar(loss), t.backward(loss))
+        });
+    }
+    let _ = store.len();
+}
+
+#[test]
+fn gradcheck_slice_concat() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 3, 6));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let xv = t.param(x);
+        let a = t.slice_cols(xv, 0, 2);
+        let b = t.slice_cols(xv, 2, 4);
+        let cat = t.concat_cols(&[b, a]); // reordered
+        let sq = t.mul(cat, cat);
+        let loss = t.mean_all(sq);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_layer_norm() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 4, 6));
+    let ln = LayerNorm::new(&mut store, "ln", 6);
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let xv = t.param(x);
+        let y = ln.forward(&mut t, xv);
+        let sq = t.mul(y, y);
+        let loss = t.mean_all(sq);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_causal_softmax() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 4, 4));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let xv = t.param(x);
+        let y = t.causal_softmax(xv, 0);
+        let sq = t.mul(y, y);
+        let loss = t.mean_all(sq);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_plain_softmax() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 3, 5));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let xv = t.param(x);
+        let y = t.softmax(xv);
+        let sq = t.mul(y, y);
+        let loss = t.mean_all(sq);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_bce_with_logits() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 6, 1));
+    let targets = vec![1.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let xv = t.param(x);
+        let loss = t.bce_with_logits(xv, &targets);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_bpr_loss() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut store = ParamStore::new();
+    let p = store.add("pos", rand_mat(&mut rng, 5, 1));
+    let n = store.add("neg", rand_mat(&mut rng, 5, 1));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let pv = t.param(p);
+        let nv = t.param(n);
+        let loss = t.bpr_loss(pv, nv);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_gather_sparse() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let mut store = ParamStore::new();
+    let e = store.add_sparse("emb", rand_mat(&mut rng, 6, 3));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        // repeated id forces accumulation in the sparse slot
+        let g = t.gather(e, &[0, 3, 3, 5]);
+        let sq = t.mul(g, g);
+        let loss = t.mean_all(sq);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_linear_layer() {
+    let mut rng = StdRng::seed_from_u64(15);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 3, 4));
+    let lin = Linear::new(
+        &mut store,
+        "lin",
+        4,
+        2,
+        true,
+        Initializer::XavierUniform,
+        &mut rng,
+    );
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let xv = t.param(x);
+        let y = lin.forward(&mut t, xv);
+        let sq = t.mul(y, y);
+        let loss = t.mean_all(sq);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_ffn() {
+    let mut rng = StdRng::seed_from_u64(16);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 3, 4));
+    let ffn = PointwiseFfn::new(
+        &mut store,
+        "ffn",
+        4,
+        6,
+        Initializer::XavierUniform,
+        &mut rng,
+    );
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let xv = t.param(x);
+        let y = ffn.forward(&mut t, xv);
+        let sq = t.mul(y, y);
+        let loss = t.mean_all(sq);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_attention_multi_head() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 4, 6));
+    let mha = MultiHeadSelfAttention::new(
+        &mut store,
+        "mha",
+        6,
+        2,
+        Initializer::XavierUniform,
+        &mut rng,
+    );
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let xv = t.param(x);
+        let y = mha.forward(&mut t, xv);
+        let sq = t.mul(y, y);
+        let loss = t.mean_all(sq);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_transformer_block_eval_mode() {
+    // dropout disabled (eval) so the function is deterministic.
+    let mut rng = StdRng::seed_from_u64(18);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 3, 4));
+    let block = TransformerBlock::new(
+        &mut store,
+        "blk",
+        4,
+        1,
+        4,
+        0.5,
+        Initializer::XavierUniform,
+        &mut rng,
+    );
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let mut drop_rng = StdRng::seed_from_u64(0);
+        let mut ctx = FwdCtx::new(false, &mut drop_rng);
+        let xv = t.param(x);
+        let y = block.forward(&mut t, xv, &mut ctx);
+        let sq = t.mul(y, y);
+        let loss = t.mean_all(sq);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_mlp() {
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 4, 5));
+    let mlp = Mlp::new(
+        &mut store,
+        "mlp",
+        &[5, 7, 1],
+        Initializer::XavierUniform,
+        &mut rng,
+    );
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let xv = t.param(x);
+        let y = mlp.forward(&mut t, xv);
+        let loss = t.bce_with_logits(y, &[1.0, 0.0, 1.0, 0.0]);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_embedding_lookup_through_pooling() {
+    // The exact FISM forward: gather → pool(α) → dot with a target row.
+    let mut rng = StdRng::seed_from_u64(20);
+    let mut store = ParamStore::new();
+    let emb = Embedding::new(
+        &mut store,
+        "items",
+        8,
+        4,
+        Initializer::XavierUniform,
+        &mut rng,
+    );
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let hist = emb.lookup(&mut t, &[1, 2, 5]);
+        let user = t.mean_rows_alpha(hist, 0.5);
+        let targets = emb.lookup(&mut t, &[3, 6]);
+        let logits = t.rows_dot(user, targets);
+        let loss = t.bce_with_logits(logits, &[1.0, 0.0]);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_tanh_affine() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut store = ParamStore::new();
+    let a = store.add("a", rand_mat(&mut rng, 3, 4));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let av = t.param(a);
+        let th = t.tanh(av);
+        let aff = t.affine(th, -0.5, 0.3);
+        let loss = t.mean_all(aff);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_concat_rows() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut store = ParamStore::new();
+    let a = store.add("a", rand_mat(&mut rng, 2, 3));
+    let b = store.add("b", rand_mat(&mut rng, 3, 3));
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let av = t.param(a);
+        let bv = t.param(b);
+        let stacked = t.concat_rows(&[av, bv]);
+        // Non-uniform weighting so row-routing mistakes show up.
+        let w = t.input(Mat::from_vec(
+            5,
+            3,
+            (0..15).map(|v| 0.1 * v as f32 - 0.7).collect(),
+        ));
+        let prod = t.mul(stacked, w);
+        let loss = t.mean_all(prod);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_unfold_max_rows() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut store = ParamStore::new();
+    let x = store.add("x", rand_mat(&mut rng, 5, 3));
+    let f = store.add("f", rand_mat(&mut rng, 6, 2)); // two h=2 filters
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let xv = t.param(x);
+        let fv = t.param(f);
+        let windows = t.unfold_rows(xv, 2); // 4 × 6
+        let conv = t.matmul(windows, fv); // 4 × 2
+        let pooled = t.max_rows(conv); // 1 × 2
+        let loss = t.mean_all(pooled);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_gru_two_steps() {
+    use sccf_tensor::nn::Gru;
+    let mut rng = StdRng::seed_from_u64(44);
+    let mut store = ParamStore::new();
+    let gru = Gru::new(&mut store, "g", 2, 3, Initializer::XavierUniform, &mut rng);
+    let x1 = rand_mat(&mut rng, 1, 2);
+    let x2 = rand_mat(&mut rng, 1, 2);
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let a = t.input(x1.clone());
+        let b = t.input(x2.clone());
+        let states = gru.run(&mut t, &[a, b]);
+        let loss = t.mean_all(states[1]);
+        (t.scalar(loss), t.backward(loss))
+    });
+}
+
+#[test]
+fn gradcheck_caser_encoder() {
+    use sccf_tensor::nn::CaserEncoder;
+    let mut rng = StdRng::seed_from_u64(45);
+    let mut store = ParamStore::new();
+    let emb = Embedding::new(&mut store, "e", 8, 3, Initializer::XavierUniform, &mut rng);
+    let enc = CaserEncoder::new(
+        &mut store,
+        "c",
+        4,
+        3,
+        &[2, 3],
+        2,
+        2,
+        Initializer::XavierUniform,
+        &mut rng,
+    );
+    gradcheck(store, move |s| {
+        let mut t = Tape::new(s);
+        let img = enc.image(&mut t, &emb, &[1, 5, 2]);
+        let rep = enc.forward(&mut t, img);
+        let loss = t.mean_all(rep);
+        (t.scalar(loss), t.backward(loss))
+    });
+}

@@ -1,0 +1,31 @@
+//! Shared utilities for the SCCF workspace.
+//!
+//! This crate deliberately has no dependency on the rest of the workspace so
+//! every other crate can use it. It provides:
+//!
+//! * [`hash`] — an FxHash implementation and `FxHashMap`/`FxHashSet` aliases
+//!   (integer-keyed maps are on every hot path of a recommender).
+//! * [`topk`] — heap-based top-k selection over scored ids, the primitive
+//!   behind every "retrieve the N best items/users" step.
+//! * [`stats`] — online mean/variance (Welford), z-normalization as used by
+//!   the integrating component (Eq. 16 of the paper), histogramming for the
+//!   figure reproductions.
+//! * [`rng`] — deterministic seed derivation so every experiment is
+//!   reproducible from a single root seed.
+//! * [`table`] — minimal markdown/TSV table rendering for the `repro`
+//!   harness output.
+//! * [`timer`] — wall-clock timing helpers for the latency experiments
+//!   (Table III).
+
+pub mod hash;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod timer;
+pub mod topk;
+
+pub use hash::{FxHashMap, FxHashSet};
+pub use stats::{zscore_normalize, Histogram, OnlineStats};
+pub use table::Table;
+pub use timer::{LatencyHistogram, Stopwatch, TimingStats};
+pub use topk::TopK;

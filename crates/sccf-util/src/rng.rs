@@ -1,0 +1,88 @@
+//! Deterministic seed derivation.
+//!
+//! Every experiment in the harness is reproducible from one root seed.
+//! Sub-systems (data generation, model init, negative sampling, click
+//! simulation, ...) each derive an independent stream with
+//! [`derive_seed`], so adding a new consumer never perturbs the randomness
+//! of existing ones — the classic "seed splitting" discipline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 step: the standard 64-bit mixer used to expand and decorrelate
+/// seeds. Passes through every bit of the input.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive a child seed from `(root, stream)`; distinct streams give
+/// decorrelated seeds.
+pub fn derive_seed(root: u64, stream: u64) -> u64 {
+    let mut s = root ^ 0xA076_1D64_78BD_642F_u64.wrapping_mul(stream.wrapping_add(1));
+    let a = splitmix64(&mut s);
+    let b = splitmix64(&mut s);
+    a ^ b.rotate_left(17)
+}
+
+/// A seeded [`StdRng`] for the given `(root, stream)` pair.
+pub fn rng_for(root: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(root, stream))
+}
+
+/// Named streams used across the workspace, so call sites read as intent
+/// rather than magic numbers.
+pub mod streams {
+    pub const DATA_GEN: u64 = 1;
+    pub const MODEL_INIT: u64 = 2;
+    pub const NEG_SAMPLING: u64 = 3;
+    pub const TRAIN_SHUFFLE: u64 = 4;
+    pub const DROPOUT: u64 = 5;
+    pub const CLICK_MODEL: u64 = 6;
+    pub const BUCKET_SPLIT: u64 = 7;
+    pub const EVAL: u64 = 8;
+    pub const INDEX: u64 = 9;
+    pub const INTEGRATOR: u64 = 10;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derive_is_deterministic() {
+        assert_eq!(derive_seed(7, 1), derive_seed(7, 1));
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        let a = derive_seed(7, 1);
+        let b = derive_seed(7, 2);
+        let c = derive_seed(8, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rng_reproducible() {
+        let mut r1 = rng_for(42, streams::DATA_GEN);
+        let mut r2 = rng_for(42, streams::DATA_GEN);
+        let x1: u64 = r1.gen();
+        let x2: u64 = r2.gen();
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn splitmix_mixes() {
+        let mut s = 0u64;
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+    }
+}

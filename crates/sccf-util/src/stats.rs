@@ -1,0 +1,280 @@
+//! Streaming statistics, z-normalization and histograms.
+//!
+//! The integrating component of the paper normalizes the UI and UU
+//! preference scores *per user* before feeding them to the fusion MLP
+//! (Eq. 16): `r̃ = (r̂ − mean(r̂)) / std(r̂)`. [`zscore_normalize`] is that
+//! operation; [`OnlineStats`] is the single-pass mean/std behind it and
+//! behind the latency aggregation of Table III. [`Histogram`] backs the
+//! figure reproductions (Figures 1 and 4).
+
+/// Single-pass mean / variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by n). Zero for n < 2.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Z-normalize `values` in place: subtract the mean, divide by the standard
+/// deviation. This is Eq. 16 of the paper, applied per user over the
+/// candidate-set scores. A zero (or near-zero) std leaves the centered
+/// values unscaled, which keeps constant score vectors at exactly zero
+/// rather than NaN.
+pub fn zscore_normalize(values: &mut [f32]) {
+    if values.is_empty() {
+        return;
+    }
+    let mut st = OnlineStats::new();
+    for &v in values.iter() {
+        st.push(v as f64);
+    }
+    let mean = st.mean() as f32;
+    let std = st.std() as f32;
+    if std > 1e-8 {
+        for v in values.iter_mut() {
+            *v = (*v - mean) / std;
+        }
+    } else {
+        for v in values.iter_mut() {
+            *v -= mean;
+        }
+    }
+}
+
+/// Mean of a slice; 0 for empty input.
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().map(|&v| v as f64).sum::<f64>() as f32 / values.len() as f32
+}
+
+/// Fixed-width histogram over `[lo, hi)` with `bins` buckets.
+/// Out-of-range observations are clamped into the first/last bucket, so the
+/// total count always equals the number of pushes.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Center of bucket `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// `(bin_center, count)` pairs — the series plotted in the figures.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        (0..self.counts.len())
+            .map(|i| (self.bin_center(i), self.counts[i]))
+            .collect()
+    }
+
+    /// `(bin_center, fraction_of_total)` pairs.
+    pub fn normalized_series(&self) -> Vec<(f64, f64)> {
+        let total = self.total().max(1) as f64;
+        self.series()
+            .into_iter()
+            .map(|(c, n)| (c, n as f64 / total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let mut st = OnlineStats::new();
+        for &x in &xs {
+            st.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((st.mean() - mean).abs() < 1e-12);
+        assert!((st.variance() - var).abs() < 1e-12);
+        assert_eq!(st.min(), 1.0);
+        assert_eq!(st.max(), 10.0);
+        assert_eq!(st.count(), 5);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.mean(), a.variance());
+        a.merge(&OnlineStats::new());
+        assert_eq!((a.mean(), a.variance()), before);
+
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn zscore_gives_zero_mean_unit_std() {
+        let mut v = vec![1.0f32, 2.0, 3.0, 4.0, 5.0];
+        zscore_normalize(&mut v);
+        let m = mean(&v);
+        let var: f32 = v.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / v.len() as f32;
+        assert!(m.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zscore_constant_input_centers_without_nan() {
+        let mut v = vec![7.0f32; 4];
+        zscore_normalize(&mut v);
+        assert!(v.iter().all(|x| x.abs() < 1e-6));
+    }
+
+    #[test]
+    fn zscore_empty_is_noop() {
+        let mut v: Vec<f32> = vec![];
+        zscore_normalize(&mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.push(0.5); // bin 0
+        h.push(9.9); // bin 4
+        h.push(-3.0); // clamped to bin 0
+        h.push(42.0); // clamped to bin 4
+        h.push(5.0); // bin 2
+        assert_eq!(h.counts(), &[2, 0, 1, 0, 2]);
+        assert_eq!(h.total(), 5);
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        let norm = h.normalized_series();
+        let sum: f64 = norm.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,234 @@
+//! Top-k selection over `(score, id)` pairs.
+//!
+//! Every retrieval step in the paper — top-N items by `m_u·q_i` (Eq. 10),
+//! top-β neighbors by cosine (Eq. 11), top-N items by the user-based score
+//! (Eq. 12) — reduces to "keep the k largest scores seen in a stream".
+//! A bounded binary min-heap does this in `O(n log k)` without materializing
+//! or sorting the full score vector.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scored id. Ordering is by score (ties broken by id for determinism);
+/// NaN scores are treated as negative infinity so they never enter a top-k.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    pub score: f32,
+    pub id: u32,
+}
+
+impl Scored {
+    #[inline]
+    fn key(&self) -> (f32, u32) {
+        let s = if self.score.is_nan() {
+            f32::NEG_INFINITY
+        } else {
+            self.score
+        };
+        (s, self.id)
+    }
+}
+
+impl Eq for Scored {}
+
+impl PartialOrd for Scored {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scored {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (sa, ia) = self.key();
+        let (sb, ib) = other.key();
+        // total_cmp is total over the non-NaN range we map into;
+        // ids descending so that *smaller* ids win ties in a max-ordering.
+        sa.total_cmp(&sb).then(ib.cmp(&ia))
+    }
+}
+
+/// Bounded top-k accumulator (keeps the k items with the largest scores).
+///
+/// ```
+/// use sccf_util::topk::TopK;
+/// let mut tk = TopK::new(2);
+/// for (id, s) in [(0u32, 0.1f32), (1, 0.9), (2, 0.5), (3, 0.7)] {
+///     tk.push(id, s);
+/// }
+/// let out = tk.into_sorted_vec();
+/// assert_eq!(out[0].id, 1);
+/// assert_eq!(out[1].id, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    // Min-heap via Reverse ordering: the root is the current k-th best.
+    heap: BinaryHeap<std::cmp::Reverse<Scored>>,
+}
+
+impl TopK {
+    /// A new accumulator keeping the `k` best entries. `k == 0` keeps nothing.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Number of entries currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current k-th best score, i.e. the admission threshold once full.
+    pub fn threshold(&self) -> Option<f32> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|r| r.0.score)
+        }
+    }
+
+    /// Offer one candidate.
+    #[inline]
+    pub fn push(&mut self, id: u32, score: f32) {
+        if self.k == 0 || score.is_nan() {
+            return;
+        }
+        let cand = Scored { score, id };
+        if self.heap.len() < self.k {
+            self.heap.push(std::cmp::Reverse(cand));
+        } else if let Some(worst) = self.heap.peek() {
+            if cand > worst.0 {
+                self.heap.pop();
+                self.heap.push(std::cmp::Reverse(cand));
+            }
+        }
+    }
+
+    /// Offer a whole scored slice, where position is the id.
+    pub fn extend_from_scores(&mut self, scores: &[f32]) {
+        for (id, &s) in scores.iter().enumerate() {
+            self.push(id as u32, s);
+        }
+    }
+
+    /// Consume, returning entries sorted by descending score
+    /// (ties: ascending id).
+    pub fn into_sorted_vec(self) -> Vec<Scored> {
+        let mut v: Vec<Scored> = self.heap.into_iter().map(|r| r.0).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+/// One-shot helper: top-k of a dense score vector, descending.
+pub fn topk_of_scores(scores: &[f32], k: usize) -> Vec<Scored> {
+    let mut tk = TopK::new(k);
+    tk.extend_from_scores(scores);
+    tk.into_sorted_vec()
+}
+
+/// One-shot helper: top-k over an iterator of `(id, score)` pairs.
+pub fn topk_of_pairs(pairs: impl Iterator<Item = (u32, f32)>, k: usize) -> Vec<Scored> {
+    let mut tk = TopK::new(k);
+    for (id, s) in pairs {
+        tk.push(id, s);
+    }
+    tk.into_sorted_vec()
+}
+
+/// Rank (1-based) of `target` in the descending ordering of `scores`,
+/// with the same deterministic tie-break as [`TopK`] (lower id ranks first).
+/// This is what HR@k / NDCG@k need: the position of the ground-truth item.
+pub fn rank_of(scores: &[f32], target: u32) -> usize {
+    let t = Scored {
+        score: scores[target as usize],
+        id: target,
+    };
+    let mut rank = 1usize;
+    for (id, &s) in scores.iter().enumerate() {
+        let c = Scored { score: s, id: id as u32 };
+        if c > t {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let scores = [0.3f32, 0.9, 0.1, 0.7, 0.5];
+        let out = topk_of_scores(&scores, 3);
+        let ids: Vec<u32> = out.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn k_zero_and_empty() {
+        assert!(topk_of_scores(&[1.0, 2.0], 0).is_empty());
+        assert!(topk_of_scores(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let out = topk_of_scores(&[0.2, 0.8], 10);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 1);
+    }
+
+    #[test]
+    fn nan_never_selected() {
+        let out = topk_of_scores(&[f32::NAN, 0.5, f32::NAN], 2);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 1);
+    }
+
+    #[test]
+    fn ties_break_by_lower_id() {
+        let out = topk_of_scores(&[0.5, 0.5, 0.5], 2);
+        let ids: Vec<u32> = out.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn threshold_tracks_kth_best() {
+        let mut tk = TopK::new(2);
+        assert_eq!(tk.threshold(), None);
+        tk.push(0, 1.0);
+        assert_eq!(tk.threshold(), None);
+        tk.push(1, 3.0);
+        assert_eq!(tk.threshold(), Some(1.0));
+        tk.push(2, 2.0);
+        assert_eq!(tk.threshold(), Some(2.0));
+    }
+
+    #[test]
+    fn rank_of_matches_sorted_position() {
+        let scores = [0.3f32, 0.9, 0.1, 0.7, 0.5];
+        assert_eq!(rank_of(&scores, 1), 1);
+        assert_eq!(rank_of(&scores, 3), 2);
+        assert_eq!(rank_of(&scores, 4), 3);
+        assert_eq!(rank_of(&scores, 0), 4);
+        assert_eq!(rank_of(&scores, 2), 5);
+    }
+
+    #[test]
+    fn rank_of_tie_break_is_consistent_with_topk() {
+        // Two ties: item 1 and 2 both at 0.5. Lower id ranks first.
+        let scores = [0.9f32, 0.5, 0.5];
+        assert_eq!(rank_of(&scores, 1), 2);
+        assert_eq!(rank_of(&scores, 2), 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Side-information demo — the paper's §V future work, implemented:
+//! *"we will investigate how to incorporate side information such as user
+//! profile to identify similar users."*
+//!
+//! A cold-start scenario: the behavioral model has seen almost no
+//! training (1 epoch), so its user representations are noisy. Blending a
+//! registration-style profile vector into the neighbor search
+//! (`[m̂_u ⊕ w·p̂_u]`) recovers meaningful neighborhoods.
+//!
+//! ```sh
+//! cargo run --release --example profile_neighbors
+//! ```
+
+use sccf::core::{Sccf, SccfConfig, UserProfiles};
+use sccf::data::catalog::{ml1m_sim, Scale};
+use sccf::data::synthetic::generate;
+use sccf::data::LeaveOneOut;
+use sccf::eval::{evaluate, EvalTarget};
+use sccf::models::{Fism, FismConfig, InductiveUiModel, TrainConfig};
+
+fn main() {
+    let mut cfg = ml1m_sim(Scale::Quick);
+    cfg.n_users = 300;
+    cfg.n_items = 260;
+    let gen = generate(&cfg, 33);
+    let split = LeaveOneOut::split(&gen.dataset);
+
+    println!("cold-start: FISM trained for a single epoch\n");
+    let train_weak = || {
+        Fism::train(
+            &split,
+            &FismConfig {
+                train: TrainConfig {
+                    dim: 16,
+                    epochs: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    };
+
+    let mut results = Vec::new();
+    for &weight in &[0.0f32, 0.5, 1.0, 2.0] {
+        let profiles =
+            (weight > 0.0).then(|| UserProfiles::new(gen.profiles.clone(), weight));
+        let mut sccf = Sccf::build(
+            train_weak(),
+            &split,
+            SccfConfig {
+                profiles,
+                ..SccfConfig::default()
+            },
+        );
+        sccf.refresh_for_test(&split);
+
+        // neighborhood purity: same-group fraction among neighbors
+        let groups = &gen.truth.user_group;
+        let mut purity = 0.0;
+        let mut n = 0u32;
+        for u in 0..split.n_users() as u32 {
+            let rep = sccf.model().infer_user(&split.train_plus_val(u));
+            let neighbors = sccf.neighbors(u, &rep);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let same = neighbors
+                .iter()
+                .filter(|s| groups[s.id as usize] == groups[u as usize])
+                .count();
+            purity += same as f64 / neighbors.len() as f64;
+            n += 1;
+        }
+        purity /= n.max(1) as f64;
+
+        let uu = evaluate(
+            &sccf.uu_scorer(),
+            &split,
+            EvalTarget::Test,
+            &[50],
+            4,
+            "UU",
+            "profiles",
+        );
+        results.push((weight, purity, uu.metrics.hr(50), uu.metrics.ndcg(50)));
+    }
+
+    println!("profile weight w   neighborhood purity   UU HR@50   UU NDCG@50");
+    for (w, purity, hr, ndcg) in &results {
+        println!("      {w:>4.1}              {purity:.3}            {hr:.4}     {ndcg:.4}");
+    }
+    println!(
+        "\n(random purity over {} groups would be ≈ {:.3}; w = 0 is the paper's\n pure Eq. 11 — profile blending repairs cold-start neighborhoods)",
+        cfg.n_groups,
+        1.0 / cfg.n_groups as f64
+    );
+}

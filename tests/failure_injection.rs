@@ -1,0 +1,270 @@
+//! Failure-injection tests: feed the system the inputs production feeds
+//! it on a bad day — disordered and late events, corrupted snapshots,
+//! degenerate users, out-of-distribution vectors — and assert it degrades
+//! the way the design documents say it should (drop + count, reject +
+//! explain, never panic, never silently corrupt).
+
+use sccf::core::{RealtimeEngine, Sccf, SccfConfig, SnapshotDecodeError};
+use sccf::data::dataset::{Dataset, Interaction};
+use sccf::data::LeaveOneOut;
+use sccf::index::{Metric, SqIndex};
+use sccf::models::{Fism, FismConfig, InductiveUiModel, Recommender, TrainConfig};
+use sccf::serving::{StreamEvent, WatermarkBuffer};
+
+fn tiny_world(seed: u64) -> (LeaveOneOut, Dataset) {
+    use rand::Rng;
+    let mut inter = Vec::new();
+    let mut rng = sccf::util::rng::rng_for(seed, 3);
+    for u in 0..16u32 {
+        let base = if u < 8 { 0 } else { 8 };
+        let mut seen = sccf::util::hash::fx_set();
+        let mut t = 0i64;
+        while (t as usize) < 6 {
+            let item = base + rng.gen_range(0..8u32);
+            if seen.insert(item) {
+                inter.push(Interaction { user: u, item, ts: t });
+                t += 1;
+            }
+        }
+    }
+    let d = Dataset::from_interactions("fi", 16, 16, &inter, None);
+    (LeaveOneOut::split(&d), d)
+}
+
+fn build_engine(seed: u64) -> RealtimeEngine<Fism> {
+    let (split, _) = tiny_world(seed);
+    let fism = Fism::train(
+        &split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 8,
+                epochs: 5,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let mut sccf = Sccf::build(
+        fism,
+        &split,
+        SccfConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    sccf.refresh_for_test(&split);
+    let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
+        .map(|u| split.train_plus_val(u))
+        .collect();
+    RealtimeEngine::new(sccf, histories)
+}
+
+// --------------------------------------------------------- event stream
+
+#[test]
+fn late_events_are_dropped_not_reordered_backwards() {
+    let mut buf = WatermarkBuffer::new(2);
+    let mut emitted: Vec<StreamEvent> = Vec::new();
+    // a hot stream, then a straggler from long ago
+    for ts in [100i64, 101, 102, 103] {
+        emitted.extend(buf.push(StreamEvent { ts, user: 0, item: ts as u32 }));
+    }
+    emitted.extend(buf.push(StreamEvent { ts: 50, user: 1, item: 99 }));
+    emitted.extend(buf.flush());
+    assert_eq!(buf.dropped(), 1, "the straggler must be dropped");
+    assert!(emitted.iter().all(|e| e.item != 99));
+    assert!(emitted.windows(2).all(|w| w[0].ts <= w[1].ts));
+}
+
+#[test]
+fn engine_survives_disordered_stream_via_watermark() {
+    let mut engine = build_engine(4);
+    let mut buf = WatermarkBuffer::new(3);
+    // events arrive shuffled within a bounded window
+    let arrivals = [
+        (5i64, 0u32, 1u32),
+        (3, 1, 2),
+        (4, 0, 3),
+        (7, 2, 4),
+        (6, 1, 5),
+        (9, 0, 6),
+    ];
+    let mut processed = 0usize;
+    let mut feed = |e: StreamEvent, engine: &mut RealtimeEngine<Fism>| {
+        engine.process_event(e.user, e.item);
+        processed += 1;
+    };
+    let mut pending: Vec<StreamEvent> = Vec::new();
+    for (ts, user, item) in arrivals {
+        pending.extend(buf.push(StreamEvent { ts, user, item }));
+        for e in pending.drain(..) {
+            feed(e, &mut engine);
+        }
+    }
+    for e in buf.flush() {
+        feed(e, &mut engine);
+    }
+    assert_eq!(processed, arrivals.len());
+    // user 0's events were (ts 5, item 1), (ts 4, item 3), (ts 9, item 6);
+    // the buffer must deliver them in timestamp order: 3, 1, 6
+    let h = engine.history(0);
+    let tail = &h[h.len() - 3..];
+    assert_eq!(tail, &[3, 1, 6]);
+}
+
+// ------------------------------------------------------------ snapshots
+
+#[test]
+fn bit_flip_in_snapshot_is_rejected_or_roundtrips_lengths() {
+    // Flipping a byte inside an item id region decodes to *different
+    // content* but must never panic; flipping inside a length prefix is
+    // caught as truncation (lengths no longer add up) — either way the
+    // engine never comes up half-initialized.
+    let engine = build_engine(5);
+    let snap = engine.snapshot();
+    let sccf = engine.into_sccf();
+    let mut corrupted = snap.clone();
+    // flip one byte in the middle of the payload
+    let mid = snap.len() / 2;
+    corrupted[mid] ^= 0xFF;
+    match RealtimeEngine::restore(sccf, &corrupted) {
+        Ok(restored) => {
+            // decoded fine: the flip hit an item id; engine must be fully
+            // initialized and serviceable
+            let recs = restored.recommend(0, 3);
+            assert!(recs.len() <= 3);
+        }
+        Err(e) => {
+            assert!(
+                matches!(
+                    e,
+                    SnapshotDecodeError::Truncated
+                        | SnapshotDecodeError::UserCountMismatch { .. }
+                        | SnapshotDecodeError::ItemOutOfRange { .. }
+                ),
+                "unexpected error class: {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_snapshot_never_panics_at_any_cut_point() {
+    let engine = build_engine(6);
+    let snap = engine.snapshot();
+    for cut in 0..snap.len().min(64) {
+        let engine2 = build_engine(6);
+        let sccf = engine2.into_sccf();
+        // every strict prefix must be rejected cleanly
+        assert!(
+            RealtimeEngine::restore(sccf, &snap[..cut]).is_err(),
+            "prefix of {cut} bytes must not decode"
+        );
+    }
+}
+
+// ------------------------------------------------------- degenerate users
+
+#[test]
+fn empty_history_user_still_gets_recommendations_path() {
+    let engine = build_engine(7);
+    let sccf = engine.sccf();
+    // a brand-new user (empty history) must not panic anywhere in the
+    // pipeline; UI scores collapse to zeros, the UU side may be empty
+    let recs = sccf.recommend(0, &[], 5);
+    assert!(recs.len() <= 5);
+    let cand = sccf.candidate_features(0, &[]);
+    assert_eq!(cand.ui_scores.len(), cand.items.len());
+    assert_eq!(cand.uu_scores.len(), cand.items.len());
+}
+
+#[test]
+fn user_with_everything_interacted_gets_nothing() {
+    let engine = build_engine(8);
+    let sccf = engine.sccf();
+    let all: Vec<u32> = (0..sccf.model().n_items() as u32).collect();
+    // every item is in the history ⇒ the candidate union is empty and the
+    // contract says "no repeats", so no recommendations
+    let recs = sccf.recommend(0, &all, 5);
+    assert!(recs.is_empty());
+}
+
+#[test]
+fn repeated_single_item_history_is_finite() {
+    let engine = build_engine(9);
+    let sccf = engine.sccf();
+    let rep = sccf.model().infer_user(&[3; 50]);
+    assert!(rep.iter().all(|v| v.is_finite()));
+    let recs = sccf.recommend(1, &[3; 50], 5);
+    assert!(recs.iter().all(|s| s.score.is_finite()));
+    assert!(recs.iter().all(|s| s.id != 3), "never recommend the history");
+}
+
+// ------------------------------------------------------- quantized index
+
+#[test]
+fn sq_update_far_outside_training_range_clamps() {
+    let data: Vec<f32> = (0..64).map(|i| (i as f32 / 64.0) - 0.5).collect();
+    let mut sq = SqIndex::build(&data, 4, Metric::InnerProduct);
+    sq.update(0, &[1e9, -1e9, 0.0, 0.0]);
+    let v = sq.vector(0);
+    // clamped to the trained bounds, still finite and searchable
+    assert!(v.iter().all(|x| x.is_finite() && x.abs() <= 0.6));
+    let hits = sq.search(&[1.0, 0.0, 0.0, 0.0], 3, None);
+    assert!(hits.iter().all(|s| s.score.is_finite()));
+}
+
+#[test]
+fn nan_scores_never_enter_topk() {
+    // The TopK layer silently rejects NaN scores — a NaN-poisoned scorer
+    // degrades to fewer results rather than a poisoned ranking.
+    let scores = vec![0.5, f32::NAN, 0.9, f32::NAN, 0.1];
+    let top = sccf::util::topk::topk_of_scores(&scores, 5);
+    assert_eq!(top.len(), 3);
+    assert!(top.iter().all(|s| s.score.is_finite()));
+    assert_eq!(top[0].id, 2);
+}
+
+// ------------------------------------------------------ model mismatches
+
+#[test]
+fn model_load_rejects_wrong_catalog_size() {
+    let (split, _) = tiny_world(10);
+    let cfg = FismConfig {
+        train: TrainConfig {
+            dim: 8,
+            epochs: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let model = Fism::train(&split, &cfg);
+    let bytes = model.save_bytes();
+    // a catalog twice the size cannot absorb these weights
+    assert!(Fism::load_bytes(split.n_items() * 2, &cfg, &bytes).is_err());
+}
+
+#[test]
+fn model_load_rejects_wrong_dimension() {
+    let (split, _) = tiny_world(11);
+    let cfg8 = FismConfig {
+        train: TrainConfig {
+            dim: 8,
+            epochs: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let model = Fism::train(&split, &cfg8);
+    let bytes = model.save_bytes();
+    let cfg16 = FismConfig {
+        train: TrainConfig {
+            dim: 16,
+            epochs: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    assert!(Fism::load_bytes(split.n_items(), &cfg16, &bytes).is_err());
+}

@@ -1,0 +1,154 @@
+//! Integration tests for the §V future-work extension: side-information
+//! (user-profile) aware neighborhoods.
+//!
+//! The synthetic generator emits noisy group-indicator profiles. With a
+//! deliberately *weak* behavioral model (1 training epoch — cold-start
+//! conditions), profile blending must raise neighborhood quality: the
+//! fraction of same-group users among the β nearest neighbors.
+
+use sccf::core::{IntegratorConfig, Sccf, SccfConfig, UserBasedConfig, UserProfiles};
+use sccf::data::catalog::Scale;
+use sccf::data::synthetic::{generate, SyntheticConfig, SyntheticData};
+use sccf::data::LeaveOneOut;
+use sccf::models::{Fism, FismConfig, InductiveUiModel, TrainConfig};
+
+fn world() -> SyntheticData {
+    generate(
+        &SyntheticConfig {
+            name: "profiles".into(),
+            n_users: 200,
+            n_items: 200,
+            n_categories: 12,
+            n_groups: 8,
+            mean_len: 14.0,
+            min_len: 6,
+            ..sccf::data::catalog::ml1m_sim(Scale::Quick)
+        },
+        21,
+    )
+}
+
+fn build_sccf(gen: &SyntheticData, weight: f32, epochs: usize) -> (LeaveOneOut, Sccf<Fism>) {
+    let split = LeaveOneOut::split(&gen.dataset);
+    let fism = Fism::train(
+        &split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 16,
+                epochs,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let profiles = (weight > 0.0).then(|| UserProfiles::new(gen.profiles.clone(), weight));
+    let mut sccf = Sccf::build(
+        fism,
+        &split,
+        SccfConfig {
+            user_based: UserBasedConfig {
+                beta: 20,
+                recent_window: 10,
+            },
+            candidate_n: 40,
+            integrator: IntegratorConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+            threads: 2,
+            profiles,
+        },
+    );
+    sccf.refresh_for_test(&split);
+    (split, sccf)
+}
+
+/// Mean fraction of same-group users in each user's neighborhood.
+fn group_purity(gen: &SyntheticData, split: &LeaveOneOut, sccf: &Sccf<Fism>) -> f64 {
+    let groups = &gen.truth.user_group;
+    let mut total = 0.0;
+    let mut n = 0u32;
+    for u in 0..split.n_users() as u32 {
+        let rep = sccf.model().infer_user(&split.train_plus_val(u));
+        let neighbors = sccf.neighbors(u, &rep);
+        if neighbors.is_empty() {
+            continue;
+        }
+        let same = neighbors
+            .iter()
+            .filter(|s| groups[s.id as usize] == groups[u as usize])
+            .count();
+        total += same as f64 / neighbors.len() as f64;
+        n += 1;
+    }
+    total / n.max(1) as f64
+}
+
+#[test]
+fn profiles_raise_neighborhood_purity_for_cold_models() {
+    let gen = world();
+    // 1 epoch: behavioral reps are nearly random (cold start)
+    let (split, plain) = build_sccf(&gen, 0.0, 1);
+    let (_, with_profiles) = build_sccf(&gen, 1.0, 1);
+    let p0 = group_purity(&gen, &split, &plain);
+    let p1 = group_purity(&gen, &split, &with_profiles);
+    // random assignment over 8 groups ⇒ purity ≈ 0.125
+    assert!(
+        p1 > p0 + 0.1,
+        "profile-augmented purity {p1:.3} should clearly beat behavioral-only {p0:.3}"
+    );
+    assert!(p1 > 0.4, "purity with profiles too low: {p1:.3}");
+}
+
+#[test]
+fn zero_weight_profiles_change_nothing() {
+    let gen = world();
+    let (split, plain) = build_sccf(&gen, 0.0, 2);
+    // weight 0 through the UserProfiles path must reproduce Eq. 11 exactly
+    let split2 = LeaveOneOut::split(&gen.dataset);
+    let fism = Fism::train(
+        &split2,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 16,
+                epochs: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let mut zero = Sccf::build(
+        fism,
+        &split2,
+        SccfConfig {
+            user_based: UserBasedConfig {
+                beta: 20,
+                recent_window: 10,
+            },
+            candidate_n: 40,
+            integrator: IntegratorConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+            threads: 2,
+            profiles: Some(UserProfiles::new(gen.profiles.clone(), 0.0)),
+        },
+    );
+    zero.refresh_for_test(&split2);
+    for u in [0u32, 7, 42] {
+        let rep = plain.model().infer_user(&split.train_plus_val(u));
+        let a: Vec<u32> = plain.neighbors(u, &rep).iter().map(|s| s.id).collect();
+        let b: Vec<u32> = zero.neighbors(u, &rep).iter().map(|s| s.id).collect();
+        assert_eq!(a, b, "user {u}: w=0 must reproduce plain Eq. 11 neighborhoods");
+    }
+}
+
+#[test]
+fn profile_sccf_still_recommends() {
+    let gen = world();
+    let (split, sccf) = build_sccf(&gen, 0.5, 4);
+    let u = split.test_users()[0];
+    let recs = sccf.recommend(u, &split.train_plus_val(u), 10);
+    assert!(!recs.is_empty());
+    assert!(recs.windows(2).all(|w| w[0].score >= w[1].score));
+}

@@ -1,0 +1,451 @@
+//! Cross-crate property-based tests (proptest): the invariants that keep
+//! the whole reproduction trustworthy.
+
+use proptest::prelude::*;
+use sccf::data::dataset::{Dataset, Interaction};
+use sccf::data::LeaveOneOut;
+use sccf::index::{FlatIndex, IvfIndex, Metric};
+use sccf::util::stats::zscore_normalize;
+use sccf::util::topk::{rank_of, topk_of_scores};
+
+// ----------------------------------------------------------- top-k / ranks
+
+proptest! {
+    /// TopK must agree with full sort.
+    #[test]
+    fn topk_equals_sort(scores in prop::collection::vec(-1e3f32..1e3, 1..200), k in 1usize..50) {
+        let got: Vec<u32> = topk_of_scores(&scores, k).into_iter().map(|s| s.id).collect();
+        let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b as usize]
+                .total_cmp(&scores[a as usize])
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        prop_assert_eq!(got, idx);
+    }
+
+    /// rank_of must equal the position in the same full sort.
+    #[test]
+    fn rank_of_matches_sort(scores in prop::collection::vec(-1e3f32..1e3, 1..120), target_seed in 0usize..1000) {
+        let target = (target_seed % scores.len()) as u32;
+        let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b as usize]
+                .total_cmp(&scores[a as usize])
+                .then(a.cmp(&b))
+        });
+        let expect = idx.iter().position(|&i| i == target).unwrap() + 1;
+        prop_assert_eq!(rank_of(&scores, target), expect);
+    }
+}
+
+// ----------------------------------------------------------- statistics
+
+proptest! {
+    /// z-normalization always yields (≈0 mean, ≈unit variance) unless the
+    /// input was constant.
+    #[test]
+    fn zscore_invariants(values in prop::collection::vec(-1e3f32..1e3, 2..100)) {
+        let mut v = values.clone();
+        zscore_normalize(&mut v);
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        prop_assert!(mean.abs() < 1e-2, "mean {mean}");
+        let var: f32 = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32;
+        let orig_var: f32 = {
+            let m: f32 = values.iter().sum::<f32>() / values.len() as f32;
+            values.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / values.len() as f32
+        };
+        if orig_var > 1e-6 {
+            prop_assert!((var - 1.0).abs() < 0.05, "var {var}");
+        }
+    }
+}
+
+// ----------------------------------------------------------- index exactness
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FlatIndex top-1 must equal the brute-force argmax.
+    #[test]
+    fn flat_index_is_exact(
+        vectors in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 4), 1..60),
+        query in prop::collection::vec(-10.0f32..10.0, 4),
+    ) {
+        let mut idx = FlatIndex::new(4, Metric::InnerProduct);
+        for v in &vectors {
+            idx.add(v);
+        }
+        let hits = idx.search(&query, 1, None);
+        let brute: (u32, f32) = vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v.iter().zip(&query).map(|(a, b)| a * b).sum::<f32>()))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+            .unwrap();
+        prop_assert_eq!(hits[0].id, brute.0);
+    }
+
+    /// IVF with every list probed is exactly the flat result.
+    #[test]
+    fn ivf_full_probe_is_exact(
+        seed in 0u64..1000,
+        n in 20usize..120,
+    ) {
+        use rand::Rng;
+        let mut rng = sccf::util::rng::rng_for(seed, 1);
+        let dim = 6;
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let nlist = 5;
+        let mut ivf = IvfIndex::train(dim, Metric::InnerProduct, nlist, &data, &mut rng);
+        let mut flat = FlatIndex::new(dim, Metric::InnerProduct);
+        for v in data.chunks_exact(dim) {
+            ivf.add(v);
+            flat.add(v);
+        }
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let a: Vec<u32> = ivf.search_with_nprobe(&q, 5, None, nlist).iter().map(|s| s.id).collect();
+        let e: Vec<u32> = flat.search(&q, 5, None).iter().map(|s| s.id).collect();
+        prop_assert_eq!(a, e);
+    }
+}
+
+// ----------------------------------------------------------- data invariants
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Leave-one-out partitions each user's sequence with no leakage.
+    #[test]
+    fn loo_partitions(lens in prop::collection::vec(0usize..12, 1..30)) {
+        let mut inter = Vec::new();
+        let mut item = 0u32;
+        let n_items = lens.iter().sum::<usize>().max(1);
+        for (u, &len) in lens.iter().enumerate() {
+            for t in 0..len {
+                inter.push(Interaction { user: u as u32, item, ts: t as i64 });
+                item += 1;
+            }
+        }
+        let d = Dataset::from_interactions("p", lens.len(), n_items, &inter, None);
+        let s = LeaveOneOut::split(&d);
+        for u in 0..lens.len() as u32 {
+            let full: Vec<u32> = d.sequence(u).to_vec();
+            let mut rebuilt = s.train_seq(u).to_vec();
+            if let Some(v) = s.val_item(u) {
+                rebuilt.push(v);
+            }
+            if let Some(t) = s.test_item(u) {
+                rebuilt.push(t);
+            }
+            prop_assert_eq!(rebuilt, full);
+        }
+    }
+
+    /// 5-core filtering never leaves an item or user below the threshold.
+    #[test]
+    fn core_filter_postcondition(seed in 0u64..500) {
+        use rand::Rng;
+        let mut rng = sccf::util::rng::rng_for(seed, 2);
+        let n_users = 30;
+        let n_items = 40;
+        let mut inter = Vec::new();
+        for u in 0..n_users {
+            let len = rng.gen_range(1..12);
+            for t in 0..len {
+                inter.push(Interaction {
+                    user: u,
+                    item: rng.gen_range(0..n_items),
+                    ts: t,
+                });
+            }
+        }
+        let d = Dataset::from_interactions("c", n_users as usize, n_items as usize, &inter, None);
+        let f = d.core_filter(3);
+        for u in 0..f.n_users() as u32 {
+            prop_assert!(f.sequence(u).len() >= 3);
+        }
+        for (i, &c) in f.item_counts().iter().enumerate() {
+            prop_assert!(c >= 3, "item {i} has {c} actions");
+        }
+    }
+}
+
+// ----------------------------------------------------------- Eq. 12 behavior
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adding a neighbor can only increase (or keep) every item's UU
+    /// score — Eq. 12 is a positive-weighted sum.
+    #[test]
+    fn uu_scores_monotone_in_neighbors(seed in 0u64..300) {
+        use rand::Rng;
+        use sccf::core::{UserBasedComponent, UserBasedConfig};
+        use sccf::util::topk::Scored;
+        let mut rng = sccf::util::rng::rng_for(seed, 3);
+        let n_items = 20;
+        let histories: Vec<Vec<u32>> = (0..6)
+            .map(|_| (0..5).map(|_| rng.gen_range(0..n_items as u32)).collect())
+            .collect();
+        let comp = UserBasedComponent::new(
+            UserBasedConfig { beta: 6, recent_window: 5 },
+            n_items,
+            histories.into_iter(),
+        );
+        let mut neighbors: Vec<Scored> = (0..3u32)
+            .map(|id| Scored { id, score: rng.gen_range(0.01f32..1.0) })
+            .collect();
+        let before = comp.scores(&neighbors);
+        neighbors.push(Scored { id: 4, score: rng.gen_range(0.01f32..1.0) });
+        let after = comp.scores(&neighbors);
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a >= b);
+        }
+    }
+}
+
+// ------------------------------------------------- scalar quantization
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every SQ8-decoded value stays within half a quantization step of
+    /// the original, and codes roundtrip deterministically.
+    #[test]
+    fn sq_codebook_error_bound(
+        data in prop::collection::vec(-10.0f32..10.0, 8..160),
+    ) {
+        use sccf::index::SqCodebook;
+        let dim = 4;
+        let n = data.len() / dim;
+        let slab = &data[..n * dim];
+        let cb = SqCodebook::train(slab, dim);
+        let bound = cb.max_error() + 1e-5;
+        let mut codes = vec![0u8; dim];
+        let mut out = vec![0.0f32; dim];
+        for row in slab.chunks_exact(dim) {
+            cb.encode(row, &mut codes);
+            cb.decode(&codes, &mut out);
+            for (a, b) in row.iter().zip(&out) {
+                prop_assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+            }
+            // determinism
+            let mut codes2 = vec![0u8; dim];
+            cb.encode(row, &mut codes2);
+            prop_assert_eq!(&codes, &codes2);
+        }
+    }
+
+    /// SQ8 inner-product search returns the same item the exact scan
+    /// does whenever the top-1 margin exceeds the worst-case quantization
+    /// slack (d · max_error · max|q|).
+    #[test]
+    fn sq_search_respects_margin(
+        data in prop::collection::vec(-1.0f32..1.0, 32..320),
+        qseed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        use sccf::index::{FlatIndex, SqIndex};
+        let dim = 8;
+        let n = data.len() / dim;
+        prop_assume!(n >= 2);
+        let slab = &data[..n * dim];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(qseed);
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut flat = FlatIndex::new(dim, Metric::InnerProduct);
+        flat.add_batch(slab);
+        let sq = SqIndex::build(slab, dim, Metric::InnerProduct);
+        let exact = flat.search(&q, 2, None);
+        let approx = sq.search(&q, 1, None);
+        let slack = dim as f32
+            * sq_max_error(slab, dim)
+            * q.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if exact.len() == 2 && exact[0].score - exact[1].score > 2.0 * slack {
+            prop_assert_eq!(approx[0].id, exact[0].id);
+        }
+    }
+}
+
+/// Worst-case per-dimension SQ8 reconstruction error for a slab.
+fn sq_max_error(slab: &[f32], dim: usize) -> f32 {
+    sccf::index::SqCodebook::train(slab, dim).max_error()
+}
+
+// ------------------------------------------------- watermark reordering
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any input whose disorder is bounded by the allowed lateness comes
+    /// out (a) complete and (b) globally sorted.
+    #[test]
+    fn watermark_sorts_bounded_disorder(
+        base in prop::collection::vec(0i64..500, 1..120),
+        lateness in 1i64..40,
+    ) {
+        use sccf::serving::{StreamEvent, WatermarkBuffer};
+        // construct bounded disorder: sort, then perturb each timestamp
+        // back by at most `lateness` positions worth of time
+        let mut ts = base.clone();
+        ts.sort_unstable();
+        let events: Vec<StreamEvent> = ts
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| StreamEvent { ts: t, user: (i % 5) as u32, item: i as u32 })
+            .collect();
+        // emit in an order where event i may arrive early by < lateness
+        let mut arrival = events.clone();
+        arrival.sort_by_key(|e| e.ts + ((e.item as i64 * 7919) % lateness));
+        let mut buf = WatermarkBuffer::new(2 * lateness);
+        let mut out = Vec::new();
+        for e in arrival {
+            out.extend(buf.push(e));
+        }
+        out.extend(buf.flush());
+        prop_assert_eq!(out.len(), events.len(), "dropped {}", buf.dropped());
+        prop_assert!(out.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    /// Whatever the input, emissions are sorted and
+    /// accepted = emitted + pending, dropped = input − accepted.
+    #[test]
+    fn watermark_conservation(
+        raw in prop::collection::vec((0i64..200, 0u32..8, 0u32..50), 1..100),
+        lateness in 0i64..30,
+    ) {
+        use sccf::serving::{StreamEvent, WatermarkBuffer};
+        let mut buf = WatermarkBuffer::new(lateness);
+        let mut emitted = Vec::new();
+        for &(ts, user, item) in &raw {
+            emitted.extend(buf.push(StreamEvent { ts, user, item }));
+        }
+        let pending = buf.pending();
+        prop_assert_eq!(
+            buf.accepted() as usize,
+            emitted.len() + pending
+        );
+        prop_assert_eq!(
+            buf.dropped() as usize + buf.accepted() as usize,
+            raw.len()
+        );
+        emitted.extend(buf.flush());
+        prop_assert!(emitted.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+}
+
+// ------------------------------------------------- latency histogram
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Histogram quantiles are monotone in q, bracket the true extremes,
+    /// and stay within the 10 % bucket tolerance of exact quantiles.
+    #[test]
+    fn latency_histogram_quantile_accuracy(
+        samples in prop::collection::vec(0.001f64..1e4, 1..300),
+    ) {
+        use sccf::util::LatencyHistogram;
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record_ms(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut prev = 0.0f64;
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let got = h.quantile_ms(q);
+            prop_assert!(got >= prev);
+            prev = got;
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            let exact = sorted[idx];
+            // one geometric bucket of slack (base 1.1) plus float fuzz
+            prop_assert!(
+                got <= exact * 1.11 + 1e-3 && got >= exact / 1.11 - 1e-3,
+                "q{q}: histogram {got} vs exact {exact}"
+            );
+        }
+        prop_assert!((h.quantile_ms(0.0) - sorted[0]).abs() < 1e-9);
+        prop_assert!((h.quantile_ms(1.0) - sorted[sorted.len() - 1]).abs() < 1e-9);
+    }
+}
+
+// ------------------------------------------------- linear CF invariants
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// SLIM weights are always non-negative with a zero diagonal, and
+    /// raising ℓ1 never increases the number of non-zeros.
+    #[test]
+    fn slim_structural_invariants(seed in 0u64..200) {
+        use rand::{Rng, SeedableRng};
+        use sccf::models::{LinearCfConfig, Slim};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n_items = 10usize;
+        let sets: Vec<Vec<u32>> = (0..12)
+            .map(|_| {
+                let mut s: Vec<u32> = (0..n_items as u32)
+                    .filter(|_| rng.gen_bool(0.4))
+                    .collect();
+                if s.is_empty() {
+                    s.push(rng.gen_range(0..n_items as u32));
+                }
+                s
+            })
+            .collect();
+        let weak = Slim::fit(&sets, n_items, &LinearCfConfig { l1: 0.05, threads: 1, ..Default::default() });
+        let strong = Slim::fit(&sets, n_items, &LinearCfConfig { l1: 3.0, threads: 1, ..Default::default() });
+        for i in 0..n_items as u32 {
+            prop_assert_eq!(weak.weights_of(i)[i as usize], 0.0);
+            prop_assert!(weak.weights_of(i).iter().all(|&w| w >= 0.0));
+        }
+        prop_assert!(strong.nnz() <= weak.nnz());
+    }
+}
+
+// ------------------------------------------------- realtime snapshot
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The realtime snapshot codec roundtrips arbitrary history shapes
+    /// byte-exactly (decode ∘ encode = id), via the public engine API on
+    /// a minimal framework.
+    #[test]
+    fn snapshot_codec_roundtrip(lens in prop::collection::vec(0usize..12, 2..10)) {
+        use sccf::core::{RealtimeEngine, Sccf, SccfConfig};
+        use sccf::models::{Fism, FismConfig, TrainConfig};
+        // one tiny shared dataset; histories vary with `lens`
+        let n_users = lens.len();
+        let n_items = 16usize;
+        let mut inter = Vec::new();
+        for u in 0..n_users as u32 {
+            for t in 0..5i64 {
+                inter.push(Interaction { user: u, item: (u + t as u32) % n_items as u32, ts: t });
+            }
+        }
+        let data = Dataset::from_interactions("p", n_users, n_items, &inter, None);
+        let split = LeaveOneOut::split(&data);
+        let fism = Fism::train(&split, &FismConfig {
+            train: TrainConfig { dim: 4, epochs: 1, ..Default::default() },
+            ..Default::default()
+        });
+        let sccf = Sccf::build(fism, &split, SccfConfig {
+            threads: 1,
+            ..Default::default()
+        });
+        let histories: Vec<Vec<u32>> = lens
+            .iter()
+            .enumerate()
+            .map(|(u, &l)| (0..l as u32).map(|t| (u as u32 + t) % n_items as u32).collect())
+            .collect();
+        let engine = RealtimeEngine::new(sccf, histories.clone());
+        let snap = engine.snapshot();
+        let restored = RealtimeEngine::restore(engine.into_sccf(), &snap).unwrap();
+        for (u, h) in histories.iter().enumerate() {
+            prop_assert_eq!(restored.history(u as u32), h.as_slice());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Save/load integration: a trained model snapshot must reproduce the
+//! exact same scores after rehydration — the deployment hand-off path.
+
+use sccf::data::catalog::{ml1m_sim, Scale};
+use sccf::data::synthetic::generate;
+use sccf::data::LeaveOneOut;
+use sccf::models::{Fism, FismConfig, Recommender, SasRec, SasRecConfig, TrainConfig};
+
+fn world() -> LeaveOneOut {
+    let mut cfg = ml1m_sim(Scale::Quick);
+    cfg.n_users = 60;
+    cfg.n_items = 80;
+    LeaveOneOut::split(&generate(&cfg, 77).dataset)
+}
+
+#[test]
+fn fism_roundtrip_preserves_scores() {
+    let split = world();
+    let cfg = FismConfig {
+        train: TrainConfig {
+            dim: 8,
+            epochs: 3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let trained = Fism::train(&split, &cfg);
+    let bytes = trained.save_bytes();
+    let loaded = Fism::load_bytes(split.n_items(), &cfg, &bytes).unwrap();
+    for u in split.test_users().iter().take(5) {
+        let hist = split.train_plus_val(*u);
+        assert_eq!(trained.score_all(*u, &hist), loaded.score_all(*u, &hist));
+    }
+}
+
+#[test]
+fn sasrec_roundtrip_preserves_scores() {
+    let split = world();
+    let cfg = SasRecConfig {
+        train: TrainConfig {
+            dim: 8,
+            epochs: 2,
+            ..Default::default()
+        },
+        max_len: 10,
+        n_blocks: 1,
+        ..Default::default()
+    };
+    let trained = SasRec::train(&split, &cfg);
+    let bytes = trained.save_bytes();
+    let loaded = SasRec::load_bytes(split.n_items(), &cfg, &bytes).unwrap();
+    for u in split.test_users().iter().take(5) {
+        let hist = split.train_plus_val(*u);
+        assert_eq!(trained.score_all(*u, &hist), loaded.score_all(*u, &hist));
+    }
+}
+
+#[test]
+fn wrong_architecture_is_rejected() {
+    let split = world();
+    let cfg = FismConfig {
+        train: TrainConfig {
+            dim: 8,
+            epochs: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let trained = Fism::train(&split, &cfg);
+    let bytes = trained.save_bytes();
+    // wrong dimension
+    let bad_dim = FismConfig {
+        train: TrainConfig {
+            dim: 16,
+            epochs: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    assert!(Fism::load_bytes(split.n_items(), &bad_dim, &bytes).is_err());
+    // wrong catalog size
+    assert!(Fism::load_bytes(split.n_items() + 1, &cfg, &bytes).is_err());
+    // wrong table layout
+    let sep = FismConfig {
+        separate_output_table: true,
+        ..cfg
+    };
+    assert!(Fism::load_bytes(split.n_items(), &sep, &bytes).is_err());
+}
+
+#[test]
+fn snapshot_survives_disk_roundtrip() {
+    let split = world();
+    let cfg = FismConfig {
+        train: TrainConfig {
+            dim: 8,
+            epochs: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let trained = Fism::train(&split, &cfg);
+    let dir = std::env::temp_dir().join("sccf_snapshot_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fism.sccf");
+    std::fs::write(&path, trained.save_bytes()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let loaded = Fism::load_bytes(split.n_items(), &cfg, &bytes).unwrap();
+    let u = split.test_users()[0];
+    let hist = split.train_plus_val(u);
+    assert_eq!(trained.score_all(u, &hist), loaded.score_all(u, &hist));
+    let _ = std::fs::remove_file(&path);
+}

@@ -30,7 +30,7 @@ use sccf_util::rng::{rng_for, streams};
 use crate::dataset::{Dataset, Interaction};
 
 /// Shape parameters of one synthetic dataset.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SyntheticConfig {
     pub name: String,
     pub n_users: usize,

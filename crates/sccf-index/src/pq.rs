@@ -222,7 +222,7 @@ mod tests {
         let mut out = Vec::with_capacity(n * d);
         for i in 0..n {
             let c = &centers[i % clusters];
-            out.extend(c.iter().map(|&v| v + rng.gen_range(-0.1..0.1)));
+            out.extend(c.iter().map(|&v| v + rng.gen_range(-0.1f32..0.1)));
         }
         out
     }

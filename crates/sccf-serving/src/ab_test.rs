@@ -338,21 +338,27 @@ mod tests {
         }
     }
 
-    /// Random generator — a deliberately bad candidate stage.
+    /// Random generator — a deliberately bad candidate stage. The modulus
+    /// matches the catalog below so coverage is uniform-by-construction.
     struct Random;
+
+    const RANDOM_CATALOG: u32 = 120;
 
     impl CandidateGen for Random {
         fn candidates(&self, user: u32, _history: &[u32], n: usize) -> Vec<u32> {
-            (0..n as u32).map(|i| (user + i * 7) % 40).collect()
+            (0..n as u32).map(|i| (user + i * 7) % RANDOM_CATALOG).collect()
         }
     }
 
     #[test]
     fn oracle_beats_random() {
-        let truth = tiny_truth(40, 40);
+        // A catalog much larger than the candidate set: a random stage
+        // covers only 15/120 of it, so the oracle's advantage is
+        // structural rather than a coin flip on a tiny item pool.
+        let truth = tiny_truth(40, RANDOM_CATALOG as usize);
         let hists: Vec<Vec<u32>> = vec![vec![]; 40];
         let cfg = AbTestConfig {
-            n_days: 3,
+            n_days: 6,
             candidate_n: 15,
             slate_size: 5,
             ..Default::default()
@@ -361,7 +367,7 @@ mod tests {
             40,
             &hists,
             &Random,
-            &Oracle { truth: &truth, n_items: 40 },
+            &Oracle { truth: &truth, n_items: RANDOM_CATALOG as usize },
             &truth,
             &cfg,
             |_, _| {},

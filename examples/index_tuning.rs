@@ -29,7 +29,7 @@ fn clustered_vectors(rng: &mut StdRng, n: usize, d: usize, clusters: usize) -> V
     let mut out = Vec::with_capacity(n * d);
     for i in 0..n {
         let c = &centers[i % clusters];
-        out.extend(c.iter().map(|&v| v + rng.gen_range(-0.25..0.25)));
+        out.extend(c.iter().map(|&v| v + rng.gen_range(-0.25f32..0.25)));
     }
     out
 }

@@ -46,7 +46,7 @@ fn build_world(seed: u64) -> World {
         &FismConfig {
             train: TrainConfig {
                 dim: 24,
-                epochs: 12,
+                epochs: 20,
                 ..Default::default()
             },
             ..Default::default()

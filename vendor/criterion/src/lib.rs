@@ -1,0 +1,234 @@
+//! Vendored shim exposing the slice of the `criterion` API the bench
+//! suites use (`Criterion`, groups, `BenchmarkId`, `black_box`, the two
+//! macros), backed by a simple calibrated wall-clock loop: warm up for a
+//! fixed budget, pick an iteration count from the warmup rate, then time
+//! several samples and report the median ns/iter.
+//!
+//! Environment knobs (useful in CI): `BENCH_WARMUP_MS` (default 100),
+//! `BENCH_SAMPLE_MS` (default 300, total across samples).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const SAMPLES: usize = 7;
+
+fn env_ms(key: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// A single measured result, exposed so wrappers (e.g. the repro harness)
+/// can consume numbers programmatically instead of scraping stdout.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub name: String,
+    pub ns_per_iter: f64,
+    pub iters_per_sample: u64,
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name.to_string(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: String, mut f: F) {
+        let mut b = Bencher {
+            mode: Mode::Warmup {
+                budget: env_ms("BENCH_WARMUP_MS", 100),
+            },
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let rate = b.iters_done.max(1) as f64 / b.elapsed.as_secs_f64().max(1e-9);
+        let sample_budget = env_ms("BENCH_SAMPLE_MS", 300).as_secs_f64() / SAMPLES as f64;
+        let iters = ((rate * sample_budget) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let mut b = Bencher {
+                mode: Mode::Fixed { iters },
+                iters_done: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() * 1e9 / b.iters_done.max(1) as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let ns = samples[samples.len() / 2];
+        println!("{name:<50} {:>14} ns/iter  ({iters} iters/sample)", format_ns(ns));
+        self.results.push(Measurement {
+            name,
+            ns_per_iter: ns,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.1}ns")
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.c.run_one(format!("{}/{}", self.name, id.0), f);
+        self
+    }
+
+    pub fn bench_with_input<I: Into<BenchmarkId>, P: ?Sized, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.c
+            .run_one(format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+enum Mode {
+    Warmup { budget: Duration },
+    Fixed { iters: u64 },
+}
+
+pub struct Bencher {
+    mode: Mode,
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Warmup { budget } => {
+                let start = Instant::now();
+                loop {
+                    black_box(f());
+                    self.iters_done += 1;
+                    self.elapsed = start.elapsed();
+                    if self.elapsed >= budget {
+                        break;
+                    }
+                }
+            }
+            Mode::Fixed { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                self.elapsed = start.elapsed();
+                self.iters_done = iters;
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn measures_something_positive() {
+        std::env::set_var("BENCH_WARMUP_MS", "5");
+        std::env::set_var("BENCH_SAMPLE_MS", "10");
+        let mut c = super::Criterion::default();
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        let m = &c.measurements()[0];
+        assert_eq!(m.name, "noop_sum");
+        assert!(m.ns_per_iter > 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Vendored shim for the one `crossbeam` API the workspace uses:
+//! [`scope`] with handle-returning `spawn`. Since Rust 1.63 the standard
+//! library's `std::thread::scope` provides the same guarantees (borrowed
+//! data may cross into threads because all threads join before the scope
+//! returns), so this is a thin adapter that preserves crossbeam's call
+//! shape: `crossbeam::scope(|s| { s.spawn(|_| ...) }).expect(...)`.
+
+use std::any::Any;
+
+/// Handle mirroring `crossbeam::thread::Scope`. The closure passed to
+/// [`Scope::spawn`] receives a copy of the scope (crossbeam's nested-spawn
+/// affordance); every call site in this workspace ignores it (`|_|`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread; the returned handle's `join` yields
+    /// `Result<T, Box<dyn Any + Send>>` exactly like crossbeam's.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let me = *self;
+        self.inner.spawn(move || f(&me))
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned.
+/// Always returns `Ok` (a panicking child surfaces through its handle's
+/// `join`, or re-panics at scope exit if the handle was dropped).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u32, 2, 3, 4];
+        let total: u32 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_surfaces_via_join() {
+        let caught = super::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(caught);
+    }
+}

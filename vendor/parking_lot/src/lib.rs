@@ -1,0 +1,63 @@
+//! Vendored shim for `parking_lot::RwLock`: the same poison-free guard
+//! API, implemented over `std::sync::RwLock`. Poisoning is collapsed by
+//! handing back the inner guard — matching parking_lot semantics, where a
+//! panicking writer does not wedge subsequent readers.
+
+pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RwLock;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let l = RwLock::new(1u32);
+        assert_eq!(*l.read(), 1);
+        *l.write() = 5;
+        assert_eq!(*l.read(), 5);
+        assert_eq!(l.into_inner(), 5);
+    }
+
+    #[test]
+    fn poisoned_lock_stays_usable() {
+        let l = std::sync::Arc::new(RwLock::new(0u32));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison the lock");
+        })
+        .join();
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+}

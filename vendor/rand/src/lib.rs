@@ -1,0 +1,279 @@
+//! Vendored, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships this minimal re-implementation of the slice of the
+//! `rand` 0.8 API it actually uses: `Rng` (`gen`, `gen_range`,
+//! `gen_bool`), `SeedableRng::seed_from_u64`, `rngs::StdRng`, and
+//! `seq::SliceRandom::shuffle`.
+//!
+//! `StdRng` here is xoshiro256** seeded through SplitMix64 — a different
+//! stream than upstream's ChaCha12, but the workspace only ever promises
+//! *self*-consistent determinism (same seed → same run), never
+//! cross-library bit-compatibility.
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Sampling front-end, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of a [`Standard`]-distributed type (`f32`/`f64` in
+    /// `[0, 1)`, full-range integers, fair `bool`).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform sample from a range; panics on an empty range.
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_uniform(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Construction from seeds. Only the `seed_from_u64` entry point is
+/// provided; all workspace seeding goes through it.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable uniformly from their "standard" distribution.
+pub trait Standard: Sized {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 24 mantissa bits → uniform in [0, 1)
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    fn sample_uniform<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_uniform<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                // Multiply-shift bounded sampling (Lemire); the bias for
+                // the spans used in this workspace is < 2^-32.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as $wide).wrapping_add(hi as $wide) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_uniform<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let h = ((rng.next_u64() as u128 * (span + 1) as u128) >> 64) as u64;
+                (lo as $wide).wrapping_add(h as $wide) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn sample_uniform<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u: $t = <$t as Standard>::sample_standard(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256** over a SplitMix64-
+    /// expanded seed. Fast, Clone-able, and statistically solid.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice extensions; only `shuffle` (Fisher–Yates) is needed here.
+    pub trait SliceRandom {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = crate::SampleRange::sample_uniform(0..=i, rng);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3..17u32);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(-2.5f32..4.5);
+            assert!((-2.5..4.5).contains(&y));
+            let z = r.gen_range(0..=5usize);
+            assert!(z <= 5);
+            let neg = r.gen_range(-10i64..-3);
+            assert!((-10..-3).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_unit_interval() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut lo = 1.0f32;
+        let mut hi = 0.0f32;
+        for _ in 0..10_000 {
+            let x: f32 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

@@ -4,7 +4,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sccf_index::{DynamicIndex, FlatIndex, HnswConfig, HnswIndex, IvfIndex, Metric, PqConfig, PqIndex, SqIndex};
+use sccf_index::{
+    DynamicIndex, FlatIndex, HnswConfig, HnswIndex, IvfIndex, Metric, PqConfig, PqIndex, SqIndex,
+};
 
 fn random_slab(n: usize, dim: usize, rng: &mut StdRng) -> Vec<f32> {
     (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
@@ -145,11 +147,7 @@ fn bench_userknn_vs_index(c: &mut Criterion) {
     let n_users = 2_000;
     let n_items = 5_000usize;
     let sets: Vec<Vec<u32>> = (0..n_users)
-        .map(|_| {
-            (0..40)
-                .map(|_| rng.gen_range(0..n_items as u32))
-                .collect()
-        })
+        .map(|_| (0..40).map(|_| rng.gen_range(0..n_items as u32)).collect())
         .collect();
     let userknn = UserKnn::fit(n_items, &sets, 100, UserSim::Cosine);
     let mut query = sets[0].clone();

@@ -42,6 +42,7 @@ fn engine_for<M: InductiveUiModel>(
             },
             threads: 4,
             profiles: None,
+            ui_ann: None,
         },
     );
     sccf.refresh_for_test(split);
@@ -112,7 +113,7 @@ fn bench_fused_recommend(c: &mut Criterion) {
             ..Default::default()
         },
     );
-    let engine = engine_for(fism, &split, histories);
+    let mut engine = engine_for(fism, &split, histories);
     c.bench_function("sccf_recommend_top10", |bench| {
         bench.iter(|| black_box(engine.recommend(5, 10)));
     });

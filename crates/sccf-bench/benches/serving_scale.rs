@@ -1,0 +1,133 @@
+//! Large-catalog serving benchmark: per-event latency of the realtime
+//! engine as the catalog grows, for the exact (dense Eq. 10) and ANN
+//! (HNSW item index) configurations. Both share the sparse Eq. 12
+//! scorer and the engine scratch — the point under test is that
+//! `process_event` is catalog-free and `recommend` is catalog-free in
+//! *allocations* always, and in *compute* too under the ANN config.
+//!
+//! The repro harness (`repro bench-serving`) runs the bigger ≥100k-item
+//! version of this experiment and writes `BENCH_serving.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sccf_core::{IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
+use sccf_data::catalog::{ml1m_sim, Scale};
+use sccf_data::synthetic::generate;
+use sccf_data::LeaveOneOut;
+use sccf_index::HnswConfig;
+use sccf_models::{Fism, FismConfig, TrainConfig};
+
+fn world(n_items: usize) -> (LeaveOneOut, Vec<Vec<u32>>, Fism) {
+    let mut cfg = ml1m_sim(Scale::Quick);
+    cfg.name = format!("serving-scale-{n_items}");
+    cfg.n_users = 600;
+    cfg.n_items = n_items;
+    cfg.n_categories = (n_items / 250).max(8);
+    cfg.mean_len = 18.0;
+    cfg.min_len = 8;
+    let data = generate(&cfg, 1).dataset;
+    let split = LeaveOneOut::split(&data);
+    let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
+        .map(|u| split.train_plus_val(u))
+        .collect();
+    let fism = Fism::train(
+        &split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 16,
+                epochs: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    (split, histories, fism)
+}
+
+fn engine_for(
+    fism: Fism,
+    split: &LeaveOneOut,
+    histories: Vec<Vec<u32>>,
+    ui_ann: Option<HnswConfig>,
+) -> RealtimeEngine<Fism> {
+    let mut sccf = Sccf::build(
+        fism,
+        split,
+        SccfConfig {
+            user_based: UserBasedConfig {
+                beta: 100,
+                recent_window: 15,
+            },
+            candidate_n: 100,
+            integrator: IntegratorConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            threads: 4,
+            profiles: None,
+            ui_ann,
+        },
+    );
+    sccf.refresh_for_test(split);
+    RealtimeEngine::new(sccf, histories)
+}
+
+fn ann_cfg() -> HnswConfig {
+    HnswConfig {
+        m: 8,
+        ef_construction: 60,
+        ef_search: 48,
+        seed: 42,
+    }
+}
+
+fn bench_catalog_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_scale");
+    for &n_items in &[10_000usize, 50_000] {
+        let (split, histories, fism) = world(n_items);
+        let n_users = split.n_users() as u32;
+
+        let mut engine = engine_for(fism, &split, histories.clone(), None);
+        let mut i = 0u32;
+        group.bench_with_input(
+            BenchmarkId::new("process_event", n_items),
+            &n_items,
+            |bench, _| {
+                bench.iter(|| {
+                    let user = i % n_users;
+                    let item = (i * 7919) % n_items as u32;
+                    i += 1;
+                    black_box(engine.process_event(user, item))
+                });
+            },
+        );
+        let mut i = 0u32;
+        group.bench_with_input(
+            BenchmarkId::new("recommend_exact_ui", n_items),
+            &n_items,
+            |bench, _| {
+                bench.iter(|| {
+                    i += 1;
+                    black_box(engine.recommend(i % n_users, 10))
+                });
+            },
+        );
+
+        let fism = engine.into_sccf().into_model();
+        let mut engine = engine_for(fism, &split, histories, Some(ann_cfg()));
+        let mut i = 0u32;
+        group.bench_with_input(
+            BenchmarkId::new("recommend_ann_ui", n_items),
+            &n_items,
+            |bench, _| {
+                bench.iter(|| {
+                    i += 1;
+                    black_box(engine.recommend(i % n_users, 10))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_catalog_scaling);
+criterion_main!(benches);

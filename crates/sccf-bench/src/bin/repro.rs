@@ -17,6 +17,7 @@
 //!   ablate-window neighbor-visible history window sweep (DESIGN.md §5)
 //!   extended     SCCF over GRU4Rec/Caser backends + SLIM/LRec baselines
 //!   ranking      SCCF applied to the ranking stage (§V future work)
+//!   bench-serving  serving latency vs catalog size; writes BENCH_serving.json
 //!   all          everything above, in order
 //! ```
 //!
@@ -39,7 +40,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|all> \
+        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|bench-serving|all> \
          [--scale quick|full] [--seed N] [--dim D] [--beta B] [--out DIR] [--verbose]"
     );
     std::process::exit(2)
@@ -47,7 +48,9 @@ fn usage() -> ! {
 
 fn parse_args() -> Args {
     let mut argv = std::env::args().skip(1);
-    let Some(experiment) = argv.next() else { usage() };
+    let Some(experiment) = argv.next() else {
+        usage()
+    };
     let mut harness = HarnessConfig::default();
     let mut out_dir = PathBuf::from("results");
     while let Some(flag) = argv.next() {
@@ -88,7 +91,7 @@ fn parse_args() -> Args {
     }
 }
 
-fn run_one(name: &str, h: &HarnessConfig) -> Vec<Table> {
+fn run_one(name: &str, h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Table> {
     match name {
         "table1" => experiments::table1(h),
         "table2" => experiments::table2(h),
@@ -102,6 +105,7 @@ fn run_one(name: &str, h: &HarnessConfig) -> Vec<Table> {
         "ablate-window" => experiments::ablate_window(h),
         "extended" => experiments::extended(h),
         "ranking" => experiments::ranking(h),
+        "bench-serving" => experiments::bench_serving_to(h, out_dir),
         _ => usage(),
     }
 }
@@ -110,8 +114,19 @@ fn main() {
     let args = parse_args();
     let experiments_to_run: Vec<&str> = if args.experiment == "all" {
         vec![
-            "table1", "fig1", "table2", "fig4", "table3", "table4", "fig5", "table5",
-            "ablate-norm", "ablate-window", "extended", "ranking",
+            "table1",
+            "fig1",
+            "table2",
+            "fig4",
+            "table3",
+            "table4",
+            "fig5",
+            "table5",
+            "ablate-norm",
+            "ablate-window",
+            "extended",
+            "ranking",
+            "bench-serving",
         ]
     } else {
         vec![args.experiment.as_str()]
@@ -122,7 +137,7 @@ fn main() {
     for name in experiments_to_run {
         eprintln!("=== running {name} (scale {:?}) ===", args.harness.scale);
         let started = std::time::Instant::now();
-        let tables = run_one(name, &args.harness);
+        let tables = run_one(name, &args.harness, &args.out_dir);
         let mut file_buf = String::new();
         {
             let mut lock = stdout.lock();

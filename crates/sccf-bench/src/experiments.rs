@@ -18,8 +18,8 @@ use sccf_util::timer::Stopwatch;
 use sccf_util::Table;
 
 use crate::harness::{
-    build_sccf, epochs_for, eval_test, improvement, max_len_for, prepare, train_bprmf,
-    train_suite, HarnessConfig,
+    build_sccf, epochs_for, eval_test, improvement, max_len_for, prepare, train_bprmf, train_suite,
+    HarnessConfig,
 };
 
 // ------------------------------------------------------------- Table I
@@ -35,7 +35,13 @@ pub fn table1(h: &HarnessConfig) -> Vec<Table> {
     let mut t = Table::new(
         "Table I — dataset statistics (after 5-core preprocessing)",
         &[
-            "Dataset", "#users", "#items", "#actions", "avg.len", "density", "paper analogue",
+            "Dataset",
+            "#users",
+            "#items",
+            "#actions",
+            "avg.len",
+            "density",
+            "paper analogue",
             "paper density",
         ],
     );
@@ -71,10 +77,7 @@ pub fn fig1(h: &HarnessConfig) -> Vec<Table> {
         let bar = "#".repeat((p * 120.0).round() as usize);
         t.push(&[x.to_string(), f4(p), bar]);
     }
-    let mut s = Table::new(
-        "Figure 1 — headline",
-        &["statistic", "measured", "paper"],
-    );
+    let mut s = Table::new("Figure 1 — headline", &["statistic", "measured", "paper"]);
     s.push(&[
         "new-category fraction (x = 0)".to_string(),
         f4(hist.new_category_fraction()),
@@ -119,8 +122,19 @@ pub fn table2_for(cfg: &sccf_data::SyntheticConfig, h: &HarnessConfig) -> Table 
     let mut t = Table::new(
         format!("Table II — {} (d={}, β={})", cfg.name, h.dim, h.beta),
         &[
-            "Metric", "Pop", "ItemKNN", "UserKNN", "BPR-MF", "FISM", "FISM-UU", "FISM-SCCF",
-            "Improv.", "SASRec", "SASRec-UU", "SASRec-SCCF", "Improv.",
+            "Metric",
+            "Pop",
+            "ItemKNN",
+            "UserKNN",
+            "BPR-MF",
+            "FISM",
+            "FISM-UU",
+            "FISM-SCCF",
+            "Improv.",
+            "SASRec",
+            "SASRec-UU",
+            "SASRec-SCCF",
+            "Improv.",
         ],
     );
     for &k in &h.ks {
@@ -249,7 +263,10 @@ pub fn table3(h: &HarnessConfig) -> Vec<Table> {
         // serving percentiles — what an SLO is actually written against;
         // means hide the tail (beyond the paper, which reports means only)
         let mut pt = Table::new(
-            format!("Table III (percentiles) — total per-event latency on {}", cfg.name),
+            format!(
+                "Table III (percentiles) — total per-event latency on {}",
+                cfg.name
+            ),
             &["Method", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)"],
         );
         for (name, hist) in [("UserKNN", &knn_hist), ("SCCF", &sccf_hist)] {
@@ -281,18 +298,25 @@ fn table3_scaling(h: &HarnessConfig) -> Table {
     let mut t = Table::new(
         "Table III (scaling) — identifying time vs platform size (β=100, d=32)",
         &[
-            "users", "items", "avg basket", "UserKNN (ms)", "SCCF flat (ms)",
+            "users",
+            "items",
+            "avg basket",
+            "UserKNN (ms)",
+            "SCCF flat (ms)",
         ],
     );
     let mut rng = sccf_util::rng::rng_for(h.seed, sccf_util::rng::streams::INDEX);
     let dim = 32;
-    for &(n_users, n_items, basket) in
-        &[(2_000usize, 5_000usize, 20usize), (8_000, 20_000, 20), (32_000, 80_000, 20)]
-    {
+    for &(n_users, n_items, basket) in &[
+        (2_000usize, 5_000usize, 20usize),
+        (8_000, 20_000, 20),
+        (32_000, 80_000, 20),
+    ] {
         let sets: Vec<Vec<u32>> = (0..n_users)
             .map(|_| {
-                let mut v: Vec<u32> =
-                    (0..basket).map(|_| rng.gen_range(0..n_items as u32)).collect();
+                let mut v: Vec<u32> = (0..basket)
+                    .map(|_| rng.gen_range(0..n_items as u32))
+                    .collect();
                 v.sort_unstable();
                 v.dedup();
                 v
@@ -382,28 +406,32 @@ pub fn table4(h: &HarnessConfig) -> Vec<Table> {
             };
             let fism_m = fism_opt.take().expect("fism present");
             let sccf_f = build_sccf(fism_m, split, &hb);
-            fism_uu_row.push(f4(
-                eval_test(&sccf_f.uu_scorer(), split, &hb, "FISM-UU", &cfg.name)
-                    .metrics
-                    .ndcg(50),
-            ));
-            fism_sccf_row.push(f4(
-                eval_test(&sccf_f, split, &hb, "FISM-SCCF", &cfg.name)
-                    .metrics
-                    .ndcg(50),
-            ));
+            fism_uu_row.push(f4(eval_test(
+                &sccf_f.uu_scorer(),
+                split,
+                &hb,
+                "FISM-UU",
+                &cfg.name,
+            )
+            .metrics
+            .ndcg(50)));
+            fism_sccf_row.push(f4(eval_test(&sccf_f, split, &hb, "FISM-SCCF", &cfg.name)
+                .metrics
+                .ndcg(50)));
             let sasrec_m = sasrec_opt.take().expect("sasrec present");
             let sccf_s = build_sccf(sasrec_m, split, &hb);
-            sasrec_uu_row.push(f4(
-                eval_test(&sccf_s.uu_scorer(), split, &hb, "SASRec-UU", &cfg.name)
-                    .metrics
-                    .ndcg(50),
-            ));
-            sasrec_sccf_row.push(f4(
-                eval_test(&sccf_s, split, &hb, "SASRec-SCCF", &cfg.name)
-                    .metrics
-                    .ndcg(50),
-            ));
+            sasrec_uu_row.push(f4(eval_test(
+                &sccf_s.uu_scorer(),
+                split,
+                &hb,
+                "SASRec-UU",
+                &cfg.name,
+            )
+            .metrics
+            .ndcg(50)));
+            sasrec_sccf_row.push(f4(eval_test(&sccf_s, split, &hb, "SASRec-SCCF", &cfg.name)
+                .metrics
+                .ndcg(50)));
             if bi < betas.len() - 1 {
                 fism_opt = Some(into_model(sccf_f));
                 sasrec_opt = Some(into_model(sccf_s));
@@ -501,9 +529,17 @@ pub fn fig5(h: &HarnessConfig) -> Vec<Table> {
         let mut t = Table::new(
             format!("Figure 5 — metrics vs dimension on {}", cfg.name),
             &[
-                "d", "FISM HR@50", "FISM-UU HR@50", "FISM-SCCF HR@50", "SASRec HR@50",
-                "SASRec-UU HR@50", "SASRec-SCCF HR@50", "FISM NDCG@50", "FISM-SCCF NDCG@50",
-                "SASRec NDCG@50", "SASRec-SCCF NDCG@50",
+                "d",
+                "FISM HR@50",
+                "FISM-UU HR@50",
+                "FISM-SCCF HR@50",
+                "SASRec HR@50",
+                "SASRec-UU HR@50",
+                "SASRec-SCCF HR@50",
+                "FISM NDCG@50",
+                "FISM-SCCF NDCG@50",
+                "SASRec NDCG@50",
+                "SASRec-SCCF NDCG@50",
             ],
         );
         for &d in dims {
@@ -624,6 +660,7 @@ pub fn table5(h: &HarnessConfig) -> Vec<Table> {
             },
             threads: h.threads,
             profiles: None,
+            ui_ann: None,
         },
     );
     let initial: Vec<Vec<u32>> = (0..split.n_users() as u32)
@@ -659,7 +696,7 @@ pub fn table5(h: &HarnessConfig) -> Vec<Table> {
         sccf.refresh_for_test(&split);
         let engine = Mutex::new(RealtimeEngine::new(sccf, initial.clone()));
         let experiment_gen = FnCandidateGen(|u: u32, _hist: &[u32], n: usize| {
-            let engine = engine.lock().expect("engine lock");
+            let mut engine = engine.lock().expect("engine lock");
             engine.recommend(u, n).into_iter().map(|s| s.id).collect()
         });
         let res = run_ab_test(
@@ -778,7 +815,8 @@ pub fn ablate_norm(h: &HarnessConfig) -> Vec<Table> {
                     ..Default::default()
                 },
                 threads: h.threads,
-            profiles: None,
+                profiles: None,
+                ui_ann: None,
             },
         );
         sccf.refresh_for_test(split);
@@ -873,8 +911,17 @@ pub fn extended(h: &HarnessConfig) -> Vec<Table> {
                 cfg.name, h.dim, h.beta
             ),
             &[
-                "Metric", "SLIM", "LRec", "GRU4Rec", "GRU4Rec-UU", "GRU4Rec-SCCF", "Improv.",
-                "Caser", "Caser-UU", "Caser-SCCF", "Improv.",
+                "Metric",
+                "SLIM",
+                "LRec",
+                "GRU4Rec",
+                "GRU4Rec-UU",
+                "GRU4Rec-SCCF",
+                "Improv.",
+                "Caser",
+                "Caser-UU",
+                "Caser-SCCF",
+                "Improv.",
             ],
         );
         for &k in &h.ks {
@@ -1023,7 +1070,11 @@ pub fn ranking(h: &HarnessConfig) -> Vec<Table> {
             cfg.name, candidate_n
         ),
         &[
-            "Metric", "upstream order", "UI-only rank", "SCCF rank", "Improv. vs UI",
+            "Metric",
+            "upstream order",
+            "UI-only rank",
+            "SCCF rank",
+            "Improv. vs UI",
         ],
     );
     let n = covered.max(1) as f64;
@@ -1046,7 +1097,10 @@ pub fn ranking(h: &HarnessConfig) -> Vec<Table> {
     let mut c = Table::new("Ranking stage — coverage", &["statistic", "value"]);
     c.push(&[
         "target retrieved by upstream generator".to_string(),
-        format!("{covered}/{total} ({:.1}%)", 100.0 * covered as f64 / total.max(1) as f64),
+        format!(
+            "{covered}/{total} ({:.1}%)",
+            100.0 * covered as f64 / total.max(1) as f64
+        ),
     ]);
     c.push(&["stage training users".to_string(), used.to_string()]);
     vec![t, c]
@@ -1081,7 +1135,13 @@ pub fn ablate_window(h: &HarnessConfig) -> Vec<Table> {
     );
     let mut t = Table::new(
         "Ablation — neighbor-visible history window (paper: 15)",
-        &["recent_window", "UU HR@50", "UU NDCG@50", "SCCF HR@50", "SCCF NDCG@50"],
+        &[
+            "recent_window",
+            "UU HR@50",
+            "UU NDCG@50",
+            "SCCF HR@50",
+            "SCCF NDCG@50",
+        ],
     );
     let mut model = Some(fism);
     for window in [3usize, 15, 1000] {
@@ -1100,6 +1160,7 @@ pub fn ablate_window(h: &HarnessConfig) -> Vec<Table> {
                 },
                 threads: h.threads,
                 profiles: None,
+                ui_ann: None,
             },
         );
         sccf.refresh_for_test(split);
@@ -1124,4 +1185,209 @@ pub fn ablate_window(h: &HarnessConfig) -> Vec<Table> {
         model = Some(sccf.into_model());
     }
     vec![t]
+}
+
+// ------------------------------------------------- serving-path scaling
+
+/// Latency of one serving event as the catalog grows — the experiment
+/// behind `BENCH_serving.json`.
+///
+/// For each catalog size the same trained FISM backend is wrapped two
+/// ways: the **exact** configuration (dense Eq. 10 scan over all items,
+/// the paper's formulation) and the **ANN** configuration
+/// ([`SccfConfig::ui_ann`]: HNSW over the item embeddings). Both use the
+/// sparse Eq. 12 scorer and the engine's reusable [`sccf_core::QueryScratch`],
+/// so neither allocates catalog-sized memory per event; the comparison
+/// isolates the remaining O(catalog) *compute* of exact UI retrieval.
+/// `process_event` (infer + identify) is catalog-free in both.
+pub fn bench_serving(h: &HarnessConfig) -> Vec<Table> {
+    bench_serving_to(h, std::path::Path::new("results"))
+}
+
+/// [`bench_serving`] with an explicit archive directory (the repro
+/// binary threads its `--out` flag here). The JSON is written both to
+/// `BENCH_serving.json` in the current directory — the repo-root
+/// artifact the acceptance checks read when `repro` runs from the
+/// checkout root — and to `out_dir` alongside the markdown tables.
+pub fn bench_serving_to(h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Table> {
+    let out = bench_serving_json(h, &[10_000, 100_000]);
+    let root = std::path::Path::new("BENCH_serving.json");
+    std::fs::write(root, &out.json).expect("write BENCH_serving.json");
+    eprintln!("[bench-serving] wrote {}", root.display());
+    let archived = out_dir.join("BENCH_serving.json");
+    if std::fs::create_dir_all(out_dir).is_ok() && archived != root {
+        std::fs::write(&archived, &out.json).expect("archive BENCH_serving.json");
+        eprintln!("[bench-serving] archived {}", archived.display());
+    }
+    vec![out.table]
+}
+
+/// One catalog size's measurements, milliseconds per call.
+pub struct ServingPoint {
+    pub n_items: usize,
+    pub process_event_ms: f64,
+    pub recommend_exact_ms: f64,
+    pub recommend_ann_ms: f64,
+}
+
+pub struct ServingBenchOutput {
+    pub points: Vec<ServingPoint>,
+    pub table: Table,
+    pub json: String,
+}
+
+/// Measure the serving path at the given catalog sizes and render both a
+/// markdown table and the machine-readable JSON payload.
+pub fn bench_serving_json(h: &HarnessConfig, catalog_sizes: &[usize]) -> ServingBenchOutput {
+    let mut points = Vec::new();
+    for &n_items in catalog_sizes {
+        eprintln!("[bench-serving] catalog {n_items} ...");
+        let mut cfg = ml1m_sim(Scale::Quick);
+        cfg.name = format!("serving-{n_items}");
+        cfg.n_users = 1200;
+        cfg.n_items = n_items;
+        cfg.n_categories = (n_items / 250).max(8);
+        cfg.mean_len = 20.0;
+        cfg.min_len = 8;
+        // No 5-core filtering here: it would collapse the long tail and
+        // shrink the catalog we are explicitly scaling.
+        let data = sccf_data::synthetic::generate(&cfg, h.seed).dataset;
+        let split = sccf_data::LeaveOneOut::split(&data);
+        let fism = Fism::train(
+            &split,
+            &FismConfig {
+                train: TrainConfig {
+                    dim: 16,
+                    epochs: 2,
+                    seed: h.seed,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let base_cfg = SccfConfig {
+            user_based: UserBasedConfig {
+                beta: 100,
+                recent_window: 15,
+            },
+            candidate_n: 100,
+            integrator: IntegratorConfig {
+                epochs: 2,
+                seed: h.seed,
+                ..Default::default()
+            },
+            threads: h.threads,
+            profiles: None,
+            ui_ann: None,
+        };
+        let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
+            .map(|u| split.train_plus_val(u))
+            .collect();
+
+        // --- exact (dense Eq. 10) leg ---
+        let mut sccf = Sccf::build(fism, &split, base_cfg.clone());
+        sccf.refresh_for_test(&split);
+        let mut engine = RealtimeEngine::new(sccf, histories.clone());
+        let (event_ms, rec_exact_ms) = time_engine(&mut engine, split.n_users(), n_items);
+        let fism = engine.into_sccf().into_model();
+
+        // --- ANN (HNSW over item embeddings) leg ---
+        let mut sccf = Sccf::build(
+            fism,
+            &split,
+            SccfConfig {
+                ui_ann: Some(sccf_index::HnswConfig {
+                    m: 8,
+                    ef_construction: 60,
+                    ef_search: 48,
+                    seed: h.seed,
+                }),
+                ..base_cfg
+            },
+        );
+        sccf.refresh_for_test(&split);
+        let mut engine = RealtimeEngine::new(sccf, histories);
+        let (_, rec_ann_ms) = time_engine(&mut engine, split.n_users(), n_items);
+
+        points.push(ServingPoint {
+            n_items,
+            process_event_ms: event_ms,
+            recommend_exact_ms: rec_exact_ms,
+            recommend_ann_ms: rec_ann_ms,
+        });
+    }
+
+    let mut t = Table::new(
+        "Serving latency vs catalog size (ms/event; sparse UU + scratch in both legs)",
+        &[
+            "#items",
+            "process_event",
+            "recommend (exact UI)",
+            "recommend (ANN UI)",
+        ],
+    );
+    for p in &points {
+        t.push(&[
+            p.n_items.to_string(),
+            f4(p.process_event_ms),
+            f4(p.recommend_exact_ms),
+            f4(p.recommend_ann_ms),
+        ]);
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"bench-serving\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n_items\": {}, \"process_event_ms\": {:.6}, \"recommend_exact_ms\": {:.6}, \"recommend_ann_ms\": {:.6}}}{}\n",
+            p.n_items,
+            p.process_event_ms,
+            p.recommend_exact_ms,
+            p.recommend_ann_ms,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    let (first, last) = (&points[0], &points[points.len() - 1]);
+    let growth = |a: f64, b: f64| if a > 0.0 { b / a } else { f64::NAN };
+    json.push_str(&format!(
+        "  ],\n  \"catalog_growth\": {:.1},\n  \"process_event_growth\": {:.3},\n  \"recommend_ann_growth\": {:.3},\n  \"recommend_exact_growth\": {:.3}\n}}\n",
+        growth(first.n_items as f64, last.n_items as f64),
+        growth(first.process_event_ms, last.process_event_ms),
+        growth(first.recommend_ann_ms, last.recommend_ann_ms),
+        growth(first.recommend_exact_ms, last.recommend_exact_ms),
+    ));
+
+    ServingBenchOutput {
+        points,
+        table: t,
+        json,
+    }
+}
+
+/// Drive `events` through the engine, timing `process_event` and
+/// `recommend` separately; returns mean milliseconds per call.
+fn time_engine<M: InductiveUiModel>(
+    engine: &mut RealtimeEngine<M>,
+    n_users: usize,
+    n_items: usize,
+) -> (f64, f64) {
+    let events = 400usize.min(4 * n_users);
+    // warmup (fills scratch capacity, faults pages)
+    for k in 0..50u32 {
+        let u = k % n_users as u32;
+        engine.process_event(u, (k * 7919) % n_items as u32);
+        let _ = engine.recommend(u, 10);
+    }
+    let mut event_stats = sccf_util::timer::TimingStats::new();
+    let mut rec_stats = sccf_util::timer::TimingStats::new();
+    for k in 0..events as u32 {
+        let u = (k * 131) % n_users as u32;
+        let item = (k * 7919 + 13) % n_items as u32;
+        let sw = Stopwatch::start();
+        engine.process_event(u, item);
+        event_stats.record_ms(sw.elapsed_ms());
+        let sw = Stopwatch::start();
+        let _ = engine.recommend(u, 10);
+        rec_stats.record_ms(sw.elapsed_ms());
+    }
+    (event_stats.mean_ms(), rec_stats.mean_ms())
 }

@@ -145,7 +145,11 @@ pub fn train_bprmf(prep: &PreparedData, h: &HarnessConfig) -> sccf_models::BprMf
 }
 
 /// Standard SCCF assembly for a trained inductive model.
-pub fn build_sccf<M: InductiveUiModel>(model: M, split: &LeaveOneOut, h: &HarnessConfig) -> Sccf<M> {
+pub fn build_sccf<M: InductiveUiModel>(
+    model: M,
+    split: &LeaveOneOut,
+    h: &HarnessConfig,
+) -> Sccf<M> {
     let mut sccf = Sccf::build(
         model,
         split,
@@ -162,6 +166,7 @@ pub fn build_sccf<M: InductiveUiModel>(model: M, split: &LeaveOneOut, h: &Harnes
             },
             threads: h.threads,
             profiles: None,
+            ui_ann: None,
         },
     );
     sccf.refresh_for_test(split);

@@ -116,7 +116,11 @@ mod tests {
             while (t as usize) < 6 {
                 let item = base + rng.gen_range(0..10u32);
                 if seen.insert(item) {
-                    inter.push(Interaction { user: u, item, ts: t });
+                    inter.push(Interaction {
+                        user: u,
+                        item,
+                        ts: t,
+                    });
                     t += 1;
                 }
             }
@@ -149,6 +153,7 @@ mod tests {
                 },
                 threads: 1,
                 profiles: None,
+                ui_ann: None,
             },
         );
         sccf.refresh_for_test(&split);

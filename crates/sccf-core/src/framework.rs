@@ -15,15 +15,30 @@
 //! The framework implements [`Recommender`], so the standard protocol can
 //! score `SCCF`, and exposes UI-only / UU-only scorers for the ablation
 //! rows of Table II (`FISMᵁᵁ`, `SASRecᵁᵁ`).
+//!
+//! ## Serving hot path
+//!
+//! Every per-request entry point has a `_with` variant threading a
+//! reusable [`QueryScratch`] so that steady-state serving performs **no
+//! heap allocation proportional to the catalog**: Eq. 12 aggregates
+//! sparsely (O(β × window) touched ids), history/union membership uses
+//! O(1)-reset stamp sets, and Eq. 10 writes into a reused buffer. The
+//! scratch-free signatures are kept for offline/one-shot callers and
+//! produce bit-identical results. With
+//! [`SccfConfig::ui_ann`] set, UI candidates come from an HNSW index
+//! over the item embeddings instead of a full-catalog scan, making
+//! candidate assembly sublinear in the catalog (approximate; off by
+//! default to preserve the paper's exact Eq. 10 retrieval).
 
 use sccf_data::LeaveOneOut;
-use sccf_index::{DynamicIndex, Metric};
+use sccf_index::{DynamicIndex, HnswConfig, HnswIndex, Metric};
 use sccf_models::{InductiveUiModel, Recommender};
+use sccf_util::sparse::StampSet;
 use sccf_util::topk::Scored;
 
 use crate::integrator::{CandidateFeatures, Integrator, IntegratorConfig};
 use crate::profile::UserProfiles;
-use crate::user_component::{UserBasedComponent, UserBasedConfig};
+use crate::user_component::{UserBasedComponent, UserBasedConfig, UuScratch};
 
 /// Framework hyper-parameters.
 #[derive(Debug, Clone)]
@@ -42,6 +57,12 @@ pub struct SccfConfig {
     /// co-determines the neighborhood. `None` is exactly the paper's
     /// Eq. 11.
     pub profiles: Option<UserProfiles>,
+    /// When set, UI candidate generation (Eq. 10 top-N) is served by an
+    /// HNSW index over the item embeddings instead of a dense
+    /// full-catalog scan — sublinear in catalog size but approximate.
+    /// `None` (the default) keeps the exact scan, so recommendations
+    /// match the paper's formulation bit-for-bit.
+    pub ui_ann: Option<HnswConfig>,
 }
 
 impl Default for SccfConfig {
@@ -52,7 +73,62 @@ impl Default for SccfConfig {
             integrator: IntegratorConfig::default(),
             threads: 4,
             profiles: None,
+            ui_ann: None,
         }
+    }
+}
+
+/// Reusable per-query buffers for the serving hot path. All members are
+/// allocated once (sized by the catalog) and reset in O(1) per use;
+/// steady-state queries through the `_with` entry points never allocate
+/// catalog-sized memory.
+#[derive(Debug)]
+pub struct QueryScratch {
+    /// Sparse Eq. 12 accumulator + per-neighbor window dedup.
+    uu: UuScratch,
+    /// Dense Eq. 10 score buffer (exact-UI mode only).
+    ui_scores: Vec<f32>,
+    /// Membership of the user's history (mask `R⁺_u`).
+    hist: StampSet,
+    /// Candidate-union dedup.
+    seen: StampSet,
+    /// Assembled candidate features; vectors keep their capacity across
+    /// queries.
+    cand: CandidateFeatures,
+}
+
+impl QueryScratch {
+    /// Scratch for a catalog of `n_items`.
+    pub fn new(n_items: usize) -> Self {
+        Self {
+            uu: UuScratch::new(n_items),
+            ui_scores: vec![0.0; n_items],
+            hist: StampSet::new(n_items),
+            seen: StampSet::new(n_items),
+            cand: CandidateFeatures::default(),
+        }
+    }
+
+    /// The most recently assembled candidate features.
+    pub fn candidates(&self) -> &CandidateFeatures {
+        &self.cand
+    }
+
+    /// Reset for a new query: load the history mask, empty the union
+    /// dedup set, and clear the candidate vectors (capacity retained).
+    /// Every assembly path goes through this one helper so a field added
+    /// to the scratch or to [`CandidateFeatures`] has a single reset
+    /// point.
+    fn reset_for(&mut self, history: &[u32]) {
+        self.hist.clear();
+        for &i in history {
+            self.hist.insert(i);
+        }
+        self.seen.clear();
+        self.cand.items.clear();
+        self.cand.ui_scores.clear();
+        self.cand.uu_scores.clear();
+        self.cand.user_rep.clear();
     }
 }
 
@@ -62,6 +138,8 @@ pub struct Sccf<M: InductiveUiModel> {
     cfg: SccfConfig,
     /// Cosine index over current user representations (Eq. 11).
     user_index: DynamicIndex,
+    /// Optional ANN index over item embeddings (sublinear Eq. 10).
+    item_index: Option<HnswIndex>,
     user_comp: UserBasedComponent,
     integrator: Integrator,
 }
@@ -111,6 +189,14 @@ impl<M: InductiveUiModel> Sccf<M> {
             })
             .collect();
         let user_index = DynamicIndex::from_vectors(&flat, index_dim, Metric::Cosine);
+        let item_index = cfg.ui_ann.as_ref().map(|hnsw_cfg| {
+            let table = model.item_embeddings();
+            let mut idx = HnswIndex::new(dim, Metric::InnerProduct, hnsw_cfg.clone());
+            for i in 0..table.rows() {
+                idx.add(table.row(i));
+            }
+            idx
+        });
         let user_comp = UserBasedComponent::new(
             cfg.user_based.clone(),
             n_items,
@@ -119,6 +205,9 @@ impl<M: InductiveUiModel> Sccf<M> {
         let mut integrator = Integrator::new(dim, cfg.integrator.clone());
 
         // ---- integrator training set (Eq. 17) ----
+        // One scratch serves the whole loop; each user's features are
+        // cloned out of it into the example set.
+        let mut scratch = QueryScratch::new(n_items);
         let mut examples: Vec<(CandidateFeatures, u32)> = Vec::new();
         for u in split.val_users() {
             let val = split.val_item(u).expect("val user");
@@ -127,19 +216,19 @@ impl<M: InductiveUiModel> Sccf<M> {
                 Some(p) => p.augment(u, rep),
                 None => rep.clone(),
             };
-            let cand = assemble_candidates(
+            let neighbors = user_index.search(&query, cfg.user_based.beta, Some(u));
+            assemble_candidates_into(
                 &model,
-                &user_index,
+                item_index.as_ref(),
                 &user_comp,
-                u,
                 rep,
-                &query,
+                &neighbors,
                 &train_histories[u as usize],
                 cfg.candidate_n,
-                cfg.user_based.beta,
+                &mut scratch,
             );
-            if !cand.is_empty() {
-                examples.push((cand, val));
+            if !scratch.cand.is_empty() {
+                examples.push((scratch.cand.clone(), val));
             }
         }
         integrator.train(&examples, model.item_embeddings());
@@ -148,6 +237,7 @@ impl<M: InductiveUiModel> Sccf<M> {
             model,
             cfg,
             user_index,
+            item_index,
             user_comp,
             integrator,
         }
@@ -192,6 +282,12 @@ impl<M: InductiveUiModel> Sccf<M> {
         &self.cfg
     }
 
+    /// A query scratch sized for this instance's catalog. Allocate once
+    /// per serving thread and pass to the `_with` entry points.
+    pub fn new_scratch(&self) -> QueryScratch {
+        QueryScratch::new(self.model.n_items())
+    }
+
     /// Current neighborhood of a representation (Eq. 11; profile-blended
     /// when side information is attached).
     pub fn neighbors(&self, user: u32, rep: &[f32]) -> Vec<Scored> {
@@ -201,6 +297,7 @@ impl<M: InductiveUiModel> Sccf<M> {
     }
 
     /// Full-catalog UU scores for `user` given a fresh representation.
+    /// Dense compatibility path (offline analysis / ablations).
     pub fn uu_scores(&self, user: u32, rep: &[f32]) -> Vec<f32> {
         let neighbors = self.neighbors(user, rep);
         self.user_comp.scores(&neighbors)
@@ -234,62 +331,90 @@ impl<M: InductiveUiModel> Sccf<M> {
         self.user_comp.reset_user(user, history);
     }
 
-    /// The union candidate set with raw scores — the integrator's input.
-    pub fn candidate_features(&self, user: u32, history: &[u32]) -> CandidateFeatures {
-        let rep = self.model.infer_user(history);
-        let query = self.index_vector(user, &rep);
-        assemble_candidates(
-            &self.model,
-            &self.user_index,
-            &self.user_comp,
-            user,
-            &rep,
-            &query,
-            history,
-            self.cfg.candidate_n,
-            self.cfg.user_based.beta,
-        )
-    }
-
-    /// Features for an *externally supplied* candidate list — the ranking
-    /// stage (§V future work): instead of forming its own union, SCCF
-    /// scores someone else's candidates with both UI and UU evidence.
-    /// Duplicates and already-interacted items are dropped.
-    pub fn features_for(&self, user: u32, history: &[u32], items: &[u32]) -> CandidateFeatures {
+    /// Assemble the union candidate set with raw scores into
+    /// `scratch.cand` without any catalog-sized allocation. This is the
+    /// serving-path form of [`Sccf::candidate_features`].
+    pub fn candidate_features_with(&self, user: u32, history: &[u32], scratch: &mut QueryScratch) {
         let rep = self.model.infer_user(history);
         let query = self.index_vector(user, &rep);
         let neighbors = self
             .user_index
             .search(&query, self.cfg.user_based.beta, Some(user));
-        let uu_all = self.user_comp.scores(&neighbors);
-        let hist_set: sccf_util::FxHashSet<u32> = history.iter().copied().collect();
-        let mut seen: sccf_util::FxHashSet<u32> =
-            sccf_util::hash::fx_set_with_capacity(items.len());
-        let mut kept: Vec<u32> = Vec::with_capacity(items.len());
-        for &i in items {
-            if !hist_set.contains(&i) && seen.insert(i) {
-                kept.push(i);
-            }
-        }
-        let ui = kept
-            .iter()
-            .map(|&i| sccf_tensor::dot(&rep, self.model.item_embedding(i)))
-            .collect();
-        let uu = kept.iter().map(|&i| uu_all[i as usize]).collect();
-        CandidateFeatures {
-            user_rep: rep,
-            items: kept,
-            ui_scores: ui,
-            uu_scores: uu,
-        }
+        assemble_candidates_into(
+            &self.model,
+            self.item_index.as_ref(),
+            &self.user_comp,
+            &rep,
+            &neighbors,
+            history,
+            self.cfg.candidate_n,
+            scratch,
+        );
     }
 
-    /// Final SCCF ranking over the union (item id, fused score), sorted
-    /// descending — the real-time `recommend` call.
-    pub fn recommend(&self, user: u32, history: &[u32], n: usize) -> Vec<Scored> {
-        let cand = self.candidate_features(user, history);
-        let fused = self.integrator.score(&cand, self.model.item_embeddings());
-        let mut scored: Vec<Scored> = cand
+    /// The union candidate set with raw scores — the integrator's input.
+    /// One-shot form: allocates a fresh scratch; per-request callers
+    /// should use [`Sccf::candidate_features_with`].
+    pub fn candidate_features(&self, user: u32, history: &[u32]) -> CandidateFeatures {
+        let mut scratch = self.new_scratch();
+        self.candidate_features_with(user, history, &mut scratch);
+        scratch.cand
+    }
+
+    /// Features for an *externally supplied* candidate list — the ranking
+    /// stage (§V future work): instead of forming its own union, SCCF
+    /// scores someone else's candidates with both UI and UU evidence.
+    /// Duplicates and already-interacted items are dropped. Scratch form:
+    /// no catalog-sized allocation.
+    pub fn features_for_with(
+        &self,
+        user: u32,
+        history: &[u32],
+        items: &[u32],
+        scratch: &mut QueryScratch,
+    ) {
+        let rep = self.model.infer_user(history);
+        let query = self.index_vector(user, &rep);
+        let neighbors = self
+            .user_index
+            .search(&query, self.cfg.user_based.beta, Some(user));
+        self.user_comp.scores_into(&neighbors, &mut scratch.uu);
+        scratch.reset_for(history);
+        let cand = &mut scratch.cand;
+        for &i in items {
+            if !scratch.hist.contains(i) && scratch.seen.insert(i) {
+                cand.items.push(i);
+                cand.ui_scores
+                    .push(sccf_tensor::dot(&rep, self.model.item_embedding(i)));
+                cand.uu_scores.push(scratch.uu.scores.get(i));
+            }
+        }
+        cand.user_rep.extend_from_slice(&rep);
+    }
+
+    /// One-shot form of [`Sccf::features_for_with`].
+    pub fn features_for(&self, user: u32, history: &[u32], items: &[u32]) -> CandidateFeatures {
+        let mut scratch = self.new_scratch();
+        self.features_for_with(user, history, items, &mut scratch);
+        scratch.cand
+    }
+
+    /// Final SCCF ranking over the union, reusing `scratch` — the
+    /// real-time `recommend` call. Returns `(item id, fused score)`
+    /// sorted descending, truncated to `n`.
+    pub fn recommend_with(
+        &self,
+        user: u32,
+        history: &[u32],
+        n: usize,
+        scratch: &mut QueryScratch,
+    ) -> Vec<Scored> {
+        self.candidate_features_with(user, history, scratch);
+        let fused = self
+            .integrator
+            .score(&scratch.cand, self.model.item_embeddings());
+        let mut scored: Vec<Scored> = scratch
+            .cand
             .items
             .iter()
             .zip(&fused)
@@ -299,54 +424,92 @@ impl<M: InductiveUiModel> Sccf<M> {
         scored.truncate(n);
         scored
     }
+
+    /// One-shot form of [`Sccf::recommend_with`].
+    pub fn recommend(&self, user: u32, history: &[u32], n: usize) -> Vec<Scored> {
+        let mut scratch = self.new_scratch();
+        self.recommend_with(user, history, n, &mut scratch)
+    }
 }
 
-/// Build the candidate union and raw scores for one user.
+/// Build the candidate union and raw scores for one user into
+/// `scratch.cand`.
+///
+/// UI side: exact Eq. 10 (dense scan into the reused buffer) or, when
+/// `item_index` is present, an HNSW search over the item embeddings.
+/// UU side: sparse Eq. 12 — only ids touched by the neighborhood exist.
+/// Union: UI list first, then new UU entries, deduped via stamp sets.
 #[allow(clippy::too_many_arguments)]
-fn assemble_candidates<M: InductiveUiModel>(
+fn assemble_candidates_into<M: InductiveUiModel>(
     model: &M,
-    user_index: &DynamicIndex,
+    item_index: Option<&HnswIndex>,
     user_comp: &UserBasedComponent,
-    user: u32,
     rep: &[f32],
-    index_query: &[f32],
+    neighbors: &[Scored],
     history: &[u32],
     candidate_n: usize,
-    beta: usize,
-) -> CandidateFeatures {
-    let hist_set: sccf_util::FxHashSet<u32> = history.iter().copied().collect();
+    scratch: &mut QueryScratch,
+) {
+    scratch.reset_for(history);
     // UI side (Eq. 10)
-    let mut ui_scores = model.score_by_rep(rep);
-    for &i in history {
-        ui_scores[i as usize] = f32::NEG_INFINITY;
-    }
-    let ui_top = sccf_util::topk::topk_of_scores(&ui_scores, candidate_n);
-    // UU side (Eq. 12)
-    let neighbors = user_index.search(index_query, beta, Some(user));
-    let mut uu_scores = user_comp.scores(&neighbors);
-    for &i in history {
-        uu_scores[i as usize] = 0.0;
-    }
-    let uu_top: Vec<Scored> = sccf_util::topk::topk_of_scores(&uu_scores, candidate_n)
-        .into_iter()
-        .filter(|s| s.score > 0.0)
-        .collect();
+    let ui_top: Vec<Scored> = match item_index {
+        None => {
+            model.score_by_rep_into(rep, &mut scratch.ui_scores);
+            for &i in history {
+                scratch.ui_scores[i as usize] = f32::NEG_INFINITY;
+            }
+            sccf_util::topk::topk_of_scores(&scratch.ui_scores, candidate_n)
+        }
+        Some(idx) => {
+            // Over-fetch to cover history hits in the ANN result, then
+            // drop them. Because the representation is inferred *from*
+            // the history, history items dominate the top of the ANN
+            // result — a heavy user could otherwise starve the UI list —
+            // so double the request until `candidate_n` non-history hits
+            // survive (or the index is exhausted).
+            let mut k = candidate_n + history.len().min(candidate_n);
+            loop {
+                let raw = idx.search(rep, k, None);
+                let exhausted = raw.len() < k || k >= idx.len();
+                let mut hits = raw;
+                hits.retain(|s| !scratch.hist.contains(s.id));
+                if hits.len() >= candidate_n || exhausted {
+                    hits.truncate(candidate_n);
+                    break hits;
+                }
+                k = (k * 2).min(idx.len());
+            }
+        }
+    };
+    // UU side (Eq. 12), sparse: topk over touched ids outside the history
+    user_comp.scores_into(neighbors, &mut scratch.uu);
+    let uu_top: Vec<Scored> = sccf_util::topk::topk_of_pairs(
+        scratch
+            .uu
+            .scores
+            .iter()
+            .filter(|&(id, s)| s > 0.0 && !scratch.hist.contains(id)),
+        candidate_n,
+    );
     // union, stable order: UI list then new UU entries
-    let mut items: Vec<u32> = Vec::with_capacity(ui_top.len() + uu_top.len());
-    let mut seen: sccf_util::FxHashSet<u32> = sccf_util::hash::fx_set_with_capacity(ui_top.len());
+    let cand = &mut scratch.cand;
     for s in ui_top.iter().chain(uu_top.iter()) {
-        if !hist_set.contains(&s.id) && seen.insert(s.id) {
-            items.push(s.id);
+        // The dense UI top-k can still contain (−∞-masked) history items
+        // when `candidate_n` exceeds the non-history catalog; drop them.
+        if !scratch.hist.contains(s.id) && scratch.seen.insert(s.id) {
+            cand.items.push(s.id);
         }
     }
-    let ui = items.iter().map(|&i| ui_scores[i as usize]).collect();
-    let uu = items.iter().map(|&i| uu_scores[i as usize]).collect();
-    CandidateFeatures {
-        user_rep: rep.to_vec(),
-        items,
-        ui_scores: ui,
-        uu_scores: uu,
+    for idx in 0..cand.items.len() {
+        let i = cand.items[idx];
+        let ui = match item_index {
+            None => scratch.ui_scores[i as usize],
+            Some(_) => sccf_tensor::dot(rep, model.item_embedding(i)),
+        };
+        cand.ui_scores.push(ui);
+        cand.uu_scores.push(scratch.uu.scores.get(i));
     }
+    cand.user_rep.extend_from_slice(rep);
 }
 
 impl<M: InductiveUiModel> Recommender for Sccf<M> {

@@ -59,7 +59,7 @@ impl Default for IntegratorConfig {
 
 /// One user's training (or scoring) unit: the candidate union with raw
 /// scores and, during training, the index of the positive item.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CandidateFeatures {
     /// User representation `m_u`.
     pub user_rep: Vec<f32>,
@@ -263,7 +263,13 @@ mod tests {
             let pos_idx = rng.gen_range(0..items.len());
             let ui: Vec<f32> = (0..items.len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let uu: Vec<f32> = (0..items.len())
-                .map(|j| if j == pos_idx { 2.0 } else { rng.gen_range(-0.2..0.2) })
+                .map(|j| {
+                    if j == pos_idx {
+                        2.0
+                    } else {
+                        rng.gen_range(-0.2..0.2)
+                    }
+                })
                 .collect();
             let user_rep: Vec<f32> = (0..d).map(|_| rng.gen_range(-0.1..0.1)).collect();
             out.push((

@@ -20,6 +20,41 @@
 //!   applying the fused UI+UU evidence to an upstream generator's
 //!   candidates in the ranking step.
 //! * [`analysis`] — the Figure 4 similarity-distribution computation.
+//!
+//! ## The zero-allocation hot-path contract
+//!
+//! The paper's pitch is that serving cost is bounded by the
+//! *neighborhood*, never the *catalog*. This crate enforces that as an
+//! API contract:
+//!
+//! * Steady-state [`RealtimeEngine::process_event`] and
+//!   [`RealtimeEngine::recommend`] perform **no heap allocation
+//!   proportional to `n_items`**. All catalog-sized state lives in a
+//!   [`QueryScratch`] allocated once (per engine, or per serving thread
+//!   via [`Sccf::new_scratch`]) and reset in O(1) by epoch stamps
+//!   (`sccf_util::sparse`), not by re-zeroing.
+//! * Eq. 12 aggregates **sparsely**: [`UserBasedComponent::scores_into`]
+//!   touches `β × recent_window` accumulator slots; recent items live in
+//!   fixed-capacity ring buffers, so `record` is O(1).
+//! * Small allocations that scale with the *request* (a top-N result
+//!   vector, a β-sized neighbor list, one `dim`-sized representation)
+//!   are allowed — they are catalog-independent.
+//!
+//! Where dense paths remain, and why:
+//!
+//! * Exact Eq. 10 retrieval (`ui_ann: None`, the default) still *reads*
+//!   all `n_items` scores — a dense scan into the reused scratch buffer.
+//!   That is the paper's exact formulation; it allocates nothing but its
+//!   compute is O(catalog). Setting [`SccfConfig::ui_ann`] serves UI
+//!   candidates from an HNSW item index instead, making the whole
+//!   per-event path sublinear (approximate retrieval; equivalence tests
+//!   pin the default path).
+//! * The scratch-free signatures (`scores`, `candidates`,
+//!   `candidate_features`, `recommend`, `features_for`) are
+//!   compatibility wrappers that allocate a scratch per call for
+//!   offline/one-shot use; they produce bit-identical results to their
+//!   `_with`/`_into`/`_sparse` counterparts (enforced by
+//!   `tests/properties.rs`).
 
 pub mod analysis;
 pub mod framework;
@@ -29,9 +64,9 @@ pub mod ranking;
 pub mod realtime;
 pub mod user_component;
 
-pub use framework::{Sccf, SccfConfig};
-pub use profile::UserProfiles;
+pub use framework::{QueryScratch, Sccf, SccfConfig};
 pub use integrator::{CandidateFeatures, Integrator, IntegratorConfig};
+pub use profile::UserProfiles;
 pub use ranking::RankingStage;
 pub use realtime::{EngineTimings, EventTiming, RealtimeEngine, SnapshotDecodeError};
-pub use user_component::{UserBasedComponent, UserBasedConfig};
+pub use user_component::{UserBasedComponent, UserBasedConfig, UuScratch};

@@ -70,7 +70,11 @@ impl UserProfiles {
         let mut r = rep.to_vec();
         normalize(&mut r);
         out.extend_from_slice(&r);
-        out.extend(self.profiles[user as usize].iter().map(|&x| x * self.weight));
+        out.extend(
+            self.profiles[user as usize]
+                .iter()
+                .map(|&x| x * self.weight),
+        );
         out
     }
 }
@@ -81,10 +85,7 @@ mod tests {
     use sccf_tensor::mat::cosine;
 
     fn profiles() -> UserProfiles {
-        UserProfiles::new(
-            vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 0.0]],
-            0.5,
-        )
+        UserProfiles::new(vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 0.0]], 0.5)
     }
 
     #[test]

@@ -132,7 +132,11 @@ mod tests {
             while t < 8 {
                 let item = base + rng.gen_range(0..12u32);
                 if seen.insert(item) {
-                    inter.push(Interaction { user: u, item, ts: t });
+                    inter.push(Interaction {
+                        user: u,
+                        item,
+                        ts: t,
+                    });
                     t += 1;
                 }
             }

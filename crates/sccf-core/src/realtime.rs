@@ -17,7 +17,7 @@ use sccf_models::InductiveUiModel;
 use sccf_util::timer::{Stopwatch, TimingStats};
 use sccf_util::topk::Scored;
 
-use crate::framework::Sccf;
+use crate::framework::{QueryScratch, Sccf};
 
 /// Timing breakdown of one processed event, in milliseconds.
 #[derive(Debug, Clone, Copy)]
@@ -51,20 +51,27 @@ impl EngineTimings {
 }
 
 /// Streaming wrapper around a built [`Sccf`] instance.
+///
+/// The engine owns one [`QueryScratch`]; every `recommend` reuses it, so
+/// steady-state serving performs no heap allocation proportional to the
+/// catalog (see the `sccf-core` crate docs for the full contract).
 pub struct RealtimeEngine<M: InductiveUiModel> {
     sccf: Sccf<M>,
     /// Full per-user histories, grown as events arrive.
     histories: Vec<Vec<u32>>,
     timings: EngineTimings,
+    scratch: QueryScratch,
 }
 
 impl<M: InductiveUiModel> RealtimeEngine<M> {
     /// Wrap a built framework with the users' current histories.
     pub fn new(sccf: Sccf<M>, histories: Vec<Vec<u32>>) -> Self {
+        let scratch = sccf.new_scratch();
         Self {
             sccf,
             histories,
             timings: EngineTimings::default(),
+            scratch,
         }
     }
 
@@ -110,9 +117,10 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
     }
 
     /// Produce the fused top-`n` recommendation for a user right now.
-    pub fn recommend(&self, user: u32, n: usize) -> Vec<Scored> {
+    /// Reuses the engine's scratch: no catalog-sized allocation.
+    pub fn recommend(&mut self, user: u32, n: usize) -> Vec<Scored> {
         self.sccf
-            .recommend(user, &self.histories[user as usize], n)
+            .recommend_with(user, &self.histories[user as usize], n, &mut self.scratch)
     }
 
     /// Serialize the engine's mutable state — the per-user histories.
@@ -165,10 +173,12 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
             let rep = sccf.model().infer_user(h);
             sccf.reset_user_state(u as u32, h, &rep);
         }
+        let scratch = sccf.new_scratch();
         Ok(Self {
             sccf,
             histories,
             timings: EngineTimings::default(),
+            scratch,
         })
     }
 }
@@ -186,7 +196,11 @@ pub enum SnapshotDecodeError {
     UserCountMismatch { snapshot: usize, index: usize },
     /// A history contains an item id outside the model's catalog
     /// (corruption, or a snapshot from a different catalog version).
-    ItemOutOfRange { user: usize, item: u32, n_items: usize },
+    ItemOutOfRange {
+        user: usize,
+        item: u32,
+        n_items: usize,
+    },
 }
 
 impl std::fmt::Display for SnapshotDecodeError {
@@ -198,7 +212,11 @@ impl std::fmt::Display for SnapshotDecodeError {
                 f,
                 "snapshot has {snapshot} users but the framework index has {index}"
             ),
-            Self::ItemOutOfRange { user, item, n_items } => write!(
+            Self::ItemOutOfRange {
+                user,
+                item,
+                n_items,
+            } => write!(
                 f,
                 "user {user}'s history references item {item} outside the catalog of {n_items}"
             ),
@@ -226,7 +244,11 @@ fn decode_histories(bytes: &[u8]) -> Result<Vec<Vec<u32>>, SnapshotDecodeError> 
     let mut histories = Vec::with_capacity(n_users.min(1 << 20));
     for _ in 0..n_users {
         let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
-        let raw = take(&mut pos, len * 4)?;
+        // A corrupt length near usize::MAX would overflow `len * 4` and
+        // panic (or wrap, passing a bogus size to `take`); reject it as a
+        // truncated snapshot instead.
+        let byte_len = len.checked_mul(4).ok_or(SnapshotDecodeError::Truncated)?;
+        let raw = take(&mut pos, byte_len)?;
         let mut h = Vec::with_capacity(len);
         for c in raw.chunks_exact(4) {
             h.push(u32::from_le_bytes(c.try_into().unwrap()));
@@ -260,7 +282,11 @@ mod tests {
             while (t as usize) < 5 {
                 let item = base + rng.gen_range(0..6u32);
                 if seen.insert(item) {
-                    inter.push(Interaction { user: u, item, ts: t });
+                    inter.push(Interaction {
+                        user: u,
+                        item,
+                        ts: t,
+                    });
                     t += 1;
                 }
             }
@@ -297,6 +323,7 @@ mod tests {
                 },
                 threads: 1,
                 profiles: None,
+                ui_ann: None,
             },
         );
         // advance index + recent-item state to the same histories the
@@ -360,7 +387,7 @@ mod tests {
         let histories: Vec<Vec<u32>> = (0..12u32).map(|u| engine.history(u).to_vec()).collect();
         let recs_before = engine.recommend(0, 5);
 
-        let restored = RealtimeEngine::restore(engine.into_sccf(), &snap).unwrap();
+        let mut restored = RealtimeEngine::restore(engine.into_sccf(), &snap).unwrap();
         for (u, h) in histories.iter().enumerate() {
             assert_eq!(restored.history(u as u32), h.as_slice());
         }

@@ -13,7 +13,21 @@
 //! items to her neighbors' recommendations. The component carries **no
 //! learnable parameters** — that is the paper's point: it rides for free
 //! on the UI model's representations.
+//!
+//! ## Serving-path representation
+//!
+//! Per-user recent items live in one flat slab of fixed-capacity ring
+//! buffers (`n_users × recent_window`), so [`UserBasedComponent::record`]
+//! is O(1) — no `Vec::remove(0)` shift, no per-user allocation, no
+//! resize. Eq. 12 aggregation is **sparse in the neighborhood**: the
+//! [`UserBasedComponent::scores_into`] / [`UserBasedComponent::candidates_sparse`]
+//! pair touches only `β × recent_window` entries of a reusable
+//! [`UuScratch`] and never allocates or scans anything catalog-sized.
+//! The dense [`UserBasedComponent::scores`] signature is kept for offline
+//! analysis paths and is defined as the scatter of the sparse result, so
+//! both paths agree bit-for-bit.
 
+use sccf_util::sparse::{SparseScores, StampSet};
 use sccf_util::topk::Scored;
 
 /// Configuration of the user-based component.
@@ -35,13 +49,39 @@ impl Default for UserBasedConfig {
     }
 }
 
+/// Reusable scratch for the sparse Eq. 12 aggregation: the accumulator
+/// slab plus the per-neighbor window dedup set. Allocate once per thread
+/// (or engine) via [`UserBasedComponent::new_scratch`]; every call
+/// resets in O(1) through epoch stamps.
+#[derive(Debug, Clone)]
+pub struct UuScratch {
+    /// Accumulated Eq. 12 scores, valid for the ids in `scores.touched()`.
+    pub scores: SparseScores,
+    /// Dedup of one neighbor's window (δ is binary: an item a neighbor
+    /// clicked twice must not be double-counted).
+    window_seen: StampSet,
+}
+
+impl UuScratch {
+    pub fn new(n_items: usize) -> Self {
+        Self {
+            scores: SparseScores::new(n_items),
+            window_seen: StampSet::new(n_items),
+        }
+    }
+}
+
 /// Per-user recent-item state plus the Eq. 12 aggregation.
 #[derive(Debug, Clone)]
 pub struct UserBasedComponent {
     cfg: UserBasedConfig,
     n_items: usize,
-    /// Latest `recent_window` items per user, oldest first.
-    recent: Vec<Vec<u32>>,
+    n_users: usize,
+    /// Ring-buffer slab: user `v`'s window lives in
+    /// `slab[v*w .. (v+1)*w]`, logically starting at `head[v]`.
+    slab: Vec<u32>,
+    head: Vec<u32>,
+    len: Vec<u32>,
 }
 
 impl UserBasedComponent {
@@ -51,19 +91,29 @@ impl UserBasedComponent {
         n_items: usize,
         histories: impl Iterator<Item = Vec<u32>>,
     ) -> Self {
-        let recent = histories
-            .map(|h| {
-                if h.len() > cfg.recent_window {
-                    h[h.len() - cfg.recent_window..].to_vec()
-                } else {
-                    h
-                }
-            })
-            .collect();
+        let w = cfg.recent_window;
+        let mut slab = Vec::new();
+        let mut head = Vec::new();
+        let mut len = Vec::new();
+        for h in histories {
+            let tail = if h.len() > w {
+                &h[h.len() - w..]
+            } else {
+                &h[..]
+            };
+            slab.extend_from_slice(tail);
+            slab.resize(slab.len() + (w - tail.len()), 0);
+            head.push(0);
+            len.push(tail.len() as u32);
+        }
+        let n_users = head.len();
         Self {
             cfg,
             n_items,
-            recent,
+            n_users,
+            slab,
+            head,
+            len,
         }
     }
 
@@ -72,54 +122,111 @@ impl UserBasedComponent {
     }
 
     pub fn n_users(&self) -> usize {
-        self.recent.len()
+        self.n_users
     }
 
-    /// The items user `v` currently shares with neighbors.
-    pub fn recent_items(&self, v: u32) -> &[u32] {
-        &self.recent[v as usize]
+    pub fn n_items(&self) -> usize {
+        self.n_items
     }
 
-    /// Record a new interaction for `user` (real-time path): appends and
-    /// truncates to the window.
+    /// A scratch sized for this component's catalog.
+    pub fn new_scratch(&self) -> UuScratch {
+        UuScratch::new(self.n_items)
+    }
+
+    /// The items user `v` currently shares with neighbors, oldest first.
+    pub fn recent_items(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        let w = self.cfg.recent_window;
+        let (base, head, len) = (
+            v as usize * w,
+            self.head[v as usize] as usize,
+            self.len[v as usize] as usize,
+        );
+        (0..len).map(move |k| self.slab[base + (head + k) % w])
+    }
+
+    /// Record a new interaction for `user` (real-time path): O(1) ring
+    /// append, overwriting the oldest slot once the window is full.
     pub fn record(&mut self, user: u32, item: u32) {
-        let r = &mut self.recent[user as usize];
-        r.push(item);
-        if r.len() > self.cfg.recent_window {
-            r.remove(0);
+        let w = self.cfg.recent_window;
+        if w == 0 {
+            return;
+        }
+        let u = user as usize;
+        let base = u * w;
+        let (head, len) = (self.head[u] as usize, self.len[u] as usize);
+        if len < w {
+            self.slab[base + (head + len) % w] = item;
+            self.len[u] = (len + 1) as u32;
+        } else {
+            self.slab[base + head] = item;
+            self.head[u] = ((head + 1) % w) as u32;
         }
     }
 
     /// Replace a user's state wholesale (e.g. when switching from the
     /// train view to the train+val view between tuning and testing).
     pub fn reset_user(&mut self, user: u32, history: &[u32]) {
-        let h = if history.len() > self.cfg.recent_window {
-            &history[history.len() - self.cfg.recent_window..]
+        let w = self.cfg.recent_window;
+        let u = user as usize;
+        let tail = if history.len() > w {
+            &history[history.len() - w..]
         } else {
             history
         };
-        self.recent[user as usize] = h.to_vec();
+        self.slab[u * w..u * w + tail.len()].copy_from_slice(tail);
+        self.head[u] = 0;
+        self.len[u] = tail.len() as u32;
+    }
+
+    /// Sparse Eq. 12 over a pre-identified neighborhood: accumulate
+    /// `sim(u,v)` onto every *distinct* item in each neighbor's window.
+    /// Work and writes are O(β × recent_window); the catalog size never
+    /// appears. Results live in `scratch.scores` until its next `begin`.
+    pub fn scores_into(&self, neighbors: &[Scored], scratch: &mut UuScratch) {
+        let w = self.cfg.recent_window;
+        scratch.scores.begin();
+        for n in neighbors {
+            let u = n.id as usize;
+            let (base, head, len) = (u * w, self.head[u] as usize, self.len[u] as usize);
+            scratch.window_seen.clear();
+            for k in 0..len {
+                let item = self.slab[base + (head + k) % w];
+                if scratch.window_seen.insert(item) {
+                    scratch.scores.add(item, n.score);
+                }
+            }
+        }
     }
 
     /// Eq. 12 over a pre-identified neighborhood: full-catalog score
-    /// vector (0 where no neighbor interacted).
+    /// vector (0 where no neighbor interacted). Compatibility path for
+    /// offline analysis — defined as the dense scatter of
+    /// [`UserBasedComponent::scores_into`], so the two agree exactly
+    /// (same floats, same summation order).
     pub fn scores(&self, neighbors: &[Scored]) -> Vec<f32> {
-        let mut scores = vec![0.0f32; self.n_items];
-        for n in neighbors {
-            // δ is binary: de-dup a neighbor's window on the fly so an
-            // item a neighbor clicked twice is not double-counted
-            let items = &self.recent[n.id as usize];
-            for (pos, &i) in items.iter().enumerate() {
-                if items[..pos].contains(&i) {
-                    continue;
-                }
-                scores[i as usize] += n.score;
-            }
-        }
-        scores
+        let mut scratch = self.new_scratch();
+        self.scores_into(neighbors, &mut scratch);
+        scratch.scores.to_dense()
     }
 
-    /// Top-N of the Eq. 12 scores — the UU candidate list `Cᵁᵁ_u`.
+    /// Top-N of the sparse Eq. 12 scores — the UU candidate list `Cᵁᵁ_u`
+    /// — selecting over touched items only. Zero-score (and
+    /// negative-score) candidates are dropped, mirroring
+    /// [`UserBasedComponent::candidates`].
+    pub fn candidates_sparse(
+        &self,
+        neighbors: &[Scored],
+        n: usize,
+        scratch: &mut UuScratch,
+    ) -> Vec<Scored> {
+        self.scores_into(neighbors, scratch);
+        sccf_util::topk::topk_of_pairs(scratch.scores.iter().filter(|&(_, s)| s > 0.0), n)
+    }
+
+    /// Top-N of the Eq. 12 scores via the dense path (kept behind the
+    /// existing signature; new code should prefer
+    /// [`UserBasedComponent::candidates_sparse`]).
     pub fn candidates(&self, neighbors: &[Scored], n: usize) -> Vec<Scored> {
         sccf_util::topk::topk_of_scores(&self.scores(neighbors), n)
             .into_iter()
@@ -148,20 +255,21 @@ mod tests {
         )
     }
 
+    fn recent(c: &UserBasedComponent, v: u32) -> Vec<u32> {
+        c.recent_items(v).collect()
+    }
+
     #[test]
     fn histories_truncated_to_window() {
         let c = comp();
-        assert_eq!(c.recent_items(1), &[2, 3, 4]);
-        assert_eq!(c.recent_items(0), &[0, 1]);
+        assert_eq!(recent(&c, 1), &[2, 3, 4]);
+        assert_eq!(recent(&c, 0), &[0, 1]);
     }
 
     #[test]
     fn eq12_weighted_sum() {
         let c = comp();
-        let neighbors = vec![
-            Scored { id: 0, score: 0.9 },
-            Scored { id: 1, score: 0.5 },
-        ];
+        let neighbors = vec![Scored { id: 0, score: 0.9 }, Scored { id: 1, score: 0.5 }];
         let s = c.scores(&neighbors);
         assert!((s[0] - 0.9).abs() < 1e-6);
         assert!((s[1] - 0.9).abs() < 1e-6); // only u0's window has 1
@@ -173,10 +281,7 @@ mod tests {
     fn shared_item_sums_similarities() {
         let mut c = comp();
         c.record(0, 2); // now u0 window [0,1,2] overlaps u1's [2,3,4]
-        let neighbors = vec![
-            Scored { id: 0, score: 0.9 },
-            Scored { id: 1, score: 0.5 },
-        ];
+        let neighbors = vec![Scored { id: 0, score: 0.9 }, Scored { id: 1, score: 0.5 }];
         let s = c.scores(&neighbors);
         assert!((s[2] - 1.4).abs() < 1e-6);
     }
@@ -186,7 +291,43 @@ mod tests {
         let mut c = comp();
         c.record(0, 2);
         c.record(0, 3); // window size 3: [1, 2, 3]
-        assert_eq!(c.recent_items(0), &[1, 2, 3]);
+        assert_eq!(recent(&c, 0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn ring_rolls_in_order_over_a_large_window() {
+        // Regression for the old O(window) `Vec::remove(0)` shift: fill a
+        // large window several times over and check both order and cost
+        // shape (record is O(1), so this loop is linear overall).
+        let w = 256usize;
+        let n_items = 4096usize;
+        let mut c = UserBasedComponent::new(
+            UserBasedConfig {
+                beta: 1,
+                recent_window: w,
+            },
+            n_items,
+            std::iter::once(Vec::new()),
+        );
+        for i in 0..(3 * w) as u32 {
+            c.record(0, i % n_items as u32);
+        }
+        let got = recent(&c, 0);
+        let want: Vec<u32> = ((2 * w) as u32..(3 * w) as u32).collect();
+        assert_eq!(
+            got, want,
+            "ring must hold exactly the last w items, oldest first"
+        );
+
+        // And the sparse scorer sees every distinct item exactly once,
+        // without the old quadratic `items[..pos].contains` scan.
+        let neighbors = vec![Scored { id: 0, score: 1.0 }];
+        let mut scratch = c.new_scratch();
+        c.scores_into(&neighbors, &mut scratch);
+        assert_eq!(scratch.scores.touched().len(), w);
+        for &(_, s) in scratch.scores.iter().collect::<Vec<_>>().iter() {
+            assert_eq!(s, 1.0);
+        }
     }
 
     #[test]
@@ -199,19 +340,55 @@ mod tests {
     }
 
     #[test]
+    fn sparse_and_dense_paths_agree() {
+        let mut c = comp();
+        c.record(0, 2);
+        c.record(2, 5);
+        let neighbors = vec![
+            Scored { id: 0, score: 0.9 },
+            Scored { id: 1, score: 0.5 },
+            Scored { id: 2, score: 0.3 },
+        ];
+        let dense = c.scores(&neighbors);
+        let mut scratch = c.new_scratch();
+        c.scores_into(&neighbors, &mut scratch);
+        for (i, &d) in dense.iter().enumerate() {
+            assert_eq!(scratch.scores.get(i as u32).to_bits(), d.to_bits());
+        }
+        let sparse_cands = c.candidates_sparse(&neighbors, 4, &mut scratch);
+        assert_eq!(sparse_cands, c.candidates(&neighbors, 4));
+    }
+
+    #[test]
     fn candidates_drop_zero_scores() {
         let c = comp();
         let neighbors = vec![Scored { id: 2, score: 0.7 }];
         let cands = c.candidates(&neighbors, 5);
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].id, 5);
+        let mut scratch = c.new_scratch();
+        let sparse = c.candidates_sparse(&neighbors, 5, &mut scratch);
+        assert_eq!(sparse, cands);
     }
 
     #[test]
     fn reset_user_swaps_state() {
         let mut c = comp();
         c.reset_user(2, &[0, 1, 2, 3]);
-        assert_eq!(c.recent_items(2), &[1, 2, 3]);
+        assert_eq!(recent(&c, 2), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn reset_after_rolling_clears_ring_state() {
+        let mut c = comp();
+        for i in 0..7 {
+            c.record(1, i % 6);
+        }
+        c.reset_user(1, &[0, 5]);
+        assert_eq!(recent(&c, 1), &[0, 5]);
+        c.record(1, 2);
+        c.record(1, 3);
+        assert_eq!(recent(&c, 1), &[5, 2, 3]);
     }
 
     #[test]
@@ -220,5 +397,7 @@ mod tests {
         let s = c.scores(&[]);
         assert!(s.iter().all(|&x| x == 0.0));
         assert!(c.candidates(&[], 5).is_empty());
+        let mut scratch = c.new_scratch();
+        assert!(c.candidates_sparse(&[], 5, &mut scratch).is_empty());
     }
 }

@@ -17,7 +17,11 @@ fn two_group_world(n_users: u32, n_items: u32, len: usize, seed: u64) -> Dataset
         while (t as usize) < len {
             let item = base + rng.gen_range(0..span);
             if seen.insert(item) {
-                inter.push(Interaction { user: u, item, ts: t });
+                inter.push(Interaction {
+                    user: u,
+                    item,
+                    ts: t,
+                });
                 t += 1;
             }
         }
@@ -54,6 +58,7 @@ fn build(seed: u64) -> (LeaveOneOut, Sccf<Fism>) {
             },
             threads: 1,
             profiles: None,
+            ui_ann: None,
         },
     );
     sccf.refresh_for_test(&split);

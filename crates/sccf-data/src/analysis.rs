@@ -82,24 +82,54 @@ mod tests {
         //         day 14 (today): item2 (cat0, first clicked 14 days ago —
         //         at the window edge) and item1 (cat1, 4 days ago).
         let inter = vec![
-            Interaction { user: 0, item: 0, ts: 0 },
-            Interaction { user: 0, item: 1, ts: 10 },
-            Interaction { user: 0, item: 2, ts: 14 },
-            Interaction { user: 0, item: 1, ts: 14 },
+            Interaction {
+                user: 0,
+                item: 0,
+                ts: 0,
+            },
+            Interaction {
+                user: 0,
+                item: 1,
+                ts: 10,
+            },
+            Interaction {
+                user: 0,
+                item: 2,
+                ts: 14,
+            },
+            Interaction {
+                user: 0,
+                item: 1,
+                ts: 14,
+            },
         ];
         let d = Dataset::from_interactions("t", 1, 3, &inter, Some(vec![0, 1, 0]));
         let h = category_revisit_histogram(&d, 14);
         assert_eq!(h.total, 2);
         assert_eq!(h.proportions[0], 0.0);
-        assert!((h.proportions[4] - 0.5).abs() < 1e-12, "cat1 revisited at 4");
-        assert!((h.proportions[14] - 0.5).abs() < 1e-12, "cat0 revisited at 14");
+        assert!(
+            (h.proportions[4] - 0.5).abs() < 1e-12,
+            "cat1 revisited at 4"
+        );
+        assert!(
+            (h.proportions[14] - 0.5).abs() < 1e-12,
+            "cat0 revisited at 14"
+        );
     }
 
     #[test]
     fn brand_new_category_lands_in_zero() {
         let inter = vec![
-            Interaction { user: 0, item: 0, ts: 5 },
-            Interaction { user: 0, item: 1, ts: 20 }, // today, never before
+            Interaction {
+                user: 0,
+                item: 0,
+                ts: 5,
+            },
+            Interaction {
+                user: 0,
+                item: 1,
+                ts: 20,
+            }, // today, never before
         ];
         let d = Dataset::from_interactions("t", 1, 2, &inter, Some(vec![0, 1]));
         let h = category_revisit_histogram(&d, 14);
@@ -110,8 +140,16 @@ mod tests {
     #[test]
     fn clicks_outside_window_count_as_new() {
         let inter = vec![
-            Interaction { user: 0, item: 0, ts: 0 },  // cat0 long ago
-            Interaction { user: 0, item: 1, ts: 30 }, // today cat0
+            Interaction {
+                user: 0,
+                item: 0,
+                ts: 0,
+            }, // cat0 long ago
+            Interaction {
+                user: 0,
+                item: 1,
+                ts: 30,
+            }, // today cat0
         ];
         let d = Dataset::from_interactions("t", 1, 2, &inter, Some(vec![0, 0]));
         let h = category_revisit_histogram(&d, 14);

@@ -70,7 +70,11 @@ impl Dataset {
         }
         let item_category = item_category.unwrap_or_else(|| vec![0; n_items]);
         assert_eq!(item_category.len(), n_items, "category table length");
-        let n_categories = item_category.iter().copied().max().map_or(1, |m| m as usize + 1);
+        let n_categories = item_category
+            .iter()
+            .copied()
+            .max()
+            .map_or(1, |m| m as usize + 1);
         Self {
             name: name.into(),
             n_items,
@@ -238,12 +242,36 @@ mod tests {
     fn toy() -> Dataset {
         // user 0: items 0,1,2 ; user 1: items 1,2 ; user 2: item 3
         let inter = vec![
-            Interaction { user: 0, item: 2, ts: 3 },
-            Interaction { user: 0, item: 0, ts: 1 },
-            Interaction { user: 0, item: 1, ts: 2 },
-            Interaction { user: 1, item: 1, ts: 1 },
-            Interaction { user: 1, item: 2, ts: 2 },
-            Interaction { user: 2, item: 3, ts: 1 },
+            Interaction {
+                user: 0,
+                item: 2,
+                ts: 3,
+            },
+            Interaction {
+                user: 0,
+                item: 0,
+                ts: 1,
+            },
+            Interaction {
+                user: 0,
+                item: 1,
+                ts: 2,
+            },
+            Interaction {
+                user: 1,
+                item: 1,
+                ts: 1,
+            },
+            Interaction {
+                user: 1,
+                item: 2,
+                ts: 2,
+            },
+            Interaction {
+                user: 2,
+                item: 3,
+                ts: 1,
+            },
         ];
         Dataset::from_interactions("toy", 3, 4, &inter, Some(vec![0, 0, 1, 1]))
     }
@@ -259,8 +287,16 @@ mod tests {
     #[test]
     fn ties_keep_input_order() {
         let inter = vec![
-            Interaction { user: 0, item: 5, ts: 7 },
-            Interaction { user: 0, item: 3, ts: 7 },
+            Interaction {
+                user: 0,
+                item: 5,
+                ts: 7,
+            },
+            Interaction {
+                user: 0,
+                item: 3,
+                ts: 7,
+            },
         ];
         let d = Dataset::from_interactions("t", 1, 6, &inter, None);
         assert_eq!(d.sequence(0), &[5, 3]);
@@ -305,9 +341,21 @@ mod tests {
     fn core_filter_cascades_to_fixpoint() {
         // chain: user 1 only touches item that survives through user 0
         let inter = vec![
-            Interaction { user: 0, item: 0, ts: 1 },
-            Interaction { user: 0, item: 1, ts: 2 },
-            Interaction { user: 1, item: 1, ts: 1 },
+            Interaction {
+                user: 0,
+                item: 0,
+                ts: 1,
+            },
+            Interaction {
+                user: 0,
+                item: 1,
+                ts: 2,
+            },
+            Interaction {
+                user: 1,
+                item: 1,
+                ts: 1,
+            },
         ];
         let d = Dataset::from_interactions("c", 2, 2, &inter, None);
         // min_count 2: item 0 has 1 action -> dies; user 0 falls to 1 -> dies;
@@ -324,7 +372,11 @@ mod tests {
             "nc",
             1,
             2,
-            &[Interaction { user: 0, item: 0, ts: 0 }],
+            &[Interaction {
+                user: 0,
+                item: 0,
+                ts: 0,
+            }],
             None,
         );
         assert_eq!(d.n_categories(), 1);

@@ -180,8 +180,9 @@ pub fn generate(cfg: &SyntheticConfig, seed: u64) -> SyntheticData {
     let d = cfg.latent_dim;
 
     // --- item side: category centroids, item latents, Zipf popularity ---
-    let cat_centroids: Vec<Vec<f32>> =
-        (0..cfg.n_categories).map(|_| random_unit(&mut rng, d)).collect();
+    let cat_centroids: Vec<Vec<f32>> = (0..cfg.n_categories)
+        .map(|_| random_unit(&mut rng, d))
+        .collect();
     let mut item_latent = Vec::with_capacity(cfg.n_items);
     let mut item_cat = Vec::with_capacity(cfg.n_items);
     let mut item_pop = Vec::with_capacity(cfg.n_items);
@@ -202,8 +203,9 @@ pub fn generate(cfg: &SyntheticConfig, seed: u64) -> SyntheticData {
     }
 
     // --- user side: groups, latents, niche pairs ---
-    let group_centroids: Vec<Vec<f32>> =
-        (0..cfg.n_groups).map(|_| random_unit(&mut rng, d)).collect();
+    let group_centroids: Vec<Vec<f32>> = (0..cfg.n_groups)
+        .map(|_| random_unit(&mut rng, d))
+        .collect();
     // Each group's taste: which categories it likes (derived from latent
     // affinity to category centroids at generation time).
     let mut niche: Vec<Vec<(u32, u32)>> = Vec::with_capacity(cfg.n_groups);
@@ -308,10 +310,8 @@ pub fn generate(cfg: &SyntheticConfig, seed: u64) -> SyntheticData {
                 let aff = sccf_tensor_free_dot(&z, &item_latent[i as usize]);
                 w *= ((cfg.item_temp * aff) as f64).exp();
                 if let Some(prev) = anchor {
-                    let seq = sccf_tensor_free_dot(
-                        &item_latent[prev as usize],
-                        &item_latent[i as usize],
-                    );
+                    let seq =
+                        sccf_tensor_free_dot(&item_latent[prev as usize], &item_latent[i as usize]);
                     w *= ((cfg.seq_temp * seq) as f64).exp();
                 }
                 acc += w;
@@ -416,8 +416,8 @@ mod tests {
         let cfg = small_cfg();
         let a = generate(&cfg, 7);
         let b = generate(&cfg, 8);
-        let same = (0..a.dataset.n_users() as u32)
-            .all(|u| a.dataset.sequence(u) == b.dataset.sequence(u));
+        let same =
+            (0..a.dataset.n_users() as u32).all(|u| a.dataset.sequence(u) == b.dataset.sequence(u));
         assert!(!same);
     }
 

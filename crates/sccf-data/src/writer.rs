@@ -50,9 +50,21 @@ mod tests {
 
     fn sample() -> Dataset {
         let inter = vec![
-            Interaction { user: 0, item: 2, ts: 1 },
-            Interaction { user: 0, item: 0, ts: 5 },
-            Interaction { user: 1, item: 1, ts: 2 },
+            Interaction {
+                user: 0,
+                item: 2,
+                ts: 1,
+            },
+            Interaction {
+                user: 0,
+                item: 0,
+                ts: 5,
+            },
+            Interaction {
+                user: 1,
+                item: 1,
+                ts: 2,
+            },
         ];
         Dataset::from_interactions("sample", 2, 3, &inter, Some(vec![0, 1, 0]))
     }

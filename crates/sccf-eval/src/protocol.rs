@@ -38,6 +38,14 @@ pub struct EvalResult {
 /// ad-hoc scorers share the protocol.
 pub trait Scorer: Sync {
     fn score(&self, user: u32, history: &[u32]) -> Vec<f32>;
+
+    /// Score into a caller-owned buffer. The protocol loop keeps one
+    /// buffer per worker thread, so scorers that override this avoid a
+    /// catalog-sized allocation per evaluated user; the default funnels
+    /// through [`Scorer::score`].
+    fn score_into(&self, user: u32, history: &[u32], out: &mut Vec<f32>) {
+        *out = self.score(user, history);
+    }
 }
 
 impl<M: Recommender + ?Sized> Scorer for M {
@@ -71,24 +79,27 @@ pub fn evaluate<S: Scorer + ?Sized>(
         EvalTarget::Validation => split.val_users(),
     };
 
-    let eval_user = |acc: &mut MetricAccumulator, u: u32| {
+    // Each worker thread owns one score buffer for its whole shard —
+    // scorers overriding `score_into` then evaluate allocation-free.
+    let eval_user = |acc: &mut MetricAccumulator, scores: &mut Vec<f32>, u: u32| {
         let (history, truth) = match target {
             EvalTarget::Test => (split.train_plus_val(u), split.test_item(u).unwrap()),
             EvalTarget::Validation => (split.train_seq(u).to_vec(), split.val_item(u).unwrap()),
         };
-        let mut scores = scorer.score(u, &history);
+        scorer.score_into(u, &history, scores);
         debug_assert_eq!(scores.len(), split.n_items());
         // never recommend items already interacted with
         for &i in &history {
             scores[i as usize] = f32::NEG_INFINITY;
         }
-        acc.push_rank(rank_of(&scores, truth));
+        acc.push_rank(rank_of(scores, truth));
     };
 
     let metrics = if threads <= 1 || users.len() < 2 * threads {
         let mut acc = MetricAccumulator::new(ks);
+        let mut scores = Vec::new();
         for &u in &users {
-            eval_user(&mut acc, u);
+            eval_user(&mut acc, &mut scores, u);
         }
         acc
     } else {
@@ -100,8 +111,9 @@ pub fn evaluate<S: Scorer + ?Sized>(
                 .map(|shard| {
                     scope.spawn(move |_| {
                         let mut acc = MetricAccumulator::new(ks);
+                        let mut scores = Vec::new();
                         for &u in shard {
-                            eval_user(&mut acc, u);
+                            eval_user(&mut acc, &mut scores, u);
                         }
                         acc
                     })

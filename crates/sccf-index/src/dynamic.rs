@@ -151,10 +151,7 @@ mod tests {
                     for _ in 0..500 {
                         let v = idx.vector(0);
                         let first = v[0];
-                        assert!(
-                            v.iter().all(|&x| x == first),
-                            "torn read observed: {v:?}"
-                        );
+                        assert!(v.iter().all(|&x| x == first), "torn read observed: {v:?}");
                     }
                 })
             })

@@ -357,8 +357,7 @@ mod tests {
             for qi in 0..20 {
                 let _ = qi;
                 let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-                let exact: FxHashSet<u32> =
-                    flat.search(&q, 5, None).iter().map(|s| s.id).collect();
+                let exact: FxHashSet<u32> = flat.search(&q, 5, None).iter().map(|s| s.id).collect();
                 hits += hnsw
                     .search_with_ef(&q, 5, None, ef)
                     .iter()
@@ -435,8 +434,7 @@ mod tests {
         let mut total = 0usize;
         for _ in 0..20 {
             let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
-            let exact: FxHashSet<u32> =
-                flat.search(&q, 100, None).iter().map(|s| s.id).collect();
+            let exact: FxHashSet<u32> = flat.search(&q, 100, None).iter().map(|s| s.id).collect();
             hits += hnsw
                 .search_with_ef(&q, 100, None, 128)
                 .iter()

@@ -38,7 +38,10 @@ impl IvfIndex {
         training: &[f32],
         rng: &mut StdRng,
     ) -> Self {
-        assert!(dim > 0 && training.len().is_multiple_of(dim), "bad training slab");
+        assert!(
+            dim > 0 && training.len().is_multiple_of(dim),
+            "bad training slab"
+        );
         assert!(!training.is_empty(), "IVF training needs vectors");
         let quantizer = kmeans(training, dim, nlist, 15, rng);
         let lists = vec![Vec::new(); quantizer.k];

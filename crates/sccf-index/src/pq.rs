@@ -250,7 +250,11 @@ mod tests {
         let q = [1.0, 0.0, 0.0, 1.0];
         let hits = pq.search(&q, 3, None);
         assert_eq!(hits[0].id, 0);
-        assert!((hits[0].score - 2.0).abs() < 1e-4, "score {}", hits[0].score);
+        assert!(
+            (hits[0].score - 2.0).abs() < 1e-4,
+            "score {}",
+            hits[0].score
+        );
     }
 
     #[test]
@@ -359,14 +363,29 @@ mod tests {
         let hits = pq.search(&[1.0, 0.0], 3, None);
         let top_score = hits[0].score;
         let id2_score = hits.iter().find(|s| s.id == 2).unwrap().score;
-        assert!((top_score - id2_score).abs() < 1e-5, "updated vector must tie the top");
+        assert!(
+            (top_score - id2_score).abs() < 1e-5,
+            "updated vector must tie the top"
+        );
     }
 
     #[test]
     fn exclude_and_empty_query_paths() {
         let data = vec![1.0, 0.0, 0.0, 1.0];
-        let pq = PqIndex::build(&data, 2, Metric::Cosine, PqConfig { m: 1, k: 2, ..Default::default() });
-        assert!(pq.search(&[0.0, 0.0], 2, None).is_empty(), "zero query has no cosine");
+        let pq = PqIndex::build(
+            &data,
+            2,
+            Metric::Cosine,
+            PqConfig {
+                m: 1,
+                k: 2,
+                ..Default::default()
+            },
+        );
+        assert!(
+            pq.search(&[0.0, 0.0], 2, None).is_empty(),
+            "zero query has no cosine"
+        );
         let hits = pq.search(&[1.0, 0.0], 2, Some(0));
         assert!(hits.iter().all(|s| s.id != 0));
     }
@@ -374,6 +393,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "m must divide dim")]
     fn rejects_indivisible_subspaces() {
-        let _ = PqIndex::build(&[0.0; 10], 5, Metric::L2, PqConfig { m: 2, k: 4, ..Default::default() });
+        let _ = PqIndex::build(
+            &[0.0; 10],
+            5,
+            Metric::L2,
+            PqConfig {
+                m: 2,
+                k: 4,
+                ..Default::default()
+            },
+        );
     }
 }

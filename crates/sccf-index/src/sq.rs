@@ -30,7 +30,10 @@ impl SqCodebook {
     /// vary get `step = 0` and decode exactly to their constant.
     pub fn train(data: &[f32], dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        assert!(data.len().is_multiple_of(dim), "training data length mismatch");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "training data length mismatch"
+        );
         let mut mins = vec![f32::INFINITY; dim];
         let mut maxs = vec![f32::NEG_INFINITY; dim];
         for row in data.chunks_exact(dim) {
@@ -54,10 +57,7 @@ impl SqCodebook {
     /// Encode one vector (values clamp to the trained range).
     pub fn encode(&self, v: &[f32], out: &mut [u8]) {
         debug_assert_eq!(v.len(), self.mins.len());
-        for ((o, &x), (&lo, &step)) in out
-            .iter_mut()
-            .zip(v)
-            .zip(self.mins.iter().zip(&self.steps))
+        for ((o, &x), (&lo, &step)) in out.iter_mut().zip(v).zip(self.mins.iter().zip(&self.steps))
         {
             *o = if step == 0.0 {
                 0

@@ -58,11 +58,24 @@ impl AvgPoolDnn {
         // input scale at step 0 (the paper's ±0.01 init is specified for
         // *its* models; this baseline follows Covington-style practice).
         let init = Initializer::XavierUniform;
-        let items = Embedding::new(&mut store, "dnn.items", n_items, tc.dim, init, &mut init_rng);
+        let items = Embedding::new(
+            &mut store,
+            "dnn.items",
+            n_items,
+            tc.dim,
+            init,
+            &mut init_rng,
+        );
         let mut dims = vec![tc.dim];
         dims.extend_from_slice(&cfg.hidden);
         dims.push(tc.dim);
-        let mlp = Mlp::new(&mut store, "dnn.mlp", &dims, Initializer::XavierUniform, &mut init_rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "dnn.mlp",
+            &dims,
+            Initializer::XavierUniform,
+            &mut init_rng,
+        );
         (store, items, mlp)
     }
 
@@ -218,7 +231,11 @@ mod tests {
             while t < 6 {
                 let item = base + rng.gen_range(0..8u32);
                 if seen.insert(item) {
-                    inter.push(Interaction { user: u, item, ts: t });
+                    inter.push(Interaction {
+                        user: u,
+                        item,
+                        ts: t,
+                    });
                     t += 1;
                 }
             }

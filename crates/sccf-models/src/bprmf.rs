@@ -32,8 +32,22 @@ impl BprMf {
         let mut store = ParamStore::new();
         let mut init_rng = rng_for(cfg.seed, streams::MODEL_INIT);
         let init = Initializer::paper_default();
-        let users = Embedding::new(&mut store, "bprmf.users", n_users, cfg.dim, init, &mut init_rng);
-        let items = Embedding::new(&mut store, "bprmf.items", n_items, cfg.dim, init, &mut init_rng);
+        let users = Embedding::new(
+            &mut store,
+            "bprmf.users",
+            n_users,
+            cfg.dim,
+            init,
+            &mut init_rng,
+        );
+        let items = Embedding::new(
+            &mut store,
+            "bprmf.items",
+            n_items,
+            cfg.dim,
+            init,
+            &mut init_rng,
+        );
 
         let sampler = NegativeSampler::new(n_items);
         let mut neg_rng = rng_for(cfg.seed, streams::NEG_SAMPLING);

@@ -260,7 +260,11 @@ mod tests {
             while t < 6 {
                 let item = base + rng.gen_range(0..8u32);
                 if seen.insert(item) {
-                    inter.push(Interaction { user: u, item, ts: t });
+                    inter.push(Interaction {
+                        user: u,
+                        item,
+                        ts: t,
+                    });
                     t += 1;
                 }
             }

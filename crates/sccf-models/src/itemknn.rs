@@ -46,8 +46,7 @@ impl ItemKnn {
         }
         let mut heaps: Vec<TopK> = (0..n_items).map(|_| TopK::new(top_k)).collect();
         for (&(i, j), &c) in &cooc {
-            let denom =
-                ((item_count[i as usize] as f64) * (item_count[j as usize] as f64)).sqrt();
+            let denom = ((item_count[i as usize] as f64) * (item_count[j as usize] as f64)).sqrt();
             if denom <= 0.0 {
                 continue;
             }

@@ -310,8 +310,22 @@ mod tests {
     #[test]
     fn slim_weights_nonnegative_and_sparse_with_l1() {
         let sets = block_sets();
-        let dense = Slim::fit(&sets, 8, &LinearCfConfig { l1: 0.0, ..Default::default() });
-        let sparse = Slim::fit(&sets, 8, &LinearCfConfig { l1: 5.0, ..Default::default() });
+        let dense = Slim::fit(
+            &sets,
+            8,
+            &LinearCfConfig {
+                l1: 0.0,
+                ..Default::default()
+            },
+        );
+        let sparse = Slim::fit(
+            &sets,
+            8,
+            &LinearCfConfig {
+                l1: 5.0,
+                ..Default::default()
+            },
+        );
         assert!(dense.wt.data().iter().all(|&v| v >= 0.0));
         assert!(
             sparse.nnz() < dense.nnz(),
@@ -324,8 +338,22 @@ mod tests {
     #[test]
     fn slim_parallel_matches_serial() {
         let sets = block_sets();
-        let serial = Slim::fit(&sets, 8, &LinearCfConfig { threads: 1, ..Default::default() });
-        let parallel = Slim::fit(&sets, 8, &LinearCfConfig { threads: 4, ..Default::default() });
+        let serial = Slim::fit(
+            &sets,
+            8,
+            &LinearCfConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = Slim::fit(
+            &sets,
+            8,
+            &LinearCfConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(serial.wt.data(), parallel.wt.data());
     }
 

@@ -55,9 +55,21 @@ mod tests {
     #[test]
     fn ranks_by_count() {
         let inter = vec![
-            Interaction { user: 0, item: 1, ts: 0 },
-            Interaction { user: 1, item: 1, ts: 0 },
-            Interaction { user: 0, item: 0, ts: 1 },
+            Interaction {
+                user: 0,
+                item: 1,
+                ts: 0,
+            },
+            Interaction {
+                user: 1,
+                item: 1,
+                ts: 0,
+            },
+            Interaction {
+                user: 0,
+                item: 0,
+                ts: 1,
+            },
         ];
         let d = Dataset::from_interactions("t", 2, 3, &inter, None);
         let p = Pop::fit(&d);

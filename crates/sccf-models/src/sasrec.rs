@@ -66,7 +66,17 @@ pub struct SasRec {
 }
 
 impl SasRec {
-    fn build(n_items: usize, cfg: &SasRecConfig, rng: &mut StdRng) -> (ParamStore, Embedding, Embedding, Vec<TransformerBlock>, LayerNorm) {
+    fn build(
+        n_items: usize,
+        cfg: &SasRecConfig,
+        rng: &mut StdRng,
+    ) -> (
+        ParamStore,
+        Embedding,
+        Embedding,
+        Vec<TransformerBlock>,
+        LayerNorm,
+    ) {
         let d = cfg.train.dim;
         let mut store = ParamStore::new();
         let init = Initializer::paper_default();
@@ -175,16 +185,11 @@ impl SasRec {
                     // neg_k = 1; for neg_k > 1 we loop)
                     let mut loss = pos_loss;
                     for kk in 0..tc.neg_k {
-                        let negk: Vec<u32> = negs
-                            .iter()
-                            .skip(kk)
-                            .step_by(tc.neg_k)
-                            .copied()
-                            .collect();
+                        let negk: Vec<u32> =
+                            negs.iter().skip(kk).step_by(tc.neg_k).copied().collect();
                         let n_emb = tape.gather(model.items.table, &negk);
                         let neg_logits = tape.rows_dot(h, n_emb);
-                        let neg_loss =
-                            tape.bce_with_logits(neg_logits, &vec![0.0; negk.len()]);
+                        let neg_loss = tape.bce_with_logits(neg_logits, &vec![0.0; negk.len()]);
                         loss = tape.add(loss, neg_loss);
                     }
                     loss = tape.scale(loss, 1.0 / (1 + tc.neg_k) as f32);

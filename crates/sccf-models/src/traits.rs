@@ -48,10 +48,18 @@ pub trait InductiveUiModel: Recommender {
     /// UI preference scores for a pre-computed user representation:
     /// `r̂ᵁᴵ_{ui} = m_u · q_i` for all i (Eq. 10).
     fn score_by_rep(&self, user_rep: &[f32]) -> Vec<f32> {
-        let table = self.item_embeddings();
-        (0..table.rows())
-            .map(|i| sccf_tensor::dot(user_rep, table.row(i)))
-            .collect()
+        let mut out = vec![0.0f32; self.n_items()];
+        self.score_by_rep_into(user_rep, &mut out);
+        out
+    }
+
+    /// Allocation-free Eq. 10: write the full-catalog scores into a
+    /// caller-owned buffer (`out.len() == n_items`). The serving path
+    /// threads one reusable buffer through every event, so steady-state
+    /// scoring never allocates catalog-sized memory. Produces floats
+    /// bit-identical to [`InductiveUiModel::score_by_rep`].
+    fn score_by_rep_into(&self, user_rep: &[f32], out: &mut [f32]) {
+        sccf_tensor::matvec_into(self.item_embeddings(), user_rep, out);
     }
 }
 

@@ -170,12 +170,7 @@ mod tests {
 
     fn toy() -> UserKnn {
         // u0: {0,1}; u1: {0,1,2}; u2: {3}
-        UserKnn::fit(
-            4,
-            &[vec![0, 1], vec![0, 1, 2], vec![3]],
-            2,
-            UserSim::Cosine,
-        )
+        UserKnn::fit(4, &[vec![0, 1], vec![0, 1, 2], vec![3]], 2, UserSim::Cosine)
     }
 
     #[test]
@@ -197,12 +192,7 @@ mod tests {
 
     #[test]
     fn eq13_normalization() {
-        let m = UserKnn::fit(
-            4,
-            &[vec![0, 1], vec![0, 1, 2], vec![3]],
-            2,
-            UserSim::Eq13,
-        );
+        let m = UserKnn::fit(4, &[vec![0, 1], vec![0, 1, 2], vec![3]], 2, UserSim::Eq13);
         let n = m.identify_neighbors(&[0, 1], Some(0));
         assert!((n[0].score - 2.0 / 6.0).abs() < 1e-6);
     }
@@ -250,12 +240,7 @@ mod tests {
 
     #[test]
     fn beta_truncates_neighborhood() {
-        let m = UserKnn::fit(
-            2,
-            &[vec![0], vec![0], vec![0], vec![0]],
-            2,
-            UserSim::Cosine,
-        );
+        let m = UserKnn::fit(2, &[vec![0], vec![0], vec![0], vec![0]], 2, UserSim::Cosine);
         let n = m.identify_neighbors(&[0], Some(0));
         assert_eq!(n.len(), 2);
     }

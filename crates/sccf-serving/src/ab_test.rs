@@ -171,7 +171,10 @@ fn rank_slate(
         };
         (i, truth.affinity(user, i) + noise * eps)
     });
-    topk_of_pairs(scored, slate).into_iter().map(|s| s.id).collect()
+    topk_of_pairs(scored, slate)
+        .into_iter()
+        .map(|s| s.id)
+        .collect()
 }
 
 /// One bucket-day: sessions for every user, clicks fed back into
@@ -346,7 +349,9 @@ mod tests {
 
     impl CandidateGen for Random {
         fn candidates(&self, user: u32, _history: &[u32], n: usize) -> Vec<u32> {
-            (0..n as u32).map(|i| (user + i * 7) % RANDOM_CATALOG).collect()
+            (0..n as u32)
+                .map(|i| (user + i * 7) % RANDOM_CATALOG)
+                .collect()
         }
     }
 
@@ -367,7 +372,10 @@ mod tests {
             40,
             &hists,
             &Random,
-            &Oracle { truth: &truth, n_items: RANDOM_CATALOG as usize },
+            &Oracle {
+                truth: &truth,
+                n_items: RANDOM_CATALOG as usize,
+            },
             &truth,
             &cfg,
             |_, _| {},
@@ -389,7 +397,10 @@ mod tests {
             slate_size: 5,
             ..Default::default()
         };
-        let oracle = Oracle { truth: &truth, n_items: 40 };
+        let oracle = Oracle {
+            truth: &truth,
+            n_items: 40,
+        };
         let res = run_ab_test(60, &hists, &oracle, &oracle, &truth, &cfg, |_, _| {});
         assert!(
             res.click_lift().abs() < 0.15,
@@ -421,7 +432,10 @@ mod tests {
             },
             ..Default::default()
         };
-        let oracle = Oracle { truth: &truth, n_items: 10 };
+        let oracle = Oracle {
+            truth: &truth,
+            n_items: 10,
+        };
         let users = [0u32, 1, 2, 3];
         let out = run_bucket(&users, &mut hists, &oracle, &truth, &cfg, 1, |_, _| {});
         assert!(out.clicks > 0);

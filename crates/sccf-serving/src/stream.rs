@@ -43,9 +43,21 @@ mod tests {
 
     fn data() -> Dataset {
         let inter = vec![
-            Interaction { user: 1, item: 5, ts: 2 },
-            Interaction { user: 0, item: 3, ts: 1 },
-            Interaction { user: 0, item: 4, ts: 3 },
+            Interaction {
+                user: 1,
+                item: 5,
+                ts: 2,
+            },
+            Interaction {
+                user: 0,
+                item: 3,
+                ts: 1,
+            },
+            Interaction {
+                user: 0,
+                item: 4,
+                ts: 3,
+            },
         ];
         Dataset::from_interactions("t", 2, 6, &inter, None)
     }

@@ -111,16 +111,32 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let small = Initializer::XavierUniform.init(&mut rng, 4, 4);
         let big = Initializer::XavierUniform.init(&mut rng, 400, 400);
-        let max_small = small.data().iter().cloned().fold(0.0f32, |a, b| a.max(b.abs()));
-        let max_big = big.data().iter().cloned().fold(0.0f32, |a, b| a.max(b.abs()));
+        let max_small = small
+            .data()
+            .iter()
+            .cloned()
+            .fold(0.0f32, |a, b| a.max(b.abs()));
+        let max_big = big
+            .data()
+            .iter()
+            .cloned()
+            .fold(0.0f32, |a, b| a.max(b.abs()));
         assert!(max_big < max_small);
     }
 
     #[test]
     fn zeros_and_ones() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-        assert!(Initializer::Zeros.init(&mut rng, 2, 2).data().iter().all(|&v| v == 0.0));
-        assert!(Initializer::Ones.init(&mut rng, 2, 2).data().iter().all(|&v| v == 1.0));
+        assert!(Initializer::Zeros
+            .init(&mut rng, 2, 2)
+            .data()
+            .iter()
+            .all(|&v| v == 0.0));
+        assert!(Initializer::Ones
+            .init(&mut rng, 2, 2)
+            .data()
+            .iter()
+            .all(|&v| v == 1.0));
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod store;
 pub mod tape;
 
 pub use init::Initializer;
+pub use mat::{axpy, cosine, dot, matvec_into, norm, normalize, Mat};
 pub use serialize::{load_into, load_store, save_store, SnapshotError};
-pub use mat::{cosine, dot, norm, normalize, Mat};
 pub use store::{GradSlot, Grads, ParamId, ParamStore};
 pub use tape::{stable_sigmoid, Tape, Var};

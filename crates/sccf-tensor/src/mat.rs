@@ -132,7 +132,8 @@ impl Mat {
     /// `self @ other` — `(n×k)(k×m) → n×m`.
     pub fn matmul(&self, other: &Mat) -> Mat {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -160,7 +161,8 @@ impl Mat {
     /// score matrices (`H @ E^T`) and attention (`Q @ K^T`).
     pub fn matmul_nt(&self, other: &Mat) -> Mat {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_nt shape mismatch: {:?} x {:?}^T",
             self.shape(),
             other.shape()
@@ -180,7 +182,8 @@ impl Mat {
     /// `self^T @ other` — `(k×n)^T(k×m) → n×m`.
     pub fn matmul_tn(&self, other: &Mat) -> Mat {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "matmul_tn shape mismatch: {:?}^T x {:?}",
             self.shape(),
             other.shape()
@@ -225,9 +228,7 @@ impl Mat {
     /// `self += alpha * other` (axpy).
     pub fn scaled_add_assign(&mut self, alpha: f32, other: &Mat) {
         assert_eq!(self.shape(), other.shape());
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        axpy(alpha, &other.data, &mut self.data);
     }
 
     /// Elementwise map into a new matrix.
@@ -267,7 +268,12 @@ impl Mat {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
-        (self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()).sqrt() as f32
+        (self
+            .data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>())
+        .sqrt() as f32
     }
 
     /// Set all entries to zero, keeping the allocation.
@@ -282,24 +288,86 @@ impl Mat {
 }
 
 /// Dot product of two equal-length slices.
+///
+/// Eight independent accumulator lanes over `chunks_exact(8)` — the
+/// bound-check-free iteration shape LLVM reliably turns into packed
+/// FMA/mul-add SIMD without unsafe.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    // Four-lane unrolling: lets LLVM vectorize without unsafe.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc[0] += a[j] * b[j];
-        acc[1] += a[j + 1] * b[j + 1];
-        acc[2] += a[j + 2] * b[j + 2];
-        acc[3] += a[j + 3] * b[j + 3];
+    let mut acc = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        for l in 0..8 {
+            acc[l] += x[l] * y[l];
+        }
     }
-    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
-    for j in chunks * 4..a.len() {
-        s += a[j] * b[j];
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += x * y;
     }
     s
+}
+
+/// `y += alpha * x` over equal-length slices — the slice-level axpy the
+/// matrix ops and integrator feature assembly share.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `out[r] = m.row(r) · v` for every row — the Eq. 10 "score the whole
+/// catalog for one user" kernel. Rows are processed in blocks of four so
+/// the query vector is loaded once per block instead of once per row;
+/// each block keeps four independent accumulator sets.
+pub fn matvec_into(m: &Mat, v: &[f32], out: &mut [f32]) {
+    assert_eq!(m.cols(), v.len(), "matvec dim mismatch");
+    assert_eq!(m.rows(), out.len(), "matvec rows mismatch");
+    let cols = m.cols();
+    let data = m.data();
+    let mut r = 0usize;
+    // Four rows per block: the query chunk is loaded once and feeds four
+    // independent 8-lane accumulator sets. Lane layout and the final
+    // reduction tree mirror [`dot`] exactly, so each output is
+    // bit-identical to `dot(m.row(r), v)` — the sparse/dense equivalence
+    // tests rely on that.
+    while r + 4 <= m.rows() {
+        let base = r * cols;
+        let rows: [&[f32]; 4] = [
+            &data[base..base + cols],
+            &data[base + cols..base + 2 * cols],
+            &data[base + 2 * cols..base + 3 * cols],
+            &data[base + 3 * cols..base + 4 * cols],
+        ];
+        let mut acc = [[0.0f32; 8]; 4];
+        let chunks = cols / 8;
+        for c in 0..chunks {
+            let j = c * 8;
+            let q = &v[j..j + 8];
+            for (a, row) in acc.iter_mut().zip(rows) {
+                let x = &row[j..j + 8];
+                for l in 0..8 {
+                    a[l] += x[l] * q[l];
+                }
+            }
+        }
+        for (k, a) in acc.iter().enumerate() {
+            let mut s = ((a[0] + a[1]) + (a[2] + a[3])) + ((a[4] + a[5]) + (a[6] + a[7]));
+            for j in chunks * 8..cols {
+                s += rows[k][j] * v[j];
+            }
+            out[r + k] = s;
+        }
+        r += 4;
+    }
+    while r < m.rows() {
+        out[r] = dot(m.row(r), v);
+        r += 1;
+    }
 }
 
 /// Euclidean norm of a slice.
@@ -392,6 +460,40 @@ mod tests {
         assert_eq!(a.data(), &[2., 4., 6.]);
         let h = a.hadamard(&b);
         assert_eq!(h.data(), &[20., 80., 180.]);
+    }
+
+    #[test]
+    fn matvec_matches_dot_bitwise() {
+        // 9 rows (exercises the 4-row blocks + tail), 19 cols (exercises
+        // the 8-lane chunks + remainder).
+        let (rows, cols) = (9usize, 19usize);
+        let m = Mat::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|x| ((x * 37 % 97) as f32 - 48.0) * 0.173)
+                .collect(),
+        );
+        let v: Vec<f32> = (0..cols)
+            .map(|x| ((x * 13 % 29) as f32 - 14.0) * 0.311)
+            .collect();
+        let mut out = vec![0.0f32; rows];
+        matvec_into(&m, &v, &mut out);
+        for (r, &o) in out.iter().enumerate() {
+            assert_eq!(
+                o.to_bits(),
+                dot(m.row(r), &v).to_bits(),
+                "row {r} diverges from the dot kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_matches_reference() {
+        let x = [1.0f32, -2.0, 3.0, 0.5];
+        let mut y = [10.0f32, 20.0, 30.0, 40.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 19.0, 31.5, 40.25]);
     }
 
     #[test]

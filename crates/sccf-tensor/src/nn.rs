@@ -142,7 +142,10 @@ impl MultiHeadSelfAttention {
         init: Initializer,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(heads > 0 && d.is_multiple_of(heads), "d must divide by heads");
+        assert!(
+            heads > 0 && d.is_multiple_of(heads),
+            "d must divide by heads"
+        );
         Self {
             wq: Linear::new(store, &format!("{name}.wq"), d, d, false, init, rng),
             wk: Linear::new(store, &format!("{name}.wk"), d, d, false, init, rng),
@@ -437,19 +440,14 @@ impl CaserEncoder {
         rng: &mut StdRng,
     ) -> Self {
         assert!(!heights.is_empty(), "need at least one horizontal height");
-        assert!(heights.iter().all(|&h| h >= 1 && h <= l), "heights must fit in l");
+        assert!(
+            heights.iter().all(|&h| h >= 1 && h <= l),
+            "heights must fit in l"
+        );
         let horizontal = heights
             .iter()
             .map(|&h| {
-                let conv = Linear::new(
-                    store,
-                    &format!("{name}.h{h}"),
-                    h * d,
-                    n_h,
-                    true,
-                    init,
-                    rng,
-                );
+                let conv = Linear::new(store, &format!("{name}.h{h}"), h * d, n_h, true, init, rng);
                 (h, conv)
             })
             .collect();
@@ -528,9 +526,7 @@ impl Mlp {
         let layers = dims
             .windows(2)
             .enumerate()
-            .map(|(i, w)| {
-                Linear::new(store, &format!("{name}.fc{i}"), w[0], w[1], true, init, rng)
-            })
+            .map(|(i, w)| Linear::new(store, &format!("{name}.fc{i}"), w[0], w[1], true, init, rng))
             .collect();
         Self { layers }
     }
@@ -561,7 +557,15 @@ mod tests {
     fn linear_shapes_and_bias() {
         let mut store = ParamStore::new();
         let mut r = rng();
-        let lin = Linear::new(&mut store, "l", 3, 5, true, Initializer::XavierUniform, &mut r);
+        let lin = Linear::new(
+            &mut store,
+            "l",
+            3,
+            5,
+            true,
+            Initializer::XavierUniform,
+            &mut r,
+        );
         let mut tape = Tape::new(&store);
         let x = tape.input(Mat::zeros(2, 3));
         let y = lin.forward(&mut tape, x);
@@ -586,7 +590,11 @@ mod tests {
         let mut store = ParamStore::new();
         let ln = LayerNorm::new(&mut store, "ln", 4);
         let mut tape = Tape::new(&store);
-        let x = tape.input(Mat::from_vec(2, 4, vec![1., 2., 3., 4., 10., 20., 30., 40.]));
+        let x = tape.input(Mat::from_vec(
+            2,
+            4,
+            vec![1., 2., 3., 4., 10., 20., 30., 40.],
+        ));
         let y = ln.forward(&mut tape, x);
         for r in 0..2 {
             let row = tape.value(y).row(r);
@@ -720,10 +728,7 @@ mod tests {
             .map(|i| tape2.input(Mat::filled(1, 2, 0.1 * (i + 1) as f32)))
             .collect();
         let states2 = gru.run(&mut tape2, &xs2);
-        assert_eq!(
-            tape.value(states[1]).data(),
-            tape2.value(states2[1]).data()
-        );
+        assert_eq!(tape.value(states[1]).data(), tape2.value(states2[1]).data());
     }
 
     #[test]

@@ -253,7 +253,10 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert_eq!(load_store(b"NOPE....").unwrap_err(), SnapshotError::BadMagic);
+        assert_eq!(
+            load_store(b"NOPE....").unwrap_err(),
+            SnapshotError::BadMagic
+        );
     }
 
     #[test]
@@ -276,7 +279,11 @@ mod tests {
         let err = load_into(&mut wrong, &bytes).unwrap_err();
         assert!(matches!(err, SnapshotError::Mismatch(_)));
         // untouched
-        assert!(wrong.value(crate::store::ParamId(0)).data().iter().all(|&x| x == 0.0));
+        assert!(wrong
+            .value(crate::store::ParamId(0))
+            .data()
+            .iter()
+            .all(|&x| x == 0.0));
     }
 
     #[test]

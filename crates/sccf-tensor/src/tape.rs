@@ -30,13 +30,19 @@ enum Op {
     /// Whole parameter copied onto the tape (for small matrices).
     ParamDense(ParamId),
     /// Row lookup into a (usually sparse-gradient) parameter table.
-    Gather { pid: ParamId, ids: Vec<u32> },
+    Gather {
+        pid: ParamId,
+        ids: Vec<u32>,
+    },
     Add(usize, usize),
     Sub(usize, usize),
     Mul(usize, usize),
     Scale(usize, f32),
     /// Broadcast-add a `1×c` bias row onto every row of `x`.
-    AddBias { x: usize, b: usize },
+    AddBias {
+        x: usize,
+        b: usize,
+    },
     /// `(n×k)(k×m)`.
     MatMul(usize, usize),
     /// `(n×k)(m×k)ᵀ`.
@@ -47,22 +53,38 @@ enum Op {
     /// Numerically-stable `log σ(x)`.
     LogSigmoid(usize),
     /// Elementwise `a·x + c` with scalar constants (`c` has no gradient).
-    Affine { x: usize, a: f32 },
+    Affine {
+        x: usize,
+        a: f32,
+    },
     /// Row-wise dot product `(n×d, n×d) → n×1`; `a` may be `1×d`
     /// (broadcast over the rows of `b`).
     RowsDot(usize, usize),
     /// FISM pooling (Eq. 1): column means scaled by `n^(1-α)/n = n^{-α}`.
-    MeanRowsAlpha { x: usize, alpha: f32 },
-    SliceCols { x: usize, start: usize, len: usize },
+    MeanRowsAlpha {
+        x: usize,
+        alpha: f32,
+    },
+    SliceCols {
+        x: usize,
+        start: usize,
+        len: usize,
+    },
     ConcatCols(Vec<usize>),
     /// Vertical concatenation (sequence stacking / front padding).
     ConcatRows(Vec<usize>),
     /// Sliding windows of `h` consecutive rows, each flattened row-major:
     /// `(L×d) → (L−h+1)×(h·d)` — Caser's horizontal-convolution im2col.
-    UnfoldRows { x: usize, h: usize },
+    UnfoldRows {
+        x: usize,
+        h: usize,
+    },
     /// Column-wise max over rows `(n×c) → 1×c`; per-column argmax rows are
     /// cached for the backward routing (Caser's max-pool over time).
-    MaxRows { x: usize, argmax: Vec<usize> },
+    MaxRows {
+        x: usize,
+        argmax: Vec<usize>,
+    },
     /// Row-wise LayerNorm with learnable scale/shift (`1×d` each).
     LayerNorm {
         x: usize,
@@ -72,15 +94,24 @@ enum Op {
         cache: Vec<(f32, f32)>,
     },
     /// Inverted dropout; `mask[i] ∈ {0, 1/keep}`.
-    Dropout { x: usize, mask: Vec<f32> },
+    Dropout {
+        x: usize,
+        mask: Vec<f32>,
+    },
     /// Row-wise softmax where row `i` may only attend to columns
     /// `0..=i + offset` (causal attention). `offset = cols` disables
     /// masking (plain softmax).
-    CausalSoftmax { x: usize, offset: usize },
+    CausalSoftmax {
+        x: usize,
+        offset: usize,
+    },
     /// Mean of all elements — the final loss reduction.
     MeanAll(usize),
     /// Mean binary cross-entropy with logits against fixed targets.
-    BceWithLogits { logits: usize, targets: Vec<f32> },
+    BceWithLogits {
+        logits: usize,
+        targets: Vec<f32>,
+    },
 }
 
 struct Node {
@@ -278,7 +309,8 @@ impl<'s> Tape<'s> {
         assert!(start + len <= xm.cols(), "slice_cols out of range");
         let mut out = Mat::zeros(xm.rows(), len);
         for r in 0..xm.rows() {
-            out.row_mut(r).copy_from_slice(&xm.row(r)[start..start + len]);
+            out.row_mut(r)
+                .copy_from_slice(&xm.row(r)[start..start + len]);
         }
         self.push(out, Op::SliceCols { x: x.0, start, len })
     }
@@ -326,7 +358,10 @@ impl<'s> Tape<'s> {
     pub fn unfold_rows(&mut self, x: Var, h: usize) -> Var {
         let xm = &self.nodes[x.0].value;
         let (rows, d) = xm.shape();
-        assert!(h >= 1 && h <= rows, "unfold_rows: window {h} over {rows} rows");
+        assert!(
+            h >= 1 && h <= rows,
+            "unfold_rows: window {h} over {rows} rows"
+        );
         let n = rows - h + 1;
         let mut out = Mat::zeros(n, h * d);
         for w in 0..n {
@@ -614,7 +649,11 @@ impl<'s> Tape<'s> {
                     for r in 0..bm.rows() {
                         let gi = g.get(r, 0);
                         let ar = if broadcast { am.row(0) } else { am.row(r) };
-                        let dar = if broadcast { da.row_mut(0) } else { da.row_mut(r) };
+                        let dar = if broadcast {
+                            da.row_mut(0)
+                        } else {
+                            da.row_mut(r)
+                        };
                         for ((dav, dbv), (&av, &bv)) in dar
                             .iter_mut()
                             .zip(db.row_mut(r).iter_mut())
@@ -736,11 +775,7 @@ impl<'s> Tape<'s> {
                         for c in 0..d {
                             let xhat = (row[c] - mean) * rstd;
                             let gg = grow[c] * gm.get(0, c);
-                            dx.set(
-                                r,
-                                c,
-                                rstd / df * (df * gg - sum_gg - xhat * sum_gg_xhat),
-                            );
+                            dx.set(r, c, rstd / df * (df * gg - sum_gg - xhat * sum_gg_xhat));
                         }
                     }
                     acc!(x, dx);
@@ -1039,7 +1074,10 @@ mod tests {
     #[test]
     fn max_rows_gradient_routes_to_argmax() {
         let mut store = ParamStore::new();
-        let p = store.add("p", Mat::from_vec(3, 2, vec![1.0, 9.0, 5.0, -2.0, 3.0, 0.0]));
+        let p = store.add(
+            "p",
+            Mat::from_vec(3, 2, vec![1.0, 9.0, 5.0, -2.0, 3.0, 0.0]),
+        );
         let mut tape = Tape::new(&store);
         let x = tape.param(p);
         let y = tape.max_rows(x);

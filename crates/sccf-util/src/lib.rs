@@ -12,6 +12,9 @@
 //!   figure reproductions.
 //! * [`rng`] — deterministic seed derivation so every experiment is
 //!   reproducible from a single root seed.
+//! * [`sparse`] — epoch-stamped sparse accumulator / set slabs that make
+//!   the per-event serving path allocation-free and O(touched), never
+//!   O(catalog).
 //! * [`table`] — minimal markdown/TSV table rendering for the `repro`
 //!   harness output.
 //! * [`timer`] — wall-clock timing helpers for the latency experiments
@@ -19,12 +22,14 @@
 
 pub mod hash;
 pub mod rng;
+pub mod sparse;
 pub mod stats;
 pub mod table;
 pub mod timer;
 pub mod topk;
 
 pub use hash::{FxHashMap, FxHashSet};
+pub use sparse::{SparseScores, StampSet};
 pub use stats::{zscore_normalize, Histogram, OnlineStats};
 pub use table::Table;
 pub use timer::{LatencyHistogram, Stopwatch, TimingStats};

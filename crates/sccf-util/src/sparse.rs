@@ -1,0 +1,240 @@
+//! Sparse scratch structures for catalog-free hot paths.
+//!
+//! The serving loop touches only `β neighbors × recent_window items` per
+//! event, yet a naive Eq. 12 implementation allocates and zeroes a full
+//! `n_items` vector every call — the exact O(catalog) cost the paper's
+//! UserKNN baseline pays. [`SparseScores`] and [`StampSet`] replace that
+//! with reusable slabs whose *reset is O(1)*: validity is tracked by an
+//! epoch stamp per slot, so neither clearing nor re-zeroing ever walks
+//! the catalog. A touched-id list keeps iteration proportional to the
+//! number of distinct ids actually written this epoch.
+//!
+//! Both structures allocate once (at catalog size) and are then reused
+//! across events; the steady state performs no heap allocation at all.
+
+/// A sparse accumulator over a dense id space `0..n`.
+///
+/// `add` accumulates weights per id; `get`/`iter` observe only ids
+/// written since the last [`SparseScores::begin`]. Stale values from
+/// earlier epochs are invisible (stamp-guarded), so `begin` is O(1).
+#[derive(Debug, Clone)]
+pub struct SparseScores {
+    vals: Vec<f32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    touched: Vec<u32>,
+}
+
+impl SparseScores {
+    /// Accumulator over ids `0..n`. Allocates the slabs once.
+    ///
+    /// The epoch starts at 1 so the zero-initialized stamps are already
+    /// "stale": a fresh accumulator is usable without a leading
+    /// [`SparseScores::begin`].
+    pub fn new(n: usize) -> Self {
+        Self {
+            vals: vec![0.0; n],
+            stamp: vec![0; n],
+            epoch: 1,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of id slots.
+    pub fn slots(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Start a new accumulation epoch. O(1): previous values are
+    /// invalidated by the stamp bump, not by re-zeroing.
+    pub fn begin(&mut self) {
+        self.touched.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 wrapped (once per ~4 billion epochs): old stamps could
+            // alias the new epoch, so pay one full reset walk.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Accumulate `w` onto `id`.
+    #[inline]
+    pub fn add(&mut self, id: u32, w: f32) {
+        let i = id as usize;
+        if self.stamp[i] == self.epoch {
+            self.vals[i] += w;
+        } else {
+            self.stamp[i] = self.epoch;
+            self.vals[i] = w;
+            self.touched.push(id);
+        }
+    }
+
+    /// Current value for `id` (0 when untouched this epoch).
+    #[inline]
+    pub fn get(&self, id: u32) -> f32 {
+        let i = id as usize;
+        if self.stamp[i] == self.epoch {
+            self.vals[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// Ids touched this epoch, in first-touch order.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// `(id, value)` pairs touched this epoch, in first-touch order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.touched.iter().map(|&id| (id, self.vals[id as usize]))
+    }
+
+    /// Scatter into a dense vector (allocates; compatibility path only).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.vals.len()];
+        for &id in &self.touched {
+            out[id as usize] = self.vals[id as usize];
+        }
+        out
+    }
+}
+
+/// A set over a dense id space `0..n` with O(1) clear via epoch stamps.
+///
+/// The reusable replacement for per-event `FxHashSet` allocations on the
+/// serving path (history membership, candidate-union dedup).
+#[derive(Debug, Clone)]
+pub struct StampSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl StampSet {
+    /// Empty set over ids `0..n`. The epoch starts at 1 so the
+    /// zero-initialized stamps read as "absent" — usable immediately,
+    /// no leading [`StampSet::clear`] required.
+    pub fn new(n: usize) -> Self {
+        Self {
+            stamp: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    pub fn slots(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// Empty the set. O(1) except once per u32 wrap.
+    pub fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Insert; returns true when `id` was not yet present.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let i = id as usize;
+        if self.stamp[i] == self.epoch {
+            false
+        } else {
+            self.stamp[i] = self.epoch;
+            true
+        }
+    }
+
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.stamp[id as usize] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_resets_lazily() {
+        let mut s = SparseScores::new(10);
+        s.begin();
+        s.add(3, 1.0);
+        s.add(7, 0.5);
+        s.add(3, 2.0);
+        assert_eq!(s.get(3), 3.0);
+        assert_eq!(s.get(7), 0.5);
+        assert_eq!(s.get(0), 0.0);
+        assert_eq!(s.touched(), &[3, 7]);
+        s.begin();
+        assert_eq!(s.get(3), 0.0, "stale value must be invisible");
+        assert!(s.touched().is_empty());
+        s.add(3, 9.0);
+        assert_eq!(s.get(3), 9.0, "fresh write replaces, not accumulates stale");
+    }
+
+    #[test]
+    fn iter_yields_first_touch_order() {
+        let mut s = SparseScores::new(5);
+        s.begin();
+        s.add(4, 1.0);
+        s.add(1, 1.0);
+        s.add(4, 1.0);
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![(4, 2.0), (1, 1.0)]);
+        assert_eq!(s.to_dense(), vec![0.0, 1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn epoch_wrap_pays_one_walk_and_stays_correct() {
+        let mut s = SparseScores::new(4);
+        s.epoch = u32::MAX - 1;
+        s.begin(); // epoch == MAX
+        s.add(2, 1.5);
+        assert_eq!(s.get(2), 1.5);
+        s.begin(); // wraps to 1 after reset walk
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.get(2), 0.0);
+        s.add(1, 0.5);
+        assert_eq!(s.get(1), 0.5);
+
+        let mut set = StampSet::new(4);
+        set.epoch = u32::MAX;
+        set.insert(3);
+        set.clear();
+        assert_eq!(set.epoch, 1);
+        assert!(!set.contains(3));
+    }
+
+    #[test]
+    fn fresh_structures_are_empty_without_reset() {
+        // Regression: epoch must not alias the zero-initialized stamps.
+        let s = StampSet::new(4);
+        assert!(!s.contains(0) && !s.contains(3));
+        let mut s = StampSet::new(4);
+        assert!(s.insert(2), "first insert into a fresh set must succeed");
+
+        let mut acc = SparseScores::new(4);
+        assert_eq!(acc.get(1), 0.0);
+        acc.add(1, 2.5); // no begin(): must still track touched ids
+        assert_eq!(acc.get(1), 2.5);
+        assert_eq!(acc.touched(), &[1]);
+        assert_eq!(acc.to_dense(), vec![0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn stamp_set_insert_contains_clear() {
+        let mut s = StampSet::new(8);
+        s.clear();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        s.clear();
+        assert!(!s.contains(5));
+        assert!(s.insert(5));
+    }
+}

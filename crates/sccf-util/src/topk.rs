@@ -155,7 +155,10 @@ pub fn rank_of(scores: &[f32], target: u32) -> usize {
     };
     let mut rank = 1usize;
     for (id, &s) in scores.iter().enumerate() {
-        let c = Scored { score: s, id: id as u32 };
+        let c = Scored {
+            score: s,
+            id: id as u32,
+        };
         if c > t {
             rank += 1;
         }

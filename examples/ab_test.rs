@@ -94,7 +94,10 @@ fn main() {
     println!("\n                  impressions   clicks   trades    CTR");
     println!(
         "A (baseline)      {:>11}  {:>7}  {:>7}  {:.4}",
-        res.baseline.impressions, res.baseline.clicks, res.baseline.trades, res.baseline.ctr()
+        res.baseline.impressions,
+        res.baseline.clicks,
+        res.baseline.trades,
+        res.baseline.ctr()
     );
     println!(
         "B (SCCF)          {:>11}  {:>7}  {:>7}  {:.4}",

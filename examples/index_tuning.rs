@@ -60,7 +60,10 @@ fn main() {
         .collect();
     let flat_ms = sw.elapsed_ms() / n_queries as f64;
     println!("index        config          recall@{k}   ms/query   storage");
-    println!("flat         exact           1.0000      {flat_ms:.3}     {} KiB", n * d * 4 / 1024);
+    println!(
+        "flat         exact           1.0000      {flat_ms:.3}     {} KiB",
+        n * d * 4 / 1024
+    );
 
     // IVF sweeps
     for nprobe in [1usize, 4, 8, 16] {

@@ -42,8 +42,7 @@ fn main() {
 
     let mut results = Vec::new();
     for &weight in &[0.0f32, 0.5, 1.0, 2.0] {
-        let profiles =
-            (weight > 0.0).then(|| UserProfiles::new(gen.profiles.clone(), weight));
+        let profiles = (weight > 0.0).then(|| UserProfiles::new(gen.profiles.clone(), weight));
         let mut sccf = Sccf::build(
             train_weak(),
             &split,

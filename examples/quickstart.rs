@@ -90,7 +90,15 @@ fn main() {
         "FISM",
         "quickstart",
     );
-    let full = evaluate(&sccf, &split, EvalTarget::Test, &ks, 4, "FISM-SCCF", "quickstart");
+    let full = evaluate(
+        &sccf,
+        &split,
+        EvalTarget::Test,
+        &ks,
+        4,
+        "FISM-SCCF",
+        "quickstart",
+    );
     println!("\n              HR@20    NDCG@20   HR@50    NDCG@50");
     println!(
         "FISM        {:.4}   {:.4}    {:.4}   {:.4}",

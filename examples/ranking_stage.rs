@@ -25,7 +25,11 @@ fn main() {
     cfg.n_items = 260;
     let data = generate(&cfg, 42).dataset.core_filter(5);
     let split = LeaveOneOut::split(&data);
-    println!("dataset: {} users × {} items", split.n_users(), split.n_items());
+    println!(
+        "dataset: {} users × {} items",
+        split.n_users(),
+        split.n_items()
+    );
 
     let tc = TrainConfig {
         dim: 32,

@@ -119,11 +119,12 @@ fn main() {
         }
     }
     let t = engine.timings();
+    println!("per-event latency over {} events:", t.infer.count());
     println!(
-        "per-event latency over {} events:",
-        t.infer.count()
+        "  inferring  : {:.3} ms mean (max {:.3})",
+        t.infer.mean_ms(),
+        t.infer.max_ms()
     );
-    println!("  inferring  : {:.3} ms mean (max {:.3})", t.infer.mean_ms(), t.infer.max_ms());
     println!(
         "  identifying: {:.3} ms mean (max {:.3})",
         t.identify.mean_ms(),

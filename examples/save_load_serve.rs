@@ -36,7 +36,10 @@ fn main() {
     };
     let sasrec = SasRec::train(&split, &model_cfg);
     let weights = sasrec.save_bytes();
-    println!("trained SASRec; weight snapshot = {} KiB", weights.len() / 1024);
+    println!(
+        "trained SASRec; weight snapshot = {} KiB",
+        weights.len() / 1024
+    );
 
     // --- a fresh process reloads the artifact ----------------------------
     let reloaded = SasRec::load_bytes(split.n_items(), &model_cfg, &weights)
@@ -58,13 +61,15 @@ fn main() {
         );
     }
     let recs_primary = engine.recommend(0, 5);
-    println!("primary replica recommends for user 0: {:?}",
-        recs_primary.iter().map(|s| s.id).collect::<Vec<_>>());
+    println!(
+        "primary replica recommends for user 0: {:?}",
+        recs_primary.iter().map(|s| s.id).collect::<Vec<_>>()
+    );
 
     // --- failover: snapshot, restore on a standby, compare ---------------
     let state = engine.snapshot();
     println!("engine snapshot = {} bytes", state.len());
-    let standby = RealtimeEngine::restore(engine.into_sccf(), &state)
+    let mut standby = RealtimeEngine::restore(engine.into_sccf(), &state)
         .expect("snapshot decodes against the same framework");
     let recs_standby = standby.recommend(0, 5);
     assert_eq!(

@@ -360,8 +360,9 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             },
         )
         .save_bytes(),
-        ModelKind::Gru4Rec => Gru4Rec::train(&split, &Gru4RecConfig { train: tc, max_len })
-            .save_bytes(),
+        ModelKind::Gru4Rec => {
+            Gru4Rec::train(&split, &Gru4RecConfig { train: tc, max_len }).save_bytes()
+        }
         ModelKind::Caser => Caser::train(
             &split,
             &CaserConfig {
@@ -441,7 +442,15 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
                 },
             );
             sccf.refresh_for_test(&split);
-            let res = evaluate(&sccf, &split, EvalTarget::Test, &ks, 4, &format!("{name}-SCCF"), "cli");
+            let res = evaluate(
+                &sccf,
+                &split,
+                EvalTarget::Test,
+                &ks,
+                4,
+                &format!("{name}-SCCF"),
+                "cli",
+            );
             print_metrics(&res, &ks);
         } else {
             let res = evaluate(&m, &split, EvalTarget::Test, &ks, 4, &name, "cli");
@@ -452,7 +461,11 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
 }
 
 fn print_metrics(res: &sccf::eval::EvalResult, ks: &[usize]) {
-    println!("model: {} ({} test users)", res.model, res.metrics.n_users());
+    println!(
+        "model: {} ({} test users)",
+        res.model,
+        res.metrics.n_users()
+    );
     for &k in ks {
         println!(
             "  HR@{k:<4} {:.4}   NDCG@{k:<4} {:.4}",
@@ -474,7 +487,10 @@ fn cmd_recommend(flags: &Flags) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --user".to_string())?;
     if user as usize >= split.n_users() {
-        return Err(format!("user {user} out of range (dataset has {})", split.n_users()));
+        return Err(format!(
+            "user {user} out of range (dataset has {})",
+            split.n_users()
+        ));
     }
     let n: usize = flags.parsed("n", 10)?;
     let wrap_sccf: bool = flags.parsed("sccf", false)?;
@@ -492,7 +508,10 @@ fn cmd_recommend(flags: &Flags) -> Result<(), String> {
             for &i in &history {
                 scores[i as usize] = f32::NEG_INFINITY;
             }
-            for (rank, s) in sccf::util::topk::topk_of_scores(&scores, n).iter().enumerate() {
+            for (rank, s) in sccf::util::topk::topk_of_scores(&scores, n)
+                .iter()
+                .enumerate()
+            {
                 println!("{:>3}. item {:<6} score {:.4}", rank + 1, s.id, s.score);
             }
         }

@@ -83,7 +83,13 @@ fn garbage_model_file_fails_cleanly() {
     let data = tmp("garbage.tsv");
     let fake = tmp("garbage.sccf");
     bin()
-        .args(["gen", "--dataset", "games-sim", "--out", data.to_str().unwrap()])
+        .args([
+            "gen",
+            "--dataset",
+            "games-sim",
+            "--out",
+            data.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     std::fs::write(&fake, b"this is not a model").unwrap();
@@ -140,7 +146,13 @@ fn user_out_of_range_is_rejected() {
     let data = tmp("range.tsv");
     let model = tmp("range.sccf");
     bin()
-        .args(["gen", "--dataset", "games-sim", "--out", data.to_str().unwrap()])
+        .args([
+            "gen",
+            "--dataset",
+            "games-sim",
+            "--out",
+            data.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     bin()

@@ -64,6 +64,7 @@ fn build_world(seed: u64) -> World {
             integrator: IntegratorConfig::default(),
             threads: 4,
             profiles: None,
+            ui_ann: None,
         },
     );
     sccf.refresh_for_test(&split);
@@ -83,7 +84,15 @@ fn sccf_beats_or_matches_its_base_ui_model() {
         "FISM",
         "e2e",
     );
-    let full = evaluate(&w.sccf, &w.split, EvalTarget::Test, &ks, 4, "FISM-SCCF", "e2e");
+    let full = evaluate(
+        &w.sccf,
+        &w.split,
+        EvalTarget::Test,
+        &ks,
+        4,
+        "FISM-SCCF",
+        "e2e",
+    );
     // RQ1 shape: the fused model should improve (or at worst roughly tie)
     // on NDCG — allow a 3% relative slack for seed noise.
     assert!(

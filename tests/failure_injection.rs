@@ -22,7 +22,11 @@ fn tiny_world(seed: u64) -> (LeaveOneOut, Dataset) {
         while (t as usize) < 6 {
             let item = base + rng.gen_range(0..8u32);
             if seen.insert(item) {
-                inter.push(Interaction { user: u, item, ts: t });
+                inter.push(Interaction {
+                    user: u,
+                    item,
+                    ts: t,
+                });
                 t += 1;
             }
         }
@@ -68,9 +72,17 @@ fn late_events_are_dropped_not_reordered_backwards() {
     let mut emitted: Vec<StreamEvent> = Vec::new();
     // a hot stream, then a straggler from long ago
     for ts in [100i64, 101, 102, 103] {
-        emitted.extend(buf.push(StreamEvent { ts, user: 0, item: ts as u32 }));
+        emitted.extend(buf.push(StreamEvent {
+            ts,
+            user: 0,
+            item: ts as u32,
+        }));
     }
-    emitted.extend(buf.push(StreamEvent { ts: 50, user: 1, item: 99 }));
+    emitted.extend(buf.push(StreamEvent {
+        ts: 50,
+        user: 1,
+        item: 99,
+    }));
     emitted.extend(buf.flush());
     assert_eq!(buf.dropped(), 1, "the straggler must be dropped");
     assert!(emitted.iter().all(|e| e.item != 99));
@@ -129,7 +141,7 @@ fn bit_flip_in_snapshot_is_rejected_or_roundtrips_lengths() {
     let mid = snap.len() / 2;
     corrupted[mid] ^= 0xFF;
     match RealtimeEngine::restore(sccf, &corrupted) {
-        Ok(restored) => {
+        Ok(mut restored) => {
             // decoded fine: the flip hit an item id; engine must be fully
             // initialized and serviceable
             let recs = restored.recommend(0, 3);
@@ -198,7 +210,10 @@ fn repeated_single_item_history_is_finite() {
     assert!(rep.iter().all(|v| v.is_finite()));
     let recs = sccf.recommend(1, &[3; 50], 5);
     assert!(recs.iter().all(|s| s.score.is_finite()));
-    assert!(recs.iter().all(|s| s.id != 3), "never recommend the history");
+    assert!(
+        recs.iter().all(|s| s.id != 3),
+        "never recommend the history"
+    );
 }
 
 // ------------------------------------------------------- quantized index

@@ -57,6 +57,7 @@ fn build_sccf(gen: &SyntheticData, weight: f32, epochs: usize) -> (LeaveOneOut, 
             },
             threads: 2,
             profiles,
+            ui_ann: None,
         },
     );
     sccf.refresh_for_test(&split);
@@ -132,6 +133,7 @@ fn zero_weight_profiles_change_nothing() {
             },
             threads: 2,
             profiles: Some(UserProfiles::new(gen.profiles.clone(), 0.0)),
+            ui_ann: None,
         },
     );
     zero.refresh_for_test(&split2);
@@ -139,7 +141,10 @@ fn zero_weight_profiles_change_nothing() {
         let rep = plain.model().infer_user(&split.train_plus_val(u));
         let a: Vec<u32> = plain.neighbors(u, &rep).iter().map(|s| s.id).collect();
         let b: Vec<u32> = zero.neighbors(u, &rep).iter().map(|s| s.id).collect();
-        assert_eq!(a, b, "user {u}: w=0 must reproduce plain Eq. 11 neighborhoods");
+        assert_eq!(
+            a, b,
+            "user {u}: w=0 must reproduce plain Eq. 11 neighborhoods"
+        );
     }
 }
 

@@ -206,6 +206,117 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sparse Eq. 12 accumulator must match the dense `scores()`
+    /// output *exactly* — same neighbors, same floats (summation order is
+    /// fixed by construction) — across randomized windows, window sizes,
+    /// ring-buffer wrap states, and neighborhoods.
+    #[test]
+    fn sparse_eq12_matches_dense_exactly(seed in 0u64..500, window in 1usize..20) {
+        use rand::Rng;
+        use sccf::core::{UserBasedComponent, UserBasedConfig};
+        use sccf::util::topk::Scored;
+        let mut rng = sccf::util::rng::rng_for(seed, 11);
+        let n_items = 64usize;
+        let n_users = 10usize;
+        let histories: Vec<Vec<u32>> = (0..n_users)
+            .map(|_| {
+                let len = rng.gen_range(0..3 * window);
+                (0..len).map(|_| rng.gen_range(0..n_items as u32)).collect()
+            })
+            .collect();
+        let mut comp = UserBasedComponent::new(
+            UserBasedConfig { beta: n_users, recent_window: window },
+            n_items,
+            histories.into_iter(),
+        );
+        // roll some rings past capacity so wrapped state is exercised
+        for _ in 0..rng.gen_range(0..4 * window) {
+            let u = rng.gen_range(0..n_users as u32);
+            comp.record(u, rng.gen_range(0..n_items as u32));
+        }
+        let n_neighbors = rng.gen_range(0..=n_users);
+        let neighbors: Vec<Scored> = (0..n_neighbors as u32)
+            .map(|id| Scored { id, score: rng.gen_range(-0.5f32..1.0) })
+            .collect();
+        let dense = comp.scores(&neighbors);
+        let mut scratch = comp.new_scratch();
+        // run twice through the same scratch: stale state must not leak
+        comp.scores_into(&neighbors, &mut scratch);
+        comp.scores_into(&neighbors, &mut scratch);
+        for (i, &d) in dense.iter().enumerate() {
+            let s = scratch.scores.get(i as u32);
+            prop_assert_eq!(s.to_bits(), d.to_bits(), "item {} sparse {} dense {}", i, s, d);
+        }
+        // and every touched id really was scored by some neighbor
+        for &(id, _) in scratch.scores.iter().collect::<Vec<_>>().iter() {
+            prop_assert!(dense[id as usize] != 0.0 || neighbors.iter().any(|n| n.score == 0.0));
+        }
+        let mut scratch2 = comp.new_scratch();
+        let sparse_cands = comp.candidates_sparse(&neighbors, 10, &mut scratch2);
+        prop_assert_eq!(sparse_cands, comp.candidates(&neighbors, 10));
+    }
+}
+
+// ------------------------------------------------- recommend determinism
+
+/// `recommend` must be byte-identical between the one-shot (allocating)
+/// path and the scratch-reusing serving path, and stable across repeated
+/// calls through the *same* scratch — on a fixed-seed dataset.
+#[test]
+fn recommend_identical_between_oneshot_and_scratch_paths() {
+    use sccf::core::{Sccf, SccfConfig};
+    use sccf::models::{Fism, FismConfig, TrainConfig};
+    let mut inter = Vec::new();
+    for u in 0..24u32 {
+        for t in 0..8i64 {
+            inter.push(Interaction {
+                user: u,
+                item: (u * 3 + t as u32 * 5) % 40,
+                ts: t,
+            });
+        }
+    }
+    let data = Dataset::from_interactions("det", 24, 40, &inter, None);
+    let split = LeaveOneOut::split(&data);
+    let fism = Fism::train(
+        &split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 8,
+                epochs: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let sccf = Sccf::build(
+        fism,
+        &split,
+        SccfConfig {
+            candidate_n: 20,
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let mut scratch = sccf.new_scratch();
+    for u in 0..24u32 {
+        let history = split.train_plus_val(u);
+        let oneshot = sccf.recommend(u, &history, 10);
+        let with_scratch = sccf.recommend_with(u, &history, 10, &mut scratch);
+        assert_eq!(oneshot.len(), with_scratch.len(), "user {u}");
+        for (a, b) in oneshot.iter().zip(&with_scratch) {
+            assert_eq!(a.id, b.id, "user {u}");
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "user {u}");
+        }
+        // a second pass through the reused scratch must not drift
+        let again = sccf.recommend_with(u, &history, 10, &mut scratch);
+        assert_eq!(with_scratch, again, "user {u} scratch reuse drifted");
+    }
+}
+
 // ------------------------------------------------- scalar quantization
 
 proptest! {

@@ -55,6 +55,7 @@ fn build() -> (LeaveOneOut, RealtimeEngine<Fism>, sccf::data::Dataset) {
             },
             threads: 2,
             profiles: None,
+            ui_ann: None,
         },
     );
     sccf.refresh_for_test(&split);
@@ -78,7 +79,10 @@ fn fresh_interactions_move_the_user_representation() {
         .filter(|&i| data.category_of(i) == new_cat)
         .take(8)
         .collect();
-    assert!(new_items.len() >= 4, "need enough items in the new category");
+    assert!(
+        new_items.len() >= 4,
+        "need enough items in the new category"
+    );
 
     let rep_before = engine.sccf().model().infer_user(engine.history(user));
     for &i in &new_items {

@@ -80,7 +80,10 @@ impl Criterion {
         }
         samples.sort_by(f64::total_cmp);
         let ns = samples[samples.len() / 2];
-        println!("{name:<50} {:>14} ns/iter  ({iters} iters/sample)", format_ns(ns));
+        println!(
+            "{name:<50} {:>14}/iter  ({iters} iters/sample)",
+            format_ns(ns)
+        );
         self.results.push(Measurement {
             name,
             ns_per_iter: ns,
@@ -224,9 +227,7 @@ mod tests {
         std::env::set_var("BENCH_WARMUP_MS", "5");
         std::env::set_var("BENCH_SAMPLE_MS", "10");
         let mut c = super::Criterion::default();
-        c.bench_function("noop_sum", |b| {
-            b.iter(|| (0..100u64).sum::<u64>())
-        });
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         let m = &c.measurements()[0];
         assert_eq!(m.name, "noop_sum");
         assert!(m.ns_per_iter > 0.0);

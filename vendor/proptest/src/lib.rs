@@ -88,12 +88,7 @@ macro_rules! impl_tuple_strategy {
         }
     )*};
 }
-impl_tuple_strategy!(
-    (A.0)
-    (A.0, B.1)
-    (A.0, B.1, C.2)
-    (A.0, B.1, C.2, D.3)
-);
+impl_tuple_strategy!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3));
 
 /// Size specification for collections: a fixed size or a range.
 #[derive(Debug, Clone)]
@@ -111,7 +106,10 @@ impl From<usize> for SizeRange {
 impl From<core::ops::Range<usize>> for SizeRange {
     fn from(r: core::ops::Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        Self { lo: r.start, hi: r.end }
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 

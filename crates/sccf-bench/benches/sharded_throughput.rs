@@ -1,0 +1,116 @@
+//! Sharded-engine ingest throughput: one batch of events routed,
+//! processed and drained per iteration, at 1 and 4 shards. The point
+//! under test is that user-partitioned shards scale ingestion — each
+//! shard's worker owns a single-writer engine and only searches its own
+//! users' vectors, so a batch costs less wall-clock as shards grow
+//! (parallel workers on multi-core hosts, smaller per-shard neighbor
+//! scans everywhere).
+//!
+//! The repro harness (`repro bench-sharded`) runs the bigger
+//! 1/2/4/8-shard version of this experiment and writes
+//! `BENCH_sharded.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sccf_core::{IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
+use sccf_data::catalog::{ml1m_sim, Scale};
+use sccf_data::synthetic::generate;
+use sccf_data::LeaveOneOut;
+use sccf_models::{Fism, FismConfig, TrainConfig};
+use sccf_serving::{ShardedConfig, ShardedEngine};
+
+const BATCH: usize = 64;
+
+fn world() -> (LeaveOneOut, Vec<Vec<u32>>, Fism) {
+    let mut cfg = ml1m_sim(Scale::Quick);
+    cfg.name = "sharded-throughput-bench".to_string();
+    cfg.n_users = 1500;
+    cfg.n_items = 400;
+    cfg.n_categories = 16;
+    cfg.mean_len = 16.0;
+    cfg.min_len = 6;
+    let data = generate(&cfg, 1).dataset;
+    let split = LeaveOneOut::split(&data);
+    let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
+        .map(|u| split.train_plus_val(u))
+        .collect();
+    let fism = Fism::train(
+        &split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 16,
+                epochs: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    (split, histories, fism)
+}
+
+fn engine_for(
+    fism: Fism,
+    split: &LeaveOneOut,
+    histories: Vec<Vec<u32>>,
+    n_shards: usize,
+) -> ShardedEngine<Fism> {
+    let sccf = Sccf::build(
+        fism,
+        split,
+        SccfConfig {
+            user_based: UserBasedConfig {
+                beta: 50,
+                recent_window: 15,
+            },
+            candidate_n: 50,
+            integrator: IntegratorConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            threads: 2,
+            profiles: None,
+            ui_ann: None,
+        },
+    );
+    ShardedEngine::new(
+        sccf,
+        histories,
+        ShardedConfig {
+            n_shards,
+            queue_capacity: 256,
+        },
+    )
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let (split, histories, mut fism) = world();
+    let n_users = split.n_users() as u32;
+    let n_items = split.n_items() as u32;
+    let mut group = c.benchmark_group("sharded_throughput");
+    for &n_shards in &[1usize, 4] {
+        let mut engine = engine_for(fism, &split, histories.clone(), n_shards);
+        let mut k = 0u32;
+        group.bench_with_input(
+            BenchmarkId::new("ingest_drain_batch", n_shards),
+            &n_shards,
+            |bench, _| {
+                bench.iter(|| {
+                    for _ in 0..BATCH {
+                        engine.ingest(k % n_users, (k * 7919 + 13) % n_items);
+                        k += 1;
+                    }
+                    engine.drain();
+                    black_box(k)
+                });
+            },
+        );
+        // Hand the model to the next shard count.
+        let (mut engines, _) = engine.shutdown_into_engines();
+        let last = engines.pop().expect("shard 0");
+        drop(engines);
+        fism = last.into_sccf().into_model();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

@@ -18,6 +18,7 @@
 //!   extended     SCCF over GRU4Rec/Caser backends + SLIM/LRec baselines
 //!   ranking      SCCF applied to the ranking stage (§V future work)
 //!   bench-serving  serving latency vs catalog size; writes BENCH_serving.json
+//!   bench-sharded  sharded ingest throughput at 1/2/4/8 shards; writes BENCH_sharded.json
 //!   all          everything above, in order
 //! ```
 //!
@@ -40,7 +41,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|bench-serving|all> \
+        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|bench-serving|bench-sharded|all> \
          [--scale quick|full] [--seed N] [--dim D] [--beta B] [--out DIR] [--verbose]"
     );
     std::process::exit(2)
@@ -106,6 +107,7 @@ fn run_one(name: &str, h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Tabl
         "extended" => experiments::extended(h),
         "ranking" => experiments::ranking(h),
         "bench-serving" => experiments::bench_serving_to(h, out_dir),
+        "bench-sharded" => experiments::bench_sharded_to(h, out_dir),
         _ => usage(),
     }
 }
@@ -127,6 +129,7 @@ fn main() {
             "extended",
             "ranking",
             "bench-serving",
+            "bench-sharded",
         ]
     } else {
         vec![args.experiment.as_str()]

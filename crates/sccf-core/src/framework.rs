@@ -30,6 +30,8 @@
 //! candidate assembly sublinear in the catalog (approximate; off by
 //! default to preserve the paper's exact Eq. 10 retrieval).
 
+use std::sync::Arc;
+
 use sccf_data::LeaveOneOut;
 use sccf_index::{DynamicIndex, HnswConfig, HnswIndex, Metric};
 use sccf_models::{InductiveUiModel, Recommender};
@@ -132,16 +134,75 @@ impl QueryScratch {
     }
 }
 
-/// A built SCCF instance wrapping the inductive UI model `M`.
-pub struct Sccf<M: InductiveUiModel> {
+/// The item-side, immutable-after-build half of a built SCCF instance:
+/// the UI model (with its item-embedding table), the optional HNSW item
+/// index, the trained integrator, and the configuration.
+///
+/// Nothing here is mutated while serving, so one `Arc<SccfShared<M>>`
+/// can back any number of user-partitioned [`Sccf`] views (see
+/// [`Sccf::into_shards`]) without copies and without synchronization —
+/// the sharded realtime engine's workers all read the same tables.
+pub struct SccfShared<M: InductiveUiModel> {
     model: M,
     cfg: SccfConfig,
-    /// Cosine index over current user representations (Eq. 11).
-    user_index: DynamicIndex,
     /// Optional ANN index over item embeddings (sublinear Eq. 10).
     item_index: Option<HnswIndex>,
-    user_comp: UserBasedComponent,
     integrator: Integrator,
+}
+
+impl<M: InductiveUiModel> SccfShared<M> {
+    /// The wrapped UI model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    pub fn config(&self) -> &SccfConfig {
+        &self.cfg
+    }
+}
+
+/// A built SCCF instance wrapping the inductive UI model `M`.
+///
+/// Internally split into two halves:
+///
+/// * `shared` — the item-side state ([`SccfShared`]): model, optional
+///   item index, integrator, config. Read-only after build, shareable
+///   across threads behind its `Arc`.
+/// * per-user state — the cosine user index (Eq. 11) and the
+///   user-based component's recent-item rings (Eq. 12 inputs). These
+///   are the only parts serving mutates, which is what makes the
+///   engine user-partitionable: [`Sccf::into_shards`] hands each shard
+///   its own per-user half over the same shared half.
+pub struct Sccf<M: InductiveUiModel> {
+    shared: Arc<SccfShared<M>>,
+    /// Cosine index over current user representations (Eq. 11). In a
+    /// shard view this is *compact*: one slot per owned user, addressed
+    /// through `owned`.
+    user_index: DynamicIndex,
+    user_comp: UserBasedComponent,
+    /// `None` — the unsharded instance: index slot = global user id.
+    /// `Some` — a shard view from [`Sccf::into_shards`]: the index holds
+    /// only owned users, and this map translates slot ↔ global ids, so
+    /// per-event neighbor scans cost O(owned users), not O(all users).
+    owned: Option<ShardMap>,
+}
+
+/// Slot ↔ global user-id translation for a shard view's compact index.
+#[derive(Debug, Clone)]
+struct ShardMap {
+    /// Global user id of each local index slot.
+    globals: Vec<u32>,
+    /// Local slot of each global user id; `u32::MAX` = not owned here.
+    local_of: Vec<u32>,
+}
+
+impl ShardMap {
+    fn local(&self, user: u32) -> Option<u32> {
+        match self.local_of[user as usize] {
+            u32::MAX => None,
+            l => Some(l),
+        }
+    }
 }
 
 /// Compute all user representations, sharded across threads.
@@ -234,12 +295,15 @@ impl<M: InductiveUiModel> Sccf<M> {
         integrator.train(&examples, model.item_embeddings());
 
         Self {
-            model,
-            cfg,
+            shared: Arc::new(SccfShared {
+                model,
+                cfg,
+                item_index,
+                integrator,
+            }),
             user_index,
-            item_index,
             user_comp,
-            integrator,
+            owned: None,
         }
     }
 
@@ -250,18 +314,16 @@ impl<M: InductiveUiModel> Sccf<M> {
         let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
             .map(|u| split.train_plus_val(u))
             .collect();
-        let reps = infer_all_reps(&self.model, &histories, self.cfg.threads);
+        let reps = infer_all_reps(&self.shared.model, &histories, self.shared.cfg.threads);
         for (u, rep) in reps.iter().enumerate() {
-            let q = self.index_vector(u as u32, rep);
-            self.user_index.update(u as u32, &q);
-            self.user_comp.reset_user(u as u32, &histories[u]);
+            self.reset_user_state(u as u32, &histories[u], rep);
         }
     }
 
     /// The vector stored in / queried against the user index for `user`:
     /// the raw representation, or its profile-augmented form (§V).
     pub fn index_vector(&self, user: u32, rep: &[f32]) -> Vec<f32> {
-        match &self.cfg.profiles {
+        match &self.shared.cfg.profiles {
             Some(p) => p.augment(user, rep),
             None => rep.to_vec(),
         }
@@ -269,85 +331,136 @@ impl<M: InductiveUiModel> Sccf<M> {
 
     /// The wrapped UI model.
     pub fn model(&self) -> &M {
-        &self.model
+        &self.shared.model
+    }
+
+    /// The item-side half backing this view. Shard views created by
+    /// [`Sccf::into_shards`] return clones of the same `Arc`.
+    pub fn shared(&self) -> &Arc<SccfShared<M>> {
+        &self.shared
     }
 
     /// Unwrap the UI model (hyper-parameter sweeps rebuild SCCF around
     /// one trained model).
+    ///
+    /// # Panics
+    /// If shard views created by [`Sccf::into_shards`] still hold the
+    /// shared half — shut the sharded engine down first.
     pub fn into_model(self) -> M {
-        self.model
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => shared.model,
+            Err(_) => panic!("into_model: shard views of this Sccf are still alive"),
+        }
     }
 
     pub fn config(&self) -> &SccfConfig {
-        &self.cfg
+        &self.shared.cfg
     }
 
     /// A query scratch sized for this instance's catalog. Allocate once
     /// per serving thread and pass to the `_with` entry points.
     pub fn new_scratch(&self) -> QueryScratch {
-        QueryScratch::new(self.model.n_items())
+        QueryScratch::new(self.shared.model.n_items())
     }
 
     /// Current neighborhood of a representation (Eq. 11; profile-blended
-    /// when side information is attached).
+    /// when side information is attached), in *global* user ids. On a
+    /// shard view this searches the shard's owned users only.
     pub fn neighbors(&self, user: u32, rep: &[f32]) -> Vec<Scored> {
         let q = self.index_vector(user, rep);
-        self.user_index
-            .search(&q, self.cfg.user_based.beta, Some(user))
+        let mut hits = self.neighbor_slots(user, &q);
+        if let Some(map) = &self.owned {
+            for h in &mut hits {
+                h.id = map.globals[h.id as usize];
+            }
+        }
+        hits
+    }
+
+    /// β-nearest users for a query vector, in index-*slot* ids — the
+    /// addressing the per-user state (index rows, recent-item rings)
+    /// uses internally. Unsharded, slot = global user id; on a shard
+    /// view, slot = position in the compact owned-user layout. The
+    /// querying user is excluded by her own slot.
+    fn neighbor_slots(&self, user: u32, query: &[f32]) -> Vec<Scored> {
+        let beta = self.shared.cfg.user_based.beta;
+        self.user_index.search(query, beta, self.slot_of(user))
+    }
+
+    /// The per-user-state slot owning `user`: identity unsharded,
+    /// map lookup on a shard view (`None` = not owned by this shard).
+    fn slot_of(&self, user: u32) -> Option<u32> {
+        match &self.owned {
+            None => Some(user),
+            Some(map) => map.local(user),
+        }
     }
 
     /// Full-catalog UU scores for `user` given a fresh representation.
     /// Dense compatibility path (offline analysis / ablations).
     pub fn uu_scores(&self, user: u32, rep: &[f32]) -> Vec<f32> {
-        let neighbors = self.neighbors(user, rep);
-        self.user_comp.scores(&neighbors)
+        let q = self.index_vector(user, rep);
+        let slots = self.neighbor_slots(user, &q);
+        self.user_comp.scores(&slots)
     }
 
     /// Scorer for the UU-only ablation rows (`FISMᵁᵁ` / `SASRecᵁᵁ`).
     pub fn uu_scorer(&self) -> impl sccf_eval::Scorer + '_ {
         sccf_eval::FnScorer(move |user: u32, history: &[u32]| {
-            let rep = self.model.infer_user(history);
+            let rep = self.shared.model.infer_user(history);
             self.uu_scores(user, &rep)
         })
     }
 
-    /// Mutable access used by the realtime engine.
+    /// Mutable access used by the realtime engine. Panics if this shard
+    /// view does not own the user — the router must only send owned
+    /// users here.
     pub(crate) fn record_event(&mut self, user: u32, item: u32, rep: &[f32]) {
+        let slot = self
+            .slot_of(user)
+            .expect("event for a user this shard does not own");
         let q = self.index_vector(user, rep);
-        self.user_index.update(user, &q);
-        self.user_comp.record(user, item);
+        self.user_index.update(slot, &q);
+        self.user_comp.record(slot, item);
     }
 
-    /// Number of users in the user index.
+    /// Number of users this instance knows about (the full population —
+    /// a shard view still counts all users, it just *owns* a subset).
     pub fn user_count(&self) -> usize {
-        self.user_index.len()
+        match &self.owned {
+            None => self.user_comp.n_users(),
+            Some(map) => map.local_of.len(),
+        }
     }
 
     /// Reset one user's derived state (index vector + recent items) from
     /// a full history — the failover-restore path of the realtime engine.
+    /// On a shard view, unowned users have no slot here and are skipped
+    /// (restore stays whole-population; this shard holds none of their
+    /// state).
     pub(crate) fn reset_user_state(&mut self, user: u32, history: &[u32], rep: &[f32]) {
-        let q = self.index_vector(user, rep);
-        self.user_index.update(user, &q);
-        self.user_comp.reset_user(user, history);
+        if let Some(slot) = self.slot_of(user) {
+            let q = self.index_vector(user, rep);
+            self.user_index.update(slot, &q);
+            self.user_comp.reset_user(slot, history);
+        }
     }
 
     /// Assemble the union candidate set with raw scores into
     /// `scratch.cand` without any catalog-sized allocation. This is the
     /// serving-path form of [`Sccf::candidate_features`].
     pub fn candidate_features_with(&self, user: u32, history: &[u32], scratch: &mut QueryScratch) {
-        let rep = self.model.infer_user(history);
+        let rep = self.shared.model.infer_user(history);
         let query = self.index_vector(user, &rep);
-        let neighbors = self
-            .user_index
-            .search(&query, self.cfg.user_based.beta, Some(user));
+        let neighbors = self.neighbor_slots(user, &query);
         assemble_candidates_into(
-            &self.model,
-            self.item_index.as_ref(),
+            &self.shared.model,
+            self.shared.item_index.as_ref(),
             &self.user_comp,
             &rep,
             &neighbors,
             history,
-            self.cfg.candidate_n,
+            self.shared.cfg.candidate_n,
             scratch,
         );
     }
@@ -373,11 +486,9 @@ impl<M: InductiveUiModel> Sccf<M> {
         items: &[u32],
         scratch: &mut QueryScratch,
     ) {
-        let rep = self.model.infer_user(history);
+        let rep = self.shared.model.infer_user(history);
         let query = self.index_vector(user, &rep);
-        let neighbors = self
-            .user_index
-            .search(&query, self.cfg.user_based.beta, Some(user));
+        let neighbors = self.neighbor_slots(user, &query);
         self.user_comp.scores_into(&neighbors, &mut scratch.uu);
         scratch.reset_for(history);
         let cand = &mut scratch.cand;
@@ -385,7 +496,7 @@ impl<M: InductiveUiModel> Sccf<M> {
             if !scratch.hist.contains(i) && scratch.seen.insert(i) {
                 cand.items.push(i);
                 cand.ui_scores
-                    .push(sccf_tensor::dot(&rep, self.model.item_embedding(i)));
+                    .push(sccf_tensor::dot(&rep, self.shared.model.item_embedding(i)));
                 cand.uu_scores.push(scratch.uu.scores.get(i));
             }
         }
@@ -411,8 +522,9 @@ impl<M: InductiveUiModel> Sccf<M> {
     ) -> Vec<Scored> {
         self.candidate_features_with(user, history, scratch);
         let fused = self
+            .shared
             .integrator
-            .score(&scratch.cand, self.model.item_embeddings());
+            .score(&scratch.cand, self.shared.model.item_embeddings());
         let mut scored: Vec<Scored> = scratch
             .cand
             .items
@@ -429,6 +541,99 @@ impl<M: InductiveUiModel> Sccf<M> {
     pub fn recommend(&self, user: u32, history: &[u32], n: usize) -> Vec<Scored> {
         let mut scratch = self.new_scratch();
         self.recommend_with(user, history, n, &mut scratch)
+    }
+
+    /// Split this instance into `n_shards` user-partitioned views over
+    /// one shared item-side half.
+    ///
+    /// `assign(u)` maps each user to her owning shard (must return a
+    /// value `< n_shards`). Shard `s` receives:
+    ///
+    /// * a clone of the `Arc<SccfShared>` — item embeddings, optional
+    ///   HNSW item index and integrator are **not** copied;
+    /// * its own *compact* user index and recent-item rings holding only
+    ///   owned users (a slot ↔ global-id map translates at the API
+    ///   boundary), so the per-event neighbor scan costs O(owned users)
+    ///   and total index + ring memory across shards stays one
+    ///   population's worth. (The slot map — 4 bytes per user — is the
+    ///   only per-shard whole-population array *here*; the realtime
+    ///   engine wrapping a shard view still holds a full-length history
+    ///   table so snapshots stay whole-population, see ROADMAP.)
+    ///
+    /// Per-user state is **derived from `histories`** (re-inferring each
+    /// owned user's representation), exactly like
+    /// [`crate::RealtimeEngine::restore`] — so `histories` must be the
+    /// current source of truth. With `n_shards == 1` the single view is
+    /// bit-identical to `self` after a refresh to the same histories
+    /// (pinned by `tests/sharded.rs`).
+    ///
+    /// Consequence of the partition: each view's [`Sccf::neighbors`]
+    /// searches only the users its shard owns — Eq. 11 neighborhoods
+    /// become *in-shard* neighborhoods for `n_shards > 1`. That is the
+    /// standard industrial trade for linear ingest scaling; see
+    /// `docs/ARCHITECTURE.md` for the accuracy discussion.
+    pub fn into_shards(
+        self,
+        histories: &[Vec<u32>],
+        n_shards: usize,
+        assign: impl Fn(u32) -> usize,
+    ) -> Vec<Sccf<M>> {
+        assert!(n_shards > 0, "need at least one shard");
+        let n_users = self.user_count();
+        assert_eq!(histories.len(), n_users, "one history per indexed user");
+        let shared = self.shared;
+        let dim = shared.model.dim();
+        let index_dim = shared
+            .cfg
+            .profiles
+            .as_ref()
+            .map_or(dim, |p| p.augmented_dim(dim));
+        let n_items = shared.model.n_items();
+        // One threaded pass over the whole population (each user's
+        // representation lands in exactly one shard) — same parallel
+        // helper `build`/`refresh_for_test` use.
+        let reps = infer_all_reps(&shared.model, histories, shared.cfg.threads);
+        // One routing pass: assign(u) is called exactly once per user.
+        let mut shard_members: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
+        for u in 0..n_users as u32 {
+            let s = assign(u);
+            assert!(s < n_shards, "assign({u}) = {s} out of {n_shards} shards");
+            shard_members[s].push(u);
+        }
+        let window = shared.cfg.user_based.recent_window;
+        shard_members
+            .into_iter()
+            .map(|globals| {
+                let mut local_of = vec![u32::MAX; n_users];
+                for (l, &g) in globals.iter().enumerate() {
+                    local_of[g as usize] = l as u32;
+                }
+                let user_index =
+                    DynamicIndex::with_capacity(globals.len(), index_dim, Metric::Cosine);
+                // Compact rings: row l belongs to global user globals[l].
+                // Only the window tail is copied — the rings keep no more.
+                let user_comp = UserBasedComponent::new(
+                    shared.cfg.user_based.clone(),
+                    n_items,
+                    globals.iter().map(|&g| {
+                        let h = &histories[g as usize];
+                        h[h.len().saturating_sub(window)..].to_vec()
+                    }),
+                );
+                let shard = Sccf {
+                    shared: Arc::clone(&shared),
+                    user_index,
+                    user_comp,
+                    owned: Some(ShardMap { globals, local_of }),
+                };
+                let map = shard.owned.as_ref().expect("just set");
+                for (l, &g) in map.globals.iter().enumerate() {
+                    let q = shard.index_vector(g, &reps[g as usize]);
+                    shard.user_index.update(l as u32, &q);
+                }
+                shard
+            })
+            .collect()
     }
 }
 
@@ -514,11 +719,11 @@ fn assemble_candidates_into<M: InductiveUiModel>(
 
 impl<M: InductiveUiModel> Recommender for Sccf<M> {
     fn name(&self) -> String {
-        format!("{}-SCCF", self.model.name())
+        format!("{}-SCCF", self.shared.model.name())
     }
 
     fn n_items(&self) -> usize {
-        self.model.n_items()
+        self.shared.model.n_items()
     }
 
     /// Full-catalog scores: fused scores on the candidate union, −∞
@@ -526,8 +731,11 @@ impl<M: InductiveUiModel> Recommender for Sccf<M> {
     /// contract of candidate generation).
     fn score_all(&self, user: u32, history: &[u32]) -> Vec<f32> {
         let cand = self.candidate_features(user, history);
-        let fused = self.integrator.score(&cand, self.model.item_embeddings());
-        let mut scores = vec![f32::NEG_INFINITY; self.model.n_items()];
+        let fused = self
+            .shared
+            .integrator
+            .score(&cand, self.shared.model.item_embeddings());
+        let mut scores = vec![f32::NEG_INFINITY; self.shared.model.n_items()];
         for (&i, &s) in cand.items.iter().zip(&fused) {
             scores[i as usize] = s;
         }

@@ -4,6 +4,20 @@
 //! Filtering** (Xie et al., ICDE 2021) — real-time fusion of global
 //! user–item retrieval with local user-neighborhood evidence.
 //!
+//! Where the paper's equations live:
+//!
+//! * **Eq. 10** (global UI preference `r̂ᵁᴵ = m_u · q_i`) — scored by
+//!   [`sccf_models::InductiveUiModel::score_by_rep_into`]; the top-N
+//!   retrieval over it (exact dense scan, or HNSW via
+//!   [`SccfConfig::ui_ann`]) is assembled in [`framework`].
+//! * **Eq. 11** (the β-neighborhood by cosine over user
+//!   representations) — served by vector search in [`Sccf::neighbors`].
+//! * **Eq. 12** (neighborhood voting `r̂ᵁᵁ = Σ sim(u,v)·δ_vi`) —
+//!   [`UserBasedComponent::scores_into`] in [`user_component`].
+//! * **Eq. 15–17** (score normalization + fusion MLP) — [`integrator`].
+//!
+//! Modules:
+//!
 //! * [`user_component`] — Eq. 11–12: the parameter-free user-based scorer
 //!   over a real-time neighborhood.
 //! * [`integrator`] — Eq. 15–17: the per-user-normalized fusion MLP over
@@ -11,9 +25,13 @@
 //! * [`framework`] — [`Sccf`]: wires any
 //!   [`sccf_models::InductiveUiModel`] to a cosine user index, the
 //!   user-based component, and the integrator; implements `Recommender`
-//!   so the standard protocol can evaluate it (Table II).
-//! * [`realtime`] — [`RealtimeEngine`]: the event loop with the Table III
-//!   infer/identify timing split.
+//!   so the standard protocol can evaluate it (Table II). Internally
+//!   split into an immutable item-side half ([`SccfShared`], shared
+//!   behind `Arc`) and the per-user half serving mutates —
+//!   [`Sccf::into_shards`] partitions the latter across workers for the
+//!   sharded engine (`sccf_serving::sharded`, `docs/ARCHITECTURE.md`).
+//! * [`realtime`] — [`RealtimeEngine`]: the single-writer event loop
+//!   with the Table III infer/identify timing split.
 //! * [`profile`] — side-information-aware neighborhoods (the paper's §V
 //!   future work), blending behavioral and profile similarity.
 //! * [`ranking`] — [`RankingStage`]: the paper's second §V direction —
@@ -64,7 +82,7 @@ pub mod ranking;
 pub mod realtime;
 pub mod user_component;
 
-pub use framework::{QueryScratch, Sccf, SccfConfig};
+pub use framework::{QueryScratch, Sccf, SccfConfig, SccfShared};
 pub use integrator::{CandidateFeatures, Integrator, IntegratorConfig};
 pub use profile::UserProfiles;
 pub use ranking::RankingStage;

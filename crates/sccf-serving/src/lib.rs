@@ -1,15 +1,27 @@
 //! # sccf-serving
 //!
-//! Serving-side simulation: the chronological event replayer
-//! ([`stream`]), the bounded out-of-order reordering buffer
-//! ([`watermark`]), the behavioral click/trade model ([`click_model`])
-//! and the two-bucket A/B experiment harness ([`ab_test`]) that
-//! regenerates Table V. The judge of the A/B test is the synthetic generator's
-//! ground-truth latent state — never a learned model — so neither bucket
-//! can win by flattering its own scorer.
+//! Serving-side machinery around the `sccf-core` engine:
+//!
+//! * [`stream`] — the chronological event replayer (flattens a dataset
+//!   into the globally time-ordered stream the Table III measurement and
+//!   all serving demos consume).
+//! * [`sharded`] — the sharded multi-writer realtime engine:
+//!   [`ShardedEngine`] partitions users across N worker threads
+//!   (`hash(user) % N`), each owning a single-writer
+//!   [`sccf_core::RealtimeEngine`] fed by a bounded SPSC queue, over one
+//!   shared read-only item-side half (`Arc<sccf_core::SccfShared>`).
+//!   `N = 1` is bit-identical to the plain engine; see
+//!   `docs/ARCHITECTURE.md` for the event-flow diagram and state split.
+//! * [`watermark`] — the bounded out-of-order reordering buffer.
+//! * [`click_model`] — the behavioral click/trade model.
+//! * [`ab_test`] — the two-bucket A/B experiment harness that
+//!   regenerates Table V. The judge of the A/B test is the synthetic
+//!   generator's ground-truth latent state — never a learned model — so
+//!   neither bucket can win by flattering its own scorer.
 
 pub mod ab_test;
 pub mod click_model;
+pub mod sharded;
 pub mod stream;
 pub mod watermark;
 
@@ -18,5 +30,6 @@ pub use ab_test::{
     FnCandidateGen,
 };
 pub use click_model::ClickModel;
+pub use sharded::{shard_of, ShardReport, ShardedConfig, ShardedEngine};
 pub use stream::{events_after, replay_events, StreamEvent};
 pub use watermark::WatermarkBuffer;

@@ -1,0 +1,371 @@
+//! Sharded multi-writer realtime engine.
+//!
+//! [`crate::stream`] replays events in one thread and PR 1 made each
+//! event allocation-free — but a single-writer [`RealtimeEngine`] still
+//! tops out at one core. This module scales ingestion the way
+//! industrial neighborhood systems do: **partition users across shards**
+//! (`hash(user_id) % N`, [`shard_of`]), give every shard its own
+//! single-writer engine on a dedicated worker thread, and feed each
+//! worker through a bounded SPSC event queue with backpressure.
+//!
+//! ```text
+//! ingest(user, item) ──► shard router (hash(user) % N)
+//!                           │ bounded SPSC queue per shard
+//!        ┌──────────────────┼──────────────────┐
+//!        ▼                  ▼                  ▼
+//!   shard 0 worker     shard 1 worker     shard N−1 worker
+//!   RealtimeEngine     RealtimeEngine     RealtimeEngine
+//!   + QueryScratch     + QueryScratch     + QueryScratch
+//!        │                  │                  │
+//!        └── Arc<SccfShared>: item embeddings, HNSW item index,
+//!            integrator — one copy, read-only, shared by all shards
+//! ```
+//!
+//! State split (the contract that keeps the hot path lock-free):
+//!
+//! * **Shared, read-only** (`Arc<SccfShared>`): item embeddings, the
+//!   optional HNSW item index, the trained integrator, configuration.
+//! * **Shard-local, single-writer**: the per-user histories, the cosine
+//!   user index over *owned* users, the recent-item rings, and the
+//!   engine's [`sccf_core::QueryScratch`] — so PR 1's zero-allocation
+//!   invariant holds per shard, and no lock is ever contended on the
+//!   event hot path (each shard's user index has exactly one writer).
+//!
+//! Because a user's events and recommendation requests all route to the
+//! same queue, per-user ordering is preserved: a `recommend` observes
+//! every event the same caller ingested before it. Neighborhoods
+//! (Eq. 11) are searched over the shard's own users — exact at `N = 1`
+//! (bit-identical to the plain engine, pinned by `tests/sharded.rs`),
+//! in-shard approximations for `N > 1`; see `docs/ARCHITECTURE.md`.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use sccf_core::{EngineTimings, RealtimeEngine, Sccf};
+use sccf_models::InductiveUiModel;
+use sccf_util::topk::Scored;
+
+use crate::stream::StreamEvent;
+
+/// Deterministic user→shard routing: FxHash of the user id, mod `n_shards`.
+///
+/// The same user always lands on the same shard (pinned by
+/// `tests/sharded.rs`), which is what makes per-user event ordering and
+/// shard-local user state sound.
+pub fn shard_of(user: u32, n_shards: usize) -> usize {
+    use std::hash::Hasher;
+    let mut h = sccf_util::hash::FxHasher::default();
+    h.write_u32(user);
+    (h.finish() % n_shards as u64) as usize
+}
+
+/// Sharded-engine knobs.
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of worker shards. 1 reproduces the single-writer engine
+    /// bit-for-bit.
+    pub n_shards: usize,
+    /// Bounded capacity of each shard's event queue. A full queue blocks
+    /// the router — backpressure, never unbounded memory.
+    pub queue_capacity: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        Self {
+            n_shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(1, 16),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// What one shard worker reports at shutdown.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    pub shard: usize,
+    /// Events ingested (each one ran the infer + identify refresh).
+    pub events: u64,
+    /// Recommendation requests served.
+    pub recommends: u64,
+    /// The shard engine's Table III timing split.
+    pub timings: EngineTimings,
+}
+
+enum ShardMsg {
+    Event {
+        user: u32,
+        item: u32,
+    },
+    Recommend {
+        user: u32,
+        n: usize,
+        reply: Sender<Vec<Scored>>,
+    },
+    /// Barrier: the worker replies once everything queued before this
+    /// message has been processed.
+    Drain {
+        reply: Sender<()>,
+    },
+}
+
+/// What a shard worker thread hands back when it exits.
+type WorkerExit<M> = (RealtimeEngine<M>, ShardReport);
+
+/// User-partitioned, multi-writer wrapper around N single-writer
+/// [`RealtimeEngine`]s. See the [module docs](self) for the
+/// architecture.
+///
+/// ```
+/// use sccf_core::{IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
+/// use sccf_data::{Dataset, Interaction, LeaveOneOut};
+/// use sccf_models::{Fism, FismConfig, TrainConfig};
+/// use sccf_serving::sharded::{ShardedConfig, ShardedEngine};
+///
+/// // A tiny two-taste-group world.
+/// let inter: Vec<Interaction> = (0..8u32)
+///     .flat_map(|u| (0..4).map(move |t| Interaction {
+///         user: u,
+///         item: (u / 4) * 4 + (u + t) % 4,
+///         ts: t as i64,
+///     }))
+///     .collect();
+/// let data = Dataset::from_interactions("doc", 8, 8, &inter, None);
+/// let split = LeaveOneOut::split(&data);
+/// let fism = Fism::train(&split, &FismConfig {
+///     train: TrainConfig { dim: 4, epochs: 2, ..Default::default() },
+///     ..Default::default()
+/// });
+/// let sccf = Sccf::build(fism, &split, SccfConfig {
+///     user_based: UserBasedConfig { beta: 3, recent_window: 4 },
+///     candidate_n: 6,
+///     integrator: IntegratorConfig { epochs: 2, ..Default::default() },
+///     threads: 1,
+///     profiles: None,
+///     ui_ann: None,
+/// });
+/// let histories: Vec<Vec<u32>> = (0..8u32).map(|u| split.train_plus_val(u)).collect();
+///
+/// let mut engine = ShardedEngine::new(sccf, histories, ShardedConfig {
+///     n_shards: 2,
+///     queue_capacity: 64,
+/// });
+/// engine.ingest(0, 5);           // fire-and-forget, routed by hash(user) % 2
+/// let recs = engine.recommend(0, 3); // same queue ⇒ sees the event above
+/// assert!(!recs.is_empty());
+/// let reports = engine.shutdown();   // drains queues, joins workers
+/// assert_eq!(reports.len(), 2);
+/// assert_eq!(reports.iter().map(|r| r.events).sum::<u64>(), 1);
+/// ```
+pub struct ShardedEngine<M: InductiveUiModel + 'static> {
+    txs: Vec<Sender<ShardMsg>>,
+    /// `None` once a dead worker has been joined to surface its panic.
+    handles: Vec<Option<JoinHandle<WorkerExit<M>>>>,
+    n_shards: usize,
+}
+
+impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
+    /// Partition a built framework into `cfg.n_shards` workers.
+    ///
+    /// `histories` must be the users' current full histories — the same
+    /// source-of-truth contract as [`RealtimeEngine::new`] and
+    /// [`RealtimeEngine::restore`]; every shard's per-user state is
+    /// derived from it via [`Sccf::into_shards`].
+    pub fn new(sccf: Sccf<M>, histories: Vec<Vec<u32>>, cfg: ShardedConfig) -> Self {
+        let n = cfg.n_shards;
+        let n_users = histories.len();
+        let shards = sccf.into_shards(&histories, n, |u| shard_of(u, n));
+        // Move each user's history into the owning shard; other shards
+        // get an empty vec for that slot (they never touch it).
+        let mut per_shard: Vec<Vec<Vec<u32>>> = (0..n).map(|_| vec![Vec::new(); n_users]).collect();
+        for (u, h) in histories.into_iter().enumerate() {
+            per_shard[shard_of(u as u32, n)][u] = h;
+        }
+        let mut txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (s, (shard_sccf, shard_histories)) in shards.into_iter().zip(per_shard).enumerate() {
+            let (tx, rx) = bounded::<ShardMsg>(cfg.queue_capacity);
+            let engine = RealtimeEngine::new(shard_sccf, shard_histories);
+            let handle = std::thread::Builder::new()
+                .name(format!("sccf-shard-{s}"))
+                .spawn(move || shard_worker(s, engine, rx))
+                .expect("spawn shard worker");
+            txs.push(tx);
+            handles.push(Some(handle));
+        }
+        Self {
+            txs,
+            handles,
+            n_shards: n,
+        }
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// A send failed, so shard `s`'s worker is gone: join it and
+    /// re-raise its original panic payload (not a generic router
+    /// message) so the root cause reaches the caller's logs.
+    fn propagate_worker_death(&mut self, s: usize) -> ! {
+        match self.handles[s].take() {
+            Some(h) => match h.join() {
+                Err(payload) => std::panic::resume_unwind(payload),
+                Ok(_) => panic!("shard {s} worker exited early without panicking"),
+            },
+            None => panic!("shard {s} worker already joined after an earlier failure"),
+        }
+    }
+
+    /// Ingest one interaction: route to the owning shard and return.
+    /// Blocks only when that shard's queue is full (backpressure). The
+    /// infer + identify refresh happens on the worker thread.
+    pub fn ingest(&mut self, user: u32, item: u32) {
+        let s = shard_of(user, self.n_shards);
+        if self.txs[s].send(ShardMsg::Event { user, item }).is_err() {
+            self.propagate_worker_death(s);
+        }
+    }
+
+    /// Feed a replayed event stream (see [`crate::stream::replay_events`])
+    /// through the router in timestamp order.
+    pub fn ingest_stream(&mut self, events: &[StreamEvent]) {
+        for e in events {
+            self.ingest(e.user, e.item);
+        }
+    }
+
+    /// Fused top-`n` recommendation for `user`, computed on the owning
+    /// shard with its reusable scratch. Queued behind the user's earlier
+    /// events, so it observes everything this caller already ingested.
+    pub fn recommend(&mut self, user: u32, n: usize) -> Vec<Scored> {
+        let (reply, rx) = bounded(1);
+        let s = shard_of(user, self.n_shards);
+        if self.txs[s]
+            .send(ShardMsg::Recommend { user, n, reply })
+            .is_err()
+        {
+            self.propagate_worker_death(s);
+        }
+        match rx.recv() {
+            Ok(recs) => recs,
+            // The worker died between accepting the request and replying.
+            Err(_) => self.propagate_worker_death(s),
+        }
+    }
+
+    /// Barrier: block until every shard has processed everything queued
+    /// so far. The barrier message fans out first, so shards drain in
+    /// parallel.
+    pub fn drain(&mut self) {
+        let mut replies: Vec<(usize, Receiver<()>)> = Vec::with_capacity(self.n_shards);
+        for s in 0..self.n_shards {
+            let (reply, rx) = bounded(1);
+            if self.txs[s].send(ShardMsg::Drain { reply }).is_err() {
+                self.propagate_worker_death(s);
+            }
+            replies.push((s, rx));
+        }
+        for (s, rx) in replies {
+            if rx.recv().is_err() {
+                self.propagate_worker_death(s);
+            }
+        }
+    }
+
+    /// Graceful shutdown: close every queue, let the workers drain what
+    /// remains, join them, and return the per-shard reports (sorted by
+    /// shard id).
+    pub fn shutdown(self) -> Vec<ShardReport> {
+        self.shutdown_into_engines().1
+    }
+
+    /// [`ShardedEngine::shutdown`], additionally handing back the shard
+    /// engines (e.g. to snapshot their state or unwrap the model).
+    pub fn shutdown_into_engines(self) -> (Vec<RealtimeEngine<M>>, Vec<ShardReport>) {
+        drop(self.txs); // workers see the disconnect after draining
+        let mut engines = Vec::with_capacity(self.handles.len());
+        let mut reports = Vec::with_capacity(self.handles.len());
+        for h in self.handles.into_iter().flatten() {
+            let (engine, report) = match h.join() {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            engines.push(engine);
+            reports.push(report);
+        }
+        reports.sort_by_key(|r| r.shard);
+        (engines, reports)
+    }
+}
+
+fn shard_worker<M: InductiveUiModel>(
+    shard: usize,
+    mut engine: RealtimeEngine<M>,
+    rx: Receiver<ShardMsg>,
+) -> WorkerExit<M> {
+    let mut events = 0u64;
+    let mut recommends = 0u64;
+    // Ends when every sender is dropped and the queue is drained — the
+    // graceful-shutdown path.
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Event { user, item } => {
+                engine.process_event(user, item);
+                events += 1;
+            }
+            ShardMsg::Recommend { user, n, reply } => {
+                // A dropped reply handle just means the requester gave up.
+                let _ = reply.send(engine.recommend(user, n));
+                recommends += 1;
+            }
+            ShardMsg::Drain { reply } => {
+                let _ = reply.send(());
+            }
+        }
+    }
+    let report = ShardReport {
+        shard,
+        events,
+        recommends,
+        timings: engine.timings().clone(),
+    };
+    (engine, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for n in [1usize, 2, 3, 8, 16] {
+            for u in 0..500u32 {
+                let s = shard_of(u, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(u, n), "same user, same shard");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        assert!((0..1000u32).all(|u| shard_of(u, 1) == 0));
+    }
+
+    #[test]
+    fn hashing_spreads_users() {
+        let n = 8usize;
+        let mut counts = vec![0usize; n];
+        for u in 0..8000u32 {
+            counts[shard_of(u, n)] += 1;
+        }
+        // FxHash of sequential ids is not perfectly uniform, but every
+        // shard must carry a meaningful fraction of the users.
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c > 8000 / n / 4, "shard {s} starved: {c} users");
+        }
+    }
+}

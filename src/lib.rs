@@ -7,8 +7,9 @@
 //! harness regenerating each table and figure of the paper's evaluation.
 //!
 //! The package also ships the `sccf` command-line binary
-//! (`gen`/`train`/`eval`/`recommend`) and four Criterion bench suites;
-//! see the repository README for the full map.
+//! (`gen`/`train`/`eval`/`recommend`) and six Criterion bench suites;
+//! see the repository README for the full map and `docs/ARCHITECTURE.md`
+//! for the serving-path event flow and sharding design.
 //!
 //! This facade crate re-exports the workspace:
 //!
@@ -20,7 +21,7 @@
 //! | [`models`] | `sccf-models` | Pop, ItemKNN, UserKNN, BPR-MF, FISM, SASRec, AvgPoolDNN, GRU4Rec, Caser, SLIM, LRec |
 //! | [`core`] | `sccf-core` | the SCCF framework + real-time engine + §V ranking stage |
 //! | [`eval`] | `sccf-eval` | HR/NDCG, leave-one-out protocol |
-//! | [`serving`] | `sccf-serving` | event replay, watermark buffer, A/B test simulator |
+//! | [`serving`] | `sccf-serving` | event replay, sharded multi-writer engine, watermark buffer, A/B test simulator |
 //! | [`util`] | `sccf-util` | hashing, top-k, stats, tables, timers |
 //!
 //! ## Quickstart

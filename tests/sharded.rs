@@ -1,0 +1,260 @@
+//! Sharded-engine contracts (ISSUE 2 acceptance):
+//!
+//! * shard routing is deterministic — the same user always lands on the
+//!   same shard, across engines and across calls;
+//! * `ShardedEngine` with `n_shards = 1` produces **bit-identical**
+//!   recommendations to the plain single-writer `RealtimeEngine` on a
+//!   seeded event stream;
+//! * at `n_shards > 1`, drain/shutdown account for every event and
+//!   per-user event order is preserved end to end.
+
+use rand::Rng;
+use sccf::core::{IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
+use sccf::data::{Dataset, Interaction, LeaveOneOut};
+use sccf::models::{Fism, FismConfig, TrainConfig};
+use sccf::serving::{shard_of, ShardedConfig, ShardedEngine};
+use sccf::util::topk::Scored;
+
+const N_USERS: u32 = 24;
+const N_ITEMS: u32 = 18;
+
+/// Two taste groups over the catalog, deterministic for a given seed.
+fn world(seed: u64) -> (LeaveOneOut, Vec<Vec<u32>>) {
+    let mut rng = sccf::util::rng::rng_for(seed, 77);
+    let mut inter = Vec::new();
+    for u in 0..N_USERS {
+        let base = if u < N_USERS / 2 { 0 } else { N_ITEMS / 2 };
+        let mut seen = sccf::util::hash::fx_set();
+        let mut t = 0i64;
+        while (t as usize) < 6 {
+            let item = base + rng.gen_range(0..N_ITEMS / 2);
+            if seen.insert(item) {
+                inter.push(Interaction {
+                    user: u,
+                    item,
+                    ts: t,
+                });
+                t += 1;
+            }
+        }
+    }
+    let data =
+        Dataset::from_interactions("sharded", N_USERS as usize, N_ITEMS as usize, &inter, None);
+    let split = LeaveOneOut::split(&data);
+    let histories = (0..N_USERS).map(|u| split.train_plus_val(u)).collect();
+    (split, histories)
+}
+
+/// Deterministic build: same seed in, same floats out.
+fn build_sccf(split: &LeaveOneOut, seed: u64) -> Sccf<Fism> {
+    let fism = Fism::train(
+        split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 8,
+                epochs: 6,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let mut sccf = Sccf::build(
+        fism,
+        split,
+        SccfConfig {
+            user_based: UserBasedConfig {
+                beta: 5,
+                recent_window: 5,
+            },
+            candidate_n: 10,
+            integrator: IntegratorConfig {
+                epochs: 4,
+                seed,
+                ..Default::default()
+            },
+            threads: 1,
+            profiles: None,
+            ui_ann: None,
+        },
+    );
+    sccf.refresh_for_test(split);
+    sccf
+}
+
+/// A seeded interleaving of events and recommendation points.
+fn event_stream(seed: u64, len: usize) -> Vec<(u32, u32)> {
+    let mut rng = sccf::util::rng::rng_for(seed, 31);
+    (0..len)
+        .map(|_| (rng.gen_range(0..N_USERS), rng.gen_range(0..N_ITEMS)))
+        .collect()
+}
+
+fn assert_bit_identical(a: &[Scored], b: &[Scored], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length mismatch");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{ctx}: id mismatch");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{ctx}: score bits differ for item {}",
+            x.id
+        );
+    }
+}
+
+#[test]
+fn routing_is_deterministic_across_calls_and_spread() {
+    for n in [1usize, 2, 4, 8] {
+        let first: Vec<usize> = (0..200u32).map(|u| shard_of(u, n)).collect();
+        let second: Vec<usize> = (0..200u32).map(|u| shard_of(u, n)).collect();
+        assert_eq!(first, second, "routing must be a pure function");
+        assert!(first.iter().all(|&s| s < n));
+        if n > 1 {
+            let mut counts = vec![0usize; n];
+            for &s in &first {
+                counts[s] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "200 users must touch every one of {n} shards: {counts:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_shard_is_bit_identical_to_plain_engine() {
+    for seed in [3u64, 11] {
+        let (split, histories) = world(seed);
+        // Two independent builds from the same seed are the same floats;
+        // one drives the plain engine, one the sharded engine.
+        let plain_sccf = build_sccf(&split, seed);
+        let sharded_sccf = build_sccf(&split, seed);
+
+        let mut plain = RealtimeEngine::new(plain_sccf, histories.clone());
+        let mut sharded = ShardedEngine::new(
+            sharded_sccf,
+            histories,
+            ShardedConfig {
+                n_shards: 1,
+                queue_capacity: 64,
+            },
+        );
+
+        for (k, &(user, item)) in event_stream(seed, 120).iter().enumerate() {
+            plain.process_event(user, item);
+            sharded.ingest(user, item);
+            // recommend at a deterministic subsample of points
+            if k % 7 == 0 {
+                let a = plain.recommend(user, 8);
+                let b = sharded.recommend(user, 8);
+                assert_bit_identical(&a, &b, &format!("seed {seed}, event {k}, user {user}"));
+            }
+        }
+        // final pass: every user agrees bit-for-bit
+        for u in 0..N_USERS {
+            let a = plain.recommend(u, 8);
+            let b = sharded.recommend(u, 8);
+            assert_bit_identical(&a, &b, &format!("seed {seed}, final user {u}"));
+        }
+        let reports = sharded.shutdown();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].events, 120);
+    }
+}
+
+#[test]
+fn multi_shard_accounts_for_every_event_and_preserves_user_order() {
+    let seed = 5u64;
+    let (split, histories) = world(seed);
+    let sccf = build_sccf(&split, seed);
+    let stream = event_stream(seed, 200);
+
+    let mut engine = ShardedEngine::new(
+        sccf,
+        histories.clone(),
+        ShardedConfig {
+            n_shards: 4,
+            queue_capacity: 16, // small: exercises backpressure
+        },
+    );
+    assert_eq!(engine.n_shards(), 4);
+    for &(user, item) in &stream {
+        engine.ingest(user, item);
+    }
+    engine.drain();
+    // After the barrier, recommendations reflect all ingested events.
+    for u in 0..N_USERS {
+        let recs = engine.recommend(u, 5);
+        assert!(!recs.is_empty(), "user {u} must get recommendations");
+    }
+
+    let (engines, reports) = engine.shutdown_into_engines();
+    assert_eq!(reports.iter().map(|r| r.events).sum::<u64>(), 200);
+    assert_eq!(
+        reports.iter().map(|r| r.recommends).sum::<u64>(),
+        N_USERS as u64
+    );
+    // Every shard got some work from 24 users (FxHash spread).
+    assert!(reports.iter().filter(|r| r.events > 0).count() >= 2);
+
+    // Per-user order: the owning shard's engine history must equal the
+    // initial history plus that user's events in stream order.
+    for u in 0..N_USERS {
+        let shard = shard_of(u, 4);
+        let mut expect = histories[u as usize].clone();
+        expect.extend(stream.iter().filter(|(eu, _)| *eu == u).map(|&(_, i)| i));
+        assert_eq!(
+            engines[shard].history(u),
+            expect.as_slice(),
+            "user {u} event order must survive sharding"
+        );
+    }
+}
+
+#[test]
+fn sharded_engine_rejects_nothing_it_should_accept() {
+    // Smoke: default config (auto shard count) works end to end.
+    let (split, histories) = world(9);
+    let sccf = build_sccf(&split, 9);
+    let mut engine = ShardedEngine::new(sccf, histories, ShardedConfig::default());
+    engine.ingest(0, 1);
+    engine.ingest(N_USERS - 1, 2);
+    engine.drain();
+    assert!(!engine.recommend(0, 3).is_empty());
+    let reports = engine.shutdown();
+    assert_eq!(reports.iter().map(|r| r.events).sum::<u64>(), 2);
+}
+
+#[test]
+fn worker_panic_resurfaces_with_original_payload() {
+    let (split, histories) = world(13);
+    let sccf = build_sccf(&split, 13);
+    let mut engine = ShardedEngine::new(
+        sccf,
+        histories,
+        ShardedConfig {
+            n_shards: 2,
+            queue_capacity: 8,
+        },
+    );
+    // An out-of-range item id panics the owning worker deep inside the
+    // embedding lookup; the router must re-raise that original panic,
+    // not its own generic "worker exited" message.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        engine.ingest(0, 10_000);
+        engine.drain();
+        engine.recommend(0, 3);
+    }));
+    let payload = result.expect_err("out-of-range item must panic");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        !msg.contains("exited early") && !msg.is_empty(),
+        "want the worker's own panic message, got: {msg:?}"
+    );
+}

@@ -1,0 +1,176 @@
+//! Bounded blocking channels, shimmed over `std::sync::mpsc`.
+//!
+//! The subset of `crossbeam_channel` this workspace needs: a
+//! [`bounded`] constructor, a cloneable [`Sender`] whose `send` blocks
+//! when the queue is full (backpressure), and a [`Receiver`] with
+//! blocking `recv`, non-blocking `try_recv` and a draining iterator.
+//! Capacity 0 is a rendezvous channel, exactly as in crossbeam.
+//!
+//! The sharded serving engine uses one bounded channel per shard as a
+//! single-producer single-consumer event pipe; `std::sync::mpsc` is MPSC
+//! so that usage is a strict narrowing.
+
+use std::sync::mpsc;
+
+/// Sending half of a bounded channel. Cloning is cheap (an `Arc` bump);
+/// the channel disconnects when every sender is dropped.
+pub struct Sender<T> {
+    inner: mpsc::SyncSender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Blocking send: parks until queue space is available or every
+    /// receiver is gone (in which case the message comes back in the
+    /// error).
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.inner
+            .send(msg)
+            .map_err(|mpsc::SendError(m)| SendError(m))
+    }
+
+    /// Non-blocking send: fails fast with the message when the queue is
+    /// full or disconnected.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        self.inner.try_send(msg).map_err(|e| match e {
+            mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+            mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+        })
+    }
+}
+
+/// Receiving half of a bounded channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocking receive: parks until a message arrives or every sender is
+    /// dropped and the queue is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Blocking iterator over incoming messages; ends when the channel
+    /// disconnects.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.recv().ok())
+    }
+}
+
+/// Create a bounded channel with the given capacity (0 = rendezvous:
+/// every send blocks until a receiver takes the message).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+/// The channel disconnected; the unsent message is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Why a `try_send` failed; the unsent message is returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    Full(T),
+    Disconnected(T),
+}
+
+/// Every sender is gone and the queue is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Why a `try_recv` returned no message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+impl std::error::Error for RecvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_one_sender() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.try_recv(), Ok(0));
+        assert_eq!(
+            (1..4).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_capacity_applies_backpressure() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.send(3).unwrap();
+    }
+
+    #[test]
+    fn drop_of_sender_disconnects_after_drain() {
+        let (tx, rx) = bounded(8);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn drop_of_receiver_fails_send_with_message() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn blocking_send_crosses_threads() {
+        let (tx, rx) = bounded(1);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                tx.send(i).unwrap(); // blocks when the consumer lags
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

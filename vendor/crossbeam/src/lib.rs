@@ -1,11 +1,19 @@
-//! Vendored shim for the one `crossbeam` API the workspace uses:
-//! [`scope`] with handle-returning `spawn`. Since Rust 1.63 the standard
-//! library's `std::thread::scope` provides the same guarantees (borrowed
-//! data may cross into threads because all threads join before the scope
-//! returns), so this is a thin adapter that preserves crossbeam's call
-//! shape: `crossbeam::scope(|s| { s.spawn(|_| ...) }).expect(...)`.
+//! Vendored shim for the two `crossbeam` APIs the workspace uses:
+//!
+//! * [`scope`] with handle-returning `spawn` — since Rust 1.63 the
+//!   standard library's `std::thread::scope` provides the same guarantees
+//!   (borrowed data may cross into threads because all threads join
+//!   before the scope returns), so this is a thin adapter that preserves
+//!   crossbeam's call shape:
+//!   `crossbeam::scope(|s| { s.spawn(|_| ...) }).expect(...)`.
+//! * [`channel`] — bounded blocking channels with crossbeam's
+//!   `channel::bounded` signature, adapted over
+//!   `std::sync::mpsc::sync_channel`. The sharded realtime engine uses
+//!   one bounded queue per shard as an SPSC event pipe with backpressure.
 
 use std::any::Any;
+
+pub mod channel;
 
 /// Handle mirroring `crossbeam::thread::Scope`. The closure passed to
 /// [`Scope::spawn`] receives a copy of the scope (crossbeam's nested-spawn

@@ -4,7 +4,9 @@
 //! production deployment (§IV-F) care about.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use sccf_core::{IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
+use sccf_core::{
+    CandidateSource, Exclusion, IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig,
+};
 use sccf_data::catalog::{ml1m_sim, Scale};
 use sccf_data::synthetic::generate;
 use sccf_data::LeaveOneOut;
@@ -69,7 +71,7 @@ fn bench_event_fism(c: &mut Criterion) {
             let user = i % 300;
             let item = (i * 7) % 300;
             i += 1;
-            black_box(engine.process_event(user, item))
+            black_box(engine.try_process_event(user, item).expect("valid ids"))
         });
     });
 }
@@ -95,7 +97,7 @@ fn bench_event_sasrec(c: &mut Criterion) {
             let user = i % 300;
             let item = (i * 7) % 300;
             i += 1;
-            black_box(engine.process_event(user, item))
+            black_box(engine.try_process_event(user, item).expect("valid ids"))
         });
     });
 }
@@ -115,7 +117,13 @@ fn bench_fused_recommend(c: &mut Criterion) {
     );
     let mut engine = engine_for(fism, &split, histories);
     c.bench_function("sccf_recommend_top10", |bench| {
-        bench.iter(|| black_box(engine.recommend(5, 10)));
+        bench.iter(|| {
+            black_box(
+                engine
+                    .recommend_query(5, 10, CandidateSource::Configured, &Exclusion::History)
+                    .expect("valid user"),
+            )
+        });
     });
 }
 

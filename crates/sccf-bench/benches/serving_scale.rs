@@ -9,7 +9,9 @@
 //! version of this experiment and writes `BENCH_serving.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use sccf_core::{IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
+use sccf_core::{
+    CandidateSource, Exclusion, IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig,
+};
 use sccf_data::catalog::{ml1m_sim, Scale};
 use sccf_data::synthetic::generate;
 use sccf_data::LeaveOneOut;
@@ -96,7 +98,7 @@ fn bench_catalog_scaling(c: &mut Criterion) {
                     let user = i % n_users;
                     let item = (i * 7919) % n_items as u32;
                     i += 1;
-                    black_box(engine.process_event(user, item))
+                    black_box(engine.try_process_event(user, item).expect("valid ids"))
                 });
             },
         );
@@ -107,7 +109,16 @@ fn bench_catalog_scaling(c: &mut Criterion) {
             |bench, _| {
                 bench.iter(|| {
                     i += 1;
-                    black_box(engine.recommend(i % n_users, 10))
+                    black_box(
+                        engine
+                            .recommend_query(
+                                i % n_users,
+                                10,
+                                CandidateSource::Configured,
+                                &Exclusion::History,
+                            )
+                            .expect("valid user"),
+                    )
                 });
             },
         );
@@ -121,7 +132,16 @@ fn bench_catalog_scaling(c: &mut Criterion) {
             |bench, _| {
                 bench.iter(|| {
                     i += 1;
-                    black_box(engine.recommend(i % n_users, 10))
+                    black_box(
+                        engine
+                            .recommend_query(
+                                i % n_users,
+                                10,
+                                CandidateSource::Configured,
+                                &Exclusion::History,
+                            )
+                            .expect("valid user"),
+                    )
                 });
             },
         );

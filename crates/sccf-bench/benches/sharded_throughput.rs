@@ -16,7 +16,7 @@ use sccf_data::catalog::{ml1m_sim, Scale};
 use sccf_data::synthetic::generate;
 use sccf_data::LeaveOneOut;
 use sccf_models::{Fism, FismConfig, TrainConfig};
-use sccf_serving::{ShardedConfig, ShardedEngine};
+use sccf_serving::{ServingApi, ShardedConfig, ShardedEngine};
 
 const BATCH: usize = 64;
 
@@ -71,7 +71,7 @@ fn engine_for(
             ui_ann: None,
         },
     );
-    ShardedEngine::new(
+    ShardedEngine::try_new(
         sccf,
         histories,
         ShardedConfig {
@@ -79,6 +79,7 @@ fn engine_for(
             queue_capacity: 256,
         },
     )
+    .expect("valid shard config")
 }
 
 fn bench_shard_scaling(c: &mut Criterion) {
@@ -95,10 +96,12 @@ fn bench_shard_scaling(c: &mut Criterion) {
             |bench, _| {
                 bench.iter(|| {
                     for _ in 0..BATCH {
-                        engine.ingest(k % n_users, (k * 7919 + 13) % n_items);
+                        engine
+                            .try_ingest(k % n_users, (k * 7919 + 13) % n_items)
+                            .expect("valid ids");
                         k += 1;
                     }
-                    engine.drain();
+                    engine.flush().expect("barrier");
                     black_box(k)
                 });
             },

@@ -12,7 +12,10 @@ use sccf_models::{
     AvgPoolConfig, AvgPoolDnn, Fism, FismConfig, InductiveUiModel, Recommender, SasRec,
     SasRecConfig, TrainConfig, UserKnn, UserSim,
 };
-use sccf_serving::{run_ab_test, AbTestConfig, FnCandidateGen, ShardedConfig, ShardedEngine};
+use sccf_serving::{
+    run_ab_test, AbTestConfig, ApiCandidateGen, FnCandidateGen, RecQuery, ServingApi,
+    ShardedConfig, ShardedEngine,
+};
 use sccf_util::table::{f2, f4, pct};
 use sccf_util::timer::Stopwatch;
 use sccf_util::Table;
@@ -232,7 +235,10 @@ pub fn table3(h: &HarnessConfig) -> Vec<Table> {
         let mut sccf_hist = sccf_util::LatencyHistogram::new();
         for u in split.test_users() {
             let item = split.test_item(u).expect("test user");
-            let (_, timing) = engine.process_event(u, item);
+            let timing = engine
+                .try_ingest(u, item)
+                .expect("test ids are in range")
+                .expect("the plain engine reports per-event timing");
             sccf_hist.record_ms(timing.total_ms());
         }
         let t = engine.timings();
@@ -695,10 +701,9 @@ pub fn table5(h: &HarnessConfig) -> Vec<Table> {
         // fresh engine state for every replication
         sccf.refresh_for_test(&split);
         let engine = Mutex::new(RealtimeEngine::new(sccf, initial.clone()));
-        let experiment_gen = FnCandidateGen(|u: u32, _hist: &[u32], n: usize| {
-            let mut engine = engine.lock().expect("engine lock");
-            engine.recommend(u, n).into_iter().map(|s| s.id).collect()
-        });
+        // The experiment bucket rides the unified ServingApi surface:
+        // swap in a ShardedEngine and nothing else changes.
+        let experiment_gen = ApiCandidateGen(&engine);
         let res = run_ab_test(
             split.n_users(),
             &initial,
@@ -707,7 +712,11 @@ pub fn table5(h: &HarnessConfig) -> Vec<Table> {
             &raw.truth,
             &ab,
             |u, i| {
-                engine.lock().expect("engine lock").process_event(u, i);
+                engine
+                    .lock()
+                    .expect("engine lock")
+                    .try_ingest(u, i)
+                    .expect("click ids come from the catalog");
             },
         );
         ab_click.push(res.click_lift());
@@ -1371,19 +1380,19 @@ pub fn bench_serving_json(h: &HarnessConfig, catalog_sizes: &[usize]) -> Serving
     }
 }
 
-/// Drive `events` through the engine, timing `process_event` and
-/// `recommend` separately; returns mean milliseconds per call.
-fn time_engine<M: InductiveUiModel>(
-    engine: &mut RealtimeEngine<M>,
-    n_users: usize,
-    n_items: usize,
-) -> (f64, f64) {
+/// Drive `events` through the engine via the unified `ServingApi`,
+/// timing ingest and recommend separately; returns mean milliseconds
+/// per call.
+fn time_engine<E: ServingApi>(engine: &mut E, n_users: usize, n_items: usize) -> (f64, f64) {
     let events = 400usize.min(4 * n_users);
+    let query = RecQuery::top(10);
     // warmup (fills scratch capacity, faults pages)
     for k in 0..50u32 {
         let u = k % n_users as u32;
-        engine.process_event(u, (k * 7919) % n_items as u32);
-        let _ = engine.recommend(u, 10);
+        engine
+            .try_ingest(u, (k * 7919) % n_items as u32)
+            .expect("warmup ids in range");
+        let _ = engine.try_recommend(u, &query).expect("warmup user");
     }
     let mut event_stats = sccf_util::timer::TimingStats::new();
     let mut rec_stats = sccf_util::timer::TimingStats::new();
@@ -1391,10 +1400,10 @@ fn time_engine<M: InductiveUiModel>(
         let u = (k * 131) % n_users as u32;
         let item = (k * 7919 + 13) % n_items as u32;
         let sw = Stopwatch::start();
-        engine.process_event(u, item);
+        engine.try_ingest(u, item).expect("ids in range");
         event_stats.record_ms(sw.elapsed_ms());
         let sw = Stopwatch::start();
-        let _ = engine.recommend(u, 10);
+        let _ = engine.try_recommend(u, &query).expect("valid user");
         rec_stats.record_ms(sw.elapsed_ms());
     }
     (event_stats.mean_ms(), rec_stats.mean_ms())
@@ -1512,18 +1521,19 @@ pub fn bench_sharded_json(h: &HarnessConfig, shard_counts: &[usize]) -> ShardedB
         );
         // No refresh_for_test: ShardedEngine derives per-user state from
         // `histories` directly.
-        let mut engine = ShardedEngine::new(
+        let mut engine = ShardedEngine::try_new(
             sccf,
             histories.clone(),
             ShardedConfig {
                 n_shards,
                 queue_capacity: 1024,
             },
-        );
+        )
+        .expect("valid shard config");
         for &(u, i) in &stream[..WARMUP] {
-            engine.ingest(u, i);
+            engine.try_ingest(u, i).expect("warmup ids in range");
         }
-        engine.drain();
+        engine.flush().expect("barrier");
         // Best-of-3 timed repetitions: on a shared host, scheduler
         // jitter only ever *slows* a run, so the minimum wall time is
         // the robust estimate of sustainable throughput.
@@ -1532,9 +1542,9 @@ pub fn bench_sharded_json(h: &HarnessConfig, shard_counts: &[usize]) -> ShardedB
         for _ in 0..REPS {
             let sw = Stopwatch::start();
             for &(u, i) in &stream[WARMUP..] {
-                engine.ingest(u, i);
+                engine.try_ingest(u, i).expect("stream ids in range");
             }
-            engine.drain();
+            engine.flush().expect("barrier");
             wall_ms = wall_ms.min(sw.elapsed_ms());
         }
         let (mut engines, reports) = engine.shutdown_into_engines();

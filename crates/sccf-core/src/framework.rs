@@ -30,17 +30,104 @@
 //! candidate assembly sublinear in the catalog (approximate; off by
 //! default to preserve the paper's exact Eq. 10 retrieval).
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use sccf_data::LeaveOneOut;
 use sccf_index::{DynamicIndex, HnswConfig, HnswIndex, Metric};
 use sccf_models::{InductiveUiModel, Recommender};
 use sccf_util::sparse::StampSet;
+use sccf_util::timer::Stopwatch;
 use sccf_util::topk::Scored;
 
 use crate::integrator::{CandidateFeatures, Integrator, IntegratorConfig};
 use crate::profile::UserProfiles;
+use crate::realtime::EventTiming;
 use crate::user_component::{UserBasedComponent, UserBasedConfig, UuScratch};
+
+/// Which retrieval path serves the UI (Eq. 10) candidate list for one
+/// query. Part of the typed request surface (`sccf_serving::api::RecQuery`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateSource {
+    /// Whatever the build chose: the HNSW item index when
+    /// [`SccfConfig::ui_ann`] was set, the exact dense scan otherwise.
+    #[default]
+    Configured,
+    /// Force the exact dense Eq. 10 scan (always available — the
+    /// paper's formulation).
+    Exact,
+    /// Force the HNSW item index; queries fail with
+    /// [`QueryError::AnnUnavailable`] when the instance was built
+    /// without [`SccfConfig::ui_ann`].
+    Ann,
+}
+
+/// Which items one query refuses to recommend.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Exclusion {
+    /// Mask the user's own history `R⁺_u` — the paper's rule (§III-C.1:
+    /// never recommend repeats) and the default everywhere.
+    #[default]
+    History,
+    /// The history plus caller-supplied item ids (business rules:
+    /// out-of-stock, already purchased elsewhere, editorial blocks).
+    HistoryAnd(Vec<u32>),
+    /// No mask at all: every catalog item may appear, repeats included
+    /// (offline diagnostics; never the production default).
+    Nothing,
+}
+
+impl Exclusion {
+    /// How many ids the mask holds for a given history (sizes the ANN
+    /// over-fetch).
+    fn masked_len(&self, history: &[u32]) -> usize {
+        match self {
+            Exclusion::History => history.len(),
+            Exclusion::HistoryAnd(extra) => history.len() + extra.len(),
+            Exclusion::Nothing => 0,
+        }
+    }
+}
+
+/// Why one typed query could not be served. The serving layer wraps
+/// this into `sccf_serving::api::ServingError`; the deprecated
+/// infallible entry points panic with its message instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The user id is outside the indexed population.
+    UnknownUser { user: u32, n_users: usize },
+    /// An item id (event, or exclusion-list entry) is outside the
+    /// catalog.
+    UnknownItem { item: u32, n_items: usize },
+    /// [`CandidateSource::Ann`] was requested but the instance was built
+    /// without [`SccfConfig::ui_ann`].
+    AnnUnavailable,
+    /// A shard view received a query for a user another shard owns —
+    /// the router must only send owned users here.
+    NotOwned { user: u32 },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownUser { user, n_users } => {
+                write!(f, "user {user} outside the population of {n_users}")
+            }
+            Self::UnknownItem { item, n_items } => {
+                write!(f, "item {item} outside the catalog of {n_items}")
+            }
+            Self::AnnUnavailable => write!(
+                f,
+                "ANN candidate source requested but the framework was built without `ui_ann`"
+            ),
+            Self::NotOwned { user } => {
+                write!(f, "user {user} is not owned by this shard view")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// Framework hyper-parameters.
 #[derive(Debug, Clone)]
@@ -116,15 +203,37 @@ impl QueryScratch {
         &self.cand
     }
 
+    /// The catalog size this scratch was allocated for.
+    pub fn n_items(&self) -> usize {
+        self.ui_scores.len()
+    }
+
     /// Reset for a new query: load the history mask, empty the union
     /// dedup set, and clear the candidate vectors (capacity retained).
-    /// Every assembly path goes through this one helper so a field added
-    /// to the scratch or to [`CandidateFeatures`] has a single reset
-    /// point.
     fn reset_for(&mut self, history: &[u32]) {
+        self.reset_excluding(history, &Exclusion::History);
+    }
+
+    /// Reset for a new query under an explicit [`Exclusion`] policy: the
+    /// `hist` stamp set becomes the *mask* (history, history + extras,
+    /// or nothing), the union dedup set empties, and the candidate
+    /// vectors clear (capacity retained). Every assembly path goes
+    /// through this one helper so a field added to the scratch or to
+    /// [`CandidateFeatures`] has a single reset point.
+    fn reset_excluding(&mut self, history: &[u32], exclusion: &Exclusion) {
         self.hist.clear();
-        for &i in history {
-            self.hist.insert(i);
+        match exclusion {
+            Exclusion::History => {
+                for &i in history {
+                    self.hist.insert(i);
+                }
+            }
+            Exclusion::HistoryAnd(extra) => {
+                for &i in history.iter().chain(extra) {
+                    self.hist.insert(i);
+                }
+            }
+            Exclusion::Nothing => {}
         }
         self.seen.clear();
         self.cand.items.clear();
@@ -286,6 +395,7 @@ impl<M: InductiveUiModel> Sccf<M> {
                 &neighbors,
                 &train_histories[u as usize],
                 cfg.candidate_n,
+                &Exclusion::History,
                 &mut scratch,
             );
             if !scratch.cand.is_empty() {
@@ -389,11 +499,19 @@ impl<M: InductiveUiModel> Sccf<M> {
 
     /// The per-user-state slot owning `user`: identity unsharded,
     /// map lookup on a shard view (`None` = not owned by this shard).
-    fn slot_of(&self, user: u32) -> Option<u32> {
+    pub(crate) fn slot_of(&self, user: u32) -> Option<u32> {
         match &self.owned {
             None => Some(user),
             Some(map) => map.local(user),
         }
+    }
+
+    /// Global user id of every owned slot, in slot order — `None` on the
+    /// unsharded instance (slot = global id). The realtime engine uses
+    /// this to keep its history table *compact* on shard views and to
+    /// re-frame snapshots as whole-population artifacts.
+    pub(crate) fn owned_globals(&self) -> Option<&[u32]> {
+        self.owned.as_ref().map(|m| m.globals.as_slice())
     }
 
     /// Full-catalog UU scores for `user` given a fresh representation.
@@ -446,6 +564,19 @@ impl<M: InductiveUiModel> Sccf<M> {
         }
     }
 
+    /// Resolve a [`CandidateSource`] request against what this build
+    /// actually has.
+    fn resolve_source(&self, source: CandidateSource) -> Result<Option<&HnswIndex>, QueryError> {
+        match source {
+            CandidateSource::Configured => Ok(self.shared.item_index.as_ref()),
+            CandidateSource::Exact => Ok(None),
+            CandidateSource::Ann => match self.shared.item_index.as_ref() {
+                Some(idx) => Ok(Some(idx)),
+                None => Err(QueryError::AnnUnavailable),
+            },
+        }
+    }
+
     /// Assemble the union candidate set with raw scores into
     /// `scratch.cand` without any catalog-sized allocation. This is the
     /// serving-path form of [`Sccf::candidate_features`].
@@ -461,6 +592,7 @@ impl<M: InductiveUiModel> Sccf<M> {
             &neighbors,
             history,
             self.shared.cfg.candidate_n,
+            &Exclusion::History,
             scratch,
         );
     }
@@ -510,17 +642,51 @@ impl<M: InductiveUiModel> Sccf<M> {
         scratch.cand
     }
 
-    /// Final SCCF ranking over the union, reusing `scratch` — the
-    /// real-time `recommend` call. Returns `(item id, fused score)`
-    /// sorted descending, truncated to `n`.
-    pub fn recommend_with(
+    /// The fully typed query path: final SCCF ranking over the union
+    /// under an explicit candidate source and exclusion policy, with
+    /// the Table III infer/identify timing split measured per stage.
+    ///
+    /// This is the mechanism behind `sccf_serving::api::ServingApi`:
+    /// ids are validated up front (no panics on bad input), and with
+    /// the defaults (`CandidateSource::Configured`,
+    /// [`Exclusion::History`]) the result is bit-identical to
+    /// [`Sccf::recommend_with`] — which is now a thin wrapper over this.
+    pub fn recommend_query(
         &self,
         user: u32,
         history: &[u32],
-        n: usize,
+        k: usize,
+        source: CandidateSource,
+        exclusion: &Exclusion,
         scratch: &mut QueryScratch,
-    ) -> Vec<Scored> {
-        self.candidate_features_with(user, history, scratch);
+    ) -> Result<(Vec<Scored>, EventTiming), QueryError> {
+        let n_users = self.user_count();
+        if user as usize >= n_users {
+            return Err(QueryError::UnknownUser { user, n_users });
+        }
+        let item_index = self.resolve_source(source)?;
+        let n_items = self.shared.model.n_items();
+        if let Exclusion::HistoryAnd(extra) = exclusion {
+            if let Some(&bad) = extra.iter().find(|&&i| i as usize >= n_items) {
+                return Err(QueryError::UnknownItem { item: bad, n_items });
+            }
+        }
+        let mut sw = Stopwatch::start();
+        let rep = self.shared.model.infer_user(history);
+        let infer_ms = sw.lap_ms();
+        let query = self.index_vector(user, &rep);
+        let neighbors = self.neighbor_slots(user, &query);
+        assemble_candidates_into(
+            &self.shared.model,
+            item_index,
+            &self.user_comp,
+            &rep,
+            &neighbors,
+            history,
+            self.shared.cfg.candidate_n,
+            exclusion,
+            scratch,
+        );
         let fused = self
             .shared
             .integrator
@@ -533,8 +699,40 @@ impl<M: InductiveUiModel> Sccf<M> {
             .map(|(&id, &score)| Scored { id, score })
             .collect();
         scored.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
-        scored.truncate(n);
-        scored
+        scored.truncate(k);
+        let identify_ms = sw.lap_ms();
+        Ok((
+            scored,
+            EventTiming {
+                infer_ms,
+                identify_ms,
+            },
+        ))
+    }
+
+    /// Final SCCF ranking over the union, reusing `scratch` — the
+    /// real-time `recommend` call. Returns `(item id, fused score)`
+    /// sorted descending, truncated to `n`. Defined as
+    /// [`Sccf::recommend_query`] with the default source and exclusion
+    /// (bit-identical floats); panics on ids the typed path would
+    /// reject.
+    pub fn recommend_with(
+        &self,
+        user: u32,
+        history: &[u32],
+        n: usize,
+        scratch: &mut QueryScratch,
+    ) -> Vec<Scored> {
+        self.recommend_query(
+            user,
+            history,
+            n,
+            CandidateSource::Configured,
+            &Exclusion::History,
+            scratch,
+        )
+        .map(|(items, _)| items)
+        .unwrap_or_else(|e| panic!("recommend: {e}"))
     }
 
     /// One-shot form of [`Sccf::recommend_with`].
@@ -644,6 +842,7 @@ impl<M: InductiveUiModel> Sccf<M> {
 /// `item_index` is present, an HNSW search over the item embeddings.
 /// UU side: sparse Eq. 12 — only ids touched by the neighborhood exist.
 /// Union: UI list first, then new UU entries, deduped via stamp sets.
+/// `exclusion` decides the mask (history by default; see [`Exclusion`]).
 #[allow(clippy::too_many_arguments)]
 fn assemble_candidates_into<M: InductiveUiModel>(
     model: &M,
@@ -653,26 +852,37 @@ fn assemble_candidates_into<M: InductiveUiModel>(
     neighbors: &[Scored],
     history: &[u32],
     candidate_n: usize,
+    exclusion: &Exclusion,
     scratch: &mut QueryScratch,
 ) {
-    scratch.reset_for(history);
+    scratch.reset_excluding(history, exclusion);
     // UI side (Eq. 10)
     let ui_top: Vec<Scored> = match item_index {
         None => {
             model.score_by_rep_into(rep, &mut scratch.ui_scores);
-            for &i in history {
-                scratch.ui_scores[i as usize] = f32::NEG_INFINITY;
+            match exclusion {
+                Exclusion::History => {
+                    for &i in history {
+                        scratch.ui_scores[i as usize] = f32::NEG_INFINITY;
+                    }
+                }
+                Exclusion::HistoryAnd(extra) => {
+                    for &i in history.iter().chain(extra) {
+                        scratch.ui_scores[i as usize] = f32::NEG_INFINITY;
+                    }
+                }
+                Exclusion::Nothing => {}
             }
             sccf_util::topk::topk_of_scores(&scratch.ui_scores, candidate_n)
         }
         Some(idx) => {
-            // Over-fetch to cover history hits in the ANN result, then
+            // Over-fetch to cover masked hits in the ANN result, then
             // drop them. Because the representation is inferred *from*
             // the history, history items dominate the top of the ANN
             // result — a heavy user could otherwise starve the UI list —
-            // so double the request until `candidate_n` non-history hits
+            // so double the request until `candidate_n` unmasked hits
             // survive (or the index is exhausted).
-            let mut k = candidate_n + history.len().min(candidate_n);
+            let mut k = candidate_n + exclusion.masked_len(history).min(candidate_n);
             loop {
                 let raw = idx.search(rep, k, None);
                 let exhausted = raw.len() < k || k >= idx.len();
@@ -717,6 +927,16 @@ fn assemble_candidates_into<M: InductiveUiModel>(
     cand.user_rep.extend_from_slice(rep);
 }
 
+thread_local! {
+    /// Per-thread scratch backing the allocation-free `Recommender`
+    /// path: the offline protocol calls `score_all_into` from its
+    /// worker threads, and each keeps one catalog-sized scratch here
+    /// instead of allocating per evaluated user. Re-allocated only when
+    /// an instance with a different catalog size is scored on the same
+    /// thread.
+    static EVAL_SCRATCH: RefCell<Option<QueryScratch>> = const { RefCell::new(None) };
+}
+
 impl<M: InductiveUiModel> Recommender for Sccf<M> {
     fn name(&self) -> String {
         format!("{}-SCCF", self.shared.model.name())
@@ -730,15 +950,33 @@ impl<M: InductiveUiModel> Recommender for Sccf<M> {
     /// elsewhere (non-candidates are never recommended — the two-stage
     /// contract of candidate generation).
     fn score_all(&self, user: u32, history: &[u32]) -> Vec<f32> {
-        let cand = self.candidate_features(user, history);
-        let fused = self
-            .shared
-            .integrator
-            .score(&cand, self.shared.model.item_embeddings());
-        let mut scores = vec![f32::NEG_INFINITY; self.shared.model.n_items()];
-        for (&i, &s) in cand.items.iter().zip(&fused) {
-            scores[i as usize] = s;
-        }
+        let mut scores = Vec::new();
+        self.score_all_into(user, history, &mut scores);
         scores
+    }
+
+    /// Allocation-free form of `score_all`: candidate assembly runs in a
+    /// thread-local [`QueryScratch`] and the fused scores scatter into
+    /// the caller's reused buffer, so whole-protocol offline evaluation
+    /// of SCCF performs no catalog-sized allocation per user.
+    fn score_all_into(&self, user: u32, history: &[u32], out: &mut Vec<f32>) {
+        let n_items = self.shared.model.n_items();
+        EVAL_SCRATCH.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            if !matches!(&*slot, Some(s) if s.n_items() == n_items) {
+                *slot = Some(QueryScratch::new(n_items));
+            }
+            let scratch = slot.as_mut().expect("scratch just ensured");
+            self.candidate_features_with(user, history, scratch);
+            let fused = self
+                .shared
+                .integrator
+                .score(&scratch.cand, self.shared.model.item_embeddings());
+            out.clear();
+            out.resize(n_items, f32::NEG_INFINITY);
+            for (&i, &s) in scratch.cand.items.iter().zip(&fused) {
+                out[i as usize] = s;
+            }
+        });
     }
 }

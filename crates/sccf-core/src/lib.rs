@@ -82,9 +82,14 @@ pub mod ranking;
 pub mod realtime;
 pub mod user_component;
 
-pub use framework::{QueryScratch, Sccf, SccfConfig, SccfShared};
+pub use framework::{
+    CandidateSource, Exclusion, QueryError, QueryScratch, Sccf, SccfConfig, SccfShared,
+};
 pub use integrator::{CandidateFeatures, Integrator, IntegratorConfig};
 pub use profile::UserProfiles;
 pub use ranking::RankingStage;
-pub use realtime::{EngineTimings, EventTiming, RealtimeEngine, SnapshotDecodeError};
+pub use realtime::{
+    decode_histories, encode_histories, EngineTimings, EventTiming, RealtimeEngine,
+    SnapshotDecodeError,
+};
 pub use user_component::{UserBasedComponent, UserBasedConfig, UuScratch};

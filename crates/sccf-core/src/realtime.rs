@@ -17,7 +17,7 @@ use sccf_models::InductiveUiModel;
 use sccf_util::timer::{Stopwatch, TimingStats};
 use sccf_util::topk::Scored;
 
-use crate::framework::{QueryScratch, Sccf};
+use crate::framework::{CandidateSource, Exclusion, QueryError, QueryScratch, Sccf};
 
 /// Timing breakdown of one processed event, in milliseconds.
 #[derive(Debug, Clone, Copy)]
@@ -48,29 +48,62 @@ impl EngineTimings {
     pub fn mean_total_ms(&self) -> f64 {
         self.infer.mean_ms() + self.identify.mean_ms()
     }
+
+    /// Fold another engine's timing split into this one — per-shard
+    /// reports merge into the fleet-wide Table III row of
+    /// `sccf_serving::api::ServingStats`.
+    pub fn merge(&mut self, other: &EngineTimings) {
+        self.infer.merge(&other.infer);
+        self.identify.merge(&other.identify);
+    }
 }
 
 /// Streaming wrapper around a built [`Sccf`] instance.
 ///
-/// The engine owns one [`QueryScratch`]; every `recommend` reuses it, so
-/// steady-state serving performs no heap allocation proportional to the
-/// catalog (see the `sccf-core` crate docs for the full contract).
+/// The engine owns one [`QueryScratch`]; every recommendation reuses it,
+/// so steady-state serving performs no heap allocation proportional to
+/// the catalog (see the `sccf-core` crate docs for the full contract).
+///
+/// The typed, fallible entry points
+/// ([`RealtimeEngine::try_process_event`],
+/// [`RealtimeEngine::recommend_query`]) are the primary surface — the
+/// serving layer's `ServingApi` rides on them. The old infallible
+/// signatures remain as deprecated wrappers that panic where the typed
+/// path returns a [`QueryError`].
 pub struct RealtimeEngine<M: InductiveUiModel> {
     sccf: Sccf<M>,
-    /// Full per-user histories, grown as events arrive.
+    /// Per-user histories, grown as events arrive and addressed by
+    /// *slot*: global user id on the unsharded engine, compact
+    /// owned-user slot on a shard view (the slot↔global map lives in
+    /// the `Sccf`). A shard therefore stores only its own users'
+    /// histories — no O(population) table per shard — while snapshots
+    /// still round-trip whole-population through the map.
     histories: Vec<Vec<u32>>,
     timings: EngineTimings,
+    /// Recommendation requests served (reported via `ServingStats`).
+    recommends: u64,
     scratch: QueryScratch,
 }
 
 impl<M: InductiveUiModel> RealtimeEngine<M> {
-    /// Wrap a built framework with the users' current histories.
-    pub fn new(sccf: Sccf<M>, histories: Vec<Vec<u32>>) -> Self {
+    /// Wrap a built framework with the users' current histories
+    /// (whole-population, indexed by global user id). On a shard view
+    /// the owned subset is moved into the compact slot layout; unowned
+    /// entries are dropped — their state lives on their owning shard.
+    pub fn new(sccf: Sccf<M>, mut histories: Vec<Vec<u32>>) -> Self {
+        let histories = match sccf.owned_globals() {
+            None => histories,
+            Some(globals) => globals
+                .iter()
+                .map(|&g| std::mem::take(&mut histories[g as usize]))
+                .collect(),
+        };
         let scratch = sccf.new_scratch();
         Self {
             sccf,
             histories,
             timings: EngineTimings::default(),
+            recommends: 0,
             scratch,
         }
     }
@@ -85,23 +118,58 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
         self.sccf
     }
 
+    /// The user's current history. On a shard view, users owned by other
+    /// shards report an empty history (their state lives elsewhere).
     pub fn history(&self, user: u32) -> &[u32] {
-        &self.histories[user as usize]
+        match self.sccf.slot_of(user) {
+            Some(slot) => &self.histories[slot as usize],
+            None => &[],
+        }
     }
 
     pub fn timings(&self) -> &EngineTimings {
         &self.timings
     }
 
+    /// Recommendation requests served through the typed path.
+    pub fn recommends(&self) -> u64 {
+        self.recommends
+    }
+
+    /// Whether this engine holds `user`'s state: any in-population id on
+    /// the unsharded engine, the owned subset on a shard view. Batch
+    /// entry points pre-validate with this so "atomic" means atomic on
+    /// shard views too.
+    pub fn owns(&self, user: u32) -> bool {
+        (user as usize) < self.sccf.user_count() && self.sccf.slot_of(user).is_some()
+    }
+
     /// Ingest one interaction: append to the history, re-infer the user
     /// representation, refresh index + recent-items state, and find the
     /// new neighborhood. Returns the neighborhood and the measured
-    /// timing split.
-    pub fn process_event(&mut self, user: u32, item: u32) -> (Vec<Scored>, EventTiming) {
-        self.histories[user as usize].push(item);
+    /// timing split; invalid ids surface as [`QueryError`] instead of
+    /// panicking mid-update.
+    pub fn try_process_event(
+        &mut self,
+        user: u32,
+        item: u32,
+    ) -> Result<(Vec<Scored>, EventTiming), QueryError> {
+        let n_users = self.sccf.user_count();
+        if user as usize >= n_users {
+            return Err(QueryError::UnknownUser { user, n_users });
+        }
+        let n_items = self.sccf.model().n_items();
+        if item as usize >= n_items {
+            return Err(QueryError::UnknownItem { item, n_items });
+        }
+        let slot = self
+            .sccf
+            .slot_of(user)
+            .ok_or(QueryError::NotOwned { user })? as usize;
+        self.histories[slot].push(item);
 
         let mut sw = Stopwatch::start();
-        let rep = self.sccf.model().infer_user(&self.histories[user as usize]);
+        let rep = self.sccf.model().infer_user(&self.histories[slot]);
         let infer_ms = sw.lap_ms();
 
         self.sccf.record_event(user, item, &rep);
@@ -113,14 +181,59 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
             identify_ms,
         };
         self.timings.record(timing);
-        (neighbors, timing)
+        Ok((neighbors, timing))
     }
 
-    /// Produce the fused top-`n` recommendation for a user right now.
-    /// Reuses the engine's scratch: no catalog-sized allocation.
+    /// Deprecated infallible form of
+    /// [`RealtimeEngine::try_process_event`] (bit-identical for valid
+    /// ids; panics where the typed path returns an error).
+    #[deprecated(note = "use `try_process_event` or the `sccf_serving::api::ServingApi` surface")]
+    pub fn process_event(&mut self, user: u32, item: u32) -> (Vec<Scored>, EventTiming) {
+        self.try_process_event(user, item)
+            .unwrap_or_else(|e| panic!("process_event: {e}"))
+    }
+
+    /// Typed top-`k` recommendation: explicit candidate source and
+    /// exclusion policy, per-stage timing split, errors instead of
+    /// panics. With the defaults (`CandidateSource::Configured`,
+    /// [`Exclusion::History`]) the items are bit-identical to the
+    /// deprecated [`RealtimeEngine::recommend`].
+    pub fn recommend_query(
+        &mut self,
+        user: u32,
+        k: usize,
+        source: CandidateSource,
+        exclusion: &Exclusion,
+    ) -> Result<(Vec<Scored>, EventTiming), QueryError> {
+        let n_users = self.sccf.user_count();
+        if user as usize >= n_users {
+            return Err(QueryError::UnknownUser { user, n_users });
+        }
+        let slot = self
+            .sccf
+            .slot_of(user)
+            .ok_or(QueryError::NotOwned { user })? as usize;
+        let out = self.sccf.recommend_query(
+            user,
+            &self.histories[slot],
+            k,
+            source,
+            exclusion,
+            &mut self.scratch,
+        )?;
+        self.recommends += 1;
+        Ok(out)
+    }
+
+    /// Deprecated infallible form of
+    /// [`RealtimeEngine::recommend_query`] with the default source and
+    /// exclusion. Reuses the engine's scratch: no catalog-sized
+    /// allocation.
+    #[deprecated(note = "use `recommend_query` or the `sccf_serving::api::ServingApi` surface")]
     pub fn recommend(&mut self, user: u32, n: usize) -> Vec<Scored> {
-        self.sccf
-            .recommend_with(user, &self.histories[user as usize], n, &mut self.scratch)
+        self.recommend_query(user, n, CandidateSource::Configured, &Exclusion::History)
+            .map(|(items, _)| items)
+            .unwrap_or_else(|e| panic!("recommend: {e}"))
     }
 
     /// Serialize the engine's mutable state — the per-user histories.
@@ -129,27 +242,54 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
     /// failover snapshot; model weights are persisted separately via the
     /// models' own `save_bytes`.
     ///
-    /// Format: magic, user count, then per user a length-prefixed item
-    /// list, all little-endian u32/u64.
+    /// The artifact is always framed whole-population (see
+    /// [`encode_histories`] for the byte format): a shard view writes
+    /// its owned users at their global positions and empty histories
+    /// elsewhere. The sharded engine merges shard exports instead — one
+    /// artifact, any engine shape restores it.
     pub fn snapshot(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.histories.len() * 8);
-        out.extend_from_slice(SNAPSHOT_MAGIC);
-        out.extend_from_slice(&(self.histories.len() as u64).to_le_bytes());
-        for h in &self.histories {
-            out.extend_from_slice(&(h.len() as u32).to_le_bytes());
-            for &item in h {
-                out.extend_from_slice(&item.to_le_bytes());
+        match self.sccf.owned_globals() {
+            None => encode_histories(&self.histories),
+            Some(globals) => {
+                let mut full = vec![Vec::new(); self.sccf.user_count()];
+                for (slot, &g) in globals.iter().enumerate() {
+                    full[g as usize] = self.histories[slot].clone();
+                }
+                encode_histories(&full)
             }
         }
-        out
+    }
+
+    /// The `(global user id, history)` pairs this engine owns — every
+    /// user on the unsharded engine, the owned subset on a shard view.
+    /// The sharded engine's snapshot path merges these across shards
+    /// into one whole-population artifact.
+    pub fn export_histories(&self) -> Vec<(u32, Vec<u32>)> {
+        match self.sccf.owned_globals() {
+            None => self
+                .histories
+                .iter()
+                .enumerate()
+                .map(|(u, h)| (u as u32, h.clone()))
+                .collect(),
+            Some(globals) => globals
+                .iter()
+                .zip(&self.histories)
+                .map(|(&g, h)| (g, h.clone()))
+                .collect(),
+        }
     }
 
     /// Rebuild an engine from a snapshot: decode the histories, then
-    /// re-infer every representation and reset index + recent-item state.
-    /// Timing statistics start fresh (they describe a process lifetime,
-    /// not the logical state).
+    /// re-infer every owned user's representation and reset index +
+    /// recent-item state. Timing statistics start fresh (they describe a
+    /// process lifetime, not the logical state).
+    ///
+    /// The snapshot is whole-population; a shard view restores (and
+    /// keeps) only the users it owns, so the same artifact rehydrates a
+    /// plain engine or any shard of a re-partitioned fleet.
     pub fn restore(mut sccf: Sccf<M>, bytes: &[u8]) -> Result<Self, SnapshotDecodeError> {
-        let histories = decode_histories(bytes)?;
+        let mut histories = decode_histories(bytes)?;
         if histories.len() != sccf.user_count() {
             return Err(SnapshotDecodeError::UserCountMismatch {
                 snapshot: histories.len(),
@@ -169,21 +309,49 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
                 });
             }
         }
-        for (u, h) in histories.iter().enumerate() {
-            let rep = sccf.model().infer_user(h);
-            sccf.reset_user_state(u as u32, h, &rep);
+        let owned: Vec<u32> = match sccf.owned_globals() {
+            None => (0..histories.len() as u32).collect(),
+            Some(globals) => globals.to_vec(),
+        };
+        let mut compact = Vec::with_capacity(owned.len());
+        for &g in &owned {
+            let h = std::mem::take(&mut histories[g as usize]);
+            let rep = sccf.model().infer_user(&h);
+            sccf.reset_user_state(g, &h, &rep);
+            compact.push(h);
         }
         let scratch = sccf.new_scratch();
         Ok(Self {
             sccf,
-            histories,
+            histories: compact,
             timings: EngineTimings::default(),
+            recommends: 0,
             scratch,
         })
     }
 }
 
 const SNAPSHOT_MAGIC: &[u8; 8] = b"SCCFRT01";
+
+/// Serialize whole-population per-user histories in the engine snapshot
+/// format: magic, user count, then per user a length-prefixed item
+/// list, all little-endian u32/u64. This is the one serving-state
+/// artifact of the system — produced by [`RealtimeEngine::snapshot`]
+/// and `ShardedEngine::snapshot`, consumed by [`RealtimeEngine::restore`]
+/// and `ShardedEngine::restore` at *any* shard count (offline
+/// resharding N→M re-partitions at load time).
+pub fn encode_histories(histories: &[Vec<u32>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + histories.len() * 8);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&(histories.len() as u64).to_le_bytes());
+    for h in histories {
+        out.extend_from_slice(&(h.len() as u32).to_le_bytes());
+        for &item in h {
+            out.extend_from_slice(&item.to_le_bytes());
+        }
+    }
+    out
+}
 
 /// Why a snapshot could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -226,7 +394,11 @@ impl std::fmt::Display for SnapshotDecodeError {
 
 impl std::error::Error for SnapshotDecodeError {}
 
-fn decode_histories(bytes: &[u8]) -> Result<Vec<Vec<u32>>, SnapshotDecodeError> {
+/// Decode a snapshot produced by [`encode_histories`] back into the
+/// whole-population history table. Validates framing only (magic,
+/// lengths); catalog-range validation happens at restore, where the
+/// target engine's item count is known.
+pub fn decode_histories(bytes: &[u8]) -> Result<Vec<Vec<u32>>, SnapshotDecodeError> {
     let mut pos = 0usize;
     let take = |pos: &mut usize, n: usize| -> Result<&[u8], SnapshotDecodeError> {
         let end = pos.checked_add(n).ok_or(SnapshotDecodeError::Truncated)?;
@@ -263,6 +435,10 @@ fn decode_histories(bytes: &[u8]) -> Result<Vec<Vec<u32>>, SnapshotDecodeError> 
 
 #[cfg(test)]
 mod tests {
+    // Deliberately exercises the deprecated infallible wrappers
+    // (`process_event`/`recommend`): these tests are the bit-identical
+    // pin for the compat surface over the typed path.
+    #![allow(deprecated)]
     use super::*;
     use crate::framework::SccfConfig;
     use crate::integrator::IntegratorConfig;
@@ -429,6 +605,103 @@ mod tests {
             Ok(_) => panic!("truncated snapshot must not restore"),
         };
         assert_eq!(err2, SnapshotDecodeError::Truncated);
+    }
+
+    #[test]
+    fn typed_path_rejects_bad_ids_without_state_change() {
+        let mut engine = build_engine();
+        let before = engine.history(0).len();
+        assert!(matches!(
+            engine.try_process_event(99, 0),
+            Err(QueryError::UnknownUser { user: 99, .. })
+        ));
+        assert!(matches!(
+            engine.try_process_event(0, 999),
+            Err(QueryError::UnknownItem { item: 999, .. })
+        ));
+        assert_eq!(
+            engine.history(0).len(),
+            before,
+            "failed ingest must not mutate"
+        );
+        assert!(matches!(
+            engine.recommend_query(99, 5, CandidateSource::Configured, &Exclusion::History),
+            Err(QueryError::UnknownUser { .. })
+        ));
+        assert!(matches!(
+            engine.recommend_query(0, 5, CandidateSource::Ann, &Exclusion::History),
+            Err(QueryError::AnnUnavailable)
+        ));
+        // the engine keeps serving after rejected requests
+        let (recs, t) = engine
+            .recommend_query(0, 5, CandidateSource::Configured, &Exclusion::History)
+            .expect("valid query serves");
+        assert!(!recs.is_empty());
+        assert!(t.infer_ms >= 0.0 && t.identify_ms >= 0.0);
+    }
+
+    #[test]
+    fn typed_recommend_matches_deprecated_wrapper_bitwise() {
+        let mut a = build_engine();
+        let mut b = build_engine();
+        a.process_event(0, 4);
+        b.try_process_event(0, 4).unwrap();
+        let old = a.recommend(0, 6);
+        let (new, _) = b
+            .recommend_query(0, 6, CandidateSource::Configured, &Exclusion::History)
+            .unwrap();
+        assert_eq!(old.len(), new.len());
+        for (x, y) in old.iter().zip(&new) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn exclusion_policies_shape_the_slate() {
+        let mut engine = build_engine();
+        engine.try_process_event(0, 4).unwrap();
+        let hist: sccf_util::FxHashSet<u32> = engine.history(0).iter().copied().collect();
+
+        // History (default): no repeats.
+        let (default_recs, _) = engine
+            .recommend_query(0, 6, CandidateSource::Configured, &Exclusion::History)
+            .unwrap();
+        assert!(default_recs.iter().all(|r| !hist.contains(&r.id)));
+
+        // HistoryAnd: the previous top pick disappears.
+        let banned = default_recs[0].id;
+        let (filtered, _) = engine
+            .recommend_query(
+                0,
+                6,
+                CandidateSource::Configured,
+                &Exclusion::HistoryAnd(vec![banned]),
+            )
+            .unwrap();
+        assert!(filtered.iter().all(|r| r.id != banned));
+        assert!(filtered.iter().all(|r| !hist.contains(&r.id)));
+
+        // HistoryAnd validates the extra ids.
+        assert!(matches!(
+            engine.recommend_query(
+                0,
+                6,
+                CandidateSource::Configured,
+                &Exclusion::HistoryAnd(vec![10_000]),
+            ),
+            Err(QueryError::UnknownItem { item: 10_000, .. })
+        ));
+
+        // Nothing: history items may reappear (12-item catalog, 6-item
+        // histories — unmasked Eq. 10 must surface at least one repeat).
+        let (open, _) = engine
+            .recommend_query(0, 12, CandidateSource::Configured, &Exclusion::Nothing)
+            .unwrap();
+        assert!(
+            open.iter().any(|r| hist.contains(&r.id)),
+            "unmasked query should rank history items too"
+        );
     }
 
     #[test]

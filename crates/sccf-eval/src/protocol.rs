@@ -52,6 +52,13 @@ impl<M: Recommender + ?Sized> Scorer for M {
     fn score(&self, user: u32, history: &[u32]) -> Vec<f32> {
         self.score_all(user, history)
     }
+
+    /// Forward to [`Recommender::score_all_into`], so models overriding
+    /// that (SCCF's thread-local scratch path) evaluate allocation-free
+    /// under the whole protocol.
+    fn score_into(&self, user: u32, history: &[u32], out: &mut Vec<f32>) {
+        self.score_all_into(user, history, out);
+    }
 }
 
 /// Closure adapter for [`Scorer`].

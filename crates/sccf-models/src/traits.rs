@@ -24,6 +24,16 @@ pub trait Recommender: Send + Sync {
     /// responsible for masking `R⁺_u` (the paper never recommends
     /// repeats).
     fn score_all(&self, user: u32, history: &[u32]) -> Vec<f32>;
+
+    /// Score every item into a caller-owned buffer (cleared and resized
+    /// to `n_items`). The evaluation protocol keeps one buffer per
+    /// worker thread and funnels through this, so models that override
+    /// it (e.g. SCCF with its thread-local scratch) evaluate without a
+    /// catalog-sized allocation per user. The default delegates to
+    /// [`Recommender::score_all`] and must stay bit-identical to it.
+    fn score_all_into(&self, user: u32, history: &[u32], out: &mut Vec<f32>) {
+        *out = self.score_all(user, history);
+    }
 }
 
 /// A UI model that can infer user representations on the fly (Eq. 10).

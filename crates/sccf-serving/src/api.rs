@@ -1,0 +1,416 @@
+//! The unified serving surface: one typed request/response API over
+//! both engine shapes.
+//!
+//! The paper's serving story (Tables III/IV) is one logical operation
+//! set — ingest an event, ask for top-k — but the repo grew two
+//! front-ends for it: the single-writer [`RealtimeEngine`] and the
+//! sharded multi-writer `ShardedEngine`. [`ServingApi`] makes them
+//! interchangeable:
+//!
+//! * **Typed requests** — [`RecQuery`] carries `k`, the
+//!   [`Exclusion`] policy (history / history + business rules /
+//!   nothing) and the [`CandidateSource`] (exact Eq. 10 scan vs HNSW).
+//! * **Typed responses** — [`RecResponse`] returns the scored slate
+//!   plus the per-stage [`EventTiming`] split of Table III.
+//! * **Fallible everywhere** — [`ServingError`] replaces the historical
+//!   panic-on-unknown-id behavior; a rejected request never corrupts or
+//!   kills an engine (or a shard worker).
+//! * **Batched** — [`ServingApi::ingest_batch`] and
+//!   [`ServingApi::recommend_many`] amortize queue/drain crossings in
+//!   the sharded engine and validate atomically (a bad id fails the
+//!   whole batch *before* any event is applied).
+//! * **One stats shape** — [`ServingStats`] subsumes
+//!   [`EngineTimings`] and the sharded engine's per-shard reports.
+//! * **One snapshot artifact** — [`ServingApi::snapshot_state`] emits
+//!   the whole-population history format
+//!   ([`sccf_core::encode_histories`]) from either engine, and either
+//!   engine restores it at any shard count: offline resharding N→M is
+//!   `snapshot_state()` + `ShardedEngine::restore(.., new_cfg)`.
+//!
+//! ```
+//! use sccf_core::{IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
+//! use sccf_data::{Dataset, Interaction, LeaveOneOut};
+//! use sccf_models::{Fism, FismConfig, TrainConfig};
+//! use sccf_serving::api::{RecQuery, ServingApi};
+//!
+//! // A tiny world and a built framework.
+//! let inter: Vec<Interaction> = (0..8u32)
+//!     .flat_map(|u| (0..4).map(move |t| Interaction {
+//!         user: u,
+//!         item: (u / 4) * 4 + (u + t) % 4,
+//!         ts: t as i64,
+//!     }))
+//!     .collect();
+//! let data = Dataset::from_interactions("doc", 8, 8, &inter, None);
+//! let split = LeaveOneOut::split(&data);
+//! let fism = Fism::train(&split, &FismConfig {
+//!     train: TrainConfig { dim: 4, epochs: 2, ..Default::default() },
+//!     ..Default::default()
+//! });
+//! let sccf = Sccf::build(fism, &split, SccfConfig {
+//!     user_based: UserBasedConfig { beta: 3, recent_window: 4 },
+//!     candidate_n: 6,
+//!     integrator: IntegratorConfig { epochs: 2, ..Default::default() },
+//!     threads: 1,
+//!     profiles: None,
+//!     ui_ann: None,
+//! });
+//! let histories: Vec<Vec<u32>> = (0..8u32).map(|u| split.train_plus_val(u)).collect();
+//!
+//! // The same code drives a plain or a sharded engine.
+//! fn serve(api: &mut impl ServingApi) -> usize {
+//!     api.ingest_batch(&[(0, 5), (1, 6)]).expect("valid ids");
+//!     api.flush().expect("barrier");
+//!     let res = api.try_recommend(0, &RecQuery::top(3)).expect("user 0 exists");
+//!     res.items.len()
+//! }
+//! let mut plain = RealtimeEngine::new(sccf, histories);
+//! assert!(serve(&mut plain) > 0);
+//! let stats = plain.serving_stats().unwrap();
+//! assert_eq!(stats.events, 2);
+//! assert_eq!(stats.recommends, 1);
+//! ```
+
+use std::sync::Mutex;
+
+use sccf_core::{
+    CandidateSource, EngineTimings, EventTiming, Exclusion, QueryError, RealtimeEngine,
+    SnapshotDecodeError,
+};
+use sccf_models::InductiveUiModel;
+use sccf_util::topk::Scored;
+
+use crate::ab_test::CandidateGen;
+use crate::sharded::ShardReport;
+
+/// One typed recommendation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecQuery {
+    /// Slate size: how many items to return.
+    pub k: usize,
+    /// Which retrieval path serves the UI candidates (exact Eq. 10 scan
+    /// vs HNSW). `Configured` follows the build.
+    pub source: CandidateSource,
+    /// Which items the slate must not contain. `History` is the paper's
+    /// rule and the default.
+    pub exclude: Exclusion,
+}
+
+impl Default for RecQuery {
+    fn default() -> Self {
+        Self::top(10)
+    }
+}
+
+impl RecQuery {
+    /// The standard query: top-`k`, configured source, history excluded.
+    pub fn top(k: usize) -> Self {
+        Self {
+            k,
+            source: CandidateSource::Configured,
+            exclude: Exclusion::History,
+        }
+    }
+
+    /// Override the candidate source.
+    pub fn with_source(mut self, source: CandidateSource) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Override the exclusion policy.
+    pub fn excluding(mut self, exclude: Exclusion) -> Self {
+        self.exclude = exclude;
+        self
+    }
+}
+
+/// One typed recommendation response.
+#[derive(Debug, Clone)]
+pub struct RecResponse {
+    /// The slate: `(item id, fused score)` descending, at most `k` long.
+    pub items: Vec<Scored>,
+    /// Table III split for this query: representation inference vs
+    /// neighborhood + candidate + fusion work. Measured on the worker
+    /// thread that actually served the query.
+    pub timing: EventTiming,
+}
+
+impl RecResponse {
+    /// Just the item ids, in rank order.
+    pub fn ids(&self) -> Vec<u32> {
+        self.items.iter().map(|s| s.id).collect()
+    }
+}
+
+/// Why a serving request was rejected. Every public entry point of the
+/// unified surface returns this instead of panicking; a rejected
+/// request leaves the engine fully serviceable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServingError {
+    /// The user id is outside the indexed population.
+    UnknownUser { user: u32, n_users: usize },
+    /// An item id (event or exclusion entry) is outside the catalog.
+    UnknownItem { item: u32, n_items: usize },
+    /// [`CandidateSource::Ann`] requested on an engine built without
+    /// `ui_ann`.
+    AnnUnavailable,
+    /// A shard view was asked about a user another shard owns.
+    NotOwned { user: u32 },
+    /// The engine could not be constructed as configured (zero shards,
+    /// zero queue capacity, history table of the wrong size, …).
+    InvalidConfig(String),
+    /// A snapshot artifact failed to decode.
+    Snapshot(SnapshotDecodeError),
+}
+
+impl From<QueryError> for ServingError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::UnknownUser { user, n_users } => Self::UnknownUser { user, n_users },
+            QueryError::UnknownItem { item, n_items } => Self::UnknownItem { item, n_items },
+            QueryError::AnnUnavailable => Self::AnnUnavailable,
+            QueryError::NotOwned { user } => Self::NotOwned { user },
+        }
+    }
+}
+
+impl From<SnapshotDecodeError> for ServingError {
+    fn from(e: SnapshotDecodeError) -> Self {
+        Self::Snapshot(e)
+    }
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownUser { user, n_users } => {
+                write!(f, "user {user} outside the population of {n_users}")
+            }
+            Self::UnknownItem { item, n_items } => {
+                write!(f, "item {item} outside the catalog of {n_items}")
+            }
+            Self::AnnUnavailable => write!(
+                f,
+                "ANN candidate source requested but the engine was built without `ui_ann`"
+            ),
+            Self::NotOwned { user } => write!(f, "user {user} is not owned by this shard"),
+            Self::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
+            Self::Snapshot(e) => write!(f, "snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Unified serving statistics: subsumes the plain engine's
+/// [`EngineTimings`] and the sharded engine's per-shard reports in one
+/// shape, so dashboards and benches read both engine kinds identically.
+#[derive(Debug, Clone, Default)]
+pub struct ServingStats {
+    /// Events ingested (each ran the infer + identify refresh).
+    pub events: u64,
+    /// Recommendation requests served.
+    pub recommends: u64,
+    /// The Table III timing split, merged across all workers.
+    pub timings: EngineTimings,
+    /// Per-shard breakdown; empty on the single-writer engine.
+    pub shards: Vec<ShardReport>,
+}
+
+impl ServingStats {
+    /// Fold per-shard reports into the unified shape.
+    pub fn from_shards(shards: Vec<ShardReport>) -> Self {
+        let mut stats = ServingStats::default();
+        for r in &shards {
+            stats.events += r.events;
+            stats.recommends += r.recommends;
+            stats.timings.merge(&r.timings);
+        }
+        stats.shards = shards;
+        stats
+    }
+}
+
+/// The one serving interface both engines implement.
+///
+/// Everything returns `Result`: invalid ids and unsatisfiable queries
+/// surface as [`ServingError`] instead of panicking (the historical
+/// infallible signatures remain as deprecated wrappers on the concrete
+/// engines). The trait is object-safe — `&mut dyn ServingApi` works —
+/// and batch entry points are **atomic**: the whole batch is validated
+/// before any event is applied, so an error means "nothing happened".
+///
+/// Semantics shared by both implementations:
+///
+/// * per-user read-your-writes: a recommendation observes every event
+///   the same caller ingested before it;
+/// * [`ServingApi::flush`] is a barrier: afterwards, every prior ingest
+///   is reflected in every user's recommendations;
+/// * [`ServingApi::snapshot_state`] emits the whole-population artifact
+///   of [`sccf_core::encode_histories`], restorable by either engine at
+///   any shard count.
+pub trait ServingApi {
+    /// Ingest one interaction. Returns the Table III timing split when
+    /// the engine processes synchronously ([`RealtimeEngine`]), `None`
+    /// when the event was queued to a worker (`ShardedEngine` — read
+    /// aggregate timings via [`ServingApi::serving_stats`]).
+    fn try_ingest(&mut self, user: u32, item: u32) -> Result<Option<EventTiming>, ServingError>;
+
+    /// Ingest a batch of `(user, item)` events in order. Validated
+    /// atomically up front; on the sharded engine the whole batch is
+    /// routed in one wave (no per-event reply crossings). Returns the
+    /// number of events ingested.
+    fn ingest_batch(&mut self, events: &[(u32, u32)]) -> Result<u64, ServingError>;
+
+    /// Serve one typed recommendation request.
+    fn try_recommend(&mut self, user: u32, query: &RecQuery) -> Result<RecResponse, ServingError>;
+
+    /// Serve the same query for many users, amortizing queue crossings:
+    /// the sharded engine fans all requests out before collecting any
+    /// reply. Responses come back in `users` order and are identical to
+    /// issuing sequential [`ServingApi::try_recommend`] calls.
+    fn recommend_many(
+        &mut self,
+        users: &[u32],
+        query: &RecQuery,
+    ) -> Result<Vec<RecResponse>, ServingError>;
+
+    /// Barrier: block until every event ingested so far is reflected in
+    /// serving state. A no-op on the synchronous plain engine.
+    fn flush(&mut self) -> Result<(), ServingError>;
+
+    /// Unified counters + Table III timings (merged across workers,
+    /// with the per-shard breakdown attached where one exists).
+    fn serving_stats(&mut self) -> Result<ServingStats, ServingError>;
+
+    /// Serialize the complete serving state (whole-population per-user
+    /// histories) into the engine-agnostic snapshot artifact. Implies a
+    /// [`ServingApi::flush`] on queued engines.
+    fn snapshot_state(&mut self) -> Result<Vec<u8>, ServingError>;
+}
+
+/// Shared pre-validation for the plain engine's batch entry points:
+/// user ids in range *and owned* (a shard view obtained from
+/// `ShardedEngine::shutdown_into_engines` owns a subset), so "atomic"
+/// holds there too — mirroring the sharded router's checks exactly.
+fn check_plain_user<M: InductiveUiModel>(
+    engine: &RealtimeEngine<M>,
+    user: u32,
+) -> Result<(), ServingError> {
+    let n_users = engine.sccf().user_count();
+    if user as usize >= n_users {
+        return Err(ServingError::UnknownUser { user, n_users });
+    }
+    if !engine.owns(user) {
+        return Err(ServingError::NotOwned { user });
+    }
+    Ok(())
+}
+
+/// Query pre-validation matching `ShardedEngine`'s router checks (ANN
+/// availability, exclusion-id ranges), so the two implementations agree
+/// on edge cases like an unsatisfiable query over an empty user list.
+fn check_plain_query<M: InductiveUiModel>(
+    engine: &RealtimeEngine<M>,
+    query: &RecQuery,
+) -> Result<(), ServingError> {
+    if query.source == CandidateSource::Ann && engine.sccf().config().ui_ann.is_none() {
+        return Err(ServingError::AnnUnavailable);
+    }
+    if let Exclusion::HistoryAnd(extra) = &query.exclude {
+        let n_items = engine.sccf().model().n_items();
+        if let Some(&item) = extra.iter().find(|&&i| i as usize >= n_items) {
+            return Err(ServingError::UnknownItem { item, n_items });
+        }
+    }
+    Ok(())
+}
+
+impl<M: InductiveUiModel> ServingApi for RealtimeEngine<M> {
+    fn try_ingest(&mut self, user: u32, item: u32) -> Result<Option<EventTiming>, ServingError> {
+        self.try_process_event(user, item)
+            .map(|(_, timing)| Some(timing))
+            .map_err(ServingError::from)
+    }
+
+    fn ingest_batch(&mut self, events: &[(u32, u32)]) -> Result<u64, ServingError> {
+        // Validate the whole batch before applying anything: atomic
+        // failure, same contract as the sharded engine.
+        let n_items = self.sccf().model().n_items();
+        for &(user, item) in events {
+            check_plain_user(self, user)?;
+            if item as usize >= n_items {
+                return Err(ServingError::UnknownItem { item, n_items });
+            }
+        }
+        for &(user, item) in events {
+            self.try_process_event(user, item)
+                .map_err(ServingError::from)?;
+        }
+        Ok(events.len() as u64)
+    }
+
+    fn try_recommend(&mut self, user: u32, query: &RecQuery) -> Result<RecResponse, ServingError> {
+        self.recommend_query(user, query.k, query.source, &query.exclude)
+            .map(|(items, timing)| RecResponse { items, timing })
+            .map_err(ServingError::from)
+    }
+
+    fn recommend_many(
+        &mut self,
+        users: &[u32],
+        query: &RecQuery,
+    ) -> Result<Vec<RecResponse>, ServingError> {
+        for &user in users {
+            check_plain_user(self, user)?;
+        }
+        check_plain_query(self, query)?;
+        users
+            .iter()
+            .map(|&u| self.try_recommend(u, query))
+            .collect()
+    }
+
+    fn flush(&mut self) -> Result<(), ServingError> {
+        Ok(()) // synchronous engine: every ingest already applied
+    }
+
+    fn serving_stats(&mut self) -> Result<ServingStats, ServingError> {
+        Ok(ServingStats {
+            events: self.timings().infer.count(),
+            recommends: self.recommends(),
+            timings: self.timings().clone(),
+            shards: Vec::new(),
+        })
+    }
+
+    fn snapshot_state(&mut self) -> Result<Vec<u8>, ServingError> {
+        Ok(self.snapshot())
+    }
+}
+
+/// [`CandidateGen`] adapter over any [`ServingApi`] engine behind a
+/// `Mutex`: the A/B harness's experiment bucket serves candidates
+/// straight from the live engine, with zero engine-specific glue —
+/// swap a plain engine for a sharded one without touching the
+/// experiment. Errors (which only unknown ids can produce) yield an
+/// empty slate, which the harness skips.
+pub struct ApiCandidateGen<'e, E: ServingApi + Send>(pub &'e Mutex<E>);
+
+impl<E: ServingApi + Send> CandidateGen for ApiCandidateGen<'_, E> {
+    fn candidates(&self, user: u32, _history: &[u32], n: usize) -> Vec<u32> {
+        let mut engine = self.0.lock().expect("engine lock");
+        match engine.try_recommend(user, &RecQuery::top(n)) {
+            Ok(res) => res.ids(),
+            Err(_) => Vec::new(),
+        }
+    }
+}

@@ -9,17 +9,25 @@
 //! worker through a bounded SPSC event queue with backpressure.
 //!
 //! ```text
-//! ingest(user, item) ──► shard router (hash(user) % N)
-//!                           │ bounded SPSC queue per shard
-//!        ┌──────────────────┼──────────────────┐
-//!        ▼                  ▼                  ▼
-//!   shard 0 worker     shard 1 worker     shard N−1 worker
-//!   RealtimeEngine     RealtimeEngine     RealtimeEngine
-//!   + QueryScratch     + QueryScratch     + QueryScratch
-//!        │                  │                  │
+//! try_ingest(user, item) ──► shard router (hash(user) % N)
+//!                               │ bounded SPSC queue per shard
+//!        ┌──────────────────────┼──────────────────┐
+//!        ▼                      ▼                  ▼
+//!   shard 0 worker         shard 1 worker     shard N−1 worker
+//!   RealtimeEngine         RealtimeEngine     RealtimeEngine
+//!   + QueryScratch         + QueryScratch     + QueryScratch
+//!        │                      │                  │
 //!        └── Arc<SccfShared>: item embeddings, HNSW item index,
 //!            integrator — one copy, read-only, shared by all shards
 //! ```
+//!
+//! The engine is driven through the unified
+//! [`ServingApi`] surface (typed queries,
+//! `Result` everywhere, batch entry points, [`ServingStats`]); the old
+//! infallible methods remain as deprecated wrappers. Invalid ids are
+//! rejected at the router — they return
+//! [`ServingError`] and never reach (or kill)
+//! a worker.
 //!
 //! State split (the contract that keeps the hot path lock-free):
 //!
@@ -29,29 +37,48 @@
 //!   user index over *owned* users, the recent-item rings, and the
 //!   engine's [`sccf_core::QueryScratch`] — so PR 1's zero-allocation
 //!   invariant holds per shard, and no lock is ever contended on the
-//!   event hot path (each shard's user index has exactly one writer).
+//!   event hot path. All four are *compact* (owned users only,
+//!   slot↔global map at the boundary), so total serving-state memory
+//!   across shards stays one population's worth.
 //!
 //! Because a user's events and recommendation requests all route to the
-//! same queue, per-user ordering is preserved: a `recommend` observes
+//! same queue, per-user ordering is preserved: a recommendation observes
 //! every event the same caller ingested before it. Neighborhoods
 //! (Eq. 11) are searched over the shard's own users — exact at `N = 1`
 //! (bit-identical to the plain engine, pinned by `tests/sharded.rs`),
 //! in-shard approximations for `N > 1`; see `docs/ARCHITECTURE.md`.
+//!
+//! ## Snapshot and offline resharding
+//!
+//! [`ShardedEngine::snapshot`] merges every shard's histories into the
+//! same whole-population artifact [`RealtimeEngine::snapshot`] writes
+//! ([`sccf_core::encode_histories`]), and
+//! [`ShardedEngine::restore`] re-partitions that artifact under a *new*
+//! [`ShardedConfig`] at load time. Resharding N→M is therefore
+//! `snapshot()` on the old fleet + `restore(.., new_cfg)` on the new —
+//! the first concrete step of the ROADMAP's shard-rebalancing item.
 
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use sccf_core::{EngineTimings, RealtimeEngine, Sccf};
+use sccf_core::{
+    decode_histories, encode_histories, CandidateSource, EngineTimings, Exclusion, RealtimeEngine,
+    Sccf,
+};
 use sccf_models::InductiveUiModel;
 use sccf_util::topk::Scored;
 
+use crate::api::{RecQuery, RecResponse, ServingApi, ServingError, ServingStats};
 use crate::stream::StreamEvent;
 
 /// Deterministic user→shard routing: FxHash of the user id, mod `n_shards`.
 ///
 /// The same user always lands on the same shard (pinned by
 /// `tests/sharded.rs`), which is what makes per-user event ordering and
-/// shard-local user state sound.
+/// shard-local user state sound. `n_shards` must be ≥ 1 — engine
+/// construction rejects zero-shard configs with
+/// [`ServingError::InvalidConfig`] before any routing happens.
 pub fn shard_of(user: u32, n_shards: usize) -> usize {
     use std::hash::Hasher;
     let mut h = sccf_util::hash::FxHasher::default();
@@ -63,10 +90,10 @@ pub fn shard_of(user: u32, n_shards: usize) -> usize {
 #[derive(Debug, Clone)]
 pub struct ShardedConfig {
     /// Number of worker shards. 1 reproduces the single-writer engine
-    /// bit-for-bit.
+    /// bit-for-bit. Must be ≥ 1.
     pub n_shards: usize,
     /// Bounded capacity of each shard's event queue. A full queue blocks
-    /// the router — backpressure, never unbounded memory.
+    /// the router — backpressure, never unbounded memory. Must be ≥ 1.
     pub queue_capacity: usize,
 }
 
@@ -82,7 +109,8 @@ impl Default for ShardedConfig {
     }
 }
 
-/// What one shard worker reports at shutdown.
+/// What one shard worker reports: the per-shard slice of
+/// [`ServingStats`], also returned by [`ShardedEngine::shutdown`].
 #[derive(Debug, Clone)]
 pub struct ShardReport {
     pub shard: usize,
@@ -101,13 +129,25 @@ enum ShardMsg {
     },
     Recommend {
         user: u32,
-        n: usize,
-        reply: Sender<Vec<Scored>>,
+        /// Shared per wave: `recommend_many` sends one allocation's
+        /// worth of query (exclusion list included) to any number of
+        /// users.
+        query: Arc<RecQuery>,
+        reply: Sender<Result<RecResponse, ServingError>>,
     },
     /// Barrier: the worker replies once everything queued before this
     /// message has been processed.
     Drain {
         reply: Sender<()>,
+    },
+    /// Live counters + timings without stopping the worker.
+    Stats {
+        reply: Sender<ShardReport>,
+    },
+    /// The shard's owned `(global user, history)` pairs — the snapshot
+    /// path merges these into one whole-population artifact.
+    Export {
+        reply: Sender<Vec<(u32, Vec<u32>)>>,
     },
 }
 
@@ -116,12 +156,14 @@ type WorkerExit<M> = (RealtimeEngine<M>, ShardReport);
 
 /// User-partitioned, multi-writer wrapper around N single-writer
 /// [`RealtimeEngine`]s. See the [module docs](self) for the
-/// architecture.
+/// architecture; drive it through the
+/// [`ServingApi`] surface.
 ///
 /// ```
 /// use sccf_core::{IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
 /// use sccf_data::{Dataset, Interaction, LeaveOneOut};
 /// use sccf_models::{Fism, FismConfig, TrainConfig};
+/// use sccf_serving::api::{RecQuery, ServingApi};
 /// use sccf_serving::sharded::{ShardedConfig, ShardedEngine};
 ///
 /// // A tiny two-taste-group world.
@@ -148,14 +190,16 @@ type WorkerExit<M> = (RealtimeEngine<M>, ShardReport);
 /// });
 /// let histories: Vec<Vec<u32>> = (0..8u32).map(|u| split.train_plus_val(u)).collect();
 ///
-/// let mut engine = ShardedEngine::new(sccf, histories, ShardedConfig {
+/// let mut engine = ShardedEngine::try_new(sccf, histories, ShardedConfig {
 ///     n_shards: 2,
 ///     queue_capacity: 64,
-/// });
-/// engine.ingest(0, 5);           // fire-and-forget, routed by hash(user) % 2
-/// let recs = engine.recommend(0, 3); // same queue ⇒ sees the event above
-/// assert!(!recs.is_empty());
-/// let reports = engine.shutdown();   // drains queues, joins workers
+/// }).expect("valid config");
+/// engine.try_ingest(0, 5).expect("ids in range"); // routed by hash(user) % 2
+/// let recs = engine.try_recommend(0, &RecQuery::top(3)).expect("user 0 exists");
+/// assert!(!recs.items.is_empty());                // same queue ⇒ sees the event
+/// let stats = engine.serving_stats().expect("stats");
+/// assert_eq!(stats.events, 1);
+/// let reports = engine.shutdown();                // drains queues, joins workers
 /// assert_eq!(reports.len(), 2);
 /// assert_eq!(reports.iter().map(|r| r.events).sum::<u64>(), 1);
 /// ```
@@ -164,6 +208,11 @@ pub struct ShardedEngine<M: InductiveUiModel + 'static> {
     /// `None` once a dead worker has been joined to surface its panic.
     handles: Vec<Option<JoinHandle<WorkerExit<M>>>>,
     n_shards: usize,
+    /// Router-side validation state: requests with out-of-range ids are
+    /// rejected here, before they can reach (and kill) a worker.
+    n_users: usize,
+    n_items: usize,
+    has_ann: bool,
 }
 
 impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
@@ -172,13 +221,44 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
     /// `histories` must be the users' current full histories — the same
     /// source-of-truth contract as [`RealtimeEngine::new`] and
     /// [`RealtimeEngine::restore`]; every shard's per-user state is
-    /// derived from it via [`Sccf::into_shards`].
-    pub fn new(sccf: Sccf<M>, histories: Vec<Vec<u32>>, cfg: ShardedConfig) -> Self {
+    /// derived from it via [`Sccf::into_shards`]. Rejects zero shards,
+    /// zero queue capacity, history tables of the wrong size and
+    /// out-of-catalog item ids with [`ServingError`] instead of
+    /// panicking (or spawning workers that would).
+    pub fn try_new(
+        sccf: Sccf<M>,
+        histories: Vec<Vec<u32>>,
+        cfg: ShardedConfig,
+    ) -> Result<Self, ServingError> {
+        if cfg.n_shards == 0 {
+            return Err(ServingError::InvalidConfig(
+                "n_shards must be ≥ 1".to_string(),
+            ));
+        }
+        if cfg.queue_capacity == 0 {
+            return Err(ServingError::InvalidConfig(
+                "queue_capacity must be ≥ 1".to_string(),
+            ));
+        }
+        let n_users = sccf.user_count();
+        if histories.len() != n_users {
+            return Err(ServingError::InvalidConfig(format!(
+                "history table has {} entries for a population of {n_users}",
+                histories.len()
+            )));
+        }
+        let n_items = sccf.model().n_items();
+        for h in &histories {
+            if let Some(&bad) = h.iter().find(|&&i| i as usize >= n_items) {
+                return Err(ServingError::UnknownItem { item: bad, n_items });
+            }
+        }
+        let has_ann = sccf.config().ui_ann.is_some();
         let n = cfg.n_shards;
-        let n_users = histories.len();
         let shards = sccf.into_shards(&histories, n, |u| shard_of(u, n));
-        // Move each user's history into the owning shard; other shards
-        // get an empty vec for that slot (they never touch it).
+        // Move each user's history into the owning shard's full-length
+        // table; the shard engine compacts it to owned slots on
+        // construction, so the O(shards × users) layout is transient.
         let mut per_shard: Vec<Vec<Vec<u32>>> = (0..n).map(|_| vec![Vec::new(); n_users]).collect();
         for (u, h) in histories.into_iter().enumerate() {
             per_shard[shard_of(u as u32, n)][u] = h;
@@ -195,11 +275,30 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             txs.push(tx);
             handles.push(Some(handle));
         }
-        Self {
+        Ok(Self {
             txs,
             handles,
             n_shards: n,
-        }
+            n_users,
+            n_items,
+            has_ann,
+        })
+    }
+
+    /// Deprecated infallible form of [`ShardedEngine::try_new`].
+    #[deprecated(note = "use `try_new`; this wrapper panics on invalid configs")]
+    pub fn new(sccf: Sccf<M>, histories: Vec<Vec<u32>>, cfg: ShardedConfig) -> Self {
+        Self::try_new(sccf, histories, cfg).unwrap_or_else(|e| panic!("ShardedEngine::new: {e}"))
+    }
+
+    /// Rehydrate a sharded fleet from a snapshot artifact
+    /// ([`ShardedEngine::snapshot`] or [`RealtimeEngine::snapshot`] —
+    /// the format is shared) under `cfg`, re-partitioning the users at
+    /// load time. `cfg.n_shards` is free to differ from the snapshot's
+    /// source fleet: this is offline resharding N→M.
+    pub fn restore(sccf: Sccf<M>, bytes: &[u8], cfg: ShardedConfig) -> Result<Self, ServingError> {
+        let histories = decode_histories(bytes)?;
+        Self::try_new(sccf, histories, cfg)
     }
 
     pub fn n_shards(&self) -> usize {
@@ -219,60 +318,118 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         }
     }
 
-    /// Ingest one interaction: route to the owning shard and return.
-    /// Blocks only when that shard's queue is full (backpressure). The
-    /// infer + identify refresh happens on the worker thread.
-    pub fn ingest(&mut self, user: u32, item: u32) {
-        let s = shard_of(user, self.n_shards);
-        if self.txs[s].send(ShardMsg::Event { user, item }).is_err() {
+    fn check_user(&self, user: u32) -> Result<usize, ServingError> {
+        if (user as usize) < self.n_users {
+            Ok(shard_of(user, self.n_shards))
+        } else {
+            Err(ServingError::UnknownUser {
+                user,
+                n_users: self.n_users,
+            })
+        }
+    }
+
+    fn check_item(&self, item: u32) -> Result<(), ServingError> {
+        if (item as usize) < self.n_items {
+            Ok(())
+        } else {
+            Err(ServingError::UnknownItem {
+                item,
+                n_items: self.n_items,
+            })
+        }
+    }
+
+    fn check_query(&self, query: &RecQuery) -> Result<(), ServingError> {
+        if query.source == CandidateSource::Ann && !self.has_ann {
+            return Err(ServingError::AnnUnavailable);
+        }
+        if let Exclusion::HistoryAnd(extra) = &query.exclude {
+            for &i in extra {
+                self.check_item(i)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn send(&mut self, s: usize, msg: ShardMsg) {
+        if self.txs[s].send(msg).is_err() {
             self.propagate_worker_death(s);
         }
     }
 
-    /// Feed a replayed event stream (see [`crate::stream::replay_events`])
-    /// through the router in timestamp order.
-    pub fn ingest_stream(&mut self, events: &[StreamEvent]) {
-        for e in events {
-            self.ingest(e.user, e.item);
-        }
-    }
-
-    /// Fused top-`n` recommendation for `user`, computed on the owning
-    /// shard with its reusable scratch. Queued behind the user's earlier
-    /// events, so it observes everything this caller already ingested.
-    pub fn recommend(&mut self, user: u32, n: usize) -> Vec<Scored> {
-        let (reply, rx) = bounded(1);
-        let s = shard_of(user, self.n_shards);
-        if self.txs[s]
-            .send(ShardMsg::Recommend { user, n, reply })
-            .is_err()
-        {
-            self.propagate_worker_death(s);
-        }
-        match rx.recv() {
-            Ok(recs) => recs,
-            // The worker died between accepting the request and replying.
-            Err(_) => self.propagate_worker_death(s),
-        }
-    }
-
-    /// Barrier: block until every shard has processed everything queued
-    /// so far. The barrier message fans out first, so shards drain in
-    /// parallel.
-    pub fn drain(&mut self) {
-        let mut replies: Vec<(usize, Receiver<()>)> = Vec::with_capacity(self.n_shards);
+    /// Fan a request constructor out to every shard and collect the
+    /// replies in shard order.
+    fn fan_out<T>(&mut self, make: impl Fn(Sender<T>) -> ShardMsg) -> Vec<T> {
+        let mut replies: Vec<(usize, Receiver<T>)> = Vec::with_capacity(self.n_shards);
         for s in 0..self.n_shards {
             let (reply, rx) = bounded(1);
-            if self.txs[s].send(ShardMsg::Drain { reply }).is_err() {
-                self.propagate_worker_death(s);
-            }
+            self.send(s, make(reply));
             replies.push((s, rx));
         }
-        for (s, rx) in replies {
-            if rx.recv().is_err() {
-                self.propagate_worker_death(s);
+        replies
+            .into_iter()
+            .map(|(s, rx)| match rx.recv() {
+                Ok(v) => v,
+                Err(_) => self.propagate_worker_death(s),
+            })
+            .collect()
+    }
+
+    /// Deprecated infallible form of
+    /// [`ServingApi::try_ingest`].
+    #[deprecated(note = "use `ServingApi::try_ingest`; this wrapper panics on invalid ids")]
+    pub fn ingest(&mut self, user: u32, item: u32) {
+        if let Err(e) = self.try_ingest(user, item) {
+            panic!("ingest: {e}");
+        }
+    }
+
+    /// Deprecated infallible stream feed; use
+    /// [`crate::stream::replay_into`] (which drives any
+    /// [`ServingApi`] engine) instead.
+    #[deprecated(note = "use `stream::replay_into` / `ServingApi::ingest_batch`")]
+    pub fn ingest_stream(&mut self, events: &[StreamEvent]) {
+        for e in events {
+            if let Err(err) = self.try_ingest(e.user, e.item) {
+                panic!("ingest_stream: {err}");
             }
         }
+    }
+
+    /// Deprecated infallible form of
+    /// [`ServingApi::try_recommend`]
+    /// with the default query.
+    #[deprecated(note = "use `ServingApi::try_recommend`; this wrapper panics on invalid ids")]
+    pub fn recommend(&mut self, user: u32, n: usize) -> Vec<Scored> {
+        match self.try_recommend(user, &RecQuery::top(n)) {
+            Ok(res) => res.items,
+            Err(e) => panic!("recommend: {e}"),
+        }
+    }
+
+    /// Deprecated alias of
+    /// [`ServingApi::flush`].
+    #[deprecated(note = "use `ServingApi::flush`")]
+    pub fn drain(&mut self) {
+        self.flush().expect("flush cannot fail");
+    }
+
+    /// Drain every shard and serialize the merged per-user histories
+    /// into one whole-population artifact — the same format as
+    /// [`RealtimeEngine::snapshot`], so any engine shape restores it:
+    /// [`RealtimeEngine::restore`] (N→1 to a plain engine) or
+    /// [`ShardedEngine::restore`] with a different shard count (offline
+    /// resharding N→M). The export rides each shard's FIFO queue, so it
+    /// acts as its own barrier: every event ingested before this call
+    /// is in the artifact.
+    pub fn snapshot(&mut self) -> Vec<u8> {
+        let exports = self.fan_out(|reply| ShardMsg::Export { reply });
+        let mut full: Vec<Vec<u32>> = vec![Vec::new(); self.n_users];
+        for (user, history) in exports.into_iter().flatten() {
+            full[user as usize] = history;
+        }
+        encode_histories(&full)
     }
 
     /// Graceful shutdown: close every queue, let the workers drain what
@@ -301,6 +458,116 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
     }
 }
 
+impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
+    /// Route to the owning shard and return (`Ok(None)` — processing is
+    /// asynchronous). Blocks only when that shard's queue is full
+    /// (backpressure). The infer + identify refresh happens on the
+    /// worker thread.
+    fn try_ingest(
+        &mut self,
+        user: u32,
+        item: u32,
+    ) -> Result<Option<sccf_core::EventTiming>, ServingError> {
+        let s = self.check_user(user)?;
+        self.check_item(item)?;
+        self.send(s, ShardMsg::Event { user, item });
+        Ok(None)
+    }
+
+    fn ingest_batch(&mut self, events: &[(u32, u32)]) -> Result<u64, ServingError> {
+        // Validate the whole batch before routing anything: an error
+        // means no event was applied.
+        for &(user, item) in events {
+            self.check_user(user)?;
+            self.check_item(item)?;
+        }
+        for &(user, item) in events {
+            let s = shard_of(user, self.n_shards);
+            self.send(s, ShardMsg::Event { user, item });
+        }
+        Ok(events.len() as u64)
+    }
+
+    /// Computed on the owning shard with its reusable scratch. Queued
+    /// behind the user's earlier events, so it observes everything this
+    /// caller already ingested.
+    fn try_recommend(&mut self, user: u32, query: &RecQuery) -> Result<RecResponse, ServingError> {
+        let s = self.check_user(user)?;
+        self.check_query(query)?;
+        let (reply, rx) = bounded(1);
+        self.send(
+            s,
+            ShardMsg::Recommend {
+                user,
+                query: Arc::new(query.clone()),
+                reply,
+            },
+        );
+        match rx.recv() {
+            Ok(res) => res,
+            // The worker died between accepting the request and replying.
+            Err(_) => self.propagate_worker_death(s),
+        }
+    }
+
+    /// All requests fan out before any reply is collected, so shards
+    /// compute in parallel and the queue crossing cost is paid once per
+    /// wave, not once per user.
+    fn recommend_many(
+        &mut self,
+        users: &[u32],
+        query: &RecQuery,
+    ) -> Result<Vec<RecResponse>, ServingError> {
+        for &user in users {
+            self.check_user(user)?;
+        }
+        self.check_query(query)?;
+        let query = Arc::new(query.clone());
+        let mut pending = Vec::with_capacity(users.len());
+        for &user in users {
+            let s = shard_of(user, self.n_shards);
+            let (reply, rx) = bounded(1);
+            self.send(
+                s,
+                ShardMsg::Recommend {
+                    user,
+                    query: Arc::clone(&query),
+                    reply,
+                },
+            );
+            pending.push((s, rx));
+        }
+        pending
+            .into_iter()
+            .map(|(s, rx)| match rx.recv() {
+                Ok(res) => res,
+                Err(_) => self.propagate_worker_death(s),
+            })
+            .collect()
+    }
+
+    /// Barrier: block until every shard has processed everything queued
+    /// so far. The barrier message fans out first, so shards drain in
+    /// parallel.
+    fn flush(&mut self) -> Result<(), ServingError> {
+        self.fan_out(|reply| ShardMsg::Drain { reply });
+        Ok(())
+    }
+
+    /// Live per-shard counters and timings, merged into the unified
+    /// shape. Rides the queues, so it reflects every event ingested
+    /// before the call.
+    fn serving_stats(&mut self) -> Result<ServingStats, ServingError> {
+        let mut shards = self.fan_out(|reply| ShardMsg::Stats { reply });
+        shards.sort_by_key(|r| r.shard);
+        Ok(ServingStats::from_shards(shards))
+    }
+
+    fn snapshot_state(&mut self) -> Result<Vec<u8>, ServingError> {
+        Ok(self.snapshot())
+    }
+}
+
 fn shard_worker<M: InductiveUiModel>(
     shard: usize,
     mut engine: RealtimeEngine<M>,
@@ -313,16 +580,35 @@ fn shard_worker<M: InductiveUiModel>(
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Event { user, item } => {
-                engine.process_event(user, item);
+                // The router pre-validates ids, so an error here means a
+                // routing bug — surface it loudly.
+                if let Err(e) = engine.try_process_event(user, item) {
+                    panic!("shard {shard}: {e}");
+                }
                 events += 1;
             }
-            ShardMsg::Recommend { user, n, reply } => {
+            ShardMsg::Recommend { user, query, reply } => {
+                let res = engine
+                    .recommend_query(user, query.k, query.source, &query.exclude)
+                    .map(|(items, timing)| RecResponse { items, timing })
+                    .map_err(ServingError::from);
                 // A dropped reply handle just means the requester gave up.
-                let _ = reply.send(engine.recommend(user, n));
+                let _ = reply.send(res);
                 recommends += 1;
             }
             ShardMsg::Drain { reply } => {
                 let _ = reply.send(());
+            }
+            ShardMsg::Stats { reply } => {
+                let _ = reply.send(ShardReport {
+                    shard,
+                    events,
+                    recommends,
+                    timings: engine.timings().clone(),
+                });
+            }
+            ShardMsg::Export { reply } => {
+                let _ = reply.send(engine.export_histories());
             }
         }
     }

@@ -2,9 +2,14 @@
 //!
 //! Flattens a [`Dataset`] into a single globally time-ordered event
 //! stream — the driver for the Table III latency measurement (replay
-//! events, time each refresh) and for any streaming demo.
+//! events, time each refresh) and for any streaming demo. Feed the
+//! stream to any engine through [`replay_into`], which drives the
+//! unified [`ServingApi`] surface (plain or sharded, no
+//! engine-specific glue).
 
 use sccf_data::Dataset;
+
+use crate::api::{ServingApi, ServingError};
 
 /// One replayed event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +30,19 @@ pub fn replay_events(data: &Dataset) -> Vec<StreamEvent> {
     // stable by (ts, user) so per-user order is preserved
     events.sort_by_key(|e| (e.ts, e.user));
     events
+}
+
+/// Drive a replayed event stream through any [`ServingApi`] engine in
+/// stream order. The whole batch is validated before any event is
+/// applied (the batch contract), so a stream referencing an unknown
+/// user or item surfaces a [`ServingError`] with the engine untouched.
+/// Returns the number of events ingested.
+pub fn replay_into<E: ServingApi + ?Sized>(
+    engine: &mut E,
+    events: &[StreamEvent],
+) -> Result<u64, ServingError> {
+    let pairs: Vec<(u32, u32)> = events.iter().map(|e| (e.user, e.item)).collect();
+    engine.ingest_batch(&pairs)
 }
 
 /// The suffix of events strictly after `cutoff_ts` — "the live traffic"

@@ -13,7 +13,7 @@ use sccf::data::catalog::{taobao_sim, Scale};
 use sccf::data::synthetic::generate;
 use sccf::data::LeaveOneOut;
 use sccf::models::{AvgPoolConfig, AvgPoolDnn, Recommender, TrainConfig};
-use sccf::serving::{run_ab_test, AbTestConfig, FnCandidateGen};
+use sccf::serving::{run_ab_test, AbTestConfig, ApiCandidateGen, FnCandidateGen, ServingApi};
 
 fn main() {
     let mut cfg = taobao_sim(Scale::Quick);
@@ -68,15 +68,10 @@ fn main() {
             .map(|s| s.id)
             .collect()
     });
-    let experiment_gen = FnCandidateGen(|u: u32, _h: &[u32], n: usize| {
-        engine
-            .lock()
-            .expect("engine")
-            .recommend(u, n)
-            .into_iter()
-            .map(|s| s.id)
-            .collect()
-    });
+    // The experiment bucket plugs the live engine in through the unified
+    // ServingApi adapter — swap the RealtimeEngine for a ShardedEngine
+    // and this line is the only one that knows nothing changed.
+    let experiment_gen = ApiCandidateGen(&engine);
 
     println!("running the 7-day simulation ...");
     let res = run_ab_test(
@@ -87,7 +82,11 @@ fn main() {
         &gen.truth,
         &ab,
         |u, i| {
-            engine.lock().expect("engine").process_event(u, i);
+            engine
+                .lock()
+                .expect("engine")
+                .try_ingest(u, i)
+                .expect("click ids come from the catalog");
         },
     );
 

@@ -1,17 +1,19 @@
 //! Quickstart: generate data, train an inductive UI model, wrap it in
-//! SCCF, and compare the three scoring views (UI / UU / fused) for one
-//! user.
+//! SCCF, compare the three scoring views (UI / UU / fused) for one
+//! user, and serve a live event through the unified `ServingApi`.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
+use sccf::core::RealtimeEngine;
 use sccf::core::{Sccf, SccfConfig};
 use sccf::data::catalog::{ml1m_sim, Scale};
 use sccf::data::synthetic::generate;
 use sccf::data::LeaveOneOut;
 use sccf::eval::{evaluate, EvalTarget};
 use sccf::models::{Fism, FismConfig, InductiveUiModel, TrainConfig};
+use sccf::serving::{RecQuery, ServingApi};
 use sccf::util::topk::topk_of_scores;
 
 fn main() {
@@ -113,5 +115,29 @@ fn main() {
         full.metrics.ndcg(20),
         full.metrics.hr(50),
         full.metrics.ndcg(50)
+    );
+
+    // --- 6. serve it: the typed real-time surface ------------------------
+    // `ServingApi` is the one interface over the single-writer and the
+    // sharded engine; see examples/realtime_stream.rs and
+    // examples/sharded_serving.rs for the full story.
+    let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
+        .map(|u| split.train_plus_val(u))
+        .collect();
+    let mut engine = RealtimeEngine::new(sccf, histories);
+    let item = fused[0].id;
+    let timing = engine
+        .try_ingest(user, item)
+        .expect("ids are in range")
+        .expect("the plain engine reports per-event timing");
+    let res = engine
+        .try_recommend(user, &RecQuery::top(5))
+        .expect("user exists");
+    println!(
+        "
+served a live event (infer {:.3} ms, identify {:.3} ms); fresh top-5: {:?}",
+        timing.infer_ms,
+        timing.identify_ms,
+        res.ids()
     );
 }

@@ -11,6 +11,7 @@ use sccf::data::catalog::{taobao_sim, Scale};
 use sccf::data::synthetic::generate;
 use sccf::data::LeaveOneOut;
 use sccf::models::{InductiveUiModel, SasRec, SasRecConfig, TrainConfig};
+use sccf::serving::{RecQuery, ServingApi};
 
 fn main() {
     // --- a drift-heavy Taobao-like stream ---------------------------------
@@ -66,7 +67,11 @@ fn main() {
         .take(12)
         .collect();
 
-    let before = engine.recommend(user, 10);
+    let query = RecQuery::top(10);
+    let before = engine
+        .try_recommend(user, &query)
+        .expect("user exists")
+        .items;
     let cat_share = |recs: &[sccf::util::topk::Scored]| {
         recs.iter()
             .filter(|r| data.category_of(r.id) == target_cat)
@@ -92,13 +97,19 @@ fn main() {
     );
 
     for &item in &new_items {
-        let (_, t) = engine.process_event(user, item);
+        let t = engine
+            .try_ingest(user, item)
+            .expect("ids in range")
+            .expect("plain engine reports timing");
         println!(
             "  event item {item:>4}  infer {:.3} ms  identify {:.3} ms",
             t.infer_ms, t.identify_ms
         );
     }
-    let after = engine.recommend(user, 10);
+    let after = engine
+        .try_recommend(user, &query)
+        .expect("user exists")
+        .items;
     let rank_after = mean_cat_rank(&engine);
     println!(
         "recs from category {target_cat} after the shift: {}/10 \
@@ -113,12 +124,14 @@ fn main() {
 
     // --- replay bulk traffic and report Table III-style latency ------------
     println!("\nreplaying one event per user ...");
-    for u in split.test_users() {
-        if let Some(item) = split.test_item(u) {
-            engine.process_event(u, item);
-        }
-    }
-    let t = engine.timings();
+    let tail: Vec<(u32, u32)> = split
+        .test_users()
+        .into_iter()
+        .filter_map(|u| split.test_item(u).map(|item| (u, item)))
+        .collect();
+    engine.ingest_batch(&tail).expect("test ids are in range");
+    let stats = engine.serving_stats().expect("stats");
+    let t = &stats.timings;
     println!("per-event latency over {} events:", t.infer.count());
     println!(
         "  inferring  : {:.3} ms mean (max {:.3})",

@@ -1,12 +1,14 @@
 //! Operational lifecycle demo: train → persist → reload → serve →
-//! snapshot → fail over.
+//! snapshot → fail over → scale out.
 //!
 //! Production recommenders separate *model state* (weights, retrained
 //! offline, shipped as artifacts) from *serving state* (per-user
 //! histories, mutated on every click). This example exercises both:
 //! model weights roundtrip through `save_bytes`/`load_bytes`, the live
-//! engine state roundtrips through the realtime snapshot, and the failed-
-//! over replica serves identical recommendations.
+//! engine state roundtrips through the snapshot artifact, the failed-
+//! over replica serves identical recommendations — and because the
+//! artifact is engine-agnostic, the same bytes then boot a *sharded*
+//! fleet (scale-out via snapshot, no replay).
 //!
 //! ```sh
 //! cargo run --release --example save_load_serve
@@ -17,6 +19,7 @@ use sccf::data::catalog::{games_sim, Scale};
 use sccf::data::synthetic::generate;
 use sccf::data::LeaveOneOut;
 use sccf::models::{SasRec, SasRecConfig, TrainConfig};
+use sccf::serving::{RecQuery, ServingApi, ShardedConfig, ShardedEngine};
 
 fn main() {
     // --- offline: train and persist the model ---------------------------
@@ -54,28 +57,58 @@ fn main() {
     let mut engine = RealtimeEngine::new(sccf, histories);
 
     for (user, item) in [(0u32, 3u32), (1, 9), (0, 14), (2, 5)] {
-        let (_neighbors, t) = engine.process_event(user, item % split.n_items() as u32);
+        let t = engine
+            .try_ingest(user, item % split.n_items() as u32)
+            .expect("ids in range")
+            .expect("plain engine reports timing");
         println!(
             "event (user {user}, item {item}): infer {:.3} ms, identify {:.3} ms",
             t.infer_ms, t.identify_ms
         );
     }
-    let recs_primary = engine.recommend(0, 5);
-    println!(
-        "primary replica recommends for user 0: {:?}",
-        recs_primary.iter().map(|s| s.id).collect::<Vec<_>>()
-    );
+    let recs_primary = engine
+        .try_recommend(0, &RecQuery::top(5))
+        .expect("user 0 exists")
+        .ids();
+    println!("primary replica recommends for user 0: {recs_primary:?}");
 
     // --- failover: snapshot, restore on a standby, compare ---------------
-    let state = engine.snapshot();
+    let state = engine.snapshot_state().expect("snapshot");
     println!("engine snapshot = {} bytes", state.len());
     let mut standby = RealtimeEngine::restore(engine.into_sccf(), &state)
         .expect("snapshot decodes against the same framework");
-    let recs_standby = standby.recommend(0, 5);
+    let recs_standby = standby
+        .try_recommend(0, &RecQuery::top(5))
+        .expect("user 0 exists")
+        .ids();
     assert_eq!(
-        recs_primary.iter().map(|s| s.id).collect::<Vec<_>>(),
-        recs_standby.iter().map(|s| s.id).collect::<Vec<_>>(),
+        recs_primary, recs_standby,
         "failover must not change what the user sees"
     );
     println!("standby replica serves identical recommendations ✓");
+
+    // --- scale out: the same artifact boots a sharded fleet --------------
+    // The snapshot format is engine-agnostic, so the single-writer
+    // replica's state re-partitions straight into worker shards
+    // (1 → N resharding; the sharded engine's snapshot goes back the
+    // other way, N → 1, or to any other shard count).
+    let reloaded = SasRec::load_bytes(split.n_items(), &model_cfg, &weights)
+        .expect("weights match the architecture");
+    let mut sccf2 = Sccf::build(reloaded, &split, SccfConfig::default());
+    sccf2.refresh_for_test(&split);
+    let mut fleet = ShardedEngine::restore(
+        sccf2,
+        &state,
+        ShardedConfig {
+            n_shards: 2,
+            queue_capacity: 128,
+        },
+    )
+    .expect("the plain snapshot re-partitions into shards");
+    let recs_fleet = fleet
+        .try_recommend(0, &RecQuery::top(5))
+        .expect("user 0 exists")
+        .ids();
+    println!("2-shard fleet restored from the same artifact; user 0 sees {recs_fleet:?}");
+    fleet.shutdown();
 }

@@ -1,7 +1,8 @@
-//! Sharded multi-writer serving demo: partition users across worker
-//! shards, replay a live event stream through the router, interleave
-//! recommendation requests, and read the per-shard Table III timing
-//! split at shutdown.
+//! Sharded multi-writer serving demo, driven entirely through the
+//! unified `ServingApi`: partition users across worker shards, replay a
+//! live event stream, batch recommendation requests, read the unified
+//! stats, then snapshot the fleet and reshard it offline (4 → 8
+//! workers) without losing a single event.
 //!
 //! ```sh
 //! cargo run --release --example sharded_serving
@@ -12,7 +13,9 @@ use sccf::data::catalog::{ml1m_sim, Scale};
 use sccf::data::synthetic::generate;
 use sccf::data::LeaveOneOut;
 use sccf::models::{Fism, FismConfig, TrainConfig};
-use sccf::serving::{events_after, shard_of, ShardedConfig, ShardedEngine};
+use sccf::serving::{
+    events_after, replay_into, shard_of, RecQuery, ServingApi, ShardedConfig, ShardedEngine,
+};
 use sccf::util::timer::Stopwatch;
 
 fn main() {
@@ -36,36 +39,40 @@ fn main() {
             ..Default::default()
         },
     );
-    let sccf = Sccf::build(
-        fism,
-        &split,
-        SccfConfig {
-            user_based: UserBasedConfig {
-                beta: 50,
-                recent_window: 15,
+    let build = |fism| {
+        Sccf::build(
+            fism,
+            &split,
+            SccfConfig {
+                user_based: UserBasedConfig {
+                    beta: 50,
+                    recent_window: 15,
+                },
+                candidate_n: 50,
+                integrator: IntegratorConfig {
+                    epochs: 3,
+                    ..Default::default()
+                },
+                ..SccfConfig::default()
             },
-            candidate_n: 50,
-            integrator: IntegratorConfig {
-                epochs: 3,
-                ..Default::default()
-            },
-            ..SccfConfig::default()
-        },
-    );
+        )
+    };
+    let sccf = build(fism);
     let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
         .map(|u| split.train_plus_val(u))
         .collect();
 
     // --- partition users across 4 shard workers ------------------------
     let n_shards = 4;
-    let mut engine = ShardedEngine::new(
+    let mut engine = ShardedEngine::try_new(
         sccf,
         histories,
         ShardedConfig {
             n_shards,
             queue_capacity: 512,
         },
-    );
+    )
+    .expect("valid shard config");
     println!(
         "sharded engine up: {} workers, user 0 → shard {}, user 1 → shard {}",
         engine.n_shards(),
@@ -79,29 +86,42 @@ fn main() {
     let replay: Vec<_> = events.iter().take(4000).cloned().collect();
     println!("replaying {} events through the router ...", replay.len());
     let sw = Stopwatch::start();
-    engine.ingest_stream(&replay);
-    engine.drain(); // barrier: every queued event is processed
+    let ingested = replay_into(&mut engine, &replay).expect("stream ids are in range");
+    engine
+        .flush()
+        .expect("barrier: every queued event processed");
     let ms = sw.elapsed_ms();
     println!(
-        "ingested + drained in {ms:.0} ms  ({:.0} events/sec across {n_shards} shards)",
-        replay.len() as f64 / (ms / 1000.0),
+        "ingested + drained {ingested} events in {ms:.0} ms  ({:.0} events/sec across {n_shards} shards)",
+        ingested as f64 / (ms / 1000.0),
     );
 
-    // --- recommendations are served by the owning shard ----------------
-    for user in [0u32, 1, 2] {
-        let recs = engine.recommend(user, 5);
-        let ids: Vec<u32> = recs.iter().map(|r| r.id).collect();
+    // --- batched recommendations: one fan-out wave, owning shards serve
+    let users = [0u32, 1, 2];
+    let slates = engine
+        .recommend_many(&users, &RecQuery::top(5))
+        .expect("users exist");
+    for (&user, slate) in users.iter().zip(&slates) {
         println!(
-            "user {user} (shard {}): top-5 {:?}",
+            "user {user} (shard {}): top-5 {:?}  (infer {:.3} ms, identify {:.3} ms)",
             shard_of(user, n_shards),
-            ids
+            slate.ids(),
+            slate.timing.infer_ms,
+            slate.timing.identify_ms,
         );
     }
 
-    // --- graceful shutdown: drain, join, report ------------------------
-    let reports = engine.shutdown();
-    println!("\nper-shard report (Table III split):");
-    for r in &reports {
+    // --- unified stats: one shape for any engine kind ------------------
+    let stats = engine.serving_stats().expect("stats");
+    println!("\nunified ServingStats (Table III split, merged + per shard):");
+    println!(
+        "  fleet: {:>5} events, {} recommends, infer {:.3} ms, identify {:.3} ms / event",
+        stats.events,
+        stats.recommends,
+        stats.timings.infer.mean_ms(),
+        stats.timings.identify.mean_ms(),
+    );
+    for r in &stats.shards {
         println!(
             "  shard {}: {:>5} events, {} recommends, infer {:.3} ms, identify {:.3} ms / event",
             r.shard,
@@ -111,11 +131,51 @@ fn main() {
             r.timings.identify.mean_ms(),
         );
     }
-    let total: u64 = reports.iter().map(|r| r.events).sum();
     assert_eq!(
-        total,
+        stats.events,
         replay.len() as u64,
         "every event must be accounted for"
     );
-    println!("\nall {total} events accounted for across {n_shards} shards");
+
+    // --- offline reshard: snapshot the fleet, restore at 2× the shards.
+    // The artifact is the whole-population history table; restore
+    // re-partitions it under the new config — no replay, no downtime
+    // beyond the restart.
+    let artifact = engine.snapshot_state().expect("snapshot");
+    println!(
+        "\nsnapshot: {} KiB; resharding {n_shards} → {} workers ...",
+        artifact.len() / 1024,
+        2 * n_shards
+    );
+    let recs_before = engine
+        .try_recommend(0, &RecQuery::top(5))
+        .expect("user 0")
+        .ids();
+    let (mut engines, _) = engine.shutdown_into_engines();
+    let last = engines.pop().expect("at least one shard");
+    drop(engines); // release the other shards' Arc<SccfShared> refs first
+    let fism = last.into_sccf().into_model();
+
+    let mut resharded = ShardedEngine::restore(
+        build(fism),
+        &artifact,
+        ShardedConfig {
+            n_shards: 2 * n_shards,
+            queue_capacity: 512,
+        },
+    )
+    .expect("reshard restore");
+    let recs_after = resharded
+        .try_recommend(0, &RecQuery::top(5))
+        .expect("user 0")
+        .ids();
+    println!(
+        "user 0 top-5 before reshard {recs_before:?} / after {recs_after:?} \
+         (neighborhoods are per-shard, so slates can shift — state did not)"
+    );
+    let reports = resharded.shutdown();
+    println!(
+        "resharded fleet up and shut down cleanly: {} workers",
+        reports.len()
+    );
 }

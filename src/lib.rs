@@ -21,7 +21,7 @@
 //! | [`models`] | `sccf-models` | Pop, ItemKNN, UserKNN, BPR-MF, FISM, SASRec, AvgPoolDNN, GRU4Rec, Caser, SLIM, LRec |
 //! | [`core`] | `sccf-core` | the SCCF framework + real-time engine + §V ranking stage |
 //! | [`eval`] | `sccf-eval` | HR/NDCG, leave-one-out protocol |
-//! | [`serving`] | `sccf-serving` | event replay, sharded multi-writer engine, watermark buffer, A/B test simulator |
+//! | [`serving`] | `sccf-serving` | the unified `ServingApi`, event replay, sharded multi-writer engine, watermark buffer, A/B test simulator |
 //! | [`util`] | `sccf-util` | hashing, top-k, stats, tables, timers |
 //!
 //! ## Quickstart
@@ -51,6 +51,18 @@
 //! sccf.refresh_for_test(&split);
 //! let recs = sccf.recommend(0, split.train_seq(0), 10);
 //! assert!(!recs.is_empty());
+//!
+//! // 4. serve it through the unified API (same calls drive the
+//! //    sharded engine — see `sccf::serving::api`)
+//! use sccf::core::RealtimeEngine;
+//! use sccf::serving::{RecQuery, ServingApi};
+//! let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
+//!     .map(|u| split.train_plus_val(u))
+//!     .collect();
+//! let mut engine = RealtimeEngine::new(sccf, histories);
+//! engine.try_ingest(0, recs[0].id).expect("ids in range");
+//! let fresh = engine.try_recommend(0, &RecQuery::top(10)).expect("user 0");
+//! assert!(!fresh.items.is_empty());
 //! ```
 
 pub use sccf_core as core;

@@ -3,6 +3,11 @@
 //! degenerate users, out-of-distribution vectors — and assert it degrades
 //! the way the design documents say it should (drop + count, reject +
 //! explain, never panic, never silently corrupt).
+//!
+//! Drives the deprecated infallible wrappers on purpose — part of the
+//! compat pin; the typed surface has its own suite in
+//! `tests/serving_api.rs`.
+#![allow(deprecated)]
 
 use sccf::core::{RealtimeEngine, Sccf, SccfConfig, SnapshotDecodeError};
 use sccf::data::dataset::{Dataset, Interaction};

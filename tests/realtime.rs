@@ -2,6 +2,12 @@
 //! reflect fresh interactions immediately, and the latency profile must
 //! match the paper's asymmetry (SCCF identify ≪ UserKNN identify at equal
 //! catalog size — dense low-d search vs sparse set scans).
+//!
+//! Deliberately driven through the deprecated infallible wrappers
+//! (`process_event`/`recommend`): these tests double as the
+//! bit-identical pin of the compat surface over the typed
+//! `try_process_event`/`recommend_query` path.
+#![allow(deprecated)]
 
 use sccf::core::{IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
 use sccf::data::catalog::Scale;

@@ -1,0 +1,562 @@
+//! The unified `ServingApi` surface (ISSUE 3 acceptance):
+//!
+//! * one generic driver serves the plain and the sharded engine with
+//!   zero engine-specific glue, and at `n_shards = 1` the two are
+//!   bit-identical;
+//! * `recommend_many` ≡ sequential `try_recommend`s and
+//!   `ingest_batch` ≡ sequential `try_ingest`s (same floats, same
+//!   counters) on both engines;
+//! * the snapshot artifact is engine-agnostic: sharded
+//!   `snapshot → restore` at N→N is recommendation-identical to the
+//!   drained source fleet, N→1 (plain or single-shard) and N→2N equal
+//!   a fresh engine of the target shape built from the same drained
+//!   histories — state carries completely, only the partitioning
+//!   changes;
+//! * typed query knobs behave: forcing `Exact` on a scan-built engine
+//!   changes nothing, `Ann` errors, exclusions shape the slate.
+
+use rand::Rng;
+use sccf::core::{
+    CandidateSource, Exclusion, IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig,
+};
+use sccf::data::{Dataset, Interaction, LeaveOneOut};
+use sccf::models::{Fism, FismConfig, TrainConfig};
+use sccf::serving::{RecQuery, ServingApi, ServingError, ShardedConfig, ShardedEngine};
+use sccf::util::topk::Scored;
+
+const N_USERS: u32 = 24;
+const N_ITEMS: u32 = 18;
+
+/// Two taste groups over the catalog, deterministic for a given seed.
+fn world(seed: u64) -> (LeaveOneOut, Vec<Vec<u32>>) {
+    let mut rng = sccf::util::rng::rng_for(seed, 77);
+    let mut inter = Vec::new();
+    for u in 0..N_USERS {
+        let base = if u < N_USERS / 2 { 0 } else { N_ITEMS / 2 };
+        let mut seen = sccf::util::hash::fx_set();
+        let mut t = 0i64;
+        while (t as usize) < 6 {
+            let item = base + rng.gen_range(0..N_ITEMS / 2);
+            if seen.insert(item) {
+                inter.push(Interaction {
+                    user: u,
+                    item,
+                    ts: t,
+                });
+                t += 1;
+            }
+        }
+    }
+    let data = Dataset::from_interactions("api", N_USERS as usize, N_ITEMS as usize, &inter, None);
+    let split = LeaveOneOut::split(&data);
+    let histories = (0..N_USERS).map(|u| split.train_plus_val(u)).collect();
+    (split, histories)
+}
+
+/// Deterministic build: same seed in, same floats out.
+fn build_sccf(split: &LeaveOneOut, seed: u64) -> Sccf<Fism> {
+    let fism = Fism::train(
+        split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 8,
+                epochs: 6,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let mut sccf = Sccf::build(
+        fism,
+        split,
+        SccfConfig {
+            user_based: UserBasedConfig {
+                beta: 5,
+                recent_window: 5,
+            },
+            candidate_n: 10,
+            integrator: IntegratorConfig {
+                epochs: 4,
+                seed,
+                ..Default::default()
+            },
+            threads: 1,
+            profiles: None,
+            ui_ann: None,
+        },
+    );
+    sccf.refresh_for_test(split);
+    sccf
+}
+
+fn event_stream(seed: u64, len: usize) -> Vec<(u32, u32)> {
+    let mut rng = sccf::util::rng::rng_for(seed, 31);
+    (0..len)
+        .map(|_| (rng.gen_range(0..N_USERS), rng.gen_range(0..N_ITEMS)))
+        .collect()
+}
+
+fn assert_bit_identical(a: &[Scored], b: &[Scored], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length mismatch");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{ctx}: id mismatch");
+        assert_eq!(
+            x.score.to_bits(),
+            y.score.to_bits(),
+            "{ctx}: score bits differ for item {}",
+            x.id
+        );
+    }
+}
+
+/// The whole point of the API: one function, any engine. Ingests a
+/// stream, flushes, and returns every user's slate.
+fn drive(api: &mut impl ServingApi, stream: &[(u32, u32)]) -> Vec<Vec<Scored>> {
+    api.ingest_batch(stream).expect("stream ids are valid");
+    api.flush().expect("barrier");
+    api.recommend_many(&(0..N_USERS).collect::<Vec<_>>(), &RecQuery::top(8))
+        .expect("all users exist")
+        .into_iter()
+        .map(|r| r.items)
+        .collect()
+}
+
+#[test]
+fn one_driver_serves_both_engines_bit_identically() {
+    let seed = 3u64;
+    let (split, histories) = world(seed);
+    let stream = event_stream(seed, 120);
+
+    let mut plain = RealtimeEngine::new(build_sccf(&split, seed), histories.clone());
+    let mut sharded = ShardedEngine::try_new(
+        build_sccf(&split, seed),
+        histories,
+        ShardedConfig {
+            n_shards: 1,
+            queue_capacity: 64,
+        },
+    )
+    .expect("valid config");
+
+    let a = drive(&mut plain, &stream);
+    let b = drive(&mut sharded, &stream);
+    for (u, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_bit_identical(x, y, &format!("user {u}"));
+    }
+
+    // Unified stats read identically too.
+    let sa = plain.serving_stats().expect("plain stats");
+    let sb = sharded.serving_stats().expect("sharded stats");
+    assert_eq!(sa.events, stream.len() as u64);
+    assert_eq!(sb.events, stream.len() as u64);
+    assert_eq!(sa.recommends, N_USERS as u64);
+    assert_eq!(sb.recommends, N_USERS as u64);
+    assert!(sa.shards.is_empty());
+    assert_eq!(sb.shards.len(), 1);
+}
+
+#[test]
+fn recommend_many_equals_sequential_recommends() {
+    for n_shards in [1usize, 4] {
+        let seed = 7u64;
+        let (split, histories) = world(seed);
+        let mut engine = ShardedEngine::try_new(
+            build_sccf(&split, seed),
+            histories,
+            ShardedConfig {
+                n_shards,
+                queue_capacity: 32,
+            },
+        )
+        .expect("valid config");
+        engine
+            .ingest_batch(&event_stream(seed, 90))
+            .expect("valid stream");
+
+        // An adversarial user list: duplicates, non-monotone order.
+        let users: Vec<u32> = (0..N_USERS).chain([3, 3, 17, 0]).rev().collect();
+        let query = RecQuery::top(6);
+        let batched = engine
+            .recommend_many(&users, &query)
+            .expect("all users valid");
+        assert_eq!(batched.len(), users.len());
+        for (i, &u) in users.iter().enumerate() {
+            let single = engine.try_recommend(u, &query).expect("valid user");
+            assert_bit_identical(
+                &batched[i].items,
+                &single.items,
+                &format!("{n_shards} shards, position {i} (user {u})"),
+            );
+        }
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn ingest_batch_equals_sequential_ingests() {
+    let seed = 13u64;
+    let (split, histories) = world(seed);
+    let stream = event_stream(seed, 100);
+
+    let mut batched = ShardedEngine::try_new(
+        build_sccf(&split, seed),
+        histories.clone(),
+        ShardedConfig {
+            n_shards: 4,
+            queue_capacity: 16,
+        },
+    )
+    .expect("valid config");
+    let mut sequential = ShardedEngine::try_new(
+        build_sccf(&split, seed),
+        histories,
+        ShardedConfig {
+            n_shards: 4,
+            queue_capacity: 16,
+        },
+    )
+    .expect("valid config");
+
+    batched.ingest_batch(&stream).expect("valid stream");
+    for &(u, i) in &stream {
+        sequential.try_ingest(u, i).expect("valid event");
+    }
+    let users: Vec<u32> = (0..N_USERS).collect();
+    let a = batched
+        .recommend_many(&users, &RecQuery::top(8))
+        .expect("valid");
+    let b = sequential
+        .recommend_many(&users, &RecQuery::top(8))
+        .expect("valid");
+    for (u, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_bit_identical(&x.items, &y.items, &format!("user {u}"));
+    }
+    assert_eq!(
+        batched.serving_stats().expect("stats").events,
+        sequential.serving_stats().expect("stats").events,
+    );
+}
+
+#[test]
+fn plain_and_sharded_agree_on_query_validation_edge_cases() {
+    // Both implementations must reject an unsatisfiable query even over
+    // an empty user list — code written against one engine cannot
+    // observe a difference when the other is swapped in.
+    let seed = 43u64;
+    let (split, histories) = world(seed);
+    let mut plain = RealtimeEngine::new(build_sccf(&split, seed), histories.clone());
+    let mut sharded = ShardedEngine::try_new(
+        build_sccf(&split, seed),
+        histories,
+        ShardedConfig {
+            n_shards: 2,
+            queue_capacity: 16,
+        },
+    )
+    .expect("valid config");
+    let ann = RecQuery::top(5).with_source(CandidateSource::Ann);
+    let bad_exclude = RecQuery::top(5).excluding(Exclusion::HistoryAnd(vec![N_ITEMS + 9]));
+    assert!(matches!(
+        plain.recommend_many(&[], &ann),
+        Err(ServingError::AnnUnavailable)
+    ));
+    assert!(matches!(
+        sharded.recommend_many(&[], &ann),
+        Err(ServingError::AnnUnavailable)
+    ));
+    assert!(matches!(
+        plain.recommend_many(&[], &bad_exclude),
+        Err(ServingError::UnknownItem { .. })
+    ));
+    assert!(matches!(
+        sharded.recommend_many(&[], &bad_exclude),
+        Err(ServingError::UnknownItem { .. })
+    ));
+}
+
+#[test]
+fn shard_view_engine_batches_are_atomic_for_unowned_users() {
+    // A shard-view RealtimeEngine (recovered via shutdown_into_engines)
+    // owns a user subset; a batch naming a foreign user must reject
+    // atomically — no partial application before the NotOwned error.
+    let seed = 47u64;
+    let (split, histories) = world(seed);
+    let engine = ShardedEngine::try_new(
+        build_sccf(&split, seed),
+        histories,
+        ShardedConfig {
+            n_shards: 2,
+            queue_capacity: 16,
+        },
+    )
+    .expect("valid config");
+    let (mut engines, _) = engine.shutdown_into_engines();
+    let mut shard0 = engines.remove(0);
+    let owned: Vec<u32> = (0..N_USERS).filter(|&u| shard0.owns(u)).collect();
+    let foreign = (0..N_USERS)
+        .find(|&u| !shard0.owns(u))
+        .expect("2 shards ⇒ shard 0 does not own everyone");
+    let probe = owned[0];
+    let before = shard0.history(probe).len();
+
+    let err = shard0
+        .ingest_batch(&[(probe, 1), (foreign, 2)])
+        .expect_err("foreign user must fail the batch");
+    assert!(matches!(err, ServingError::NotOwned { .. }), "{err:?}");
+    assert_eq!(
+        shard0.history(probe).len(),
+        before,
+        "atomic batch: the owned user's event must not have been applied"
+    );
+    assert!(matches!(
+        shard0.recommend_many(&[probe, foreign], &RecQuery::top(3)),
+        Err(ServingError::NotOwned { .. })
+    ));
+    // Owned-only traffic still serves.
+    assert_eq!(shard0.ingest_batch(&[(probe, 1)]).expect("owned user"), 1);
+    assert!(!shard0
+        .try_recommend(probe, &RecQuery::top(3))
+        .expect("owned user")
+        .items
+        .is_empty());
+}
+
+#[test]
+fn forced_exact_source_matches_configured_on_scan_builds() {
+    let seed = 5u64;
+    let (split, histories) = world(seed);
+    let mut engine = RealtimeEngine::new(build_sccf(&split, seed), histories);
+    engine.ingest_batch(&event_stream(seed, 40)).expect("valid");
+    for u in 0..N_USERS {
+        let configured = engine.try_recommend(u, &RecQuery::top(8)).expect("valid");
+        let exact = engine
+            .try_recommend(u, &RecQuery::top(8).with_source(CandidateSource::Exact))
+            .expect("valid");
+        assert_bit_identical(&configured.items, &exact.items, &format!("user {u}"));
+    }
+    // No HNSW was built, so forcing ANN is a typed error on both shapes.
+    assert!(matches!(
+        engine.try_recommend(0, &RecQuery::top(8).with_source(CandidateSource::Ann)),
+        Err(ServingError::AnnUnavailable)
+    ));
+}
+
+#[test]
+fn exclusion_policies_apply_through_the_sharded_path() {
+    let seed = 11u64;
+    let (split, histories) = world(seed);
+    let mut engine = ShardedEngine::try_new(
+        build_sccf(&split, seed),
+        histories.clone(),
+        ShardedConfig {
+            n_shards: 3,
+            queue_capacity: 16,
+        },
+    )
+    .expect("valid config");
+    let user = 2u32;
+    let default = engine
+        .try_recommend(user, &RecQuery::top(5))
+        .expect("valid");
+    assert!(!default.items.is_empty());
+    let banned = default.items[0].id;
+    let filtered = engine
+        .try_recommend(
+            user,
+            &RecQuery::top(5).excluding(Exclusion::HistoryAnd(vec![banned])),
+        )
+        .expect("valid");
+    assert!(filtered.items.iter().all(|s| s.id != banned));
+    // Exclusion ids are validated at the router.
+    assert!(matches!(
+        engine.try_recommend(
+            user,
+            &RecQuery::top(5).excluding(Exclusion::HistoryAnd(vec![N_ITEMS + 100])),
+        ),
+        Err(ServingError::UnknownItem { .. })
+    ));
+    // Nothing-excluded may resurface the user's own history.
+    let open = engine
+        .try_recommend(
+            user,
+            &RecQuery::top(N_ITEMS as usize).excluding(Exclusion::Nothing),
+        )
+        .expect("valid");
+    let hist: Vec<u32> = histories[user as usize].clone();
+    assert!(
+        open.items.iter().any(|s| hist.contains(&s.id)),
+        "unmasked query should rank history items too"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Snapshot / offline resharding N→M.
+
+/// Build a drained N-shard fleet with a served stream, return it plus
+/// the stream it saw.
+fn drained_fleet(seed: u64, n_shards: usize) -> (ShardedEngine<Fism>, LeaveOneOut) {
+    let (split, histories) = world(seed);
+    let mut engine = ShardedEngine::try_new(
+        build_sccf(&split, seed),
+        histories,
+        ShardedConfig {
+            n_shards,
+            queue_capacity: 32,
+        },
+    )
+    .expect("valid config");
+    engine
+        .ingest_batch(&event_stream(seed, 150))
+        .expect("valid stream");
+    engine.flush().expect("barrier");
+    (engine, split)
+}
+
+fn slates(api: &mut impl ServingApi) -> Vec<Vec<Scored>> {
+    api.recommend_many(&(0..N_USERS).collect::<Vec<_>>(), &RecQuery::top(8))
+        .expect("all users valid")
+        .into_iter()
+        .map(|r| r.items)
+        .collect()
+}
+
+#[test]
+fn sharded_snapshot_restore_same_shard_count_is_identical() {
+    let seed = 29u64;
+    let (mut source, split) = drained_fleet(seed, 3);
+    let before = slates(&mut source);
+    let artifact = source.snapshot_state().expect("snapshot");
+
+    let mut restored = ShardedEngine::restore(
+        build_sccf(&split, seed),
+        &artifact,
+        ShardedConfig {
+            n_shards: 3,
+            queue_capacity: 32,
+        },
+    )
+    .expect("same-shape restore");
+    let after = slates(&mut restored);
+    for (u, (x, y)) in before.iter().zip(&after).enumerate() {
+        assert_bit_identical(x, y, &format!("N→N user {u}"));
+    }
+}
+
+#[test]
+fn reshard_to_any_count_equals_fresh_engine_on_drained_state() {
+    let seed = 31u64;
+    let (mut source, split) = drained_fleet(seed, 3);
+    let artifact = source.snapshot_state().expect("snapshot");
+    let drained: Vec<Vec<u32>> = sccf::core::decode_histories(&artifact).expect("own artifact");
+
+    // N→1 and N→2N: the restored fleet must equal a fresh fleet of the
+    // target shape built from the same drained histories — the snapshot
+    // carries the complete serving state, restore only re-partitions.
+    for target in [1usize, 6] {
+        let mut restored = ShardedEngine::restore(
+            build_sccf(&split, seed),
+            &artifact,
+            ShardedConfig {
+                n_shards: target,
+                queue_capacity: 32,
+            },
+        )
+        .expect("reshard restore");
+        let mut fresh = ShardedEngine::try_new(
+            build_sccf(&split, seed),
+            drained.clone(),
+            ShardedConfig {
+                n_shards: target,
+                queue_capacity: 32,
+            },
+        )
+        .expect("fresh fleet");
+        let a = slates(&mut restored);
+        let b = slates(&mut fresh);
+        for (u, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_bit_identical(x, y, &format!("3→{target} user {u}"));
+        }
+    }
+}
+
+#[test]
+fn snapshot_artifact_is_engine_agnostic() {
+    let seed = 37u64;
+    let (mut source, split) = drained_fleet(seed, 4);
+    let artifact = source.snapshot_state().expect("snapshot");
+
+    // Sharded artifact → plain engine (N→1 failover)…
+    let mut plain =
+        RealtimeEngine::restore(build_sccf(&split, seed), &artifact).expect("plain restore");
+    // …must agree with a single-shard restore of the same artifact.
+    let mut single = ShardedEngine::restore(
+        build_sccf(&split, seed),
+        &artifact,
+        ShardedConfig {
+            n_shards: 1,
+            queue_capacity: 32,
+        },
+    )
+    .expect("single-shard restore");
+    let a = slates(&mut plain);
+    let b = slates(&mut single);
+    for (u, (x, y)) in a.iter().zip(&b).enumerate() {
+        assert_bit_identical(x, y, &format!("plain vs 1-shard user {u}"));
+    }
+
+    // And the plain engine's own snapshot restores into a sharded fleet.
+    let plain_artifact = plain.snapshot_state().expect("plain snapshot");
+    let mut fleet = ShardedEngine::restore(
+        build_sccf(&split, seed),
+        &plain_artifact,
+        ShardedConfig {
+            n_shards: 2,
+            queue_capacity: 32,
+        },
+    )
+    .expect("plain artifact → 2 shards");
+    assert_eq!(slates(&mut fleet).len(), N_USERS as usize);
+
+    // Garbage artifacts surface a typed snapshot error.
+    assert!(matches!(
+        ShardedEngine::restore(
+            build_sccf(&split, seed),
+            b"not a snapshot",
+            ShardedConfig::default(),
+        ),
+        Err(ServingError::Snapshot(_))
+    ));
+}
+
+#[test]
+fn restored_fleet_keeps_serving_writes() {
+    // Restore is not a read-only replica: the resharded fleet ingests
+    // and its recommendations move.
+    let seed = 41u64;
+    let (mut source, split) = drained_fleet(seed, 2);
+    let artifact = source.snapshot_state().expect("snapshot");
+    let mut fleet = ShardedEngine::restore(
+        build_sccf(&split, seed),
+        &artifact,
+        ShardedConfig {
+            n_shards: 5,
+            queue_capacity: 16,
+        },
+    )
+    .expect("reshard restore");
+    fleet
+        .ingest_batch(&event_stream(seed ^ 0xF00D, 60))
+        .expect("valid stream");
+    fleet.flush().expect("barrier");
+    let stats = fleet.serving_stats().expect("stats");
+    assert_eq!(stats.events, 60);
+    assert_eq!(stats.shards.len(), 5);
+    for u in 0..N_USERS {
+        assert!(!fleet
+            .try_recommend(u, &RecQuery::top(4))
+            .expect("valid user")
+            .items
+            .is_empty());
+    }
+}

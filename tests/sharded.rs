@@ -1,18 +1,25 @@
-//! Sharded-engine contracts (ISSUE 2 acceptance):
+//! Sharded-engine contracts (ISSUE 2 + ISSUE 3 acceptance):
 //!
 //! * shard routing is deterministic — the same user always lands on the
 //!   same shard, across engines and across calls;
 //! * `ShardedEngine` with `n_shards = 1` produces **bit-identical**
 //!   recommendations to the plain single-writer `RealtimeEngine` on a
-//!   seeded event stream;
+//!   seeded event stream (driven through the deprecated wrappers on
+//!   purpose — that pins the compat surface over the typed path);
 //! * at `n_shards > 1`, drain/shutdown account for every event and
-//!   per-user event order is preserved end to end.
+//!   per-user event order is preserved end to end;
+//! * construction and routing edge cases (`n_shards = 0`, out-of-range
+//!   user/item ids) surface `ServingError` — no panics, no silent
+//!   drops, and workers survive rejected requests.
+//!
+//! The typed `ServingApi` surface itself (batching, snapshot/reshard)
+//! is covered in `tests/serving_api.rs`.
 
 use rand::Rng;
 use sccf::core::{IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
 use sccf::data::{Dataset, Interaction, LeaveOneOut};
 use sccf::models::{Fism, FismConfig, TrainConfig};
-use sccf::serving::{shard_of, ShardedConfig, ShardedEngine};
+use sccf::serving::{shard_of, RecQuery, ServingApi, ServingError, ShardedConfig, ShardedEngine};
 use sccf::util::topk::Scored;
 
 const N_USERS: u32 = 24;
@@ -124,6 +131,7 @@ fn routing_is_deterministic_across_calls_and_spread() {
 }
 
 #[test]
+#[allow(deprecated)] // pins the compat wrappers bit-identical to the typed path
 fn single_shard_is_bit_identical_to_plain_engine() {
     for seed in [3u64, 11] {
         let (split, histories) = world(seed);
@@ -165,6 +173,7 @@ fn single_shard_is_bit_identical_to_plain_engine() {
 }
 
 #[test]
+#[allow(deprecated)] // compat-wrapper pin (ingest/drain/recommend)
 fn multi_shard_accounts_for_every_event_and_preserves_user_order() {
     let seed = 5u64;
     let (split, histories) = world(seed);
@@ -214,6 +223,7 @@ fn multi_shard_accounts_for_every_event_and_preserves_user_order() {
 }
 
 #[test]
+#[allow(deprecated)] // compat-wrapper pin (new/ingest/drain/recommend)
 fn sharded_engine_rejects_nothing_it_should_accept() {
     // Smoke: default config (auto shard count) works end to end.
     let (split, histories) = world(9);
@@ -228,7 +238,8 @@ fn sharded_engine_rejects_nothing_it_should_accept() {
 }
 
 #[test]
-fn worker_panic_resurfaces_with_original_payload() {
+#[allow(deprecated)] // the deprecated wrappers are the panicking surface under test
+fn deprecated_ingest_panics_with_descriptive_error_not_a_dead_worker() {
     let (split, histories) = world(13);
     let sccf = build_sccf(&split, 13);
     let mut engine = ShardedEngine::new(
@@ -239,22 +250,127 @@ fn worker_panic_resurfaces_with_original_payload() {
             queue_capacity: 8,
         },
     );
-    // An out-of-range item id panics the owning worker deep inside the
-    // embedding lookup; the router must re-raise that original panic,
-    // not its own generic "worker exited" message.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+    // An out-of-range item id is rejected at the router (the typed path
+    // returns `ServingError`); the deprecated wrapper panics with that
+    // error's message — never a generic "worker exited" report, because
+    // the bad id no longer reaches (or kills) a worker.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         engine.ingest(0, 10_000);
-        engine.drain();
-        engine.recommend(0, 3);
     }));
-    let payload = result.expect_err("out-of-range item must panic");
+    let payload = result.expect_err("out-of-range item must panic via the wrapper");
     let msg = payload
         .downcast_ref::<String>()
         .cloned()
         .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
         .unwrap_or_default();
     assert!(
-        !msg.contains("exited early") && !msg.is_empty(),
-        "want the worker's own panic message, got: {msg:?}"
+        msg.contains("item 10000") && !msg.contains("exited early"),
+        "want the typed error's message, got: {msg:?}"
     );
+    // The fleet survived: the same engine keeps serving.
+    engine.drain();
+    assert!(!engine.recommend(0, 3).is_empty());
+    let reports = engine.shutdown();
+    assert_eq!(reports.iter().map(|r| r.events).sum::<u64>(), 0);
+}
+
+// ---------------------------------------------------------------------
+// ISSUE 3 edge cases: construction and routing must surface
+// `ServingError`, never panic or silently drop.
+
+#[test]
+fn zero_shard_and_zero_capacity_configs_are_rejected() {
+    for (n_shards, queue_capacity) in [(0usize, 64usize), (2, 0)] {
+        let (split, histories) = world(17);
+        let sccf = build_sccf(&split, 17);
+        let err = ShardedEngine::try_new(
+            sccf,
+            histories,
+            ShardedConfig {
+                n_shards,
+                queue_capacity,
+            },
+        )
+        .err()
+        .expect("degenerate config must be rejected");
+        assert!(
+            matches!(err, ServingError::InvalidConfig(_)),
+            "({n_shards}, {queue_capacity}) → {err:?}"
+        );
+    }
+}
+
+#[test]
+fn mismatched_or_corrupt_histories_are_rejected_at_construction() {
+    let (split, mut histories) = world(19);
+    let sccf = build_sccf(&split, 19);
+    histories.pop(); // one user short
+    let err = ShardedEngine::try_new(sccf, histories, ShardedConfig::default())
+        .err()
+        .expect("short history table must be rejected");
+    assert!(matches!(err, ServingError::InvalidConfig(_)));
+
+    let (split, mut histories) = world(19);
+    let sccf = build_sccf(&split, 19);
+    histories[3].push(40_000); // item outside the catalog
+    let err = ShardedEngine::try_new(sccf, histories, ShardedConfig::default())
+        .err()
+        .expect("out-of-catalog history item must be rejected");
+    assert!(matches!(
+        err,
+        ServingError::UnknownItem { item: 40_000, .. }
+    ));
+}
+
+#[test]
+fn out_of_range_ids_surface_errors_and_leave_workers_alive() {
+    let (split, histories) = world(23);
+    let sccf = build_sccf(&split, 23);
+    let mut engine = ShardedEngine::try_new(
+        sccf,
+        histories,
+        ShardedConfig {
+            n_shards: 4,
+            queue_capacity: 16,
+        },
+    )
+    .expect("valid config");
+
+    assert!(matches!(
+        engine.try_ingest(N_USERS + 5, 0),
+        Err(ServingError::UnknownUser { .. })
+    ));
+    assert!(matches!(
+        engine.try_ingest(0, N_ITEMS + 7),
+        Err(ServingError::UnknownItem { .. })
+    ));
+    assert!(matches!(
+        engine.try_recommend(N_USERS, &RecQuery::top(3)),
+        Err(ServingError::UnknownUser { .. })
+    ));
+    // A batch with one bad id applies nothing (atomic validation).
+    assert!(matches!(
+        engine.ingest_batch(&[(0, 1), (1, 2), (2, N_ITEMS)]),
+        Err(ServingError::UnknownItem { .. })
+    ));
+
+    // Every worker is still alive and serving.
+    engine.try_ingest(0, 1).expect("valid event");
+    engine.flush().expect("barrier");
+    for u in 0..N_USERS {
+        assert!(
+            !engine
+                .try_recommend(u, &RecQuery::top(3))
+                .expect("valid user")
+                .items
+                .is_empty(),
+            "user {u} must still be served after rejected requests"
+        );
+    }
+    let stats = engine.serving_stats().expect("stats");
+    assert_eq!(stats.events, 1, "rejected events must not be counted");
+    assert_eq!(stats.recommends, N_USERS as u64);
+    assert_eq!(stats.shards.len(), 4);
+    let reports = engine.shutdown();
+    assert_eq!(reports.iter().map(|r| r.events).sum::<u64>(), 1);
 }

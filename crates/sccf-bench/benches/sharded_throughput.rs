@@ -16,7 +16,7 @@ use sccf_data::catalog::{ml1m_sim, Scale};
 use sccf_data::synthetic::generate;
 use sccf_data::LeaveOneOut;
 use sccf_models::{Fism, FismConfig, TrainConfig};
-use sccf_serving::{ServingApi, ShardedConfig, ShardedEngine};
+use sccf_serving::{RouterKind, ServingApi, ShardedConfig, ShardedEngine};
 
 const BATCH: usize = 64;
 
@@ -77,6 +77,7 @@ fn engine_for(
         ShardedConfig {
             n_shards,
             queue_capacity: 256,
+            router: RouterKind::Modulo,
         },
     )
     .expect("valid shard config")

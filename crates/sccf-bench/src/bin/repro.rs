@@ -19,6 +19,7 @@
 //!   ranking      SCCF applied to the ranking stage (§V future work)
 //!   bench-serving  serving latency vs catalog size; writes BENCH_serving.json
 //!   bench-sharded  sharded ingest throughput at 1/2/4/8 shards; writes BENCH_sharded.json
+//!   bench-reshard  live resharding N→M under load; writes BENCH_reshard.json
 //!   all          everything above, in order
 //! ```
 //!
@@ -41,7 +42,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|bench-serving|bench-sharded|all> \
+        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|bench-serving|bench-sharded|bench-reshard|all> \
          [--scale quick|full] [--seed N] [--dim D] [--beta B] [--out DIR] [--verbose]"
     );
     std::process::exit(2)
@@ -108,6 +109,7 @@ fn run_one(name: &str, h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Tabl
         "ranking" => experiments::ranking(h),
         "bench-serving" => experiments::bench_serving_to(h, out_dir),
         "bench-sharded" => experiments::bench_sharded_to(h, out_dir),
+        "bench-reshard" => experiments::bench_reshard_to(h, out_dir),
         _ => usage(),
     }
 }
@@ -130,6 +132,7 @@ fn main() {
             "ranking",
             "bench-serving",
             "bench-sharded",
+            "bench-reshard",
         ]
     } else {
         vec![args.experiment.as_str()]

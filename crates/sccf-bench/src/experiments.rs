@@ -13,7 +13,7 @@ use sccf_models::{
     SasRecConfig, TrainConfig, UserKnn, UserSim,
 };
 use sccf_serving::{
-    run_ab_test, AbTestConfig, ApiCandidateGen, FnCandidateGen, RecQuery, ServingApi,
+    run_ab_test, AbTestConfig, ApiCandidateGen, FnCandidateGen, RecQuery, RouterKind, ServingApi,
     ShardedConfig, ShardedEngine,
 };
 use sccf_util::table::{f2, f4, pct};
@@ -1527,6 +1527,7 @@ pub fn bench_sharded_json(h: &HarnessConfig, shard_counts: &[usize]) -> ShardedB
             ShardedConfig {
                 n_shards,
                 queue_capacity: 1024,
+                router: RouterKind::Modulo,
             },
         )
         .expect("valid shard config");
@@ -1629,6 +1630,246 @@ pub fn bench_sharded_json(h: &HarnessConfig, shard_counts: &[usize]) -> ShardedB
 
     ShardedBenchOutput {
         points,
+        table: t,
+        json,
+    }
+}
+
+// ------------------------------------------------------- bench-reshard
+
+/// Live-resharding throughput on the default archive path.
+pub fn bench_reshard(h: &HarnessConfig) -> Vec<Table> {
+    bench_reshard_to(h, std::path::Path::new("results"))
+}
+
+/// Measure ingest throughput before, during and after a live
+/// `ShardedEngine::reshard` and write `BENCH_reshard.json` — to the
+/// current directory (the repo-root artifact the acceptance checks
+/// read) and archived under `out_dir`, mirroring [`bench_sharded_to`].
+pub fn bench_reshard_to(h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Table> {
+    let out = bench_reshard_json(h);
+    write_bench_artifact("bench-reshard", "BENCH_reshard.json", &out.json, out_dir);
+    vec![out.table]
+}
+
+/// What [`bench_reshard_json`] measured.
+pub struct ReshardBenchOutput {
+    /// Events/sec on the source fleet before the migration starts.
+    pub pre_events_per_sec: f64,
+    /// Events/sec sustained while handoff batches interleave with
+    /// ingestion (wall time covers both).
+    pub during_events_per_sec: f64,
+    /// Events/sec on the target fleet after quiesce.
+    pub post_events_per_sec: f64,
+    /// Longest single `try_ingest` stall observed during the migration
+    /// (the router blocks at most one handoff batch).
+    pub max_ingest_stall_ms: f64,
+    /// Longest single handoff batch (export + import round trip).
+    pub max_batch_ms: f64,
+    pub moved_users: u64,
+    pub batches: u64,
+    pub table: Table,
+    pub json: String,
+}
+
+/// The live-resharding measurement: a consistent-router fleet absorbs a
+/// steady event stream, scales out N→M *without stopping ingestion*
+/// (handoff batches interleaved with ingest bursts), then keeps
+/// absorbing on the target shape. Three phases, one workload:
+///
+/// * **pre** — steady state on N shards (the baseline);
+/// * **during** — the migration epoch: ingest bursts alternate with
+///   `reshard_step` batches, so the wall clock pays for both — "no
+///   full-stop gap" means this rate stays within the same order as
+///   steady state, and the max single-ingest stall stays bounded by
+///   one handoff batch;
+/// * **post** — steady state on M shards after quiesce (the acceptance
+///   target: within 10% of pre, typically *above* it since scale-out
+///   shrinks per-shard neighbor scans).
+pub fn bench_reshard_json(h: &HarnessConfig) -> ReshardBenchOutput {
+    let (n_users, n_items, phase_events) = match h.scale {
+        Scale::Quick => (2500usize, 600usize, 3000usize),
+        Scale::Full => (10_000, 1200, 6000),
+    };
+    const FROM_SHARDS: usize = 2;
+    const TO_SHARDS: usize = 4;
+    const HANDOFF_BATCH: usize = 128;
+    const BURST: usize = 100;
+
+    let mut cfg = ml1m_sim(Scale::Quick);
+    cfg.name = "reshard-throughput".to_string();
+    cfg.n_users = n_users;
+    cfg.n_items = n_items;
+    cfg.n_categories = 24;
+    cfg.mean_len = 18.0;
+    cfg.min_len = 6;
+    let data = sccf_data::synthetic::generate(&cfg, h.seed).dataset;
+    let split = sccf_data::LeaveOneOut::split(&data);
+    let n_users = split.n_users();
+    let n_items = split.n_items();
+    let histories: Vec<Vec<u32>> = (0..n_users as u32)
+        .map(|u| split.train_plus_val(u))
+        .collect();
+    let fism = Fism::train(
+        &split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 16,
+                epochs: 2,
+                seed: h.seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let sccf = Sccf::build(
+        fism,
+        &split,
+        SccfConfig {
+            user_based: UserBasedConfig {
+                beta: 100,
+                recent_window: 15,
+            },
+            candidate_n: 100,
+            integrator: IntegratorConfig {
+                epochs: 2,
+                seed: h.seed,
+                ..Default::default()
+            },
+            threads: h.threads,
+            profiles: None,
+            ui_ann: None,
+        },
+    );
+    let shard_cfg = |n_shards: usize| ShardedConfig {
+        n_shards,
+        queue_capacity: 1024,
+        router: RouterKind::Consistent { vnodes: 64 },
+    };
+    let mut engine = ShardedEngine::try_new(sccf, histories, shard_cfg(FROM_SHARDS))
+        .expect("valid shard config");
+
+    // Deterministic event stream touching all users (no rng dependency).
+    let event_at = |k: usize| {
+        (
+            (k as u32 * 131) % n_users as u32,
+            (k as u32 * 7919 + 13) % n_items as u32,
+        )
+    };
+    let mut cursor = 0usize;
+
+    // --- warmup + pre-reshard steady state -----------------------------
+    for k in 0..500 {
+        let (u, i) = event_at(k);
+        engine.try_ingest(u, i).expect("warmup ids in range");
+    }
+    cursor += 500;
+    engine.flush().expect("barrier");
+    let phase = |engine: &mut ShardedEngine<Fism>, cursor: &mut usize| -> f64 {
+        let sw = Stopwatch::start();
+        for k in *cursor..*cursor + phase_events {
+            let (u, i) = event_at(k);
+            engine.try_ingest(u, i).expect("stream ids in range");
+        }
+        *cursor += phase_events;
+        engine.flush().expect("barrier");
+        phase_events as f64 / (sw.elapsed_ms() / 1000.0)
+    };
+    let pre_events_per_sec = phase(&mut engine, &mut cursor);
+
+    // --- the migration: ingest bursts interleaved with handoff batches -
+    eprintln!("[bench-reshard] live reshard {FROM_SHARDS}→{TO_SHARDS} under load ...");
+    let mut max_ingest_stall_ms = 0.0f64;
+    let mut max_batch_ms = 0.0f64;
+    let mut during_events = 0usize;
+    engine
+        .begin_reshard(shard_cfg(TO_SHARDS), HANDOFF_BATCH)
+        .expect("begin live reshard");
+    let sw_during = Stopwatch::start();
+    while engine.is_migrating() {
+        for k in cursor..cursor + BURST {
+            let (u, i) = event_at(k);
+            let sw = Stopwatch::start();
+            engine.try_ingest(u, i).expect("stream ids in range");
+            max_ingest_stall_ms = max_ingest_stall_ms.max(sw.elapsed_ms());
+        }
+        cursor += BURST;
+        during_events += BURST;
+        let sw = Stopwatch::start();
+        engine.reshard_step().expect("handoff batch");
+        max_batch_ms = max_batch_ms.max(sw.elapsed_ms());
+    }
+    engine.flush().expect("barrier");
+    let during_wall_ms = sw_during.elapsed_ms();
+    let during_events_per_sec = during_events as f64 / (during_wall_ms / 1000.0);
+
+    // --- post-reshard steady state on the target shape ------------------
+    let post_events_per_sec = phase(&mut engine, &mut cursor);
+
+    let stats = engine.serving_stats().expect("stats");
+    assert_eq!(
+        stats.events, cursor as u64,
+        "live reshard must account for every ingested event exactly once"
+    );
+    let (moved_users, batches) = (stats.migration.migrated_users, stats.migration.batches);
+    engine.shutdown();
+
+    let mut t = Table::new(
+        format!(
+            "Live resharding {FROM_SHARDS}→{TO_SHARDS} under load ({n_users} users, {n_items} items, \
+             {phase_events} events/phase, {HANDOFF_BATCH}-user handoff batches)"
+        ),
+        &["phase", "events/sec", "vs pre", "notes"],
+    );
+    let ratio = |x: f64| {
+        if pre_events_per_sec > 0.0 {
+            format!("{:.2}x", x / pre_events_per_sec)
+        } else {
+            "-".to_string()
+        }
+    };
+    t.push(&[
+        "pre (steady, N shards)".to_string(),
+        format!("{pre_events_per_sec:.0}"),
+        "1.00x".to_string(),
+        String::new(),
+    ]);
+    t.push(&[
+        "during migration".to_string(),
+        format!("{during_events_per_sec:.0}"),
+        ratio(during_events_per_sec),
+        format!(
+            "{moved_users} users in {batches} batches; max ingest stall {max_ingest_stall_ms:.2} ms, \
+             max batch {max_batch_ms:.2} ms"
+        ),
+    ]);
+    t.push(&[
+        "post (steady, M shards)".to_string(),
+        format!("{post_events_per_sec:.0}"),
+        ratio(post_events_per_sec),
+        String::new(),
+    ]);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"bench-reshard\",\n  \"n_users\": {n_users},\n  \"n_items\": {n_items},\n  \
+         \"from_shards\": {FROM_SHARDS},\n  \"to_shards\": {TO_SHARDS},\n  \"handoff_batch\": {HANDOFF_BATCH},\n  \
+         \"phase_events\": {phase_events},\n  \"moved_users\": {moved_users},\n  \"batches\": {batches},\n  \
+         \"pre_events_per_sec\": {pre_events_per_sec:.1},\n  \"during_events_per_sec\": {during_events_per_sec:.1},\n  \
+         \"post_events_per_sec\": {post_events_per_sec:.1},\n  \"during_over_pre\": {:.3},\n  \
+         \"post_over_pre\": {:.3},\n  \"max_ingest_stall_ms\": {max_ingest_stall_ms:.3},\n  \
+         \"max_batch_ms\": {max_batch_ms:.3}\n}}\n",
+        during_events_per_sec / pre_events_per_sec,
+        post_events_per_sec / pre_events_per_sec,
+    );
+
+    ReshardBenchOutput {
+        pre_events_per_sec,
+        during_events_per_sec,
+        post_events_per_sec,
+        max_ingest_stall_ms,
+        max_batch_ms,
+        moved_users,
+        batches,
         table: t,
         json,
     }

@@ -833,6 +833,131 @@ impl<M: InductiveUiModel> Sccf<M> {
             })
             .collect()
     }
+
+    /// A shard view that owns **no users yet**, over an existing shared
+    /// item-side half — the live-resharding scale-out path: a freshly
+    /// spawned worker starts empty and adopts users one handoff batch at
+    /// a time (`Sccf::adopt_user` via `RealtimeEngine::import_user`).
+    ///
+    /// `n_users` is the full population size (the view still *knows*
+    /// every user, it just owns none of them), matching the views
+    /// [`Sccf::into_shards`] produces.
+    pub fn empty_shard_view(shared: &Arc<SccfShared<M>>, n_users: usize) -> Self {
+        let dim = shared.model.dim();
+        let index_dim = shared
+            .cfg
+            .profiles
+            .as_ref()
+            .map_or(dim, |p| p.augmented_dim(dim));
+        let user_comp = UserBasedComponent::new(
+            shared.cfg.user_based.clone(),
+            shared.model.n_items(),
+            std::iter::empty(),
+        );
+        Self {
+            shared: Arc::clone(shared),
+            user_index: DynamicIndex::with_capacity(0, index_dim, Metric::Cosine),
+            user_comp,
+            owned: Some(ShardMap {
+                globals: Vec::new(),
+                local_of: vec![u32::MAX; n_users],
+            }),
+        }
+    }
+
+    /// Adopt `user` into this shard view at the next free slot: index
+    /// row from the supplied representation, recent-item ring from the
+    /// history tail — exactly the state [`Sccf::into_shards`] /
+    /// [`crate::RealtimeEngine::restore`] would derive. The caller (the
+    /// realtime engine's import path) stores the history itself.
+    ///
+    /// # Panics
+    /// If this is not a shard view or the user is already owned here —
+    /// the migration router must only import unowned users.
+    pub(crate) fn adopt_user(&mut self, user: u32, history: &[u32], rep: &[f32]) {
+        let q = self.index_vector(user, rep);
+        let map = self.owned.as_mut().expect("adopt_user on a shard view");
+        assert_eq!(
+            map.local_of[user as usize],
+            u32::MAX,
+            "adopt_user: user {user} already owned by this shard"
+        );
+        let slot = map.globals.len() as u32;
+        map.globals.push(user);
+        map.local_of[user as usize] = slot;
+        let pushed = self.user_index.push(&q);
+        debug_assert_eq!(pushed, slot);
+        self.user_comp.push_user(history);
+    }
+
+    /// Evict `user` from this shard view, swap-removing its slot (the
+    /// view's last-slot user moves into the freed slot; the map mirrors
+    /// the swap). Returns the freed slot so the caller can apply the
+    /// same swap to slot-addressed state it owns (the engine's history
+    /// table).
+    ///
+    /// # Panics
+    /// If this is not a shard view or the user is not owned here.
+    pub(crate) fn evict_user(&mut self, user: u32) -> u32 {
+        let map = self.owned.as_mut().expect("evict_user on a shard view");
+        let slot = match map.local(user) {
+            Some(s) => s,
+            None => panic!("evict_user: user {user} is not owned by this shard"),
+        };
+        let last = map.globals.len() - 1;
+        self.user_index.swap_remove(slot);
+        self.user_comp.swap_remove_user(slot);
+        map.globals.swap_remove(slot as usize);
+        map.local_of[user as usize] = u32::MAX;
+        if (slot as usize) != last {
+            let moved = map.globals[slot as usize];
+            map.local_of[moved as usize] = slot;
+        }
+        slot
+    }
+
+    /// Re-order a shard view's compact slots into ascending global-id
+    /// order — the canonical layout [`Sccf::into_shards`] (and therefore
+    /// snapshot restore) produces. Incremental adopt/evict leaves slots
+    /// in arrival order; after a migration quiesces, canonicalizing
+    /// makes the live-resharded state *bit-identical* to an offline
+    /// `snapshot` + `restore` of the same histories (slot order is
+    /// observable through index tie-breaking and Eq. 12 summation
+    /// order). Pure permutation: no inference, vectors and ring contents
+    /// are moved verbatim.
+    ///
+    /// Returns the permutation applied (`perm[new_slot] = old_slot`) so
+    /// the caller can permute its own slot-addressed state, or `None` if
+    /// the layout was already canonical (always, on unsharded
+    /// instances).
+    pub(crate) fn canonicalize_owned(&mut self) -> Option<Vec<u32>> {
+        let map = self.owned.as_ref()?;
+        if map.globals.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        let mut perm: Vec<u32> = (0..map.globals.len() as u32).collect();
+        perm.sort_by_key(|&s| map.globals[s as usize]);
+        let dim = self.user_index.dim();
+        let index = DynamicIndex::with_capacity(perm.len(), dim, Metric::Cosine);
+        for (new_slot, &old_slot) in perm.iter().enumerate() {
+            index.update(new_slot as u32, &self.user_index.vector(old_slot));
+        }
+        let comp = UserBasedComponent::new(
+            self.shared.cfg.user_based.clone(),
+            self.shared.model.n_items(),
+            perm.iter()
+                .map(|&s| self.user_comp.recent_items(s).collect()),
+        );
+        let map = self.owned.as_mut().expect("checked above");
+        let globals: Vec<u32> = perm.iter().map(|&s| map.globals[s as usize]).collect();
+        for (l, &g) in globals.iter().enumerate() {
+            map.local_of[g as usize] = l as u32;
+        }
+        map.globals = globals;
+        self.user_index = index;
+        self.user_comp = comp;
+        Some(perm)
+    }
 }
 
 /// Build the candidate union and raw scores for one user into

@@ -89,7 +89,7 @@ pub use integrator::{CandidateFeatures, Integrator, IntegratorConfig};
 pub use profile::UserProfiles;
 pub use ranking::RankingStage;
 pub use realtime::{
-    decode_histories, encode_histories, EngineTimings, EventTiming, RealtimeEngine,
-    SnapshotDecodeError,
+    decode_histories, decode_user_state, encode_histories, encode_user_state, EngineTimings,
+    EventTiming, RealtimeEngine, SnapshotDecodeError,
 };
 pub use user_component::{UserBasedComponent, UserBasedConfig, UuScratch};

@@ -280,6 +280,98 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
         }
     }
 
+    /// Serialize one owned user's complete serving state for a live
+    /// migration handoff: global id, freshly inferred representation,
+    /// and full history ([`encode_user_state`]). The recent-item ring
+    /// and the user-index row are both functions of these (ring = the
+    /// history's window tail, row = the representation), so the blob
+    /// carries everything the receiving shard needs to
+    /// [`RealtimeEngine::import_user`] the user bit-identically to an
+    /// offline snapshot restore.
+    pub fn export_user(&self, user: u32) -> Result<Vec<u8>, QueryError> {
+        let slot = self
+            .sccf
+            .slot_of(user)
+            .ok_or(QueryError::NotOwned { user })? as usize;
+        let history = &self.histories[slot];
+        let rep = self.sccf.model().infer_user(history);
+        Ok(encode_user_state(user, &rep, history))
+    }
+
+    /// Adopt a user handed off from another shard: decode and validate
+    /// an [`RealtimeEngine::export_user`] blob, then install the history
+    /// and the derived state (index row from the carried representation,
+    /// ring from the history tail). Returns the adopted user's global
+    /// id. Rejects corrupt blobs, out-of-range ids and users this view
+    /// already owns with a typed error before touching any state — on
+    /// an unsharded engine every import therefore returns
+    /// [`SnapshotDecodeError::AlreadyOwned`] (it owns everyone), so
+    /// only shard views can meaningfully import.
+    pub fn import_user(&mut self, bytes: &[u8]) -> Result<u32, SnapshotDecodeError> {
+        let (user, rep, history) = decode_user_state(bytes)?;
+        let n_users = self.sccf.user_count();
+        if user as usize >= n_users {
+            return Err(SnapshotDecodeError::UserOutOfRange { user, n_users });
+        }
+        let n_items = self.sccf.model().n_items();
+        if let Some(&bad) = history.iter().find(|&&i| i as usize >= n_items) {
+            return Err(SnapshotDecodeError::ItemOutOfRange {
+                user: user as usize,
+                item: bad,
+                n_items,
+            });
+        }
+        let dim = self.sccf.model().dim();
+        if rep.len() != dim {
+            return Err(SnapshotDecodeError::RepDimMismatch {
+                snapshot: rep.len(),
+                model: dim,
+            });
+        }
+        if self.sccf.slot_of(user).is_some() {
+            return Err(SnapshotDecodeError::AlreadyOwned { user });
+        }
+        self.sccf.adopt_user(user, &history, &rep);
+        self.histories.push(history);
+        Ok(user)
+    }
+
+    /// Hand `user`'s slot back (live-resharding evict): swap-remove the
+    /// history row and the derived per-user state. Call after
+    /// [`RealtimeEngine::export_user`] — the order matters, export
+    /// reads the state evict destroys.
+    ///
+    /// # Panics
+    /// If the engine is not a shard view — only migration between shard
+    /// views evicts users.
+    pub fn evict_user(&mut self, user: u32) -> Result<(), QueryError> {
+        if self.sccf.owned_globals().is_none() {
+            panic!("evict_user: only shard views hand users off");
+        }
+        if self.sccf.slot_of(user).is_none() {
+            return Err(QueryError::NotOwned { user });
+        }
+        let slot = self.sccf.evict_user(user);
+        self.histories.swap_remove(slot as usize);
+        Ok(())
+    }
+
+    /// Re-order this shard view's compact slots into the canonical
+    /// ascending-global-id layout (see `Sccf::canonicalize_owned`).
+    /// After a live migration quiesces, this makes the engine's state
+    /// bit-identical to an offline `snapshot` + `restore` of the same
+    /// histories. No-op (and free) when the layout is already canonical,
+    /// including on unsharded engines.
+    pub fn canonicalize_owned(&mut self) {
+        if let Some(perm) = self.sccf.canonicalize_owned() {
+            let mut old = std::mem::take(&mut self.histories);
+            self.histories = perm
+                .iter()
+                .map(|&s| std::mem::take(&mut old[s as usize]))
+                .collect();
+        }
+    }
+
     /// Rebuild an engine from a snapshot: decode the histories, then
     /// re-infer every owned user's representation and reset index +
     /// recent-item state. Timing statistics start fresh (they describe a
@@ -332,6 +424,75 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
 }
 
 const SNAPSHOT_MAGIC: &[u8; 8] = b"SCCFRT01";
+const USER_STATE_MAGIC: &[u8; 8] = b"SCCFUM01";
+
+/// Serialize one user's migration handoff blob: magic, global user id,
+/// length-prefixed representation (f32 bit patterns), length-prefixed
+/// history — the per-user sibling of the whole-population
+/// [`encode_histories`] framing, used by live resharding
+/// (`RealtimeEngine::export_user` → `RealtimeEngine::import_user`).
+/// All fields little-endian.
+pub fn encode_user_state(user: u32, rep: &[f32], history: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + rep.len() * 4 + history.len() * 4);
+    out.extend_from_slice(USER_STATE_MAGIC);
+    out.extend_from_slice(&user.to_le_bytes());
+    out.extend_from_slice(&(rep.len() as u32).to_le_bytes());
+    for &v in rep {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&(history.len() as u32).to_le_bytes());
+    for &item in history {
+        out.extend_from_slice(&item.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a blob produced by [`encode_user_state`] back into
+/// `(user, representation, history)`. Framing validation only — id
+/// ranges and the representation dimension are checked at import, where
+/// the target engine is known.
+pub fn decode_user_state(bytes: &[u8]) -> Result<(u32, Vec<f32>, Vec<u32>), SnapshotDecodeError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], SnapshotDecodeError> {
+        let end = pos.checked_add(n).ok_or(SnapshotDecodeError::Truncated)?;
+        if end > bytes.len() {
+            return Err(SnapshotDecodeError::Truncated);
+        }
+        let s = &bytes[*pos..end];
+        *pos = end;
+        Ok(s)
+    };
+    if take(&mut pos, 8)? != USER_STATE_MAGIC {
+        return Err(SnapshotDecodeError::BadMagic);
+    }
+    let user = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+    let rep_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let rep_bytes = take(
+        &mut pos,
+        rep_len
+            .checked_mul(4)
+            .ok_or(SnapshotDecodeError::Truncated)?,
+    )?;
+    let rep: Vec<f32> = rep_bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+        .collect();
+    let hist_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let hist_bytes = take(
+        &mut pos,
+        hist_len
+            .checked_mul(4)
+            .ok_or(SnapshotDecodeError::Truncated)?,
+    )?;
+    let history: Vec<u32> = hist_bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    if pos != bytes.len() {
+        return Err(SnapshotDecodeError::Truncated);
+    }
+    Ok((user, rep, history))
+}
 
 /// Serialize whole-population per-user histories in the engine snapshot
 /// format: magic, user count, then per user a length-prefixed item
@@ -369,6 +530,14 @@ pub enum SnapshotDecodeError {
         item: u32,
         n_items: usize,
     },
+    /// A migration blob names a user outside the population.
+    UserOutOfRange { user: u32, n_users: usize },
+    /// A migration blob's representation has the wrong dimension for
+    /// the target engine's model.
+    RepDimMismatch { snapshot: usize, model: usize },
+    /// A migration blob was imported into a view that already owns the
+    /// user (would double-apply state).
+    AlreadyOwned { user: u32 },
 }
 
 impl std::fmt::Display for SnapshotDecodeError {
@@ -388,6 +557,20 @@ impl std::fmt::Display for SnapshotDecodeError {
                 f,
                 "user {user}'s history references item {item} outside the catalog of {n_items}"
             ),
+            Self::UserOutOfRange { user, n_users } => write!(
+                f,
+                "migration blob names user {user} outside the population of {n_users}"
+            ),
+            Self::RepDimMismatch { snapshot, model } => write!(
+                f,
+                "migration blob carries a {snapshot}-dim representation for a {model}-dim model"
+            ),
+            Self::AlreadyOwned { user } => {
+                write!(
+                    f,
+                    "migration blob for user {user} already owned by this shard"
+                )
+            }
         }
     }
 }

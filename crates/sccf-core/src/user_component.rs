@@ -179,6 +179,42 @@ impl UserBasedComponent {
         self.len[u] = tail.len() as u32;
     }
 
+    /// Append a new user row seeded from `history` (truncated to the
+    /// window, exactly like construction) — the live-resharding *import*
+    /// path. The new user's slot is `n_users()` before the call.
+    pub fn push_user(&mut self, history: &[u32]) {
+        let w = self.cfg.recent_window;
+        let tail = if history.len() > w {
+            &history[history.len() - w..]
+        } else {
+            history
+        };
+        self.slab.extend_from_slice(tail);
+        self.slab.resize(self.slab.len() + (w - tail.len()), 0);
+        self.head.push(0);
+        self.len.push(tail.len() as u32);
+        self.n_users += 1;
+    }
+
+    /// Remove `user`'s row by moving the **last** row into its slot (the
+    /// old last user becomes `user`) — the live-resharding *evict* path.
+    /// The caller owns the slot↔global map and mirrors the swap there.
+    pub fn swap_remove_user(&mut self, user: u32) {
+        let w = self.cfg.recent_window;
+        let u = user as usize;
+        let last = self.n_users - 1;
+        if u != last {
+            let (head_rows, last_row) = self.slab.split_at_mut(last * w);
+            head_rows[u * w..(u + 1) * w].copy_from_slice(&last_row[..w]);
+            self.head[u] = self.head[last];
+            self.len[u] = self.len[last];
+        }
+        self.slab.truncate(last * w);
+        self.head.truncate(last);
+        self.len.truncate(last);
+        self.n_users = last;
+    }
+
     /// Sparse Eq. 12 over a pre-identified neighborhood: accumulate
     /// `sim(u,v)` onto every *distinct* item in each neighbor's window.
     /// Work and writes are O(β × recent_window); the catalog size never
@@ -389,6 +425,31 @@ mod tests {
         c.record(1, 2);
         c.record(1, 3);
         assert_eq!(recent(&c, 1), &[5, 2, 3]);
+    }
+
+    #[test]
+    fn push_and_swap_remove_keep_rows_consistent() {
+        let mut c = comp();
+        c.push_user(&[0, 1, 2, 3, 4]); // u3, window [2,3,4]
+        assert_eq!(c.n_users(), 4);
+        assert_eq!(recent(&c, 3), &[2, 3, 4]);
+        // Evict u0: the last user (u3) takes slot 0.
+        c.swap_remove_user(0);
+        assert_eq!(c.n_users(), 3);
+        assert_eq!(recent(&c, 0), &[2, 3, 4]);
+        assert_eq!(recent(&c, 1), &[2, 3, 4]); // original u1 untouched
+        assert_eq!(recent(&c, 2), &[5]);
+        // Removing the last slot shifts nothing.
+        c.swap_remove_user(2);
+        assert_eq!(c.n_users(), 2);
+        assert_eq!(recent(&c, 1), &[2, 3, 4]);
+        // A rolled ring survives the swap with its head offset intact.
+        let mut c = comp();
+        for i in 0..5 {
+            c.record(2, i); // u2's ring rolled: [2,3,4] with head ≠ 0
+        }
+        c.swap_remove_user(0);
+        assert_eq!(recent(&c, 0), &[2, 3, 4]);
     }
 
     #[test]

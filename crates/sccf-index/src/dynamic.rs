@@ -15,8 +15,13 @@ use sccf_util::topk::Scored;
 use crate::flat::FlatIndex;
 use crate::metric::Metric;
 
-/// Thread-safe updatable vector index with fixed capacity (one slot per
-/// user id).
+/// Thread-safe updatable vector index over compact slots. Construction
+/// fixes the initial slot count (one per id in `0..n`); the
+/// live-resharding path additionally grows it with [`DynamicIndex::push`]
+/// and shrinks it with [`DynamicIndex::swap_remove`] — after a
+/// swap-remove the old last id takes the removed id, so callers that
+/// treat ids as stable keys must own an id↔slot map and mirror the
+/// swap.
 #[derive(Debug)]
 pub struct DynamicIndex {
     inner: RwLock<FlatIndex>,
@@ -59,6 +64,20 @@ impl DynamicIndex {
     /// Replace the vector for `id` (the real-time user-embedding refresh).
     pub fn update(&self, id: u32, v: &[f32]) {
         self.inner.write().update(id, v);
+    }
+
+    /// Append a vector at the next free id (`len()` before the call) —
+    /// the live-resharding *import* path grows a shard's compact index
+    /// one adopted user at a time.
+    pub fn push(&self, v: &[f32]) -> u32 {
+        self.inner.write().add(v)
+    }
+
+    /// Remove `id` by swapping the last row into its slot (the old last
+    /// id becomes `id`); see [`FlatIndex::swap_remove`]. The caller owns
+    /// the id↔slot map and must mirror the swap.
+    pub fn swap_remove(&self, id: u32) {
+        self.inner.write().swap_remove(id);
     }
 
     /// Snapshot of the stored vector.

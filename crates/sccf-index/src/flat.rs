@@ -73,6 +73,24 @@ impl FlatIndex {
         self.norms[id as usize] = sccf_tensor::mat::norm(v);
     }
 
+    /// Remove the vector for `id` by moving the **last** row into its
+    /// slot (O(dim); ids above `id` shift down by exactly one: the old
+    /// last id becomes `id`). This is the compact-layout removal the
+    /// live-resharding handoff uses — the caller owns the id↔slot map
+    /// and mirrors the swap there.
+    pub fn swap_remove(&mut self, id: u32) {
+        assert!((id as usize) < self.len(), "swap_remove: id out of range");
+        let last = self.len() - 1;
+        let i = id as usize;
+        if i != last {
+            let (head, tail) = self.data.split_at_mut(last * self.dim);
+            head[i * self.dim..(i + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+            self.norms[i] = self.norms[last];
+        }
+        self.data.truncate(last * self.dim);
+        self.norms.truncate(last);
+    }
+
     /// The stored vector for `id`.
     pub fn vector(&self, id: u32) -> &[f32] {
         let start = id as usize * self.dim;
@@ -237,6 +255,20 @@ mod tests {
     fn wrong_dim_panics() {
         let mut idx = FlatIndex::new(3, Metric::InnerProduct);
         idx.add(&[1.0]);
+    }
+
+    #[test]
+    fn swap_remove_moves_last_row_into_slot() {
+        let mut idx = unit_index();
+        idx.swap_remove(0); // last row [1,1] takes id 0
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.vector(0), &[1.0, 1.0]);
+        assert_eq!(idx.vector(1), &[0.0, 1.0]);
+        idx.swap_remove(1); // removing the last row shifts nothing
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.vector(0), &[1.0, 1.0]);
+        idx.swap_remove(0);
+        assert!(idx.is_empty());
     }
 
     #[test]

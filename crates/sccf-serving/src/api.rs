@@ -210,6 +210,23 @@ impl std::error::Error for ServingError {
     }
 }
 
+/// Live-resharding progress counters, part of [`ServingStats`]. All
+/// zeros on the single-writer engine and on fleets that never
+/// resharded; `docs/OPERATIONS.md` explains how to read them during a
+/// migration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// A reshard has begun and not yet quiesced.
+    pub in_progress: bool,
+    /// Users handed off across every reshard of this fleet's life.
+    pub migrated_users: u64,
+    /// Users still awaiting handoff in the current migration (0 when
+    /// stable).
+    pub pending_users: u64,
+    /// Handoff batches executed across every reshard.
+    pub batches: u64,
+}
+
 /// Unified serving statistics: subsumes the plain engine's
 /// [`EngineTimings`] and the sharded engine's per-shard reports in one
 /// shape, so dashboards and benches read both engine kinds identically.
@@ -221,8 +238,12 @@ pub struct ServingStats {
     pub recommends: u64,
     /// The Table III timing split, merged across all workers.
     pub timings: EngineTimings,
-    /// Per-shard breakdown; empty on the single-writer engine.
+    /// Per-shard breakdown; empty on the single-writer engine. After a
+    /// live scale-in this includes retired workers' final reports, so
+    /// `events` accounts for the fleet's whole life.
     pub shards: Vec<ShardReport>,
+    /// Live-resharding progress (see `ShardedEngine::reshard`).
+    pub migration: MigrationStats,
 }
 
 impl ServingStats {
@@ -389,6 +410,7 @@ impl<M: InductiveUiModel> ServingApi for RealtimeEngine<M> {
             recommends: self.recommends(),
             timings: self.timings().clone(),
             shards: Vec::new(),
+            migration: MigrationStats::default(),
         })
     }
 

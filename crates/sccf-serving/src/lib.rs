@@ -13,14 +13,22 @@
 //!   into the globally time-ordered stream the Table III measurement and
 //!   all serving demos consume); [`replay_into`] feeds it to any
 //!   [`ServingApi`] engine.
+//! * [`ring`] — deterministic user→shard routing as a value:
+//!   [`HashRing`] wraps the legacy modulo mapping and a consistent-hash
+//!   ring with virtual nodes behind one `route(user)` function,
+//!   snapshot-encodable so a routing epoch can be persisted alongside
+//!   state snapshots.
 //! * [`sharded`] — the sharded multi-writer realtime engine:
-//!   [`ShardedEngine`] partitions users across N worker threads
-//!   (`hash(user) % N`), each owning a single-writer
+//!   [`ShardedEngine`] partitions users across N worker threads by a
+//!   [`HashRing`], each owning a single-writer
 //!   [`sccf_core::RealtimeEngine`] fed by a bounded SPSC queue, over one
 //!   shared read-only item-side half (`Arc<sccf_core::SccfShared>`).
 //!   `N = 1` is bit-identical to the plain engine; snapshot/restore
-//!   re-partitions at load time (offline resharding N→M); see
-//!   `docs/ARCHITECTURE.md` for the event-flow diagram and state split.
+//!   re-partitions at load time (offline resharding N→M), and
+//!   [`ShardedEngine::reshard`] re-partitions **live** — incremental
+//!   per-user handoff while ingestion continues; see
+//!   `docs/ARCHITECTURE.md` for the event-flow diagram and state split,
+//!   `docs/OPERATIONS.md` for the scale-out/scale-in runbook.
 //! * [`watermark`] — the bounded out-of-order reordering buffer.
 //! * [`click_model`] — the behavioral click/trade model.
 //! * [`ab_test`] — the two-bucket A/B experiment harness that
@@ -33,6 +41,7 @@
 pub mod ab_test;
 pub mod api;
 pub mod click_model;
+pub mod ring;
 pub mod sharded;
 pub mod stream;
 pub mod watermark;
@@ -41,8 +50,13 @@ pub use ab_test::{
     run_ab_test, run_bucket, split_buckets, AbResult, AbTestConfig, BucketOutcome, CandidateGen,
     FnCandidateGen,
 };
-pub use api::{ApiCandidateGen, RecQuery, RecResponse, ServingApi, ServingError, ServingStats};
+pub use api::{
+    ApiCandidateGen, MigrationStats, RecQuery, RecResponse, ServingApi, ServingError, ServingStats,
+};
 pub use click_model::ClickModel;
-pub use sharded::{shard_of, ShardReport, ShardedConfig, ShardedEngine};
+pub use ring::{HashRing, RingDecodeError};
+#[allow(deprecated)] // the legacy shim stays importable from its old path
+pub use sharded::shard_of;
+pub use sharded::{ReshardReport, RouterKind, ShardReport, ShardedConfig, ShardedEngine};
 pub use stream::{events_after, replay_events, replay_into, StreamEvent};
 pub use watermark::WatermarkBuffer;

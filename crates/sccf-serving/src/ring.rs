@@ -1,0 +1,354 @@
+//! User→shard routing behind one abstraction: [`HashRing`].
+//!
+//! The sharded engine's router needs a pure, deterministic function
+//! from a user id to a shard — per-user event ordering and shard-local
+//! state both rest on "same user, same shard, always". PR 2 hard-coded
+//! that function as `FxHash(user) % N`; this module turns it into a
+//! value with two interchangeable modes:
+//!
+//! * [`HashRing::modulo`] — the legacy router, bit-for-bit. Perfectly
+//!   balanced, but changing `N` remaps almost every user (≈ `1 − 1/M`
+//!   of them for N→M), so a modulo fleet pays a near-total state
+//!   migration on every scale-out.
+//! * [`HashRing::consistent`] — a consistent-hash ring with virtual
+//!   nodes: every `(shard, vnode)` pair hashes to a point on a `u64`
+//!   circle, and a user belongs to the first point clockwise of her
+//!   hash. Adding or removing shards only moves the users whose arc
+//!   changed hands — ≈ `1 − N/M` for N→M scale-out, the minimum any
+//!   correct router can achieve — which is what makes **live
+//!   resharding** (`ShardedEngine::reshard`) cheap: the handoff
+//!   migrates only the moved arcs, not the whole population.
+//!
+//! Rings are plain values: cheap to build (points are derived, not
+//! stored state), `Clone`, comparable, and snapshot-encodable
+//! ([`HashRing::encode`]/[`HashRing::decode`]) so operators can persist
+//! the routing epoch alongside a state snapshot and reconstruct the
+//! exact same placement later (see `docs/OPERATIONS.md`).
+//!
+//! ```
+//! use sccf_serving::ring::HashRing;
+//!
+//! // The legacy modulo router and a 64-vnode consistent ring.
+//! let modulo = HashRing::modulo(4);
+//! let ring = HashRing::consistent(4, 64);
+//! assert_eq!(ring.n_shards(), 4);
+//!
+//! // Routing is a pure function: same user, same shard, always.
+//! assert_eq!(ring.route(17), ring.route(17));
+//! assert!(modulo.route(17) < 4 && ring.route(17) < 4);
+//!
+//! // Consistent hashing moves few users on scale-out; modulo moves most.
+//! let grown = HashRing::consistent(5, 64);
+//! let moved = (0..10_000u32).filter(|&u| ring.route(u) != grown.route(u)).count();
+//! assert!(moved < 5_000, "consistent 4→5 moved {moved}/10000 users");
+//!
+//! // Rings round-trip through their snapshot encoding.
+//! let bytes = ring.encode();
+//! assert_eq!(HashRing::decode(&bytes).unwrap(), ring);
+//! ```
+
+use std::hash::Hasher;
+
+use sccf_util::hash::FxHasher;
+
+/// FxHash of a user id — the hash the legacy `shard_of` used; the
+/// modulo mode must keep it bit-for-bit for the pinned equivalence.
+fn hash_user_fx(user: u32) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(user);
+    h.finish()
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixer. The consistent
+/// ring positions points and keys on the circle by this — FxHash alone
+/// distributes small integer inputs too unevenly over the `u64` range,
+/// which starves whole arcs (multiplicative hashing concentrates its
+/// entropy in the high bits; ring placement needs all of them).
+fn mix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Position of `user` on the consistent ring's circle.
+fn hash_user_ring(user: u32) -> u64 {
+    mix64(user as u64)
+}
+
+/// Domain tag separating vnode points from user keys. Without it,
+/// shard 0's vnode `v` and user `v` hash identically, so every user id
+/// below the vnode count would sit exactly on a shard-0 point and glue
+/// itself there.
+const POINT_DOMAIN: u64 = 1 << 63;
+
+/// Position of one `(shard, vnode)` pair on the circle.
+fn hash_point(shard: u32, vnode: u32) -> u64 {
+    mix64(POINT_DOMAIN | ((shard as u64) << 32) | vnode as u64)
+}
+
+/// Deterministic user→shard router: the legacy modulo mapping or a
+/// consistent-hash ring with virtual nodes. See the [module docs](self)
+/// for when each mode is the right choice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    n_shards: usize,
+    kind: RingKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RingKind {
+    Modulo,
+    Consistent {
+        vnodes: usize,
+        /// `(point, shard)` sorted by point; ties broken by shard id so
+        /// construction is deterministic even under point collisions.
+        points: Vec<(u64, u32)>,
+    },
+}
+
+impl HashRing {
+    /// The legacy router: `FxHash(user) % n_shards`, bit-identical to
+    /// the deprecated free `shard_of` (pinned by `ring::tests`).
+    ///
+    /// # Panics
+    /// If `n_shards == 0` — engine construction rejects zero-shard
+    /// configs before building a ring.
+    pub fn modulo(n_shards: usize) -> Self {
+        assert!(n_shards > 0, "a ring needs at least one shard");
+        Self {
+            n_shards,
+            kind: RingKind::Modulo,
+        }
+    }
+
+    /// A consistent-hash ring placing `vnodes` virtual nodes per shard
+    /// on the `u64` circle. More vnodes → better balance (the per-shard
+    /// load spread narrows as `1/√vnodes`) at O(n_shards × vnodes)
+    /// build cost and O(log) routing; 64–128 is a good default.
+    ///
+    /// # Panics
+    /// If `n_shards == 0` or `vnodes == 0`.
+    pub fn consistent(n_shards: usize, vnodes: usize) -> Self {
+        assert!(n_shards > 0, "a ring needs at least one shard");
+        assert!(
+            vnodes > 0,
+            "a consistent ring needs at least one vnode per shard"
+        );
+        let mut points = Vec::with_capacity(n_shards * vnodes);
+        for s in 0..n_shards as u32 {
+            for v in 0..vnodes as u32 {
+                points.push((hash_point(s, v), s));
+            }
+        }
+        points.sort_unstable();
+        Self {
+            n_shards,
+            kind: RingKind::Consistent { vnodes, points },
+        }
+    }
+
+    /// The shard owning `user`. Pure and total: every user id maps to
+    /// exactly one shard `< n_shards()`, and the same id always maps to
+    /// the same shard for a given ring value.
+    pub fn route(&self, user: u32) -> usize {
+        match &self.kind {
+            RingKind::Modulo => (hash_user_fx(user) % self.n_shards as u64) as usize,
+            RingKind::Consistent { points, .. } => {
+                let h = hash_user_ring(user);
+                let i = points.partition_point(|p| p.0 < h);
+                let (_, shard) = points[if i == points.len() { 0 } else { i }];
+                shard as usize
+            }
+        }
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Virtual nodes per shard — `None` for the modulo mode.
+    pub fn vnodes(&self) -> Option<usize> {
+        match &self.kind {
+            RingKind::Modulo => None,
+            RingKind::Consistent { vnodes, .. } => Some(*vnodes),
+        }
+    }
+
+    /// Serialize the ring (magic, mode, shard count, vnode count). The
+    /// circle points are *derived* from these, so the encoding is tiny
+    /// and decode rebuilds the identical ring — persist it alongside a
+    /// state snapshot to pin the routing epoch.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(25);
+        out.extend_from_slice(RING_MAGIC);
+        match &self.kind {
+            RingKind::Modulo => {
+                out.push(0);
+                out.extend_from_slice(&(self.n_shards as u64).to_le_bytes());
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+            RingKind::Consistent { vnodes, .. } => {
+                out.push(1);
+                out.extend_from_slice(&(self.n_shards as u64).to_le_bytes());
+                out.extend_from_slice(&(*vnodes as u64).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a ring produced by [`HashRing::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, RingDecodeError> {
+        if bytes.len() != 25 {
+            return Err(RingDecodeError::Truncated);
+        }
+        if &bytes[..8] != RING_MAGIC {
+            return Err(RingDecodeError::BadMagic);
+        }
+        let n_shards = u64::from_le_bytes(bytes[9..17].try_into().unwrap()) as usize;
+        let vnodes = u64::from_le_bytes(bytes[17..25].try_into().unwrap()) as usize;
+        if n_shards == 0 {
+            return Err(RingDecodeError::ZeroShards);
+        }
+        match bytes[8] {
+            0 => Ok(Self::modulo(n_shards)),
+            1 if vnodes > 0 => Ok(Self::consistent(n_shards, vnodes)),
+            1 => Err(RingDecodeError::ZeroShards),
+            k => Err(RingDecodeError::UnknownKind(k)),
+        }
+    }
+}
+
+const RING_MAGIC: &[u8; 8] = b"SCCFRG01";
+
+/// Why a ring encoding could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingDecodeError {
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// Wrong payload size.
+    Truncated,
+    /// Unknown routing-mode tag.
+    UnknownKind(u8),
+    /// A zero shard (or vnode) count — no valid ring has one.
+    ZeroShards,
+}
+
+impl std::fmt::Display for RingDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a hash-ring encoding"),
+            Self::Truncated => write!(f, "hash-ring encoding has the wrong size"),
+            Self::UnknownKind(k) => write!(f, "unknown hash-ring mode tag {k}"),
+            Self::ZeroShards => write!(f, "hash-ring encoding declares zero shards or vnodes"),
+        }
+    }
+}
+
+impl std::error::Error for RingDecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for ring in [
+            HashRing::modulo(1),
+            HashRing::modulo(7),
+            HashRing::consistent(1, 16),
+            HashRing::consistent(7, 64),
+        ] {
+            for u in 0..2000u32 {
+                let s = ring.route(u);
+                assert!(s < ring.n_shards());
+                assert_eq!(s, ring.route(u), "same user, same shard");
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)] // the pinned-equivalence test of the legacy shim
+    fn modulo_ring_matches_deprecated_shard_of() {
+        for n in [1usize, 2, 3, 8, 16] {
+            let ring = HashRing::modulo(n);
+            for u in 0..4000u32 {
+                assert_eq!(ring.route(u), crate::sharded::shard_of(u, n));
+            }
+        }
+    }
+
+    #[test]
+    fn consistent_ring_balances_with_enough_vnodes() {
+        let n = 8usize;
+        let ring = HashRing::consistent(n, 128);
+        let mut counts = vec![0usize; n];
+        for u in 0..80_000u32 {
+            counts[ring.route(u)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 80_000 / n / 4,
+                "shard {s} starved: {c} of 80000 users ({counts:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn consistent_scale_out_moves_a_minority_modulo_moves_most() {
+        let users = 20_000u32;
+        let moved =
+            |a: &HashRing, b: &HashRing| (0..users).filter(|&u| a.route(u) != b.route(u)).count();
+        let consistent = moved(&HashRing::consistent(4, 64), &HashRing::consistent(5, 64));
+        let modulo = moved(&HashRing::modulo(4), &HashRing::modulo(5));
+        // 4→5 consistent should move ≈ 1/5 of the users; modulo ≈ 4/5.
+        assert!(
+            consistent < users as usize / 2,
+            "consistent 4→5 moved {consistent}/{users}"
+        );
+        assert!(
+            consistent < modulo,
+            "consistent ({consistent}) must move fewer users than modulo ({modulo})"
+        );
+    }
+
+    #[test]
+    fn consistent_shards_only_gain_from_new_nodes_on_scale_out() {
+        // The defining property: a user that moves on N→M scale-out
+        // moves *to one of the new shards* — surviving shards never
+        // trade users among themselves.
+        let old = HashRing::consistent(4, 64);
+        let new = HashRing::consistent(6, 64);
+        for u in 0..20_000u32 {
+            let (a, b) = (old.route(u), new.route(u));
+            if a != b {
+                assert!(b >= 4, "user {u} moved {a}→{b}, not to a new shard");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_and_rejects_garbage() {
+        for ring in [
+            HashRing::modulo(3),
+            HashRing::consistent(5, 64),
+            HashRing::consistent(1, 1),
+        ] {
+            let bytes = ring.encode();
+            assert_eq!(HashRing::decode(&bytes).unwrap(), ring);
+        }
+        assert_eq!(HashRing::decode(b"junk"), Err(RingDecodeError::Truncated));
+        let mut bad = HashRing::modulo(3).encode();
+        bad[0] ^= 0xFF;
+        assert_eq!(HashRing::decode(&bad), Err(RingDecodeError::BadMagic));
+        let mut unknown = HashRing::modulo(3).encode();
+        unknown[8] = 9;
+        assert_eq!(
+            HashRing::decode(&unknown),
+            Err(RingDecodeError::UnknownKind(9))
+        );
+        let mut zero = HashRing::modulo(3).encode();
+        zero[9..17].copy_from_slice(&0u64.to_le_bytes());
+        assert_eq!(HashRing::decode(&zero), Err(RingDecodeError::ZeroShards));
+    }
+}

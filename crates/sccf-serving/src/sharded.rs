@@ -1,15 +1,17 @@
-//! Sharded multi-writer realtime engine.
+//! Sharded multi-writer realtime engine with live resharding.
 //!
 //! [`crate::stream`] replays events in one thread and PR 1 made each
 //! event allocation-free — but a single-writer [`RealtimeEngine`] still
 //! tops out at one core. This module scales ingestion the way
 //! industrial neighborhood systems do: **partition users across shards**
-//! (`hash(user_id) % N`, [`shard_of`]), give every shard its own
-//! single-writer engine on a dedicated worker thread, and feed each
-//! worker through a bounded SPSC event queue with backpressure.
+//! through a deterministic router ([`crate::ring::HashRing`] — the
+//! legacy modulo mapping or a consistent-hash ring with virtual nodes),
+//! give every shard its own single-writer engine on a dedicated worker
+//! thread, and feed each worker through a bounded SPSC event queue with
+//! backpressure.
 //!
 //! ```text
-//! try_ingest(user, item) ──► shard router (hash(user) % N)
+//! try_ingest(user, item) ──► shard router (HashRing::route(user))
 //!                               │ bounded SPSC queue per shard
 //!        ┌──────────────────────┼──────────────────┐
 //!        ▼                      ▼                  ▼
@@ -54,9 +56,31 @@
 //! same whole-population artifact [`RealtimeEngine::snapshot`] writes
 //! ([`sccf_core::encode_histories`]), and
 //! [`ShardedEngine::restore`] re-partitions that artifact under a *new*
-//! [`ShardedConfig`] at load time. Resharding N→M is therefore
+//! [`ShardedConfig`] at load time. Offline resharding N→M is therefore
 //! `snapshot()` on the old fleet + `restore(.., new_cfg)` on the new —
-//! the first concrete step of the ROADMAP's shard-rebalancing item.
+//! a full stop-the-world reload.
+//!
+//! ## Live resharding
+//!
+//! [`ShardedEngine::reshard`] transitions the fleet N→M **while
+//! ingestion continues**. The router enters a *migration epoch*: users
+//! whose shard changes under the new ring are handed off incrementally,
+//! one bounded batch per [`ShardedEngine::reshard_step`], each moving
+//! user's complete state travelling as one
+//! [`sccf_core::encode_user_state`] blob
+//! ([`RealtimeEngine::export_user`] → [`RealtimeEngine::import_user`])
+//! over the same FIFO worker queues events use. Because the router is
+//! the single writer of every queue, a moving user's events are either
+//! queued ahead of her export (the source shard applies them before
+//! exporting) or routed to her new shard behind her import — per-user
+//! read-your-writes ordering holds end to end, and every event lands
+//! exactly once. After the last batch the router *quiesces*: workers
+//! canonicalize their slot layout, surplus workers retire (scale-in),
+//! and the new ring becomes the stable epoch — from then on the fleet
+//! is bit-identical to an offline `snapshot()` + `restore(.., new_cfg)`
+//! of the same histories (pinned by `tests/serving_api.rs`).
+//! [`ServingStats::migration`] exposes live progress counters; the
+//! operational runbook is `docs/OPERATIONS.md`.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -64,26 +88,47 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use sccf_core::{
     decode_histories, encode_histories, CandidateSource, EngineTimings, Exclusion, RealtimeEngine,
-    Sccf,
+    Sccf, SccfShared,
 };
 use sccf_models::InductiveUiModel;
 use sccf_util::topk::Scored;
+use sccf_util::FxHashSet;
 
-use crate::api::{RecQuery, RecResponse, ServingApi, ServingError, ServingStats};
+use crate::api::{MigrationStats, RecQuery, RecResponse, ServingApi, ServingError, ServingStats};
+use crate::ring::HashRing;
 use crate::stream::StreamEvent;
 
-/// Deterministic user→shard routing: FxHash of the user id, mod `n_shards`.
+/// Deprecated legacy router: FxHash of the user id, mod `n_shards`.
 ///
-/// The same user always lands on the same shard (pinned by
-/// `tests/sharded.rs`), which is what makes per-user event ordering and
-/// shard-local user state sound. `n_shards` must be ≥ 1 — engine
-/// construction rejects zero-shard configs with
-/// [`ServingError::InvalidConfig`] before any routing happens.
+/// Kept as a pinned-equivalence shim over the ring abstraction —
+/// bit-identical to [`HashRing::modulo`]`(n_shards).route(user)`, which
+/// is what [`ShardedConfig`]'s default [`RouterKind::Modulo`] routes
+/// through (the equivalence is pinned by `ring::tests`). New code
+/// should build a [`HashRing`] (or read the engine's placement through
+/// its config) instead of calling a free function that cannot describe
+/// consistent-hash placement.
+#[deprecated(
+    note = "route through `ring::HashRing` (see `ShardedConfig::router`); this free \
+            function is the legacy modulo router only"
+)]
 pub fn shard_of(user: u32, n_shards: usize) -> usize {
-    use std::hash::Hasher;
-    let mut h = sccf_util::hash::FxHasher::default();
-    h.write_u32(user);
-    (h.finish() % n_shards as u64) as usize
+    HashRing::modulo(n_shards).route(user)
+}
+
+/// Which routing function maps users to shards (see
+/// [`crate::ring::HashRing`] for the trade-off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterKind {
+    /// `FxHash(user) % n_shards` — the legacy router and the default.
+    /// Perfect balance, but resharding N→M moves almost every user.
+    #[default]
+    Modulo,
+    /// Consistent-hash ring with `vnodes` virtual nodes per shard.
+    /// Resharding moves only the users whose ring arc changed hands
+    /// (≈ `1 − N/M` on scale-out) — the router to deploy when the fleet
+    /// is expected to [`ShardedEngine::reshard`] live. 64–128 vnodes is
+    /// a good default.
+    Consistent { vnodes: usize },
 }
 
 /// Sharded-engine knobs.
@@ -95,6 +140,10 @@ pub struct ShardedConfig {
     /// Bounded capacity of each shard's event queue. A full queue blocks
     /// the router — backpressure, never unbounded memory. Must be ≥ 1.
     pub queue_capacity: usize,
+    /// The user→shard routing function. [`RouterKind::Modulo`] is the
+    /// legacy-pinned default; choose [`RouterKind::Consistent`] when the
+    /// fleet will be resharded live.
+    pub router: RouterKind,
 }
 
 impl Default for ShardedConfig {
@@ -105,6 +154,29 @@ impl Default for ShardedConfig {
                 .unwrap_or(4)
                 .clamp(1, 16),
             queue_capacity: 1024,
+            router: RouterKind::Modulo,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// Build this config's routing ring, validating the router knobs.
+    pub fn ring(&self) -> Result<HashRing, ServingError> {
+        if self.n_shards == 0 {
+            return Err(ServingError::InvalidConfig(
+                "n_shards must be ≥ 1".to_string(),
+            ));
+        }
+        match self.router {
+            RouterKind::Modulo => Ok(HashRing::modulo(self.n_shards)),
+            RouterKind::Consistent { vnodes } => {
+                if vnodes == 0 {
+                    return Err(ServingError::InvalidConfig(
+                        "consistent router needs vnodes ≥ 1".to_string(),
+                    ));
+                }
+                Ok(HashRing::consistent(self.n_shards, vnodes))
+            }
         }
     }
 }
@@ -120,7 +192,30 @@ pub struct ShardReport {
     pub recommends: u64,
     /// The shard engine's Table III timing split.
     pub timings: EngineTimings,
+    /// Final report of a worker retired by a live scale-in. A later
+    /// scale-out may re-spawn a worker under the same shard id, so
+    /// consumers keying on `shard` must treat `(shard, retired)` as the
+    /// key to avoid conflating a retired worker's life with its
+    /// successor's.
+    pub retired: bool,
 }
+
+/// What one completed [`ShardedEngine::reshard`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReshardReport {
+    pub from_shards: usize,
+    pub to_shards: usize,
+    /// Users whose owning shard changed (each handed off exactly once).
+    pub moved_users: u64,
+    /// Handoff batches the migration took.
+    pub batches: u64,
+}
+
+/// Default users-per-batch for [`ShardedEngine::reshard`]. Ingestion
+/// can stall for at most one batch's export+import, so this bounds the
+/// worst-case router pause; [`ShardedEngine::begin_reshard`] takes an
+/// explicit batch size for other trade-offs.
+pub const DEFAULT_HANDOFF_BATCH: usize = 64;
 
 enum ShardMsg {
     Event {
@@ -149,10 +244,71 @@ enum ShardMsg {
     Export {
         reply: Sender<Vec<(u32, Vec<u32>)>>,
     },
+    /// Live-resharding handoff, source side: export each user's
+    /// migration blob ([`RealtimeEngine::export_user`]) and evict it.
+    /// Queued FIFO, so every event ingested for these users before the
+    /// handoff is applied before the export.
+    ExportUsers {
+        users: Vec<u32>,
+        reply: Sender<Vec<Vec<u8>>>,
+    },
+    /// Live-resharding handoff, target side: adopt the carried users
+    /// ([`RealtimeEngine::import_user`]). No reply — the bounded queue
+    /// provides backpressure, and FIFO ordering guarantees the users
+    /// exist before any later event or recommendation reaches them.
+    ImportUsers {
+        blobs: Vec<Vec<u8>>,
+    },
+    /// Quiesce step: re-order the shard's compact slots into the
+    /// canonical layout so post-migration state is bit-identical to an
+    /// offline restore. Replies when done (migration barrier).
+    Canonicalize {
+        reply: Sender<()>,
+    },
 }
 
 /// What a shard worker thread hands back when it exits.
 type WorkerExit<M> = (RealtimeEngine<M>, ShardReport);
+
+/// Router epoch: the state machine behind live resharding
+/// (`stable → migrating(batched handoff) → stable`).
+enum Epoch {
+    /// One ring owns every user.
+    Stable { ring: HashRing },
+    /// Mid-migration: users still in `pending` route through the old
+    /// ring; users already handed off route through the new one.
+    Migrating {
+        old: HashRing,
+        new: HashRing,
+        /// Every user whose shard changes, in ascending id order.
+        plan: Vec<u32>,
+        /// Next unmoved index into `plan`.
+        cursor: usize,
+        /// `plan[cursor..]` as a set, for O(1) routing decisions.
+        pending: FxHashSet<u32>,
+        /// Users handed off per [`ShardedEngine::reshard_step`].
+        batch: usize,
+        /// Shard count once the migration quiesces.
+        target: usize,
+    },
+}
+
+impl Epoch {
+    fn route(&self, user: u32) -> usize {
+        match self {
+            Epoch::Stable { ring } => ring.route(user),
+            Epoch::Migrating {
+                old, new, pending, ..
+            } => {
+                if pending.contains(&user) {
+                    old.route(user)
+                } else {
+                    new.route(user)
+                }
+            }
+        }
+    }
+}
 
 /// User-partitioned, multi-writer wrapper around N single-writer
 /// [`RealtimeEngine`]s. See the [module docs](self) for the
@@ -193,8 +349,9 @@ type WorkerExit<M> = (RealtimeEngine<M>, ShardReport);
 /// let mut engine = ShardedEngine::try_new(sccf, histories, ShardedConfig {
 ///     n_shards: 2,
 ///     queue_capacity: 64,
+///     ..ShardedConfig::default()
 /// }).expect("valid config");
-/// engine.try_ingest(0, 5).expect("ids in range"); // routed by hash(user) % 2
+/// engine.try_ingest(0, 5).expect("ids in range"); // routed by the config's ring
 /// let recs = engine.try_recommend(0, &RecQuery::top(3)).expect("user 0 exists");
 /// assert!(!recs.items.is_empty());                // same queue ⇒ sees the event
 /// let stats = engine.serving_stats().expect("stats");
@@ -207,12 +364,24 @@ pub struct ShardedEngine<M: InductiveUiModel + 'static> {
     txs: Vec<Sender<ShardMsg>>,
     /// `None` once a dead worker has been joined to surface its panic.
     handles: Vec<Option<JoinHandle<WorkerExit<M>>>>,
+    /// Stable shard count (pre-migration count while one is running).
     n_shards: usize,
+    /// Routing epoch: stable ring, or a migration in flight.
+    epoch: Epoch,
+    /// Reports of workers retired by scale-in reshards; merged into
+    /// stats and shutdown so event accounting stays complete.
+    retired: Vec<ShardReport>,
+    /// The item-side half, kept to seed empty shard views for workers
+    /// spawned by scale-out reshards.
+    shared: Arc<SccfShared<M>>,
     /// Router-side validation state: requests with out-of-range ids are
     /// rejected here, before they can reach (and kill) a worker.
     n_users: usize,
     n_items: usize,
     has_ann: bool,
+    /// Lifetime migration counters (reported via `ServingStats`).
+    migrated_users: u64,
+    migration_batches: u64,
 }
 
 impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
@@ -222,24 +391,21 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
     /// source-of-truth contract as [`RealtimeEngine::new`] and
     /// [`RealtimeEngine::restore`]; every shard's per-user state is
     /// derived from it via [`Sccf::into_shards`]. Rejects zero shards,
-    /// zero queue capacity, history tables of the wrong size and
-    /// out-of-catalog item ids with [`ServingError`] instead of
-    /// panicking (or spawning workers that would).
+    /// zero queue capacity, zero-vnode consistent routers, history
+    /// tables of the wrong size and out-of-catalog item ids with
+    /// [`ServingError`] instead of panicking (or spawning workers that
+    /// would).
     pub fn try_new(
         sccf: Sccf<M>,
         histories: Vec<Vec<u32>>,
         cfg: ShardedConfig,
     ) -> Result<Self, ServingError> {
-        if cfg.n_shards == 0 {
-            return Err(ServingError::InvalidConfig(
-                "n_shards must be ≥ 1".to_string(),
-            ));
-        }
         if cfg.queue_capacity == 0 {
             return Err(ServingError::InvalidConfig(
                 "queue_capacity must be ≥ 1".to_string(),
             ));
         }
+        let ring = cfg.ring()?;
         let n_users = sccf.user_count();
         if histories.len() != n_users {
             return Err(ServingError::InvalidConfig(format!(
@@ -254,14 +420,15 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             }
         }
         let has_ann = sccf.config().ui_ann.is_some();
+        let shared = Arc::clone(sccf.shared());
         let n = cfg.n_shards;
-        let shards = sccf.into_shards(&histories, n, |u| shard_of(u, n));
+        let shards = sccf.into_shards(&histories, n, |u| ring.route(u));
         // Move each user's history into the owning shard's full-length
         // table; the shard engine compacts it to owned slots on
         // construction, so the O(shards × users) layout is transient.
         let mut per_shard: Vec<Vec<Vec<u32>>> = (0..n).map(|_| vec![Vec::new(); n_users]).collect();
         for (u, h) in histories.into_iter().enumerate() {
-            per_shard[shard_of(u as u32, n)][u] = h;
+            per_shard[ring.route(u as u32)][u] = h;
         }
         let mut txs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
@@ -279,9 +446,14 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             txs,
             handles,
             n_shards: n,
+            epoch: Epoch::Stable { ring },
+            retired: Vec::new(),
+            shared,
             n_users,
             n_items,
             has_ann,
+            migrated_users: 0,
+            migration_batches: 0,
         })
     }
 
@@ -295,14 +467,23 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
     /// ([`ShardedEngine::snapshot`] or [`RealtimeEngine::snapshot`] —
     /// the format is shared) under `cfg`, re-partitioning the users at
     /// load time. `cfg.n_shards` is free to differ from the snapshot's
-    /// source fleet: this is offline resharding N→M.
+    /// source fleet: this is offline resharding N→M (a full reload; see
+    /// [`ShardedEngine::reshard`] for the no-downtime path).
     pub fn restore(sccf: Sccf<M>, bytes: &[u8], cfg: ShardedConfig) -> Result<Self, ServingError> {
         let histories = decode_histories(bytes)?;
         Self::try_new(sccf, histories, cfg)
     }
 
+    /// The stable shard count. While a migration is in flight this is
+    /// still the *pre-migration* count — it flips to the target count
+    /// when the migration quiesces.
     pub fn n_shards(&self) -> usize {
         self.n_shards
+    }
+
+    /// Whether a live reshard is in flight (begun but not yet quiesced).
+    pub fn is_migrating(&self) -> bool {
+        matches!(self.epoch, Epoch::Migrating { .. })
     }
 
     /// A send failed, so shard `s`'s worker is gone: join it and
@@ -320,7 +501,7 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
 
     fn check_user(&self, user: u32) -> Result<usize, ServingError> {
         if (user as usize) < self.n_users {
-            Ok(shard_of(user, self.n_shards))
+            Ok(self.epoch.route(user))
         } else {
             Err(ServingError::UnknownUser {
                 user,
@@ -358,11 +539,11 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         }
     }
 
-    /// Fan a request constructor out to every shard and collect the
-    /// replies in shard order.
+    /// Fan a request constructor out to every live worker (including
+    /// mid-migration extras) and collect the replies in shard order.
     fn fan_out<T>(&mut self, make: impl Fn(Sender<T>) -> ShardMsg) -> Vec<T> {
-        let mut replies: Vec<(usize, Receiver<T>)> = Vec::with_capacity(self.n_shards);
-        for s in 0..self.n_shards {
+        let mut replies: Vec<(usize, Receiver<T>)> = Vec::with_capacity(self.txs.len());
+        for s in 0..self.txs.len() {
             let (reply, rx) = bounded(1);
             self.send(s, make(reply));
             replies.push((s, rx));
@@ -374,6 +555,282 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
                 Err(_) => self.propagate_worker_death(s),
             })
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Live resharding
+
+    /// Reshard the fleet N→M live, blocking until the migration
+    /// completes (with [`DEFAULT_HANDOFF_BATCH`] users per batch).
+    /// Workers keep draining their queues throughout — every event
+    /// already accepted is processed during the migration, not after
+    /// it. For interleaving your own ingestion between batches (the
+    /// no-stall deployment shape), drive
+    /// [`ShardedEngine::begin_reshard`] /
+    /// [`ShardedEngine::reshard_step`] yourself — this method is just
+    /// that loop.
+    ///
+    /// An N→N reshard under the same router is a no-op (zero users
+    /// moved, zero batches). `new_cfg.queue_capacity` applies to
+    /// workers spawned by this reshard; surviving workers keep their
+    /// original queues.
+    ///
+    /// ```
+    /// use sccf_core::{IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
+    /// use sccf_data::{Dataset, Interaction, LeaveOneOut};
+    /// use sccf_models::{Fism, FismConfig, TrainConfig};
+    /// use sccf_serving::api::{RecQuery, ServingApi};
+    /// use sccf_serving::sharded::{RouterKind, ShardedConfig, ShardedEngine};
+    ///
+    /// let inter: Vec<Interaction> = (0..8u32)
+    ///     .flat_map(|u| (0..4).map(move |t| Interaction {
+    ///         user: u,
+    ///         item: (u / 4) * 4 + (u + t) % 4,
+    ///         ts: t as i64,
+    ///     }))
+    ///     .collect();
+    /// let data = Dataset::from_interactions("doc", 8, 8, &inter, None);
+    /// let split = LeaveOneOut::split(&data);
+    /// let fism = Fism::train(&split, &FismConfig {
+    ///     train: TrainConfig { dim: 4, epochs: 2, ..Default::default() },
+    ///     ..Default::default()
+    /// });
+    /// let sccf = Sccf::build(fism, &split, SccfConfig {
+    ///     user_based: UserBasedConfig { beta: 3, recent_window: 4 },
+    ///     candidate_n: 6,
+    ///     integrator: IntegratorConfig { epochs: 2, ..Default::default() },
+    ///     threads: 1,
+    ///     profiles: None,
+    ///     ui_ann: None,
+    /// });
+    /// let histories: Vec<Vec<u32>> = (0..8u32).map(|u| split.train_plus_val(u)).collect();
+    /// let consistent = |n_shards| ShardedConfig {
+    ///     n_shards,
+    ///     queue_capacity: 64,
+    ///     router: RouterKind::Consistent { vnodes: 16 },
+    /// };
+    ///
+    /// // A 1-shard fleet absorbs traffic, then scales out to 3 live.
+    /// let mut engine = ShardedEngine::try_new(sccf, histories, consistent(1)).unwrap();
+    /// engine.try_ingest(0, 5).expect("ids in range");
+    /// let report = engine.reshard(consistent(3)).expect("live reshard");
+    /// assert_eq!((report.from_shards, report.to_shards), (1, 3));
+    /// assert!(!engine.is_migrating());
+    /// assert_eq!(engine.n_shards(), 3);
+    ///
+    /// // No event was lost or duplicated, and the fleet keeps serving.
+    /// engine.try_ingest(0, 6).expect("post-reshard ingest");
+    /// engine.flush().expect("barrier");
+    /// let stats = engine.serving_stats().expect("stats");
+    /// assert_eq!(stats.events, 2);
+    /// assert_eq!(stats.migration.migrated_users, report.moved_users);
+    /// assert!(!engine.try_recommend(0, &RecQuery::top(3)).unwrap().items.is_empty());
+    /// engine.shutdown();
+    /// ```
+    pub fn reshard(&mut self, new_cfg: ShardedConfig) -> Result<ReshardReport, ServingError> {
+        let (from, to) = (self.n_shards, new_cfg.n_shards);
+        let (moved0, batches0) = (self.migrated_users, self.migration_batches);
+        self.begin_reshard(new_cfg, DEFAULT_HANDOFF_BATCH)?;
+        while self.is_migrating() {
+            self.reshard_step()?;
+        }
+        Ok(ReshardReport {
+            from_shards: from,
+            to_shards: to,
+            moved_users: self.migrated_users - moved0,
+            batches: self.migration_batches - batches0,
+        })
+    }
+
+    /// Enter a migration epoch toward `new_cfg` without moving anyone
+    /// yet: compute the handoff plan (every user whose shard changes
+    /// between the current and the new ring), spawn empty workers for
+    /// any new shards, and switch the router to migration routing.
+    /// Ingestion and recommendations keep flowing; call
+    /// [`ShardedEngine::reshard_step`] to hand off `handoff_batch`
+    /// users at a time until [`ShardedEngine::is_migrating`] turns
+    /// false. If no user moves (e.g. N→N under the same router), the
+    /// epoch quiesces immediately.
+    ///
+    /// Errors — and leaves the fleet untouched — on degenerate configs
+    /// or if a migration is already in flight (finish it first;
+    /// overlapping epochs would make routing ambiguous).
+    pub fn begin_reshard(
+        &mut self,
+        new_cfg: ShardedConfig,
+        handoff_batch: usize,
+    ) -> Result<(), ServingError> {
+        if self.is_migrating() {
+            return Err(ServingError::InvalidConfig(
+                "a reshard is already in progress; drive reshard_step to completion first"
+                    .to_string(),
+            ));
+        }
+        if handoff_batch == 0 {
+            return Err(ServingError::InvalidConfig(
+                "handoff_batch must be ≥ 1".to_string(),
+            ));
+        }
+        if new_cfg.queue_capacity == 0 {
+            return Err(ServingError::InvalidConfig(
+                "queue_capacity must be ≥ 1".to_string(),
+            ));
+        }
+        let new_ring = new_cfg.ring()?;
+        let old_ring = match &self.epoch {
+            Epoch::Stable { ring } => ring.clone(),
+            Epoch::Migrating { .. } => unreachable!("checked above"),
+        };
+        let plan: Vec<u32> = (0..self.n_users as u32)
+            .filter(|&u| old_ring.route(u) != new_ring.route(u))
+            .collect();
+        // Scale-out: spawn empty views for the new shards before any
+        // routing can reach them.
+        for s in self.txs.len()..new_cfg.n_shards {
+            let view = Sccf::empty_shard_view(&self.shared, self.n_users);
+            let engine = RealtimeEngine::new(view, Vec::new());
+            let (tx, rx) = bounded::<ShardMsg>(new_cfg.queue_capacity);
+            let handle = std::thread::Builder::new()
+                .name(format!("sccf-shard-{s}"))
+                .spawn(move || shard_worker(s, engine, rx))
+                .expect("spawn shard worker");
+            self.txs.push(tx);
+            self.handles.push(Some(handle));
+        }
+        if plan.is_empty() {
+            self.quiesce_to(new_ring, new_cfg.n_shards);
+            return Ok(());
+        }
+        let pending: FxHashSet<u32> = plan.iter().copied().collect();
+        self.epoch = Epoch::Migrating {
+            old: old_ring,
+            new: new_ring,
+            plan,
+            cursor: 0,
+            pending,
+            batch: handoff_batch,
+            target: new_cfg.n_shards,
+        };
+        Ok(())
+    }
+
+    /// Hand off the next batch of moving users, then return how many
+    /// users still await handoff (0 = the migration quiesced on this
+    /// call, or none was in flight).
+    ///
+    /// One step blocks the caller for one batch's export+import round
+    /// trip — that is the *maximum* ingestion stall live resharding
+    /// ever introduces, and it is bounded by the batch size chosen at
+    /// [`ShardedEngine::begin_reshard`]. Workers not involved in the
+    /// batch keep draining their queues concurrently. A full target
+    /// queue applies ordinary backpressure (the import send blocks
+    /// until the worker drains); no cycle exists between router and
+    /// workers, so the handoff cannot deadlock (exercised by
+    /// `tests/failure_injection.rs`).
+    pub fn reshard_step(&mut self) -> Result<usize, ServingError> {
+        // Carve the batch out of the plan under a short borrow; the
+        // sends below need `&mut self`.
+        let (exports, remaining, quiesce) = match &mut self.epoch {
+            Epoch::Stable { .. } => return Ok(0),
+            Epoch::Migrating {
+                old,
+                new,
+                plan,
+                cursor,
+                pending,
+                batch,
+                ..
+            } => {
+                let end = (*cursor + *batch).min(plan.len());
+                // (source shard, [(user, destination shard)]) groups.
+                let mut exports: Vec<(usize, Vec<(u32, usize)>)> = Vec::new();
+                for &u in &plan[*cursor..end] {
+                    let (src, dst) = (old.route(u), new.route(u));
+                    match exports.iter_mut().find(|(s, _)| *s == src) {
+                        Some((_, v)) => v.push((u, dst)),
+                        None => exports.push((src, vec![(u, dst)])),
+                    }
+                    pending.remove(&u);
+                }
+                *cursor = end;
+                (exports, plan.len() - end, end == plan.len())
+            }
+        };
+        // Fan the exports out so source shards drain in parallel, then
+        // collect. Each exported user is already evicted from its
+        // source when the reply arrives.
+        let mut waves = Vec::with_capacity(exports.len());
+        let mut moved = 0u64;
+        for (src, users_dsts) in exports {
+            let (reply, rx) = bounded(1);
+            self.send(
+                src,
+                ShardMsg::ExportUsers {
+                    users: users_dsts.iter().map(|&(u, _)| u).collect(),
+                    reply,
+                },
+            );
+            waves.push((src, users_dsts, rx));
+        }
+        // Group the collected blobs by destination and import. FIFO
+        // queues order each import ahead of any event or request this
+        // router routes to the moved users afterwards.
+        let mut imports: Vec<(usize, Vec<Vec<u8>>)> = Vec::new();
+        for (src, users_dsts, rx) in waves {
+            let blobs = match rx.recv() {
+                Ok(b) => b,
+                Err(_) => self.propagate_worker_death(src),
+            };
+            debug_assert_eq!(blobs.len(), users_dsts.len());
+            for ((_, dst), blob) in users_dsts.into_iter().zip(blobs) {
+                match imports.iter_mut().find(|(d, _)| *d == dst) {
+                    Some((_, v)) => v.push(blob),
+                    None => imports.push((dst, vec![blob])),
+                }
+                moved += 1;
+            }
+        }
+        for (dst, blobs) in imports {
+            self.send(dst, ShardMsg::ImportUsers { blobs });
+        }
+        self.migrated_users += moved;
+        if moved > 0 {
+            self.migration_batches += 1;
+        }
+        if quiesce {
+            let (ring, target) = match &self.epoch {
+                Epoch::Migrating { new, target, .. } => (new.clone(), *target),
+                Epoch::Stable { .. } => unreachable!("quiesce implies migrating"),
+            };
+            self.quiesce_to(ring, target);
+        }
+        Ok(remaining)
+    }
+
+    /// Seal a migration: canonicalize every worker's slot layout (so
+    /// the live-resharded state matches an offline restore bit for
+    /// bit), retire surplus workers (scale-in), and install the new
+    /// ring as the stable epoch.
+    fn quiesce_to(&mut self, ring: HashRing, target: usize) {
+        self.fan_out(|reply| ShardMsg::Canonicalize { reply });
+        while self.txs.len() > target {
+            // Retired shards own no users by now; close the queue, let
+            // the worker drain and keep its report for the accounting.
+            let tx = self.txs.pop().expect("more txs than target");
+            drop(tx);
+            match self.handles.pop().expect("one handle per tx") {
+                Some(h) => match h.join() {
+                    Ok((_engine, mut report)) => {
+                        report.retired = true;
+                        self.retired.push(report);
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                },
+                None => panic!("retiring shard whose worker already died"),
+            }
+        }
+        self.n_shards = target;
+        self.epoch = Epoch::Stable { ring };
     }
 
     /// Deprecated infallible form of
@@ -422,7 +879,8 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
     /// [`ShardedEngine::restore`] with a different shard count (offline
     /// resharding N→M). The export rides each shard's FIFO queue, so it
     /// acts as its own barrier: every event ingested before this call
-    /// is in the artifact.
+    /// is in the artifact. Safe between migration batches too — every
+    /// user is owned by exactly one worker at all times.
     pub fn snapshot(&mut self) -> Vec<u8> {
         let exports = self.fan_out(|reply| ShardMsg::Export { reply });
         let mut full: Vec<Vec<u32>> = vec![Vec::new(); self.n_users];
@@ -434,17 +892,21 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
 
     /// Graceful shutdown: close every queue, let the workers drain what
     /// remains, join them, and return the per-shard reports (sorted by
-    /// shard id).
+    /// shard id; includes workers retired by earlier scale-in
+    /// reshards, so event accounting is complete across the fleet's
+    /// whole life).
     pub fn shutdown(self) -> Vec<ShardReport> {
         self.shutdown_into_engines().1
     }
 
     /// [`ShardedEngine::shutdown`], additionally handing back the shard
     /// engines (e.g. to snapshot their state or unwrap the model).
+    /// Retired workers contribute reports but no engine — theirs were
+    /// empty and dropped at retirement.
     pub fn shutdown_into_engines(self) -> (Vec<RealtimeEngine<M>>, Vec<ShardReport>) {
         drop(self.txs); // workers see the disconnect after draining
         let mut engines = Vec::with_capacity(self.handles.len());
-        let mut reports = Vec::with_capacity(self.handles.len());
+        let mut reports = self.retired;
         for h in self.handles.into_iter().flatten() {
             let (engine, report) = match h.join() {
                 Ok(out) => out,
@@ -482,7 +944,7 @@ impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
             self.check_item(item)?;
         }
         for &(user, item) in events {
-            let s = shard_of(user, self.n_shards);
+            let s = self.epoch.route(user);
             self.send(s, ShardMsg::Event { user, item });
         }
         Ok(events.len() as u64)
@@ -525,7 +987,7 @@ impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
         let query = Arc::new(query.clone());
         let mut pending = Vec::with_capacity(users.len());
         for &user in users {
-            let s = shard_of(user, self.n_shards);
+            let s = self.epoch.route(user);
             let (reply, rx) = bounded(1);
             self.send(
                 s,
@@ -556,11 +1018,23 @@ impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
 
     /// Live per-shard counters and timings, merged into the unified
     /// shape. Rides the queues, so it reflects every event ingested
-    /// before the call.
+    /// before the call. Includes retired workers' reports and the
+    /// [`MigrationStats`] progress counters.
     fn serving_stats(&mut self) -> Result<ServingStats, ServingError> {
         let mut shards = self.fan_out(|reply| ShardMsg::Stats { reply });
+        shards.extend(self.retired.iter().cloned());
         shards.sort_by_key(|r| r.shard);
-        Ok(ServingStats::from_shards(shards))
+        let mut stats = ServingStats::from_shards(shards);
+        stats.migration = MigrationStats {
+            in_progress: self.is_migrating(),
+            migrated_users: self.migrated_users,
+            pending_users: match &self.epoch {
+                Epoch::Migrating { plan, cursor, .. } => (plan.len() - cursor) as u64,
+                Epoch::Stable { .. } => 0,
+            },
+            batches: self.migration_batches,
+        };
+        Ok(stats)
     }
 
     fn snapshot_state(&mut self) -> Result<Vec<u8>, ServingError> {
@@ -605,10 +1079,40 @@ fn shard_worker<M: InductiveUiModel>(
                     events,
                     recommends,
                     timings: engine.timings().clone(),
+                    retired: false,
                 });
             }
             ShardMsg::Export { reply } => {
                 let _ = reply.send(engine.export_histories());
+            }
+            ShardMsg::ExportUsers { users, reply } => {
+                // Router-planned handoff: every user is owned here (her
+                // events are all queued ahead of this message), so a
+                // failure is a migration bug — surface it loudly.
+                let blobs: Vec<Vec<u8>> = users
+                    .iter()
+                    .map(|&u| {
+                        let blob = engine
+                            .export_user(u)
+                            .unwrap_or_else(|e| panic!("shard {shard}: export {e}"));
+                        engine
+                            .evict_user(u)
+                            .unwrap_or_else(|e| panic!("shard {shard}: evict {e}"));
+                        blob
+                    })
+                    .collect();
+                let _ = reply.send(blobs);
+            }
+            ShardMsg::ImportUsers { blobs } => {
+                for blob in &blobs {
+                    if let Err(e) = engine.import_user(blob) {
+                        panic!("shard {shard}: import {e}");
+                    }
+                }
+            }
+            ShardMsg::Canonicalize { reply } => {
+                engine.canonicalize_owned();
+                let _ = reply.send(());
             }
         }
     }
@@ -617,6 +1121,7 @@ fn shard_worker<M: InductiveUiModel>(
         events,
         recommends,
         timings: engine.timings().clone(),
+        retired: false,
     };
     (engine, report)
 }
@@ -626,27 +1131,64 @@ mod tests {
     use super::*;
 
     #[test]
-    fn routing_is_deterministic_and_in_range() {
-        for n in [1usize, 2, 3, 8, 16] {
+    fn modulo_and_consistent_rings_route_deterministically() {
+        for cfg in [
+            ShardedConfig {
+                n_shards: 4,
+                queue_capacity: 1,
+                router: RouterKind::Modulo,
+            },
+            ShardedConfig {
+                n_shards: 4,
+                queue_capacity: 1,
+                router: RouterKind::Consistent { vnodes: 32 },
+            },
+        ] {
+            let ring = cfg.ring().expect("valid router");
             for u in 0..500u32 {
-                let s = shard_of(u, n);
-                assert!(s < n);
-                assert_eq!(s, shard_of(u, n), "same user, same shard");
+                let s = ring.route(u);
+                assert!(s < 4);
+                assert_eq!(s, ring.route(u), "same user, same shard");
             }
         }
     }
 
     #[test]
-    fn single_shard_routes_everything_to_zero() {
-        assert!((0..1000u32).all(|u| shard_of(u, 1) == 0));
+    fn single_shard_rings_route_everything_to_zero() {
+        let modulo = HashRing::modulo(1);
+        let consistent = HashRing::consistent(1, 8);
+        assert!((0..1000u32).all(|u| modulo.route(u) == 0 && consistent.route(u) == 0));
+    }
+
+    #[test]
+    fn degenerate_router_configs_are_rejected() {
+        let zero_vnodes = ShardedConfig {
+            n_shards: 2,
+            queue_capacity: 8,
+            router: RouterKind::Consistent { vnodes: 0 },
+        };
+        assert!(matches!(
+            zero_vnodes.ring(),
+            Err(ServingError::InvalidConfig(_))
+        ));
+        let zero_shards = ShardedConfig {
+            n_shards: 0,
+            queue_capacity: 8,
+            router: RouterKind::Modulo,
+        };
+        assert!(matches!(
+            zero_shards.ring(),
+            Err(ServingError::InvalidConfig(_))
+        ));
     }
 
     #[test]
     fn hashing_spreads_users() {
         let n = 8usize;
+        let ring = HashRing::modulo(n);
         let mut counts = vec![0usize; n];
         for u in 0..8000u32 {
-            counts[shard_of(u, n)] += 1;
+            counts[ring.route(u)] += 1;
         }
         // FxHash of sequential ids is not perfectly uniform, but every
         // shard must carry a meaningful fraction of the users.

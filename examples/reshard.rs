@@ -19,7 +19,7 @@ use sccf::data::synthetic::generate;
 use sccf::data::LeaveOneOut;
 use sccf::models::{Fism, FismConfig, TrainConfig};
 use sccf::serving::{
-    events_after, replay_into, RecQuery, ServingApi, ShardedConfig, ShardedEngine,
+    events_after, replay_into, RecQuery, RouterKind, ServingApi, ShardedConfig, ShardedEngine,
 };
 
 fn main() {
@@ -77,6 +77,7 @@ fn main() {
         ShardedConfig {
             n_shards: source_shards,
             queue_capacity: 256,
+            router: RouterKind::Modulo,
         },
     )
     .expect("valid config");
@@ -112,6 +113,7 @@ fn main() {
             ShardedConfig {
                 n_shards: target,
                 queue_capacity: 256,
+                router: RouterKind::Modulo,
             },
         )
         .expect("restore re-partitions at load time");

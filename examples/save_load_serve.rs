@@ -19,7 +19,7 @@ use sccf::data::catalog::{games_sim, Scale};
 use sccf::data::synthetic::generate;
 use sccf::data::LeaveOneOut;
 use sccf::models::{SasRec, SasRecConfig, TrainConfig};
-use sccf::serving::{RecQuery, ServingApi, ShardedConfig, ShardedEngine};
+use sccf::serving::{RecQuery, RouterKind, ServingApi, ShardedConfig, ShardedEngine};
 
 fn main() {
     // --- offline: train and persist the model ---------------------------
@@ -102,6 +102,7 @@ fn main() {
         ShardedConfig {
             n_shards: 2,
             queue_capacity: 128,
+            router: RouterKind::Modulo,
         },
     )
     .expect("the plain snapshot re-partitions into shards");

@@ -14,7 +14,8 @@ use sccf::data::synthetic::generate;
 use sccf::data::LeaveOneOut;
 use sccf::models::{Fism, FismConfig, TrainConfig};
 use sccf::serving::{
-    events_after, replay_into, shard_of, RecQuery, ServingApi, ShardedConfig, ShardedEngine,
+    events_after, replay_into, HashRing, RecQuery, RouterKind, ServingApi, ShardedConfig,
+    ShardedEngine,
 };
 use sccf::util::timer::Stopwatch;
 
@@ -64,20 +65,22 @@ fn main() {
 
     // --- partition users across 4 shard workers ------------------------
     let n_shards = 4;
+    let ring = HashRing::modulo(n_shards);
     let mut engine = ShardedEngine::try_new(
         sccf,
         histories,
         ShardedConfig {
             n_shards,
             queue_capacity: 512,
+            router: RouterKind::Modulo,
         },
     )
     .expect("valid shard config");
     println!(
         "sharded engine up: {} workers, user 0 → shard {}, user 1 → shard {}",
         engine.n_shards(),
-        shard_of(0, n_shards),
-        shard_of(1, n_shards),
+        ring.route(0),
+        ring.route(1),
     );
 
     // --- replay "live traffic": everything after each user's first
@@ -104,7 +107,7 @@ fn main() {
     for (&user, slate) in users.iter().zip(&slates) {
         println!(
             "user {user} (shard {}): top-5 {:?}  (infer {:.3} ms, identify {:.3} ms)",
-            shard_of(user, n_shards),
+            ring.route(user),
             slate.ids(),
             slate.timing.infer_ms,
             slate.timing.identify_ms,
@@ -162,6 +165,7 @@ fn main() {
         ShardedConfig {
             n_shards: 2 * n_shards,
             queue_capacity: 512,
+            router: RouterKind::Modulo,
         },
     )
     .expect("reshard restore");

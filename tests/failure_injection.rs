@@ -14,7 +14,9 @@ use sccf::data::dataset::{Dataset, Interaction};
 use sccf::data::LeaveOneOut;
 use sccf::index::{Metric, SqIndex};
 use sccf::models::{Fism, FismConfig, InductiveUiModel, Recommender, TrainConfig};
-use sccf::serving::{StreamEvent, WatermarkBuffer};
+use sccf::serving::{
+    RecQuery, RouterKind, ServingApi, ShardedConfig, ShardedEngine, StreamEvent, WatermarkBuffer,
+};
 
 fn tiny_world(seed: u64) -> (LeaveOneOut, Dataset) {
     use rand::Rng;
@@ -287,4 +289,142 @@ fn model_load_rejects_wrong_dimension() {
         ..Default::default()
     };
     assert!(Fism::load_bytes(split.n_items(), &cfg16, &bytes).is_err());
+}
+
+// ------------------------------------------------------ live resharding
+
+/// A sharded fleet over the tiny world, with every queue as small as
+/// the config allows — the adversarial setting for handoff
+/// backpressure.
+fn build_fleet(seed: u64, n_shards: usize, queue_capacity: usize) -> ShardedEngine<Fism> {
+    let (split, _) = tiny_world(seed);
+    let fism = Fism::train(
+        &split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 8,
+                epochs: 5,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let sccf = Sccf::build(
+        fism,
+        &split,
+        SccfConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
+        .map(|u| split.train_plus_val(u))
+        .collect();
+    ShardedEngine::try_new(
+        sccf,
+        histories,
+        ShardedConfig {
+            n_shards,
+            queue_capacity,
+            router: RouterKind::Consistent { vnodes: 16 },
+        },
+    )
+    .expect("valid fleet config")
+}
+
+#[test]
+fn reshard_with_full_queues_backpressures_and_never_deadlocks() {
+    // queue_capacity = 1: every import send lands on an effectively full
+    // queue and must resolve through worker drain (backpressure). One
+    // giant batch moves everyone at once — the worst single-step load.
+    // The test passing *is* the assertion: a router↔worker cycle would
+    // hang here forever.
+    let mut fleet = build_fleet(31, 2, 1);
+    for k in 0..40u32 {
+        fleet.try_ingest(k % 16, k % 16).expect("ids in range");
+    }
+    fleet
+        .begin_reshard(
+            ShardedConfig {
+                n_shards: 4,
+                queue_capacity: 1,
+                router: RouterKind::Consistent { vnodes: 16 },
+            },
+            usize::MAX, // one batch: the whole plan in a single handoff
+        )
+        .expect("begin reshard");
+    let mut extra = 0u64;
+    while fleet.is_migrating() {
+        // Keep traffic flowing into the congested fleet between steps.
+        for k in 0..8u32 {
+            fleet
+                .try_ingest(k % 16, (k + 3) % 16)
+                .expect("ids in range");
+            extra += 1;
+        }
+        fleet.reshard_step().expect("handoff despite full queues");
+    }
+    fleet.flush().expect("barrier");
+    let stats = fleet.serving_stats().expect("stats");
+    assert_eq!(
+        stats.events,
+        40 + extra,
+        "backpressure must not drop events"
+    );
+    for u in 0..16u32 {
+        assert!(!fleet
+            .try_recommend(u, &RecQuery::top(3))
+            .expect("valid user")
+            .items
+            .is_empty());
+    }
+    fleet.shutdown();
+}
+
+#[test]
+fn shutdown_mid_migration_drains_cleanly_with_complete_accounting() {
+    // Kill the fleet between handoff batches: some users already moved
+    // to the freshly spawned shards, some still pending. Shutdown must
+    // drain every queue (including in-flight imports), join every
+    // worker — old and new — and account for every event exactly once.
+    let mut fleet = build_fleet(37, 2, 4);
+    for k in 0..50u32 {
+        fleet
+            .try_ingest(k % 16, (k * 5) % 16)
+            .expect("ids in range");
+    }
+    fleet
+        .begin_reshard(
+            ShardedConfig {
+                n_shards: 4,
+                queue_capacity: 4,
+                router: RouterKind::Consistent { vnodes: 16 },
+            },
+            2,
+        )
+        .expect("begin reshard");
+    let remaining = fleet.reshard_step().expect("one batch only");
+    assert!(
+        remaining > 0,
+        "the scale-out must still be mid-flight for this test to bite"
+    );
+    assert!(fleet.is_migrating());
+    // More traffic lands on the half-migrated routing.
+    for k in 0..20u32 {
+        fleet
+            .try_ingest(k % 16, (k * 7) % 16)
+            .expect("ids in range");
+    }
+    let reports = fleet.shutdown();
+    assert_eq!(
+        reports.len(),
+        4,
+        "old and freshly spawned workers all joined"
+    );
+    assert_eq!(
+        reports.iter().map(|r| r.events).sum::<u64>(),
+        70,
+        "every accepted event processed exactly once before exit"
+    );
 }

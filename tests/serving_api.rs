@@ -21,7 +21,7 @@ use sccf::core::{
 };
 use sccf::data::{Dataset, Interaction, LeaveOneOut};
 use sccf::models::{Fism, FismConfig, TrainConfig};
-use sccf::serving::{RecQuery, ServingApi, ServingError, ShardedConfig, ShardedEngine};
+use sccf::serving::{RecQuery, RouterKind, ServingApi, ServingError, ShardedConfig, ShardedEngine};
 use sccf::util::topk::Scored;
 
 const N_USERS: u32 = 24;
@@ -135,6 +135,7 @@ fn one_driver_serves_both_engines_bit_identically() {
         ShardedConfig {
             n_shards: 1,
             queue_capacity: 64,
+            router: RouterKind::Modulo,
         },
     )
     .expect("valid config");
@@ -167,6 +168,7 @@ fn recommend_many_equals_sequential_recommends() {
             ShardedConfig {
                 n_shards,
                 queue_capacity: 32,
+                router: RouterKind::Modulo,
             },
         )
         .expect("valid config");
@@ -205,6 +207,7 @@ fn ingest_batch_equals_sequential_ingests() {
         ShardedConfig {
             n_shards: 4,
             queue_capacity: 16,
+            router: RouterKind::Modulo,
         },
     )
     .expect("valid config");
@@ -214,6 +217,7 @@ fn ingest_batch_equals_sequential_ingests() {
         ShardedConfig {
             n_shards: 4,
             queue_capacity: 16,
+            router: RouterKind::Modulo,
         },
     )
     .expect("valid config");
@@ -252,6 +256,7 @@ fn plain_and_sharded_agree_on_query_validation_edge_cases() {
         ShardedConfig {
             n_shards: 2,
             queue_capacity: 16,
+            router: RouterKind::Modulo,
         },
     )
     .expect("valid config");
@@ -288,6 +293,7 @@ fn shard_view_engine_batches_are_atomic_for_unowned_users() {
         ShardedConfig {
             n_shards: 2,
             queue_capacity: 16,
+            router: RouterKind::Modulo,
         },
     )
     .expect("valid config");
@@ -352,6 +358,7 @@ fn exclusion_policies_apply_through_the_sharded_path() {
         ShardedConfig {
             n_shards: 3,
             queue_capacity: 16,
+            router: RouterKind::Modulo,
         },
     )
     .expect("valid config");
@@ -403,6 +410,7 @@ fn drained_fleet(seed: u64, n_shards: usize) -> (ShardedEngine<Fism>, LeaveOneOu
         ShardedConfig {
             n_shards,
             queue_capacity: 32,
+            router: RouterKind::Modulo,
         },
     )
     .expect("valid config");
@@ -434,6 +442,7 @@ fn sharded_snapshot_restore_same_shard_count_is_identical() {
         ShardedConfig {
             n_shards: 3,
             queue_capacity: 32,
+            router: RouterKind::Modulo,
         },
     )
     .expect("same-shape restore");
@@ -460,6 +469,7 @@ fn reshard_to_any_count_equals_fresh_engine_on_drained_state() {
             ShardedConfig {
                 n_shards: target,
                 queue_capacity: 32,
+                router: RouterKind::Modulo,
             },
         )
         .expect("reshard restore");
@@ -469,6 +479,7 @@ fn reshard_to_any_count_equals_fresh_engine_on_drained_state() {
             ShardedConfig {
                 n_shards: target,
                 queue_capacity: 32,
+                router: RouterKind::Modulo,
             },
         )
         .expect("fresh fleet");
@@ -496,6 +507,7 @@ fn snapshot_artifact_is_engine_agnostic() {
         ShardedConfig {
             n_shards: 1,
             queue_capacity: 32,
+            router: RouterKind::Modulo,
         },
     )
     .expect("single-shard restore");
@@ -513,6 +525,7 @@ fn snapshot_artifact_is_engine_agnostic() {
         ShardedConfig {
             n_shards: 2,
             queue_capacity: 32,
+            router: RouterKind::Modulo,
         },
     )
     .expect("plain artifact → 2 shards");
@@ -542,6 +555,7 @@ fn restored_fleet_keeps_serving_writes() {
         ShardedConfig {
             n_shards: 5,
             queue_capacity: 16,
+            router: RouterKind::Modulo,
         },
     )
     .expect("reshard restore");
@@ -559,4 +573,167 @@ fn restored_fleet_keeps_serving_writes() {
             .items
             .is_empty());
     }
+}
+
+// ---------------------------------------------------------------------
+// Live resharding (ISSUE 4): the correctness pins.
+//
+// * Post-quiesce state is bit-identical to an offline `snapshot()` +
+//   `restore(.., new_cfg)` of the same histories.
+// * Events ingested *during* the migration land exactly once, in
+//   per-user order — pinned both directly (the snapshot's histories
+//   equal the replayed stream) and behaviorally (slates match a static
+//   target-shape fleet that ingested the same stream).
+// * Progress counters surface through `ServingStats::migration`.
+
+fn consistent(n_shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        n_shards,
+        queue_capacity: 32,
+        router: RouterKind::Consistent { vnodes: 32 },
+    }
+}
+
+/// Begin a reshard, then alternate small ingest bursts with handoff
+/// batches until the migration quiesces — the deployment interleaving
+/// the runbook (docs/OPERATIONS.md) prescribes. Ingests all of
+/// `during`, draining whatever the migration did not overlap.
+fn reshard_interleaved(
+    engine: &mut ShardedEngine<Fism>,
+    new_cfg: ShardedConfig,
+    batch: usize,
+    during: &[(u32, u32)],
+) {
+    engine.begin_reshard(new_cfg, batch).expect("begin reshard");
+    let mut events = during.iter();
+    while engine.is_migrating() {
+        for &(u, i) in events.by_ref().take(7) {
+            engine.try_ingest(u, i).expect("mid-migration ingest");
+        }
+        engine.reshard_step().expect("handoff batch");
+    }
+    for &(u, i) in events {
+        engine.try_ingest(u, i).expect("post-migration ingest");
+    }
+}
+
+#[test]
+fn live_reshard_is_bit_identical_to_offline_restore_and_static_fleet() {
+    // Property-style sweep: scale-out and scale-in, several seeds, with
+    // traffic flowing during every migration.
+    for (seed, from, to) in [(3u64, 3usize, 5usize), (11, 2, 5), (29, 4, 2)] {
+        let (split, histories) = world(seed);
+        let pre = event_stream(seed, 60);
+        let during = event_stream(seed ^ 0xABCD, 90);
+        let full: Vec<(u32, u32)> = pre.iter().chain(&during).copied().collect();
+
+        // --- live path: reshard while `during` flows ---------------
+        let mut live = ShardedEngine::try_new(
+            build_sccf(&split, seed),
+            histories.clone(),
+            consistent(from),
+        )
+        .expect("valid config");
+        live.ingest_batch(&pre).expect("pre-migration stream");
+        reshard_interleaved(&mut live, consistent(to), 4, &during);
+        live.flush().expect("barrier");
+
+        // Exactly-once, directly: the merged histories equal the
+        // initial histories plus the full stream in per-user order.
+        let stats = live.serving_stats().expect("stats");
+        assert_eq!(stats.events, full.len() as u64, "seed {seed}: exactly once");
+        let live_artifact = live.snapshot_state().expect("snapshot");
+        let live_histories = sccf::core::decode_histories(&live_artifact).expect("own artifact");
+        let mut expect = histories.clone();
+        for &(u, i) in &full {
+            expect[u as usize].push(i);
+        }
+        assert_eq!(
+            live_histories, expect,
+            "seed {seed}: every event exactly once, per-user order preserved"
+        );
+        let live_slates = slates(&mut live);
+
+        // --- offline comparator: twin fleet, same stream, snapshot +
+        // restore at the target shape -------------------------------
+        let mut twin = ShardedEngine::try_new(
+            build_sccf(&split, seed),
+            histories.clone(),
+            consistent(from),
+        )
+        .expect("valid config");
+        twin.ingest_batch(&full).expect("full stream");
+        let artifact = twin.snapshot_state().expect("twin snapshot");
+        let mut restored =
+            ShardedEngine::restore(build_sccf(&split, seed), &artifact, consistent(to))
+                .expect("offline reshard");
+        let offline_slates = slates(&mut restored);
+        for (u, (x, y)) in live_slates.iter().zip(&offline_slates).enumerate() {
+            assert_bit_identical(
+                x,
+                y,
+                &format!("seed {seed}, live {from}→{to} vs offline restore, user {u}"),
+            );
+        }
+
+        // --- static comparator: a fleet born at the target shape that
+        // replayed the same stream ----------------------------------
+        let mut static_fleet =
+            ShardedEngine::try_new(build_sccf(&split, seed), histories.clone(), consistent(to))
+                .expect("valid config");
+        static_fleet.ingest_batch(&full).expect("full stream");
+        let static_slates = slates(&mut static_fleet);
+        for (u, (x, y)) in live_slates.iter().zip(&static_slates).enumerate() {
+            assert_bit_identical(
+                x,
+                y,
+                &format!("seed {seed}, live {from}→{to} vs static {to}-shard fleet, user {u}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn migration_counters_track_progress_through_serving_stats() {
+    let seed = 61u64;
+    let (split, histories) = world(seed);
+    let mut engine =
+        ShardedEngine::try_new(build_sccf(&split, seed), histories, consistent(2)).expect("valid");
+    engine.ingest_batch(&event_stream(seed, 50)).expect("valid");
+
+    let plan_size = {
+        let (old, new) = (
+            consistent(2).ring().expect("valid"),
+            consistent(6).ring().expect("valid"),
+        );
+        (0..N_USERS)
+            .filter(|&u| old.route(u) != new.route(u))
+            .count() as u64
+    };
+    assert!(plan_size >= 2, "world too small to observe batching");
+
+    engine.begin_reshard(consistent(6), 1).expect("begin");
+    let mid = engine.serving_stats().expect("stats");
+    assert!(mid.migration.in_progress);
+    assert_eq!(mid.migration.pending_users, plan_size);
+    assert_eq!(mid.migration.migrated_users, 0);
+
+    engine.reshard_step().expect("one batch of one user");
+    let after_one = engine.serving_stats().expect("stats");
+    assert_eq!(after_one.migration.migrated_users, 1);
+    assert_eq!(after_one.migration.pending_users, plan_size - 1);
+    assert_eq!(after_one.migration.batches, 1);
+
+    while engine.is_migrating() {
+        engine.reshard_step().expect("drive to completion");
+    }
+    let done = engine.serving_stats().expect("stats");
+    assert!(!done.migration.in_progress);
+    assert_eq!(done.migration.migrated_users, plan_size);
+    assert_eq!(done.migration.pending_users, 0);
+    assert_eq!(
+        done.migration.batches, plan_size,
+        "batch size 1 ⇒ one batch per user"
+    );
+    engine.shutdown();
 }

@@ -19,7 +19,9 @@ use rand::Rng;
 use sccf::core::{IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
 use sccf::data::{Dataset, Interaction, LeaveOneOut};
 use sccf::models::{Fism, FismConfig, TrainConfig};
-use sccf::serving::{shard_of, RecQuery, ServingApi, ServingError, ShardedConfig, ShardedEngine};
+use sccf::serving::{
+    HashRing, RecQuery, RouterKind, ServingApi, ServingError, ShardedConfig, ShardedEngine,
+};
 use sccf::util::topk::Scored;
 
 const N_USERS: u32 = 24;
@@ -113,8 +115,9 @@ fn assert_bit_identical(a: &[Scored], b: &[Scored], ctx: &str) {
 #[test]
 fn routing_is_deterministic_across_calls_and_spread() {
     for n in [1usize, 2, 4, 8] {
-        let first: Vec<usize> = (0..200u32).map(|u| shard_of(u, n)).collect();
-        let second: Vec<usize> = (0..200u32).map(|u| shard_of(u, n)).collect();
+        let ring = HashRing::modulo(n);
+        let first: Vec<usize> = (0..200u32).map(|u| ring.route(u)).collect();
+        let second: Vec<usize> = (0..200u32).map(|u| ring.route(u)).collect();
         assert_eq!(first, second, "routing must be a pure function");
         assert!(first.iter().all(|&s| s < n));
         if n > 1 {
@@ -147,6 +150,7 @@ fn single_shard_is_bit_identical_to_plain_engine() {
             ShardedConfig {
                 n_shards: 1,
                 queue_capacity: 64,
+                router: RouterKind::Modulo,
             },
         );
 
@@ -186,6 +190,7 @@ fn multi_shard_accounts_for_every_event_and_preserves_user_order() {
         ShardedConfig {
             n_shards: 4,
             queue_capacity: 16, // small: exercises backpressure
+            router: RouterKind::Modulo,
         },
     );
     assert_eq!(engine.n_shards(), 4);
@@ -210,8 +215,9 @@ fn multi_shard_accounts_for_every_event_and_preserves_user_order() {
 
     // Per-user order: the owning shard's engine history must equal the
     // initial history plus that user's events in stream order.
+    let ring = HashRing::modulo(4);
     for u in 0..N_USERS {
-        let shard = shard_of(u, 4);
+        let shard = ring.route(u);
         let mut expect = histories[u as usize].clone();
         expect.extend(stream.iter().filter(|(eu, _)| *eu == u).map(|&(_, i)| i));
         assert_eq!(
@@ -248,6 +254,7 @@ fn deprecated_ingest_panics_with_descriptive_error_not_a_dead_worker() {
         ShardedConfig {
             n_shards: 2,
             queue_capacity: 8,
+            router: RouterKind::Modulo,
         },
     );
     // An out-of-range item id is rejected at the router (the typed path
@@ -289,6 +296,7 @@ fn zero_shard_and_zero_capacity_configs_are_rejected() {
             ShardedConfig {
                 n_shards,
                 queue_capacity,
+                router: RouterKind::Modulo,
             },
         )
         .err()
@@ -322,6 +330,175 @@ fn mismatched_or_corrupt_histories_are_rejected_at_construction() {
     ));
 }
 
+// ---------------------------------------------------------------------
+// ISSUE 4: live resharding at the engine level (the bit-identity pins
+// against offline snapshot/restore live in tests/serving_api.rs).
+
+/// A consistent-router config — the deployment shape for fleets that
+/// expect to reshard live.
+fn consistent(n_shards: usize) -> ShardedConfig {
+    ShardedConfig {
+        n_shards,
+        queue_capacity: 32,
+        router: RouterKind::Consistent { vnodes: 32 },
+    }
+}
+
+fn all_slates(engine: &mut ShardedEngine<Fism>) -> Vec<Vec<Scored>> {
+    engine
+        .recommend_many(&(0..N_USERS).collect::<Vec<_>>(), &RecQuery::top(8))
+        .expect("all users valid")
+        .into_iter()
+        .map(|r| r.items)
+        .collect()
+}
+
+#[test]
+fn live_reshard_n_to_n_is_a_noop() {
+    let seed = 51u64;
+    let (split, histories) = world(seed);
+    let mut engine =
+        ShardedEngine::try_new(build_sccf(&split, seed), histories, consistent(3)).expect("valid");
+    engine.ingest_batch(&event_stream(seed, 80)).expect("valid");
+    engine.flush().expect("barrier");
+    let before = all_slates(&mut engine);
+
+    let report = engine.reshard(consistent(3)).expect("no-op reshard");
+    assert_eq!(report.moved_users, 0, "same ring ⇒ nobody moves");
+    assert_eq!(report.batches, 0);
+    assert!(!engine.is_migrating());
+    assert_eq!(engine.n_shards(), 3);
+
+    let after = all_slates(&mut engine);
+    for (u, (x, y)) in before.iter().zip(&after).enumerate() {
+        assert_bit_identical(x, y, &format!("N→N no-op, user {u}"));
+    }
+    let stats = engine.serving_stats().expect("stats");
+    assert_eq!(stats.events, 80);
+    assert_eq!(stats.migration.migrated_users, 0);
+    engine.shutdown();
+}
+
+#[test]
+fn live_scale_out_moves_the_ring_diff_and_keeps_serving() {
+    let seed = 53u64;
+    let (split, histories) = world(seed);
+    let mut engine =
+        ShardedEngine::try_new(build_sccf(&split, seed), histories, consistent(2)).expect("valid");
+    engine
+        .ingest_batch(&event_stream(seed, 100))
+        .expect("valid");
+
+    let report = engine.reshard(consistent(5)).expect("live scale-out");
+    assert_eq!((report.from_shards, report.to_shards), (2, 5));
+    // The ring diff is exactly the users whose route changed — and with
+    // a consistent router every one of them moved *to a new shard*.
+    let (old_ring, new_ring) = (
+        consistent(2).ring().expect("valid"),
+        consistent(5).ring().expect("valid"),
+    );
+    let expect_moved = (0..N_USERS)
+        .filter(|&u| old_ring.route(u) != new_ring.route(u))
+        .count() as u64;
+    assert_eq!(report.moved_users, expect_moved);
+    assert!(
+        expect_moved > 0,
+        "the test world must actually migrate someone"
+    );
+    assert_eq!(engine.n_shards(), 5);
+
+    // Post-quiesce the fleet ingests and serves everyone.
+    engine
+        .ingest_batch(&event_stream(seed ^ 7, 40))
+        .expect("valid");
+    engine.flush().expect("barrier");
+    for slate in all_slates(&mut engine) {
+        assert!(!slate.is_empty());
+    }
+    let stats = engine.serving_stats().expect("stats");
+    assert_eq!(
+        stats.events, 140,
+        "every event exactly once across the move"
+    );
+    let reports = engine.shutdown();
+    assert_eq!(reports.len(), 5);
+    assert_eq!(reports.iter().map(|r| r.events).sum::<u64>(), 140);
+}
+
+#[test]
+fn live_scale_in_retires_workers_with_complete_accounting() {
+    let seed = 57u64;
+    let (split, histories) = world(seed);
+    let mut engine =
+        ShardedEngine::try_new(build_sccf(&split, seed), histories, consistent(4)).expect("valid");
+    engine
+        .ingest_batch(&event_stream(seed, 120))
+        .expect("valid");
+
+    let report = engine.reshard(consistent(2)).expect("live scale-in");
+    assert_eq!((report.from_shards, report.to_shards), (4, 2));
+    assert!(report.moved_users > 0);
+    assert_eq!(engine.n_shards(), 2);
+
+    engine
+        .ingest_batch(&event_stream(seed ^ 9, 30))
+        .expect("valid");
+    engine.flush().expect("barrier");
+    let stats = engine.serving_stats().expect("stats");
+    // Retired workers' reports stay in the accounting: the totals cover
+    // the fleet's whole life, before and after the scale-in.
+    assert_eq!(stats.events, 150);
+    assert_eq!(stats.shards.len(), 4, "2 live + 2 retired reports");
+
+    let reports = engine.shutdown();
+    assert_eq!(reports.len(), 4);
+    assert_eq!(reports.iter().map(|r| r.events).sum::<u64>(), 150);
+}
+
+#[test]
+fn overlapping_reshards_are_rejected_and_ingestion_flows_mid_migration() {
+    let seed = 59u64;
+    let (split, histories) = world(seed);
+    let mut engine =
+        ShardedEngine::try_new(build_sccf(&split, seed), histories, consistent(2)).expect("valid");
+    engine.ingest_batch(&event_stream(seed, 40)).expect("valid");
+
+    engine.begin_reshard(consistent(4), 2).expect("begin");
+    assert!(engine.is_migrating());
+    // A second migration cannot start while one is in flight.
+    assert!(matches!(
+        engine.begin_reshard(consistent(3), 2),
+        Err(ServingError::InvalidConfig(_))
+    ));
+    // Mid-migration the fleet ingests and recommends for every user —
+    // moved and unmoved alike.
+    let mut mid_events = 0u64;
+    let extra = event_stream(seed ^ 3, 60);
+    let mut extra_it = extra.iter();
+    while engine.is_migrating() {
+        for &(u, i) in extra_it.by_ref().take(5) {
+            engine.try_ingest(u, i).expect("mid-migration ingest");
+            mid_events += 1;
+        }
+        let stats = engine.serving_stats().expect("stats mid-migration");
+        assert!(stats.migration.in_progress);
+        engine.reshard_step().expect("handoff batch");
+    }
+    for &(u, i) in extra_it {
+        engine.try_ingest(u, i).expect("post-migration ingest");
+        mid_events += 1;
+    }
+    engine.flush().expect("barrier");
+    let stats = engine.serving_stats().expect("stats");
+    assert_eq!(stats.events, 40 + mid_events);
+    assert!(!stats.migration.in_progress);
+    assert_eq!(stats.migration.pending_users, 0);
+    for slate in all_slates(&mut engine) {
+        assert!(!slate.is_empty());
+    }
+    engine.shutdown();
+}
+
 #[test]
 fn out_of_range_ids_surface_errors_and_leave_workers_alive() {
     let (split, histories) = world(23);
@@ -332,6 +509,7 @@ fn out_of_range_ids_surface_errors_and_leave_workers_alive() {
         ShardedConfig {
             n_shards: 4,
             queue_capacity: 16,
+            router: RouterKind::Modulo,
         },
     )
     .expect("valid config");

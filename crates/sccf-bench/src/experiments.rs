@@ -1874,3 +1874,283 @@ pub fn bench_reshard_json(h: &HarnessConfig) -> ReshardBenchOutput {
         json,
     }
 }
+
+// ------------------------------------------------------- bench-quality
+
+/// Cross-shard neighborhood quality on the default archive path.
+pub fn bench_quality(h: &HarnessConfig) -> Vec<Table> {
+    bench_quality_to(h, std::path::Path::new("results"))
+}
+
+/// Measure the recommendation-quality cost of in-shard Eq. 11
+/// neighborhoods and how much of it the two-tier global snapshot
+/// recovers, writing `BENCH_quality.json` — to the current directory
+/// (the repo-root artifact the acceptance checks read) and archived
+/// under `out_dir`, mirroring [`bench_reshard_to`].
+pub fn bench_quality_to(h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Table> {
+    let out = bench_quality_json(h);
+    write_bench_artifact("bench-quality", "BENCH_quality.json", &out.json, out_dir);
+    vec![out.table]
+}
+
+/// One engine configuration's leave-one-out quality.
+pub struct QualityPoint {
+    /// `"n1"`, `"n8_shard_local"` or `"n8_two_tier"`.
+    pub config: &'static str,
+    /// HR@k per entry of [`QualityBenchOutput::ks`].
+    pub hr: Vec<f64>,
+    /// NDCG@k per entry of [`QualityBenchOutput::ks`].
+    pub ndcg: Vec<f64>,
+}
+
+pub struct QualityBenchOutput {
+    pub ks: Vec<usize>,
+    pub points: Vec<QualityPoint>,
+    /// Longest single `try_ingest` observed while a background
+    /// incremental refresh was collecting (bounded by one export
+    /// batch — the no-stall property of the refresh epoch).
+    pub max_ingest_stall_ms: f64,
+    /// Longest single `refresh_step` (one export batch round trip).
+    pub max_refresh_step_ms: f64,
+    /// Wall time of the initial blocking refresh.
+    pub refresh_ms: f64,
+    pub table: Table,
+    pub json: String,
+}
+
+/// The ROADMAP's "measure the in-shard approximation's quality cost
+/// first", answered: one trained model, one leave-one-out protocol,
+/// three serving shapes —
+///
+/// * **N=1** — the paper's full-population Eq. 11 neighborhoods (the
+///   quality ceiling for this model);
+/// * **N=8 shard-local** — each user's neighbors drawn only from her
+///   shard's ~1/8 of the population (the PR 2 trade);
+/// * **N=8 two-tier** — shard-local fresh deltas merged with one
+///   freshly refreshed global snapshot (zero staleness here, so the
+///   remaining gap to N=1 is merge noise, not coverage).
+///
+/// Every configuration serves the *same* per-user state derived from
+/// the same histories; only the neighbor pool differs. The run also
+/// drives one incremental refresh under an event stream and records
+/// the worst single-ingest stall — the bench's own assertion that a
+/// background refresh never blocks ingestion for more than one export
+/// batch.
+pub fn bench_quality_json(h: &HarnessConfig) -> QualityBenchOutput {
+    let (n_users, n_items) = match h.scale {
+        Scale::Quick => (1400usize, 420usize),
+        Scale::Full => (4000, 900),
+    };
+    const N_SHARDS: usize = 8;
+    let ks = vec![10usize, 20];
+    let kmax = *ks.iter().max().expect("non-empty ks");
+
+    let mut cfg = ml1m_sim(Scale::Quick);
+    cfg.name = "cross-shard-quality".to_string();
+    cfg.n_users = n_users;
+    cfg.n_items = n_items;
+    cfg.n_categories = 16;
+    cfg.mean_len = 18.0;
+    cfg.min_len = 6;
+    let data = sccf_data::synthetic::generate(&cfg, h.seed).dataset;
+    let split = sccf_data::LeaveOneOut::split(&data);
+    let n_users = split.n_users();
+    let histories: Vec<Vec<u32>> = (0..n_users as u32)
+        .map(|u| split.train_plus_val(u))
+        .collect();
+    let targets: Vec<(u32, u32)> = split
+        .test_users()
+        .into_iter()
+        .filter_map(|u| split.test_item(u).map(|i| (u, i)))
+        .collect();
+    let mut fism = Some(Fism::train(
+        &split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 16,
+                epochs: 3,
+                seed: h.seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    ));
+    let sccf_cfg = |threads: usize, seed: u64| SccfConfig {
+        user_based: UserBasedConfig {
+            beta: 100,
+            recent_window: 15,
+        },
+        candidate_n: 100,
+        integrator: IntegratorConfig {
+            epochs: 2,
+            seed,
+            ..Default::default()
+        },
+        threads,
+        profiles: None,
+        ui_ann: None,
+    };
+
+    // Leave-one-out over the engine: rank of the held-out test item in
+    // the served slate (absent ⇒ miss at every cutoff).
+    let eval_engine = |engine: &mut ShardedEngine<Fism>, ks: &[usize]| -> (Vec<f64>, Vec<f64>) {
+        let mut hr = vec![0.0f64; ks.len()];
+        let mut ndcg = vec![0.0f64; ks.len()];
+        for chunk in targets.chunks(256) {
+            let users: Vec<u32> = chunk.iter().map(|&(u, _)| u).collect();
+            let responses = engine
+                .recommend_many(&users, &RecQuery::top(kmax))
+                .expect("test users are valid");
+            for (res, &(_, target)) in responses.iter().zip(chunk) {
+                let rank = res
+                    .items
+                    .iter()
+                    .position(|s| s.id == target)
+                    .map_or(usize::MAX, |p| p + 1);
+                for (j, &k) in ks.iter().enumerate() {
+                    hr[j] += sccf_eval::metrics::hr_at_k(rank, k);
+                    ndcg[j] += sccf_eval::metrics::ndcg_at_k(rank, k);
+                }
+            }
+        }
+        let n = targets.len() as f64;
+        hr.iter_mut().for_each(|x| *x /= n);
+        ndcg.iter_mut().for_each(|x| *x /= n);
+        (hr, ndcg)
+    };
+
+    let mut points: Vec<QualityPoint> = Vec::new();
+    let mut max_ingest_stall_ms = 0.0f64;
+    let mut max_refresh_step_ms = 0.0f64;
+    let mut refresh_ms = 0.0f64;
+    for (config, n_shards, two_tier) in [
+        ("n1", 1usize, false),
+        ("n8_shard_local", N_SHARDS, false),
+        ("n8_two_tier", N_SHARDS, true),
+    ] {
+        eprintln!("[bench-quality] {config} ...");
+        let model = fism.take().expect("model threaded through rounds");
+        let sccf = Sccf::build(model, &split, sccf_cfg(h.threads, h.seed));
+        let mut engine = ShardedEngine::try_new(
+            sccf,
+            histories.clone(),
+            ShardedConfig {
+                n_shards,
+                queue_capacity: 1024,
+                router: RouterKind::Modulo,
+            },
+        )
+        .expect("valid shard config");
+        if two_tier {
+            let report = engine.refresh_global_tier().expect("tier refresh");
+            refresh_ms = report.duration_ms;
+            let stats = engine.serving_stats().expect("stats");
+            assert!(stats.neighborhood.two_tier);
+            assert_eq!(stats.neighborhood.users_covered, n_users as u64);
+        }
+        let (hr, ndcg) = eval_engine(&mut engine, &ks);
+        points.push(QualityPoint { config, hr, ndcg });
+
+        if two_tier {
+            // Background-refresh stall measurement: ingest bursts
+            // interleave with collection batches; the router never
+            // blocks for more than one export batch.
+            engine.begin_refresh(128).expect("begin refresh");
+            let mut k = 0usize;
+            loop {
+                for _ in 0..50 {
+                    let (u, i) = (
+                        (k as u32 * 131) % n_users as u32,
+                        (k as u32 * 7919 + 13) % split.n_items() as u32,
+                    );
+                    let sw = Stopwatch::start();
+                    engine.try_ingest(u, i).expect("stream ids in range");
+                    max_ingest_stall_ms = max_ingest_stall_ms.max(sw.elapsed_ms());
+                    k += 1;
+                }
+                let sw = Stopwatch::start();
+                let remaining = engine.refresh_step().expect("collection batch");
+                max_refresh_step_ms = max_refresh_step_ms.max(sw.elapsed_ms());
+                if remaining == 0 {
+                    break;
+                }
+            }
+            engine.flush().expect("barrier");
+            assert!(
+                max_ingest_stall_ms <= max_refresh_step_ms.max(25.0),
+                "a background refresh must never stall a single ingest longer than one \
+                 export batch (stall {max_ingest_stall_ms:.2} ms, max batch \
+                 {max_refresh_step_ms:.2} ms)"
+            );
+        }
+
+        let (mut engines, _) = engine.shutdown_into_engines();
+        let last = engines.pop().expect("at least one shard");
+        drop(engines);
+        fism = Some(last.into_sccf().into_model());
+    }
+
+    let mut t = Table::new(
+        format!(
+            "Cross-shard neighborhood quality ({} test users, {} items, β=100, \
+             {N_SHARDS}-shard fleets; two-tier = shard-local delta ∪ refreshed global snapshot)",
+            targets.len(),
+            split.n_items(),
+        ),
+        &["config", "HR@10", "NDCG@10", "HR@20", "NDCG@20"],
+    );
+    for p in &points {
+        t.push(&[
+            p.config.to_string(),
+            f4(p.hr[0]),
+            f4(p.ndcg[0]),
+            f4(p.hr[1]),
+            f4(p.ndcg[1]),
+        ]);
+    }
+
+    let point = |name: &str| points.iter().find(|p| p.config == name).expect("measured");
+    let mut json = String::from("{\n  \"experiment\": \"bench-quality\",\n");
+    json.push_str(&format!(
+        "  \"n_users\": {n_users},\n  \"n_items\": {},\n  \"n_test_users\": {},\n  \
+         \"n_shards\": {N_SHARDS},\n  \"beta\": 100,\n  \"ks\": [10, 20],\n  \"points\": [\n",
+        split.n_items(),
+        targets.len(),
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"hr\": [{:.6}, {:.6}], \"ndcg\": [{:.6}, {:.6}]}}{}\n",
+            p.config,
+            p.hr[0],
+            p.hr[1],
+            p.ndcg[0],
+            p.ndcg[1],
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"hr20_n1\": {:.6},\n  \"hr20_shard_local\": {:.6},\n  \"hr20_two_tier\": {:.6},\n  \
+         \"ndcg20_n1\": {:.6},\n  \"ndcg20_shard_local\": {:.6},\n  \"ndcg20_two_tier\": {:.6},\n  \
+         \"two_tier_minus_shard_local_hr20\": {:.6},\n  \"two_tier_over_n1_hr20\": {:.6},\n  \
+         \"refresh_ms\": {refresh_ms:.3},\n  \"max_ingest_stall_ms\": {max_ingest_stall_ms:.3},\n  \
+         \"max_refresh_step_ms\": {max_refresh_step_ms:.3}\n}}\n",
+        point("n1").hr[1],
+        point("n8_shard_local").hr[1],
+        point("n8_two_tier").hr[1],
+        point("n1").ndcg[1],
+        point("n8_shard_local").ndcg[1],
+        point("n8_two_tier").ndcg[1],
+        point("n8_two_tier").hr[1] - point("n8_shard_local").hr[1],
+        point("n8_two_tier").hr[1] / point("n1").hr[1],
+    ));
+
+    QualityBenchOutput {
+        ks,
+        points,
+        max_ingest_stall_ms,
+        max_refresh_step_ms,
+        refresh_ms,
+        table: t,
+        json,
+    }
+}

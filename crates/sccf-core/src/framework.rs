@@ -41,6 +41,7 @@ use sccf_util::timer::Stopwatch;
 use sccf_util::topk::Scored;
 
 use crate::integrator::{CandidateFeatures, Integrator, IntegratorConfig};
+use crate::neighbor::{GlobalNeighborSnapshot, NeighborSource};
 use crate::profile::UserProfiles;
 use crate::realtime::EventTiming;
 use crate::user_component::{UserBasedComponent, UserBasedConfig, UuScratch};
@@ -184,17 +185,39 @@ pub struct QueryScratch {
     /// Assembled candidate features; vectors keep their capacity across
     /// queries.
     cand: CandidateFeatures,
+    /// Two-tier Eq. 11 merge buffer: local-delta hits, then frozen
+    /// global-tier hits, re-ranked in place. β-sized; capacity retained
+    /// across queries.
+    merged: Vec<Scored>,
+    /// User-id dedup for the two-tier merge: the fresh local tier's
+    /// users are stamped so the frozen tier never resurfaces a stale
+    /// vector for them. Population-sized, O(1) reset; grown on first
+    /// use when the scratch was built without a population
+    /// ([`QueryScratch::new`]).
+    users_seen: StampSet,
 }
 
 impl QueryScratch {
-    /// Scratch for a catalog of `n_items`.
+    /// Scratch for a catalog of `n_items`. User-domain buffers start
+    /// empty and grow on the first two-tier query; prefer
+    /// [`QueryScratch::for_population`] (what [`Sccf::new_scratch`]
+    /// uses) to pre-size them.
     pub fn new(n_items: usize) -> Self {
+        Self::for_population(n_items, 0)
+    }
+
+    /// Scratch for a catalog of `n_items` and a population of
+    /// `n_users` — sizes the two-tier merge structures up front so the
+    /// steady state performs no population-proportional allocation.
+    pub fn for_population(n_items: usize, n_users: usize) -> Self {
         Self {
             uu: UuScratch::new(n_items),
             ui_scores: vec![0.0; n_items],
             hist: StampSet::new(n_items),
             seen: StampSet::new(n_items),
             cand: CandidateFeatures::default(),
+            merged: Vec::new(),
+            users_seen: StampSet::new(n_users),
         }
     }
 
@@ -268,6 +291,38 @@ impl<M: InductiveUiModel> SccfShared<M> {
     pub fn config(&self) -> &SccfConfig {
         &self.cfg
     }
+
+    /// Build an epoch-stamped [`GlobalNeighborSnapshot`] from per-user
+    /// export entries `(user, raw representation, full history)` — the
+    /// decoded payload of `RealtimeEngine::export_user` blobs. The
+    /// representation gets the same profile augmentation the live index
+    /// applies and the history is truncated to the recent window, so
+    /// the frozen tier holds exactly the vectors and windows the
+    /// mutable tiers would derive from the same state — the
+    /// bit-identity the synchronous-refresh equivalence rests on.
+    pub fn build_neighbor_snapshot(
+        &self,
+        epoch: u64,
+        n_users: usize,
+        entries: impl IntoIterator<Item = (u32, Vec<f32>, Vec<u32>)>,
+    ) -> GlobalNeighborSnapshot {
+        let dim = self.model.dim();
+        let index_dim = self
+            .cfg
+            .profiles
+            .as_ref()
+            .map_or(dim, |p| p.augmented_dim(dim));
+        let w = self.cfg.user_based.recent_window;
+        let rows = entries.into_iter().map(|(u, rep, history)| {
+            let vec = match &self.cfg.profiles {
+                Some(p) => p.augment(u, &rep),
+                None => rep,
+            };
+            let window = history[history.len().saturating_sub(w)..].to_vec();
+            (u, vec, window)
+        });
+        GlobalNeighborSnapshot::build(epoch, n_users, index_dim, rows)
+    }
 }
 
 /// A built SCCF instance wrapping the inductive UI model `M`.
@@ -294,6 +349,14 @@ pub struct Sccf<M: InductiveUiModel> {
     /// only owned users, and this map translates slot ↔ global ids, so
     /// per-event neighbor scans cost O(owned users), not O(all users).
     owned: Option<ShardMap>,
+    /// Optional frozen *global tier* for two-tier Eq. 11 search
+    /// ([`Sccf::set_global_tier`]): an immutable whole-population
+    /// snapshot merged with the mutable index above (the fresh local
+    /// delta — its vectors win). `None` (the default, and always the
+    /// state right after a build) keeps the historical behavior
+    /// bit-for-bit: unsharded instances search everyone, shard views
+    /// search their owned users only.
+    global_tier: Option<Arc<dyn NeighborSource>>,
 }
 
 /// Slot ↔ global user-id translation for a shard view's compact index.
@@ -390,13 +453,12 @@ impl<M: InductiveUiModel> Sccf<M> {
             assemble_candidates_into(
                 &model,
                 item_index.as_ref(),
-                &user_comp,
                 rep,
-                &neighbors,
                 &train_histories[u as usize],
                 cfg.candidate_n,
                 &Exclusion::History,
                 &mut scratch,
+                |uu| user_comp.scores_into(&neighbors, uu),
             );
             if !scratch.cand.is_empty() {
                 examples.push((scratch.cand.clone(), val));
@@ -414,6 +476,7 @@ impl<M: InductiveUiModel> Sccf<M> {
             user_index,
             user_comp,
             owned: None,
+            global_tier: None,
         }
     }
 
@@ -450,6 +513,26 @@ impl<M: InductiveUiModel> Sccf<M> {
         &self.shared
     }
 
+    /// Install a frozen global neighbor tier: subsequent Eq. 11 queries
+    /// merge it with the live local index (see [`crate::neighbor`] for
+    /// the two-tier contract). Typically an
+    /// `Arc<`[`GlobalNeighborSnapshot`]`>` built by the sharded
+    /// engine's refresh epoch; any [`NeighborSource`] plugs in.
+    pub fn set_global_tier(&mut self, tier: Arc<dyn NeighborSource>) {
+        self.global_tier = Some(tier);
+    }
+
+    /// Remove the global tier: Eq. 11 falls back to the local-only
+    /// scan, bit-identical to an instance that never had one.
+    pub fn clear_global_tier(&mut self) {
+        self.global_tier = None;
+    }
+
+    /// The installed global tier, if any.
+    pub fn global_tier(&self) -> Option<&Arc<dyn NeighborSource>> {
+        self.global_tier.as_ref()
+    }
+
     /// Unwrap the UI model (hyper-parameter sweeps rebuild SCCF around
     /// one trained model).
     ///
@@ -467,34 +550,102 @@ impl<M: InductiveUiModel> Sccf<M> {
         &self.shared.cfg
     }
 
-    /// A query scratch sized for this instance's catalog. Allocate once
-    /// per serving thread and pass to the `_with` entry points.
+    /// A query scratch sized for this instance's catalog and
+    /// population. Allocate once per serving thread and pass to the
+    /// `_with` entry points.
     pub fn new_scratch(&self) -> QueryScratch {
-        QueryScratch::new(self.shared.model.n_items())
+        QueryScratch::for_population(self.shared.model.n_items(), self.user_count())
     }
 
     /// Current neighborhood of a representation (Eq. 11; profile-blended
     /// when side information is attached), in *global* user ids. On a
-    /// shard view this searches the shard's owned users only.
+    /// shard view this merges the shard's fresh local delta with the
+    /// frozen global tier when one is installed
+    /// ([`Sccf::set_global_tier`]); without one it searches the shard's
+    /// owned users only — the historical behavior, bit-for-bit.
+    /// One-shot form (allocates its merge buffers); the serving path
+    /// goes through [`Sccf::neighbors_with`].
     pub fn neighbors(&self, user: u32, rep: &[f32]) -> Vec<Scored> {
         let q = self.index_vector(user, rep);
-        let mut hits = self.neighbor_slots(user, &q);
-        if let Some(map) = &self.owned {
-            for h in &mut hits {
-                h.id = map.globals[h.id as usize];
-            }
-        }
-        hits
+        let mut out = Vec::new();
+        let mut seen = StampSet::new(0);
+        self.merged_neighbors_into(user, &q, &mut out, &mut seen);
+        out
     }
 
-    /// β-nearest users for a query vector, in index-*slot* ids — the
-    /// addressing the per-user state (index rows, recent-item rings)
-    /// uses internally. Unsharded, slot = global user id; on a shard
-    /// view, slot = position in the compact owned-user layout. The
-    /// querying user is excluded by her own slot.
-    fn neighbor_slots(&self, user: u32, query: &[f32]) -> Vec<Scored> {
+    /// Scratch form of [`Sccf::neighbors`]: the merge buffers live in
+    /// the scratch, so the steady state allocates only the returned
+    /// β-sized vector — nothing proportional to the catalog or the
+    /// population, two-tier or not.
+    pub fn neighbors_with(
+        &self,
+        user: u32,
+        rep: &[f32],
+        scratch: &mut QueryScratch,
+    ) -> Vec<Scored> {
+        let q = self.index_vector(user, rep);
+        let mut out = std::mem::take(&mut scratch.merged);
+        let mut seen = std::mem::replace(&mut scratch.users_seen, StampSet::new(0));
+        self.merged_neighbors_into(user, &q, &mut out, &mut seen);
+        scratch.users_seen = seen;
+        let result = out.clone();
+        scratch.merged = out;
+        result
+    }
+
+    /// The merged two-tier Eq. 11 search, in global user ids.
+    ///
+    /// Local tier first: the mutable index over this view's owned users
+    /// (always fresh), the querying user excluded by her own slot.
+    /// Global tier second, when installed: the frozen snapshot is
+    /// scanned with a skip over the querying user, every locally-owned
+    /// user and every id already stamped into `users_seen` from the
+    /// local result — so a user's *freshest* vector wins by
+    /// construction. The union is re-ranked by the standard [`Scored`]
+    /// ordering (score descending, ties by ascending id — the same
+    /// total order every index in the workspace sorts by) and truncated
+    /// to β. With no tier the local result is returned untouched,
+    /// order included.
+    fn merged_neighbors_into(
+        &self,
+        user: u32,
+        query: &[f32],
+        out: &mut Vec<Scored>,
+        users_seen: &mut StampSet,
+    ) {
+        out.clear();
         let beta = self.shared.cfg.user_based.beta;
-        self.user_index.search(query, beta, self.slot_of(user))
+        let local = self.user_index.search(query, beta, self.slot_of(user));
+        match &self.owned {
+            None => out.extend(local),
+            Some(map) => out.extend(local.into_iter().map(|mut h| {
+                h.id = map.globals[h.id as usize];
+                h
+            })),
+        }
+        let Some(tier) = &self.global_tier else {
+            return;
+        };
+        // An unsharded view owns the whole population: its fresh local
+        // tier covers everyone, so the frozen tier could never
+        // contribute — skip the O(population) scan instead of paying
+        // it to append nothing.
+        if self.owned.is_none() {
+            return;
+        }
+        let n_users = self.user_count();
+        if users_seen.slots() < n_users {
+            *users_seen = StampSet::new(n_users);
+        }
+        users_seen.clear();
+        for h in out.iter() {
+            users_seen.insert(h.id);
+        }
+        let seen: &StampSet = users_seen;
+        let skip = |v: u32| v == user || seen.contains(v) || self.slot_of(v).is_some();
+        tier.search_append(query, beta, &skip, out);
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        out.truncate(beta);
     }
 
     /// The per-user-state slot owning `user`: identity unsharded,
@@ -514,12 +665,37 @@ impl<M: InductiveUiModel> Sccf<M> {
         self.owned.as_ref().map(|m| m.globals.as_slice())
     }
 
+    /// Eq. 12 over a merged (global-id) neighborhood, into an already
+    /// `begin`-free scratch: owned neighbors contribute their *live*
+    /// rings, remote neighbors their *frozen* windows from the global
+    /// tier — one accumulation pass, same arithmetic and order as the
+    /// all-local [`UserBasedComponent::scores_into`] (which this equals
+    /// exactly when every neighbor is owned, i.e. whenever no tier is
+    /// installed).
+    fn fill_uu_scores(&self, neighbors: &[Scored], uu: &mut UuScratch) {
+        uu.scores.begin();
+        for n in neighbors {
+            match self.slot_of(n.id) {
+                Some(slot) => self.user_comp.accumulate_into(slot, n.score, uu),
+                None => {
+                    let window = self
+                        .global_tier
+                        .as_ref()
+                        .map_or(&[][..], |t| t.frozen_window(n.id));
+                    uu.accumulate_window(window.iter().copied(), n.score);
+                }
+            }
+        }
+    }
+
     /// Full-catalog UU scores for `user` given a fresh representation.
-    /// Dense compatibility path (offline analysis / ablations).
+    /// Dense compatibility path (offline analysis / ablations); merges
+    /// the global tier like every other neighborhood query.
     pub fn uu_scores(&self, user: u32, rep: &[f32]) -> Vec<f32> {
-        let q = self.index_vector(user, rep);
-        let slots = self.neighbor_slots(user, &q);
-        self.user_comp.scores(&slots)
+        let neighbors = self.neighbors(user, rep);
+        let mut scratch = self.user_comp.new_scratch();
+        self.fill_uu_scores(&neighbors, &mut scratch);
+        scratch.scores.to_dense()
     }
 
     /// Scorer for the UU-only ablation rows (`FISMᵁᵁ` / `SASRecᵁᵁ`).
@@ -583,18 +759,21 @@ impl<M: InductiveUiModel> Sccf<M> {
     pub fn candidate_features_with(&self, user: u32, history: &[u32], scratch: &mut QueryScratch) {
         let rep = self.shared.model.infer_user(history);
         let query = self.index_vector(user, &rep);
-        let neighbors = self.neighbor_slots(user, &query);
+        let mut neighbors = std::mem::take(&mut scratch.merged);
+        let mut seen = std::mem::replace(&mut scratch.users_seen, StampSet::new(0));
+        self.merged_neighbors_into(user, &query, &mut neighbors, &mut seen);
+        scratch.users_seen = seen;
         assemble_candidates_into(
             &self.shared.model,
             self.shared.item_index.as_ref(),
-            &self.user_comp,
             &rep,
-            &neighbors,
             history,
             self.shared.cfg.candidate_n,
             &Exclusion::History,
             scratch,
+            |uu| self.fill_uu_scores(&neighbors, uu),
         );
+        scratch.merged = neighbors;
     }
 
     /// The union candidate set with raw scores — the integrator's input.
@@ -620,8 +799,12 @@ impl<M: InductiveUiModel> Sccf<M> {
     ) {
         let rep = self.shared.model.infer_user(history);
         let query = self.index_vector(user, &rep);
-        let neighbors = self.neighbor_slots(user, &query);
-        self.user_comp.scores_into(&neighbors, &mut scratch.uu);
+        let mut neighbors = std::mem::take(&mut scratch.merged);
+        let mut seen = std::mem::replace(&mut scratch.users_seen, StampSet::new(0));
+        self.merged_neighbors_into(user, &query, &mut neighbors, &mut seen);
+        scratch.users_seen = seen;
+        self.fill_uu_scores(&neighbors, &mut scratch.uu);
+        scratch.merged = neighbors;
         scratch.reset_for(history);
         let cand = &mut scratch.cand;
         for &i in items {
@@ -675,18 +858,21 @@ impl<M: InductiveUiModel> Sccf<M> {
         let rep = self.shared.model.infer_user(history);
         let infer_ms = sw.lap_ms();
         let query = self.index_vector(user, &rep);
-        let neighbors = self.neighbor_slots(user, &query);
+        let mut neighbors = std::mem::take(&mut scratch.merged);
+        let mut seen = std::mem::replace(&mut scratch.users_seen, StampSet::new(0));
+        self.merged_neighbors_into(user, &query, &mut neighbors, &mut seen);
+        scratch.users_seen = seen;
         assemble_candidates_into(
             &self.shared.model,
             item_index,
-            &self.user_comp,
             &rep,
-            &neighbors,
             history,
             self.shared.cfg.candidate_n,
             exclusion,
             scratch,
+            |uu| self.fill_uu_scores(&neighbors, uu),
         );
+        scratch.merged = neighbors;
         let fused = self
             .shared
             .integrator
@@ -823,6 +1009,7 @@ impl<M: InductiveUiModel> Sccf<M> {
                     user_index,
                     user_comp,
                     owned: Some(ShardMap { globals, local_of }),
+                    global_tier: None,
                 };
                 let map = shard.owned.as_ref().expect("just set");
                 for (l, &g) in map.globals.iter().enumerate() {
@@ -862,6 +1049,7 @@ impl<M: InductiveUiModel> Sccf<M> {
                 globals: Vec::new(),
                 local_of: vec![u32::MAX; n_users],
             }),
+            global_tier: None,
         }
     }
 
@@ -965,20 +1153,22 @@ impl<M: InductiveUiModel> Sccf<M> {
 ///
 /// UI side: exact Eq. 10 (dense scan into the reused buffer) or, when
 /// `item_index` is present, an HNSW search over the item embeddings.
-/// UU side: sparse Eq. 12 — only ids touched by the neighborhood exist.
+/// UU side: sparse Eq. 12, produced by the caller-supplied `fill_uu`
+/// (the pluggable neighbor-source seam: local rings during build,
+/// merged live-ring + frozen-window accumulation in serving) — only
+/// ids touched by the neighborhood exist.
 /// Union: UI list first, then new UU entries, deduped via stamp sets.
 /// `exclusion` decides the mask (history by default; see [`Exclusion`]).
 #[allow(clippy::too_many_arguments)]
 fn assemble_candidates_into<M: InductiveUiModel>(
     model: &M,
     item_index: Option<&HnswIndex>,
-    user_comp: &UserBasedComponent,
     rep: &[f32],
-    neighbors: &[Scored],
     history: &[u32],
     candidate_n: usize,
     exclusion: &Exclusion,
     scratch: &mut QueryScratch,
+    fill_uu: impl FnOnce(&mut UuScratch),
 ) {
     scratch.reset_excluding(history, exclusion);
     // UI side (Eq. 10)
@@ -1022,7 +1212,7 @@ fn assemble_candidates_into<M: InductiveUiModel>(
         }
     };
     // UU side (Eq. 12), sparse: topk over touched ids outside the history
-    user_comp.scores_into(neighbors, &mut scratch.uu);
+    fill_uu(&mut scratch.uu);
     let uu_top: Vec<Scored> = sccf_util::topk::topk_of_pairs(
         scratch
             .uu

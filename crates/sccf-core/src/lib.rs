@@ -30,6 +30,11 @@
 //!   behind `Arc`) and the per-user half serving mutates —
 //!   [`Sccf::into_shards`] partitions the latter across workers for the
 //!   sharded engine (`sccf_serving::sharded`, `docs/ARCHITECTURE.md`).
+//! * [`neighbor`] — pluggable Eq. 11 neighbor sources: the
+//!   [`NeighborSource`] trait and the frozen, `Arc`-shareable
+//!   [`GlobalNeighborSnapshot`] behind two-tier cross-shard
+//!   neighborhoods (shard-local fresh delta ∪ epoch-swapped global
+//!   index).
 //! * [`realtime`] — [`RealtimeEngine`]: the single-writer event loop
 //!   with the Table III infer/identify timing split.
 //! * [`profile`] — side-information-aware neighborhoods (the paper's §V
@@ -77,6 +82,7 @@
 pub mod analysis;
 pub mod framework;
 pub mod integrator;
+pub mod neighbor;
 pub mod profile;
 pub mod ranking;
 pub mod realtime;
@@ -86,6 +92,7 @@ pub use framework::{
     CandidateSource, Exclusion, QueryError, QueryScratch, Sccf, SccfConfig, SccfShared,
 };
 pub use integrator::{CandidateFeatures, Integrator, IntegratorConfig};
+pub use neighbor::{GlobalNeighborSnapshot, NeighborSource, TierDecodeError};
 pub use profile::UserProfiles;
 pub use ranking::RankingStage;
 pub use realtime::{

@@ -1,0 +1,351 @@
+//! Pluggable Eq. 11 neighbor sources — the abstraction behind two-tier
+//! cross-shard neighborhoods.
+//!
+//! Since the engine was sharded, each shard's mutable user index holds
+//! only the users the shard *owns*, so Eq. 11 neighborhoods silently
+//! shrank to in-shard approximations — a recall loss that grows with
+//! shard count, against the paper's central claim that quality comes
+//! from fresh, full-population user neighbors. This module restores the
+//! full population without giving up shard-local writes:
+//!
+//! * [`NeighborSource`] — the *global tier* interface: top-β candidates
+//!   for a query vector plus each remote user's frozen recent window
+//!   (the Eq. 12 δ input for neighbors whose live rings live on another
+//!   shard). [`crate::Sccf`] merges this tier with its own mutable
+//!   index (the *fresh local delta*): local candidates are collected
+//!   first and marked in a `StampSet`, then the global tier is searched
+//!   with a skip over marked-or-owned users — so a user's **freshest**
+//!   vector always wins — and the union is re-ranked top-β with the
+//!   standard `Scored` ordering.
+//! * [`GlobalNeighborSnapshot`] — the shipped implementation: an
+//!   epoch-stamped, `Arc`-shareable bundle of a
+//!   [`sccf_index::FrozenUserIndex`] (whole-population vectors) and a
+//!   flat CSR table of frozen recent windows. Built once per refresh
+//!   from the shards' own `export_user` state
+//!   (`sccf_serving::sharded::ShardedEngine::refresh_global_tier`),
+//!   swapped into every worker behind its `Arc` — never mutated.
+//!
+//! With no global tier installed, the merged search degenerates to
+//! exactly the shard-local scan the engine always did (bit-identical —
+//! pinned by `tests/sharded.rs`); with a refresh after every event, an
+//! N-shard fleet's Eq. 11 neighbor sets equal the N=1 plain engine's
+//! (pinned by `tests/serving_api.rs`). Real deployments sit between the
+//! two: a refresh cadence buys cross-shard recall at bounded staleness
+//! (`docs/ARCHITECTURE.md` discusses the trade-off,
+//! `docs/OPERATIONS.md` the cadence).
+
+use sccf_index::{FrozenDecodeError, FrozenUserIndex};
+use sccf_util::topk::Scored;
+
+/// A source of *global-tier* Eq. 11 candidates and frozen Eq. 12
+/// windows, merged by [`crate::Sccf`] with the shard's fresh local
+/// index. Implementations must be cheap to share (`Arc`) across worker
+/// threads and immutable — freshness comes from swapping the whole
+/// source for a newer epoch.
+pub trait NeighborSource: Send + Sync {
+    /// The refresh epoch this source was built at (monotonically
+    /// increasing across refreshes; reported via serving stats).
+    fn epoch(&self) -> u64;
+
+    /// Users this source holds a usable vector for.
+    fn covered_users(&self) -> usize;
+
+    /// Append the source's top-`beta` candidates for `query` to `out`,
+    /// skipping every user for which `skip` returns true (the caller
+    /// masks users its fresh tier already covers, plus the querying
+    /// user). Appended entries are sorted by descending score.
+    fn search_append(
+        &self,
+        query: &[f32],
+        beta: usize,
+        skip: &dyn Fn(u32) -> bool,
+        out: &mut Vec<Scored>,
+    );
+
+    /// The frozen recent window of `user` (global id), oldest first —
+    /// the Eq. 12 δ input for a neighbor owned by another shard. Empty
+    /// when the user is not covered.
+    fn frozen_window(&self, user: u32) -> &[u32];
+}
+
+const TIER_MAGIC: &[u8; 8] = b"SCCFGT01";
+
+/// Why a [`GlobalNeighborSnapshot`] encoding could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TierDecodeError {
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// Bytes ran out mid-record (or a length prefix overflowed).
+    Truncated,
+    /// The window offset table is not monotone or does not cover the
+    /// item payload.
+    BadWindows,
+    /// The embedded frozen index failed to decode.
+    Index(FrozenDecodeError),
+    /// The embedded index's population differs from the window table's.
+    PopulationMismatch { index: usize, windows: usize },
+}
+
+impl std::fmt::Display for TierDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a global neighbor-tier snapshot"),
+            Self::Truncated => write!(f, "global neighbor-tier snapshot is truncated"),
+            Self::BadWindows => write!(f, "global neighbor-tier window table is corrupt"),
+            Self::Index(e) => write!(f, "embedded frozen index: {e}"),
+            Self::PopulationMismatch { index, windows } => write!(
+                f,
+                "frozen index covers {index} users but the window table covers {windows}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TierDecodeError {}
+
+/// An epoch-stamped, immutable, whole-population neighbor snapshot:
+/// frozen user vectors for Eq. 11 plus frozen recent windows for
+/// Eq. 12. See the [module docs](self) for how it is built, swapped
+/// and merged.
+#[derive(Debug, Clone)]
+pub struct GlobalNeighborSnapshot {
+    epoch: u64,
+    index: FrozenUserIndex,
+    /// CSR offsets into `win_items`: user `u`'s frozen window is
+    /// `win_items[win_offsets[u] .. win_offsets[u + 1]]`, oldest first.
+    win_offsets: Vec<u32>,
+    win_items: Vec<u32>,
+}
+
+impl GlobalNeighborSnapshot {
+    /// Build a snapshot from per-user export entries
+    /// `(user, index vector, recent window)` over a population of
+    /// `n_users`. The vector must already be in *index space* (profile
+    /// augmentation applied — see `SccfShared::build_neighbor_snapshot`,
+    /// which handles that); the window is the user's last
+    /// `recent_window` items, oldest first — exactly the live ring's
+    /// contents at export time. Users without an entry stay uncovered
+    /// (zero vector, empty window).
+    pub fn build(
+        epoch: u64,
+        n_users: usize,
+        index_dim: usize,
+        entries: impl IntoIterator<Item = (u32, Vec<f32>, Vec<u32>)>,
+    ) -> Self {
+        let mut windows: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+        let rows = entries.into_iter().map(|(user, vec, window)| {
+            windows[user as usize] = window;
+            (user, vec)
+        });
+        let index = FrozenUserIndex::from_rows(n_users, index_dim, rows);
+        let mut win_offsets = Vec::with_capacity(n_users + 1);
+        let mut win_items = Vec::new();
+        win_offsets.push(0u32);
+        for w in &windows {
+            win_items.extend_from_slice(w);
+            win_offsets.push(win_items.len() as u32);
+        }
+        Self {
+            epoch,
+            index,
+            win_offsets,
+            win_items,
+        }
+    }
+
+    /// Population size (covered or not).
+    pub fn n_users(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The largest item id any frozen window references, `None` when
+    /// every window is empty. Installers validate this against their
+    /// catalog: windows feed Eq. 12 accumulators indexed by item id,
+    /// and a corrupt-but-decodable persisted snapshot must be rejected
+    /// at install, not panic a worker at query time.
+    pub fn max_window_item(&self) -> Option<u32> {
+        self.win_items.iter().copied().max()
+    }
+
+    /// The embedded frozen vector index.
+    pub fn index(&self) -> &FrozenUserIndex {
+        &self.index
+    }
+
+    /// Serialize: magic, epoch, the window CSR (offset table + items)
+    /// and the embedded frozen index, all little-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let index_bytes = self.index.encode();
+        let mut out = Vec::with_capacity(
+            32 + self.win_offsets.len() * 4 + self.win_items.len() * 4 + index_bytes.len(),
+        );
+        out.extend_from_slice(TIER_MAGIC);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&((self.win_offsets.len() - 1) as u64).to_le_bytes());
+        for &o in &self.win_offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        for &i in &self.win_items {
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        out.extend_from_slice(&index_bytes);
+        out
+    }
+
+    /// Decode an encoding produced by [`GlobalNeighborSnapshot::encode`].
+    /// All length arithmetic is `checked_mul`-guarded (the same
+    /// discipline as `decode_histories`): corrupt prefixes surface a
+    /// typed error, never an overflow panic.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TierDecodeError> {
+        if bytes.len() < 24 {
+            return Err(TierDecodeError::Truncated);
+        }
+        if &bytes[..8] != TIER_MAGIC {
+            return Err(TierDecodeError::BadMagic);
+        }
+        let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let n = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let offsets_len = n.checked_add(1).ok_or(TierDecodeError::Truncated)?;
+        let offsets_bytes = offsets_len
+            .checked_mul(4)
+            .ok_or(TierDecodeError::Truncated)?;
+        let offsets_end = 24usize
+            .checked_add(offsets_bytes)
+            .ok_or(TierDecodeError::Truncated)?;
+        if bytes.len() < offsets_end {
+            return Err(TierDecodeError::Truncated);
+        }
+        let win_offsets: Vec<u32> = bytes[24..offsets_end]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if win_offsets.first() != Some(&0) || win_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(TierDecodeError::BadWindows);
+        }
+        let items_len = *win_offsets.last().expect("n + 1 ≥ 1 offsets") as usize;
+        let items_bytes = items_len.checked_mul(4).ok_or(TierDecodeError::Truncated)?;
+        let items_end = offsets_end
+            .checked_add(items_bytes)
+            .ok_or(TierDecodeError::Truncated)?;
+        if bytes.len() < items_end {
+            return Err(TierDecodeError::Truncated);
+        }
+        let win_items: Vec<u32> = bytes[offsets_end..items_end]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let index = FrozenUserIndex::decode(&bytes[items_end..]).map_err(TierDecodeError::Index)?;
+        if index.len() != n {
+            return Err(TierDecodeError::PopulationMismatch {
+                index: index.len(),
+                windows: n,
+            });
+        }
+        Ok(Self {
+            epoch,
+            index,
+            win_offsets,
+            win_items,
+        })
+    }
+}
+
+impl NeighborSource for GlobalNeighborSnapshot {
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn covered_users(&self) -> usize {
+        self.index.covered()
+    }
+
+    fn search_append(
+        &self,
+        query: &[f32],
+        beta: usize,
+        skip: &dyn Fn(u32) -> bool,
+        out: &mut Vec<Scored>,
+    ) {
+        self.index.search_append(query, beta, skip, out);
+    }
+
+    fn frozen_window(&self, user: u32) -> &[u32] {
+        let u = user as usize;
+        if u + 1 >= self.win_offsets.len() {
+            return &[];
+        }
+        &self.win_items[self.win_offsets[u] as usize..self.win_offsets[u + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> GlobalNeighborSnapshot {
+        GlobalNeighborSnapshot::build(
+            7,
+            4,
+            2,
+            vec![
+                (0, vec![1.0, 0.0], vec![3, 4]),
+                (2, vec![0.0, 1.0], vec![5]),
+                (3, vec![0.7, 0.7], vec![]),
+            ],
+        )
+    }
+
+    #[test]
+    fn windows_and_search_cover_only_supplied_users() {
+        let s = snapshot();
+        assert_eq!(s.epoch(), 7);
+        assert_eq!(s.n_users(), 4);
+        assert_eq!(s.covered_users(), 3);
+        assert_eq!(s.frozen_window(0), &[3, 4]);
+        assert_eq!(s.frozen_window(1), &[] as &[u32]);
+        assert_eq!(s.frozen_window(2), &[5]);
+        assert_eq!(s.frozen_window(3), &[] as &[u32]);
+        let mut hits = Vec::new();
+        s.search_append(&[1.0, 0.0], 4, &|_| false, &mut hits);
+        assert_eq!(hits.len(), 3, "user 1 has no vector");
+        assert_eq!(hits[0].id, 0);
+        hits.clear();
+        s.search_append(&[1.0, 0.0], 4, &|u| u == 0, &mut hits);
+        assert!(hits.iter().all(|h| h.id != 0));
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_and_guards_corruption() {
+        let s = snapshot();
+        let bytes = s.encode();
+        let back = GlobalNeighborSnapshot::decode(&bytes).unwrap();
+        assert_eq!(back.epoch(), s.epoch());
+        assert_eq!(back.n_users(), s.n_users());
+        for u in 0..4u32 {
+            assert_eq!(back.frozen_window(u), s.frozen_window(u));
+            assert_eq!(back.index().vector(u), s.index().vector(u));
+        }
+
+        let err = |b: &[u8]| GlobalNeighborSnapshot::decode(b).expect_err("must not decode");
+        assert_eq!(err(b"short"), TierDecodeError::Truncated);
+        let mut bad = bytes.clone();
+        bad[3] ^= 0xFF;
+        assert_eq!(err(&bad), TierDecodeError::BadMagic);
+        assert_eq!(
+            err(&bytes[..bytes.len() - 2]),
+            TierDecodeError::Index(FrozenDecodeError::Truncated)
+        );
+        // A corrupt population count near u64::MAX trips the checked_mul
+        // guard instead of overflowing.
+        let mut huge = bytes.clone();
+        huge[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(err(&huge), TierDecodeError::Truncated);
+        // A non-monotone offset table is rejected as corrupt windows.
+        let mut unsorted = bytes;
+        unsorted[24..28].copy_from_slice(&9u32.to_le_bytes());
+        assert!(matches!(
+            GlobalNeighborSnapshot::decode(&unsorted),
+            Err(TierDecodeError::BadWindows)
+        ));
+    }
+}

@@ -13,11 +13,14 @@
 //! "identifying" step is a full sparse-set scan that grows with catalog
 //! size) drops out of the same run.
 
+use std::sync::Arc;
+
 use sccf_models::InductiveUiModel;
 use sccf_util::timer::{Stopwatch, TimingStats};
 use sccf_util::topk::Scored;
 
 use crate::framework::{CandidateSource, Exclusion, QueryError, QueryScratch, Sccf};
+use crate::neighbor::NeighborSource;
 
 /// Timing breakdown of one processed event, in milliseconds.
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +85,10 @@ pub struct RealtimeEngine<M: InductiveUiModel> {
     timings: EngineTimings,
     /// Recommendation requests served (reported via `ServingStats`).
     recommends: u64,
+    /// Events already ingested when the current global tier was
+    /// installed — `events - tier_events_at_install` is the tier's
+    /// staleness in events (reported via `ServingStats::neighborhood`).
+    tier_events_at_install: u64,
     scratch: QueryScratch,
 }
 
@@ -104,6 +111,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
             histories,
             timings: EngineTimings::default(),
             recommends: 0,
+            tier_events_at_install: 0,
             scratch,
         }
     }
@@ -144,6 +152,57 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
         (user as usize) < self.sccf.user_count() && self.sccf.slot_of(user).is_some()
     }
 
+    /// Install a frozen global neighbor tier: Eq. 11 queries merge it
+    /// with this engine's live per-user state from the next event on
+    /// (see [`crate::neighbor`]). On a shard worker this is driven by
+    /// the sharded engine's refresh epoch; the swap is one `Arc` store,
+    /// so it never stalls the event loop. On an *unsharded* engine the
+    /// tier is inert (the live index already covers the whole
+    /// population, and the merge skips the frozen scan entirely) —
+    /// only shard views gain neighbors from it.
+    pub fn install_global_tier(&mut self, tier: Arc<dyn NeighborSource>) {
+        self.tier_events_at_install = self.timings.infer.count();
+        self.sccf.set_global_tier(tier);
+    }
+
+    /// Remove the global tier: neighborhoods return to the purely
+    /// local scan, bit-identical to an engine that never had one.
+    pub fn clear_global_tier(&mut self) {
+        self.tier_events_at_install = 0;
+        self.sccf.clear_global_tier();
+    }
+
+    /// `(epoch, covered users, events ingested since install)` of the
+    /// installed global tier — `None` without one. Feeds the
+    /// `neighborhood` section of the serving stats.
+    pub fn global_tier_status(&self) -> Option<(u64, usize, u64)> {
+        self.sccf.global_tier().map(|t| {
+            (
+                t.epoch(),
+                t.covered_users(),
+                self.timings.infer.count() - self.tier_events_at_install,
+            )
+        })
+    }
+
+    /// The user's current Eq. 11 neighborhood (global ids), computed
+    /// from her stored history without mutating any state — the
+    /// diagnostic twin of the neighborhood
+    /// [`RealtimeEngine::try_process_event`] returns, used by the
+    /// cross-shard equivalence tests and the quality bench.
+    pub fn neighbors_of(&mut self, user: u32) -> Result<Vec<Scored>, QueryError> {
+        let n_users = self.sccf.user_count();
+        if user as usize >= n_users {
+            return Err(QueryError::UnknownUser { user, n_users });
+        }
+        let slot = self
+            .sccf
+            .slot_of(user)
+            .ok_or(QueryError::NotOwned { user })? as usize;
+        let rep = self.sccf.model().infer_user(&self.histories[slot]);
+        Ok(self.sccf.neighbors_with(user, &rep, &mut self.scratch))
+    }
+
     /// Ingest one interaction: append to the history, re-infer the user
     /// representation, refresh index + recent-items state, and find the
     /// new neighborhood. Returns the neighborhood and the measured
@@ -173,7 +232,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
         let infer_ms = sw.lap_ms();
 
         self.sccf.record_event(user, item, &rep);
-        let neighbors = self.sccf.neighbors(user, &rep);
+        let neighbors = self.sccf.neighbors_with(user, &rep, &mut self.scratch);
         let identify_ms = sw.lap_ms();
 
         let timing = EventTiming {
@@ -418,6 +477,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
             histories: compact,
             timings: EngineTimings::default(),
             recommends: 0,
+            tier_events_at_install: 0,
             scratch,
         })
     }

@@ -69,6 +69,25 @@ impl UuScratch {
             window_seen: StampSet::new(n_items),
         }
     }
+
+    /// Accumulate one neighbor's recent window: add `weight` to every
+    /// *distinct* item in `items` (δ is binary — a repeat within the
+    /// window must not double-count). This is the per-neighbor inner
+    /// step of Eq. 12; [`UserBasedComponent::scores_into`] drives it
+    /// over live rings, and the two-tier serving path drives it over
+    /// frozen windows for neighbors owned by other shards — one
+    /// accumulation routine, so both tiers agree on the arithmetic.
+    ///
+    /// The caller owns the epoch: call `self.scores.begin()` once per
+    /// neighborhood, then this once per neighbor.
+    pub fn accumulate_window(&mut self, items: impl Iterator<Item = u32>, weight: f32) {
+        self.window_seen.clear();
+        for item in items {
+            if self.window_seen.insert(item) {
+                self.scores.add(item, weight);
+            }
+        }
+    }
 }
 
 /// Per-user recent-item state plus the Eq. 12 aggregation.
@@ -134,7 +153,18 @@ impl UserBasedComponent {
         UuScratch::new(self.n_items)
     }
 
-    /// The items user `v` currently shares with neighbors, oldest first.
+    /// The items user `v` currently shares with neighbors, oldest
+    /// first.
+    ///
+    /// The ring holds **at most `recent_window` items**: while the user
+    /// has recorded fewer, `head` is 0 and the window grows in place;
+    /// from exactly `recent_window` items onward every further
+    /// [`UserBasedComponent::record`] overwrites the oldest slot and
+    /// advances `head` — the iterator below unrolls that rotation, so
+    /// callers always see chronological order regardless of how often
+    /// the ring has wrapped. With `recent_window == 0` the iterator is
+    /// empty (and the `% w` below is never evaluated — the 0-length
+    /// range short-circuits it).
     pub fn recent_items(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
         let w = self.cfg.recent_window;
         let (base, head, len) = (
@@ -142,11 +172,21 @@ impl UserBasedComponent {
             self.head[v as usize] as usize,
             self.len[v as usize] as usize,
         );
+        debug_assert!(len <= w, "ring length {len} exceeds the window {w}");
+        debug_assert!(
+            head == 0 || head < w,
+            "ring head {head} outside a window of {w}"
+        );
+        debug_assert!(
+            len == w || head == 0,
+            "a ring only rotates once full: len {len} < {w} but head {head} != 0"
+        );
         (0..len).map(move |k| self.slab[base + (head + k) % w])
     }
 
     /// Record a new interaction for `user` (real-time path): O(1) ring
-    /// append, overwriting the oldest slot once the window is full.
+    /// append, overwriting the oldest slot once the window holds
+    /// exactly `recent_window` items.
     pub fn record(&mut self, user: u32, item: u32) {
         let w = self.cfg.recent_window;
         if w == 0 {
@@ -155,10 +195,15 @@ impl UserBasedComponent {
         let u = user as usize;
         let base = u * w;
         let (head, len) = (self.head[u] as usize, self.len[u] as usize);
+        debug_assert!(len <= w && head < w, "ring invariant broken before record");
         if len < w {
+            // Still filling: head stays 0, so the write lands at `len`
+            // (the modulo is a no-op until the first wrap).
+            debug_assert_eq!(head, 0, "a partially filled ring must not have rotated");
             self.slab[base + (head + len) % w] = item;
             self.len[u] = (len + 1) as u32;
         } else {
+            // Exactly at capacity: overwrite the oldest slot and rotate.
             self.slab[base + head] = item;
             self.head[u] = ((head + 1) % w) as u32;
         }
@@ -215,23 +260,25 @@ impl UserBasedComponent {
         self.n_users = last;
     }
 
+    /// Accumulate a single neighbor's contribution — `weight` onto
+    /// every distinct item in slot `v`'s ring — into an epoch the
+    /// caller already opened with `scratch.scores.begin()`. The
+    /// building block [`UserBasedComponent::scores_into`] loops over,
+    /// exposed so the two-tier serving path can interleave live-ring
+    /// neighbors with frozen-window neighbors in one accumulation
+    /// (order and arithmetic identical to the all-local path).
+    pub fn accumulate_into(&self, v: u32, weight: f32, scratch: &mut UuScratch) {
+        scratch.accumulate_window(self.recent_items(v), weight);
+    }
+
     /// Sparse Eq. 12 over a pre-identified neighborhood: accumulate
     /// `sim(u,v)` onto every *distinct* item in each neighbor's window.
     /// Work and writes are O(β × recent_window); the catalog size never
     /// appears. Results live in `scratch.scores` until its next `begin`.
     pub fn scores_into(&self, neighbors: &[Scored], scratch: &mut UuScratch) {
-        let w = self.cfg.recent_window;
         scratch.scores.begin();
         for n in neighbors {
-            let u = n.id as usize;
-            let (base, head, len) = (u * w, self.head[u] as usize, self.len[u] as usize);
-            scratch.window_seen.clear();
-            for k in 0..len {
-                let item = self.slab[base + (head + k) % w];
-                if scratch.window_seen.insert(item) {
-                    scratch.scores.add(item, n.score);
-                }
-            }
+            self.accumulate_into(n.id, n.score, scratch);
         }
     }
 
@@ -363,6 +410,49 @@ mod tests {
         assert_eq!(scratch.scores.touched().len(), w);
         for &(_, s) in scratch.scores.iter().collect::<Vec<_>>().iter() {
             assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn wrap_begins_exactly_at_recent_window_items() {
+        // Boundary audit: the ring must not rotate while filling, and
+        // must rotate on the very first record past `recent_window`.
+        let w = 4usize;
+        let mut c = UserBasedComponent::new(
+            UserBasedConfig {
+                beta: 1,
+                recent_window: w,
+            },
+            16,
+            std::iter::once(Vec::new()),
+        );
+        for i in 0..w as u32 {
+            c.record(0, i);
+            let got = recent(&c, 0);
+            assert_eq!(got, (0..=i).collect::<Vec<_>>(), "filling must not wrap");
+        }
+        c.record(0, 9); // item w+1: the oldest slot (item 0) is gone
+        assert_eq!(recent(&c, 0), vec![1, 2, 3, 9]);
+        c.record(0, 10);
+        assert_eq!(recent(&c, 0), vec![2, 3, 9, 10]);
+    }
+
+    #[test]
+    fn accumulate_into_matches_scores_into_per_neighbor() {
+        let c = comp();
+        let neighbors = vec![Scored { id: 0, score: 0.9 }, Scored { id: 1, score: 0.5 }];
+        let mut whole = c.new_scratch();
+        c.scores_into(&neighbors, &mut whole);
+        let mut stepped = c.new_scratch();
+        stepped.scores.begin();
+        for n in &neighbors {
+            c.accumulate_into(n.id, n.score, &mut stepped);
+        }
+        for i in 0..c.n_items() as u32 {
+            assert_eq!(
+                whole.scores.get(i).to_bits(),
+                stepped.scores.get(i).to_bits()
+            );
         }
     }
 

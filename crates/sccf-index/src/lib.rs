@@ -19,6 +19,10 @@
 //! * [`dynamic::DynamicIndex`] — `RwLock`-wrapped flat index supporting
 //!   concurrent search and per-id updates, the structure the real-time
 //!   engine mutates after every user event.
+//! * [`frozen::FrozenUserIndex`] — immutable, build-once,
+//!   `Arc`-shareable whole-population index: the frozen *global tier*
+//!   of the sharded engine's two-tier Eq. 11 search (skip-aware scan,
+//!   snapshot-encodable).
 //!
 //! ```
 //! use sccf_index::{FlatIndex, Metric};
@@ -32,6 +36,7 @@
 
 pub mod dynamic;
 pub mod flat;
+pub mod frozen;
 pub mod hnsw;
 pub mod ivf;
 pub mod kmeans;
@@ -41,6 +46,7 @@ pub mod sq;
 
 pub use dynamic::DynamicIndex;
 pub use flat::FlatIndex;
+pub use frozen::{FrozenDecodeError, FrozenUserIndex};
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use ivf::IvfIndex;
 pub use metric::Metric;

@@ -227,6 +227,33 @@ pub struct MigrationStats {
     pub batches: u64,
 }
 
+/// Two-tier neighborhood health, part of [`ServingStats`]: which global
+/// snapshot epoch serving currently merges with the shard-local deltas,
+/// how much of the population it covers, and how stale it is. All
+/// zeros/disabled on engines that never installed a global tier —
+/// their neighborhoods are purely local, the historical behavior.
+/// `docs/OPERATIONS.md` explains how to pick a refresh cadence from
+/// these numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NeighborhoodStats {
+    /// A frozen global tier is installed and merging into Eq. 11.
+    pub two_tier: bool,
+    /// Epoch of the installed global snapshot (0 = none ever built).
+    pub epoch: u64,
+    /// Users the snapshot holds a usable vector for.
+    pub users_covered: u64,
+    /// Events accepted since the snapshot was installed — the tier's
+    /// staleness. Shard-local deltas already reflect these; only
+    /// *cross-shard* visibility lags by at most this many events.
+    pub events_since_refresh: u64,
+    /// Wall-clock duration of the last completed refresh
+    /// (export + build + swap), milliseconds. 0 before the first.
+    pub last_refresh_ms: f64,
+    /// An incremental refresh (`begin_refresh`/`refresh_step`) is in
+    /// flight.
+    pub refresh_in_progress: bool,
+}
+
 /// Unified serving statistics: subsumes the plain engine's
 /// [`EngineTimings`] and the sharded engine's per-shard reports in one
 /// shape, so dashboards and benches read both engine kinds identically.
@@ -244,6 +271,9 @@ pub struct ServingStats {
     pub shards: Vec<ShardReport>,
     /// Live-resharding progress (see `ShardedEngine::reshard`).
     pub migration: MigrationStats,
+    /// Two-tier neighborhood health (see
+    /// `ShardedEngine::refresh_global_tier`).
+    pub neighborhood: NeighborhoodStats,
 }
 
 impl ServingStats {
@@ -405,12 +435,24 @@ impl<M: InductiveUiModel> ServingApi for RealtimeEngine<M> {
     }
 
     fn serving_stats(&mut self) -> Result<ServingStats, ServingError> {
+        let neighborhood = match self.global_tier_status() {
+            None => NeighborhoodStats::default(),
+            Some((epoch, covered, staleness)) => NeighborhoodStats {
+                two_tier: true,
+                epoch,
+                users_covered: covered as u64,
+                events_since_refresh: staleness,
+                last_refresh_ms: 0.0,
+                refresh_in_progress: false,
+            },
+        };
         Ok(ServingStats {
             events: self.timings().infer.count(),
             recommends: self.recommends(),
             timings: self.timings().clone(),
             shards: Vec::new(),
             migration: MigrationStats::default(),
+            neighborhood,
         })
     }
 

@@ -26,9 +26,15 @@
 //!   `N = 1` is bit-identical to the plain engine; snapshot/restore
 //!   re-partitions at load time (offline resharding N→M), and
 //!   [`ShardedEngine::reshard`] re-partitions **live** — incremental
-//!   per-user handoff while ingestion continues; see
-//!   `docs/ARCHITECTURE.md` for the event-flow diagram and state split,
-//!   `docs/OPERATIONS.md` for the scale-out/scale-in runbook.
+//!   per-user handoff while ingestion continues.
+//!   [`ShardedEngine::refresh_global_tier`] turns the fleet's Eq. 11
+//!   neighborhoods *two-tier*: every shard merges its fresh local
+//!   delta with an epoch-swapped frozen whole-population snapshot
+//!   (`sccf_core::neighbor`), recovering the recall the in-shard
+//!   approximation gives up while keeping writes shard-local. See
+//!   `docs/ARCHITECTURE.md` for the event-flow diagram, state split
+//!   and tier diagram; `docs/OPERATIONS.md` for the
+//!   scale-out/scale-in and refresh-cadence runbooks.
 //! * [`watermark`] — the bounded out-of-order reordering buffer.
 //! * [`click_model`] — the behavioral click/trade model.
 //! * [`ab_test`] — the two-bucket A/B experiment harness that
@@ -51,12 +57,15 @@ pub use ab_test::{
     FnCandidateGen,
 };
 pub use api::{
-    ApiCandidateGen, MigrationStats, RecQuery, RecResponse, ServingApi, ServingError, ServingStats,
+    ApiCandidateGen, MigrationStats, NeighborhoodStats, RecQuery, RecResponse, ServingApi,
+    ServingError, ServingStats,
 };
 pub use click_model::ClickModel;
 pub use ring::{HashRing, RingDecodeError};
 #[allow(deprecated)] // the legacy shim stays importable from its old path
 pub use sharded::shard_of;
-pub use sharded::{ReshardReport, RouterKind, ShardReport, ShardedConfig, ShardedEngine};
+pub use sharded::{
+    RefreshReport, ReshardReport, RouterKind, ShardReport, ShardedConfig, ShardedEngine,
+};
 pub use stream::{events_after, replay_events, replay_into, StreamEvent};
 pub use watermark::WatermarkBuffer;

@@ -87,14 +87,18 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use sccf_core::{
-    decode_histories, encode_histories, CandidateSource, EngineTimings, Exclusion, RealtimeEngine,
-    Sccf, SccfShared,
+    decode_histories, decode_user_state, encode_histories, CandidateSource, EngineTimings,
+    Exclusion, GlobalNeighborSnapshot, NeighborSource, RealtimeEngine, Sccf, SccfShared,
 };
 use sccf_models::InductiveUiModel;
+use sccf_util::timer::Stopwatch;
 use sccf_util::topk::Scored;
 use sccf_util::FxHashSet;
 
-use crate::api::{MigrationStats, RecQuery, RecResponse, ServingApi, ServingError, ServingStats};
+use crate::api::{
+    MigrationStats, NeighborhoodStats, RecQuery, RecResponse, ServingApi, ServingError,
+    ServingStats,
+};
 use crate::ring::HashRing;
 use crate::stream::StreamEvent;
 
@@ -217,6 +221,40 @@ pub struct ReshardReport {
 /// explicit batch size for other trade-offs.
 pub const DEFAULT_HANDOFF_BATCH: usize = 64;
 
+/// Default users-per-batch for [`ShardedEngine::refresh_global_tier`].
+/// Each [`ShardedEngine::refresh_step`] blocks the router for one
+/// batch's export round trip (the inference runs on the worker
+/// threads), so — exactly like the reshard handoff batch — this bounds
+/// the worst-case ingestion pause a background refresh can introduce.
+pub const DEFAULT_REFRESH_BATCH: usize = 256;
+
+/// What one completed [`ShardedEngine::refresh_global_tier`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefreshReport {
+    /// The epoch of the snapshot now installed in every worker.
+    pub epoch: u64,
+    /// Users exported into the snapshot (the whole population).
+    pub users: u64,
+    /// Export batches the collection took.
+    pub batches: u64,
+    /// Wall time from `begin_refresh` to the install broadcast, ms.
+    pub duration_ms: f64,
+}
+
+/// Router-side state of an in-flight incremental tier refresh.
+struct RefreshEpoch {
+    /// Next unexported global user id (the plan is simply `0..n_users`
+    /// — every user is owned by exactly one stable-epoch shard).
+    cursor: usize,
+    /// Users exported per [`ShardedEngine::refresh_step`].
+    batch: usize,
+    /// Decoded `(user, representation, history)` entries collected so
+    /// far.
+    entries: Vec<(u32, Vec<f32>, Vec<u32>)>,
+    batches: u64,
+    started: Stopwatch,
+}
+
 enum ShardMsg {
     Event {
         user: u32,
@@ -264,6 +302,29 @@ enum ShardMsg {
     /// offline restore. Replies when done (migration barrier).
     Canonicalize {
         reply: Sender<()>,
+    },
+    /// Global-tier refresh, collect side: export each listed owned
+    /// user's state blob ([`RealtimeEngine::export_user`]) **without
+    /// evicting** — the shard keeps serving the user; the router only
+    /// reads a consistent copy. Rides the FIFO queue, so the export
+    /// reflects every event queued before it.
+    TierExport {
+        users: Vec<u32>,
+        reply: Sender<Vec<Vec<u8>>>,
+    },
+    /// Global-tier refresh, swap side: install the freshly built
+    /// snapshot (`None` disables the two-tier path). One `Arc` store on
+    /// the worker — no reply, no stall; FIFO ordering makes the swap
+    /// visible to every request routed after it.
+    TierInstall {
+        tier: Option<Arc<GlobalNeighborSnapshot>>,
+    },
+    /// Current merged Eq. 11 neighborhood of an owned user
+    /// (diagnostics: the cross-shard equivalence tests and the quality
+    /// bench read neighborhoods through this).
+    Neighbors {
+        user: u32,
+        reply: Sender<Result<Vec<Scored>, ServingError>>,
     },
 }
 
@@ -382,6 +443,24 @@ pub struct ShardedEngine<M: InductiveUiModel + 'static> {
     /// Lifetime migration counters (reported via `ServingStats`).
     migrated_users: u64,
     migration_batches: u64,
+    /// The global neighbor snapshot currently installed in every
+    /// worker (`None` ⇒ shard-local neighborhoods, the historical
+    /// behavior). Kept here so workers spawned by a later scale-out
+    /// receive the same tier.
+    current_tier: Option<Arc<GlobalNeighborSnapshot>>,
+    /// In-flight incremental refresh, if any.
+    refresh: Option<RefreshEpoch>,
+    /// Monotone refresh-epoch counter (survives `clear_global_tier`).
+    tier_epoch: u64,
+    /// Duration of the last completed refresh, milliseconds.
+    last_refresh_ms: f64,
+    /// Export batches of the last completed refresh.
+    last_refresh_batches: u64,
+    /// Events accepted by the router over the fleet's life, and the
+    /// value of that counter when the current tier was installed —
+    /// their difference is the tier's staleness in events.
+    events_routed: u64,
+    events_at_refresh: u64,
 }
 
 impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
@@ -454,6 +533,13 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             has_ann,
             migrated_users: 0,
             migration_batches: 0,
+            current_tier: None,
+            refresh: None,
+            tier_epoch: 0,
+            last_refresh_ms: 0.0,
+            last_refresh_batches: 0,
+            events_routed: 0,
+            events_at_refresh: 0,
         })
     }
 
@@ -666,6 +752,13 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
                     .to_string(),
             ));
         }
+        if self.refresh.is_some() {
+            return Err(ServingError::InvalidConfig(
+                "a global-tier refresh is collecting; drive refresh_step to completion \
+                 before resharding (user ownership must not shift under the collection)"
+                    .to_string(),
+            ));
+        }
         if handoff_batch == 0 {
             return Err(ServingError::InvalidConfig(
                 "handoff_batch must be ≥ 1".to_string(),
@@ -685,7 +778,10 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             .filter(|&u| old_ring.route(u) != new_ring.route(u))
             .collect();
         // Scale-out: spawn empty views for the new shards before any
-        // routing can reach them.
+        // routing can reach them. Freshly spawned workers inherit the
+        // fleet's current global tier (if any) so their neighborhoods
+        // match the surviving workers' from the first adopted user on.
+        let inherited_tier = self.current_tier.clone();
         for s in self.txs.len()..new_cfg.n_shards {
             let view = Sccf::empty_shard_view(&self.shared, self.n_users);
             let engine = RealtimeEngine::new(view, Vec::new());
@@ -696,6 +792,14 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
                 .expect("spawn shard worker");
             self.txs.push(tx);
             self.handles.push(Some(handle));
+            if let Some(tier) = &inherited_tier {
+                self.send(
+                    s,
+                    ShardMsg::TierInstall {
+                        tier: Some(Arc::clone(tier)),
+                    },
+                );
+            }
         }
         if plan.is_empty() {
             self.quiesce_to(new_ring, new_cfg.n_shards);
@@ -833,6 +937,277 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         self.epoch = Epoch::Stable { ring };
     }
 
+    // ------------------------------------------------------------------
+    // Two-tier neighborhoods: the global-snapshot refresh epoch
+
+    /// Rebuild the frozen global neighbor tier and swap it into every
+    /// worker, blocking until done (with [`DEFAULT_REFRESH_BATCH`]
+    /// users per export batch). This is what turns the fleet's Eq. 11
+    /// neighborhoods from *in-shard approximations* into *two-tier
+    /// full-population* neighborhoods: each worker keeps writing only
+    /// its own users (the fresh local delta), and merges this snapshot
+    /// for everyone else.
+    ///
+    /// The collection rides the same worker queues as events
+    /// ([`RealtimeEngine::export_user`] blobs, no evictions), one
+    /// bounded batch per [`ShardedEngine::refresh_step`] — workers keep
+    /// draining their queues throughout, and the final swap is one
+    /// `Arc` store per worker, so ingestion never observes a
+    /// stop-the-world gap. For interleaving your own ingestion between
+    /// batches (the no-stall deployment shape, mirroring
+    /// [`ShardedEngine::begin_reshard`] /
+    /// [`ShardedEngine::reshard_step`]), drive
+    /// [`ShardedEngine::begin_refresh`] /
+    /// [`ShardedEngine::refresh_step`] yourself — this method is just
+    /// that loop.
+    ///
+    /// Calling it after **every** event makes an N-shard fleet's
+    /// Eq. 11 neighbor sets identical to the N=1 plain engine's on the
+    /// same stream (pinned by `tests/serving_api.rs`); real deployments
+    /// pick a cadence and pay bounded staleness instead
+    /// (`docs/OPERATIONS.md`).
+    pub fn refresh_global_tier(&mut self) -> Result<RefreshReport, ServingError> {
+        self.begin_refresh(DEFAULT_REFRESH_BATCH)?;
+        while self.refresh.is_some() {
+            self.refresh_step()?;
+        }
+        Ok(RefreshReport {
+            epoch: self.tier_epoch,
+            users: self.n_users as u64,
+            batches: self.last_refresh_batches,
+            duration_ms: self.last_refresh_ms,
+        })
+    }
+
+    /// Install an externally supplied global neighbor snapshot into
+    /// every worker — the load side of
+    /// [`sccf_core::GlobalNeighborSnapshot::encode`]: persist a tier
+    /// next to an engine snapshot, and after a
+    /// [`ShardedEngine::restore`] (which always comes up tier-less)
+    /// re-arm two-tier serving immediately instead of paying a full
+    /// re-export [`ShardedEngine::refresh_global_tier`]. The snapshot's
+    /// staleness clock restarts at install (`events_since_refresh`
+    /// counts from here); its epoch also fast-forwards this fleet's
+    /// epoch counter so a later refresh strictly increases it.
+    ///
+    /// Rejects — without touching any worker — a snapshot whose
+    /// population or vector dimension does not match this fleet, or an
+    /// install while a refresh is collecting.
+    pub fn install_global_tier(
+        &mut self,
+        snapshot: GlobalNeighborSnapshot,
+    ) -> Result<(), ServingError> {
+        if self.refresh.is_some() {
+            return Err(ServingError::InvalidConfig(
+                "cannot install a global tier while a refresh is collecting".to_string(),
+            ));
+        }
+        if snapshot.n_users() != self.n_users {
+            return Err(ServingError::InvalidConfig(format!(
+                "global tier covers {} users but this fleet serves {}",
+                snapshot.n_users(),
+                self.n_users
+            )));
+        }
+        let dim = self.shared.model().dim();
+        let index_dim = self
+            .shared
+            .config()
+            .profiles
+            .as_ref()
+            .map_or(dim, |p| p.augmented_dim(dim));
+        if snapshot.index().dim() != index_dim {
+            return Err(ServingError::InvalidConfig(format!(
+                "global tier vectors are {}-dimensional but this fleet indexes {index_dim}",
+                snapshot.index().dim()
+            )));
+        }
+        // Frozen windows feed Eq. 12 accumulators indexed by item id —
+        // a corrupt-but-decodable artifact must be rejected here, not
+        // panic a worker at query time (same discipline as
+        // `RealtimeEngine::import_user`'s history validation).
+        if let Some(item) = snapshot.max_window_item() {
+            if item as usize >= self.n_items {
+                return Err(ServingError::UnknownItem {
+                    item,
+                    n_items: self.n_items,
+                });
+            }
+        }
+        let snapshot = Arc::new(snapshot);
+        for s in 0..self.txs.len() {
+            self.send(
+                s,
+                ShardMsg::TierInstall {
+                    tier: Some(Arc::clone(&snapshot)),
+                },
+            );
+        }
+        self.tier_epoch = self.tier_epoch.max(NeighborSource::epoch(&*snapshot));
+        self.current_tier = Some(snapshot);
+        self.events_at_refresh = self.events_routed;
+        Ok(())
+    }
+
+    /// The currently installed global snapshot, if any — encode it
+    /// ([`sccf_core::GlobalNeighborSnapshot::encode`]) to persist the
+    /// tier alongside [`ShardedEngine::snapshot`], and re-arm a
+    /// restored fleet with [`ShardedEngine::install_global_tier`].
+    pub fn global_tier(&self) -> Option<&Arc<GlobalNeighborSnapshot>> {
+        self.current_tier.as_ref()
+    }
+
+    /// Start an incremental global-tier refresh without collecting
+    /// anyone yet. Drive [`ShardedEngine::refresh_step`] until it
+    /// reports 0 remaining; each step blocks the router for one
+    /// `batch`-user export round trip at most, so — like the reshard
+    /// handoff — the batch size bounds the worst-case ingestion pause.
+    ///
+    /// Errors — leaving the fleet untouched — on `batch == 0`, if a
+    /// refresh is already collecting, or if a live reshard is in
+    /// flight (the ownership plan would shift under the collection;
+    /// finish the migration first — and symmetrically,
+    /// [`ShardedEngine::begin_reshard`] rejects while a refresh is
+    /// collecting, so the two epochs never interleave).
+    pub fn begin_refresh(&mut self, batch: usize) -> Result<(), ServingError> {
+        if batch == 0 {
+            return Err(ServingError::InvalidConfig(
+                "refresh batch must be ≥ 1".to_string(),
+            ));
+        }
+        if self.refresh.is_some() {
+            return Err(ServingError::InvalidConfig(
+                "a tier refresh is already in progress; drive refresh_step to completion first"
+                    .to_string(),
+            ));
+        }
+        if self.is_migrating() {
+            return Err(ServingError::InvalidConfig(
+                "cannot refresh the global tier during a live reshard; \
+                 finish the migration first"
+                    .to_string(),
+            ));
+        }
+        self.refresh = Some(RefreshEpoch {
+            cursor: 0,
+            batch,
+            entries: Vec::with_capacity(self.n_users),
+            batches: 0,
+            started: Stopwatch::start(),
+        });
+        Ok(())
+    }
+
+    /// Collect the next batch of user exports; on the last batch,
+    /// build the new [`GlobalNeighborSnapshot`] and broadcast it to
+    /// every worker. Returns how many users still await export
+    /// (0 = the refresh completed on this call, or none was running).
+    pub fn refresh_step(&mut self) -> Result<usize, ServingError> {
+        let Some(refresh) = &mut self.refresh else {
+            return Ok(0);
+        };
+        let end = refresh
+            .cursor
+            .saturating_add(refresh.batch)
+            .min(self.n_users);
+        // Group this batch by owning shard (stable epoch — refresh and
+        // migration are mutually exclusive).
+        let mut groups: Vec<(usize, Vec<u32>)> = Vec::new();
+        for u in refresh.cursor as u32..end as u32 {
+            let s = self.epoch.route(u);
+            match groups.iter_mut().find(|(g, _)| *g == s) {
+                Some((_, v)) => v.push(u),
+                None => groups.push((s, vec![u])),
+            }
+        }
+        refresh.cursor = end;
+        refresh.batches += 1;
+        // Fan the exports out so shards infer in parallel, then collect.
+        let mut waves = Vec::with_capacity(groups.len());
+        for (s, users) in groups {
+            let (reply, rx) = bounded(1);
+            self.send(s, ShardMsg::TierExport { users, reply });
+            waves.push((s, rx));
+        }
+        for (s, rx) in waves {
+            let blobs = match rx.recv() {
+                Ok(b) => b,
+                Err(_) => self.propagate_worker_death(s),
+            };
+            let refresh = self.refresh.as_mut().expect("refresh in flight");
+            for blob in &blobs {
+                match decode_user_state(blob) {
+                    Ok(entry) => refresh.entries.push(entry),
+                    // A worker produced an undecodable export: abort
+                    // the whole epoch before surfacing the error —
+                    // nothing was installed, the previous tier (if
+                    // any) keeps serving, and begin_refresh /
+                    // begin_reshard are free again. Completing with a
+                    // hole would silently ship a snapshot missing this
+                    // batch's users.
+                    Err(e) => {
+                        self.refresh = None;
+                        return Err(e.into());
+                    }
+                }
+            }
+        }
+        let remaining = self.n_users - end;
+        if remaining == 0 {
+            let refresh = self.refresh.take().expect("refresh in flight");
+            self.tier_epoch += 1;
+            let snapshot = Arc::new(self.shared.build_neighbor_snapshot(
+                self.tier_epoch,
+                self.n_users,
+                refresh.entries,
+            ));
+            for s in 0..self.txs.len() {
+                self.send(
+                    s,
+                    ShardMsg::TierInstall {
+                        tier: Some(Arc::clone(&snapshot)),
+                    },
+                );
+            }
+            self.current_tier = Some(snapshot);
+            self.events_at_refresh = self.events_routed;
+            self.last_refresh_ms = refresh.started.elapsed_ms();
+            self.last_refresh_batches = refresh.batches;
+        }
+        Ok(remaining)
+    }
+
+    /// Disable the two-tier path: every worker drops its frozen tier
+    /// and Eq. 11 returns to the shard-local scan — bit-identical to a
+    /// fleet that never refreshed (pinned by `tests/sharded.rs`). The
+    /// epoch counter is not reset; a later refresh continues it.
+    pub fn clear_global_tier(&mut self) -> Result<(), ServingError> {
+        if self.refresh.is_some() {
+            return Err(ServingError::InvalidConfig(
+                "cannot clear the global tier while a refresh is collecting".to_string(),
+            ));
+        }
+        for s in 0..self.txs.len() {
+            self.send(s, ShardMsg::TierInstall { tier: None });
+        }
+        self.current_tier = None;
+        Ok(())
+    }
+
+    /// The user's current merged Eq. 11 neighborhood (global ids),
+    /// computed on her owning shard behind her queued events —
+    /// diagnostics for the cross-shard equivalence tests and the
+    /// quality bench.
+    pub fn neighbors_of(&mut self, user: u32) -> Result<Vec<Scored>, ServingError> {
+        let s = self.check_user(user)?;
+        let (reply, rx) = bounded(1);
+        self.send(s, ShardMsg::Neighbors { user, reply });
+        match rx.recv() {
+            Ok(res) => res,
+            Err(_) => self.propagate_worker_death(s),
+        }
+    }
+
     /// Deprecated infallible form of
     /// [`ServingApi::try_ingest`].
     #[deprecated(note = "use `ServingApi::try_ingest`; this wrapper panics on invalid ids")]
@@ -933,6 +1308,7 @@ impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
         let s = self.check_user(user)?;
         self.check_item(item)?;
         self.send(s, ShardMsg::Event { user, item });
+        self.events_routed += 1;
         Ok(None)
     }
 
@@ -947,6 +1323,7 @@ impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
             let s = self.epoch.route(user);
             self.send(s, ShardMsg::Event { user, item });
         }
+        self.events_routed += events.len() as u64;
         Ok(events.len() as u64)
     }
 
@@ -1034,6 +1411,24 @@ impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
             },
             batches: self.migration_batches,
         };
+        stats.neighborhood = NeighborhoodStats {
+            two_tier: self.current_tier.is_some(),
+            epoch: self
+                .current_tier
+                .as_ref()
+                .map_or(0, |t| NeighborSource::epoch(&**t)),
+            users_covered: self
+                .current_tier
+                .as_ref()
+                .map_or(0, |t| t.covered_users() as u64),
+            events_since_refresh: if self.current_tier.is_some() {
+                self.events_routed - self.events_at_refresh
+            } else {
+                0
+            },
+            last_refresh_ms: self.last_refresh_ms,
+            refresh_in_progress: self.refresh.is_some(),
+        };
         Ok(stats)
     }
 
@@ -1113,6 +1508,28 @@ fn shard_worker<M: InductiveUiModel>(
             ShardMsg::Canonicalize { reply } => {
                 engine.canonicalize_owned();
                 let _ = reply.send(());
+            }
+            ShardMsg::TierExport { users, reply } => {
+                // Router-planned collection over the stable ring: every
+                // listed user is owned here, so a failure is a refresh
+                // bug — surface it loudly. No eviction: the shard keeps
+                // serving the user, the router only reads a copy.
+                let blobs: Vec<Vec<u8>> = users
+                    .iter()
+                    .map(|&u| {
+                        engine
+                            .export_user(u)
+                            .unwrap_or_else(|e| panic!("shard {shard}: tier export {e}"))
+                    })
+                    .collect();
+                let _ = reply.send(blobs);
+            }
+            ShardMsg::TierInstall { tier } => match tier {
+                Some(t) => engine.install_global_tier(t),
+                None => engine.clear_global_tier(),
+            },
+            ShardMsg::Neighbors { user, reply } => {
+                let _ = reply.send(engine.neighbors_of(user).map_err(ServingError::from));
             }
         }
     }

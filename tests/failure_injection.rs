@@ -382,6 +382,123 @@ fn reshard_with_full_queues_backpressures_and_never_deadlocks() {
     fleet.shutdown();
 }
 
+// --------------------------------------------- two-tier refresh epochs
+
+#[test]
+fn refresh_mid_reshard_is_cleanly_rejected_and_vice_versa() {
+    // The two epoch machines must never interleave: user ownership
+    // shifting under a half-collected snapshot would freeze users on
+    // the wrong shard or drop them from the tier. Either order is a
+    // typed rejection that leaves both epochs able to run to
+    // completion — no deadlock, no corruption.
+    let mut fleet = build_fleet(41, 2, 4);
+    for k in 0..30u32 {
+        fleet
+            .try_ingest(k % 16, (k * 3) % 16)
+            .expect("ids in range");
+    }
+
+    // A migration is in flight: refresh is rejected until it quiesces.
+    fleet
+        .begin_reshard(
+            ShardedConfig {
+                n_shards: 3,
+                queue_capacity: 4,
+                router: RouterKind::Consistent { vnodes: 16 },
+            },
+            2,
+        )
+        .expect("begin reshard");
+    assert!(fleet.is_migrating());
+    assert!(matches!(
+        fleet.begin_refresh(4),
+        Err(sccf::serving::ServingError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        fleet.refresh_global_tier(),
+        Err(sccf::serving::ServingError::InvalidConfig(_))
+    ));
+    while fleet.is_migrating() {
+        fleet.reshard_step().expect("drive migration to completion");
+    }
+    // The rejected refresh left nothing half-open: a fresh one runs.
+    let report = fleet.refresh_global_tier().expect("refresh after quiesce");
+    assert_eq!(report.users, 16);
+
+    // A refresh is collecting: reshard is rejected until it completes.
+    fleet.begin_refresh(3).expect("begin refresh");
+    assert!(matches!(
+        fleet.begin_reshard(
+            ShardedConfig {
+                n_shards: 2,
+                queue_capacity: 4,
+                router: RouterKind::Consistent { vnodes: 16 },
+            },
+            2,
+        ),
+        Err(sccf::serving::ServingError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        fleet.clear_global_tier(),
+        Err(sccf::serving::ServingError::InvalidConfig(_))
+    ));
+    // Traffic keeps flowing between collection batches.
+    let mut extra = 0u64;
+    while fleet.refresh_step().expect("collection batch") > 0 {
+        for k in 0..4u32 {
+            fleet
+                .try_ingest(k % 16, (k + 9) % 16)
+                .expect("ids in range");
+            extra += 1;
+        }
+    }
+    // Both epochs done: the fleet reshards and keeps serving.
+    fleet
+        .reshard(ShardedConfig {
+            n_shards: 2,
+            queue_capacity: 4,
+            router: RouterKind::Consistent { vnodes: 16 },
+        })
+        .expect("reshard after refresh completes");
+    fleet.flush().expect("barrier");
+    let stats = fleet.serving_stats().expect("stats");
+    assert_eq!(stats.events, 30 + extra);
+    assert!(stats.neighborhood.two_tier, "the tier survives the reshard");
+    for u in 0..16u32 {
+        assert!(!fleet
+            .try_recommend(u, &RecQuery::top(3))
+            .expect("valid user")
+            .items
+            .is_empty());
+    }
+    fleet.shutdown();
+}
+
+#[test]
+fn refresh_with_full_queues_backpressures_and_never_deadlocks() {
+    // queue_capacity = 1 and one giant collection batch: every
+    // TierExport lands on an effectively full queue and resolves
+    // through worker drain. The test passing *is* the assertion — a
+    // router↔worker wait cycle would hang forever.
+    let mut fleet = build_fleet(43, 2, 1);
+    for k in 0..40u32 {
+        fleet.try_ingest(k % 16, k % 16).expect("ids in range");
+    }
+    fleet.begin_refresh(usize::MAX).expect("begin refresh");
+    assert_eq!(fleet.refresh_step().expect("one batch"), 0);
+    let stats = fleet.serving_stats().expect("stats");
+    assert!(stats.neighborhood.two_tier);
+    assert_eq!(stats.neighborhood.users_covered, 16);
+    for u in 0..16u32 {
+        assert!(!fleet
+            .try_recommend(u, &RecQuery::top(3))
+            .expect("valid user")
+            .items
+            .is_empty());
+    }
+    fleet.shutdown();
+}
+
 #[test]
 fn shutdown_mid_migration_drains_cleanly_with_complete_accounting() {
     // Kill the fleet between handoff batches: some users already moved

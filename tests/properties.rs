@@ -87,6 +87,111 @@ proptest! {
         prop_assert_eq!(hits[0].id, brute.0);
     }
 
+    /// The frozen global tier with nothing skipped — i.e. the merged
+    /// two-tier search when the fresh delta is empty — must be
+    /// bit-identical to a single flat cosine index over the same
+    /// vectors: same ids, same float bits, same tie-breaks.
+    #[test]
+    fn frozen_tier_with_empty_delta_equals_single_index_search(
+        seed in 0u64..1000,
+        n in 2usize..80,
+        k in 1usize..20,
+    ) {
+        use rand::Rng;
+        use sccf::index::FrozenUserIndex;
+        let mut rng = sccf::util::rng::rng_for(seed, 5);
+        let dim = 5;
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let frozen = FrozenUserIndex::from_rows(
+            n,
+            dim,
+            data.chunks_exact(dim)
+                .enumerate()
+                .map(|(i, v)| (i as u32, v.to_vec())),
+        );
+        let mut flat = FlatIndex::new(dim, Metric::Cosine);
+        flat.add_batch(&data);
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let a = frozen.search(&q, k, &|_| false);
+        let e = flat.search(&q, k, None);
+        prop_assert_eq!(a.len(), e.len());
+        for (x, y) in a.iter().zip(&e) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    /// Delta-wins dedup: when a user exists in both tiers, the merged
+    /// search must surface her exactly once, scored by the *fresh*
+    /// (delta) vector — the frozen copy is masked by the skip set. The
+    /// union of frozen-minus-masked and the fresh overrides must equal
+    /// a single index holding the freshest vector of every user.
+    #[test]
+    fn delta_wins_dedup_when_user_exists_in_both_tiers(
+        seed in 0u64..1000,
+        n in 4usize..60,
+        k in 1usize..16,
+        n_fresh in 1usize..8,
+    ) {
+        use rand::Rng;
+        use sccf::index::FrozenUserIndex;
+        use sccf::util::sparse::StampSet;
+        let mut rng = sccf::util::rng::rng_for(seed, 6);
+        let dim = 4;
+        let stale: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let frozen = FrozenUserIndex::from_rows(
+            n,
+            dim,
+            stale.chunks_exact(dim)
+                .enumerate()
+                .map(|(i, v)| (i as u32, v.to_vec())),
+        );
+        // A fresh delta overriding a subset of users with new vectors.
+        let n_fresh = n_fresh.min(n);
+        let fresh_ids: Vec<u32> = (0..n_fresh as u32).map(|i| i * (n as u32 / n_fresh as u32)).collect();
+        let mut delta = FlatIndex::new(dim, Metric::Cosine);
+        let mut fresh_vecs = Vec::new();
+        for _ in &fresh_ids {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            delta.add(&v);
+            fresh_vecs.push(v);
+        }
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+        // The merged two-tier search, exactly as `Sccf` performs it:
+        // delta hits first (translated to global ids), stamped into the
+        // seen-set; frozen tier skips stamped users; re-rank, top-k.
+        let mut seen = StampSet::new(n);
+        let mut merged: Vec<sccf::util::topk::Scored> = delta
+            .search(&q, k, None)
+            .into_iter()
+            .map(|mut s| { s.id = fresh_ids[s.id as usize]; s })
+            .collect();
+        for s in &merged {
+            seen.insert(s.id);
+        }
+        frozen.search_append(&q, k, &|u| seen.contains(u) || fresh_ids.contains(&u), &mut merged);
+        merged.sort_unstable_by(|a, b| b.cmp(a));
+        merged.truncate(k);
+
+        // Reference: one index where every user has her freshest vector.
+        let mut freshest = FlatIndex::new(dim, Metric::Cosine);
+        for (u, v) in stale.chunks_exact(dim).enumerate() {
+            match fresh_ids.iter().position(|&f| f == u as u32) {
+                Some(p) => freshest.add(&fresh_vecs[p]),
+                None => freshest.add(v),
+            };
+        }
+        let expect = freshest.search(&q, k, None);
+        prop_assert_eq!(merged.len(), expect.len());
+        let mut once = StampSet::new(n);
+        for (x, y) in merged.iter().zip(&expect) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+            prop_assert!(once.insert(x.id), "user {} surfaced twice", x.id);
+        }
+    }
+
     /// IVF with every list probed is exactly the flat result.
     #[test]
     fn ivf_full_probe_is_exact(

@@ -111,3 +111,44 @@ fn snapshot_survives_disk_roundtrip() {
     assert_eq!(trained.score_all(u, &hist), loaded.score_all(u, &hist));
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn global_neighbor_snapshot_roundtrips_search_and_windows() {
+    // The two-tier snapshot is an operational artifact (persist a
+    // routing-warm tier alongside an engine snapshot): decoding it must
+    // reproduce bit-identical searches and frozen windows.
+    use sccf::core::{GlobalNeighborSnapshot, NeighborSource};
+    let n_users = 40usize;
+    let dim = 6usize;
+    let mut rng = sccf::util::rng::rng_for(91, 4);
+    use rand::Rng;
+    let entries: Vec<(u32, Vec<f32>, Vec<u32>)> = (0..n_users as u32)
+        .filter(|u| u % 5 != 3) // a few uncovered users
+        .map(|u| {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let w: Vec<u32> = (0..(u % 7)).collect();
+            (u, v, w)
+        })
+        .collect();
+    let snap = GlobalNeighborSnapshot::build(3, n_users, dim, entries);
+    let bytes = snap.encode();
+    let back = GlobalNeighborSnapshot::decode(&bytes).expect("own artifact decodes");
+    assert_eq!(back.epoch(), snap.epoch());
+    assert_eq!(back.covered_users(), snap.covered_users());
+    let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    snap.search_append(&q, 10, &|_| false, &mut a);
+    back.search_append(&q, 10, &|_| false, &mut b);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.score.to_bits(), y.score.to_bits());
+    }
+    for u in 0..n_users as u32 {
+        assert_eq!(snap.frozen_window(u), back.frozen_window(u));
+    }
+    // Corruption is rejected, never a panic.
+    assert!(GlobalNeighborSnapshot::decode(&bytes[..bytes.len() / 2]).is_err());
+    assert!(GlobalNeighborSnapshot::decode(b"garbage").is_err());
+}

@@ -21,7 +21,9 @@ use sccf::core::{
 };
 use sccf::data::{Dataset, Interaction, LeaveOneOut};
 use sccf::models::{Fism, FismConfig, TrainConfig};
-use sccf::serving::{RecQuery, RouterKind, ServingApi, ServingError, ShardedConfig, ShardedEngine};
+use sccf::serving::{
+    HashRing, RecQuery, RouterKind, ServingApi, ServingError, ShardedConfig, ShardedEngine,
+};
 use sccf::util::topk::Scored;
 
 const N_USERS: u32 = 24;
@@ -691,6 +693,327 @@ fn live_reshard_is_bit_identical_to_offline_restore_and_static_fleet() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Two-tier cross-shard neighborhoods (ISSUE 5): the correctness pins.
+//
+// * N-shard fleet + a global-tier refresh after every event ⇒ Eq. 11
+//   neighbor sets identical to the N=1 plain engine on the same stream
+//   (the full-population-recall recovery the tier exists for).
+// * Without a refresh the tier is absent and the fleet is bit-identical
+//   to the historical shard-local behavior (pinned in tests/sharded.rs).
+// * Staleness semantics: same-shard neighbors are always fresh (the
+//   local delta wins); cross-shard neighbors are frozen at the last
+//   refresh and catch up on the next one.
+// * `ServingStats::neighborhood` tracks epoch, coverage and staleness.
+
+#[test]
+fn synchronous_refresh_recovers_plain_engine_neighborhoods_exactly() {
+    for (seed, n_shards) in [(71u64, 4usize), (73, 8)] {
+        let (split, histories) = world(seed);
+        let mut plain = RealtimeEngine::new(build_sccf(&split, seed), histories.clone());
+        let mut fleet = ShardedEngine::try_new(
+            build_sccf(&split, seed),
+            histories,
+            ShardedConfig {
+                n_shards,
+                queue_capacity: 32,
+                router: RouterKind::Modulo,
+            },
+        )
+        .expect("valid config");
+        fleet.refresh_global_tier().expect("initial refresh");
+
+        for (k, &(user, item)) in event_stream(seed, 40).iter().enumerate() {
+            let (plain_neighbors, _) = plain.try_process_event(user, item).expect("valid ids");
+            fleet.try_ingest(user, item).expect("valid ids");
+            // Synchronous cadence: a refresh after *every* event keeps
+            // the frozen tier exactly as fresh as the local deltas.
+            fleet.refresh_global_tier().expect("refresh");
+            let fleet_neighbors = fleet.neighbors_of(user).expect("owned user");
+            assert_bit_identical(
+                &plain_neighbors,
+                &fleet_neighbors,
+                &format!("seed {seed}, {n_shards} shards, event {k}, user {user}"),
+            );
+            // And not just for the event's user: every user's Eq. 11
+            // neighborhood matches the plain engine's at a subsample.
+            if k % 13 == 0 {
+                for u in (0..N_USERS).step_by(5) {
+                    let a = plain.neighbors_of(u).expect("valid user");
+                    let b = fleet.neighbors_of(u).expect("valid user");
+                    assert_bit_identical(&a, &b, &format!("seed {seed}, probe user {u}"));
+                }
+            }
+        }
+        fleet.shutdown();
+    }
+}
+
+#[test]
+fn local_delta_wins_and_cross_shard_staleness_clears_on_refresh() {
+    let seed = 79u64;
+    let (split, histories) = world(seed);
+    // β ≥ population: every user appears in every neighborhood, so we
+    // can read off the similarity each observer sees for a probe user.
+    let fism = Fism::train(
+        &split,
+        &FismConfig {
+            train: TrainConfig {
+                dim: 8,
+                epochs: 6,
+                seed,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let mut sccf = Sccf::build(
+        fism,
+        &split,
+        SccfConfig {
+            user_based: UserBasedConfig {
+                beta: N_USERS as usize,
+                recent_window: 5,
+            },
+            candidate_n: 10,
+            integrator: IntegratorConfig {
+                epochs: 2,
+                seed,
+                ..Default::default()
+            },
+            threads: 1,
+            profiles: None,
+            ui_ann: None,
+        },
+    );
+    sccf.refresh_for_test(&split);
+    let mut fleet = ShardedEngine::try_new(
+        sccf,
+        histories,
+        ShardedConfig {
+            n_shards: 2,
+            queue_capacity: 32,
+            router: RouterKind::Modulo,
+        },
+    )
+    .expect("valid config");
+    fleet.refresh_global_tier().expect("initial refresh");
+
+    let ring = HashRing::modulo(2);
+    // A probe user, one observer on her shard, one on the other.
+    let probe = 0u32;
+    let same = (1..N_USERS)
+        .find(|&u| ring.route(u) == ring.route(probe))
+        .unwrap();
+    let other = (1..N_USERS)
+        .find(|&u| ring.route(u) != ring.route(probe))
+        .unwrap();
+    let sim_of = |neigh: &[Scored], id: u32| {
+        neigh
+            .iter()
+            .find(|s| s.id == id)
+            .unwrap_or_else(|| panic!("β covers the population, user {id} must appear"))
+            .score
+    };
+    let before_same = sim_of(&fleet.neighbors_of(same).unwrap(), probe);
+    let before_other = sim_of(&fleet.neighbors_of(other).unwrap(), probe);
+
+    // Move the probe user's vector: a burst of events on her shard.
+    for item in [1u32, 7, 12, 3, 16] {
+        fleet.try_ingest(probe, item).expect("valid ids");
+    }
+    fleet.flush().expect("barrier");
+
+    let after_same = sim_of(&fleet.neighbors_of(same).unwrap(), probe);
+    let after_other = sim_of(&fleet.neighbors_of(other).unwrap(), probe);
+    assert_ne!(
+        before_same.to_bits(),
+        after_same.to_bits(),
+        "same-shard observer reads the probe from the fresh local delta"
+    );
+    assert_eq!(
+        before_other.to_bits(),
+        after_other.to_bits(),
+        "cross-shard observer reads the probe from the frozen tier until a refresh"
+    );
+
+    // The next refresh clears the staleness: both observers agree on
+    // the probe's similarity derived from her post-burst vector.
+    fleet.refresh_global_tier().expect("refresh");
+    let refreshed_other = sim_of(&fleet.neighbors_of(other).unwrap(), probe);
+    assert_ne!(
+        before_other.to_bits(),
+        refreshed_other.to_bits(),
+        "refresh must propagate the probe's new vector across shards"
+    );
+    fleet.shutdown();
+}
+
+#[test]
+fn neighborhood_stats_track_epoch_coverage_and_staleness() {
+    let seed = 83u64;
+    let (split, histories) = world(seed);
+    let mut fleet = ShardedEngine::try_new(
+        build_sccf(&split, seed),
+        histories,
+        ShardedConfig {
+            n_shards: 3,
+            queue_capacity: 32,
+            router: RouterKind::Modulo,
+        },
+    )
+    .expect("valid config");
+
+    // Before any refresh: the section reports the shard-local world.
+    let s0 = fleet.serving_stats().expect("stats");
+    assert!(!s0.neighborhood.two_tier);
+    assert_eq!(s0.neighborhood.epoch, 0);
+    assert_eq!(s0.neighborhood.users_covered, 0);
+    assert_eq!(s0.neighborhood.events_since_refresh, 0);
+
+    let report = fleet.refresh_global_tier().expect("refresh");
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.users, N_USERS as u64);
+    assert!(report.batches >= 1);
+    let s1 = fleet.serving_stats().expect("stats");
+    assert!(s1.neighborhood.two_tier);
+    assert_eq!(s1.neighborhood.epoch, 1);
+    assert_eq!(s1.neighborhood.users_covered, N_USERS as u64);
+    assert_eq!(s1.neighborhood.events_since_refresh, 0);
+    assert!(s1.neighborhood.last_refresh_ms >= 0.0);
+
+    fleet.ingest_batch(&event_stream(seed, 25)).expect("valid");
+    let s2 = fleet.serving_stats().expect("stats");
+    assert_eq!(
+        s2.neighborhood.events_since_refresh, 25,
+        "staleness counts events accepted since the last refresh"
+    );
+    fleet.refresh_global_tier().expect("second refresh");
+    let s3 = fleet.serving_stats().expect("stats");
+    assert_eq!(s3.neighborhood.epoch, 2);
+    assert_eq!(s3.neighborhood.events_since_refresh, 0);
+
+    // Disabling returns the section to the shard-local shape.
+    fleet.clear_global_tier().expect("clear");
+    let s4 = fleet.serving_stats().expect("stats");
+    assert!(!s4.neighborhood.two_tier);
+    assert_eq!(s4.neighborhood.users_covered, 0);
+    fleet.shutdown();
+}
+
+#[test]
+fn persisted_tier_installs_into_a_restored_fleet() {
+    // The operational failover path: persist the tier snapshot next to
+    // the engine snapshot; after restore (which always comes up
+    // tier-less), install the persisted tier instead of paying a full
+    // re-export — neighborhoods must match the source fleet's exactly.
+    let seed = 97u64;
+    let (split, histories) = world(seed);
+    let mut source = ShardedEngine::try_new(
+        build_sccf(&split, seed),
+        histories,
+        ShardedConfig {
+            n_shards: 3,
+            queue_capacity: 32,
+            router: RouterKind::Modulo,
+        },
+    )
+    .expect("valid config");
+    source.ingest_batch(&event_stream(seed, 60)).expect("valid");
+    source.refresh_global_tier().expect("refresh");
+    let engine_artifact = source.snapshot_state().expect("snapshot");
+    let tier_artifact = source.global_tier().expect("tier installed").encode();
+    let expect: Vec<Vec<Scored>> = (0..N_USERS)
+        .map(|u| source.neighbors_of(u).expect("valid user"))
+        .collect();
+
+    let mut restored = ShardedEngine::restore(
+        build_sccf(&split, seed),
+        &engine_artifact,
+        ShardedConfig {
+            n_shards: 3,
+            queue_capacity: 32,
+            router: RouterKind::Modulo,
+        },
+    )
+    .expect("restore");
+    assert!(
+        !restored.serving_stats().unwrap().neighborhood.two_tier,
+        "restore always comes up tier-less"
+    );
+    let tier = sccf::core::GlobalNeighborSnapshot::decode(&tier_artifact).expect("own artifact");
+    restored.install_global_tier(tier).expect("install");
+    let stats = restored.serving_stats().expect("stats");
+    assert!(stats.neighborhood.two_tier);
+    assert_eq!(stats.neighborhood.epoch, 1);
+    assert_eq!(stats.neighborhood.users_covered, N_USERS as u64);
+    for u in 0..N_USERS {
+        let got = restored.neighbors_of(u).expect("valid user");
+        assert_bit_identical(
+            &expect[u as usize],
+            &got,
+            &format!("restored+installed, user {u}"),
+        );
+    }
+
+    // Mismatched snapshots are rejected before touching any worker.
+    let wrong_pop = sccf::core::GlobalNeighborSnapshot::build(9, 7, 8, std::iter::empty());
+    assert!(matches!(
+        restored.install_global_tier(wrong_pop),
+        Err(ServingError::InvalidConfig(_))
+    ));
+    let wrong_dim =
+        sccf::core::GlobalNeighborSnapshot::build(9, N_USERS as usize, 3, std::iter::empty());
+    assert!(matches!(
+        restored.install_global_tier(wrong_dim),
+        Err(ServingError::InvalidConfig(_))
+    ));
+    // A corrupt-but-decodable snapshot whose frozen windows reference
+    // out-of-catalog items is rejected at install, before it could
+    // panic a worker's Eq. 12 accumulation at query time.
+    let bad_windows = sccf::core::GlobalNeighborSnapshot::build(
+        9,
+        N_USERS as usize,
+        8,
+        vec![(0u32, vec![0.0f32; 8], vec![N_ITEMS + 5])],
+    );
+    assert!(matches!(
+        restored.install_global_tier(bad_windows),
+        Err(ServingError::UnknownItem { .. })
+    ));
+    assert!(
+        restored.serving_stats().unwrap().neighborhood.two_tier,
+        "rejected installs must leave the previous tier serving"
+    );
+    source.shutdown();
+    restored.shutdown();
+}
+
+#[test]
+fn refresh_survives_scale_out_and_new_workers_inherit_the_tier() {
+    let seed = 89u64;
+    let (split, histories) = world(seed);
+    let mut fleet =
+        ShardedEngine::try_new(build_sccf(&split, seed), histories, consistent(2)).expect("valid");
+    fleet.ingest_batch(&event_stream(seed, 30)).expect("valid");
+    fleet.refresh_global_tier().expect("refresh");
+
+    // Live scale-out with the tier installed: spawned workers inherit
+    // it, and every user's neighborhood stays full-population.
+    fleet.reshard(consistent(5)).expect("live reshard");
+    let s = fleet.serving_stats().expect("stats");
+    assert!(s.neighborhood.two_tier, "the tier survives a reshard");
+    for u in 0..N_USERS {
+        let n = fleet.neighbors_of(u).expect("valid user");
+        assert!(
+            n.len() >= 5,
+            "user {u}: two-tier neighborhoods must span shards (got {})",
+            n.len()
+        );
+    }
+    fleet.shutdown();
 }
 
 #[test]

@@ -499,6 +499,57 @@ fn overlapping_reshards_are_rejected_and_ingestion_flows_mid_migration() {
     engine.shutdown();
 }
 
+// ---------------------------------------------------------------------
+// ISSUE 5: the "two-tier disabled" pin. A fleet that never refreshes —
+// and a fleet whose tier was installed and then cleared — must be
+// bit-identical to the historical shard-local behavior.
+
+#[test]
+fn global_tier_disabled_or_cleared_is_bit_identical_to_shard_local() {
+    let seed = 67u64;
+    let (split, histories) = world(seed);
+    let stream = event_stream(seed, 80);
+    let cfg = || ShardedConfig {
+        n_shards: 4,
+        queue_capacity: 32,
+        router: RouterKind::Modulo,
+    };
+
+    // Baseline: the historical shard-local fleet (no tier, ever).
+    let mut baseline =
+        ShardedEngine::try_new(build_sccf(&split, seed), histories.clone(), cfg()).expect("valid");
+    baseline.ingest_batch(&stream).expect("valid");
+    baseline.flush().expect("barrier");
+    let expect = all_slates(&mut baseline);
+
+    // A twin that refreshes mid-stream, serves two-tier for a while,
+    // then clears the tier: once cleared, every slate and neighborhood
+    // returns to the baseline bit-for-bit.
+    let mut twin =
+        ShardedEngine::try_new(build_sccf(&split, seed), histories, cfg()).expect("valid");
+    twin.ingest_batch(&stream[..40]).expect("valid");
+    twin.refresh_global_tier().expect("refresh");
+    assert!(twin.serving_stats().expect("stats").neighborhood.two_tier);
+    twin.ingest_batch(&stream[40..]).expect("valid");
+    twin.flush().expect("barrier");
+    twin.clear_global_tier().expect("clear");
+
+    let got = all_slates(&mut twin);
+    for (u, (x, y)) in expect.iter().zip(&got).enumerate() {
+        assert_bit_identical(x, y, &format!("cleared tier, user {u}"));
+    }
+    for u in 0..N_USERS {
+        let a = baseline.neighbors_of(u).expect("valid user");
+        let b = twin.neighbors_of(u).expect("valid user");
+        assert_bit_identical(&a, &b, &format!("cleared tier, neighborhood of {u}"));
+    }
+    // Ingestion was never affected: both fleets processed everything.
+    assert_eq!(baseline.serving_stats().unwrap().events, 80);
+    assert_eq!(twin.serving_stats().unwrap().events, 80);
+    baseline.shutdown();
+    twin.shutdown();
+}
+
 #[test]
 fn out_of_range_ids_surface_errors_and_leave_workers_alive() {
     let (split, histories) = world(23);

@@ -1,0 +1,93 @@
+//! Frozen-tier search microbenchmark: one `search_append` over the
+//! global snapshot per [`FrozenTierMode`] — the flat reference scan
+//! against the HNSW and IVF-PQ accelerations (both of which rerank
+//! their candidates against the exact f32 rows before returning).
+//!
+//! The repro harness (`repro bench-quality`) runs the ≥100k-user
+//! version of this comparison with recall scoring and writes the
+//! `frozen_tier` section of `BENCH_quality.json`; this bench is the
+//! fast local iteration loop for kernel work.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use sccf_index::{FrozenTierAccel, FrozenTierMode, FrozenUserIndex, TierScratch};
+
+const DIM: usize = 16;
+const BETA: usize = 100;
+
+/// Clustered tastes (64 centres + noise) — the same world shape the
+/// repro harness measures recall on.
+fn frozen_world(n: usize, seed: u64) -> FrozenUserIndex {
+    let mut rng = sccf_util::rng::rng_for(seed, 9001);
+    const CENTERS: usize = 64;
+    let centers: Vec<f32> = (0..CENTERS * DIM)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let rows: Vec<(u32, Vec<f32>)> = (0..n as u32)
+        .map(|u| {
+            let c = (u as usize * 31) % CENTERS;
+            let v = (0..DIM)
+                .map(|j| centers[c * DIM + j] + rng.gen_range(-0.3f32..0.3))
+                .collect();
+            (u, v)
+        })
+        .collect();
+    FrozenUserIndex::from_rows(n, DIM, rows)
+}
+
+fn bench_tier_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frozen_tier");
+    for &n in &[20_000usize, 100_000] {
+        let frozen = frozen_world(n, 42);
+        let mut rng = sccf_util::rng::rng_for(42, 9002);
+        let queries: Vec<Vec<f32>> = (0..64)
+            .map(|_| {
+                let u = rng.gen_range(0..n as u32);
+                frozen
+                    .vector(u)
+                    .iter()
+                    .map(|x| x + rng.gen_range(-0.05f32..0.05))
+                    .collect()
+            })
+            .collect();
+        let no_skip = |_: u32| false;
+
+        let mut out = Vec::with_capacity(BETA);
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new("flat", n), &n, |bench, _| {
+            bench.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                out.clear();
+                frozen.search_append(q, BETA, &no_skip, &mut out);
+                black_box(&out);
+            });
+        });
+
+        for mode in [
+            FrozenTierMode::Hnsw { ef: 128 },
+            FrozenTierMode::IvfPq {
+                nlist: 256,
+                nprobe: 16,
+                m: 8,
+            },
+        ] {
+            let accel = FrozenTierAccel::build(mode, &frozen, 42).expect("non-flat mode");
+            let mut scratch = TierScratch::new();
+            let mut i = 0usize;
+            group.bench_with_input(BenchmarkId::new(mode.label(), n), &n, |bench, _| {
+                bench.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    out.clear();
+                    accel.search_append(&frozen, q, BETA, &no_skip, &mut scratch, &mut out);
+                    black_box(&out);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tier_search);
+criterion_main!(benches);

@@ -45,6 +45,7 @@ fn engine_for<M: InductiveUiModel>(
             threads: 4,
             profiles: None,
             ui_ann: None,
+            frozen_tier: sccf_core::FrozenTierMode::Flat,
         },
     );
     sccf.refresh_for_test(split);

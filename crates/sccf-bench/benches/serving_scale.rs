@@ -67,6 +67,7 @@ fn engine_for(
             threads: 4,
             profiles: None,
             ui_ann,
+            frozen_tier: sccf_core::FrozenTierMode::Flat,
         },
     );
     sccf.refresh_for_test(split);

@@ -69,6 +69,7 @@ fn engine_for(
             threads: 2,
             profiles: None,
             ui_ann: None,
+            frozen_tier: sccf_core::FrozenTierMode::Flat,
         },
     );
     ShardedEngine::try_new(

@@ -5,7 +5,9 @@
 use std::sync::Mutex;
 
 use sccf_core::analysis::similarity_distributions;
-use sccf_core::{IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
+use sccf_core::{
+    FrozenTierMode, IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig,
+};
 use sccf_data::analysis::category_revisit_histogram;
 use sccf_data::catalog::{all_benchmarks, games_sim, ml1m_sim, ml20m_sim, taobao_sim, Scale};
 use sccf_models::{
@@ -667,6 +669,7 @@ pub fn table5(h: &HarnessConfig) -> Vec<Table> {
             threads: h.threads,
             profiles: None,
             ui_ann: None,
+            frozen_tier: FrozenTierMode::Flat,
         },
     );
     let initial: Vec<Vec<u32>> = (0..split.n_users() as u32)
@@ -826,6 +829,7 @@ pub fn ablate_norm(h: &HarnessConfig) -> Vec<Table> {
                 threads: h.threads,
                 profiles: None,
                 ui_ann: None,
+                frozen_tier: FrozenTierMode::Flat,
             },
         );
         sccf.refresh_for_test(split);
@@ -1170,6 +1174,7 @@ pub fn ablate_window(h: &HarnessConfig) -> Vec<Table> {
                 threads: h.threads,
                 profiles: None,
                 ui_ann: None,
+                frozen_tier: FrozenTierMode::Flat,
             },
         );
         sccf.refresh_for_test(split);
@@ -1296,6 +1301,7 @@ pub fn bench_serving_json(h: &HarnessConfig, catalog_sizes: &[usize]) -> Serving
             threads: h.threads,
             profiles: None,
             ui_ann: None,
+            frozen_tier: FrozenTierMode::Flat,
         };
         let histories: Vec<Vec<u32>> = (0..split.n_users() as u32)
             .map(|u| split.train_plus_val(u))
@@ -1517,6 +1523,7 @@ pub fn bench_sharded_json(h: &HarnessConfig, shard_counts: &[usize]) -> ShardedB
                 threads: h.threads,
                 profiles: None,
                 ui_ann: None,
+                frozen_tier: FrozenTierMode::Flat,
             },
         );
         // No refresh_for_test: ShardedEngine derives per-user state from
@@ -1739,6 +1746,7 @@ pub fn bench_reshard_json(h: &HarnessConfig) -> ReshardBenchOutput {
             threads: h.threads,
             profiles: None,
             ui_ann: None,
+            frozen_tier: FrozenTierMode::Flat,
         },
     );
     let shard_cfg = |n_shards: usize| ShardedConfig {
@@ -1877,6 +1885,198 @@ pub fn bench_reshard_json(h: &HarnessConfig) -> ReshardBenchOutput {
 
 // ------------------------------------------------------- bench-quality
 
+// ------------------------------------------------- frozen-tier bench
+
+/// One frozen-tier mode's measured operating point at bench scale.
+pub struct TierBenchPoint {
+    /// `"flat"`, `"hnsw"` or `"ivf_pq"`.
+    pub mode: &'static str,
+    /// Fraction of the exact flat top-β recovered, averaged over probes.
+    pub recall_at_beta: f64,
+    /// Mean wall time of one `search_append` call.
+    pub ns_per_search: f64,
+    /// Flat-scan time over this mode's time (flat = 1.0).
+    pub speedup_vs_flat: f64,
+    /// Resident bytes of the search structure (0 for flat — the scan
+    /// reads the frozen slab it shares with the reranker).
+    pub bytes: usize,
+}
+
+/// Measured frozen-tier comparison plus the two exhaustive-parameter
+/// exactness pins, embedded into `BENCH_quality.json` by
+/// [`bench_quality_json`].
+pub struct TierBenchOutput {
+    pub n_users: usize,
+    pub dim: usize,
+    pub beta: usize,
+    pub points: Vec<TierBenchPoint>,
+    /// `Hnsw { ef ≥ n }` + exact rerank reproduced the flat scan
+    /// bit-for-bit on every probe at small n.
+    pub exhaustive_hnsw_bit_identical: bool,
+    /// `IvfPq { nprobe = nlist }` + exact rerank did the same.
+    pub exhaustive_ivfpq_bit_identical: bool,
+}
+
+/// Clustered synthetic tastes (64 centres + noise): realistic ANN
+/// difficulty, and every row non-zero so the whole population is
+/// covered by the tier.
+fn tier_world(n: usize, dim: usize, seed: u64) -> sccf_index::FrozenUserIndex {
+    use rand::Rng;
+    let mut rng = sccf_util::rng::rng_for(seed, 9001);
+    const CENTERS: usize = 64;
+    let centers: Vec<f32> = (0..CENTERS * dim)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let rows: Vec<(u32, Vec<f32>)> = (0..n as u32)
+        .map(|u| {
+            let c = (u as usize * 31) % CENTERS;
+            let v = (0..dim)
+                .map(|j| centers[c * dim + j] + rng.gen_range(-0.3f32..0.3))
+                .collect();
+            (u, v)
+        })
+        .collect();
+    sccf_index::FrozenUserIndex::from_rows(n, dim, rows)
+}
+
+/// Sublinear-tier scaling measurement: at ≥100k synthetic users, time
+/// `search_append` per [`FrozenTierMode`] and score the ANN/quantized
+/// top-β against the exact flat scan, then pin exhaustive parameters
+/// to bit-identity at small n (where `OVERFETCH × β` covers the whole
+/// population, so candidate generation cannot lose the true top-β).
+pub fn bench_frozen_tier_json(h: &HarnessConfig) -> TierBenchOutput {
+    use rand::Rng;
+    use sccf_index::{FrozenTierAccel, TierScratch};
+    use sccf_util::topk::Scored;
+    let n = match h.scale {
+        Scale::Quick => 100_000usize,
+        Scale::Full => 250_000,
+    };
+    let dim = 16usize;
+    let beta = 100usize;
+    eprintln!("[bench-quality] frozen tier: {n} users × dim {dim} ...");
+    let frozen = tier_world(n, dim, h.seed);
+
+    // Probe queries: perturbed stored rows — queries live near the
+    // data manifold, matching the serving shape.
+    let mut rng = sccf_util::rng::rng_for(h.seed, 9002);
+    let queries: Vec<Vec<f32>> = (0..100)
+        .map(|_| {
+            let u = rng.gen_range(0..n as u32);
+            frozen
+                .vector(u)
+                .iter()
+                .map(|x| x + rng.gen_range(-0.05f32..0.05))
+                .collect()
+        })
+        .collect();
+    let no_skip = |_: u32| false;
+
+    // Exact ground truth, then the timed flat baseline.
+    let truth: Vec<Vec<Scored>> = queries
+        .iter()
+        .map(|q| frozen.search(q, beta, &no_skip))
+        .collect();
+    let flat_ns = {
+        let mut out = Vec::with_capacity(beta);
+        let sw = Stopwatch::start();
+        for q in &queries {
+            out.clear();
+            frozen.search_append(q, beta, &no_skip, &mut out);
+            std::hint::black_box(&out);
+        }
+        sw.elapsed_ms() * 1e6 / queries.len() as f64
+    };
+    let mut points = vec![TierBenchPoint {
+        mode: "flat",
+        recall_at_beta: 1.0,
+        ns_per_search: flat_ns,
+        speedup_vs_flat: 1.0,
+        bytes: 0,
+    }];
+
+    for mode in [
+        FrozenTierMode::Hnsw { ef: 128 },
+        FrozenTierMode::IvfPq {
+            nlist: 256,
+            nprobe: 16,
+            m: 8,
+        },
+    ] {
+        eprintln!("[bench-quality] frozen tier: building {} ...", mode.label());
+        let accel = FrozenTierAccel::build(mode, &frozen, h.seed).expect("non-flat mode");
+        let mut scratch = TierScratch::new();
+        let mut out = Vec::with_capacity(beta);
+        // Warm-up sizes every scratch buffer; the timed pass then
+        // allocates nothing (the capacity-fixed-point property pinned
+        // in sccf-index's tier tests).
+        for q in &queries {
+            out.clear();
+            accel.search_append(&frozen, q, beta, &no_skip, &mut scratch, &mut out);
+        }
+        let sw = Stopwatch::start();
+        for q in &queries {
+            out.clear();
+            accel.search_append(&frozen, q, beta, &no_skip, &mut scratch, &mut out);
+            std::hint::black_box(&out);
+        }
+        let ns = sw.elapsed_ms() * 1e6 / queries.len() as f64;
+        let mut recall = 0.0f64;
+        for (q, t) in queries.iter().zip(&truth) {
+            out.clear();
+            accel.search_append(&frozen, q, beta, &no_skip, &mut scratch, &mut out);
+            let mut got = sccf_util::hash::fx_set_with_capacity(out.len());
+            got.extend(out.iter().map(|s| s.id));
+            let hit = t.iter().filter(|s| got.contains(&s.id)).count();
+            recall += hit as f64 / t.len().max(1) as f64;
+        }
+        recall /= queries.len() as f64;
+        points.push(TierBenchPoint {
+            mode: mode.label(),
+            recall_at_beta: recall,
+            ns_per_search: ns,
+            speedup_vs_flat: flat_ns / ns,
+            bytes: accel.bytes(),
+        });
+    }
+
+    // Exhaustive-parameter exactness pins at small n.
+    let small = tier_world(96, dim, h.seed ^ 0xA5);
+    let beta_small = 96 / sccf_index::tier::OVERFETCH;
+    let pin = |mode: FrozenTierMode| -> bool {
+        let accel = FrozenTierAccel::build(mode, &small, 7).expect("non-flat mode");
+        let mut scratch = TierScratch::new();
+        let mut rng = sccf_util::rng::rng_for(h.seed, 9003);
+        let mut got = Vec::new();
+        (0..32).all(|_| {
+            let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let exact = small.search(&q, beta_small, &no_skip);
+            got.clear();
+            accel.search_append(&small, &q, beta_small, &no_skip, &mut scratch, &mut got);
+            exact.len() == got.len()
+                && exact
+                    .iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.id == b.id && a.score.to_bits() == b.score.to_bits())
+        })
+    };
+    let exhaustive_hnsw_bit_identical = pin(FrozenTierMode::Hnsw { ef: 96 });
+    let exhaustive_ivfpq_bit_identical = pin(FrozenTierMode::IvfPq {
+        nlist: 4,
+        nprobe: 4,
+        m: 4,
+    });
+
+    TierBenchOutput {
+        n_users: n,
+        dim,
+        beta,
+        points,
+        exhaustive_hnsw_bit_identical,
+        exhaustive_ivfpq_bit_identical,
+    }
+}
+
 /// Cross-shard neighborhood quality on the default archive path.
 pub fn bench_quality(h: &HarnessConfig) -> Vec<Table> {
     bench_quality_to(h, std::path::Path::new("results"))
@@ -1890,7 +2090,7 @@ pub fn bench_quality(h: &HarnessConfig) -> Vec<Table> {
 pub fn bench_quality_to(h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Table> {
     let out = bench_quality_json(h);
     write_bench_artifact("bench-quality", "BENCH_quality.json", &out.json, out_dir);
-    vec![out.table]
+    vec![out.table, out.tier_table]
 }
 
 /// One engine configuration's leave-one-out quality.
@@ -1914,7 +2114,10 @@ pub struct QualityBenchOutput {
     pub max_refresh_step_ms: f64,
     /// Wall time of the initial blocking refresh.
     pub refresh_ms: f64,
+    /// The ≥100k-user frozen-tier scaling comparison (ISSUE 6).
+    pub tier: TierBenchOutput,
     pub table: Table,
+    pub tier_table: Table,
     pub json: String,
 }
 
@@ -1989,6 +2192,7 @@ pub fn bench_quality_json(h: &HarnessConfig) -> QualityBenchOutput {
         threads,
         profiles: None,
         ui_ann: None,
+        frozen_tier: FrozenTierMode::Flat,
     };
 
     // Leave-one-out over the engine: rank of the held-out test item in
@@ -2109,6 +2313,29 @@ pub fn bench_quality_json(h: &HarnessConfig) -> QualityBenchOutput {
         ]);
     }
 
+    let tier = bench_frozen_tier_json(h);
+    let mut tier_t = Table::new(
+        format!(
+            "Frozen global tier — {} users × dim {}, β={}, candidates exactly reranked \
+             (exhaustive pins: hnsw bit-identical {}, ivf_pq bit-identical {})",
+            tier.n_users,
+            tier.dim,
+            tier.beta,
+            tier.exhaustive_hnsw_bit_identical,
+            tier.exhaustive_ivfpq_bit_identical,
+        ),
+        &["mode", "recall@β", "ns/search", "speedup", "MiB"],
+    );
+    for p in &tier.points {
+        tier_t.push(&[
+            p.mode.to_string(),
+            f4(p.recall_at_beta),
+            format!("{:.0}", p.ns_per_search),
+            f2(p.speedup_vs_flat),
+            f2(p.bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+
     let point = |name: &str| points.iter().find(|p| p.config == name).expect("measured");
     let mut json = String::from("{\n  \"experiment\": \"bench-quality\",\n");
     json.push_str(&format!(
@@ -2133,7 +2360,7 @@ pub fn bench_quality_json(h: &HarnessConfig) -> QualityBenchOutput {
          \"ndcg20_n1\": {:.6},\n  \"ndcg20_shard_local\": {:.6},\n  \"ndcg20_two_tier\": {:.6},\n  \
          \"two_tier_minus_shard_local_hr20\": {:.6},\n  \"two_tier_over_n1_hr20\": {:.6},\n  \
          \"refresh_ms\": {refresh_ms:.3},\n  \"max_ingest_stall_ms\": {max_ingest_stall_ms:.3},\n  \
-         \"max_refresh_step_ms\": {max_refresh_step_ms:.3}\n}}\n",
+         \"max_refresh_step_ms\": {max_refresh_step_ms:.3},\n",
         point("n1").hr[1],
         point("n8_shard_local").hr[1],
         point("n8_two_tier").hr[1],
@@ -2143,6 +2370,36 @@ pub fn bench_quality_json(h: &HarnessConfig) -> QualityBenchOutput {
         point("n8_two_tier").hr[1] - point("n8_shard_local").hr[1],
         point("n8_two_tier").hr[1] / point("n1").hr[1],
     ));
+    json.push_str(&format!(
+        "  \"frozen_tier\": {{\n    \"n_users\": {}, \"dim\": {}, \"beta\": {},\n    \
+         \"points\": [\n",
+        tier.n_users, tier.dim, tier.beta
+    ));
+    for (i, p) in tier.points.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"mode\": \"{}\", \"recall_at_beta\": {:.6}, \"ns_per_search\": {:.1}, \
+             \"speedup_vs_flat\": {:.3}, \"bytes\": {}}}{}\n",
+            p.mode,
+            p.recall_at_beta,
+            p.ns_per_search,
+            p.speedup_vs_flat,
+            p.bytes,
+            if i + 1 < tier.points.len() { "," } else { "" }
+        ));
+    }
+    let tp = |m: &str| tier.points.iter().find(|p| p.mode == m).expect("measured");
+    json.push_str(&format!(
+        "    ],\n    \"hnsw_speedup_vs_flat\": {:.3},\n    \"hnsw_recall_at_beta\": {:.6},\n    \
+         \"ivfpq_speedup_vs_flat\": {:.3},\n    \"ivfpq_recall_at_beta\": {:.6},\n    \
+         \"exhaustive_hnsw_bit_identical\": {},\n    \
+         \"exhaustive_ivfpq_bit_identical\": {}\n  }}\n}}\n",
+        tp("hnsw").speedup_vs_flat,
+        tp("hnsw").recall_at_beta,
+        tp("ivf_pq").speedup_vs_flat,
+        tp("ivf_pq").recall_at_beta,
+        tier.exhaustive_hnsw_bit_identical,
+        tier.exhaustive_ivfpq_bit_identical,
+    ));
 
     QualityBenchOutput {
         ks,
@@ -2150,7 +2407,9 @@ pub fn bench_quality_json(h: &HarnessConfig) -> QualityBenchOutput {
         max_ingest_stall_ms,
         max_refresh_step_ms,
         refresh_ms,
+        tier,
         table: t,
+        tier_table: tier_t,
         json,
     }
 }

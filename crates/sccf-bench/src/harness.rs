@@ -1,7 +1,7 @@
 //! Shared plumbing: dataset preparation, model training, SCCF assembly
 //! and Table-II-style row evaluation.
 
-use sccf_core::{IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
+use sccf_core::{FrozenTierMode, IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
 use sccf_data::catalog::Scale;
 use sccf_data::synthetic::{generate, SyntheticConfig, SyntheticData};
 use sccf_data::{Dataset, LeaveOneOut};
@@ -167,6 +167,7 @@ pub fn build_sccf<M: InductiveUiModel>(
             threads: h.threads,
             profiles: None,
             ui_ann: None,
+            frozen_tier: FrozenTierMode::Flat,
         },
     );
     sccf.refresh_for_test(split);

@@ -103,6 +103,7 @@ mod tests {
     use crate::user_component::UserBasedConfig;
     use rand::Rng;
     use sccf_data::{Dataset, Interaction};
+    use sccf_index::FrozenTierMode;
     use sccf_models::{Fism, FismConfig, TrainConfig};
 
     #[test]
@@ -154,6 +155,7 @@ mod tests {
                 threads: 1,
                 profiles: None,
                 ui_ann: None,
+                frozen_tier: FrozenTierMode::Flat,
             },
         );
         sccf.refresh_for_test(&split);

@@ -34,7 +34,7 @@ use std::cell::RefCell;
 use std::sync::Arc;
 
 use sccf_data::LeaveOneOut;
-use sccf_index::{DynamicIndex, HnswConfig, HnswIndex, Metric};
+use sccf_index::{DynamicIndex, FrozenTierMode, HnswConfig, HnswIndex, Metric, TierScratch};
 use sccf_models::{InductiveUiModel, Recommender};
 use sccf_util::sparse::StampSet;
 use sccf_util::timer::Stopwatch;
@@ -153,7 +153,22 @@ pub struct SccfConfig {
     /// `None` (the default) keeps the exact scan, so recommendations
     /// match the paper's formulation bit-for-bit.
     pub ui_ann: Option<HnswConfig>,
+    /// How the frozen *global user tier* is searched
+    /// ([`crate::GlobalNeighborSnapshot`]): [`FrozenTierMode::Flat`]
+    /// (the default) is the exact O(population) scan; the ANN /
+    /// quantized modes build an acceleration structure at refresh time
+    /// and re-rank their candidates against the exact frozen vectors,
+    /// so exhaustive parameters reproduce the flat scan bit-for-bit
+    /// and anything less is a measured recall trade
+    /// (`docs/OPERATIONS.md` has the tuning runbook).
+    pub frozen_tier: FrozenTierMode,
 }
+
+/// The seed every frozen-tier acceleration build runs under: k-means
+/// initialisation and HNSW level sampling derive from it, so rebuilding
+/// a snapshot from identical exports is byte-identical — the same
+/// determinism discipline as the engine's own RNG plumbing.
+pub const TIER_BUILD_SEED: u64 = 0x5CCF_71E2;
 
 impl Default for SccfConfig {
     fn default() -> Self {
@@ -164,6 +179,7 @@ impl Default for SccfConfig {
             threads: 4,
             profiles: None,
             ui_ann: None,
+            frozen_tier: FrozenTierMode::Flat,
         }
     }
 }
@@ -195,6 +211,12 @@ pub struct QueryScratch {
     /// use when the scratch was built without a population
     /// ([`QueryScratch::new`]).
     users_seen: StampSet,
+    /// Candidate / rerank buffers for an accelerated frozen tier
+    /// (HNSW beam state, ADC tables, bounded top-k). Unused — and
+    /// empty — under [`FrozenTierMode::Flat`].
+    tier: TierScratch,
+    /// UI-side ANN result buffer (`ui_ann` mode); capacity retained.
+    ann_hits: Vec<Scored>,
 }
 
 impl QueryScratch {
@@ -218,6 +240,8 @@ impl QueryScratch {
             cand: CandidateFeatures::default(),
             merged: Vec::new(),
             users_seen: StampSet::new(n_users),
+            tier: TierScratch::new(),
+            ann_hits: Vec::new(),
         }
     }
 
@@ -321,7 +345,14 @@ impl<M: InductiveUiModel> SccfShared<M> {
             let window = history[history.len().saturating_sub(w)..].to_vec();
             (u, vec, window)
         });
-        GlobalNeighborSnapshot::build(epoch, n_users, index_dim, rows)
+        GlobalNeighborSnapshot::build_with_mode(
+            epoch,
+            n_users,
+            index_dim,
+            self.cfg.frozen_tier,
+            TIER_BUILD_SEED,
+            rows,
+        )
     }
 }
 
@@ -569,7 +600,8 @@ impl<M: InductiveUiModel> Sccf<M> {
         let q = self.index_vector(user, rep);
         let mut out = Vec::new();
         let mut seen = StampSet::new(0);
-        self.merged_neighbors_into(user, &q, &mut out, &mut seen);
+        let mut tier = TierScratch::new();
+        self.merged_neighbors_into(user, &q, &mut out, &mut seen, &mut tier);
         out
     }
 
@@ -586,7 +618,7 @@ impl<M: InductiveUiModel> Sccf<M> {
         let q = self.index_vector(user, rep);
         let mut out = std::mem::take(&mut scratch.merged);
         let mut seen = std::mem::replace(&mut scratch.users_seen, StampSet::new(0));
-        self.merged_neighbors_into(user, &q, &mut out, &mut seen);
+        self.merged_neighbors_into(user, &q, &mut out, &mut seen, &mut scratch.tier);
         scratch.users_seen = seen;
         let result = out.clone();
         scratch.merged = out;
@@ -612,6 +644,7 @@ impl<M: InductiveUiModel> Sccf<M> {
         query: &[f32],
         out: &mut Vec<Scored>,
         users_seen: &mut StampSet,
+        tier_scratch: &mut TierScratch,
     ) {
         out.clear();
         let beta = self.shared.cfg.user_based.beta;
@@ -643,7 +676,7 @@ impl<M: InductiveUiModel> Sccf<M> {
         }
         let seen: &StampSet = users_seen;
         let skip = |v: u32| v == user || seen.contains(v) || self.slot_of(v).is_some();
-        tier.search_append(query, beta, &skip, out);
+        tier.search_append_with(query, beta, &skip, tier_scratch, out);
         out.sort_unstable_by(|a, b| b.cmp(a));
         out.truncate(beta);
     }
@@ -761,7 +794,7 @@ impl<M: InductiveUiModel> Sccf<M> {
         let query = self.index_vector(user, &rep);
         let mut neighbors = std::mem::take(&mut scratch.merged);
         let mut seen = std::mem::replace(&mut scratch.users_seen, StampSet::new(0));
-        self.merged_neighbors_into(user, &query, &mut neighbors, &mut seen);
+        self.merged_neighbors_into(user, &query, &mut neighbors, &mut seen, &mut scratch.tier);
         scratch.users_seen = seen;
         assemble_candidates_into(
             &self.shared.model,
@@ -801,7 +834,7 @@ impl<M: InductiveUiModel> Sccf<M> {
         let query = self.index_vector(user, &rep);
         let mut neighbors = std::mem::take(&mut scratch.merged);
         let mut seen = std::mem::replace(&mut scratch.users_seen, StampSet::new(0));
-        self.merged_neighbors_into(user, &query, &mut neighbors, &mut seen);
+        self.merged_neighbors_into(user, &query, &mut neighbors, &mut seen, &mut scratch.tier);
         scratch.users_seen = seen;
         self.fill_uu_scores(&neighbors, &mut scratch.uu);
         scratch.merged = neighbors;
@@ -860,7 +893,7 @@ impl<M: InductiveUiModel> Sccf<M> {
         let query = self.index_vector(user, &rep);
         let mut neighbors = std::mem::take(&mut scratch.merged);
         let mut seen = std::mem::replace(&mut scratch.users_seen, StampSet::new(0));
-        self.merged_neighbors_into(user, &query, &mut neighbors, &mut seen);
+        self.merged_neighbors_into(user, &query, &mut neighbors, &mut seen, &mut scratch.tier);
         scratch.users_seen = seen;
         assemble_candidates_into(
             &self.shared.model,
@@ -1191,18 +1224,28 @@ fn assemble_candidates_into<M: InductiveUiModel>(
             sccf_util::topk::topk_of_scores(&scratch.ui_scores, candidate_n)
         }
         Some(idx) => {
-            // Over-fetch to cover masked hits in the ANN result, then
-            // drop them. Because the representation is inferred *from*
-            // the history, history items dominate the top of the ANN
-            // result — a heavy user could otherwise starve the UI list —
-            // so double the request until `candidate_n` unmasked hits
+            // Masked items never occupy result slots: the exclusion
+            // mask rides into the search as a skip predicate, so a
+            // heavy user's history can't starve the UI list the way a
+            // retain-after-search would. Because the representation is
+            // inferred *from* the history, its items still dominate
+            // the *traversal* frontier — the beam width is widened
+            // with the request until `candidate_n` unmasked hits
             // survive (or the index is exhausted).
             let mut k = candidate_n + exclusion.masked_len(history).min(candidate_n);
+            let mut hits = std::mem::take(&mut scratch.ann_hits);
+            let hist = &scratch.hist;
+            let skip = |i: u32| hist.contains(i);
             loop {
-                let raw = idx.search(rep, k, None);
-                let exhausted = raw.len() < k || k >= idx.len();
-                let mut hits = raw;
-                hits.retain(|s| !scratch.hist.contains(s.id));
+                idx.search_filtered_into(
+                    rep,
+                    k,
+                    idx.ef_search().max(k),
+                    Some(&skip),
+                    &mut scratch.tier.hnsw,
+                    &mut hits,
+                );
+                let exhausted = hits.len() < k || k >= idx.len();
                 if hits.len() >= candidate_n || exhausted {
                     hits.truncate(candidate_n);
                     break hits;
@@ -1240,6 +1283,10 @@ fn assemble_candidates_into<M: InductiveUiModel>(
         cand.uu_scores.push(scratch.uu.scores.get(i));
     }
     cand.user_rep.extend_from_slice(rep);
+    // Hand the UI result buffer back to the scratch so ANN-mode
+    // steady state keeps its capacity (the dense path's fresh top-k
+    // vector simply replaces whatever was parked there).
+    scratch.ann_hits = ui_top;
 }
 
 thread_local! {

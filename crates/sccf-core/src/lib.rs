@@ -90,6 +90,7 @@ pub mod user_component;
 
 pub use framework::{
     CandidateSource, Exclusion, QueryError, QueryScratch, Sccf, SccfConfig, SccfShared,
+    TIER_BUILD_SEED,
 };
 pub use integrator::{CandidateFeatures, Integrator, IntegratorConfig};
 pub use neighbor::{GlobalNeighborSnapshot, NeighborSource, TierDecodeError};
@@ -99,4 +100,5 @@ pub use realtime::{
     decode_histories, decode_user_state, encode_histories, encode_user_state, EngineTimings,
     EventTiming, RealtimeEngine, SnapshotDecodeError,
 };
+pub use sccf_index::{FrozenTierMode, TierScratch};
 pub use user_component::{UserBasedComponent, UserBasedConfig, UuScratch};

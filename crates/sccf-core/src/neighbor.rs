@@ -34,7 +34,12 @@
 //! (`docs/ARCHITECTURE.md` discusses the trade-off,
 //! `docs/OPERATIONS.md` the cadence).
 
-use sccf_index::{FrozenDecodeError, FrozenUserIndex};
+use std::sync::Arc;
+
+use sccf_index::codec::Reader;
+use sccf_index::{
+    CodecError, FrozenDecodeError, FrozenTierAccel, FrozenTierMode, FrozenUserIndex, TierScratch,
+};
 use sccf_util::topk::Scored;
 
 /// A source of *global-tier* Eq. 11 candidates and frozen Eq. 12
@@ -66,9 +71,38 @@ pub trait NeighborSource: Send + Sync {
     /// the Eq. 12 δ input for a neighbor owned by another shard. Empty
     /// when the user is not covered.
     fn frozen_window(&self, user: u32) -> &[u32];
+
+    /// Scratch-accepting form of
+    /// [`search_append`](NeighborSource::search_append): sources with
+    /// an accelerated frozen tier route the candidate → exact-rerank
+    /// pipeline through `scratch` so steady-state serving allocates
+    /// nothing. The default ignores the scratch and runs the flat
+    /// scan — output semantics are identical either way (appended
+    /// entries sorted descending, `skip`-filtered, exact scores).
+    fn search_append_with(
+        &self,
+        query: &[f32],
+        beta: usize,
+        skip: &dyn Fn(u32) -> bool,
+        scratch: &mut TierScratch,
+        out: &mut Vec<Scored>,
+    ) {
+        let _ = scratch;
+        self.search_append(query, beta, skip, out);
+    }
+
+    /// How this source searches its frozen tier (stats surface).
+    fn tier_mode(&self) -> FrozenTierMode {
+        FrozenTierMode::Flat
+    }
+
+    /// Resident bytes of the acceleration structure, 0 for flat.
+    fn tier_bytes(&self) -> usize {
+        0
+    }
 }
 
-const TIER_MAGIC: &[u8; 8] = b"SCCFGT01";
+const TIER_MAGIC: &[u8; 8] = b"SCCFGT02";
 
 /// Why a [`GlobalNeighborSnapshot`] encoding could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +116,8 @@ pub enum TierDecodeError {
     BadWindows,
     /// The embedded frozen index failed to decode.
     Index(FrozenDecodeError),
+    /// The appended acceleration section failed to decode.
+    Accel(CodecError),
     /// The embedded index's population differs from the window table's.
     PopulationMismatch { index: usize, windows: usize },
 }
@@ -93,6 +129,7 @@ impl std::fmt::Display for TierDecodeError {
             Self::Truncated => write!(f, "global neighbor-tier snapshot is truncated"),
             Self::BadWindows => write!(f, "global neighbor-tier window table is corrupt"),
             Self::Index(e) => write!(f, "embedded frozen index: {e}"),
+            Self::Accel(e) => write!(f, "embedded tier acceleration: {e}"),
             Self::PopulationMismatch { index, windows } => write!(
                 f,
                 "frozen index covers {index} users but the window table covers {windows}"
@@ -107,7 +144,7 @@ impl std::error::Error for TierDecodeError {}
 /// frozen user vectors for Eq. 11 plus frozen recent windows for
 /// Eq. 12. See the [module docs](self) for how it is built, swapped
 /// and merged.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct GlobalNeighborSnapshot {
     epoch: u64,
     index: FrozenUserIndex,
@@ -115,6 +152,22 @@ pub struct GlobalNeighborSnapshot {
     /// `win_items[win_offsets[u] .. win_offsets[u + 1]]`, oldest first.
     win_offsets: Vec<u32>,
     win_items: Vec<u32>,
+    /// Optional acceleration structure over the frozen index
+    /// ([`FrozenTierMode::Hnsw`] / [`FrozenTierMode::IvfPq`]), built at
+    /// refresh time; `None` keeps the exact flat scan. `Arc` because
+    /// the structure is immutable and snapshot clones share it.
+    accel: Option<Arc<FrozenTierAccel>>,
+}
+
+impl std::fmt::Debug for GlobalNeighborSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalNeighborSnapshot")
+            .field("epoch", &self.epoch)
+            .field("n_users", &self.index.len())
+            .field("covered", &self.index.covered())
+            .field("tier_mode", &self.tier_mode())
+            .finish_non_exhaustive()
+    }
 }
 
 impl GlobalNeighborSnapshot {
@@ -150,7 +203,27 @@ impl GlobalNeighborSnapshot {
             index,
             win_offsets,
             win_items,
+            accel: None,
         }
+    }
+
+    /// [`build`](Self::build), then construct the acceleration
+    /// structure `mode` asks for over the frozen vectors — the refresh
+    /// pipeline's entry point. `seed` drives every k-means / graph
+    /// randomization so rebuilding from identical exports is
+    /// byte-identical. [`FrozenTierMode::Flat`] builds nothing and is
+    /// bit-for-bit the historical snapshot.
+    pub fn build_with_mode(
+        epoch: u64,
+        n_users: usize,
+        index_dim: usize,
+        mode: FrozenTierMode,
+        seed: u64,
+        entries: impl IntoIterator<Item = (u32, Vec<f32>, Vec<u32>)>,
+    ) -> Self {
+        let mut s = Self::build(epoch, n_users, index_dim, entries);
+        s.accel = FrozenTierAccel::build(mode, &s.index, seed).map(Arc::new);
+        s
     }
 
     /// Population size (covered or not).
@@ -172,12 +245,14 @@ impl GlobalNeighborSnapshot {
         &self.index
     }
 
-    /// Serialize: magic, epoch, the window CSR (offset table + items)
-    /// and the embedded frozen index, all little-endian.
+    /// Serialize: magic, epoch, the window CSR (offset table + items),
+    /// the length-prefixed embedded frozen index, and the
+    /// length-prefixed acceleration section (length 0 = flat), all
+    /// little-endian.
     pub fn encode(&self) -> Vec<u8> {
         let index_bytes = self.index.encode();
         let mut out = Vec::with_capacity(
-            32 + self.win_offsets.len() * 4 + self.win_items.len() * 4 + index_bytes.len(),
+            48 + self.win_offsets.len() * 4 + self.win_items.len() * 4 + index_bytes.len(),
         );
         out.extend_from_slice(TIER_MAGIC);
         out.extend_from_slice(&self.epoch.to_le_bytes());
@@ -188,7 +263,17 @@ impl GlobalNeighborSnapshot {
         for &i in &self.win_items {
             out.extend_from_slice(&i.to_le_bytes());
         }
+        out.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
         out.extend_from_slice(&index_bytes);
+        match &self.accel {
+            None => out.extend_from_slice(&0u64.to_le_bytes()),
+            Some(a) => {
+                let len_at = out.len();
+                out.extend_from_slice(&0u64.to_le_bytes());
+                let n = a.encode_into(&mut out);
+                out[len_at..len_at + 8].copy_from_slice(&(n as u64).to_le_bytes());
+            }
+        }
         out
     }
 
@@ -234,18 +319,59 @@ impl GlobalNeighborSnapshot {
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        let index = FrozenUserIndex::decode(&bytes[items_end..]).map_err(TierDecodeError::Index)?;
+        let read_len = |at: usize| -> Result<(usize, usize), TierDecodeError> {
+            let end = at.checked_add(8).ok_or(TierDecodeError::Truncated)?;
+            if bytes.len() < end {
+                return Err(TierDecodeError::Truncated);
+            }
+            let len = u64::from_le_bytes(bytes[at..end].try_into().unwrap());
+            let len = usize::try_from(len).map_err(|_| TierDecodeError::Truncated)?;
+            Ok((len, end))
+        };
+        let (index_len, index_start) = read_len(items_end)?;
+        let index_end = index_start
+            .checked_add(index_len)
+            .ok_or(TierDecodeError::Truncated)?;
+        if bytes.len() < index_end {
+            return Err(TierDecodeError::Truncated);
+        }
+        let index = FrozenUserIndex::decode(&bytes[index_start..index_end])
+            .map_err(TierDecodeError::Index)?;
         if index.len() != n {
             return Err(TierDecodeError::PopulationMismatch {
                 index: index.len(),
                 windows: n,
             });
         }
+        let (accel_len, accel_start) = read_len(index_end)?;
+        let accel = if accel_len == 0 {
+            None
+        } else {
+            let accel_end = accel_start
+                .checked_add(accel_len)
+                .ok_or(TierDecodeError::Truncated)?;
+            if bytes.len() < accel_end {
+                return Err(TierDecodeError::Truncated);
+            }
+            let mut r = Reader::new(&bytes[accel_start..accel_end]);
+            let a = FrozenTierAccel::decode_from(&mut r).map_err(TierDecodeError::Accel)?;
+            if r.remaining() != 0 {
+                return Err(TierDecodeError::Accel(CodecError::Invalid(
+                    "trailing accel bytes",
+                )));
+            }
+            Some(Arc::new(a))
+        };
+        let end = accel_start + accel_len;
+        if bytes.len() != end {
+            return Err(TierDecodeError::Truncated);
+        }
         Ok(Self {
             epoch,
             index,
             win_offsets,
             win_items,
+            accel,
         })
     }
 }
@@ -275,6 +401,30 @@ impl NeighborSource for GlobalNeighborSnapshot {
             return &[];
         }
         &self.win_items[self.win_offsets[u] as usize..self.win_offsets[u + 1] as usize]
+    }
+
+    fn search_append_with(
+        &self,
+        query: &[f32],
+        beta: usize,
+        skip: &dyn Fn(u32) -> bool,
+        scratch: &mut TierScratch,
+        out: &mut Vec<Scored>,
+    ) {
+        match &self.accel {
+            Some(a) => a.search_append(&self.index, query, beta, skip, scratch, out),
+            None => self.index.search_append(query, beta, skip, out),
+        }
+    }
+
+    fn tier_mode(&self) -> FrozenTierMode {
+        self.accel
+            .as_ref()
+            .map_or(FrozenTierMode::Flat, |a| a.mode())
+    }
+
+    fn tier_bytes(&self) -> usize {
+        self.accel.as_ref().map_or(0, |a| a.bytes())
     }
 }
 
@@ -331,10 +481,14 @@ mod tests {
         let mut bad = bytes.clone();
         bad[3] ^= 0xFF;
         assert_eq!(err(&bad), TierDecodeError::BadMagic);
-        assert_eq!(
-            err(&bytes[..bytes.len() - 2]),
-            TierDecodeError::Index(FrozenDecodeError::Truncated)
-        );
+        // Losing the tail truncates the accel length word.
+        assert_eq!(err(&bytes[..bytes.len() - 2]), TierDecodeError::Truncated);
+        // Corrupting the embedded index payload surfaces as an index error.
+        let mut chopped = bytes.clone();
+        let idx_len_at = chopped.len() - 8 - s.index().encode().len() - 8;
+        let short_index = (s.index().encode().len() - 2) as u64;
+        chopped[idx_len_at..idx_len_at + 8].copy_from_slice(&short_index.to_le_bytes());
+        assert!(matches!(err(&chopped), TierDecodeError::Index(_)));
         // A corrupt population count near u64::MAX trips the checked_mul
         // guard instead of overflowing.
         let mut huge = bytes.clone();
@@ -347,5 +501,60 @@ mod tests {
             GlobalNeighborSnapshot::decode(&unsorted),
             Err(TierDecodeError::BadWindows)
         ));
+    }
+
+    #[test]
+    fn accelerated_snapshot_roundtrips_and_searches_like_flat() {
+        // A population large enough for a real graph; exhaustive ef so
+        // the accelerated search must equal the flat scan bit-for-bit.
+        let n = 64usize;
+        let entries: Vec<(u32, Vec<f32>, Vec<u32>)> = (0..n as u32)
+            .map(|u| {
+                let a = (u as f32 * 0.37).sin();
+                let b = (u as f32 * 0.11).cos();
+                (u, vec![a, b], vec![u % 5])
+            })
+            .collect();
+        let flat = GlobalNeighborSnapshot::build(3, n, 2, entries.clone());
+        let fast = GlobalNeighborSnapshot::build_with_mode(
+            3,
+            n,
+            2,
+            FrozenTierMode::Hnsw { ef: n },
+            42,
+            entries,
+        );
+        assert_eq!(fast.tier_mode(), FrozenTierMode::Hnsw { ef: n });
+        assert!(fast.tier_bytes() > 0);
+        assert_eq!(flat.tier_mode(), FrozenTierMode::Flat);
+        assert_eq!(flat.tier_bytes(), 0);
+
+        let mut scratch = TierScratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for q in [[1.0f32, 0.2], [-0.4, 0.9]] {
+            a.clear();
+            b.clear();
+            flat.search_append(&q, 10, &|u| u % 7 == 0, &mut a);
+            fast.search_append_with(&q, 10, &|u| u % 7 == 0, &mut scratch, &mut b);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+
+        // Roundtrip keeps the acceleration structure byte-identically.
+        let bytes = fast.encode();
+        let back = GlobalNeighborSnapshot::decode(&bytes).unwrap();
+        assert_eq!(back.tier_mode(), fast.tier_mode());
+        assert_eq!(back.tier_bytes(), fast.tier_bytes());
+        assert_eq!(back.encode(), bytes);
+        for q in [[0.3f32, -0.8], [-0.6, 0.2]] {
+            a.clear();
+            b.clear();
+            fast.search_append_with(&q, 8, &|_| false, &mut scratch, &mut a);
+            back.search_append_with(&q, 8, &|_| false, &mut scratch, &mut b);
+            assert_eq!(a, b);
+        }
     }
 }

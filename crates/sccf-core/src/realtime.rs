@@ -185,6 +185,16 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
         })
     }
 
+    /// `(tier mode, resident accel bytes)` of the installed global
+    /// tier — `None` without one. Flat tiers report zero bytes: the
+    /// frozen vectors belong to the snapshot, not to an acceleration
+    /// structure.
+    pub fn global_tier_profile(&self) -> Option<(sccf_index::FrozenTierMode, usize)> {
+        self.sccf
+            .global_tier()
+            .map(|t| (t.tier_mode(), t.tier_bytes()))
+    }
+
     /// The user's current Eq. 11 neighborhood (global ids), computed
     /// from her stored history without mutating any state — the
     /// diagnostic twin of the neighborhood
@@ -687,6 +697,7 @@ mod tests {
     use crate::integrator::IntegratorConfig;
     use crate::user_component::UserBasedConfig;
     use sccf_data::{Dataset, Interaction, LeaveOneOut};
+    use sccf_index::FrozenTierMode;
     use sccf_models::{Fism, FismConfig, TrainConfig};
 
     fn tiny_world() -> (LeaveOneOut, Dataset) {
@@ -743,6 +754,7 @@ mod tests {
                 threads: 1,
                 profiles: None,
                 ui_ann: None,
+                frozen_tier: FrozenTierMode::Flat,
             },
         );
         // advance index + recent-item state to the same histories the

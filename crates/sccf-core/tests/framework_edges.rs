@@ -2,7 +2,7 @@
 //! candidate-union hygiene, and scorer consistency.
 
 use rand::Rng;
-use sccf_core::{IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
+use sccf_core::{FrozenTierMode, IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
 use sccf_data::{Dataset, Interaction, LeaveOneOut};
 use sccf_models::{Fism, FismConfig, InductiveUiModel, Recommender, TrainConfig};
 
@@ -59,6 +59,7 @@ fn build(seed: u64) -> (LeaveOneOut, Sccf<Fism>) {
             threads: 1,
             profiles: None,
             ui_ann: None,
+            frozen_tier: FrozenTierMode::Flat,
         },
     );
     sccf.refresh_for_test(&split);

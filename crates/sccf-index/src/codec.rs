@@ -1,0 +1,179 @@
+//! Little-endian byte codec shared by the accelerated-tier snapshot
+//! formats ([`crate::hnsw`], [`crate::tier`]).
+//!
+//! Same discipline as [`crate::frozen`]: every length derived from the
+//! byte stream is `checked_mul`/`checked_add`-guarded, so a corrupt or
+//! truncated header surfaces a typed error — never an overflow panic or
+//! a bogus multi-gigabyte allocation.
+
+use std::fmt;
+
+/// Decode failure for the codec-based snapshot formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Stream does not start with the expected magic.
+    BadMagic,
+    /// Stream ended before a declared field, or lengths overflowed.
+    Truncated,
+    /// A decoded field is structurally impossible (message says which).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "bad magic"),
+            CodecError::Truncated => write!(f, "truncated stream"),
+            CodecError::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Bounds-checked little-endian cursor over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left in the stream.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume and verify a magic prefix.
+    pub fn magic(&mut self, expected: &[u8]) -> Result<(), CodecError> {
+        let got = self
+            .bytes(expected.len())
+            .map_err(|_| CodecError::BadMagic)?;
+        if got == expected {
+            Ok(())
+        } else {
+            Err(CodecError::BadMagic)
+        }
+    }
+
+    /// Consume `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// A `u64` length field destined to index memory; rejects values
+    /// that do not fit `usize`.
+    pub fn len_u64(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::Truncated)
+    }
+
+    /// Consume `n` little-endian `f32` bit patterns.
+    pub fn f32s(&mut self, n: usize) -> Result<Vec<f32>, CodecError> {
+        let nbytes = n.checked_mul(4).ok_or(CodecError::Truncated)?;
+        let raw = self.bytes(nbytes)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+
+    /// Consume `n` little-endian `u32`s.
+    pub fn u32s(&mut self, n: usize) -> Result<Vec<u32>, CodecError> {
+        let nbytes = n.checked_mul(4).ok_or(CodecError::Truncated)?;
+        let raw = self.bytes(nbytes)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Append-side helpers mirroring [`Reader`].
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    out.reserve(vs.len() * 4);
+    for &v in vs {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+pub fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    out.reserve(vs.len() * 4);
+    for &v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MAGICXYZ");
+        buf.push(7u8);
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f32s(&mut buf, &[1.5, -0.0, f32::NAN]);
+        put_u32s(&mut buf, &[3, 2, 1]);
+        let mut r = Reader::new(&buf);
+        r.magic(b"MAGICXYZ").unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        let fs = r.f32s(3).unwrap();
+        assert_eq!(fs[0].to_bits(), 1.5f32.to_bits());
+        assert_eq!(fs[1].to_bits(), (-0.0f32).to_bits());
+        assert!(fs[2].is_nan());
+        assert_eq!(r.u32s(3).unwrap(), vec![3, 2, 1]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_typed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"GOODMAGC");
+        put_u32(&mut buf, 5);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.magic(b"BADMAGIC"), Err(CodecError::BadMagic));
+        let mut r = Reader::new(&buf);
+        r.magic(b"GOODMAGC").unwrap();
+        r.u32().unwrap();
+        assert_eq!(r.u32(), Err(CodecError::Truncated));
+        assert_eq!(r.f32s(usize::MAX), Err(CodecError::Truncated));
+    }
+}

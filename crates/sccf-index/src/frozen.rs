@@ -198,6 +198,67 @@ impl FrozenUserIndex {
         out
     }
 
+    /// Exact rerank of an ANN/quantized candidate set: score each id in
+    /// `candidates` against the **exact** stored f32 row with the same
+    /// float expression as [`FrozenUserIndex::search_append`]
+    /// (`dot(query,row)/(qn·n)`, same [`TopK`] fold), append the top
+    /// `k`. Because the `Scored` ordering is total, whenever
+    /// `candidates` contains the true top-`k` the appended result is
+    /// **bit-identical** to the flat scan — candidate order, duplicates
+    /// from the skip predicate having already been applied upstream,
+    /// none of it matters. Zero-norm rows are skipped exactly as the
+    /// flat scan skips them. `candidates` ids must be unique (ANN
+    /// visited-set / disjoint IVF cells guarantee this upstream).
+    pub fn rerank_append(
+        &self,
+        query: &[f32],
+        k: usize,
+        candidates: &[u32],
+        out: &mut Vec<Scored>,
+    ) {
+        let mut tk = TopK::new(k);
+        self.rerank_with(query, k, candidates, &mut tk, out);
+    }
+
+    /// Scratch-buffer form of [`FrozenUserIndex::rerank_append`]: `tk`
+    /// is reset to bound `k` and reused, so steady-state reranks
+    /// allocate nothing.
+    pub fn rerank_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        candidates: &[u32],
+        tk: &mut TopK,
+        out: &mut Vec<Scored>,
+    ) {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        tk.reset(k);
+        let qn = sccf_tensor::mat::norm(query);
+        if qn <= f32::EPSILON {
+            return;
+        }
+        for &id in candidates {
+            let n = self.norms[id as usize];
+            if n <= f32::EPSILON {
+                continue;
+            }
+            tk.push(id, sccf_tensor::mat::dot(query, self.vector(id)) / (qn * n));
+        }
+        tk.drain_sorted_append(out);
+    }
+
+    /// The raw row-major vector slab (population × dim) — the exact f32
+    /// source ANN/quantized tier structures are built from and reranked
+    /// against.
+    pub fn slab(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Per-row Euclidean norms (zero for uncovered users).
+    pub fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
     /// Serialize: magic, dim (u32), row count (u64), then the slab as
     /// f32 bit patterns — all little-endian. Norms and the covered
     /// count are derived and recomputed at decode.
@@ -257,6 +318,36 @@ mod tests {
             (2, vec![0.5, 0.5, 0.5]),
             (3, vec![-1.0, 0.3, 0.0]),
         ]
+    }
+
+    #[test]
+    fn rerank_of_candidate_superset_matches_scan_bitwise() {
+        let frozen = FrozenUserIndex::from_rows(4, 3, rows());
+        let everyone: Vec<u32> = (0..4).collect();
+        let shuffled: Vec<u32> = vec![2, 0, 3, 1];
+        for query in [[0.7f32, 0.1, 0.4], [0.0, 1.0, 0.0], [-0.3, 0.2, 0.9]] {
+            let scan = frozen.search(&query, 3, &|_| false);
+            for cands in [&everyone, &shuffled] {
+                let mut reranked = Vec::new();
+                frozen.rerank_append(&query, 3, cands, &mut reranked);
+                assert_eq!(scan.len(), reranked.len());
+                for (a, b) in scan.iter().zip(&reranked) {
+                    assert_eq!(a.id, b.id);
+                    assert_eq!(a.score.to_bits(), b.score.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rerank_appends_after_existing_entries() {
+        let frozen = FrozenUserIndex::from_rows(4, 3, rows());
+        let sentinel = Scored { score: 9.0, id: 99 };
+        let mut out = vec![sentinel];
+        frozen.rerank_append(&[0.7, 0.1, 0.4], 2, &[0, 1, 2, 3], &mut out);
+        assert_eq!(out[0], sentinel);
+        assert_eq!(out.len(), 3);
+        assert!(out[1].score >= out[2].score);
     }
 
     #[test]

@@ -16,13 +16,51 @@
 //! heuristic keeps inter-cluster bridges and restores recall (see the
 //! `clustered_data_recall` regression test).
 
+use std::collections::BinaryHeap;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use sccf_util::hash::FxHashSet;
+use sccf_util::sparse::StampSet;
 use sccf_util::topk::{Scored, TopK};
 
+use crate::codec::{put_f32s, put_u32, put_u32s, put_u64, CodecError, Reader};
 use crate::metric::Metric;
+
+/// Reusable search state for [`HnswIndex`]: the visited set, the
+/// best-first frontier and the bounded beam. One of these lives in the
+/// serving `QueryScratch`, so steady-state graph searches allocate
+/// nothing (the visited [`StampSet`] clears in O(1) via epoch stamps).
+#[derive(Debug)]
+pub struct HnswScratch {
+    visited: StampSet,
+    frontier: BinaryHeap<Scored>,
+    best: TopK,
+}
+
+impl HnswScratch {
+    pub fn new() -> Self {
+        Self {
+            visited: StampSet::new(0),
+            frontier: BinaryHeap::new(),
+            best: TopK::new(0),
+        }
+    }
+
+    /// Grow the visited set to cover ids `0..n`. Growth re-allocates;
+    /// at steady state (fixed population) this is a no-op.
+    fn ensure(&mut self, n: usize) {
+        if self.visited.slots() < n {
+            self.visited = StampSet::new(n);
+        }
+    }
+}
+
+impl Default for HnswScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// HNSW build/search parameters.
 #[derive(Debug, Clone)]
@@ -63,6 +101,10 @@ pub struct HnswIndex {
     rng: StdRng,
     /// 1 / ln(m): the standard level-sampling multiplier.
     level_mult: f64,
+    /// Construction-time search state, reused across [`HnswIndex::add`]
+    /// calls via `mem::take` so bulk builds don't allocate per insert.
+    build_scratch: HnswScratch,
+    build_out: Vec<Scored>,
 }
 
 impl HnswIndex {
@@ -80,6 +122,8 @@ impl HnswIndex {
             graph: Vec::new(),
             entry: None,
             level_mult,
+            build_scratch: HnswScratch::new(),
+            build_out: Vec::new(),
         }
     }
 
@@ -93,6 +137,23 @@ impl HnswIndex {
 
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The configured default search beam width (what the one-shot
+    /// search wrappers use when no explicit `ef` is given).
+    pub fn ef_search(&self) -> usize {
+        self.cfg.ef_search
+    }
+
+    /// Resident bytes of the graph: vectors, level tags, and adjacency
+    /// lists. What the serving stats surface reports as tier memory.
+    pub fn memory_bytes(&self) -> usize {
+        let adj: usize = self
+            .graph
+            .iter()
+            .map(|layer| layer.iter().map(|nbrs| nbrs.len() * 4).sum::<usize>())
+            .sum();
+        self.data.len() * 4 + self.levels.len() + adj
     }
 
     #[inline]
@@ -119,38 +180,61 @@ impl HnswIndex {
         ((-u.ln()) * self.level_mult).floor() as usize
     }
 
-    /// Greedy best-first search restricted to one layer; returns up to
-    /// `ef` best candidates (descending score).
-    fn search_layer(&self, q: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<Scored> {
-        let mut visited: FxHashSet<u32> = sccf_util::hash::fx_set_with_capacity(ef * 4);
-        visited.insert(entry);
+    /// Greedy best-first search restricted to one layer; fills `out`
+    /// with up to `ef` best candidates (descending score).
+    ///
+    /// `filter` restricts *result collection only*: filtered nodes are
+    /// still traversed and may seed the frontier, so a skip predicate
+    /// (merge-time "the delta tier owns this user") cannot disconnect
+    /// the walk or starve recall — the standard filtered-HNSW design.
+    /// With `filter = None` the algorithm is the original unfiltered
+    /// beam, bit-for-bit.
+    #[allow(clippy::too_many_arguments)] // one beam, fully threaded scratch
+    fn search_layer_into(
+        &self,
+        q: &[f32],
+        entry: u32,
+        ef: usize,
+        layer: usize,
+        filter: Option<&dyn Fn(u32) -> bool>,
+        scratch: &mut HnswScratch,
+        out: &mut Vec<Scored>,
+    ) {
+        scratch.ensure(self.len());
+        scratch.visited.clear();
+        scratch.frontier.clear();
+        scratch.best.reset(ef);
+        let keep = |id: u32| filter.is_none_or(|f| !f(id));
+        scratch.visited.insert(entry);
         let entry_scored = Scored {
             id: entry,
             score: self.score(q, entry),
         };
         // frontier: max-heap by score (explore best first)
-        let mut frontier = std::collections::BinaryHeap::new();
-        frontier.push(entry_scored);
-        let mut best = TopK::new(ef);
-        best.push(entry_scored.id, entry_scored.score);
-        while let Some(cand) = frontier.pop() {
-            if let Some(threshold) = best.threshold() {
+        scratch.frontier.push(entry_scored);
+        if keep(entry) {
+            scratch.best.push(entry_scored.id, entry_scored.score);
+        }
+        while let Some(cand) = scratch.frontier.pop() {
+            if let Some(threshold) = scratch.best.threshold() {
                 if cand.score < threshold {
                     break; // no candidate can improve the beam anymore
                 }
             }
             for &n in &self.graph[layer][cand.id as usize] {
-                if !visited.insert(n) {
+                if !scratch.visited.insert(n) {
                     continue;
                 }
                 let s = self.score(q, n);
-                if best.threshold().is_none_or(|t| s > t) {
-                    frontier.push(Scored { id: n, score: s });
-                    best.push(n, s);
+                if scratch.best.threshold().is_none_or(|t| s > t) {
+                    scratch.frontier.push(Scored { id: n, score: s });
+                    if keep(n) {
+                        scratch.best.push(n, s);
+                    }
                 }
             }
         }
-        best.into_sorted_vec()
+        scratch.best.drain_sorted_into(out);
     }
 
     /// Diversity-aware neighbor selection (Malkov & Yashunin, Alg. 4):
@@ -212,9 +296,19 @@ impl HnswIndex {
         for l in ((level + 1)..=ep_level.min(top)).rev() {
             ep = self.greedy_step(v, ep, l);
         }
+        let mut scratch = std::mem::take(&mut self.build_scratch);
+        let mut found = std::mem::take(&mut self.build_out);
         // connect at each layer from min(level, top) down to 0
         for l in (0..=level.min(top)).rev() {
-            let found = self.search_layer(v, ep, self.cfg.ef_construction, l);
+            self.search_layer_into(
+                v,
+                ep,
+                self.cfg.ef_construction,
+                l,
+                None,
+                &mut scratch,
+                &mut found,
+            );
             let max_n = self.max_neighbors(l);
             let neighbors = self.select_diverse(&found, max_n);
             for &n in &neighbors {
@@ -238,6 +332,8 @@ impl HnswIndex {
                 ep = first.id;
             }
         }
+        self.build_scratch = scratch;
+        self.build_out = found;
         // new global entry point if this node tops the hierarchy
         if level > self.levels[self.entry.expect("non-empty") as usize] as usize {
             self.entry = Some(id);
@@ -264,11 +360,17 @@ impl HnswIndex {
     }
 
     /// Approximate top-k search with the default beam width.
+    ///
+    /// Legacy wrapper over [`HnswIndex::search_filtered`]: the single
+    /// optional `exclude` id is the degenerate skip predicate. New call
+    /// sites should pass a predicate (and, on hot paths, a scratch via
+    /// [`HnswIndex::search_filtered_into`]).
     pub fn search(&self, query: &[f32], k: usize, exclude: Option<u32>) -> Vec<Scored> {
         self.search_with_ef(query, k, exclude, self.cfg.ef_search)
     }
 
-    /// Approximate top-k with an explicit beam width `ef ≥ k`.
+    /// Approximate top-k with an explicit beam width `ef ≥ k` (legacy
+    /// `exclude` form; wraps the skip-predicate search).
     pub fn search_with_ef(
         &self,
         query: &[f32],
@@ -276,21 +378,208 @@ impl HnswIndex {
         exclude: Option<u32>,
         ef: usize,
     ) -> Vec<Scored> {
+        match exclude {
+            Some(ex) => self.search_filtered_with_ef(query, k, &|id| id == ex, ef),
+            None => {
+                let mut scratch = HnswScratch::new();
+                let mut out = Vec::new();
+                self.search_filtered_into(query, k, ef, None, &mut scratch, &mut out);
+                out
+            }
+        }
+    }
+
+    /// Approximate top-k, skipping every id for which `skip` returns
+    /// true, with the default beam width.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        skip: &dyn Fn(u32) -> bool,
+    ) -> Vec<Scored> {
+        self.search_filtered_with_ef(query, k, skip, self.cfg.ef_search)
+    }
+
+    /// Skip-predicate top-k with an explicit beam width. One-shot form
+    /// that allocates its own scratch; hot paths use
+    /// [`HnswIndex::search_filtered_into`].
+    pub fn search_filtered_with_ef(
+        &self,
+        query: &[f32],
+        k: usize,
+        skip: &dyn Fn(u32) -> bool,
+        ef: usize,
+    ) -> Vec<Scored> {
+        let mut scratch = HnswScratch::new();
+        let mut out = Vec::new();
+        self.search_filtered_into(query, k, ef, Some(skip), &mut scratch, &mut out);
+        out
+    }
+
+    /// Zero-allocation skip-predicate search: `out` is cleared and
+    /// filled with up to `k` results, descending score (ties: ascending
+    /// id). Skipped ids are still traversed — they just never enter the
+    /// result beam — so filtering cannot disconnect the graph walk.
+    ///
+    /// With `ef >= len()` the beam never saturates, the walk visits the
+    /// whole connected component (layer 0 is connected by construction)
+    /// and the result is the *exact* top-k over the non-skipped ids —
+    /// the property the frozen tier's exhaustive-parameter pin relies on.
+    pub fn search_filtered_into(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        skip: Option<&dyn Fn(u32) -> bool>,
+        scratch: &mut HnswScratch,
+        out: &mut Vec<Scored>,
+    ) {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        out.clear();
         let Some(mut ep) = self.entry else {
-            return Vec::new();
+            return;
         };
         let top = self.graph.len().saturating_sub(1);
         let ep_level = self.levels[ep as usize] as usize;
         for l in (1..=ep_level.min(top)).rev() {
             ep = self.greedy_step(query, ep, l);
         }
-        let mut out = self.search_layer(query, ep, ef.max(k), 0);
-        if let Some(ex) = exclude {
-            out.retain(|s| s.id != ex);
-        }
+        self.search_layer_into(query, ep, ef.max(k), 0, skip, scratch, out);
         out.truncate(k);
-        out
+    }
+
+    /// Serialize the full graph structure (config, vectors, levels,
+    /// entry point, per-layer adjacency as degree + edge arrays), all
+    /// little-endian. Appends to `out` and returns the byte count, so
+    /// a containing snapshot can length-prefix the section.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        out.extend_from_slice(HNSW_MAGIC);
+        put_u32(out, self.dim as u32);
+        out.push(metric_tag(self.metric));
+        put_u32(out, self.cfg.m as u32);
+        put_u32(out, self.cfg.ef_construction as u32);
+        put_u32(out, self.cfg.ef_search as u32);
+        put_u64(out, self.cfg.seed);
+        put_u64(out, self.len() as u64);
+        match self.entry {
+            Some(e) => {
+                out.push(1);
+                put_u32(out, e);
+            }
+            None => {
+                out.push(0);
+                put_u32(out, 0);
+            }
+        }
+        out.extend_from_slice(&self.levels);
+        put_f32s(out, &self.data);
+        put_u32(out, self.graph.len() as u32);
+        for layer in &self.graph {
+            let edges: usize = layer.iter().map(Vec::len).sum();
+            put_u64(out, edges as u64);
+            for adj in layer {
+                put_u32(out, adj.len() as u32);
+            }
+            for adj in layer {
+                put_u32s(out, adj);
+            }
+        }
+        out.len() - start
+    }
+
+    /// Decode an [`HnswIndex::encode_into`] section from the front of
+    /// `bytes` via `r`. The decoded index searches identically to the
+    /// original; its level-sampling RNG restarts from `cfg.seed`, so it
+    /// is meant for read-mostly use (further `add`s are valid but don't
+    /// replay the original insertion stream).
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        r.magic(HNSW_MAGIC)?;
+        let dim = r.u32()? as usize;
+        if dim == 0 {
+            return Err(CodecError::Invalid("zero dim"));
+        }
+        let metric = metric_from_tag(r.u8()?)?;
+        let m = r.u32()? as usize;
+        if m < 2 {
+            return Err(CodecError::Invalid("m < 2"));
+        }
+        let ef_construction = r.u32()? as usize;
+        let ef_search = r.u32()? as usize;
+        let seed = r.u64()?;
+        let n = r.len_u64()?;
+        let entry_flag = r.u8()?;
+        let entry_id = r.u32()?;
+        let entry = match entry_flag {
+            0 if n == 0 => None,
+            1 if (entry_id as usize) < n => Some(entry_id),
+            _ => return Err(CodecError::Invalid("entry point")),
+        };
+        let levels = r.bytes(n)?.to_vec();
+        let count = n.checked_mul(dim).ok_or(CodecError::Truncated)?;
+        let data = r.f32s(count)?;
+        let n_layers = r.u32()? as usize;
+        let max_level = levels.iter().copied().max().unwrap_or(0) as usize;
+        if n > 0 && n_layers != max_level + 1 {
+            return Err(CodecError::Invalid("layer count vs levels"));
+        }
+        let mut graph = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let edges_total = r.len_u64()?;
+            let degrees = r.u32s(n)?;
+            let sum: usize = degrees.iter().map(|&d| d as usize).sum();
+            if sum != edges_total {
+                return Err(CodecError::Invalid("edge count vs degrees"));
+            }
+            let mut layer = Vec::with_capacity(n);
+            for &d in &degrees {
+                let adj = r.u32s(d as usize)?;
+                if adj.iter().any(|&x| x as usize >= n) {
+                    return Err(CodecError::Invalid("neighbor id out of range"));
+                }
+                layer.push(adj);
+            }
+            graph.push(layer);
+        }
+        let cfg = HnswConfig {
+            m,
+            ef_construction,
+            ef_search,
+            seed,
+        };
+        let level_mult = 1.0 / (m as f64).ln();
+        Ok(Self {
+            dim,
+            metric,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            data,
+            levels,
+            graph,
+            entry,
+            level_mult,
+            build_scratch: HnswScratch::new(),
+            build_out: Vec::new(),
+        })
+    }
+}
+
+const HNSW_MAGIC: &[u8; 8] = b"SCCFHN01";
+
+fn metric_tag(m: Metric) -> u8 {
+    match m {
+        Metric::InnerProduct => 0,
+        Metric::Cosine => 1,
+        Metric::L2 => 2,
+    }
+}
+
+fn metric_from_tag(t: u8) -> Result<Metric, CodecError> {
+    match t {
+        0 => Ok(Metric::InnerProduct),
+        1 => Ok(Metric::Cosine),
+        2 => Ok(Metric::L2),
+        _ => Err(CodecError::Invalid("metric tag")),
     }
 }
 
@@ -298,6 +587,7 @@ impl HnswIndex {
 mod tests {
     use super::*;
     use crate::flat::FlatIndex;
+    use sccf_util::hash::FxHashSet;
 
     fn random_slab(n: usize, dim: usize, seed: u64) -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -444,6 +734,74 @@ mod tests {
         }
         let recall = hits as f64 / total as f64;
         assert!(recall > 0.8, "clustered recall@100 = {recall}");
+    }
+
+    #[test]
+    fn filtered_search_skips_predicate_ids() {
+        let (hnsw, _) = build(300, 8, Metric::Cosine);
+        let q = random_slab(1, 8, 19);
+        let hits = hnsw.search_filtered(&q, 20, &|id| id % 3 == 0);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|s| s.id % 3 != 0));
+    }
+
+    #[test]
+    fn exhaustive_ef_matches_flat_bitwise() {
+        // With ef >= n the beam never saturates: the walk visits the
+        // whole (connected) layer-0 graph, so the result must equal the
+        // flat scan exactly — ids, order and float bits.
+        let (hnsw, flat) = build(400, 8, Metric::Cosine);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..10 {
+            let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let exact = flat.search(&q, 15, None);
+            let approx = hnsw.search_with_ef(&q, 15, None, 400);
+            assert_eq!(exact.len(), approx.len());
+            for (e, a) in exact.iter().zip(&approx) {
+                assert_eq!(e.id, a.id);
+                assert_eq!(e.score.to_bits(), a.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_one_shot() {
+        let (hnsw, _) = build(300, 8, Metric::InnerProduct);
+        let mut scratch = HnswScratch::new();
+        let mut out = Vec::new();
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..5 {
+            let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let skip = |id: u32| id < 10;
+            hnsw.search_filtered_into(&q, 12, 64, Some(&skip), &mut scratch, &mut out);
+            let one_shot = hnsw.search_filtered_with_ef(&q, 12, &skip, 64);
+            assert_eq!(out, one_shot);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_searches_identically() {
+        let (hnsw, _) = build(250, 8, Metric::Cosine);
+        let mut bytes = Vec::new();
+        let written = hnsw.encode_into(&mut bytes);
+        assert_eq!(written, bytes.len());
+        let mut r = Reader::new(&bytes);
+        let back = HnswIndex::decode_from(&mut r).expect("roundtrip");
+        assert_eq!(r.remaining(), 0);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..8 {
+            let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            assert_eq!(hnsw.search(&q, 10, None), back.search(&q, 10, None));
+        }
+        // corrupting the magic is a typed failure
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(
+            HnswIndex::decode_from(&mut Reader::new(&bad)).err(),
+            Some(CodecError::BadMagic)
+        );
+        // truncation is a typed failure
+        assert!(HnswIndex::decode_from(&mut Reader::new(&bytes[..bytes.len() - 3])).is_err());
     }
 
     #[test]

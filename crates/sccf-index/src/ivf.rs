@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 
 use sccf_util::topk::{Scored, TopK};
 
-use crate::kmeans::{kmeans, KMeans};
+use crate::kmeans::{kmeans, kmeans_seeded, KMeans};
 use crate::metric::Metric;
 
 /// Approximate vector index with k-means coarse quantization.
@@ -44,6 +44,33 @@ impl IvfIndex {
         );
         assert!(!training.is_empty(), "IVF training needs vectors");
         let quantizer = kmeans(training, dim, nlist, 15, rng);
+        let lists = vec![Vec::new(); quantizer.k];
+        Self {
+            dim,
+            metric,
+            quantizer,
+            lists,
+            data: Vec::new(),
+            nprobe: 4,
+        }
+    }
+
+    /// [`IvfIndex::train`] from an explicit `u64` seed: the coarse
+    /// quantizer draws are fully determined, so two trainings over the
+    /// same slab are bit-identical (the property snapshot rebuilds pin).
+    pub fn train_seeded(
+        dim: usize,
+        metric: Metric,
+        nlist: usize,
+        training: &[f32],
+        seed: u64,
+    ) -> Self {
+        assert!(
+            dim > 0 && training.len().is_multiple_of(dim),
+            "bad training slab"
+        );
+        assert!(!training.is_empty(), "IVF training needs vectors");
+        let quantizer = kmeans_seeded(training, dim, nlist, 15, seed);
         let lists = vec![Vec::new(); quantizer.k];
         Self {
             dim,
@@ -103,11 +130,14 @@ impl IvfIndex {
     }
 
     /// Top-k over the `nprobe` nearest inverted lists.
+    ///
+    /// Legacy wrapper over [`IvfIndex::search_filtered`]: the single
+    /// optional `exclude` id is the degenerate skip predicate.
     pub fn search(&self, query: &[f32], k: usize, exclude: Option<u32>) -> Vec<Scored> {
         self.search_with_nprobe(query, k, exclude, self.nprobe)
     }
 
-    /// Top-k with an explicit probe budget.
+    /// Top-k with an explicit probe budget (legacy `exclude` form).
     pub fn search_with_nprobe(
         &self,
         query: &[f32],
@@ -115,11 +145,35 @@ impl IvfIndex {
         exclude: Option<u32>,
         nprobe: usize,
     ) -> Vec<Scored> {
+        self.search_filtered_with_nprobe(query, k, &|id| exclude == Some(id), nprobe)
+    }
+
+    /// Top-k skipping every id for which `skip` returns true, over the
+    /// default probe budget.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        skip: &dyn Fn(u32) -> bool,
+    ) -> Vec<Scored> {
+        self.search_filtered_with_nprobe(query, k, skip, self.nprobe)
+    }
+
+    /// Skip-predicate top-k with an explicit probe budget. Probing every
+    /// list (`nprobe >= nlist`) makes the result exact over the
+    /// non-skipped ids.
+    pub fn search_filtered_with_nprobe(
+        &self,
+        query: &[f32],
+        k: usize,
+        skip: &dyn Fn(u32) -> bool,
+        nprobe: usize,
+    ) -> Vec<Scored> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let mut tk = TopK::new(k);
         for list in self.quantizer.assign_multi(query, nprobe) {
             for &id in &self.lists[list as usize] {
-                if exclude == Some(id) {
+                if skip(id) {
                     continue;
                 }
                 tk.push(id, self.metric.score(query, self.vector(id)));
@@ -204,6 +258,39 @@ mod tests {
         ivf.update(id, &[10.0, 10.0]);
         let near_b = ivf.search_with_nprobe(&[10.0, 10.0], 1, None, 1);
         assert_eq!(near_b[0].id, id);
+    }
+
+    #[test]
+    fn filtered_matches_exclude_and_skips_sets() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = random_vectors(80, 4, &mut rng);
+        let mut ivf = IvfIndex::train(4, Metric::Cosine, 4, &data, &mut rng);
+        for v in data.chunks_exact(4) {
+            ivf.add(v);
+        }
+        let q = ivf.vector(11).to_vec();
+        assert_eq!(
+            ivf.search_with_nprobe(&q, 5, Some(11), 4),
+            ivf.search_filtered_with_nprobe(&q, 5, &|id| id == 11, 4),
+        );
+        let hits = ivf.search_filtered_with_nprobe(&q, 10, &|id| id % 2 == 0, 4);
+        assert!(hits.iter().all(|h| h.id % 2 == 1));
+    }
+
+    #[test]
+    fn train_seeded_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = random_vectors(100, 4, &mut rng);
+        let mut a = IvfIndex::train_seeded(4, Metric::InnerProduct, 5, &data, 77);
+        let mut b = IvfIndex::train_seeded(4, Metric::InnerProduct, 5, &data, 77);
+        for v in data.chunks_exact(4) {
+            a.add(v);
+            b.add(v);
+        }
+        for (x, y) in a.quantizer.centroids.iter().zip(&b.quantizer.centroids) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.lists, b.lists);
     }
 
     #[test]

@@ -33,12 +33,29 @@ impl KMeans {
 
     /// The `nprobe` nearest centroids to `v`, closest first.
     pub fn assign_multi(&self, v: &[f32], nprobe: usize) -> Vec<u32> {
-        let mut dists: Vec<(f32, u32)> = (0..self.k)
-            .map(|c| (l2(self.centroid(c), v), c as u32))
-            .collect();
-        dists.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-        dists.truncate(nprobe.max(1));
-        dists.into_iter().map(|(_, c)| c).collect()
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.assign_multi_into(v, nprobe, &mut scratch, &mut out);
+        out
+    }
+
+    /// Buffer-reusing form of [`assign_multi`](Self::assign_multi) for
+    /// hot paths: `scratch` and `out` are cleared and refilled, keeping
+    /// their capacity across calls so the per-query cell ranking
+    /// allocates nothing at steady state.
+    pub fn assign_multi_into(
+        &self,
+        v: &[f32],
+        nprobe: usize,
+        scratch: &mut Vec<(f32, u32)>,
+        out: &mut Vec<u32>,
+    ) {
+        scratch.clear();
+        scratch.extend((0..self.k).map(|c| (l2(self.centroid(c), v), c as u32)));
+        scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        scratch.truncate(nprobe.max(1));
+        out.clear();
+        out.extend(scratch.iter().map(|&(_, c)| c));
     }
 }
 
@@ -61,6 +78,19 @@ fn nearest(centroids: &[f32], k: usize, dim: usize, v: &[f32]) -> (u32, f32) {
         }
     }
     best
+}
+
+/// Run k-means from an explicit `u64` seed.
+///
+/// The seed fully determines the k-means++ draws, so two runs over the
+/// same slab with the same seed produce bit-identical centroids and
+/// assignments — the property the frozen-tier snapshot pin relies on:
+/// an IVF/PQ tier rebuilt from the same frozen vectors (seed carried in
+/// the snapshot) must round-trip exactly.
+pub fn kmeans_seeded(data: &[f32], dim: usize, k: usize, iters: usize, seed: u64) -> KMeans {
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    kmeans(data, dim, k, iters, &mut rng)
 }
 
 /// Run k-means over `n` points in a row-major `data` slab.
@@ -227,5 +257,35 @@ mod tests {
         let data = vec![1.0f32; 20]; // 10 identical 2-d points
         let km = kmeans(&data, 2, 3, 10, &mut rng);
         assert_eq!(km.assignment.len(), 10);
+    }
+
+    #[test]
+    fn seeded_runs_are_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = two_blobs(40, &mut rng);
+        let a = kmeans_seeded(&data, 2, 4, 15, 1234);
+        let b = kmeans_seeded(&data, 2, 4, 15, 1234);
+        assert_eq!(a.assignment, b.assignment);
+        for (x, y) in a.centroids.iter().zip(&b.centroids) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let c = kmeans_seeded(&data, 2, 4, 15, 1235);
+        // different seed → different k-means++ draws (not a correctness
+        // requirement, but if this ever fails the seed isn't plumbed)
+        assert!(a.centroids != c.centroids || a.assignment != c.assignment);
+    }
+
+    #[test]
+    fn assign_multi_into_reuses_buffers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = two_blobs(30, &mut rng);
+        let km = kmeans(&data, 2, 2, 20, &mut rng);
+        let mut scratch = Vec::with_capacity(16);
+        let mut out = Vec::with_capacity(16);
+        let (sc, oc) = (scratch.capacity(), out.capacity());
+        km.assign_multi_into(&[0.0, 0.0], 2, &mut scratch, &mut out);
+        assert_eq!(out, km.assign_multi(&[0.0, 0.0], 2));
+        assert_eq!(scratch.capacity(), sc);
+        assert_eq!(out.capacity(), oc);
     }
 }

@@ -34,6 +34,7 @@
 //! assert_eq!(hits[0].id, 0);
 //! ```
 
+pub mod codec;
 pub mod dynamic;
 pub mod flat;
 pub mod frozen;
@@ -43,12 +44,15 @@ pub mod kmeans;
 pub mod metric;
 pub mod pq;
 pub mod sq;
+pub mod tier;
 
+pub use codec::CodecError;
 pub use dynamic::DynamicIndex;
 pub use flat::FlatIndex;
 pub use frozen::{FrozenDecodeError, FrozenUserIndex};
-pub use hnsw::{HnswConfig, HnswIndex};
+pub use hnsw::{HnswConfig, HnswIndex, HnswScratch};
 pub use ivf::IvfIndex;
 pub use metric::Metric;
 pub use pq::{PqConfig, PqIndex};
 pub use sq::{SqCodebook, SqIndex};
+pub use tier::{FrozenTierAccel, FrozenTierMode, TierScratch};

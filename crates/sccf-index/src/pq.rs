@@ -163,25 +163,29 @@ impl PqIndex {
         }
     }
 
-    /// ADC top-k: build the per-query subspace lookup table, then scan
-    /// codes with `m` adds per row.
-    pub fn search(&self, query: &[f32], k: usize, exclude: Option<u32>) -> Vec<Scored> {
+    /// Build the per-query ADC lookup table into `lut` (cleared and
+    /// refilled; capacity retained): `lut[s·k + c]` is the subspace
+    /// score of centroid `c` against the (prepared) query's subspace
+    /// `s`. Returns `false` when the query has no usable direction
+    /// (zero norm under cosine).
+    ///
+    /// IP and cosine decompose additively across subspaces; L2
+    /// decomposes as a sum of per-subspace (negated) squared distances.
+    fn build_lut(&self, query: &[f32], lut: &mut Vec<f32>) -> bool {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let q: Vec<f32> = match self.metric {
             Metric::Cosine => {
                 let nrm = sccf_tensor::mat::norm(query);
                 if nrm <= f32::EPSILON {
-                    return Vec::new();
+                    return false;
                 }
                 query.iter().map(|&v| v / nrm).collect()
             }
             _ => query.to_vec(),
         };
-        // LUT[s][c] = subspace score of centroid c against q's subspace.
-        // IP and cosine decompose additively; L2 decomposes as a sum of
-        // per-subspace (negated) squared distances.
         let kk = self.codebooks[0].k;
-        let mut lut = vec![0.0f32; self.cfg.m * kk];
+        lut.clear();
+        lut.resize(self.cfg.m * kk, 0.0);
         for s in 0..self.cfg.m {
             let qs = &q[s * self.dsub..(s + 1) * self.dsub];
             for c in 0..self.codebooks[s].k {
@@ -194,16 +198,42 @@ impl PqIndex {
                 lut[s * kk + c] = score;
             }
         }
+        true
+    }
+
+    /// ADC top-k: build the per-query subspace lookup table, then scan
+    /// codes with `m` adds per row.
+    ///
+    /// Legacy wrapper over [`PqIndex::search_filtered`]: the single
+    /// optional `exclude` id is the degenerate skip predicate.
+    pub fn search(&self, query: &[f32], k: usize, exclude: Option<u32>) -> Vec<Scored> {
+        self.search_filtered(query, k, &|id| exclude == Some(id))
+    }
+
+    /// ADC top-k skipping every id for which `skip` returns true. The
+    /// code scan runs through the fused table-lookup kernel
+    /// ([`sccf_tensor::pq_adc_all`]; AVX2-gathered on capable CPUs,
+    /// bit-identical scalar otherwise), then the skip predicate is
+    /// applied while folding scores into the bounded top-k.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        skip: &dyn Fn(u32) -> bool,
+    ) -> Vec<Scored> {
+        let mut lut = Vec::new();
+        if !self.build_lut(query, &mut lut) {
+            return Vec::new();
+        }
+        let kk = self.codebooks[0].k;
+        let mut scores = Vec::new();
+        sccf_tensor::pq_adc_all(&lut, kk, &self.codes, self.cfg.m, &mut scores);
         let mut tk = TopK::new(k);
-        for (id, row) in self.codes.chunks_exact(self.cfg.m).enumerate() {
-            if exclude == Some(id as u32) {
+        for (id, &s) in scores.iter().enumerate() {
+            if skip(id as u32) {
                 continue;
             }
-            let mut acc = 0.0f32;
-            for (s, &c) in row.iter().enumerate() {
-                acc += lut[s * kk + c as usize];
-            }
-            tk.push(id as u32, acc);
+            tk.push(id as u32, s);
         }
         tk.into_sorted_vec()
     }
@@ -388,6 +418,29 @@ mod tests {
         );
         let hits = pq.search(&[1.0, 0.0], 2, Some(0));
         assert!(hits.iter().all(|s| s.id != 0));
+    }
+
+    #[test]
+    fn filtered_matches_exclude_and_skips_sets() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let data = clustered(&mut rng, 120, 8, 5);
+        let pq = PqIndex::build(
+            &data,
+            8,
+            Metric::Cosine,
+            PqConfig {
+                m: 4,
+                k: 16,
+                ..Default::default()
+            },
+        );
+        let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        assert_eq!(
+            pq.search(&q, 10, Some(5)),
+            pq.search_filtered(&q, 10, &|id| id == 5),
+        );
+        let hits = pq.search_filtered(&q, 20, &|id| id >= 60);
+        assert!(hits.iter().all(|s| s.id < 60));
     }
 
     #[test]

@@ -178,7 +178,20 @@ impl SqIndex {
     }
 
     /// Asymmetric top-k: full-precision `query` against quantized rows.
+    ///
+    /// Legacy wrapper over [`SqIndex::search_filtered`]: the single
+    /// optional `exclude` id is the degenerate skip predicate.
     pub fn search(&self, query: &[f32], k: usize, exclude: Option<u32>) -> Vec<Scored> {
+        self.search_filtered(query, k, &|id| exclude == Some(id))
+    }
+
+    /// Asymmetric top-k skipping every id for which `skip` returns true.
+    pub fn search_filtered(
+        &self,
+        query: &[f32],
+        k: usize,
+        skip: &dyn Fn(u32) -> bool,
+    ) -> Vec<Scored> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let mut tk = TopK::new(k);
         match self.metric {
@@ -200,7 +213,7 @@ impl SqIndex {
                     .map(|(&qv, &s)| qv * s)
                     .collect();
                 for (id, row) in self.codes.chunks_exact(self.dim).enumerate() {
-                    if exclude == Some(id as u32) {
+                    if skip(id as u32) {
                         continue;
                     }
                     let mut acc = 0.0f32;
@@ -213,7 +226,7 @@ impl SqIndex {
             Metric::L2 => {
                 let mut buf = vec![0.0f32; self.dim];
                 for (id, row) in self.codes.chunks_exact(self.dim).enumerate() {
-                    if exclude == Some(id as u32) {
+                    if skip(id as u32) {
                         continue;
                     }
                     self.codebook.decode(row, &mut buf);
@@ -327,6 +340,20 @@ mod tests {
         let sq = SqIndex::build(&data, 2, Metric::Cosine);
         let hits = sq.search(&[1.0, 0.0], 2, Some(0));
         assert!(hits.iter().all(|s| s.id != 0));
+    }
+
+    #[test]
+    fn filtered_matches_exclude_and_skips_sets() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = random_vectors(&mut rng, 60, 4);
+        let sq = SqIndex::build(&data, 4, Metric::Cosine);
+        let q = random_vectors(&mut rng, 1, 4);
+        assert_eq!(
+            sq.search(&q, 8, Some(3)),
+            sq.search_filtered(&q, 8, &|id| id == 3),
+        );
+        let hits = sq.search_filtered(&q, 20, &|id| id < 30);
+        assert!(hits.iter().all(|s| s.id >= 30));
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //!   `snapshot_state()` + `ShardedEngine::restore(.., new_cfg)`.
 //!
 //! ```
-//! use sccf_core::{IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
+//! use sccf_core::{FrozenTierMode, IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
 //! use sccf_data::{Dataset, Interaction, LeaveOneOut};
 //! use sccf_models::{Fism, FismConfig, TrainConfig};
 //! use sccf_serving::api::{RecQuery, ServingApi};
@@ -54,6 +54,7 @@
 //!     threads: 1,
 //!     profiles: None,
 //!     ui_ann: None,
+//!     frozen_tier: FrozenTierMode::Flat,
 //! });
 //! let histories: Vec<Vec<u32>> = (0..8u32).map(|u| split.train_plus_val(u)).collect();
 //!
@@ -74,8 +75,8 @@
 use std::sync::Mutex;
 
 use sccf_core::{
-    CandidateSource, EngineTimings, EventTiming, Exclusion, QueryError, RealtimeEngine,
-    SnapshotDecodeError,
+    CandidateSource, EngineTimings, EventTiming, Exclusion, FrozenTierMode, QueryError,
+    RealtimeEngine, SnapshotDecodeError,
 };
 use sccf_models::InductiveUiModel;
 use sccf_util::topk::Scored;
@@ -252,6 +253,18 @@ pub struct NeighborhoodStats {
     /// An incremental refresh (`begin_refresh`/`refresh_step`) is in
     /// flight.
     pub refresh_in_progress: bool,
+    /// How the installed snapshot's frozen tier is searched
+    /// ([`FrozenTierMode::Flat`] when no tier is installed — the
+    /// accurate default, since no frozen search happens at all).
+    pub tier_mode: FrozenTierMode,
+    /// Resident bytes of the tier's acceleration structure (graph /
+    /// codes / centroids). 0 for flat: the frozen vectors themselves
+    /// belong to the snapshot regardless of mode.
+    pub tier_bytes: u64,
+    /// Mean wall-clock nanoseconds of one frozen-tier search, measured
+    /// by probe queries when the snapshot was installed (0 before the
+    /// first install, and on the plain engine where the tier is inert).
+    pub tier_search_ns: f64,
 }
 
 /// Unified serving statistics: subsumes the plain engine's
@@ -437,14 +450,23 @@ impl<M: InductiveUiModel> ServingApi for RealtimeEngine<M> {
     fn serving_stats(&mut self) -> Result<ServingStats, ServingError> {
         let neighborhood = match self.global_tier_status() {
             None => NeighborhoodStats::default(),
-            Some((epoch, covered, staleness)) => NeighborhoodStats {
-                two_tier: true,
-                epoch,
-                users_covered: covered as u64,
-                events_since_refresh: staleness,
-                last_refresh_ms: 0.0,
-                refresh_in_progress: false,
-            },
+            Some((epoch, covered, staleness)) => {
+                let (tier_mode, tier_bytes) = self.global_tier_profile().unwrap_or_default();
+                NeighborhoodStats {
+                    two_tier: true,
+                    epoch,
+                    users_covered: covered as u64,
+                    events_since_refresh: staleness,
+                    last_refresh_ms: 0.0,
+                    refresh_in_progress: false,
+                    tier_mode,
+                    tier_bytes: tier_bytes as u64,
+                    // The tier is inert on the unsharded engine (its
+                    // live index covers everyone), so there is no
+                    // frozen search to time.
+                    tier_search_ns: 0.0,
+                }
+            }
         };
         Ok(ServingStats {
             events: self.timings().infer.count(),

@@ -88,7 +88,8 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use sccf_core::{
     decode_histories, decode_user_state, encode_histories, CandidateSource, EngineTimings,
-    Exclusion, GlobalNeighborSnapshot, NeighborSource, RealtimeEngine, Sccf, SccfShared,
+    Exclusion, FrozenTierMode, GlobalNeighborSnapshot, NeighborSource, RealtimeEngine, Sccf,
+    SccfShared, TierScratch,
 };
 use sccf_models::InductiveUiModel;
 use sccf_util::timer::Stopwatch;
@@ -377,7 +378,7 @@ impl Epoch {
 /// [`ServingApi`] surface.
 ///
 /// ```
-/// use sccf_core::{IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
+/// use sccf_core::{FrozenTierMode, IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
 /// use sccf_data::{Dataset, Interaction, LeaveOneOut};
 /// use sccf_models::{Fism, FismConfig, TrainConfig};
 /// use sccf_serving::api::{RecQuery, ServingApi};
@@ -404,6 +405,7 @@ impl Epoch {
 ///     threads: 1,
 ///     profiles: None,
 ///     ui_ann: None,
+///     frozen_tier: FrozenTierMode::Flat,
 /// });
 /// let histories: Vec<Vec<u32>> = (0..8u32).map(|u| split.train_plus_val(u)).collect();
 ///
@@ -454,6 +456,9 @@ pub struct ShardedEngine<M: InductiveUiModel + 'static> {
     tier_epoch: u64,
     /// Duration of the last completed refresh, milliseconds.
     last_refresh_ms: f64,
+    /// Mean ns of one frozen-tier search, probed at tier install
+    /// (reported via `ServingStats`; 0 with no tier).
+    tier_search_ns: f64,
     /// Export batches of the last completed refresh.
     last_refresh_batches: u64,
     /// Events accepted by the router over the fleet's life, and the
@@ -537,6 +542,7 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             refresh: None,
             tier_epoch: 0,
             last_refresh_ms: 0.0,
+            tier_search_ns: 0.0,
             last_refresh_batches: 0,
             events_routed: 0,
             events_at_refresh: 0,
@@ -662,7 +668,7 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
     /// original queues.
     ///
     /// ```
-    /// use sccf_core::{IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
+    /// use sccf_core::{FrozenTierMode, IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
     /// use sccf_data::{Dataset, Interaction, LeaveOneOut};
     /// use sccf_models::{Fism, FismConfig, TrainConfig};
     /// use sccf_serving::api::{RecQuery, ServingApi};
@@ -688,6 +694,7 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
     ///     threads: 1,
     ///     profiles: None,
     ///     ui_ann: None,
+    ///     frozen_tier: FrozenTierMode::Flat,
     /// });
     /// let histories: Vec<Vec<u32>> = (0..8u32).map(|u| split.train_plus_val(u)).collect();
     /// let consistent = |n_shards| ShardedConfig {
@@ -1044,6 +1051,8 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             );
         }
         self.tier_epoch = self.tier_epoch.max(NeighborSource::epoch(&*snapshot));
+        self.tier_search_ns =
+            measure_tier_search_ns(&snapshot, self.shared.config().user_based.beta);
         self.current_tier = Some(snapshot);
         self.events_at_refresh = self.events_routed;
         Ok(())
@@ -1169,6 +1178,8 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
                     },
                 );
             }
+            self.tier_search_ns =
+                measure_tier_search_ns(&snapshot, self.shared.config().user_based.beta);
             self.current_tier = Some(snapshot);
             self.events_at_refresh = self.events_routed;
             self.last_refresh_ms = refresh.started.elapsed_ms();
@@ -1191,6 +1202,7 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             self.send(s, ShardMsg::TierInstall { tier: None });
         }
         self.current_tier = None;
+        self.tier_search_ns = 0.0;
         Ok(())
     }
 
@@ -1428,6 +1440,15 @@ impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
             },
             last_refresh_ms: self.last_refresh_ms,
             refresh_in_progress: self.refresh.is_some(),
+            tier_mode: self
+                .current_tier
+                .as_ref()
+                .map_or(FrozenTierMode::Flat, |t| t.tier_mode()),
+            tier_bytes: self
+                .current_tier
+                .as_ref()
+                .map_or(0, |t| t.tier_bytes() as u64),
+            tier_search_ns: self.tier_search_ns,
         };
         Ok(stats)
     }
@@ -1541,6 +1562,40 @@ fn shard_worker<M: InductiveUiModel>(
         retired: false,
     };
     (engine, report)
+}
+
+/// Mean wall-clock nanoseconds of one frozen-tier search, probed with
+/// up to 8 of the snapshot's own covered vectors as queries (after a
+/// warm-up pass, so scratch-buffer growth isn't billed to the
+/// measurement). Runs on the router thread at tier install — a few
+/// microseconds of work, once per refresh — and is what
+/// `ServingStats.neighborhood.tier_search_ns` reports: the measured
+/// cost of the mode the operator picked, on the population actually
+/// being served.
+fn measure_tier_search_ns(snapshot: &GlobalNeighborSnapshot, beta: usize) -> f64 {
+    let index = snapshot.index();
+    let norms = index.norms();
+    let probes: Vec<&[f32]> = (0..index.len())
+        .filter(|&u| norms[u] > f32::EPSILON)
+        .take(8)
+        .map(|u| index.vector(u as u32))
+        .collect();
+    if probes.is_empty() || beta == 0 {
+        return 0.0;
+    }
+    let mut scratch = TierScratch::new();
+    let mut out = Vec::new();
+    let skip = |_: u32| false;
+    for q in &probes {
+        out.clear();
+        snapshot.search_append_with(q, beta, &skip, &mut scratch, &mut out);
+    }
+    let start = std::time::Instant::now();
+    for q in &probes {
+        out.clear();
+        snapshot.search_append_with(q, beta, &skip, &mut scratch, &mut out);
+    }
+    start.elapsed().as_nanos() as f64 / probes.len() as f64
 }
 
 #[cfg(test)]

@@ -23,6 +23,8 @@
 //!   for deployment hand-off and warm restarts.
 //! * [`init`] — truncated-normal (the paper's §IV-A.4 default) and Xavier
 //!   initialization.
+//! * [`simd`] — runtime-dispatched AVX2 kernels (dot, axpy, fused PQ
+//!   table-lookup) with bit-identical scalar fallbacks.
 //!
 //! ## Example
 //!
@@ -52,11 +54,13 @@ pub mod mat;
 pub mod nn;
 pub mod optim;
 pub mod serialize;
+pub mod simd;
 pub mod store;
 pub mod tape;
 
 pub use init::Initializer;
 pub use mat::{axpy, cosine, dot, matvec_into, norm, normalize, Mat};
 pub use serialize::{load_into, load_store, save_store, SnapshotError};
+pub use simd::{avx2_enabled, pq_adc_all, pq_adc_gather, pq_adc_row_scalar};
 pub use store::{GradSlot, Grads, ParamId, ParamStore};
 pub use tape::{stable_sigmoid, Tape, Var};

@@ -289,35 +289,21 @@ impl Mat {
 
 /// Dot product of two equal-length slices.
 ///
-/// Eight independent accumulator lanes over `chunks_exact(8)` — the
-/// bound-check-free iteration shape LLVM reliably turns into packed
-/// FMA/mul-add SIMD without unsafe.
+/// Runtime-dispatched: an explicit AVX2 path when the CPU has it, else
+/// the eight-lane `chunks_exact(8)` scalar kernel. Both paths share the
+/// exact per-lane arithmetic and reduction tree, so the result is
+/// bit-identical either way — see [`crate::simd`].
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 8];
-    let mut ca = a.chunks_exact(8);
-    let mut cb = b.chunks_exact(8);
-    for (x, y) in (&mut ca).zip(&mut cb) {
-        for l in 0..8 {
-            acc[l] += x[l] * y[l];
-        }
-    }
-    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        s += x * y;
-    }
-    s
+    crate::simd::dot(a, b)
 }
 
 /// `y += alpha * x` over equal-length slices — the slice-level axpy the
-/// matrix ops and integrator feature assembly share.
+/// matrix ops and integrator feature assembly share. Runtime-dispatched
+/// AVX2 with a bit-identical scalar fallback ([`crate::simd`]).
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-    debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    crate::simd::axpy(alpha, x, y)
 }
 
 /// `out[r] = m.row(r) · v` for every row — the Eq. 10 "score the whole

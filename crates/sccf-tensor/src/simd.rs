@@ -1,0 +1,366 @@
+//! Runtime-dispatched x86-64 SIMD kernels with bit-identical scalar
+//! fallbacks.
+//!
+//! The serving-path kernels ([`crate::mat::dot`], [`crate::mat::axpy`],
+//! and the fused PQ table-lookup scan below) check for AVX2 once per
+//! process (`is_x86_feature_detected!`) and take a hand-written
+//! intrinsics path when available. Two rules keep the workspace's
+//! pinned-equivalence discipline intact across machines:
+//!
+//! 1. **Same arithmetic, same order.** The AVX2 paths perform exactly
+//!    the per-lane multiply-then-add sequence of the scalar kernels
+//!    (one 256-bit register *is* the scalar kernel's eight accumulator
+//!    lanes) and reduce with the same `((a0+a1)+(a2+a3))+((a4+a5)+(a6+a7))`
+//!    tree — so the SIMD result is **bit-identical** to the scalar
+//!    fallback, and every `BENCH_*.json` or snapshot produced on an
+//!    AVX2 box replays exactly on one without it.
+//! 2. **No FMA.** A fused multiply-add rounds once where `mul` + `add`
+//!    round twice; using it would silently fork the float stream
+//!    between the two paths. The kernels stick to `_mm256_mul_ps` +
+//!    `_mm256_add_ps`.
+//!
+//! The unit tests pin rule 1 (`*_matches_scalar_bitwise`) on every
+//! machine that has AVX2; on others they degrade to scalar-vs-scalar
+//! and pass trivially.
+
+/// Whether the AVX2 paths are live in this process. Detection runs once
+/// and is cached; the result is stable for the process lifetime.
+#[inline]
+pub fn avx2_enabled() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        // 0 = unknown, 1 = enabled, 2 = disabled.
+        static STATE: AtomicU8 = AtomicU8::new(0);
+        match STATE.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                let enabled = std::arch::is_x86_feature_detected!("avx2");
+                STATE.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
+                enabled
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+// ------------------------------------------------------------------ dot
+
+/// Scalar reference dot product: eight independent accumulator lanes
+/// over `chunks_exact(8)` and the fixed reduction tree. This is the
+/// arithmetic contract the AVX2 path reproduces bit-for-bit.
+#[inline]
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        for l in 0..8 {
+            acc[l] += x[l] * y[l];
+        }
+    }
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += x * y;
+    }
+    s
+}
+
+/// Dot product with runtime AVX2 dispatch. Bit-identical to
+/// [`dot_scalar`] on every input, AVX2 or not.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_enabled() {
+        // SAFETY: `avx2_enabled` verified AVX2 support on this CPU.
+        return unsafe { dot_avx2(a, b) };
+    }
+    dot_scalar(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 8;
+    // One 256-bit accumulator = the scalar kernel's 8 lanes; mul + add
+    // (not FMA) keeps the per-lane rounding identical to the scalar path.
+    let mut acc = _mm256_setzero_ps();
+    for c in 0..chunks {
+        let x = _mm256_loadu_ps(a.as_ptr().add(c * 8));
+        let y = _mm256_loadu_ps(b.as_ptr().add(c * 8));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(x, y));
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    // The exact reduction tree of the scalar kernel.
+    let mut s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for i in chunks * 8..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+// ----------------------------------------------------------------- axpy
+
+/// Scalar reference `y += alpha * x`.
+#[inline]
+pub fn axpy_scalar(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y += alpha * x` with runtime AVX2 dispatch. Each element sees one
+/// `mul` and one `add` in both paths, so results are bit-identical.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_enabled() {
+        // SAFETY: `avx2_enabled` verified AVX2 support on this CPU.
+        unsafe { axpy_avx2(alpha, x, y) };
+        return;
+    }
+    axpy_scalar(alpha, x, y);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(alpha: f32, x: &[f32], y: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(x.len(), y.len());
+    let chunks = x.len() / 8;
+    let av = _mm256_set1_ps(alpha);
+    for c in 0..chunks {
+        let xv = _mm256_loadu_ps(x.as_ptr().add(c * 8));
+        let yv = _mm256_loadu_ps(y.as_ptr().add(c * 8));
+        let r = _mm256_add_ps(yv, _mm256_mul_ps(av, xv));
+        _mm256_storeu_ps(y.as_mut_ptr().add(c * 8), r);
+    }
+    for i in chunks * 8..x.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+// ------------------------------------------------- fused PQ table lookup
+
+/// Scalar reference ADC accumulation for one code row:
+/// `Σ_s lut[s·kk + codes[s]]`, subspaces in ascending order.
+#[inline]
+pub fn pq_adc_row_scalar(lut: &[f32], kk: usize, codes: &[u8]) -> f32 {
+    let mut acc = 0.0f32;
+    for (s, &c) in codes.iter().enumerate() {
+        acc += lut[s * kk + c as usize];
+    }
+    acc
+}
+
+/// Fused PQ asymmetric-distance scan over a *gather list* of rows:
+/// `out[j] = Σ_s lut[s·kk + codes[rows[j]·m + s]]`.
+///
+/// This is the inner loop of every product-quantized search (the tier's
+/// IVF-PQ cell scan, `PqIndex::search`): per row, `m` table reads and
+/// adds. The AVX2 path scores eight rows at once, using
+/// `_mm256_i32gather_ps` for the eight table reads of each subspace —
+/// one gather replaces eight dependent scalar loads while the per-row
+/// add order (ascending `s`) stays exactly the scalar order, so the
+/// accumulated floats are bit-identical.
+///
+/// `out` is overwritten and resized to `rows.len()`; its capacity is
+/// retained across calls (hot-path scratch discipline).
+pub fn pq_adc_gather(
+    lut: &[f32],
+    kk: usize,
+    codes: &[u8],
+    m: usize,
+    rows: &[u32],
+    out: &mut Vec<f32>,
+) {
+    assert!(m > 0, "pq scan needs at least one subspace");
+    assert!(lut.len() >= m * kk, "lut too small for m×kk");
+    out.clear();
+    out.resize(rows.len(), 0.0);
+    #[cfg(target_arch = "x86_64")]
+    if avx2_enabled() {
+        // SAFETY: `avx2_enabled` verified AVX2 support; bounds on
+        // `rows`/`codes`/`lut` are asserted above and by the slice
+        // indexing in the tail loop sharing the same access pattern.
+        unsafe { pq_adc_gather_avx2(lut, kk, codes, m, rows, out) };
+        return;
+    }
+    for (o, &r) in out.iter_mut().zip(rows) {
+        let row = &codes[r as usize * m..(r as usize + 1) * m];
+        *o = pq_adc_row_scalar(lut, kk, row);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn pq_adc_gather_avx2(
+    lut: &[f32],
+    kk: usize,
+    codes: &[u8],
+    m: usize,
+    rows: &[u32],
+    out: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let blocks = rows.len() / 8;
+    let mut idx = [0i32; 8];
+    for blk in 0..blocks {
+        let base = blk * 8;
+        let mut acc = _mm256_setzero_ps();
+        for s in 0..m {
+            for (slot, &r) in idx.iter_mut().zip(&rows[base..base + 8]) {
+                *slot = (s * kk) as i32 + codes[r as usize * m + s] as i32;
+            }
+            let iv = _mm256_loadu_si256(idx.as_ptr() as *const __m256i);
+            // scale = 4: indices are in f32 elements.
+            let g = _mm256_i32gather_ps::<4>(lut.as_ptr(), iv);
+            acc = _mm256_add_ps(acc, g);
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(base), acc);
+    }
+    for j in blocks * 8..rows.len() {
+        let r = rows[j] as usize;
+        out[j] = pq_adc_row_scalar(lut, kk, &codes[r * m..(r + 1) * m]);
+    }
+}
+
+/// Fused ADC scan over *contiguous* rows `0..n`: the full-population
+/// form `PqIndex::search` uses. Equivalent to [`pq_adc_gather`] with
+/// `rows = [0, 1, .., n-1]` but without materializing the id list.
+pub fn pq_adc_all(lut: &[f32], kk: usize, codes: &[u8], m: usize, out: &mut Vec<f32>) {
+    assert!(m > 0, "pq scan needs at least one subspace");
+    assert!(codes.len().is_multiple_of(m), "ragged code rows");
+    assert!(lut.len() >= m * kk, "lut too small for m×kk");
+    let n = codes.len() / m;
+    out.clear();
+    out.resize(n, 0.0);
+    #[cfg(target_arch = "x86_64")]
+    if avx2_enabled() {
+        // SAFETY: `avx2_enabled` verified AVX2 support; shape asserts
+        // above guarantee every access the kernel performs is in bounds.
+        unsafe { pq_adc_all_avx2(lut, kk, codes, m, out) };
+        return;
+    }
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = pq_adc_row_scalar(lut, kk, &codes[r * m..(r + 1) * m]);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn pq_adc_all_avx2(lut: &[f32], kk: usize, codes: &[u8], m: usize, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    let blocks = n / 8;
+    let mut idx = [0i32; 8];
+    for blk in 0..blocks {
+        let base = blk * 8;
+        let mut acc = _mm256_setzero_ps();
+        for s in 0..m {
+            for (slot, r) in idx.iter_mut().zip(base..base + 8) {
+                *slot = (s * kk) as i32 + codes[r * m + s] as i32;
+            }
+            let iv = _mm256_loadu_si256(idx.as_ptr() as *const __m256i);
+            let g = _mm256_i32gather_ps::<4>(lut.as_ptr(), iv);
+            acc = _mm256_add_ps(acc, g);
+        }
+        _mm256_storeu_ps(out.as_mut_ptr().add(base), acc);
+    }
+    for r in blocks * 8..n {
+        out[r] = pq_adc_row_scalar(lut, kk, &codes[r * m..(r + 1) * m]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slab(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                (((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f32 - 500.0)
+                    * 0.0173
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dot_matches_scalar_bitwise() {
+        // Lengths around the 8-lane boundary + a long one.
+        for len in [0usize, 1, 7, 8, 9, 16, 17, 63, 64, 257] {
+            let a = slab(len, 1);
+            let b = slab(len, 2);
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                dot_scalar(&a, &b).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise() {
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 100] {
+            let x = slab(len, 3);
+            let mut y1 = slab(len, 4);
+            let mut y2 = y1.clone();
+            axpy(0.37, &x, &mut y1);
+            axpy_scalar(0.37, &x, &mut y2);
+            for (a, b) in y1.iter().zip(&y2) {
+                assert_eq!(a.to_bits(), b.to_bits(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn pq_adc_matches_scalar_bitwise() {
+        let (m, kk, n) = (6usize, 16usize, 29usize);
+        let lut = slab(m * kk, 5);
+        let codes: Vec<u8> = (0..n * m).map(|i| ((i * 31 + 7) % kk) as u8).collect();
+        // gather-list form, ids deliberately shuffled and repeated
+        let rows: Vec<u32> = (0..n as u32).rev().chain([3, 3, 11]).collect();
+        let mut fast = Vec::new();
+        pq_adc_gather(&lut, kk, &codes, m, &rows, &mut fast);
+        assert_eq!(fast.len(), rows.len());
+        for (j, &r) in rows.iter().enumerate() {
+            let want = pq_adc_row_scalar(&lut, kk, &codes[r as usize * m..(r as usize + 1) * m]);
+            assert_eq!(fast[j].to_bits(), want.to_bits(), "row {r}");
+        }
+        // contiguous form
+        let mut all = Vec::new();
+        pq_adc_all(&lut, kk, &codes, m, &mut all);
+        assert_eq!(all.len(), n);
+        for (r, &got) in all.iter().enumerate() {
+            let want = pq_adc_row_scalar(&lut, kk, &codes[r * m..(r + 1) * m]);
+            assert_eq!(got.to_bits(), want.to_bits(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn adc_gather_reuses_capacity() {
+        let lut = slab(8, 6);
+        let codes: Vec<u8> = vec![0, 1, 2, 3];
+        let rows = [0u32, 1, 2, 3];
+        let mut out = Vec::with_capacity(64);
+        let cap = out.capacity();
+        pq_adc_gather(&lut, 2, &codes, 1, &rows, &mut out);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.capacity(), cap, "scan must not reallocate scratch");
+    }
+
+    #[test]
+    fn detection_is_stable() {
+        assert_eq!(avx2_enabled(), avx2_enabled());
+    }
+}

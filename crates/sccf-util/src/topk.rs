@@ -127,6 +127,37 @@ impl TopK {
         v.sort_unstable_by(|a, b| b.cmp(a));
         v
     }
+
+    /// Reset for reuse under a (possibly different) bound `k`, keeping
+    /// the heap's allocation — the scratch-buffer form the serving hot
+    /// path needs so repeated beam searches allocate nothing.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+        let want = k + 1;
+        if self.heap.capacity() < want {
+            self.heap.reserve(want - self.heap.capacity());
+        }
+    }
+
+    /// Drain entries into `out` (cleared first), sorted by descending
+    /// score with the same tie-break as [`into_sorted_vec`](Self::into_sorted_vec),
+    /// keeping both the heap's and `out`'s allocations.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<Scored>) {
+        out.clear();
+        self.drain_sorted_append(out);
+    }
+
+    /// Like [`drain_sorted_into`](Self::drain_sorted_into) but appends:
+    /// entries before the call are left untouched, the drained tail is
+    /// sorted descending. This is the merge-friendly form — append the
+    /// frozen-tier results after the delta-tier hits, then re-sort the
+    /// whole buffer once.
+    pub fn drain_sorted_append(&mut self, out: &mut Vec<Scored>) {
+        let start = out.len();
+        out.extend(self.heap.drain().map(|r| r.0));
+        out[start..].sort_unstable_by(|a, b| b.cmp(a));
+    }
 }
 
 /// One-shot helper: top-k of a dense score vector, descending.
@@ -225,6 +256,24 @@ mod tests {
         assert_eq!(rank_of(&scores, 4), 3);
         assert_eq!(rank_of(&scores, 0), 4);
         assert_eq!(rank_of(&scores, 2), 5);
+    }
+
+    #[test]
+    fn reset_and_drain_match_one_shot() {
+        let scores = [0.3f32, 0.9, 0.1, 0.7, 0.5, 0.9];
+        let mut tk = TopK::new(3);
+        let mut out = Vec::new();
+        for round in 0..3 {
+            tk.reset(3);
+            tk.extend_from_scores(&scores);
+            tk.drain_sorted_into(&mut out);
+            assert_eq!(out, topk_of_scores(&scores, 3), "round {round}");
+        }
+        // rebound to a different k mid-stream
+        tk.reset(5);
+        tk.extend_from_scores(&scores);
+        tk.drain_sorted_into(&mut out);
+        assert_eq!(out, topk_of_scores(&scores, 5));
     }
 
     #[test]

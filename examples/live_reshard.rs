@@ -18,7 +18,7 @@
 //! cargo run --release --example live_reshard
 //! ```
 
-use sccf::core::{IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
+use sccf::core::{FrozenTierMode, IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
 use sccf::data::catalog::{ml1m_sim, Scale};
 use sccf::data::synthetic::generate;
 use sccf::data::LeaveOneOut;
@@ -63,6 +63,7 @@ fn main() {
                 threads: 1,
                 profiles: None,
                 ui_ann: None,
+                frozen_tier: FrozenTierMode::Flat,
             },
         )
     };

@@ -13,7 +13,9 @@
 //! cargo run --release --example reshard
 //! ```
 
-use sccf::core::{IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig};
+use sccf::core::{
+    FrozenTierMode, IntegratorConfig, RealtimeEngine, Sccf, SccfConfig, UserBasedConfig,
+};
 use sccf::data::catalog::{ml1m_sim, Scale};
 use sccf::data::synthetic::generate;
 use sccf::data::LeaveOneOut;
@@ -62,6 +64,7 @@ fn main() {
                 threads: 1,
                 profiles: None,
                 ui_ann: None,
+                frozen_tier: FrozenTierMode::Flat,
             },
         )
     };

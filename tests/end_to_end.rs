@@ -65,6 +65,7 @@ fn build_world(seed: u64) -> World {
             threads: 4,
             profiles: None,
             ui_ann: None,
+            frozen_tier: sccf_core::FrozenTierMode::Flat,
         },
     );
     sccf.refresh_for_test(&split);

@@ -58,6 +58,7 @@ fn build_sccf(gen: &SyntheticData, weight: f32, epochs: usize) -> (LeaveOneOut, 
             threads: 2,
             profiles,
             ui_ann: None,
+            frozen_tier: sccf_core::FrozenTierMode::Flat,
         },
     );
     sccf.refresh_for_test(&split);
@@ -134,6 +135,7 @@ fn zero_weight_profiles_change_nothing() {
             threads: 2,
             profiles: Some(UserProfiles::new(gen.profiles.clone(), 0.0)),
             ui_ann: None,
+            frozen_tier: sccf_core::FrozenTierMode::Flat,
         },
     );
     zero.refresh_for_test(&split2);

@@ -665,3 +665,144 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------- frozen-tier acceleration
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exhaustive-beam HNSW over the frozen tier, followed by the exact
+    /// rerank, is bit-identical to the flat scan: with `ef ≥ population`
+    /// the beam never saturates, the walk visits the whole layer-0
+    /// component, and the candidate set therefore contains the true
+    /// top-β — which the rerank scores with the same float expression
+    /// and `Scored` tie-break as the scan.
+    #[test]
+    fn tier_hnsw_exhaustive_equals_flat_bitwise(seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        use sccf::index::{FrozenTierAccel, FrozenTierMode, FrozenUserIndex, TierScratch};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dim = 6;
+        let n = rng.gen_range(20usize..120);
+        let rows: Vec<(u32, Vec<f32>)> = (0..n as u32)
+            .map(|u| (u, (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()))
+            .collect();
+        let frozen = FrozenUserIndex::from_rows(n, dim, rows);
+        let accel =
+            FrozenTierAccel::build(FrozenTierMode::Hnsw { ef: n }, &frozen, seed).unwrap();
+        let mut scratch = TierScratch::new();
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let beta = rng.gen_range(1usize..=20);
+        let exact = frozen.search(&q, beta, &|_| false);
+        let mut fast = Vec::new();
+        accel.search_append(&frozen, &q, beta, &|_| false, &mut scratch, &mut fast);
+        prop_assert_eq!(exact.len(), fast.len());
+        for (a, b) in exact.iter().zip(&fast) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    /// Full-probe IVF-PQ with an over-fetch that covers the whole
+    /// population reduces, after the exact rerank, to the flat top-β —
+    /// the quantization error cancels out entirely because quantized
+    /// scores only *order* candidates, never score the output.
+    #[test]
+    fn tier_ivfpq_full_probe_equals_flat_top_beta(seed in 0u64..300) {
+        use rand::{Rng, SeedableRng};
+        use sccf::index::tier::OVERFETCH;
+        use sccf::index::{FrozenTierAccel, FrozenTierMode, FrozenUserIndex, TierScratch};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9E37);
+        let dim = 8;
+        let n = rng.gen_range(16usize..100);
+        let rows: Vec<(u32, Vec<f32>)> = (0..n as u32)
+            .map(|u| (u, (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect()))
+            .collect();
+        let frozen = FrozenUserIndex::from_rows(n, dim, rows);
+        let nlist = rng.gen_range(1usize..8);
+        let accel = FrozenTierAccel::build(
+            FrozenTierMode::IvfPq { nlist, nprobe: nlist, m: 4 },
+            &frozen,
+            seed,
+        )
+        .unwrap();
+        let mut scratch = TierScratch::new();
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        // fetch = OVERFETCH·β ≥ n ⇒ the candidate set is the whole
+        // population ⇒ the rerank must reproduce the exact scan.
+        let beta = n.div_ceil(OVERFETCH);
+        let exact = frozen.search(&q, beta, &|_| false);
+        let mut fast = Vec::new();
+        accel.search_append(&frozen, &q, beta, &|_| false, &mut scratch, &mut fast);
+        prop_assert_eq!(exact.len(), fast.len());
+        for (a, b) in exact.iter().zip(&fast) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    /// Accelerated snapshots survive encode → decode → re-encode
+    /// byte-identically in every tier mode, and the decoded tier
+    /// searches exactly like the original.
+    #[test]
+    fn tier_snapshot_roundtrip_all_modes(seed in 0u64..150, mode_tag in 0u8..3) {
+        use rand::{Rng, SeedableRng};
+        use sccf::core::{GlobalNeighborSnapshot, NeighborSource};
+        use sccf::index::{FrozenTierMode, TierScratch};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let dim = 4;
+        let n = rng.gen_range(8usize..60);
+        let entries: Vec<(u32, Vec<f32>, Vec<u32>)> = (0..n as u32)
+            .map(|u| {
+                let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let w: Vec<u32> = (0..rng.gen_range(0usize..4)).map(|t| t as u32).collect();
+                (u, v, w)
+            })
+            .collect();
+        let mode = match mode_tag {
+            0 => FrozenTierMode::Flat,
+            1 => FrozenTierMode::Hnsw { ef: 32 },
+            _ => FrozenTierMode::IvfPq { nlist: 3, nprobe: 2, m: 2 },
+        };
+        let snap = GlobalNeighborSnapshot::build_with_mode(9, n, dim, mode, seed, entries);
+        let bytes = snap.encode();
+        let back = GlobalNeighborSnapshot::decode(&bytes).unwrap();
+        prop_assert_eq!(back.encode(), bytes);
+        prop_assert_eq!(back.tier_mode(), snap.tier_mode());
+        prop_assert_eq!(back.tier_bytes(), snap.tier_bytes());
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut scratch = TierScratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        snap.search_append_with(&q, 8, &|_| false, &mut scratch, &mut a);
+        back.search_append_with(&q, 8, &|_| false, &mut scratch, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// PQ quantization is a fixed point: re-encoding a reconstructed
+    /// vector reproduces the reconstruction bit-for-bit (each subspace
+    /// of a reconstruction *is* a codeword, and its nearest codeword is
+    /// itself — or a bit-identical duplicate).
+    #[test]
+    fn pq_requantization_is_fixed_point(
+        data in prop::collection::vec(-2.0f32..2.0, 32..256),
+    ) {
+        use sccf::index::{PqConfig, PqIndex};
+        let dim = 8;
+        let n = data.len() / dim;
+        let slab = &data[..n * dim];
+        let mut pq = PqIndex::build(
+            slab,
+            dim,
+            Metric::InnerProduct,
+            PqConfig { m: 4, k: 16, iters: 6, seed: 7 },
+        );
+        for id in 0..n as u32 {
+            let v = pq.vector(id);
+            pq.update(id, &v);
+            let again = pq.vector(id);
+            for (x, y) in v.iter().zip(&again) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}

@@ -62,6 +62,7 @@ fn build() -> (LeaveOneOut, RealtimeEngine<Fism>, sccf::data::Dataset) {
             threads: 2,
             profiles: None,
             ui_ann: None,
+            frozen_tier: sccf_core::FrozenTierMode::Flat,
         },
     );
     sccf.refresh_for_test(&split);

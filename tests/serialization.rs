@@ -152,3 +152,48 @@ fn global_neighbor_snapshot_roundtrips_search_and_windows() {
     assert!(GlobalNeighborSnapshot::decode(&bytes[..bytes.len() / 2]).is_err());
     assert!(GlobalNeighborSnapshot::decode(b"garbage").is_err());
 }
+
+#[test]
+fn accelerated_tier_snapshot_roundtrips_and_rebuilds_byte_identically() {
+    // ANN / quantized tier structures ride inside the snapshot
+    // encoding; decoding must reproduce them byte-for-byte, and —
+    // because the build seed is carried explicitly — rebuilding from
+    // the same entries must too (the determinism the refresh pipeline
+    // relies on for reproducible fleets).
+    use sccf::core::{GlobalNeighborSnapshot, NeighborSource};
+    use sccf::index::FrozenTierMode;
+    let n_users = 50usize;
+    let dim = 6usize;
+    let mut rng = sccf::util::rng::rng_for(17, 2);
+    use rand::Rng;
+    let entries: Vec<(u32, Vec<f32>, Vec<u32>)> = (0..n_users as u32)
+        .map(|u| {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            (u, v, vec![u % 3])
+        })
+        .collect();
+    for mode in [
+        FrozenTierMode::Hnsw { ef: 16 },
+        FrozenTierMode::IvfPq {
+            nlist: 4,
+            nprobe: 2,
+            m: 3,
+        },
+    ] {
+        let snap =
+            GlobalNeighborSnapshot::build_with_mode(5, n_users, dim, mode, 77, entries.clone());
+        assert_eq!(snap.tier_mode(), mode);
+        let bytes = snap.encode();
+        let back = GlobalNeighborSnapshot::decode(&bytes).expect("own artifact decodes");
+        assert_eq!(back.encode(), bytes, "roundtrip must be byte-identical");
+        let again =
+            GlobalNeighborSnapshot::build_with_mode(5, n_users, dim, mode, 77, entries.clone());
+        assert_eq!(
+            again.encode(),
+            bytes,
+            "seeded rebuild must be byte-identical"
+        );
+        // Truncations anywhere in the accel section are typed errors.
+        assert!(GlobalNeighborSnapshot::decode(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

@@ -86,6 +86,7 @@ fn build_sccf(split: &LeaveOneOut, seed: u64) -> Sccf<Fism> {
             threads: 1,
             profiles: None,
             ui_ann: None,
+            frozen_tier: sccf_core::FrozenTierMode::Flat,
         },
     );
     sccf.refresh_for_test(split);
@@ -786,6 +787,7 @@ fn local_delta_wins_and_cross_shard_staleness_clears_on_refresh() {
             threads: 1,
             profiles: None,
             ui_ann: None,
+            frozen_tier: sccf_core::FrozenTierMode::Flat,
         },
     );
     sccf.refresh_for_test(&split);

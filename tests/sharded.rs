@@ -56,6 +56,15 @@ fn world(seed: u64) -> (LeaveOneOut, Vec<Vec<u32>>) {
 
 /// Deterministic build: same seed in, same floats out.
 fn build_sccf(split: &LeaveOneOut, seed: u64) -> Sccf<Fism> {
+    build_sccf_with_tier(split, seed, sccf_core::FrozenTierMode::Flat)
+}
+
+/// Same deterministic build, but with a chosen frozen-tier mode.
+fn build_sccf_with_tier(
+    split: &LeaveOneOut,
+    seed: u64,
+    frozen_tier: sccf_core::FrozenTierMode,
+) -> Sccf<Fism> {
     let fism = Fism::train(
         split,
         &FismConfig {
@@ -85,6 +94,7 @@ fn build_sccf(split: &LeaveOneOut, seed: u64) -> Sccf<Fism> {
             threads: 1,
             profiles: None,
             ui_ann: None,
+            frozen_tier,
         },
     );
     sccf.refresh_for_test(split);
@@ -548,6 +558,66 @@ fn global_tier_disabled_or_cleared_is_bit_identical_to_shard_local() {
     assert_eq!(twin.serving_stats().unwrap().events, 80);
     baseline.shutdown();
     twin.shutdown();
+}
+
+/// ISSUE 6 pin at fleet level: an exhaustive-parameter ANN frozen tier
+/// (HNSW with ef ≥ population, candidates exactly reranked) serves
+/// **bit-identical** slates and neighborhoods to the flat-scan tier on
+/// the same seeded stream — the accelerated path is a drop-in, not an
+/// approximation, at these settings.
+#[test]
+fn exhaustive_hnsw_tier_fleet_is_bit_identical_to_flat_tier_fleet() {
+    use sccf_core::FrozenTierMode;
+    let seed = 91u64;
+    let (split, histories) = world(seed);
+    let stream = event_stream(seed, 80);
+    let cfg = || ShardedConfig {
+        n_shards: 3,
+        queue_capacity: 32,
+        router: RouterKind::Modulo,
+    };
+    let run = |mode: FrozenTierMode| {
+        let mut fleet = ShardedEngine::try_new(
+            build_sccf_with_tier(&split, seed, mode),
+            histories.clone(),
+            cfg(),
+        )
+        .expect("valid");
+        fleet.ingest_batch(&stream[..40]).expect("valid");
+        fleet.refresh_global_tier().expect("refresh");
+        fleet.ingest_batch(&stream[40..]).expect("valid");
+        fleet.flush().expect("barrier");
+        let slates = all_slates(&mut fleet);
+        let hoods: Vec<Vec<Scored>> = (0..N_USERS)
+            .map(|u| fleet.neighbors_of(u).expect("valid user"))
+            .collect();
+        let stats = fleet.serving_stats().expect("stats").neighborhood;
+        fleet.shutdown();
+        (slates, hoods, stats)
+    };
+
+    let (flat_slates, flat_hoods, flat_stats) = run(FrozenTierMode::Flat);
+    let (ann_slates, ann_hoods, ann_stats) = run(FrozenTierMode::Hnsw {
+        ef: N_USERS as usize,
+    });
+
+    for (u, (x, y)) in flat_slates.iter().zip(&ann_slates).enumerate() {
+        assert_bit_identical(x, y, &format!("hnsw tier, slate of user {u}"));
+    }
+    for (u, (x, y)) in flat_hoods.iter().zip(&ann_hoods).enumerate() {
+        assert_bit_identical(x, y, &format!("hnsw tier, neighborhood of {u}"));
+    }
+
+    // The serving surface reports what is actually installed.
+    assert!(flat_stats.two_tier && ann_stats.two_tier);
+    assert_eq!(flat_stats.tier_mode, FrozenTierMode::Flat);
+    assert_eq!(flat_stats.tier_bytes, 0);
+    assert!(matches!(ann_stats.tier_mode, FrozenTierMode::Hnsw { .. }));
+    assert!(ann_stats.tier_bytes > 0, "ANN structure occupies memory");
+    assert!(
+        ann_stats.tier_search_ns > 0.0,
+        "tier probe latency is measured at install"
+    );
 }
 
 #[test]

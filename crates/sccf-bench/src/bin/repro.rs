@@ -21,6 +21,7 @@
 //!   bench-sharded  sharded ingest throughput at 1/2/4/8 shards; writes BENCH_sharded.json
 //!   bench-reshard  live resharding N→M under load; writes BENCH_reshard.json
 //!   bench-quality  N=1 vs N=8 shard-local vs N=8 two-tier HR/NDCG; writes BENCH_quality.json
+//!   bench-recovery crash-recovery time vs WAL depth + checkpoint sizing; writes BENCH_recovery.json
 //!   all          everything above, in order
 //! ```
 //!
@@ -43,7 +44,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|bench-serving|bench-sharded|bench-reshard|bench-quality|all> \
+        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|bench-serving|bench-sharded|bench-reshard|bench-quality|bench-recovery|all> \
          [--scale quick|full] [--seed N] [--dim D] [--beta B] [--out DIR] [--verbose]"
     );
     std::process::exit(2)
@@ -112,6 +113,7 @@ fn run_one(name: &str, h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Tabl
         "bench-sharded" => experiments::bench_sharded_to(h, out_dir),
         "bench-reshard" => experiments::bench_reshard_to(h, out_dir),
         "bench-quality" => experiments::bench_quality_to(h, out_dir),
+        "bench-recovery" => experiments::bench_recovery_to(h, out_dir),
         _ => usage(),
     }
 }
@@ -136,6 +138,7 @@ fn main() {
             "bench-sharded",
             "bench-reshard",
             "bench-quality",
+            "bench-recovery",
         ]
     } else {
         vec![args.experiment.as_str()]

@@ -15,11 +15,12 @@ use sccf_models::{
     SasRecConfig, TrainConfig, UserKnn, UserSim,
 };
 use sccf_serving::{
-    run_ab_test, AbTestConfig, ApiCandidateGen, FnCandidateGen, RecQuery, RouterKind, ServingApi,
-    ShardedConfig, ShardedEngine,
+    run_ab_test, AbTestConfig, ApiCandidateGen, DurabilityConfig, FnCandidateGen, RecQuery,
+    RouterKind, ServingApi, ShardedConfig, ShardedEngine,
 };
 use sccf_util::table::{f2, f4, pct};
 use sccf_util::timer::Stopwatch;
+use sccf_util::FxHashSet;
 use sccf_util::Table;
 
 use crate::harness::{
@@ -1878,6 +1879,310 @@ pub fn bench_reshard_json(h: &HarnessConfig) -> ReshardBenchOutput {
         max_batch_ms,
         moved_users,
         batches,
+        table: t,
+        json,
+    }
+}
+
+// ------------------------------------------------------ bench-recovery
+
+/// Durability-layer cost model on the default archive path.
+pub fn bench_recovery(h: &HarnessConfig) -> Vec<Table> {
+    bench_recovery_to(h, std::path::Path::new("results"))
+}
+
+/// Measure recovery wall time as a function of WAL replay depth and
+/// checkpoint size as a function of the write rate between epochs, and
+/// write `BENCH_recovery.json` — to the current directory (the
+/// repo-root artifact the acceptance checks read) and archived under
+/// `out_dir`, mirroring [`bench_reshard_to`].
+pub fn bench_recovery_to(h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Table> {
+    let out = bench_recovery_json(h);
+    write_bench_artifact("bench-recovery", "BENCH_recovery.json", &out.json, out_dir);
+    vec![out.table]
+}
+
+/// One measured crash-recovery point.
+pub struct RecoveryBenchPoint {
+    /// WAL records replayed past the checkpoint watermark.
+    pub replay_records: u64,
+    /// Total WAL bytes scanned across all shard files.
+    pub wal_bytes: u64,
+    /// Wall time of `ShardedEngine::recover` (checkpoint load + scan +
+    /// replay + fleet rebuild).
+    pub recover_ms: f64,
+    /// Replay throughput (`replay_records / recover_ms`), 0 when the
+    /// WAL was empty.
+    pub records_per_sec: f64,
+}
+
+/// What [`bench_recovery_json`] measured.
+pub struct RecoveryBenchOutput {
+    pub n_users: usize,
+    pub n_items: usize,
+    /// Epoch-0 full checkpoint bytes (every user exported).
+    pub full_checkpoint_bytes: u64,
+    /// Incremental checkpoint bytes / dirty users per between-epoch
+    /// write burst, one entry per measured burst size.
+    pub incremental: Vec<(u64, u64, u64)>,
+    pub points: Vec<RecoveryBenchPoint>,
+    pub table: Table,
+    pub json: String,
+}
+
+/// The durability cost model behind `docs/OPERATIONS.md`: how long a
+/// crashed fleet takes to come back as a function of its WAL replay
+/// debt, and how incremental checkpoints scale with the write rate.
+///
+/// * **Recovery** — one fleet per point: enable durability, ingest
+///   `replay` events past the epoch-0 checkpoint, `wal_sync`, drop the
+///   fleet (a crash with a clean tail — corruption handling is pinned
+///   by the chaos suite, not timed here), then time
+///   [`ShardedEngine::recover`]. Replay dominates: checkpoint load is
+///   O(population), replay O(debt), so `records_per_sec` is the number
+///   to size `checkpoint_every_events` against a recovery-time budget.
+/// * **Checkpoint sizing** — on a separate fleet, alternate
+///   fixed-size write bursts with `checkpoint()` and record bytes per
+///   epoch: incremental exports scale with *distinct users written
+///   since the last epoch*, not with the population.
+pub fn bench_recovery_json(h: &HarnessConfig) -> RecoveryBenchOutput {
+    let (n_users, n_items, replay_depths, bursts) = match h.scale {
+        Scale::Quick => (
+            2500usize,
+            600usize,
+            vec![0u64, 1_000, 4_000, 16_000],
+            vec![250u64, 1_000, 4_000],
+        ),
+        Scale::Full => (
+            10_000,
+            1200,
+            vec![0u64, 4_000, 16_000, 64_000],
+            vec![1_000u64, 4_000, 16_000],
+        ),
+    };
+    const SHARDS: usize = 2;
+    const FSYNC_EVERY: u32 = 256;
+
+    let mut cfg = ml1m_sim(Scale::Quick);
+    cfg.name = "recovery-bench".to_string();
+    cfg.n_users = n_users;
+    cfg.n_items = n_items;
+    cfg.n_categories = 24;
+    cfg.mean_len = 18.0;
+    cfg.min_len = 6;
+    let data = sccf_data::synthetic::generate(&cfg, h.seed).dataset;
+    let split = sccf_data::LeaveOneOut::split(&data);
+    let n_users = split.n_users();
+    let n_items = split.n_items();
+    let histories: Vec<Vec<u32>> = (0..n_users as u32)
+        .map(|u| split.train_plus_val(u))
+        .collect();
+    let fism_cfg = FismConfig {
+        train: TrainConfig {
+            dim: 16,
+            epochs: 2,
+            seed: h.seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let fism = Fism::train(&split, &fism_cfg);
+    let model_bytes = fism.save_bytes();
+    let build_sccf = || {
+        let fism = Fism::load_bytes(n_items, &fism_cfg, &model_bytes)
+            .expect("own model bytes always rehydrate");
+        Sccf::build(
+            fism,
+            &split,
+            SccfConfig {
+                user_based: UserBasedConfig {
+                    beta: 100,
+                    recent_window: 15,
+                },
+                candidate_n: 100,
+                integrator: IntegratorConfig {
+                    epochs: 2,
+                    seed: h.seed,
+                    ..Default::default()
+                },
+                threads: h.threads,
+                profiles: None,
+                ui_ann: None,
+                frozen_tier: FrozenTierMode::Flat,
+            },
+        )
+    };
+    let shard_cfg = ShardedConfig {
+        n_shards: SHARDS,
+        queue_capacity: 1024,
+        router: RouterKind::Consistent { vnodes: 64 },
+    };
+    let event_at = |k: u64| {
+        (
+            (k as u32).wrapping_mul(131) % n_users as u32,
+            (k as u32).wrapping_mul(7919).wrapping_add(13) % n_items as u32,
+        )
+    };
+    let scratch = std::env::temp_dir().join(format!("sccf_bench_recovery_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // --- recovery time vs WAL replay depth ------------------------------
+    let mut points = Vec::with_capacity(replay_depths.len());
+    let mut full_checkpoint_bytes = 0u64;
+    for (i, &replay) in replay_depths.iter().enumerate() {
+        eprintln!("[bench-recovery] replay depth {replay} ...");
+        let dir = scratch.join(format!("replay-{i}"));
+        let mut engine = ShardedEngine::try_new(build_sccf(), histories.clone(), shard_cfg.clone())
+            .expect("valid shard config");
+        engine
+            .enable_durability(DurabilityConfig {
+                fsync_every: FSYNC_EVERY,
+                ..DurabilityConfig::new(&dir)
+            })
+            .expect("fresh durability dir");
+        for k in 0..replay {
+            let (u, it) = event_at(k);
+            engine.try_ingest(u, it).expect("stream ids in range");
+        }
+        engine.wal_sync().expect("durability enabled");
+        let stats = engine.serving_stats().expect("stats");
+        full_checkpoint_bytes = stats.durability.last_checkpoint_bytes;
+        let wal_bytes = stats.durability.wal_bytes;
+        engine.shutdown();
+
+        // The model/integrator state is an input to recovery, not part
+        // of it — build outside the timed region.
+        let sccf = build_sccf();
+        let sw = Stopwatch::start();
+        let (recovered, rec) = ShardedEngine::recover(
+            sccf,
+            shard_cfg.clone(),
+            DurabilityConfig {
+                fsync_every: FSYNC_EVERY,
+                ..DurabilityConfig::new(&dir)
+            },
+        )
+        .expect("clean-tail recovery");
+        let recover_ms = sw.elapsed_ms();
+        assert_eq!(
+            rec.replayed.len() as u64,
+            replay,
+            "clean-tail crash must replay every synced record"
+        );
+        recovered.shutdown();
+        points.push(RecoveryBenchPoint {
+            replay_records: replay,
+            wal_bytes,
+            recover_ms,
+            records_per_sec: if recover_ms > 0.0 {
+                replay as f64 / (recover_ms / 1000.0)
+            } else {
+                0.0
+            },
+        });
+    }
+
+    // --- checkpoint size vs write rate ----------------------------------
+    let dir = scratch.join("checkpoint-sizing");
+    let mut engine = ShardedEngine::try_new(build_sccf(), histories.clone(), shard_cfg.clone())
+        .expect("valid shard config");
+    engine
+        .enable_durability(DurabilityConfig {
+            fsync_every: FSYNC_EVERY,
+            ..DurabilityConfig::new(&dir)
+        })
+        .expect("fresh durability dir");
+    let mut cursor = 0u64;
+    let mut incremental: Vec<(u64, u64, u64)> = Vec::with_capacity(bursts.len());
+    for &burst in &bursts {
+        let mut touched = FxHashSet::default();
+        for k in cursor..cursor + burst {
+            let (u, it) = event_at(k);
+            touched.insert(u);
+            engine.try_ingest(u, it).expect("stream ids in range");
+        }
+        cursor += burst;
+        engine.checkpoint().expect("no epoch in flight");
+        let stats = engine.serving_stats().expect("stats");
+        incremental.push((
+            burst,
+            touched.len() as u64,
+            stats.durability.last_checkpoint_bytes,
+        ));
+    }
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut t = Table::new(
+        format!(
+            "Crash recovery and checkpoint sizing ({n_users} users, {n_items} items, \
+             {SHARDS} shards, fsync_every={FSYNC_EVERY})"
+        ),
+        &["measurement", "input", "result", "notes"],
+    );
+    for p in &points {
+        t.push(&[
+            "recover".to_string(),
+            format!("{} replay records", p.replay_records),
+            format!("{:.1} ms", p.recover_ms),
+            format!(
+                "{:.0} records/sec, {} WAL bytes",
+                p.records_per_sec, p.wal_bytes
+            ),
+        ]);
+    }
+    t.push(&[
+        "full checkpoint".to_string(),
+        format!("{n_users} users"),
+        format!("{full_checkpoint_bytes} bytes"),
+        "epoch 0 baseline".to_string(),
+    ]);
+    for &(burst, dirty, bytes) in &incremental {
+        t.push(&[
+            "incremental checkpoint".to_string(),
+            format!("{burst} events / {dirty} dirty users"),
+            format!("{bytes} bytes"),
+            format!(
+                "{:.1}% of full",
+                100.0 * bytes as f64 / full_checkpoint_bytes.max(1) as f64
+            ),
+        ]);
+    }
+
+    let points_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"replay_records\": {}, \"wal_bytes\": {}, \"recover_ms\": {:.2}, \
+                 \"records_per_sec\": {:.0} }}",
+                p.replay_records, p.wal_bytes, p.recover_ms, p.records_per_sec
+            )
+        })
+        .collect();
+    let incr_json: Vec<String> = incremental
+        .iter()
+        .map(|&(burst, dirty, bytes)| {
+            format!(
+                "    {{ \"burst_events\": {burst}, \"dirty_users\": {dirty}, \
+                 \"checkpoint_bytes\": {bytes} }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"bench-recovery\",\n  \"n_users\": {n_users},\n  \
+         \"n_items\": {n_items},\n  \"n_shards\": {SHARDS},\n  \"fsync_every\": {FSYNC_EVERY},\n  \
+         \"full_checkpoint_bytes\": {full_checkpoint_bytes},\n  \"recovery\": [\n{}\n  ],\n  \
+         \"incremental_checkpoints\": [\n{}\n  ]\n}}\n",
+        points_json.join(",\n"),
+        incr_json.join(",\n"),
+    );
+
+    RecoveryBenchOutput {
+        n_users,
+        n_items,
+        full_checkpoint_bytes,
+        incremental,
+        points,
         table: t,
         json,
     }

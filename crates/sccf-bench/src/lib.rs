@@ -5,7 +5,9 @@
 //! micro-benchmarks. See DESIGN.md §4 for the experiment index and
 //! EXPERIMENTS.md for recorded paper-vs-measured results.
 
+pub mod chaos;
 pub mod experiments;
 pub mod harness;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ChaosWorld, Lcg};
 pub use harness::{HarnessConfig, ModelSuite, PreparedData};

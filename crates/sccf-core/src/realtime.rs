@@ -16,6 +16,7 @@
 use std::sync::Arc;
 
 use sccf_models::InductiveUiModel;
+use sccf_util::hash::FxHashSet;
 use sccf_util::timer::{Stopwatch, TimingStats};
 use sccf_util::topk::Scored;
 
@@ -89,6 +90,12 @@ pub struct RealtimeEngine<M: InductiveUiModel> {
     /// installed — `events - tier_events_at_install` is the tier's
     /// staleness in events (reported via `ServingStats::neighborhood`).
     tier_events_at_install: u64,
+    /// Global ids of users whose state changed since the last
+    /// [`RealtimeEngine::drain_dirty_users`] — the incremental-checkpoint
+    /// working set of the durability layer. Marked on event ingest and
+    /// migration import, dropped on evict (the receiving shard marks the
+    /// user instead).
+    dirty: FxHashSet<u32>,
     scratch: QueryScratch,
 }
 
@@ -112,6 +119,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
             timings: EngineTimings::default(),
             recommends: 0,
             tier_events_at_install: 0,
+            dirty: FxHashSet::default(),
             scratch,
         }
     }
@@ -250,6 +258,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
             identify_ms,
         };
         self.timings.record(timing);
+        self.dirty.insert(user);
         Ok((neighbors, timing))
     }
 
@@ -357,6 +366,40 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
     /// carries everything the receiving shard needs to
     /// [`RealtimeEngine::import_user`] the user bit-identically to an
     /// offline snapshot restore.
+    /// Global ids of every user this engine owns, sorted ascending —
+    /// the whole population on the unsharded engine, the owned subset
+    /// on a shard view. The durability layer's *full* checkpoint
+    /// exports exactly these users.
+    pub fn owned_users(&self) -> Vec<u32> {
+        let mut users: Vec<u32> = match self.sccf.owned_globals() {
+            None => (0..self.sccf.user_count() as u32).collect(),
+            Some(globals) => globals.to_vec(),
+        };
+        users.sort_unstable();
+        users
+    }
+
+    /// Users whose state changed since the last drain (events ingested
+    /// or migrations received), sorted ascending for deterministic
+    /// checkpoint layout; clears the set. The incremental checkpoint
+    /// exports exactly these users.
+    pub fn drain_dirty_users(&mut self) -> Vec<u32> {
+        let mut users: Vec<u32> = self.dirty.drain().collect();
+        users.sort_unstable();
+        users
+    }
+
+    /// Re-mark a user dirty without changing any state — recovery marks
+    /// replayed users so the next incremental checkpoint covers them.
+    pub fn mark_dirty(&mut self, user: u32) {
+        self.dirty.insert(user);
+    }
+
+    /// Users currently pending a checkpoint export.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
     pub fn export_user(&self, user: u32) -> Result<Vec<u8>, QueryError> {
         let slot = self
             .sccf
@@ -402,6 +445,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
         }
         self.sccf.adopt_user(user, &history, &rep);
         self.histories.push(history);
+        self.dirty.insert(user);
         Ok(user)
     }
 
@@ -422,6 +466,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
         }
         let slot = self.sccf.evict_user(user);
         self.histories.swap_remove(slot as usize);
+        self.dirty.remove(&user);
         Ok(())
     }
 
@@ -488,6 +533,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
             timings: EngineTimings::default(),
             recommends: 0,
             tier_events_at_install: 0,
+            dirty: FxHashSet::default(),
             scratch,
         })
     }

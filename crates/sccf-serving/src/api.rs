@@ -163,6 +163,20 @@ pub enum ServingError {
     InvalidConfig(String),
     /// A snapshot artifact failed to decode.
     Snapshot(SnapshotDecodeError),
+    /// A whole-engine operation (snapshot, checkpoint) was requested
+    /// while an incremental epoch (live reshard or global-tier
+    /// refresh) is in flight. Finish or abort the epoch first; racing
+    /// it would capture a state no uninterrupted engine ever held.
+    EpochInFlight {
+        /// What was requested (`"snapshot"`, `"checkpoint"`, …).
+        requested: &'static str,
+        /// What is in flight (`"reshard"` or `"refresh"`).
+        in_flight: &'static str,
+    },
+    /// The durability layer failed: an I/O error, or a WAL/checkpoint
+    /// artifact that did not validate. Carries the underlying error
+    /// rendered as text (I/O errors are not `Clone`/`PartialEq`).
+    Durability(String),
 }
 
 impl From<QueryError> for ServingError {
@@ -182,6 +196,12 @@ impl From<SnapshotDecodeError> for ServingError {
     }
 }
 
+impl From<crate::wal::WalError> for ServingError {
+    fn from(e: crate::wal::WalError) -> Self {
+        Self::Durability(e.to_string())
+    }
+}
+
 impl std::fmt::Display for ServingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -198,6 +218,14 @@ impl std::fmt::Display for ServingError {
             Self::NotOwned { user } => write!(f, "user {user} is not owned by this shard"),
             Self::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
             Self::Snapshot(e) => write!(f, "snapshot: {e}"),
+            Self::EpochInFlight {
+                requested,
+                in_flight,
+            } => write!(
+                f,
+                "{requested} rejected: a {in_flight} epoch is in flight (finish or abort it first)"
+            ),
+            Self::Durability(msg) => write!(f, "durability: {msg}"),
         }
     }
 }
@@ -267,6 +295,35 @@ pub struct NeighborhoodStats {
     pub tier_search_ns: f64,
 }
 
+/// Durability-layer health, part of [`ServingStats`]: WAL volume, fsync
+/// debt and checkpoint progress. All zeros/disabled on engines running
+/// without durability — the historical in-memory-only behavior.
+/// `docs/OPERATIONS.md` explains how to size the fsync cadence and
+/// checkpoint interval from these numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// A WAL + checkpoint directory is armed.
+    pub enabled: bool,
+    /// Records appended across all shard WALs this process lifetime.
+    pub wal_records: u64,
+    /// Total WAL bytes written (sum over shard files).
+    pub wal_bytes: u64,
+    /// WAL bytes not yet covered by an fsync — the crash loss window,
+    /// bounded by `fsync_every` records per shard.
+    pub wal_unsynced_bytes: u64,
+    /// fsync calls issued across all shard WALs.
+    pub wal_syncs: u64,
+    /// Checkpoint epochs written (epoch 0 full export included).
+    pub checkpoints: u64,
+    /// Global event sequence the newest checkpoint is consistent with.
+    pub checkpoint_watermark: u64,
+    /// Bytes of the newest checkpoint file.
+    pub last_checkpoint_bytes: u64,
+    /// Events routed since the newest checkpoint — the replay debt a
+    /// crash right now would pay.
+    pub events_since_checkpoint: u64,
+}
+
 /// Unified serving statistics: subsumes the plain engine's
 /// [`EngineTimings`] and the sharded engine's per-shard reports in one
 /// shape, so dashboards and benches read both engine kinds identically.
@@ -287,6 +344,8 @@ pub struct ServingStats {
     /// Two-tier neighborhood health (see
     /// `ShardedEngine::refresh_global_tier`).
     pub neighborhood: NeighborhoodStats,
+    /// Durability-layer health (see `ShardedEngine::enable_durability`).
+    pub durability: DurabilityStats,
 }
 
 impl ServingStats {
@@ -475,6 +534,7 @@ impl<M: InductiveUiModel> ServingApi for RealtimeEngine<M> {
             shards: Vec::new(),
             migration: MigrationStats::default(),
             neighborhood,
+            durability: DurabilityStats::default(),
         })
     }
 

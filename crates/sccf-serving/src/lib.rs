@@ -35,6 +35,14 @@
 //!   `docs/ARCHITECTURE.md` for the event-flow diagram, state split
 //!   and tier diagram; `docs/OPERATIONS.md` for the
 //!   scale-out/scale-in and refresh-cadence runbooks.
+//! * [`wal`] — the durability layer's on-disk formats: per-shard
+//!   checksummed write-ahead logs and atomic incremental checkpoints.
+//!   [`ShardedEngine::enable_durability`] arms it, periodic
+//!   [`ShardedEngine::checkpoint`]s bound replay, and
+//!   [`ShardedEngine::recover`] rebuilds a crashed fleet bit-identical
+//!   to one that never crashed (newest checkpoint chain + WAL replay,
+//!   torn tails truncated at the first bad frame). See
+//!   `docs/OPERATIONS.md` for the runbook.
 //! * [`watermark`] — the bounded out-of-order reordering buffer.
 //! * [`click_model`] — the behavioral click/trade model.
 //! * [`ab_test`] — the two-bucket A/B experiment harness that
@@ -50,6 +58,7 @@ pub mod click_model;
 pub mod ring;
 pub mod sharded;
 pub mod stream;
+pub mod wal;
 pub mod watermark;
 
 pub use ab_test::{
@@ -57,15 +66,17 @@ pub use ab_test::{
     FnCandidateGen,
 };
 pub use api::{
-    ApiCandidateGen, MigrationStats, NeighborhoodStats, RecQuery, RecResponse, ServingApi,
-    ServingError, ServingStats,
+    ApiCandidateGen, DurabilityStats, MigrationStats, NeighborhoodStats, RecQuery, RecResponse,
+    ServingApi, ServingError, ServingStats,
 };
 pub use click_model::ClickModel;
 pub use ring::{HashRing, RingDecodeError};
 #[allow(deprecated)] // the legacy shim stays importable from its old path
 pub use sharded::shard_of;
 pub use sharded::{
-    RefreshReport, ReshardReport, RouterKind, ShardReport, ShardedConfig, ShardedEngine,
+    DurabilityConfig, RecoveryReport, RefreshReport, ReshardReport, RouterKind, ShardReport,
+    ShardedConfig, ShardedEngine,
 };
 pub use stream::{events_after, replay_events, replay_into, StreamEvent};
+pub use wal::{WalError, WalRecord, WalStatus};
 pub use watermark::WatermarkBuffer;

@@ -82,6 +82,7 @@
 //! [`ServingStats::migration`] exposes live progress counters; the
 //! operational runbook is `docs/OPERATIONS.md`.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -97,11 +98,12 @@ use sccf_util::topk::Scored;
 use sccf_util::FxHashSet;
 
 use crate::api::{
-    MigrationStats, NeighborhoodStats, RecQuery, RecResponse, ServingApi, ServingError,
-    ServingStats,
+    DurabilityStats, MigrationStats, NeighborhoodStats, RecQuery, RecResponse, ServingApi,
+    ServingError, ServingStats,
 };
 use crate::ring::HashRing;
 use crate::stream::StreamEvent;
+use crate::wal::{self, WalRecord, WalStatus, WalTail, WalWriter};
 
 /// Deprecated legacy router: FxHash of the user id, mod `n_shards`.
 ///
@@ -242,6 +244,91 @@ pub struct RefreshReport {
     pub duration_ms: f64,
 }
 
+/// Durability knobs: where the WAL + checkpoint files live and how
+/// aggressively they are flushed. See `docs/OPERATIONS.md` for sizing
+/// guidance — `fsync_every` trades ingest throughput against the crash
+/// loss window, `checkpoint_every_events` trades checkpoint I/O against
+/// replay time.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `wal-{shard}.log` and `ckpt-{epoch}.ckpt`
+    /// files. Created if missing by
+    /// [`ShardedEngine::enable_durability`]; must already hold state
+    /// for [`ShardedEngine::recover`].
+    pub dir: PathBuf,
+    /// WAL records per `fsync`, per shard. 1 = durable on every event
+    /// (zero loss window, slowest); larger values batch the syncs and
+    /// risk at most that many acknowledged-but-unsynced events per
+    /// shard on a crash. Must be ≥ 1.
+    pub fsync_every: u32,
+    /// Write an incremental checkpoint automatically every this many
+    /// routed events (0 = manual [`ShardedEngine::checkpoint`] only).
+    /// Auto-checkpoints are skipped while a reshard or refresh epoch
+    /// is in flight and retried on the next ingest after it clears.
+    pub checkpoint_every_events: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability into `dir` with the default cadences: fsync every 64
+    /// records, manual checkpoints only.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync_every: 64,
+            checkpoint_every_events: 0,
+        }
+    }
+}
+
+/// What [`ShardedEngine::recover`] found and did. The `replayed`
+/// records are the exact events re-applied on top of the checkpoint
+/// chain — the chaos harness uses them to reconstruct the acknowledged
+/// stream a recovered engine must be bit-identical to.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Checkpoints in the usable chain (epochs `0..checkpoints_loaded`).
+    pub checkpoints_loaded: usize,
+    /// A trailing checkpoint file failed validation and was ignored
+    /// (the shape a crash *during* a checkpoint write leaves behind).
+    pub trailing_checkpoint_skipped: bool,
+    /// Global sequence number the newest usable checkpoint is
+    /// consistent with; replay starts after it.
+    pub watermark: u64,
+    /// Distinct users restored from checkpoint blobs.
+    pub users_restored: usize,
+    /// WAL files scanned (including files of shards retired by past
+    /// fleet shapes — their records still replay).
+    pub wal_files: usize,
+    /// Records that survived scanning across all WAL files.
+    pub wal_records: usize,
+    /// Surviving records with `seq > watermark`, ascending by `seq` —
+    /// exactly what was re-applied to the checkpoint state.
+    pub replayed: Vec<WalRecord>,
+    /// WAL files whose tail failed validation (torn write or bit flip).
+    pub torn_files: usize,
+    /// Bytes truncated off those tails.
+    pub truncated_bytes: u64,
+    /// Highest sequence number seen anywhere (watermark included); the
+    /// recovered engine's sequence counter resumes after it, so new
+    /// events never collide with surviving records.
+    pub max_seq: u64,
+}
+
+/// Router-side durability state (the worker-side halves are the
+/// per-shard [`WalWriter`]s).
+struct DurabilityState {
+    cfg: DurabilityConfig,
+    /// Checkpoint epochs written so far (the next one gets this index).
+    checkpoints: u64,
+    /// Watermark of the newest checkpoint.
+    watermark: u64,
+    /// Byte size of the newest checkpoint file.
+    last_checkpoint_bytes: u64,
+    /// `events_routed` as of the newest checkpoint — the difference is
+    /// the replay debt a crash right now would pay.
+    events_at_checkpoint: u64,
+}
+
 /// Router-side state of an in-flight incremental tier refresh.
 struct RefreshEpoch {
     /// Next unexported global user id (the plan is simply `0..n_users`
@@ -258,6 +345,9 @@ struct RefreshEpoch {
 
 enum ShardMsg {
     Event {
+        /// Router-assigned global sequence number; logged to the WAL
+        /// (when durability is armed) before the event is applied.
+        seq: u64,
         user: u32,
         item: u32,
     },
@@ -271,18 +361,12 @@ enum ShardMsg {
     },
     /// Barrier: the worker replies once everything queued before this
     /// message has been processed.
-    Drain {
-        reply: Sender<()>,
-    },
+    Drain { reply: Sender<()> },
     /// Live counters + timings without stopping the worker.
-    Stats {
-        reply: Sender<ShardReport>,
-    },
+    Stats { reply: Sender<ShardReport> },
     /// The shard's owned `(global user, history)` pairs — the snapshot
     /// path merges these into one whole-population artifact.
-    Export {
-        reply: Sender<Vec<(u32, Vec<u32>)>>,
-    },
+    Export { reply: Sender<Vec<(u32, Vec<u32>)>> },
     /// Live-resharding handoff, source side: export each user's
     /// migration blob ([`RealtimeEngine::export_user`]) and evict it.
     /// Queued FIFO, so every event ingested for these users before the
@@ -295,15 +379,11 @@ enum ShardMsg {
     /// ([`RealtimeEngine::import_user`]). No reply — the bounded queue
     /// provides backpressure, and FIFO ordering guarantees the users
     /// exist before any later event or recommendation reaches them.
-    ImportUsers {
-        blobs: Vec<Vec<u8>>,
-    },
+    ImportUsers { blobs: Vec<Vec<u8>> },
     /// Quiesce step: re-order the shard's compact slots into the
     /// canonical layout so post-migration state is bit-identical to an
     /// offline restore. Replies when done (migration barrier).
-    Canonicalize {
-        reply: Sender<()>,
-    },
+    Canonicalize { reply: Sender<()> },
     /// Global-tier refresh, collect side: export each listed owned
     /// user's state blob ([`RealtimeEngine::export_user`]) **without
     /// evicting** — the shard keeps serving the user; the router only
@@ -326,6 +406,26 @@ enum ShardMsg {
     Neighbors {
         user: u32,
         reply: Sender<Result<Vec<Scored>, ServingError>>,
+    },
+    /// Arm durability on this worker: every later `Event` is appended
+    /// to `wal` *before* it is applied. `dirty` re-marks users whose
+    /// WAL records were replayed by recovery, so the next incremental
+    /// checkpoint covers them.
+    Durability { wal: WalWriter, dirty: Vec<u32> },
+    /// WAL bookkeeping: optionally fsync, then report the writer's
+    /// status (`None` when durability was never armed here). Rides the
+    /// FIFO queue, so the status reflects every event routed before it.
+    Wal {
+        sync: bool,
+        reply: Sender<Option<WalStatus>>,
+    },
+    /// Checkpoint export: the shard's dirty users' state blobs
+    /// (`full` = every owned user instead — the epoch-0 export). The
+    /// dirty set is drained either way. Rides the FIFO queue, so the
+    /// export reflects every event routed before it.
+    CheckpointExport {
+        full: bool,
+        reply: Sender<Vec<Vec<u8>>>,
     },
 }
 
@@ -463,9 +563,15 @@ pub struct ShardedEngine<M: InductiveUiModel + 'static> {
     last_refresh_batches: u64,
     /// Events accepted by the router over the fleet's life, and the
     /// value of that counter when the current tier was installed —
-    /// their difference is the tier's staleness in events.
+    /// their difference is the tier's staleness in events. With
+    /// durability armed this doubles as the WAL sequence counter
+    /// (event k gets `seq = k`, 1-based); recovery fast-forwards it
+    /// past every surviving record so sequences never collide.
     events_routed: u64,
     events_at_refresh: u64,
+    /// Durability layer, if armed (see
+    /// [`ShardedEngine::enable_durability`]).
+    durability: Option<DurabilityState>,
 }
 
 impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
@@ -546,6 +652,7 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             last_refresh_batches: 0,
             events_routed: 0,
             events_at_refresh: 0,
+            durability: None,
         })
     }
 
@@ -789,6 +896,13 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         // fleet's current global tier (if any) so their neighborhoods
         // match the surviving workers' from the first adopted user on.
         let inherited_tier = self.current_tier.clone();
+        // New workers inherit the durability arming too: their WAL must
+        // be in place before the first handoff import or routed event
+        // can reach them (FIFO order after the spawn guarantees it).
+        let inherited_wal = self
+            .durability
+            .as_ref()
+            .map(|st| (st.cfg.dir.clone(), st.cfg.fsync_every));
         for s in self.txs.len()..new_cfg.n_shards {
             let view = Sccf::empty_shard_view(&self.shared, self.n_users);
             let engine = RealtimeEngine::new(view, Vec::new());
@@ -799,6 +913,25 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
                 .expect("spawn shard worker");
             self.txs.push(tx);
             self.handles.push(Some(handle));
+            if let Some((dir, fsync_every)) = &inherited_wal {
+                let path = wal::wal_path(dir, s);
+                // A past fleet life may have left this shard id's file
+                // behind (scale-in then scale-out): append to it — its
+                // old records are still replayable, sequence numbers
+                // keep the global order.
+                let writer = if path.exists() {
+                    WalWriter::reopen(&path, *fsync_every)?
+                } else {
+                    WalWriter::create(&path, *fsync_every)?
+                };
+                self.send(
+                    s,
+                    ShardMsg::Durability {
+                        wal: writer,
+                        dirty: Vec::new(),
+                    },
+                );
+            }
             if let Some(tier) = &inherited_tier {
                 self.send(
                     s,
@@ -1266,15 +1399,393 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
     /// [`ShardedEngine::restore`] with a different shard count (offline
     /// resharding N→M). The export rides each shard's FIFO queue, so it
     /// acts as its own barrier: every event ingested before this call
-    /// is in the artifact. Safe between migration batches too — every
-    /// user is owned by exactly one worker at all times.
-    pub fn snapshot(&mut self) -> Vec<u8> {
+    /// is in the artifact.
+    ///
+    /// Rejects with [`ServingError::EpochInFlight`] while a live
+    /// reshard or a tier refresh is running: mid-epoch the fleet's
+    /// layout is transitional (users mid-handoff, a half-collected
+    /// tier), and an artifact cut there is a state no uninterrupted
+    /// engine ever held — the same reason `begin_reshard` and
+    /// `begin_refresh` reject each other. Finish or step the epoch to
+    /// completion first.
+    pub fn try_snapshot(&mut self) -> Result<Vec<u8>, ServingError> {
+        self.check_no_epoch("snapshot")?;
         let exports = self.fan_out(|reply| ShardMsg::Export { reply });
         let mut full: Vec<Vec<u32>> = vec![Vec::new(); self.n_users];
         for (user, history) in exports.into_iter().flatten() {
             full[user as usize] = history;
         }
-        encode_histories(&full)
+        Ok(encode_histories(&full))
+    }
+
+    /// Deprecated infallible form of [`ShardedEngine::try_snapshot`]
+    /// (panics where the typed path reports an in-flight epoch).
+    #[deprecated(note = "use `try_snapshot`; this wrapper panics during a reshard or refresh")]
+    pub fn snapshot(&mut self) -> Vec<u8> {
+        self.try_snapshot()
+            .unwrap_or_else(|e| panic!("snapshot: {e}"))
+    }
+
+    /// Typed rejection shared by the whole-engine operations that must
+    /// not race an incremental epoch.
+    fn check_no_epoch(&self, requested: &'static str) -> Result<(), ServingError> {
+        if self.is_migrating() {
+            return Err(ServingError::EpochInFlight {
+                requested,
+                in_flight: "reshard",
+            });
+        }
+        if self.refresh.is_some() {
+            return Err(ServingError::EpochInFlight {
+                requested,
+                in_flight: "refresh",
+            });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: per-shard WAL + incremental checkpoints
+
+    /// Arm the durability layer: every shard worker gets a
+    /// [`WalWriter`] appending each ingested event (before applying
+    /// it) to `dir/wal-{shard}.log`, and an epoch-0 *full* checkpoint
+    /// of the current state is written atomically. From here on a
+    /// crash loses at most the unsynced WAL tail (bounded by
+    /// `cfg.fsync_every` records per shard); everything acknowledged
+    /// and synced is reconstructed bit-identically by
+    /// [`ShardedEngine::recover`].
+    ///
+    /// Rejects a directory that already holds WAL or checkpoint files
+    /// — that state belongs to a previous life of some fleet; recover
+    /// from it (or point at a fresh directory) instead of silently
+    /// interleaving two histories.
+    pub fn enable_durability(&mut self, cfg: DurabilityConfig) -> Result<(), ServingError> {
+        if self.durability.is_some() {
+            return Err(ServingError::Durability(
+                "durability is already enabled".to_string(),
+            ));
+        }
+        self.check_no_epoch("enable_durability")?;
+        if cfg.fsync_every == 0 {
+            return Err(ServingError::InvalidConfig(
+                "fsync_every must be ≥ 1".to_string(),
+            ));
+        }
+        std::fs::create_dir_all(&cfg.dir).map_err(wal::WalError::from)?;
+        if !wal::list_wal_files(&cfg.dir)?.is_empty()
+            || !wal::list_checkpoints(&cfg.dir)?.is_empty()
+        {
+            return Err(ServingError::Durability(format!(
+                "{} already holds durability state; use ShardedEngine::recover \
+                 (or point at an empty directory)",
+                cfg.dir.display()
+            )));
+        }
+        for s in 0..self.txs.len() {
+            let writer = WalWriter::create(&wal::wal_path(&cfg.dir, s), cfg.fsync_every)?;
+            self.send(
+                s,
+                ShardMsg::Durability {
+                    wal: writer,
+                    dirty: Vec::new(),
+                },
+            );
+        }
+        // Epoch 0: the full baseline every later incremental diff
+        // stacks on. The export rides the FIFO queues, so it reflects
+        // exactly the events routed so far — `watermark`.
+        let watermark = self.events_routed;
+        let blobs: Vec<Vec<u8>> = self
+            .fan_out(|reply| ShardMsg::CheckpointExport { full: true, reply })
+            .into_iter()
+            .flatten()
+            .collect();
+        let bytes = wal::write_checkpoint_atomic(&cfg.dir, 0, watermark, &blobs)?;
+        self.durability = Some(DurabilityState {
+            cfg,
+            checkpoints: 1,
+            watermark,
+            last_checkpoint_bytes: bytes,
+            events_at_checkpoint: watermark,
+        });
+        Ok(())
+    }
+
+    /// Whether durability is armed, and where.
+    pub fn durability_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|st| st.cfg.dir.as_path())
+    }
+
+    /// Write the next *incremental* checkpoint: every shard exports
+    /// only the users dirtied since the previous checkpoint (events
+    /// ingested or migrations received), and the file is written
+    /// atomically (temp + fsync + rename + dir fsync). Returns the new
+    /// checkpoint epoch.
+    ///
+    /// The watermark is captured on the router before the export fans
+    /// out; because the router is the single writer of every queue and
+    /// queues are FIFO, the export reflects exactly the events with
+    /// `seq <= watermark` — a consistent cut with no stop-the-world
+    /// pause. Rejects mid-reshard / mid-refresh with
+    /// [`ServingError::EpochInFlight`] (ownership must not shift under
+    /// the export), and when durability was never enabled.
+    pub fn checkpoint(&mut self) -> Result<u64, ServingError> {
+        if self.durability.is_none() {
+            return Err(ServingError::Durability(
+                "durability is not enabled".to_string(),
+            ));
+        }
+        self.check_no_epoch("checkpoint")?;
+        let watermark = self.events_routed;
+        let blobs: Vec<Vec<u8>> = self
+            .fan_out(|reply| ShardMsg::CheckpointExport { full: false, reply })
+            .into_iter()
+            .flatten()
+            .collect();
+        let st = self.durability.as_mut().expect("checked above");
+        let epoch = st.checkpoints;
+        let bytes = wal::write_checkpoint_atomic(&st.cfg.dir, epoch, watermark, &blobs)?;
+        st.checkpoints += 1;
+        st.watermark = watermark;
+        st.last_checkpoint_bytes = bytes;
+        st.events_at_checkpoint = watermark;
+        Ok(epoch)
+    }
+
+    /// Force every shard's WAL onto stable storage now, regardless of
+    /// the `fsync_every` cadence, and return the per-shard statuses
+    /// (shard order). After this returns, every acknowledged event is
+    /// crash-durable.
+    pub fn wal_sync(&mut self) -> Result<Vec<WalStatus>, ServingError> {
+        if self.durability.is_none() {
+            return Err(ServingError::Durability(
+                "durability is not enabled".to_string(),
+            ));
+        }
+        Ok(self
+            .fan_out(|reply| ShardMsg::Wal { sync: true, reply })
+            .into_iter()
+            .flatten()
+            .collect())
+    }
+
+    /// Per-shard WAL statuses (shard order) without forcing a sync —
+    /// `len - synced_len` is each shard's current crash loss window in
+    /// bytes. Rides the queues, so it reflects every event routed
+    /// before the call.
+    pub fn wal_status(&mut self) -> Result<Vec<WalStatus>, ServingError> {
+        if self.durability.is_none() {
+            return Err(ServingError::Durability(
+                "durability is not enabled".to_string(),
+            ));
+        }
+        Ok(self
+            .fan_out(|reply| ShardMsg::Wal { sync: false, reply })
+            .into_iter()
+            .flatten()
+            .collect())
+    }
+
+    /// Auto-checkpoint trigger, called after each routed ingest. Defers
+    /// (does not fail) while an epoch is in flight; the next ingest
+    /// after the epoch clears fires it.
+    fn maybe_auto_checkpoint(&mut self) -> Result<(), ServingError> {
+        let due = match &self.durability {
+            Some(st) => {
+                st.cfg.checkpoint_every_events > 0
+                    && self.events_routed - st.events_at_checkpoint
+                        >= st.cfg.checkpoint_every_events
+            }
+            None => false,
+        };
+        if due && !self.is_migrating() && self.refresh.is_none() {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild a fleet from a durability directory: load the
+    /// checkpoint chain (newest valid contiguous prefix, overlaying
+    /// each user's newest blob), scan every WAL file (truncating torn
+    /// or corrupt tails at the last whole valid frame — a bad frame is
+    /// never partially applied), replay the surviving records with
+    /// `seq > watermark` in global sequence order, and come up with
+    /// durability re-armed on the same directory.
+    ///
+    /// The result is **bit-identical** — snapshot bytes and
+    /// recommendation score bits — to a fleet that never crashed and
+    /// was fed the same acknowledged stream (checkpoint watermark +
+    /// replayed records); `tests/chaos.rs` pins this under seeded
+    /// crash/corruption schedules. `cfg.n_shards` is free to differ
+    /// from the crashed fleet's: the artifact formats are
+    /// whole-population, so recovery doubles as offline resharding.
+    ///
+    /// A corrupt checkpoint *inside* the chain is a hard error (users
+    /// whose only export lives there would silently lose state); a
+    /// corrupt *trailing* checkpoint — the shape a crash during a
+    /// checkpoint write leaves — is skipped, falling back to the
+    /// previous epoch plus deeper WAL replay.
+    pub fn recover(
+        sccf: Sccf<M>,
+        cfg: ShardedConfig,
+        durability: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), ServingError> {
+        if durability.fsync_every == 0 {
+            return Err(ServingError::InvalidConfig(
+                "fsync_every must be ≥ 1".to_string(),
+            ));
+        }
+        let dir = durability.dir.clone();
+        let listed = wal::list_checkpoints(&dir)?;
+        if listed.is_empty() {
+            return Err(ServingError::Durability(format!(
+                "{} holds no checkpoint; enable_durability writes epoch 0 before any crash \
+                 can need recovery",
+                dir.display()
+            )));
+        }
+        // The usable chain is the contiguous valid prefix 0..=k. A gap
+        // or a corrupt file mid-chain loses users silently — hard
+        // error. A corrupt *last* file is the crash-during-write shape
+        // — skip it and replay deeper instead.
+        let mut chain: Vec<wal::Checkpoint> = Vec::new();
+        let mut trailing_checkpoint_skipped = false;
+        for (i, (epoch, path)) in listed.iter().enumerate() {
+            if *epoch != i as u64 {
+                return Err(ServingError::Durability(format!(
+                    "checkpoint chain has a hole: expected epoch {i}, found {epoch}"
+                )));
+            }
+            let decoded = std::fs::read(path)
+                .map_err(wal::WalError::from)
+                .and_then(|b| wal::decode_checkpoint(&b));
+            match decoded {
+                Ok(ck) if ck.epoch == *epoch => chain.push(ck),
+                Ok(ck) => {
+                    return Err(ServingError::Durability(format!(
+                        "checkpoint file {} declares epoch {} (name/content mismatch)",
+                        path.display(),
+                        ck.epoch
+                    )));
+                }
+                Err(e) if i + 1 == listed.len() && i > 0 => {
+                    trailing_checkpoint_skipped = true;
+                    let _ = e;
+                    break;
+                }
+                Err(e) => {
+                    return Err(ServingError::Durability(format!(
+                        "checkpoint epoch {epoch} is corrupt mid-chain: {e}"
+                    )));
+                }
+            }
+        }
+        let newest = chain.last().expect("non-empty chain");
+        let watermark = newest.watermark;
+        let last_checkpoint_bytes = wal::checkpoint_path(&dir, newest.epoch)
+            .metadata()
+            .map(|m| m.len())
+            .unwrap_or(0);
+        let checkpoints_loaded = chain.len();
+
+        // Overlay newest-blob-per-user across the chain (ascending
+        // epochs: later writes win).
+        let n_users = sccf.user_count();
+        let mut histories: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+        let mut seen = vec![false; n_users];
+        for ck in &chain {
+            for blob in &ck.blobs {
+                let (user, _rep, history) = decode_user_state(blob)?;
+                if user as usize >= n_users {
+                    return Err(ServingError::Durability(format!(
+                        "checkpoint blob for user {user} exceeds the population of {n_users}"
+                    )));
+                }
+                seen[user as usize] = true;
+                histories[user as usize] = history;
+            }
+        }
+        let users_restored = seen.iter().filter(|&&s| s).count();
+
+        // Scan every WAL file, repairing tails in place; then replay
+        // everything past the watermark in global sequence order.
+        let files = wal::list_wal_files(&dir)?;
+        let mut all_records: Vec<WalRecord> = Vec::new();
+        let mut torn_files = 0usize;
+        let mut truncated_bytes = 0u64;
+        for f in &files {
+            let (records, tail, cut) = wal::read_and_repair_wal(f)?;
+            if tail != WalTail::Clean {
+                torn_files += 1;
+                truncated_bytes += cut;
+            }
+            all_records.extend(records);
+        }
+        let wal_records = all_records.len();
+        let max_seq = all_records
+            .iter()
+            .map(|r| r.seq)
+            .max()
+            .unwrap_or(0)
+            .max(watermark);
+        let mut replayed: Vec<WalRecord> = all_records
+            .into_iter()
+            .filter(|r| r.seq > watermark)
+            .collect();
+        replayed.sort_by_key(|r| r.seq);
+        for r in &replayed {
+            if r.user as usize >= n_users {
+                return Err(ServingError::Durability(format!(
+                    "wal record seq {} names user {} outside the population of {n_users}",
+                    r.seq, r.user
+                )));
+            }
+            histories[r.user as usize].push(r.item);
+        }
+
+        // Histories fully reconstructed: build the fleet (item-range
+        // validation happens in try_new), then re-arm durability.
+        let mut engine = Self::try_new(sccf, histories, cfg)?;
+        engine.events_routed = max_seq;
+        for s in 0..engine.txs.len() {
+            let path = wal::wal_path(&dir, s);
+            let writer = if path.exists() {
+                WalWriter::reopen(&path, durability.fsync_every)?
+            } else {
+                WalWriter::create(&path, durability.fsync_every)?
+            };
+            // Replayed users must land in the next incremental
+            // checkpoint — their newest durable blob predates the
+            // replay.
+            let dirty: Vec<u32> = replayed
+                .iter()
+                .filter(|r| engine.epoch.route(r.user) == s)
+                .map(|r| r.user)
+                .collect();
+            engine.send(s, ShardMsg::Durability { wal: writer, dirty });
+        }
+        let replay_debt = replayed.len() as u64;
+        engine.durability = Some(DurabilityState {
+            cfg: durability,
+            checkpoints: checkpoints_loaded as u64,
+            watermark,
+            last_checkpoint_bytes,
+            events_at_checkpoint: max_seq - replay_debt,
+        });
+        let report = RecoveryReport {
+            checkpoints_loaded,
+            trailing_checkpoint_skipped,
+            watermark,
+            users_restored,
+            wal_files: files.len(),
+            wal_records,
+            replayed,
+            torn_files,
+            truncated_bytes,
+            max_seq,
+        };
+        Ok((engine, report))
     }
 
     /// Graceful shutdown: close every queue, let the workers drain what
@@ -1319,8 +1830,10 @@ impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
     ) -> Result<Option<sccf_core::EventTiming>, ServingError> {
         let s = self.check_user(user)?;
         self.check_item(item)?;
-        self.send(s, ShardMsg::Event { user, item });
         self.events_routed += 1;
+        let seq = self.events_routed;
+        self.send(s, ShardMsg::Event { seq, user, item });
+        self.maybe_auto_checkpoint()?;
         Ok(None)
     }
 
@@ -1333,9 +1846,11 @@ impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
         }
         for &(user, item) in events {
             let s = self.epoch.route(user);
-            self.send(s, ShardMsg::Event { user, item });
+            self.events_routed += 1;
+            let seq = self.events_routed;
+            self.send(s, ShardMsg::Event { seq, user, item });
         }
-        self.events_routed += events.len() as u64;
+        self.maybe_auto_checkpoint()?;
         Ok(events.len() as u64)
     }
 
@@ -1450,11 +1965,32 @@ impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
                 .map_or(0, |t| t.tier_bytes() as u64),
             tier_search_ns: self.tier_search_ns,
         };
+        stats.durability = if self.durability.is_some() {
+            let statuses: Vec<WalStatus> = self
+                .fan_out(|reply| ShardMsg::Wal { sync: false, reply })
+                .into_iter()
+                .flatten()
+                .collect();
+            let st = self.durability.as_ref().expect("checked above");
+            DurabilityStats {
+                enabled: true,
+                wal_records: statuses.iter().map(|s| s.appended).sum(),
+                wal_bytes: statuses.iter().map(|s| s.len).sum(),
+                wal_unsynced_bytes: statuses.iter().map(|s| s.len - s.synced_len).sum(),
+                wal_syncs: statuses.iter().map(|s| s.syncs).sum(),
+                checkpoints: st.checkpoints,
+                checkpoint_watermark: st.watermark,
+                last_checkpoint_bytes: st.last_checkpoint_bytes,
+                events_since_checkpoint: self.events_routed - st.events_at_checkpoint,
+            }
+        } else {
+            DurabilityStats::default()
+        };
         Ok(stats)
     }
 
     fn snapshot_state(&mut self) -> Result<Vec<u8>, ServingError> {
-        Ok(self.snapshot())
+        self.try_snapshot()
     }
 }
 
@@ -1465,11 +2001,25 @@ fn shard_worker<M: InductiveUiModel>(
 ) -> WorkerExit<M> {
     let mut events = 0u64;
     let mut recommends = 0u64;
+    // Armed by a `Durability` message; `None` = the historical
+    // in-memory-only behavior.
+    let mut walw: Option<WalWriter> = None;
     // Ends when every sender is dropped and the queue is drained — the
     // graceful-shutdown path.
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Event { user, item } => {
+            ShardMsg::Event { seq, user, item } => {
+                // Write-ahead: the record must be in the log before the
+                // state changes, or a crash between the two could
+                // acknowledge an event that recovery cannot replay. An
+                // I/O failure here is unrecoverable for the durability
+                // contract — surface it loudly rather than serve
+                // un-logged state.
+                if let Some(w) = walw.as_mut() {
+                    if let Err(e) = w.append(WalRecord { seq, user, item }) {
+                        panic!("shard {shard}: wal append: {e}");
+                    }
+                }
                 // The router pre-validates ids, so an error here means a
                 // routing bug — surface it loudly.
                 if let Err(e) = engine.try_process_event(user, item) {
@@ -1552,6 +2102,47 @@ fn shard_worker<M: InductiveUiModel>(
             ShardMsg::Neighbors { user, reply } => {
                 let _ = reply.send(engine.neighbors_of(user).map_err(ServingError::from));
             }
+            ShardMsg::Durability { wal, dirty } => {
+                for u in dirty {
+                    engine.mark_dirty(u);
+                }
+                walw = Some(wal);
+            }
+            ShardMsg::Wal { sync, reply } => {
+                if sync {
+                    if let Some(w) = walw.as_mut() {
+                        if let Err(e) = w.sync() {
+                            panic!("shard {shard}: wal sync: {e}");
+                        }
+                    }
+                }
+                let _ = reply.send(walw.as_ref().map(|w| w.status()));
+            }
+            ShardMsg::CheckpointExport { full, reply } => {
+                // Drain the dirty set either way: a full export
+                // subsumes every pending incremental entry.
+                let drained = engine.drain_dirty_users();
+                let users: Vec<u32> = if full { engine.owned_users() } else { drained };
+                // Every listed user is owned here (drained from this
+                // engine or enumerated from it), so a failure is a
+                // checkpoint bug — surface it loudly.
+                let blobs: Vec<Vec<u8>> = users
+                    .iter()
+                    .map(|&u| {
+                        engine
+                            .export_user(u)
+                            .unwrap_or_else(|e| panic!("shard {shard}: checkpoint export {e}"))
+                    })
+                    .collect();
+                let _ = reply.send(blobs);
+            }
+        }
+    }
+    // Graceful exit: push the WAL tail to stable storage so a clean
+    // shutdown never leaves an unsynced (losable) region behind.
+    if let Some(w) = walw.as_mut() {
+        if let Err(e) = w.sync() {
+            panic!("shard {shard}: wal sync on exit: {e}");
         }
     }
     let report = ShardReport {

@@ -1,0 +1,620 @@
+//! Per-shard write-ahead log and incremental checkpoints — the
+//! durability layer under [`crate::sharded::ShardedEngine`].
+//!
+//! ## On-disk formats
+//!
+//! **WAL** (`wal-{shard}.log`, magic `SCCFWL01`): the 8-byte magic
+//! followed by a sequence of CRC-32-protected frames
+//! (`bytes::framing`), one per ingested event. A frame payload is
+//! `[tag: u8 = 1][seq: u64 le][user: u32 le][item: u32 le]`; `seq` is
+//! the router-assigned global event sequence number, which totally
+//! orders events across shard files at replay time. Shard workers
+//! append *before* applying the event and `fsync` every
+//! `fsync_every` records, so the unsynced tail — the only region a
+//! crash can tear — is bounded by the fsync cadence.
+//!
+//! **Checkpoint** (`ckpt-{epoch:08}.ckpt`, magic `SCCFCP01`): the
+//! magic, one CRC-framed header (`epoch`, `watermark`, `n_entries`),
+//! then `n_entries` CRC-framed per-user blobs in
+//! `sccf_core::encode_user_state` format. `watermark` is the global
+//! sequence number the checkpoint is consistent with: every event with
+//! `seq <= watermark` is reflected, none after. Epoch 0 is a full
+//! export; later epochs carry only users dirtied since the previous
+//! one, so recovery overlays newest-blob-per-user across the chain.
+//!
+//! ## Torn tails
+//!
+//! Scanning stops at the first frame that is incomplete (stream ends
+//! mid-frame), has an impossible length, fails its CRC, or decodes to
+//! an impossible record. Everything before that point is trusted;
+//! everything from it on is discarded by truncating the file — a
+//! corrupt frame is never partially applied. [`scan_wal`] reports
+//! which of those tail states it saw so recovery can log the
+//! distinction, but the handling is identical.
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use bytes::framing::{decode_frame, encode_frame_into, Frame, FRAME_HEADER_LEN};
+use sccf_util::checksum::crc32;
+
+/// File magic for per-shard WAL files.
+pub const WAL_MAGIC: &[u8; 8] = b"SCCFWL01";
+/// File magic for checkpoint files.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"SCCFCP01";
+
+const RECORD_TAG_EVENT: u8 = 1;
+/// Encoded payload size of one event record.
+pub const RECORD_PAYLOAD_LEN: usize = 1 + 8 + 4 + 4;
+/// Full on-disk footprint of one WAL record (frame header + payload).
+pub const RECORD_FRAME_LEN: usize = FRAME_HEADER_LEN + RECORD_PAYLOAD_LEN;
+
+/// One durably logged ingest event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Router-assigned global sequence number (totally orders events
+    /// across all shard files).
+    pub seq: u64,
+    pub user: u32,
+    pub item: u32,
+}
+
+/// Durability-layer failure: an I/O error or a typed decode rejection.
+#[derive(Debug)]
+pub enum WalError {
+    Io(std::io::Error),
+    /// File does not start with the expected magic.
+    BadMagic,
+    /// Stream ended before a declared field.
+    Truncated,
+    /// A decoded field is structurally impossible (message says which).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io: {e}"),
+            WalError::BadMagic => write!(f, "wal: bad magic"),
+            WalError::Truncated => write!(f, "wal: truncated"),
+            WalError::Corrupt(what) => write!(f, "wal: corrupt {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Encode one record's frame payload into `buf` (cleared first).
+pub fn encode_record_into(buf: &mut Vec<u8>, rec: WalRecord) {
+    buf.clear();
+    buf.push(RECORD_TAG_EVENT);
+    buf.extend_from_slice(&rec.seq.to_le_bytes());
+    buf.extend_from_slice(&rec.user.to_le_bytes());
+    buf.extend_from_slice(&rec.item.to_le_bytes());
+}
+
+/// Decode one frame payload back into a record.
+pub fn decode_record(payload: &[u8]) -> Result<WalRecord, WalError> {
+    if payload.len() != RECORD_PAYLOAD_LEN {
+        return Err(WalError::Corrupt("record length"));
+    }
+    if payload[0] != RECORD_TAG_EVENT {
+        return Err(WalError::Corrupt("record tag"));
+    }
+    Ok(WalRecord {
+        seq: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
+        user: u32::from_le_bytes(payload[9..13].try_into().unwrap()),
+        item: u32::from_le_bytes(payload[13..17].try_into().unwrap()),
+    })
+}
+
+/// Why a WAL scan stopped where it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTail {
+    /// The file ended exactly on a frame boundary.
+    Clean,
+    /// The file ended mid-frame — the normal shape after a crash.
+    Torn,
+    /// A complete frame failed its CRC or decoded to an impossible
+    /// record (bit rot / bit flip).
+    CorruptFrame,
+}
+
+/// Result of scanning one WAL byte stream.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Surviving records with the byte offset of each one's frame
+    /// start (offsets let the crash-sweep tests cut at exact record
+    /// boundaries).
+    pub records: Vec<(usize, WalRecord)>,
+    /// Length of the trusted prefix (magic + whole valid frames);
+    /// recovery truncates the file to this.
+    pub valid_len: usize,
+    /// What stopped the scan.
+    pub tail: WalTail,
+}
+
+/// Scan a WAL byte stream: validate the magic, then walk frames until
+/// the stream ends or a frame fails validation. Never panics on
+/// arbitrary input.
+pub fn scan_wal(bytes: &[u8]) -> Result<WalScan, WalError> {
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(WalError::BadMagic);
+    }
+    let mut pos = WAL_MAGIC.len();
+    let mut records = Vec::new();
+    let tail = loop {
+        if pos == bytes.len() {
+            break WalTail::Clean;
+        }
+        match decode_frame(&bytes[pos..]) {
+            Frame::Incomplete => break WalTail::Torn,
+            Frame::Corrupt => break WalTail::CorruptFrame,
+            Frame::Complete { check, payload } => {
+                if crc32(payload) != check {
+                    break WalTail::CorruptFrame;
+                }
+                match decode_record(payload) {
+                    Ok(rec) => {
+                        records.push((pos, rec));
+                        pos += FRAME_HEADER_LEN + payload.len();
+                    }
+                    Err(_) => break WalTail::CorruptFrame,
+                }
+            }
+        }
+    };
+    Ok(WalScan {
+        records,
+        valid_len: pos,
+        tail,
+    })
+}
+
+/// WAL file length bookkeeping, as reported by [`WalWriter::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalStatus {
+    /// Bytes written (magic + all appended frames).
+    pub len: u64,
+    /// Bytes guaranteed on stable storage (through the last fsync).
+    pub synced_len: u64,
+    /// Records appended over this writer's lifetime.
+    pub appended: u64,
+    /// fsync calls issued by this writer.
+    pub syncs: u64,
+}
+
+/// Append-side handle to one shard's WAL file.
+///
+/// Appends are `write_all` of a pre-encoded frame (one reusable buffer,
+/// no per-record allocation) followed by an `fsync` every
+/// `fsync_every` records. The writer tracks `synced_len` so the chaos
+/// harness can simulate a crash by truncating the file to exactly what
+/// a real power loss would have preserved.
+pub struct WalWriter {
+    file: fs::File,
+    len: u64,
+    synced_len: u64,
+    appended: u64,
+    syncs: u64,
+    pending: u32,
+    fsync_every: u32,
+    buf: Vec<u8>,
+    frame: Vec<u8>,
+}
+
+impl WalWriter {
+    /// Create a fresh WAL file (fails if it exists — recovery reopens
+    /// via [`WalWriter::reopen`] after tail truncation) and durably
+    /// write the magic.
+    pub fn create(path: &Path, fsync_every: u32) -> Result<Self, WalError> {
+        let mut file = fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_data()?;
+        Ok(Self {
+            file,
+            len: WAL_MAGIC.len() as u64,
+            synced_len: WAL_MAGIC.len() as u64,
+            appended: 0,
+            syncs: 0,
+            pending: 0,
+            fsync_every: fsync_every.max(1),
+            buf: Vec::with_capacity(RECORD_PAYLOAD_LEN),
+            frame: Vec::with_capacity(RECORD_FRAME_LEN),
+        })
+    }
+
+    /// Reopen an existing WAL for appending. The caller (recovery) has
+    /// already scanned and truncated the file to its trusted prefix;
+    /// this just validates the magic and positions at the end.
+    pub fn reopen(path: &Path, fsync_every: u32) -> Result<Self, WalError> {
+        let bytes = fs::read(path)?;
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(WalError::BadMagic);
+        }
+        let file = fs::OpenOptions::new().append(true).open(path)?;
+        let len = bytes.len() as u64;
+        Ok(Self {
+            file,
+            len,
+            synced_len: len,
+            appended: 0,
+            syncs: 0,
+            pending: 0,
+            fsync_every: fsync_every.max(1),
+            buf: Vec::with_capacity(RECORD_PAYLOAD_LEN),
+            frame: Vec::with_capacity(RECORD_FRAME_LEN),
+        })
+    }
+
+    /// Append one record; fsyncs when the batch cadence is reached.
+    /// Call *before* applying the event to engine state.
+    pub fn append(&mut self, rec: WalRecord) -> Result<(), WalError> {
+        encode_record_into(&mut self.buf, rec);
+        self.frame.clear();
+        encode_frame_into(&mut self.frame, crc32(&self.buf), &self.buf);
+        self.file.write_all(&self.frame)?;
+        self.len += self.frame.len() as u64;
+        self.appended += 1;
+        self.pending += 1;
+        if self.pending >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Force everything appended so far onto stable storage.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.synced_len != self.len {
+            self.file.sync_data()?;
+            self.syncs += 1;
+        }
+        self.synced_len = self.len;
+        self.pending = 0;
+        Ok(())
+    }
+
+    pub fn status(&self) -> WalStatus {
+        WalStatus {
+            len: self.len,
+            synced_len: self.synced_len,
+            appended: self.appended,
+            syncs: self.syncs,
+        }
+    }
+}
+
+/// Path of shard `s`'s WAL file inside a durability directory.
+pub fn wal_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("wal-{shard}.log"))
+}
+
+/// Path of the epoch-`e` checkpoint file inside a durability directory.
+pub fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("ckpt-{epoch:08}.ckpt"))
+}
+
+/// All WAL files in a durability directory (any shard count — recovery
+/// replays files left behind by larger fleets of past lifetimes too).
+pub fn list_wal_files(dir: &Path) -> Result<Vec<PathBuf>, WalError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if name.starts_with("wal-") && name.ends_with(".log") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `(epoch, path)` of every checkpoint file in a durability directory,
+/// sorted ascending by epoch.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, WalError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if let Some(num) = name
+            .strip_prefix("ckpt-")
+            .and_then(|n| n.strip_suffix(".ckpt"))
+        {
+            if let Ok(epoch) = num.parse::<u64>() {
+                out.push((epoch, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// A decoded checkpoint file.
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// Position in the incremental chain (0 = full export).
+    pub epoch: u64,
+    /// Global event sequence number this checkpoint is consistent
+    /// with: every `seq <= watermark` reflected, none after.
+    pub watermark: u64,
+    /// Per-user state blobs (`sccf_core::encode_user_state` format).
+    pub blobs: Vec<Vec<u8>>,
+}
+
+/// Serialize a checkpoint: magic, CRC-framed header, CRC-framed blobs.
+pub fn encode_checkpoint(epoch: u64, watermark: u64, blobs: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        WAL_MAGIC.len()
+            + FRAME_HEADER_LEN
+            + 24
+            + blobs
+                .iter()
+                .map(|b| FRAME_HEADER_LEN + b.len())
+                .sum::<usize>(),
+    );
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    let mut header = Vec::with_capacity(24);
+    header.extend_from_slice(&epoch.to_le_bytes());
+    header.extend_from_slice(&watermark.to_le_bytes());
+    header.extend_from_slice(&(blobs.len() as u64).to_le_bytes());
+    encode_frame_into(&mut out, crc32(&header), &header);
+    for blob in blobs {
+        encode_frame_into(&mut out, crc32(blob), blob);
+    }
+    out
+}
+
+/// Decode and fully validate a checkpoint byte stream. Unlike the WAL
+/// (where a torn tail is expected), a checkpoint is written atomically
+/// — any defect rejects the whole file.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WalError> {
+    if bytes.len() < CHECKPOINT_MAGIC.len() || &bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC
+    {
+        return Err(WalError::BadMagic);
+    }
+    let mut pos = CHECKPOINT_MAGIC.len();
+    fn next<'a>(
+        bytes: &'a [u8],
+        pos: &mut usize,
+        what: &'static str,
+    ) -> Result<&'a [u8], WalError> {
+        match decode_frame(&bytes[*pos..]) {
+            Frame::Incomplete => Err(WalError::Truncated),
+            Frame::Corrupt => Err(WalError::Corrupt(what)),
+            Frame::Complete { check, payload } => {
+                if crc32(payload) != check {
+                    return Err(WalError::Corrupt(what));
+                }
+                *pos += FRAME_HEADER_LEN + payload.len();
+                Ok(payload)
+            }
+        }
+    }
+    let header = next(bytes, &mut pos, "checkpoint header")?;
+    if header.len() != 24 {
+        return Err(WalError::Corrupt("checkpoint header length"));
+    }
+    let epoch = u64::from_le_bytes(header[0..8].try_into().unwrap());
+    let watermark = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let n_entries = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    // A corrupt count cannot allocate more than the stream could hold:
+    // every entry costs at least a frame header.
+    let max_possible = (bytes.len() - pos) / FRAME_HEADER_LEN + 1;
+    let n_entries = usize::try_from(n_entries).map_err(|_| WalError::Corrupt("entry count"))?;
+    if n_entries > max_possible {
+        return Err(WalError::Corrupt("entry count"));
+    }
+    let mut blobs = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        blobs.push(next(bytes, &mut pos, "checkpoint entry")?.to_vec());
+    }
+    if pos != bytes.len() {
+        return Err(WalError::Corrupt("trailing bytes"));
+    }
+    Ok(Checkpoint {
+        epoch,
+        watermark,
+        blobs,
+    })
+}
+
+/// Write a checkpoint atomically: temp file in the same directory,
+/// `fsync`, rename into place, `fsync` the directory. A crash at any
+/// point leaves either no visible file or a complete valid one.
+pub fn write_checkpoint_atomic(
+    dir: &Path,
+    epoch: u64,
+    watermark: u64,
+    blobs: &[Vec<u8>],
+) -> Result<u64, WalError> {
+    let bytes = encode_checkpoint(epoch, watermark, blobs);
+    let tmp = dir.join(format!("ckpt-{epoch:08}.tmp"));
+    let path = checkpoint_path(dir, epoch);
+    {
+        let mut f = fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &path)?;
+    // Durable rename: fsync the directory so the new name survives.
+    fs::File::open(dir)?.sync_all()?;
+    Ok(bytes.len() as u64)
+}
+
+/// Read one WAL file, truncate any invalid tail in place, and return
+/// the surviving records plus what was cut. This is the only mutation
+/// recovery performs on WAL files.
+pub fn read_and_repair_wal(path: &Path) -> Result<(Vec<WalRecord>, WalTail, u64), WalError> {
+    let bytes = fs::read(path)?;
+    let scan = scan_wal(&bytes)?;
+    let cut = (bytes.len() - scan.valid_len) as u64;
+    if cut > 0 {
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(scan.valid_len as u64)?;
+        f.sync_data()?;
+    }
+    Ok((
+        scan.records.into_iter().map(|(_, r)| r).collect(),
+        scan.tail,
+        cut,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sccf_wal_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rec(seq: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            user: (seq % 97) as u32,
+            item: (seq % 31) as u32,
+        }
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let path = wal_path(&dir, 0);
+        let mut w = WalWriter::create(&path, 4).unwrap();
+        for s in 0..10 {
+            w.append(rec(s)).unwrap();
+        }
+        w.sync().unwrap();
+        let st = w.status();
+        assert_eq!(st.len, st.synced_len);
+        assert_eq!(st.appended, 10);
+        let scan = scan_wal(&fs::read(&path).unwrap()).unwrap();
+        assert_eq!(scan.tail, WalTail::Clean);
+        let got: Vec<WalRecord> = scan.records.iter().map(|&(_, r)| r).collect();
+        let want: Vec<WalRecord> = (0..10).map(rec).collect();
+        assert_eq!(got, want);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_cadence_tracks_synced_len() {
+        let dir = tmp_dir("cadence");
+        let path = wal_path(&dir, 0);
+        let mut w = WalWriter::create(&path, 3).unwrap();
+        w.append(rec(0)).unwrap();
+        w.append(rec(1)).unwrap();
+        let st = w.status();
+        assert_eq!(st.synced_len, WAL_MAGIC.len() as u64);
+        assert_eq!(st.len - st.synced_len, 2 * RECORD_FRAME_LEN as u64);
+        w.append(rec(2)).unwrap(); // third record triggers the fsync
+        let st = w.status();
+        assert_eq!(st.len, st.synced_len);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_whole_record() {
+        let dir = tmp_dir("torn");
+        let path = wal_path(&dir, 0);
+        let mut w = WalWriter::create(&path, 1).unwrap();
+        for s in 0..5 {
+            w.append(rec(s)).unwrap();
+        }
+        drop(w);
+        let full = fs::read(&path).unwrap();
+        // Tear mid-record: keep 3 whole records plus half of the 4th.
+        let cut = WAL_MAGIC.len() + 3 * RECORD_FRAME_LEN + RECORD_FRAME_LEN / 2;
+        fs::write(&path, &full[..cut]).unwrap();
+        let (records, tail, repaired) = read_and_repair_wal(&path).unwrap();
+        assert_eq!(tail, WalTail::Torn);
+        assert_eq!(records.len(), 3);
+        assert!(repaired > 0);
+        assert_eq!(
+            fs::read(&path).unwrap().len(),
+            WAL_MAGIC.len() + 3 * RECORD_FRAME_LEN
+        );
+        // Idempotent: a second repair is a no-op.
+        let (records, tail, repaired) = read_and_repair_wal(&path).unwrap();
+        assert_eq!((records.len(), tail, repaired), (3, WalTail::Clean, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_is_detected_and_cut() {
+        let dir = tmp_dir("flip");
+        let path = wal_path(&dir, 0);
+        let mut w = WalWriter::create(&path, 1).unwrap();
+        for s in 0..4 {
+            w.append(rec(s)).unwrap();
+        }
+        drop(w);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload bit inside the third record.
+        let target = WAL_MAGIC.len() + 2 * RECORD_FRAME_LEN + FRAME_HEADER_LEN + 5;
+        bytes[target] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        let (records, tail, _) = read_and_repair_wal(&path).unwrap();
+        assert_eq!(tail, WalTail::CorruptFrame);
+        assert_eq!(records.len(), 2, "records after the flip are discarded");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_rejection() {
+        let blobs: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 10 + i as usize]).collect();
+        let bytes = encode_checkpoint(3, 12345, &blobs);
+        let ck = decode_checkpoint(&bytes).unwrap();
+        assert_eq!((ck.epoch, ck.watermark), (3, 12345));
+        assert_eq!(ck.blobs, blobs);
+        // Any truncation or flip rejects the whole file.
+        for cut in 0..bytes.len() {
+            assert!(decode_checkpoint(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 2] ^= 1;
+        assert!(decode_checkpoint(&bad).is_err());
+        assert!(decode_checkpoint(b"garbage").is_err());
+    }
+
+    #[test]
+    fn atomic_checkpoint_lists_in_epoch_order() {
+        let dir = tmp_dir("atomic");
+        write_checkpoint_atomic(&dir, 1, 10, &[vec![1]]).unwrap();
+        write_checkpoint_atomic(&dir, 0, 0, &[vec![0]]).unwrap();
+        write_checkpoint_atomic(&dir, 2, 20, &[vec![2]]).unwrap();
+        let found = list_checkpoints(&dir).unwrap();
+        assert_eq!(
+            found.iter().map(|&(e, _)| e).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        for (e, p) in found {
+            let ck = decode_checkpoint(&fs::read(p).unwrap()).unwrap();
+            assert_eq!(ck.epoch, e);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,102 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) for the durability layer.
+//!
+//! The WAL and checkpoint formats frame every payload with a CRC so a
+//! torn write or flipped bit is detected before a single byte of it is
+//! applied to engine state. Table-driven, one 1 KiB table built at
+//! first use — fast enough that checksumming never shows up next to
+//! the fsync it guards.
+
+/// Reflected IEEE polynomial (the `crc32` of zlib, gzip, ethernet).
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    })
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// Streaming CRC-32 accumulator for multi-slice payloads.
+#[derive(Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        let t = table();
+        let mut c = self.state;
+        for &b in bytes {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"hello durability world";
+        let mut c = Crc32::new();
+        c.update(&data[..5]);
+        c.update(&data[5..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = vec![0u8; 64];
+        data[17] = 0x5A;
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut d = data.clone();
+                d[byte] ^= 1 << bit;
+                assert_ne!(crc32(&d), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

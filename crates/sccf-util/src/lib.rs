@@ -5,6 +5,8 @@
 //!
 //! * [`hash`] — an FxHash implementation and `FxHashMap`/`FxHashSet` aliases
 //!   (integer-keyed maps are on every hot path of a recommender).
+//! * [`checksum`] — table-driven CRC-32 (IEEE) protecting the WAL and
+//!   checkpoint frames of the durability layer.
 //! * [`topk`] — heap-based top-k selection over scored ids, the primitive
 //!   behind every "retrieve the N best items/users" step.
 //! * [`stats`] — online mean/variance (Welford), z-normalization as used by
@@ -20,6 +22,7 @@
 //! * [`timer`] — wall-clock timing helpers for the latency experiments
 //!   (Table III).
 
+pub mod checksum;
 pub mod hash;
 pub mod rng;
 pub mod sparse;
@@ -28,6 +31,7 @@ pub mod table;
 pub mod timer;
 pub mod topk;
 
+pub use checksum::{crc32, Crc32};
 pub use hash::{FxHashMap, FxHashSet};
 pub use sparse::{SparseScores, StampSet};
 pub use stats::{zscore_normalize, Histogram, OnlineStats};

@@ -1,0 +1,114 @@
+//! The durability acceptance gate: seeded crash-chaos schedules
+//! interleaving ingest, recommendation, live-reshard steps,
+//! tier-refresh steps, checkpoints, WAL syncs and kill-and-recover
+//! cycles with torn-tail / bit-flip / trailing-checkpoint corruption.
+//!
+//! Every schedule is a pure function of its `u64` seed; a failing seed
+//! is printed in the panic message and replays locally with
+//! `run_chaos(&world, &ChaosConfig::quick(seed))`. The fixed seed set
+//! below runs in tier-1; export `SCCF_CHAOS_LONG=1` for the
+//! nightly-style widened sweep (more seeds, longer schedules).
+
+use sccf_bench::chaos::{run_chaos, ChaosConfig, ChaosWorld};
+
+/// Tier-1 seed set: small but diverse — different schedules hit
+/// different interleavings of epochs, corruption and kills.
+const CI_SEEDS: [u64; 6] = [1, 2, 3, 5, 8, 13];
+
+#[test]
+fn chaos_ci_seeds_recover_bit_identically() {
+    let world = ChaosWorld::build(42);
+    let mut kills = 0;
+    let mut torn = 0;
+    let mut flips = 0;
+    let mut attacks = 0;
+    let mut skips = 0;
+    let mut rejections = 0;
+    let mut replayed = 0;
+    for &seed in &CI_SEEDS {
+        let report = run_chaos(&world, &ChaosConfig::quick(seed));
+        assert!(report.kills >= 1, "seed {seed}: no kill exercised");
+        assert!(report.ingested > 0, "seed {seed}: no events ingested");
+        kills += report.kills;
+        torn += report.torn_tails;
+        flips += report.bit_flips;
+        attacks += report.checkpoint_attacks;
+        skips += report.trailing_skips;
+        rejections += report.epoch_rejections;
+        replayed += report.replayed_total;
+    }
+    // The seed set as a whole must exercise the interesting machinery;
+    // a silent schedule regression (e.g. kills stop tearing tails)
+    // would otherwise hollow the suite out without failing it.
+    assert!(kills >= CI_SEEDS.len() as u64, "too few kills: {kills}");
+    assert!(torn > 0, "no torn tail was ever injected");
+    assert!(flips > 0, "no bit flip was ever injected");
+    assert!(attacks > 0, "no trailing checkpoint was ever attacked");
+    assert!(
+        skips > 0,
+        "recovery never skipped a corrupt trailing checkpoint"
+    );
+    assert!(
+        rejections > 0,
+        "no checkpoint/snapshot was ever rejected mid-epoch"
+    );
+    assert!(replayed > 0, "no WAL record was ever replayed");
+}
+
+/// A no-corruption control: with crash simulation limited to clean
+/// syncs (`corrupt: false`), every acknowledged event must survive
+/// every kill — zero loss, always.
+#[test]
+fn chaos_without_corruption_loses_nothing() {
+    let world = ChaosWorld::build(42);
+    for seed in [21, 34] {
+        let report = run_chaos(
+            &world,
+            &ChaosConfig {
+                corrupt: false,
+                ..ChaosConfig::quick(seed)
+            },
+        );
+        assert!(report.kills >= 1, "seed {seed}: no kill exercised");
+        assert_eq!(
+            report.lost_events, 0,
+            "seed {seed}: clean kills must lose nothing"
+        );
+    }
+}
+
+/// Auto-checkpoint cadence under chaos: the incremental checkpoints
+/// fired from the ingest path must survive the same schedules.
+#[test]
+fn chaos_with_auto_checkpoints() {
+    let world = ChaosWorld::build(42);
+    for seed in [55, 89] {
+        let report = run_chaos(
+            &world,
+            &ChaosConfig {
+                checkpoint_every_events: 40,
+                ..ChaosConfig::quick(seed)
+            },
+        );
+        assert!(report.kills >= 1, "seed {seed}: no kill exercised");
+    }
+}
+
+/// The widened sweep: opt-in via `SCCF_CHAOS_LONG=1` (CI runs it in
+/// the scheduled job; tier-1 skips it to stay fast).
+#[test]
+fn chaos_long_sweep() {
+    if std::env::var("SCCF_CHAOS_LONG").is_err() {
+        eprintln!("chaos_long_sweep: skipped (set SCCF_CHAOS_LONG=1 to run)");
+        return;
+    }
+    let world = ChaosWorld::build(42);
+    for seed in 100..140u64 {
+        let mut cfg = ChaosConfig::quick(seed);
+        cfg.steps = 400;
+        cfg.checkpoint_every_events = if seed % 3 == 0 { 64 } else { 0 };
+        cfg.fsync_every = 1 + (seed % 8) as u32;
+        let report = run_chaos(&world, &cfg);
+        assert!(report.kills >= 1, "seed {seed}: no kill exercised");
+    }
+}

@@ -500,6 +500,66 @@ fn refresh_with_full_queues_backpressures_and_never_deadlocks() {
 }
 
 #[test]
+fn snapshot_mid_epoch_is_a_typed_rejection_not_a_corrupt_artifact() {
+    use sccf::serving::ServingError;
+    // Mid-reshard and mid-refresh, the fleet's layout is transitional —
+    // users mid-handoff, a half-collected tier. A snapshot cut there
+    // would be a state no uninterrupted engine ever held, so the typed
+    // surface must reject it with EpochInFlight (and recover cleanly
+    // once the epoch quiesces), never export a half-migrated artifact.
+    let mut fleet = build_fleet(47, 2, 4);
+    for k in 0..30u32 {
+        fleet
+            .try_ingest(k % 16, (k * 3) % 16)
+            .expect("ids in range");
+    }
+    let baseline = fleet.try_snapshot().expect("stable fleet snapshots");
+
+    fleet
+        .begin_reshard(
+            ShardedConfig {
+                n_shards: 3,
+                queue_capacity: 4,
+                router: RouterKind::Consistent { vnodes: 16 },
+            },
+            2,
+        )
+        .expect("begin reshard");
+    assert!(matches!(
+        fleet.try_snapshot(),
+        Err(ServingError::EpochInFlight {
+            requested: "snapshot",
+            in_flight: "reshard",
+        })
+    ));
+    while fleet.is_migrating() {
+        fleet.reshard_step().expect("drive migration to completion");
+    }
+    // Nothing ingested during the epoch: the post-epoch artifact is the
+    // same canonical bytes the pre-epoch fleet exported.
+    assert_eq!(
+        fleet.try_snapshot().expect("snapshot after quiesce"),
+        baseline,
+        "a reshard moves users, it must not change their histories"
+    );
+
+    fleet.begin_refresh(4).expect("begin refresh");
+    assert!(matches!(
+        fleet.try_snapshot(),
+        Err(ServingError::EpochInFlight {
+            requested: "snapshot",
+            in_flight: "refresh",
+        })
+    ));
+    while fleet.refresh_step().expect("collection batch") > 0 {}
+    assert_eq!(
+        fleet.try_snapshot().expect("snapshot after refresh"),
+        baseline
+    );
+    fleet.shutdown();
+}
+
+#[test]
 fn shutdown_mid_migration_drains_cleanly_with_complete_accounting() {
     // Kill the fleet between handoff batches: some users already moved
     // to the freshly spawned shards, some still pending. Shutdown must

@@ -197,3 +197,212 @@ fn accelerated_tier_snapshot_roundtrips_and_rebuilds_byte_identically() {
         assert!(GlobalNeighborSnapshot::decode(&bytes[..bytes.len() - 3]).is_err());
     }
 }
+
+// ------------------------------------------- corruption proptests
+//
+// Every `SCCF*` byte format shares one contract: a decoder fed
+// truncated input or a corrupted length prefix returns a typed error —
+// it never panics, never over-allocates on an oversized count (every
+// multiply is `checked_mul`-guarded), and never half-applies. The
+// properties below feed each public decoder every strict prefix and
+// randomized byte corruption of a valid artifact.
+
+use proptest::prelude::*;
+
+/// A valid engine-snapshot artifact (`SCCFRT01`) and the histories it
+/// encodes.
+fn histories_artifact(seed: u64) -> (Vec<Vec<u32>>, Vec<u8>) {
+    use proptest::Gen;
+    let mut g = Gen::new(seed);
+    let n_users = 1 + g.below(20) as usize;
+    let histories: Vec<Vec<u32>> = (0..n_users)
+        .map(|_| (0..g.below(12)).map(|_| g.below(500) as u32).collect())
+        .collect();
+    let bytes = sccf::core::encode_histories(&histories);
+    (histories, bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `SCCFRT01` (whole-engine snapshot): every strict prefix is a
+    /// typed error, and arbitrary byte corruption never panics.
+    #[test]
+    fn histories_decoder_survives_truncation_and_corruption(
+        seed in 0u64..10_000,
+        cut_frac in 0.0f64..1.0,
+        flip_pos in 0usize..4096,
+        flip_bit in 0u8..8,
+    ) {
+        let (histories, bytes) = histories_artifact(seed);
+        prop_assert_eq!(
+            sccf::core::decode_histories(&bytes).expect("own artifact decodes"),
+            histories
+        );
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        prop_assert!(
+            sccf::core::decode_histories(&bytes[..cut.min(bytes.len() - 1)]).is_err(),
+            "a strict prefix must not decode"
+        );
+        let mut corrupt = bytes.clone();
+        let pos = flip_pos % corrupt.len();
+        corrupt[pos] ^= 1 << flip_bit;
+        // Flips in id regions may decode to different content; flips in
+        // a length prefix must be caught by the checked-length guards.
+        // Either way: a clean return, never a panic or over-allocation.
+        let _ = sccf::core::decode_histories(&corrupt);
+    }
+
+    /// `SCCFUM01` (per-user state blob, the checkpoint payload): same
+    /// contract as above.
+    #[test]
+    fn user_state_decoder_survives_truncation_and_corruption(
+        user in 0u32..1000,
+        rep in prop::collection::vec(-1.0f32..1.0, 0..16),
+        history in prop::collection::vec(0u32..500, 0..24),
+        cut_frac in 0.0f64..1.0,
+        flip_pos in 0usize..4096,
+        flip_bit in 0u8..8,
+    ) {
+        let bytes = sccf::core::encode_user_state(user, &rep, &history);
+        let (u, r, h) = sccf::core::decode_user_state(&bytes).expect("own artifact decodes");
+        prop_assert_eq!(u, user);
+        prop_assert_eq!(r, rep);
+        prop_assert_eq!(h, history);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        prop_assert!(
+            sccf::core::decode_user_state(&bytes[..cut.min(bytes.len() - 1)]).is_err(),
+            "a strict prefix must not decode"
+        );
+        let mut corrupt = bytes.clone();
+        let pos = flip_pos % corrupt.len();
+        corrupt[pos] ^= 1 << flip_bit;
+        let _ = sccf::core::decode_user_state(&corrupt);
+    }
+
+    /// `SCCFWL01` (WAL): corruption anywhere makes the scan stop at a
+    /// frame boundary — the surviving records are always an exact
+    /// prefix of the original sequence, never a reordered or
+    /// half-decoded subset (CRC framing catches every single-bit flip).
+    #[test]
+    fn wal_scan_yields_an_exact_prefix_under_any_corruption(
+        n_records in 1usize..40,
+        cut_frac in 0.0f64..1.0,
+        flip_pos in 0usize..4096,
+        flip_bit in 0u8..8,
+    ) {
+        use sccf::serving::wal;
+        let dir = std::env::temp_dir()
+            .join(format!("sccf_ser_wal_{}_{n_records}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = wal::wal_path(&dir, 0);
+        let mut w = wal::WalWriter::create(&path, 4).unwrap();
+        for k in 0..n_records as u64 {
+            w.append(wal::WalRecord {
+                seq: k + 1,
+                user: (k * 7 % 64) as u32,
+                item: (k * 13 % 64) as u32,
+            })
+            .unwrap();
+        }
+        w.sync().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let clean = wal::scan_wal(&bytes).expect("own artifact scans clean");
+        prop_assert_eq!(clean.records.len(), n_records);
+
+        // Truncate anywhere past the magic: scan keeps whole frames only.
+        let cut = wal::WAL_MAGIC.len()
+            + ((bytes.len() - wal::WAL_MAGIC.len()) as f64 * cut_frac) as usize;
+        let scan = wal::scan_wal(&bytes[..cut]).expect("torn tails are data, not errors");
+        let whole = (cut - wal::WAL_MAGIC.len()) / wal::RECORD_FRAME_LEN;
+        prop_assert_eq!(scan.records.len(), whole);
+
+        // Flip one bit anywhere past the magic: the records that survive
+        // are an exact prefix of the clean sequence.
+        let mut corrupt = bytes.clone();
+        let pos = wal::WAL_MAGIC.len() + flip_pos % (corrupt.len() - wal::WAL_MAGIC.len());
+        corrupt[pos] ^= 1 << flip_bit;
+        let scan = wal::scan_wal(&corrupt).expect("corrupt tails are data, not errors");
+        prop_assert!(scan.records.len() < n_records, "CRC must catch every single-bit flip");
+        for (got, want) in scan.records.iter().zip(&clean.records) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// `SCCFCP01` (checkpoint): all-or-nothing — every strict prefix
+    /// and every single-bit flip is a typed error (header and every
+    /// blob are CRC-framed; the entry count is sanity-bounded against
+    /// the remaining bytes, so an oversized count cannot drive an
+    /// allocation).
+    #[test]
+    fn checkpoint_decoder_is_all_or_nothing(
+        n_blobs in 0usize..10,
+        blob_len in 1usize..40,
+        cut_frac in 0.0f64..1.0,
+        flip_pos in 0usize..4096,
+        flip_bit in 0u8..8,
+    ) {
+        use sccf::serving::wal;
+        let blobs: Vec<Vec<u8>> = (0..n_blobs)
+            .map(|b| (0..blob_len).map(|i| (b * 31 + i) as u8).collect())
+            .collect();
+        let bytes = wal::encode_checkpoint(3, 999, &blobs);
+        let ck = wal::decode_checkpoint(&bytes).expect("own artifact decodes");
+        prop_assert_eq!(ck.epoch, 3);
+        prop_assert_eq!(ck.watermark, 999);
+        prop_assert_eq!(&ck.blobs, &blobs);
+
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        prop_assert!(
+            wal::decode_checkpoint(&bytes[..cut.min(bytes.len() - 1)]).is_err(),
+            "a strict prefix must not decode"
+        );
+        let mut corrupt = bytes.clone();
+        let pos = flip_pos % corrupt.len();
+        corrupt[pos] ^= 1 << flip_bit;
+        prop_assert!(
+            wal::decode_checkpoint(&corrupt).is_err(),
+            "flip at byte {pos} went undetected"
+        );
+    }
+
+    /// `SCCFGT02`/`SCCFFZ01`/`SCCFAC01` (global-tier snapshot and its
+    /// embedded frozen/accelerator sections): truncation is always a
+    /// typed error; arbitrary corruption never panics.
+    #[test]
+    fn tier_snapshot_decoder_survives_truncation_and_corruption(
+        seed in 0u64..10_000,
+        cut_frac in 0.0f64..1.0,
+        flip_pos in 0usize..65_536,
+        flip_bit in 0u8..8,
+    ) {
+        use proptest::Gen;
+        use sccf::core::GlobalNeighborSnapshot;
+        let mut g = Gen::new(seed);
+        let dim = 4usize;
+        let n_users = 2 + g.below(30) as usize;
+        let entries: Vec<(u32, Vec<f32>, Vec<u32>)> = (0..n_users as u32)
+            .map(|u| {
+                let v: Vec<f32> = (0..dim).map(|_| g.unit_f64() as f32 - 0.5).collect();
+                let w: Vec<u32> = (0..g.below(5)).map(|_| g.below(64) as u32).collect();
+                (u, v, w)
+            })
+            .collect();
+        let snap = GlobalNeighborSnapshot::build(1, n_users, dim, entries);
+        let bytes = snap.encode();
+        prop_assert!(GlobalNeighborSnapshot::decode(&bytes).is_ok());
+
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        prop_assert!(
+            GlobalNeighborSnapshot::decode(&bytes[..cut.min(bytes.len() - 1)]).is_err(),
+            "a strict prefix must not decode"
+        );
+        let mut corrupt = bytes.clone();
+        let pos = flip_pos % corrupt.len();
+        corrupt[pos] ^= 1 << flip_bit;
+        let _ = GlobalNeighborSnapshot::decode(&corrupt);
+    }
+}

@@ -1,0 +1,111 @@
+//! Length-prefixed frame codec for append-only log files.
+//!
+//! A frame on disk is `[len: u32 le][check: u32 le][payload: len bytes]`.
+//! The codec is checksum-agnostic: callers supply the check word (the
+//! serving layer uses CRC-32 over the payload) and verify it on decode.
+//! Decoding distinguishes *incomplete* (the stream ends mid-frame — the
+//! normal shape of a torn tail after a crash) from *corrupt* (a length
+//! that cannot be a real frame), so recovery can truncate the former
+//! and refuse to reason about anything past either.
+
+/// Hard ceiling on a single frame's payload, far above any legitimate
+/// record but small enough that a corrupt length field can never turn
+/// into a multi-gigabyte allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 24; // 16 MiB
+
+/// Bytes of framing overhead preceding every payload.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Outcome of decoding one frame from the head of a byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame<'a> {
+    /// A structurally complete frame: its check word and payload.
+    /// The caller verifies the check word against the payload.
+    Complete { check: u32, payload: &'a [u8] },
+    /// The stream ended before the frame did (torn tail).
+    Incomplete,
+    /// The declared length exceeds [`MAX_FRAME_LEN`]; the stream is
+    /// not trustworthy past this point.
+    Corrupt,
+}
+
+/// Append one frame to `out`.
+pub fn encode_frame_into(out: &mut Vec<u8>, check: u32, payload: &[u8]) {
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame payload too large");
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&check.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Decode the frame at the head of `buf`. On `Complete`, the frame
+/// occupies `FRAME_HEADER_LEN + payload.len()` bytes.
+pub fn decode_frame(buf: &[u8]) -> Frame<'_> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Frame::Incomplete;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Frame::Corrupt;
+    }
+    let check = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let Some(end) = FRAME_HEADER_LEN.checked_add(len) else {
+        return Frame::Corrupt;
+    };
+    if buf.len() < end {
+        return Frame::Incomplete;
+    }
+    Frame::Complete {
+        check,
+        payload: &buf[FRAME_HEADER_LEN..end],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, 0xABCD_EF01, b"payload");
+        match decode_frame(&buf) {
+            Frame::Complete { check, payload } => {
+                assert_eq!(check, 0xABCD_EF01);
+                assert_eq!(payload, b"payload");
+            }
+            other => panic!("expected complete frame, got {other:?}"),
+        }
+        assert_eq!(buf.len(), FRAME_HEADER_LEN + 7);
+    }
+
+    #[test]
+    fn every_truncation_is_incomplete() {
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, 7, b"some payload bytes");
+        for cut in 0..buf.len() {
+            assert_eq!(decode_frame(&buf[..cut]), Frame::Incomplete, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_corrupt() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 32]);
+        assert_eq!(decode_frame(&buf), Frame::Corrupt);
+    }
+
+    #[test]
+    fn empty_payload_frames() {
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, 0, b"");
+        assert!(matches!(
+            decode_frame(&buf),
+            Frame::Complete {
+                check: 0,
+                payload: b""
+            }
+        ));
+    }
+}

@@ -5,6 +5,12 @@
 //!
 //! Reading past the end panics (as upstream does); callers that need
 //! graceful failure check `remaining()` first.
+//!
+//! The [`framing`] module adds a small length-prefixed frame codec used
+//! by the serving layer's write-ahead log; it has no upstream analogue
+//! but lives here so the on-disk framing stays a leaf dependency.
+
+pub mod framing;
 
 pub trait BufMut {
     fn put_slice(&mut self, src: &[u8]);

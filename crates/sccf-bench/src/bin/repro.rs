@@ -22,6 +22,7 @@
 //!   bench-reshard  live resharding N→M under load; writes BENCH_reshard.json
 //!   bench-quality  N=1 vs N=8 shard-local vs N=8 two-tier HR/NDCG; writes BENCH_quality.json
 //!   bench-recovery crash-recovery time vs WAL depth + checkpoint sizing; writes BENCH_recovery.json
+//!   bench-fleet    loopback multi-process fleet vs in-process engine; writes BENCH_fleet.json
 //!   all          everything above, in order
 //! ```
 //!
@@ -44,7 +45,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|bench-serving|bench-sharded|bench-reshard|bench-quality|bench-recovery|all> \
+        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|bench-serving|bench-sharded|bench-reshard|bench-quality|bench-recovery|bench-fleet|all> \
          [--scale quick|full] [--seed N] [--dim D] [--beta B] [--out DIR] [--verbose]"
     );
     std::process::exit(2)
@@ -114,11 +115,25 @@ fn run_one(name: &str, h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Tabl
         "bench-reshard" => experiments::bench_reshard_to(h, out_dir),
         "bench-quality" => experiments::bench_quality_to(h, out_dir),
         "bench-recovery" => experiments::bench_recovery_to(h, out_dir),
+        "bench-fleet" => experiments::bench_fleet_to(h, out_dir),
         _ => usage(),
     }
 }
 
 fn main() {
+    // Hidden re-exec role: `bench-fleet` spawns this same binary as its
+    // shard-server processes (see `sccf_net::spawn_shard`).
+    {
+        let mut argv = std::env::args().skip(1);
+        if argv.next().as_deref() == Some("serve-shard") {
+            let rest: Vec<String> = argv.collect();
+            if let Err(e) = sccf_net::serve_shard_main(&rest) {
+                eprintln!("serve-shard error: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+    }
     let args = parse_args();
     let experiments_to_run: Vec<&str> = if args.experiment == "all" {
         vec![
@@ -139,6 +154,7 @@ fn main() {
             "bench-reshard",
             "bench-quality",
             "bench-recovery",
+            "bench-fleet",
         ]
     } else {
         vec![args.experiment.as_str()]

@@ -2718,3 +2718,227 @@ pub fn bench_quality_json(h: &HarnessConfig) -> QualityBenchOutput {
         json,
     }
 }
+
+// ----------------------------------------------------------- bench-fleet
+
+pub fn bench_fleet_to(h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Table> {
+    let out = bench_fleet_json(h);
+    write_bench_artifact("bench-fleet", "BENCH_fleet.json", &out.json, out_dir);
+    vec![out.table]
+}
+
+/// What [`bench_fleet_json`] measured.
+pub struct FleetBenchOutput {
+    pub procs: usize,
+    pub shards_per_proc: usize,
+    pub events: u64,
+    /// Batched ingest throughput through the loopback fleet router.
+    pub fleet_ingest_events_per_sec: f64,
+    /// Same stream into an in-process `ShardedEngine` of equal width.
+    pub inproc_ingest_events_per_sec: f64,
+    /// Single-recommend round-trip over TCP, mean / p95 milliseconds.
+    pub rtt_mean_ms: f64,
+    pub rtt_p95_ms: f64,
+    /// Single-recommend on the in-process engine, mean milliseconds.
+    pub inproc_recommend_ms: f64,
+    /// Did sampled fleet slates match the in-process engine bit for
+    /// bit? (The correctness invariant riding along with the numbers.)
+    pub sample_bitwise_equal: bool,
+    pub table: Table,
+    pub json: String,
+}
+
+/// The cost of crossing process boundaries, measured: a 2-process ×
+/// 2-shard loopback fleet (spawned from this binary's own `serve-shard`
+/// role) versus a 4-shard in-process engine on the same event stream.
+///
+/// Three numbers matter operationally: batched ingest throughput
+/// (amortizes framing across a whole batch per member), the
+/// single-recommend RTT (one framed round trip — the floor a remote
+/// deployment pays per uncached query), and the bitwise-equality bit
+/// (the fleet must not buy its numbers with drift).
+pub fn bench_fleet_json(h: &HarnessConfig) -> FleetBenchOutput {
+    use std::time::Instant;
+
+    use sccf_net::{FleetRouter, ServeShardArgs, ShardSpec, Supervisor, WorldSpec};
+    use sccf_serving::fleet::{FleetMember, FleetTopology};
+
+    const PROCS: usize = 2;
+    const PER: usize = 2;
+    let total = PROCS * PER;
+    let (n_users, n_items, n_events, n_rtt) = match h.scale {
+        Scale::Quick => (400usize, 160usize, 4_000u64, 300usize),
+        Scale::Full => (2_000, 600, 20_000, 2_000),
+    };
+    let spec = WorldSpec {
+        n_users,
+        n_items,
+        seed: h.seed,
+        ..WorldSpec::default()
+    };
+
+    // One trained model, shared by file, so the fleet and the
+    // in-process baseline hold identical floats.
+    let tmp = std::env::temp_dir().join(format!("sccf-bench-fleet-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("temp dir");
+    let model_path = tmp.join("model.fism");
+    std::fs::write(&model_path, spec.train_model()).expect("write model");
+    let model_bytes = std::fs::read(&model_path).expect("read model");
+
+    let exe = std::env::current_exe().expect("own path");
+    let specs: Vec<ShardSpec> = (0..PROCS)
+        .map(|p| {
+            let args = ServeShardArgs {
+                base: p * PER,
+                count: PER,
+                total,
+                world: spec.clone(),
+                model_file: Some(model_path.clone()),
+                ..ServeShardArgs::default()
+            };
+            let mut argv = vec!["serve-shard".to_string()];
+            argv.extend(args.to_args());
+            ShardSpec::new(exe.clone(), argv)
+        })
+        .collect();
+    let sup = Supervisor::launch(specs).expect("fleet launches");
+    let members = (0..PROCS)
+        .map(|p| FleetMember {
+            base: p * PER,
+            count: PER,
+            addr: sup.addr(p),
+        })
+        .collect();
+    let topology = FleetTopology::try_new(total, 0, members).expect("valid tiling");
+    let mut router = FleetRouter::connect(topology).expect("fleet handshake");
+
+    let world = spec.build(Some(&model_bytes)).expect("world builds");
+    let mut inproc = ShardedEngine::try_new(
+        world.sccf,
+        world.histories,
+        ShardedConfig {
+            n_shards: total,
+            queue_capacity: 256,
+            router: RouterKind::Modulo,
+        },
+    )
+    .expect("in-process baseline");
+
+    let events: Vec<(u32, u32)> = (0..n_events)
+        .map(|k| {
+            let k = k as u32;
+            (
+                k.wrapping_mul(131) % n_users as u32,
+                k.wrapping_mul(7919).wrapping_add(13) % n_items as u32,
+            )
+        })
+        .collect();
+
+    // --- ingest throughput, flush barrier included both sides ---------
+    let t0 = Instant::now();
+    router.ingest_batch(&events).expect("fleet ingest");
+    router.flush().expect("fleet flush");
+    let fleet_ingest_events_per_sec = n_events as f64 / t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    inproc.ingest_batch(&events).expect("in-process ingest");
+    inproc.flush().expect("in-process flush");
+    let inproc_ingest_events_per_sec = n_events as f64 / t0.elapsed().as_secs_f64();
+
+    // --- single-recommend RTT over TCP vs in-process -------------------
+    let query = RecQuery::top(10);
+    let mut rtt = sccf_util::LatencyHistogram::new();
+    let mut rtt_sum = 0.0f64;
+    for k in 0..n_rtt {
+        let user = (k % n_users) as u32;
+        let t = Instant::now();
+        router.try_recommend(user, &query).expect("fleet recommend");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        rtt.record_ms(ms);
+        rtt_sum += ms;
+    }
+    let rtt_mean_ms = rtt_sum / n_rtt as f64;
+
+    let mut inproc_sum = 0.0f64;
+    for k in 0..n_rtt {
+        let user = (k % n_users) as u32;
+        let t = Instant::now();
+        inproc
+            .try_recommend(user, &query)
+            .expect("in-process recommend");
+        inproc_sum += t.elapsed().as_secs_f64() * 1e3;
+    }
+    let inproc_recommend_ms = inproc_sum / n_rtt as f64;
+
+    // --- the correctness bit: sampled slates must match exactly --------
+    let step = (n_users / 64).max(1);
+    let sample_bitwise_equal = (0..n_users as u32).step_by(step).all(|u| {
+        let f = router.try_recommend(u, &query).expect("fleet recommend");
+        let b = inproc
+            .try_recommend(u, &query)
+            .expect("in-process recommend");
+        let bits = |r: &sccf_serving::RecResponse| -> Vec<(u32, u32)> {
+            r.items.iter().map(|s| (s.id, s.score.to_bits())).collect()
+        };
+        bits(&f) == bits(&b)
+    });
+
+    router.shutdown_all().expect("graceful shutdown");
+    sup.shutdown();
+    inproc.shutdown();
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let mut t = Table::new(
+        format!(
+            "Fleet vs in-process — {PROCS} procs × {PER} shards, {n_users} users, {n_events} events"
+        ),
+        &["metric", "fleet (loopback TCP)", "in-process"],
+    );
+    t.push(&[
+        "ingest (events/s)".to_string(),
+        format!("{fleet_ingest_events_per_sec:.0}"),
+        format!("{inproc_ingest_events_per_sec:.0}"),
+    ]);
+    t.push(&[
+        "recommend mean (ms)".to_string(),
+        f2(rtt_mean_ms),
+        f2(inproc_recommend_ms),
+    ]);
+    t.push(&[
+        "recommend p95 (ms)".to_string(),
+        f2(rtt.p95_ms()),
+        "—".to_string(),
+    ]);
+    t.push(&[
+        "sampled slates bit-identical".to_string(),
+        sample_bitwise_equal.to_string(),
+        "reference".to_string(),
+    ]);
+
+    let json = format!(
+        "{{\n  \"experiment\": \"bench-fleet\",\n  \"procs\": {PROCS},\n  \
+         \"shards_per_proc\": {PER},\n  \"total_shards\": {total},\n  \
+         \"n_users\": {n_users},\n  \"n_items\": {n_items},\n  \"events\": {n_events},\n  \
+         \"fleet_ingest_events_per_sec\": {fleet_ingest_events_per_sec:.1},\n  \
+         \"inproc_ingest_events_per_sec\": {inproc_ingest_events_per_sec:.1},\n  \
+         \"fleet_over_inproc\": {:.4},\n  \"rtt_mean_ms\": {rtt_mean_ms:.4},\n  \
+         \"rtt_p95_ms\": {:.4},\n  \"inproc_recommend_ms\": {inproc_recommend_ms:.4},\n  \
+         \"sample_bitwise_equal\": {sample_bitwise_equal}\n}}\n",
+        fleet_ingest_events_per_sec / inproc_ingest_events_per_sec,
+        rtt.p95_ms(),
+    );
+
+    FleetBenchOutput {
+        procs: PROCS,
+        shards_per_proc: PER,
+        events: n_events,
+        fleet_ingest_events_per_sec,
+        inproc_ingest_events_per_sec,
+        rtt_mean_ms,
+        rtt_p95_ms: rtt.p95_ms(),
+        inproc_recommend_ms,
+        sample_bitwise_equal,
+        table: t,
+        json,
+    }
+}

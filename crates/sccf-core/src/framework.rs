@@ -995,6 +995,26 @@ impl<M: InductiveUiModel> Sccf<M> {
         n_shards: usize,
         assign: impl Fn(u32) -> usize,
     ) -> Vec<Sccf<M>> {
+        self.into_shard_slice(histories, n_shards, |u| Some(assign(u)))
+    }
+
+    /// Like [`Sccf::into_shards`], but `assign` may return `None` for
+    /// users this process does not host at all — the multi-process
+    /// fleet path, where each shard-server builds only its window of
+    /// the global ring. Unassigned users appear in **no** view (each
+    /// view still knows the full population size, so ids stay global).
+    ///
+    /// The per-user representations are still inferred over the *whole*
+    /// population before partitioning, so a slice's shard `s` is
+    /// bit-identical to shard `base + s` of a full [`Sccf::into_shards`]
+    /// over the same histories — the foundation of the fleet's pinned
+    /// single-process equivalence.
+    pub fn into_shard_slice(
+        self,
+        histories: &[Vec<u32>],
+        n_shards: usize,
+        assign: impl Fn(u32) -> Option<usize>,
+    ) -> Vec<Sccf<M>> {
         assert!(n_shards > 0, "need at least one shard");
         let n_users = self.user_count();
         assert_eq!(histories.len(), n_users, "one history per indexed user");
@@ -1007,13 +1027,13 @@ impl<M: InductiveUiModel> Sccf<M> {
             .map_or(dim, |p| p.augmented_dim(dim));
         let n_items = shared.model.n_items();
         // One threaded pass over the whole population (each user's
-        // representation lands in exactly one shard) — same parallel
+        // representation lands in at most one shard) — same parallel
         // helper `build`/`refresh_for_test` use.
         let reps = infer_all_reps(&shared.model, histories, shared.cfg.threads);
         // One routing pass: assign(u) is called exactly once per user.
         let mut shard_members: Vec<Vec<u32>> = vec![Vec::new(); n_shards];
         for u in 0..n_users as u32 {
-            let s = assign(u);
+            let Some(s) = assign(u) else { continue };
             assert!(s < n_shards, "assign({u}) = {s} out of {n_shards} shards");
             shard_members[s].push(u);
         }

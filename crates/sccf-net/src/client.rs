@@ -1,0 +1,127 @@
+//! One persistent client connection to a shard server.
+//!
+//! A [`Connection`] is strictly request/response over one TCP stream:
+//! the caller writes one framed [`Request`], then blocks for one framed
+//! [`Response`]. The server handles each connection's requests in
+//! arrival order, which is what gives the fleet router its per-user
+//! read-your-writes guarantee for free — a user's events and the
+//! recommendation that must observe them travel the same FIFO
+//! connection to the same owning server.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use sccf_serving::api::ServingError;
+
+use crate::proto::{read_message, write_message, Request, Response, PROTOCOL_VERSION};
+
+fn wire<E: std::fmt::Display>(context: &str) -> impl Fn(E) -> ServingError + '_ {
+    move |e| ServingError::Wire(format!("{context}: {e}"))
+}
+
+/// A persistent framed connection to one shard server.
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl Connection {
+    /// Connect to `addr` (e.g. `127.0.0.1:7400`). Transport failures
+    /// surface as [`ServingError::Wire`].
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Debug) -> Result<Self, ServingError> {
+        let stream = TcpStream::connect(&addr).map_err(wire(&format!("connecting to {addr:?}")))?;
+        Self::from_stream(stream)
+    }
+
+    /// Wrap an already-established stream.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, ServingError> {
+        let write_half = stream.try_clone().map_err(wire("cloning stream"))?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            buf: Vec::new(),
+        })
+    }
+
+    /// Bound how long one request may block on the socket. `None`
+    /// removes the bound.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServingError> {
+        let stream = self.reader.get_ref();
+        stream
+            .set_read_timeout(timeout)
+            .and_then(|()| stream.set_write_timeout(timeout))
+            .map_err(wire("setting timeout"))
+    }
+
+    /// One request/response round trip. Remote [`Response::Err`]s are
+    /// *not* unwrapped here — matching on the success variant is the
+    /// caller's job (see [`Response::into_result`]).
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServingError> {
+        let payload = req.encode();
+        write_message(&mut self.writer, &payload).map_err(wire("sending request"))?;
+        self.writer.flush().map_err(wire("sending request"))?;
+        match read_message(&mut self.reader, &mut self.buf).map_err(wire("reading response"))? {
+            None => Err(ServingError::Wire(
+                "server closed the connection mid-request".to_string(),
+            )),
+            Some(()) => Ok(Response::decode(&self.buf)?),
+        }
+    }
+
+    /// [`Connection::request`] + error unwrapping in one call.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ServingError> {
+        self.request(req)?.into_result()
+    }
+
+    /// The [`Request::Hello`] handshake: verifies the protocol version
+    /// and returns `(n_users, n_items, base, count, total)` — the
+    /// server's identity in the fleet.
+    pub fn hello(&mut self) -> Result<(usize, usize, usize, usize, usize), ServingError> {
+        match self.call(&Request::Hello {
+            protocol: PROTOCOL_VERSION,
+        })? {
+            Response::HelloOk {
+                protocol,
+                n_users,
+                n_items,
+                base,
+                count,
+                total,
+            } => {
+                if protocol != PROTOCOL_VERSION {
+                    return Err(ServingError::Wire(format!(
+                        "server speaks protocol {protocol}, this build speaks {PROTOCOL_VERSION}"
+                    )));
+                }
+                Ok((
+                    n_users as usize,
+                    n_items as usize,
+                    base as usize,
+                    count as usize,
+                    total as usize,
+                ))
+            }
+            other => Err(unexpected("HelloOk", &other)),
+        }
+    }
+}
+
+/// The standard "server answered the wrong variant" error.
+pub(crate) fn unexpected(wanted: &str, got: &Response) -> ServingError {
+    let label = match got {
+        Response::HelloOk { .. } => "HelloOk",
+        Response::Pong => "Pong",
+        Response::Ingested(_) => "Ingested",
+        Response::Slate(_) => "Slate",
+        Response::Slates(_) => "Slates",
+        Response::Done => "Done",
+        Response::Stats(_) => "Stats",
+        Response::Bytes(_) => "Bytes",
+        Response::Watermark(_) => "Watermark",
+        Response::Blobs(_) => "Blobs",
+        Response::Err(_) => "Err",
+    };
+    ServingError::Wire(format!("expected a {wanted} response, got {label}"))
+}

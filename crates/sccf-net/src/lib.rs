@@ -1,0 +1,40 @@
+//! # sccf-net — the networked shard fleet
+//!
+//! Everything needed to run an SCCF serving deployment as **multiple
+//! processes** instead of one: a length-prefixed, CRC-checked wire
+//! protocol carrying the full [`ServingApi`](sccf_serving::ServingApi)
+//! vocabulary, a shard-server process that hosts a window of the
+//! global shard space, a fleet router that fans requests out over
+//! persistent TCP connections, and a supervisor that health-checks the
+//! processes and restarts crashed members from their durability
+//! directories.
+//!
+//! | module | role |
+//! |---|---|
+//! | [`proto`] | framed messages: [`Request`]/[`Response`] codecs over CRC32 frames |
+//! | [`client`] | one persistent request/response [`Connection`] |
+//! | [`server`] | `sccf serve-shard`: a [`ShardedEngine`](sccf_serving::ShardedEngine) slice behind a listener |
+//! | [`router`] | [`FleetRouter`]: `ServingApi` over the wire, fan-out + merge |
+//! | [`supervisor`] | [`Supervisor`]: spawn / ping / restart; `sccf route` demo loop |
+//! | [`world`] | [`WorldSpec`]: the deterministic world every process rebuilds identically |
+//!
+//! The design contract, proven end-to-end in `tests/fleet.rs`: a fleet
+//! of shard-server processes fed one event stream through the router is
+//! **bit-identical** — snapshot bytes and slate float bits — to a
+//! single-process [`ShardedEngine`](sccf_serving::ShardedEngine) with
+//! the same total shard count fed the same stream, including across a
+//! supervised kill-and-restart of one member.
+
+pub mod client;
+pub mod proto;
+pub mod router;
+pub mod server;
+pub mod supervisor;
+pub mod world;
+
+pub use client::Connection;
+pub use proto::{Request, Response, WireError, PROTOCOL_VERSION};
+pub use router::FleetRouter;
+pub use server::{serve_shard_main, ServeShardArgs};
+pub use supervisor::{route_main, spawn_shard, ShardSpec, Supervisor};
+pub use world::{World, WorldSpec};

@@ -1,0 +1,342 @@
+//! The fleet's front end: a [`FleetRouter`] that speaks [`ServingApi`]
+//! over the wire.
+//!
+//! The router holds one persistent [`Connection`] per fleet member and
+//! the **global** [`HashRing`] of the topology — the same ring every
+//! member slices — so its user→member routing agrees with each
+//! server's user→shard routing by construction. Batched entry points
+//! group work per member (one framed message per member per batch, not
+//! per event), and per-user read-your-writes holds because one user
+//! maps to one member and each connection is FIFO.
+//!
+//! On top of the `ServingApi` surface the router exposes the
+//! fleet-orchestration verbs the in-process engine does on its own:
+//! checkpoint/WAL-sync fan-outs, whole-fleet snapshot merging
+//! ([`merge_fleet_snapshots`]), user-state collection and frozen-tier
+//! installs, and [`FleetRouter::reconnect`] — the supervisor's hook for
+//! re-pointing a member at its restarted process.
+
+use sccf_core::EventTiming;
+use sccf_serving::api::{RecQuery, RecResponse, ServingApi, ServingError, ServingStats};
+use sccf_serving::fleet::{merge_fleet_snapshots, merge_fleet_stats, FleetTopology};
+use sccf_serving::ring::HashRing;
+
+use crate::client::{unexpected, Connection};
+use crate::proto::{Request, Response};
+
+/// A connected fleet front end. See the module docs.
+pub struct FleetRouter {
+    topology: FleetTopology,
+    ring: HashRing,
+    conns: Vec<Connection>,
+    n_users: usize,
+    n_items: usize,
+}
+
+impl FleetRouter {
+    /// Connect to every member of `topology` and handshake. Rejects a
+    /// member whose announced window or population disagrees with the
+    /// topology — a mis-launched fleet fails here, not with silently
+    /// split users.
+    pub fn connect(topology: FleetTopology) -> Result<Self, ServingError> {
+        let mut conns = Vec::with_capacity(topology.members().len());
+        let mut fleet_users: Option<(usize, usize)> = None;
+        for (m, member) in topology.members().iter().enumerate() {
+            let mut conn = Connection::connect(member.addr.as_str())?;
+            let (n_users, n_items, base, count, total) = conn.hello()?;
+            if (base, count, total) != (member.base, member.count, topology.total_shards()) {
+                return Err(ServingError::Wire(format!(
+                    "member {m} at {} announced window [{base}, {base}+{count}) of {total} \
+                     shards; the topology expects [{}, {}+{}) of {}",
+                    member.addr,
+                    member.base,
+                    member.base,
+                    member.count,
+                    topology.total_shards()
+                )));
+            }
+            match fleet_users {
+                None => fleet_users = Some((n_users, n_items)),
+                Some(expect) if expect != (n_users, n_items) => {
+                    return Err(ServingError::Wire(format!(
+                        "member {m} serves a {n_users}×{n_items} world; member 0 serves {}×{}",
+                        expect.0, expect.1
+                    )));
+                }
+                Some(_) => {}
+            }
+            conns.push(conn);
+        }
+        let (n_users, n_items) = fleet_users.expect("topology has ≥ 1 member");
+        Ok(Self {
+            ring: topology.global_ring(),
+            topology,
+            conns,
+            n_users,
+            n_items,
+        })
+    }
+
+    pub fn topology(&self) -> &FleetTopology {
+        &self.topology
+    }
+
+    /// The member index owning `user` on the global ring.
+    pub fn owner_of(&self, user: u32) -> usize {
+        self.topology.member_of_shard(self.ring.route(user))
+    }
+
+    /// Re-point member `m` at `addr` (a restarted process) and redo the
+    /// handshake. The old connection is dropped; in-flight state is the
+    /// durability layer's problem, which is exactly what the supervisor
+    /// restart path relies on.
+    pub fn reconnect(&mut self, m: usize, addr: &str) -> Result<(), ServingError> {
+        let member = self
+            .topology
+            .members()
+            .get(m)
+            .ok_or_else(|| ServingError::Wire(format!("no fleet member {m} to reconnect")))?;
+        let mut conn = Connection::connect(addr)?;
+        let (n_users, n_items, base, count, total) = conn.hello()?;
+        if (base, count, total) != (member.base, member.count, self.topology.total_shards()) {
+            return Err(ServingError::Wire(format!(
+                "reconnected member {m} announced window [{base}, {base}+{count}) of {total}; \
+                 expected [{}, {}+{})",
+                member.base, member.base, member.count
+            )));
+        }
+        if (n_users, n_items) != (self.n_users, self.n_items) {
+            return Err(ServingError::Wire(format!(
+                "reconnected member {m} serves a {n_users}×{n_items} world; the fleet serves {}×{}",
+                self.n_users, self.n_items
+            )));
+        }
+        self.conns[m] = conn;
+        Ok(())
+    }
+
+    fn check_user(&self, user: u32) -> Result<(), ServingError> {
+        if user as usize >= self.n_users {
+            return Err(ServingError::UnknownUser {
+                user,
+                n_users: self.n_users,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_item(&self, item: u32) -> Result<(), ServingError> {
+        if item as usize >= self.n_items {
+            return Err(ServingError::UnknownItem {
+                item,
+                n_items: self.n_items,
+            });
+        }
+        Ok(())
+    }
+
+    /// Group `users` per owning member, preserving input positions.
+    fn group_by_owner(&self, users: &[u32]) -> Vec<(usize, Vec<u32>, Vec<usize>)> {
+        let mut groups: Vec<(Vec<u32>, Vec<usize>)> =
+            vec![(Vec::new(), Vec::new()); self.conns.len()];
+        for (pos, &u) in users.iter().enumerate() {
+            let m = self.owner_of(u);
+            groups[m].0.push(u);
+            groups[m].1.push(pos);
+        }
+        groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (us, _))| !us.is_empty())
+            .map(|(m, (us, ps))| (m, us, ps))
+            .collect()
+    }
+
+    /// Send `req` to every member, expecting [`Response::Done`].
+    fn fan_out_done(&mut self, req: &Request) -> Result<(), ServingError> {
+        for conn in &mut self.conns {
+            match conn.call(req)? {
+                Response::Done => {}
+                other => return Err(unexpected("Done", &other)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Write an incremental checkpoint on every member; returns each
+    /// member's checkpoint epoch (members advance independently — each
+    /// numbers only its own checkpoints).
+    pub fn checkpoint_all(&mut self) -> Result<Vec<u64>, ServingError> {
+        let mut marks = Vec::with_capacity(self.conns.len());
+        for conn in &mut self.conns {
+            match conn.call(&Request::Checkpoint)? {
+                Response::Watermark(w) => marks.push(w),
+                other => return Err(unexpected("Watermark", &other)),
+            }
+        }
+        Ok(marks)
+    }
+
+    /// Force-fsync every member's WALs.
+    pub fn wal_sync_all(&mut self) -> Result<(), ServingError> {
+        self.fan_out_done(&Request::WalSync)
+    }
+
+    /// Gracefully stop every member: each flushes, syncs, acknowledges
+    /// and exits. Connections are dropped afterwards; the router is
+    /// consumed because nothing answers it anymore.
+    pub fn shutdown_all(mut self) -> Result<(), ServingError> {
+        self.fan_out_done(&Request::Shutdown)
+    }
+
+    /// Collect migration blobs ([`sccf_core::encode_user_state`]) for
+    /// `users`, each from its owning member, in input order — the
+    /// cross-process building block for fleet-level tier refreshes.
+    pub fn export_user_states(&mut self, users: &[u32]) -> Result<Vec<Vec<u8>>, ServingError> {
+        for &u in users {
+            self.check_user(u)?;
+        }
+        let groups = self.group_by_owner(users);
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); users.len()];
+        for (m, members_users, positions) in groups {
+            match self.conns[m].call(&Request::ExportUsers(members_users))? {
+                Response::Blobs(blobs) => {
+                    if blobs.len() != positions.len() {
+                        return Err(ServingError::Wire(format!(
+                            "member {m} returned {} blobs for {} users",
+                            blobs.len(),
+                            positions.len()
+                        )));
+                    }
+                    for (pos, blob) in positions.into_iter().zip(blobs) {
+                        out[pos] = blob;
+                    }
+                }
+                other => return Err(unexpected("Blobs", &other)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Install an encoded [`sccf_core::GlobalNeighborSnapshot`] as the
+    /// frozen tier on every member — the whole fleet serves the same
+    /// two-tier neighborhoods afterwards.
+    pub fn install_tier_bytes(&mut self, bytes: &[u8]) -> Result<(), ServingError> {
+        self.fan_out_done(&Request::InstallTier(bytes.to_vec()))
+    }
+
+    /// Drop the frozen tier on every member.
+    pub fn clear_tier(&mut self) -> Result<(), ServingError> {
+        self.fan_out_done(&Request::ClearTier)
+    }
+}
+
+impl ServingApi for FleetRouter {
+    fn try_ingest(&mut self, user: u32, item: u32) -> Result<Option<EventTiming>, ServingError> {
+        self.check_user(user)?;
+        self.check_item(item)?;
+        let m = self.owner_of(user);
+        match self.conns[m].call(&Request::IngestBatch(vec![(user, item)]))? {
+            Response::Ingested(_) => Ok(None),
+            other => Err(unexpected("Ingested", &other)),
+        }
+    }
+
+    fn ingest_batch(&mut self, events: &[(u32, u32)]) -> Result<u64, ServingError> {
+        // Validate everything before sending anything: the batch is
+        // atomic for validation failures even though it spans members.
+        for &(user, item) in events {
+            self.check_user(user)?;
+            self.check_item(item)?;
+        }
+        let mut groups: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.conns.len()];
+        for &(user, item) in events {
+            groups[self.owner_of(user)].push((user, item));
+        }
+        let mut total = 0u64;
+        for (m, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            match self.conns[m].call(&Request::IngestBatch(group))? {
+                Response::Ingested(n) => total += n,
+                other => return Err(unexpected("Ingested", &other)),
+            }
+        }
+        Ok(total)
+    }
+
+    fn try_recommend(&mut self, user: u32, query: &RecQuery) -> Result<RecResponse, ServingError> {
+        self.check_user(user)?;
+        let m = self.owner_of(user);
+        match self.conns[m].call(&Request::Recommend {
+            user,
+            query: query.clone(),
+        })? {
+            Response::Slate(slate) => Ok(slate),
+            other => Err(unexpected("Slate", &other)),
+        }
+    }
+
+    fn recommend_many(
+        &mut self,
+        users: &[u32],
+        query: &RecQuery,
+    ) -> Result<Vec<RecResponse>, ServingError> {
+        for &u in users {
+            self.check_user(u)?;
+        }
+        let groups = self.group_by_owner(users);
+        let mut out: Vec<Option<RecResponse>> = vec![None; users.len()];
+        for (m, member_users, positions) in groups {
+            let n_asked = member_users.len();
+            match self.conns[m].call(&Request::RecommendMany {
+                users: member_users,
+                query: query.clone(),
+            })? {
+                Response::Slates(slates) => {
+                    if slates.len() != n_asked {
+                        return Err(ServingError::Wire(format!(
+                            "member {m} returned {} slates for {n_asked} users",
+                            slates.len()
+                        )));
+                    }
+                    for (pos, slate) in positions.into_iter().zip(slates) {
+                        out[pos] = Some(slate);
+                    }
+                }
+                other => return Err(unexpected("Slates", &other)),
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|s| s.expect("every position grouped exactly once"))
+            .collect())
+    }
+
+    fn flush(&mut self) -> Result<(), ServingError> {
+        self.fan_out_done(&Request::Flush)
+    }
+
+    fn serving_stats(&mut self) -> Result<ServingStats, ServingError> {
+        let mut parts = Vec::with_capacity(self.conns.len());
+        for (m, conn) in self.conns.iter_mut().enumerate() {
+            match conn.call(&Request::Stats)? {
+                Response::Stats(stats) => parts.push((m, *stats)),
+                other => return Err(unexpected("Stats", &other)),
+            }
+        }
+        Ok(merge_fleet_stats(&self.topology, parts))
+    }
+
+    fn snapshot_state(&mut self) -> Result<Vec<u8>, ServingError> {
+        let mut parts = Vec::with_capacity(self.conns.len());
+        for (m, conn) in self.conns.iter_mut().enumerate() {
+            match conn.call(&Request::Snapshot)? {
+                Response::Bytes(bytes) => parts.push((m, bytes)),
+                other => return Err(unexpected("Bytes", &other)),
+            }
+        }
+        merge_fleet_snapshots(&self.topology, &parts)
+    }
+}

@@ -1,0 +1,392 @@
+//! The shard-server process role: `sccf serve-shard`.
+//!
+//! One process hosts a [`ShardedEngine`] **slice** — global shards
+//! `[base, base + count)` of a `total`-shard ring
+//! ([`RouterKind::Slice`]) — behind the wire protocol of
+//! [`crate::proto`]. Startup is recovery-aware: pointed at a durability
+//! directory that already holds a checkpoint chain, the server rebuilds
+//! its slice via [`ShardedEngine::recover`] (checkpoints + WAL gap
+//! replay) instead of starting empty, which is what lets the
+//! supervisor restart a crashed shard with the *same* command line and
+//! get the acknowledged state back.
+//!
+//! The server prints `LISTENING {port}` on stdout once the socket is
+//! bound — with `--port 0` (the supervisor's choice, since a
+//! just-killed port lingers in TIME_WAIT) that line is how the parent
+//! learns the ephemeral port. Connections are served one thread each;
+//! requests on a connection are handled strictly in order (the FIFO
+//! that carries read-your-writes); the engine itself is the
+//! concurrency limit (one mutex — the `ShardedEngine` router fans out
+//! to worker threads internally).
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use sccf_core::GlobalNeighborSnapshot;
+use sccf_models::Fism;
+use sccf_serving::api::{ServingApi, ServingError};
+use sccf_serving::sharded::{DurabilityConfig, RouterKind, ShardedConfig, ShardedEngine};
+
+use crate::proto::{read_message, write_message, Request, Response, PROTOCOL_VERSION};
+use crate::world::WorldSpec;
+
+/// The immutable facts a server reports in its Hello.
+#[derive(Debug, Clone, Copy)]
+struct ShardMeta {
+    n_users: usize,
+    n_items: usize,
+    base: usize,
+    count: usize,
+    total: usize,
+    durable: bool,
+}
+
+/// Everything `sccf serve-shard` takes on its command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeShardArgs {
+    /// TCP port to bind on loopback; 0 = ephemeral (the port is
+    /// announced via the `LISTENING {port}` stdout line).
+    pub port: u16,
+    /// First global shard of this server's window.
+    pub base: usize,
+    /// Local shard count.
+    pub count: usize,
+    /// Global ring size.
+    pub total: usize,
+    /// Global ring vnodes (0 = modulo ring).
+    pub vnodes: usize,
+    /// Durability directory; `None` serves in-memory only.
+    pub dir: Option<PathBuf>,
+    /// WAL records per fsync (with `dir`).
+    pub fsync_every: u32,
+    /// Auto-checkpoint cadence in events (0 = manual; with `dir`).
+    pub checkpoint_every: u64,
+    /// The shared world every fleet process rebuilds.
+    pub world: WorldSpec,
+    /// Pre-trained model weights (skips in-process training).
+    pub model_file: Option<PathBuf>,
+}
+
+impl Default for ServeShardArgs {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            base: 0,
+            count: 1,
+            total: 1,
+            vnodes: 0,
+            dir: None,
+            fsync_every: 8,
+            checkpoint_every: 0,
+            world: WorldSpec::default(),
+            model_file: None,
+        }
+    }
+}
+
+impl ServeShardArgs {
+    /// Parse `--flag value` pairs (every flag takes a value).
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a flag, got `{}`", args[i]))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            pairs.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone());
+        fn parsed<T: std::str::FromStr>(
+            get: &impl Fn(&str) -> Option<String>,
+            key: &str,
+            default: T,
+        ) -> Result<T, String> {
+            match get(key) {
+                None => Ok(default),
+                Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+            }
+        }
+        let d = ServeShardArgs::default();
+        Ok(Self {
+            port: parsed(&get, "port", d.port)?,
+            base: parsed(&get, "base", d.base)?,
+            count: parsed(&get, "count", d.count)?,
+            total: parsed(&get, "total", d.total)?,
+            vnodes: parsed(&get, "vnodes", d.vnodes)?,
+            dir: get("dir").map(PathBuf::from),
+            fsync_every: parsed(&get, "fsync-every", d.fsync_every)?,
+            checkpoint_every: parsed(&get, "checkpoint-every", d.checkpoint_every)?,
+            world: WorldSpec::from_flag(get)?,
+            model_file: get("model-file").map(PathBuf::from),
+        })
+    }
+
+    /// The inverse of [`ServeShardArgs::parse`] — what a launcher
+    /// passes to the child process (the `serve-shard` subcommand word
+    /// itself is the launcher's business).
+    pub fn to_args(&self) -> Vec<String> {
+        let mut out = vec![
+            "--port".into(),
+            self.port.to_string(),
+            "--base".into(),
+            self.base.to_string(),
+            "--count".into(),
+            self.count.to_string(),
+            "--total".into(),
+            self.total.to_string(),
+            "--vnodes".into(),
+            self.vnodes.to_string(),
+            "--fsync-every".into(),
+            self.fsync_every.to_string(),
+            "--checkpoint-every".into(),
+            self.checkpoint_every.to_string(),
+        ];
+        if let Some(dir) = &self.dir {
+            out.push("--dir".into());
+            out.push(dir.display().to_string());
+        }
+        if let Some(f) = &self.model_file {
+            out.push("--model-file".into());
+            out.push(f.display().to_string());
+        }
+        out.extend(self.world.to_args());
+        out
+    }
+}
+
+/// Does `dir` already hold durability state to recover from?
+fn has_checkpoints(dir: &std::path::Path) -> bool {
+    std::fs::read_dir(dir).is_ok_and(|entries| {
+        entries.flatten().any(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".ckpt"))
+        })
+    })
+}
+
+/// CLI entry point: parse, build, serve. Blocks forever (the process
+/// exits through [`Request::Shutdown`] or a signal).
+pub fn serve_shard_main(args: &[String]) -> Result<(), String> {
+    run_shard_server(ServeShardArgs::parse(args)?)
+}
+
+/// Build the slice engine (recovering if the durability directory has
+/// history) and serve the wire protocol on loopback.
+pub fn run_shard_server(args: ServeShardArgs) -> Result<(), String> {
+    let model_bytes = match &args.model_file {
+        Some(path) => {
+            Some(std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?)
+        }
+        None => None,
+    };
+    let world = args.world.build(model_bytes.as_deref())?;
+    let meta = ShardMeta {
+        n_users: world.n_users,
+        n_items: world.n_items,
+        base: args.base,
+        count: args.count,
+        total: args.total,
+        durable: args.dir.is_some(),
+    };
+    let cfg = ShardedConfig {
+        n_shards: args.count,
+        queue_capacity: 256,
+        router: RouterKind::Slice {
+            total: args.total,
+            base: args.base,
+            vnodes: args.vnodes,
+        },
+    };
+    let engine = match &args.dir {
+        None => ShardedEngine::try_new(world.sccf, world.histories, cfg)
+            .map_err(|e| format!("building slice engine: {e}"))?,
+        Some(dir) => {
+            let dcfg = DurabilityConfig {
+                dir: dir.clone(),
+                fsync_every: args.fsync_every,
+                checkpoint_every_events: args.checkpoint_every,
+            };
+            if has_checkpoints(dir) {
+                let (engine, report) = ShardedEngine::recover(world.sccf, cfg, dcfg)
+                    .map_err(|e| format!("recovering from {}: {e}", dir.display()))?;
+                eprintln!(
+                    "recovered shards [{}, {}): {} checkpoints, watermark {}, {} replayed",
+                    args.base,
+                    args.base + args.count,
+                    report.checkpoints_loaded,
+                    report.watermark,
+                    report.replayed.len()
+                );
+                engine
+            } else {
+                let mut engine = ShardedEngine::try_new(world.sccf, world.histories, cfg)
+                    .map_err(|e| format!("building slice engine: {e}"))?;
+                engine
+                    .enable_durability(dcfg)
+                    .map_err(|e| format!("arming durability in {}: {e}", dir.display()))?;
+                engine
+            }
+        }
+    };
+
+    let listener = TcpListener::bind(("127.0.0.1", args.port))
+        .map_err(|e| format!("binding 127.0.0.1:{}: {e}", args.port))?;
+    let port = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?
+        .port();
+    // The launch contract: parents parse this exact line to learn an
+    // ephemeral port.
+    println!("LISTENING {port}");
+    std::io::stdout().flush().ok();
+
+    let engine = Arc::new(Mutex::new(engine));
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || serve_connection(stream, engine, meta));
+    }
+    Ok(())
+}
+
+fn serve_connection(stream: TcpStream, engine: Arc<Mutex<ShardedEngine<Fism>>>, meta: ShardMeta) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let mut buf = Vec::new();
+    loop {
+        match read_message(&mut reader, &mut buf) {
+            Ok(Some(())) => {}
+            // Clean close, torn stream or corrupt frame: this
+            // connection is done (the engine is untouched — a corrupt
+            // request was never decoded, let alone applied).
+            Ok(None) | Err(_) => return,
+        }
+        let response = match Request::decode(&buf) {
+            Err(e) => Response::Err(ServingError::from(e)),
+            Ok(Request::Shutdown) => {
+                // Quiesce, acknowledge, exit: flush so every queued
+                // event reached its worker, sync so the WAL covers it.
+                let mut engine = engine.lock().expect("engine lock");
+                let result = engine.flush().and_then(|()| {
+                    if meta.durable {
+                        engine.wal_sync().map(|_| ())
+                    } else {
+                        Ok(())
+                    }
+                });
+                let response = match result {
+                    Ok(()) => Response::Done,
+                    Err(e) => Response::Err(e),
+                };
+                let _ = write_message(&mut writer, &response.encode());
+                let _ = writer.flush();
+                std::process::exit(0);
+            }
+            Ok(req) => {
+                let mut engine = engine.lock().expect("engine lock");
+                handle_request(&mut engine, req, meta)
+            }
+        };
+        if write_message(&mut writer, &response.encode())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// One request against the engine. Pure dispatch: every engine error
+/// becomes a [`Response::Err`] and the connection lives on.
+fn handle_request(engine: &mut ShardedEngine<Fism>, req: Request, meta: ShardMeta) -> Response {
+    fn ok_or_err<T>(r: Result<T, ServingError>, f: impl FnOnce(T) -> Response) -> Response {
+        match r {
+            Ok(v) => f(v),
+            Err(e) => Response::Err(e),
+        }
+    }
+    match req {
+        Request::Hello { protocol } => {
+            if protocol != PROTOCOL_VERSION {
+                return Response::Err(ServingError::Wire(format!(
+                    "client speaks protocol {protocol}, this server speaks {PROTOCOL_VERSION}"
+                )));
+            }
+            Response::HelloOk {
+                protocol: PROTOCOL_VERSION,
+                n_users: meta.n_users as u64,
+                n_items: meta.n_items as u64,
+                base: meta.base as u64,
+                count: meta.count as u64,
+                total: meta.total as u64,
+            }
+        }
+        Request::Ping => Response::Pong,
+        Request::IngestBatch(events) => ok_or_err(engine.ingest_batch(&events), Response::Ingested),
+        Request::Recommend { user, query } => {
+            ok_or_err(engine.try_recommend(user, &query), Response::Slate)
+        }
+        Request::RecommendMany { users, query } => {
+            ok_or_err(engine.recommend_many(&users, &query), Response::Slates)
+        }
+        Request::Flush => ok_or_err(engine.flush(), |()| Response::Done),
+        Request::Stats => ok_or_err(engine.serving_stats(), |s| Response::Stats(Box::new(s))),
+        Request::Snapshot => ok_or_err(engine.snapshot_state(), Response::Bytes),
+        Request::Checkpoint => ok_or_err(engine.checkpoint(), Response::Watermark),
+        Request::WalSync => ok_or_err(engine.wal_sync(), |_| Response::Done),
+        Request::ExportUsers(users) => {
+            ok_or_err(engine.export_user_states(&users), Response::Blobs)
+        }
+        Request::InstallTier(bytes) => match GlobalNeighborSnapshot::decode(&bytes) {
+            Err(e) => Response::Err(ServingError::InvalidConfig(format!(
+                "tier snapshot failed to decode: {e:?}"
+            ))),
+            Ok(snapshot) => ok_or_err(engine.install_global_tier(snapshot), |()| Response::Done),
+        },
+        Request::ClearTier => ok_or_err(engine.clear_global_tier(), |()| Response::Done),
+        // Handled (with process exit) by the connection loop.
+        Request::Shutdown => Response::Done,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_roundtrip_through_the_command_line() {
+        let args = ServeShardArgs {
+            port: 0,
+            base: 2,
+            count: 2,
+            total: 4,
+            vnodes: 32,
+            dir: Some(PathBuf::from("/tmp/shard-a")),
+            fsync_every: 4,
+            checkpoint_every: 100,
+            world: WorldSpec {
+                n_users: 99,
+                ..WorldSpec::default()
+            },
+            model_file: Some(PathBuf::from("/tmp/model.bin")),
+        };
+        let parsed = ServeShardArgs::parse(&args.to_args()).unwrap();
+        assert_eq!(parsed, args);
+        assert_eq!(
+            ServeShardArgs::parse(&[]).unwrap(),
+            ServeShardArgs::default()
+        );
+        assert!(ServeShardArgs::parse(&["--port".into()]).is_err());
+        assert!(ServeShardArgs::parse(&["oops".into(), "1".into()]).is_err());
+    }
+}

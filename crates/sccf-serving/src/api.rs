@@ -177,6 +177,13 @@ pub enum ServingError {
     /// artifact that did not validate. Carries the underlying error
     /// rendered as text (I/O errors are not `Clone`/`PartialEq`).
     Durability(String),
+    /// The networked-fleet transport failed (connection refused or
+    /// dropped, a frame that did not validate, a protocol mismatch), or
+    /// a remote error arrived whose variant cannot round-trip
+    /// structurally (e.g. [`ServingError::EpochInFlight`] carries
+    /// `&'static str`s) and was degraded to its display text. Carries
+    /// the underlying failure rendered as text.
+    Wire(String),
 }
 
 impl From<QueryError> for ServingError {
@@ -226,6 +233,7 @@ impl std::fmt::Display for ServingError {
                 "{requested} rejected: a {in_flight} epoch is in flight (finish or abort it first)"
             ),
             Self::Durability(msg) => write!(f, "durability: {msg}"),
+            Self::Wire(msg) => write!(f, "wire: {msg}"),
         }
     }
 }

@@ -35,6 +35,14 @@
 //!   `docs/ARCHITECTURE.md` for the event-flow diagram, state split
 //!   and tier diagram; `docs/OPERATIONS.md` for the
 //!   scale-out/scale-in and refresh-cadence runbooks.
+//! * [`fleet`] — the socket-free half of the **networked shard
+//!   fleet**: [`FleetTopology`] validates that N processes' shard
+//!   windows tile one global [`HashRing`] (so user placement is
+//!   identical to a single N-shard process), and
+//!   [`merge_fleet_snapshots`] / [`merge_fleet_stats`] stitch
+//!   per-process artifacts back into the single-engine view —
+//!   byte-identical for snapshots. The wire protocol, process roles
+//!   and supervisor build on this in the `sccf-net` crate.
 //! * [`wal`] — the durability layer's on-disk formats: per-shard
 //!   checksummed write-ahead logs and atomic incremental checkpoints.
 //!   [`ShardedEngine::enable_durability`] arms it, periodic
@@ -55,6 +63,7 @@
 pub mod ab_test;
 pub mod api;
 pub mod click_model;
+pub mod fleet;
 pub mod ring;
 pub mod sharded;
 pub mod stream;
@@ -70,6 +79,7 @@ pub use api::{
     ServingApi, ServingError, ServingStats,
 };
 pub use click_model::ClickModel;
+pub use fleet::{merge_fleet_snapshots, merge_fleet_stats, FleetMember, FleetTopology};
 pub use ring::{HashRing, RingDecodeError};
 #[allow(deprecated)] // the legacy shim stays importable from its old path
 pub use sharded::shard_of;

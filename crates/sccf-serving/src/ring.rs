@@ -105,6 +105,16 @@ enum RingKind {
         /// construction is deterministic even under point collisions.
         points: Vec<(u64, u32)>,
     },
+    /// A contiguous window `[base, base + n_shards)` of a larger
+    /// `global` ring, re-indexed to local shard ids. The fleet's
+    /// shard-server processes each hold one slice of the shared global
+    /// ring; slicing keeps *placement* identical to the single-process
+    /// ring (the pinned fleet equivalence) while letting each process
+    /// own only its window.
+    Slice {
+        global: Box<HashRing>,
+        base: usize,
+    },
 }
 
 impl HashRing {
@@ -148,9 +158,43 @@ impl HashRing {
         }
     }
 
-    /// The shard owning `user`. Pure and total: every user id maps to
-    /// exactly one shard `< n_shards()`, and the same id always maps to
-    /// the same shard for a given ring value.
+    /// A contiguous window `[base, base + count)` of `global`,
+    /// re-indexed so local shard 0 is global shard `base`. Routing a
+    /// user the window does not own yields an out-of-range local index
+    /// from [`HashRing::route`] (use [`HashRing::try_route`] to get
+    /// `None` instead) — slice holders serve only their window and
+    /// reject the rest as `NotOwned`.
+    ///
+    /// # Panics
+    /// If `count == 0` or the window does not fit inside `global`.
+    pub fn slice(global: HashRing, base: usize, count: usize) -> Self {
+        assert!(count > 0, "a ring slice needs at least one shard");
+        assert!(
+            !global.is_slice(),
+            "cannot slice a slice — slice the global ring"
+        );
+        assert!(
+            base.checked_add(count)
+                .is_some_and(|end| end <= global.n_shards()),
+            "ring slice [{base}, {base}+{count}) exceeds the global ring's {} shards",
+            global.n_shards()
+        );
+        Self {
+            n_shards: count,
+            kind: RingKind::Slice {
+                global: Box::new(global),
+                base,
+            },
+        }
+    }
+
+    /// The shard owning `user`. For the modulo and consistent modes
+    /// this is pure and total: every user id maps to exactly one shard
+    /// `< n_shards()`, and the same id always maps to the same shard
+    /// for a given ring value. A [`HashRing::slice`] routes users
+    /// outside its window to an index `>= n_shards()` (the global
+    /// offset wraps); callers that may hold a slice should use
+    /// [`HashRing::try_route`].
     pub fn route(&self, user: u32) -> usize {
         match &self.kind {
             RingKind::Modulo => (hash_user_fx(user) % self.n_shards as u64) as usize,
@@ -160,25 +204,51 @@ impl HashRing {
                 let (_, shard) = points[if i == points.len() { 0 } else { i }];
                 shard as usize
             }
+            RingKind::Slice { global, base } => global.route(user).wrapping_sub(*base),
         }
+    }
+
+    /// Like [`HashRing::route`], but `None` for users a slice does not
+    /// own. For modulo and consistent rings this is always `Some`.
+    pub fn try_route(&self, user: u32) -> Option<usize> {
+        let s = self.route(user);
+        (s < self.n_shards).then_some(s)
     }
 
     pub fn n_shards(&self) -> usize {
         self.n_shards
     }
 
-    /// Virtual nodes per shard — `None` for the modulo mode.
+    /// Whether this ring is a [`HashRing::slice`] of a larger global
+    /// ring (and therefore partial: some users route to `None`).
+    pub fn is_slice(&self) -> bool {
+        matches!(self.kind, RingKind::Slice { .. })
+    }
+
+    /// For a slice, the global shard index of local shard 0; `0` for
+    /// whole rings (local ids *are* global ids).
+    pub fn slice_base(&self) -> usize {
+        match &self.kind {
+            RingKind::Slice { base, .. } => *base,
+            _ => 0,
+        }
+    }
+
+    /// Virtual nodes per shard — `None` for the modulo mode; a slice
+    /// reports its global ring's vnode count.
     pub fn vnodes(&self) -> Option<usize> {
         match &self.kind {
             RingKind::Modulo => None,
             RingKind::Consistent { vnodes, .. } => Some(*vnodes),
+            RingKind::Slice { global, .. } => global.vnodes(),
         }
     }
 
-    /// Serialize the ring (magic, mode, shard count, vnode count). The
-    /// circle points are *derived* from these, so the encoding is tiny
-    /// and decode rebuilds the identical ring — persist it alongside a
-    /// state snapshot to pin the routing epoch.
+    /// Serialize the ring (magic, mode, shard count, vnode count; a
+    /// slice appends its global ring's encoding). The circle points are
+    /// *derived* from these, so the encoding is tiny and decode
+    /// rebuilds the identical ring — persist it alongside a state
+    /// snapshot to pin the routing epoch.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(25);
         out.extend_from_slice(RING_MAGIC);
@@ -193,27 +263,46 @@ impl HashRing {
                 out.extend_from_slice(&(self.n_shards as u64).to_le_bytes());
                 out.extend_from_slice(&(*vnodes as u64).to_le_bytes());
             }
+            RingKind::Slice { global, base } => {
+                out.push(2);
+                out.extend_from_slice(&(self.n_shards as u64).to_le_bytes());
+                out.extend_from_slice(&(*base as u64).to_le_bytes());
+                out.extend_from_slice(&global.encode());
+            }
         }
         out
     }
 
     /// Decode a ring produced by [`HashRing::encode`].
     pub fn decode(bytes: &[u8]) -> Result<Self, RingDecodeError> {
-        if bytes.len() != 25 {
+        if bytes.len() < 25 {
             return Err(RingDecodeError::Truncated);
         }
         if &bytes[..8] != RING_MAGIC {
             return Err(RingDecodeError::BadMagic);
         }
         let n_shards = u64::from_le_bytes(bytes[9..17].try_into().unwrap()) as usize;
-        let vnodes = u64::from_le_bytes(bytes[17..25].try_into().unwrap()) as usize;
+        let word2 = u64::from_le_bytes(bytes[17..25].try_into().unwrap()) as usize;
         if n_shards == 0 {
             return Err(RingDecodeError::ZeroShards);
         }
         match bytes[8] {
+            0 | 1 if bytes.len() != 25 => Err(RingDecodeError::Truncated),
             0 => Ok(Self::modulo(n_shards)),
-            1 if vnodes > 0 => Ok(Self::consistent(n_shards, vnodes)),
+            1 if word2 > 0 => Ok(Self::consistent(n_shards, word2)),
             1 => Err(RingDecodeError::ZeroShards),
+            2 => {
+                let global = Self::decode(&bytes[25..])?;
+                let base = word2;
+                if base
+                    .checked_add(n_shards)
+                    .is_none_or(|end| end > global.n_shards())
+                    || global.is_slice()
+                {
+                    return Err(RingDecodeError::BadSlice);
+                }
+                Ok(Self::slice(global, base, n_shards))
+            }
             k => Err(RingDecodeError::UnknownKind(k)),
         }
     }
@@ -232,6 +321,9 @@ pub enum RingDecodeError {
     UnknownKind(u8),
     /// A zero shard (or vnode) count — no valid ring has one.
     ZeroShards,
+    /// A slice window that does not fit its global ring, or a slice of
+    /// a slice.
+    BadSlice,
 }
 
 impl std::fmt::Display for RingDecodeError {
@@ -241,6 +333,7 @@ impl std::fmt::Display for RingDecodeError {
             Self::Truncated => write!(f, "hash-ring encoding has the wrong size"),
             Self::UnknownKind(k) => write!(f, "unknown hash-ring mode tag {k}"),
             Self::ZeroShards => write!(f, "hash-ring encoding declares zero shards or vnodes"),
+            Self::BadSlice => write!(f, "hash-ring slice window does not fit its global ring"),
         }
     }
 }
@@ -350,5 +443,41 @@ mod tests {
         let mut zero = HashRing::modulo(3).encode();
         zero[9..17].copy_from_slice(&0u64.to_le_bytes());
         assert_eq!(HashRing::decode(&zero), Err(RingDecodeError::ZeroShards));
+    }
+
+    #[test]
+    fn slice_windows_partition_the_global_ring() {
+        for global in [HashRing::modulo(4), HashRing::consistent(4, 64)] {
+            let lo = HashRing::slice(global.clone(), 0, 2);
+            let hi = HashRing::slice(global.clone(), 2, 2);
+            assert!(lo.is_slice() && hi.is_slice());
+            assert_eq!((lo.slice_base(), hi.slice_base()), (0, 2));
+            for u in 0..5_000u32 {
+                let g = global.route(u);
+                // Exactly one window owns each user, at the re-indexed slot.
+                match (lo.try_route(u), hi.try_route(u)) {
+                    (Some(s), None) => assert_eq!(s, g),
+                    (None, Some(s)) => assert_eq!(s + 2, g),
+                    other => panic!("user {u}: windows disagree: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_encoding_roundtrips() {
+        for global in [HashRing::modulo(6), HashRing::consistent(6, 32)] {
+            let slice = HashRing::slice(global, 2, 3);
+            let bytes = slice.encode();
+            assert_eq!(HashRing::decode(&bytes).unwrap(), slice);
+        }
+        // A slice window that does not fit its nested global ring.
+        let mut bad = HashRing::slice(HashRing::modulo(4), 1, 3).encode();
+        bad[17..25].copy_from_slice(&2u64.to_le_bytes()); // base 1 → 2: [2,5) ⊄ [0,4)
+        assert_eq!(HashRing::decode(&bad), Err(RingDecodeError::BadSlice));
+        // Whole-ring encodings must still be exactly 25 bytes.
+        let mut padded = HashRing::modulo(3).encode();
+        padded.push(0);
+        assert_eq!(HashRing::decode(&padded), Err(RingDecodeError::Truncated));
     }
 }

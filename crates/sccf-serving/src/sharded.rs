@@ -136,6 +136,23 @@ pub enum RouterKind {
     /// is expected to [`ShardedEngine::reshard`] live. 64–128 vnodes is
     /// a good default.
     Consistent { vnodes: usize },
+    /// A contiguous window of a `total`-shard global ring: this engine
+    /// hosts global shards `[base, base + n_shards)` and rejects users
+    /// outside the window with [`ServingError::NotOwned`]. `vnodes = 0`
+    /// slices the global modulo ring; `vnodes > 0` slices a global
+    /// consistent ring. This is the multi-process fleet's shard-server
+    /// shape (`sccf serve-shard`): each process owns one window, the
+    /// network router in front owns the whole ring, and placement is
+    /// identical to a single `total`-shard process — the fleet's pinned
+    /// equivalence. Slice engines cannot [`ShardedEngine::reshard`] or
+    /// [`ShardedEngine::refresh_global_tier`] on their own (ownership
+    /// and the population span processes); the fleet layer orchestrates
+    /// those instead.
+    Slice {
+        total: usize,
+        base: usize,
+        vnodes: usize,
+    },
 }
 
 /// Sharded-engine knobs.
@@ -183,6 +200,33 @@ impl ShardedConfig {
                     ));
                 }
                 Ok(HashRing::consistent(self.n_shards, vnodes))
+            }
+            RouterKind::Slice {
+                total,
+                base,
+                vnodes,
+            } => {
+                if total == 0 {
+                    return Err(ServingError::InvalidConfig(
+                        "slice router needs a global ring of ≥ 1 shards".to_string(),
+                    ));
+                }
+                if base
+                    .checked_add(self.n_shards)
+                    .is_none_or(|end| end > total)
+                {
+                    return Err(ServingError::InvalidConfig(format!(
+                        "slice window [{base}, {base}+{}) exceeds the global ring of {total} \
+                         shards",
+                        self.n_shards
+                    )));
+                }
+                let global = if vnodes == 0 {
+                    HashRing::modulo(total)
+                } else {
+                    HashRing::consistent(total, vnodes)
+                };
+                Ok(HashRing::slice(global, base, self.n_shards))
             }
         }
     }
@@ -312,6 +356,12 @@ pub struct RecoveryReport {
     /// recovered engine's sequence counter resumes after it, so new
     /// events never collide with surviving records.
     pub max_seq: u64,
+    /// Point-in-time restore only ([`ShardedEngine::recover_at`]): the
+    /// highest sequence number actually applied — the checkpoint
+    /// watermark if no WAL record `<=` the target survived, otherwise
+    /// the last replayed record's `seq`. `None` for a full
+    /// [`ShardedEngine::recover`].
+    pub stopped_at: Option<u64>,
 }
 
 /// Router-side durability state (the worker-side halves are the
@@ -426,6 +476,16 @@ enum ShardMsg {
     CheckpointExport {
         full: bool,
         reply: Sender<Vec<Vec<u8>>>,
+    },
+    /// WAL segment rotation after a checkpoint ([`WalWriter::rotate`]):
+    /// seal the active segment when `seal_upto` (the new watermark)
+    /// covers it, prune sealed segments `<= prune_upto` (the previous
+    /// watermark). Replies `(sealed, pruned)`; `(0, 0)` when durability
+    /// was never armed here.
+    WalRotate {
+        seal_upto: u64,
+        prune_upto: u64,
+        reply: Sender<(u64, u64)>,
     },
 }
 
@@ -612,13 +672,17 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         let has_ann = sccf.config().ui_ann.is_some();
         let shared = Arc::clone(sccf.shared());
         let n = cfg.n_shards;
-        let shards = sccf.into_shards(&histories, n, |u| ring.route(u));
+        // A slice ring assigns only its window's users (`try_route` is
+        // `None` elsewhere); whole rings assign everyone.
+        let shards = sccf.into_shard_slice(&histories, n, |u| ring.try_route(u));
         // Move each user's history into the owning shard's full-length
         // table; the shard engine compacts it to owned slots on
         // construction, so the O(shards × users) layout is transient.
         let mut per_shard: Vec<Vec<Vec<u32>>> = (0..n).map(|_| vec![Vec::new(); n_users]).collect();
         for (u, h) in histories.into_iter().enumerate() {
-            per_shard[ring.route(u as u32)][u] = h;
+            if let Some(s) = ring.try_route(u as u32) {
+                per_shard[s][u] = h;
+            }
         }
         let mut txs = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
@@ -699,14 +763,19 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
     }
 
     fn check_user(&self, user: u32) -> Result<usize, ServingError> {
-        if (user as usize) < self.n_users {
-            Ok(self.epoch.route(user))
-        } else {
-            Err(ServingError::UnknownUser {
+        if (user as usize) >= self.n_users {
+            return Err(ServingError::UnknownUser {
                 user,
                 n_users: self.n_users,
-            })
+            });
         }
+        let s = self.epoch.route(user);
+        // A slice ring routes users outside its window past the local
+        // shard count — this process does not host them.
+        if s >= self.txs.len() {
+            return Err(ServingError::NotOwned { user });
+        }
+        Ok(s)
     }
 
     fn check_item(&self, item: u32) -> Result<(), ServingError> {
@@ -888,6 +957,14 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             Epoch::Stable { ring } => ring.clone(),
             Epoch::Migrating { .. } => unreachable!("checked above"),
         };
+        if old_ring.is_slice() || new_ring.is_slice() {
+            return Err(ServingError::InvalidConfig(
+                "a slice engine hosts one window of a multi-process fleet; resharding \
+                 moves users between processes and is orchestrated at the fleet layer, \
+                 not per slice"
+                    .to_string(),
+            ));
+        }
         let plan: Vec<u32> = (0..self.n_users as u32)
             .filter(|&u| old_ring.route(u) != new_ring.route(u))
             .collect();
@@ -1230,6 +1307,14 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
                     .to_string(),
             ));
         }
+        if matches!(&self.epoch, Epoch::Stable { ring } if ring.is_slice()) {
+            return Err(ServingError::InvalidConfig(
+                "a slice engine owns only its window of the population; the whole-population \
+                 tier refresh is orchestrated at the fleet layer (collect exports from every \
+                 process, then install_global_tier on each)"
+                    .to_string(),
+            ));
+        }
         self.refresh = Some(RefreshEpoch {
             cursor: 0,
             batch,
@@ -1351,6 +1436,61 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             Ok(res) => res,
             Err(_) => self.propagate_worker_death(s),
         }
+    }
+
+    /// Export the listed users' state blobs
+    /// ([`sccf_core::encode_user_state`] format) **without evicting**
+    /// — each shard keeps serving its users; the caller reads a
+    /// consistent copy behind every event queued before this call.
+    /// Blobs come back in the order of `users`. This is the
+    /// building block of the *fleet-level* tier refresh: the network
+    /// router collects every process's window, builds one
+    /// whole-population [`GlobalNeighborSnapshot`], and installs it
+    /// back via [`ShardedEngine::install_global_tier`].
+    ///
+    /// Rejects out-of-population ids with
+    /// [`ServingError::UnknownUser`] and — on a slice engine — users
+    /// outside this process's window with [`ServingError::NotOwned`],
+    /// before exporting anything.
+    pub fn export_user_states(&mut self, users: &[u32]) -> Result<Vec<Vec<u8>>, ServingError> {
+        // Validate everything first: an error means nothing was exported.
+        let mut groups: Vec<(usize, Vec<u32>, Vec<usize>)> = Vec::new();
+        for (pos, &u) in users.iter().enumerate() {
+            let s = self.check_user(u)?;
+            match groups.iter_mut().find(|(g, _, _)| *g == s) {
+                Some((_, v, p)) => {
+                    v.push(u);
+                    p.push(pos);
+                }
+                None => groups.push((s, vec![u], vec![pos])),
+            }
+        }
+        // Fan the exports out so shards work in parallel, then
+        // reassemble in input order.
+        let mut waves = Vec::with_capacity(groups.len());
+        for (s, batch, positions) in groups {
+            let (reply, rx) = bounded(1);
+            self.send(
+                s,
+                ShardMsg::TierExport {
+                    users: batch,
+                    reply,
+                },
+            );
+            waves.push((s, positions, rx));
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); users.len()];
+        for (s, positions, rx) in waves {
+            let blobs = match rx.recv() {
+                Ok(b) => b,
+                Err(_) => self.propagate_worker_death(s),
+            };
+            debug_assert_eq!(blobs.len(), positions.len());
+            for (pos, blob) in positions.into_iter().zip(blobs) {
+                out[pos] = blob;
+            }
+        }
+        Ok(out)
     }
 
     /// Deprecated infallible form of
@@ -1530,6 +1670,15 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
     /// pause. Rejects mid-reshard / mid-refresh with
     /// [`ServingError::EpochInFlight`] (ownership must not shift under
     /// the export), and when durability was never enabled.
+    ///
+    /// After the checkpoint lands, every shard **rotates its WAL**
+    /// ([`WalWriter::rotate`]): the active segment is sealed (every
+    /// record in it has `seq <=` the new watermark — the router routed
+    /// nothing between the export and the rotation), and sealed
+    /// segments covered by the *previous* watermark are pruned. WAL
+    /// disk therefore stays bounded by roughly one checkpoint interval
+    /// per shard; the extra interval of slack is what recovery's
+    /// trailing-corrupt-checkpoint fallback replays from.
     pub fn checkpoint(&mut self) -> Result<u64, ServingError> {
         if self.durability.is_none() {
             return Err(ServingError::Durability(
@@ -1537,6 +1686,7 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             ));
         }
         self.check_no_epoch("checkpoint")?;
+        let prev_watermark = self.durability.as_ref().expect("checked above").watermark;
         let watermark = self.events_routed;
         let blobs: Vec<Vec<u8>> = self
             .fan_out(|reply| ShardMsg::CheckpointExport { full: false, reply })
@@ -1550,6 +1700,11 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         st.watermark = watermark;
         st.last_checkpoint_bytes = bytes;
         st.events_at_checkpoint = watermark;
+        self.fan_out(|reply| ShardMsg::WalRotate {
+            seal_upto: watermark,
+            prune_upto: prev_watermark,
+            reply,
+        });
         Ok(epoch)
     }
 
@@ -1631,6 +1786,40 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         cfg: ShardedConfig,
         durability: DurabilityConfig,
     ) -> Result<(Self, RecoveryReport), ServingError> {
+        Self::recover_impl(sccf, cfg, durability, None)
+    }
+
+    /// Point-in-time restore: like [`ShardedEngine::recover`], but stop
+    /// at global sequence number `target` — load only checkpoints whose
+    /// watermark is `<= target` and replay only WAL records with
+    /// `seq <= target`. The report's `stopped_at` records the highest
+    /// sequence actually applied (it can be below `target` when the
+    /// stream never reached it).
+    ///
+    /// The restored fleet comes up with durability **disarmed**: its
+    /// state deliberately predates records still on disk, so arming it
+    /// would assign new sequence numbers that collide with the
+    /// surviving suffix. This is the inspection / debugging shape
+    /// ("what did the fleet serve as of seq N?") — point it at a fresh
+    /// directory via [`ShardedEngine::enable_durability`] to make the
+    /// rewound state durable in its own right. Errors if even the
+    /// epoch-0 checkpoint lies past `target` (nothing on disk is old
+    /// enough to rewind to).
+    pub fn recover_at(
+        sccf: Sccf<M>,
+        cfg: ShardedConfig,
+        durability: DurabilityConfig,
+        target: u64,
+    ) -> Result<(Self, RecoveryReport), ServingError> {
+        Self::recover_impl(sccf, cfg, durability, Some(target))
+    }
+
+    fn recover_impl(
+        sccf: Sccf<M>,
+        cfg: ShardedConfig,
+        durability: DurabilityConfig,
+        target: Option<u64>,
+    ) -> Result<(Self, RecoveryReport), ServingError> {
         if durability.fsync_every == 0 {
             return Err(ServingError::InvalidConfig(
                 "fsync_every must be ≥ 1".to_string(),
@@ -1679,6 +1868,22 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
                         "checkpoint epoch {epoch} is corrupt mid-chain: {e}"
                     )));
                 }
+            }
+        }
+        // Point-in-time: use only the chain prefix consistent with the
+        // target (a checkpoint past it already contains state the
+        // rewind must not see).
+        if let Some(t) = target {
+            let keep = chain.partition_point(|ck| ck.watermark <= t);
+            if keep == 0 {
+                return Err(ServingError::Durability(format!(
+                    "cannot restore to seq {t}: the epoch-0 checkpoint's watermark is already {}",
+                    chain[0].watermark
+                )));
+            }
+            if keep < chain.len() {
+                chain.truncate(keep);
+                trailing_checkpoint_skipped = false;
             }
         }
         let newest = chain.last().expect("non-empty chain");
@@ -1731,9 +1936,10 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             .max(watermark);
         let mut replayed: Vec<WalRecord> = all_records
             .into_iter()
-            .filter(|r| r.seq > watermark)
+            .filter(|r| r.seq > watermark && target.is_none_or(|t| r.seq <= t))
             .collect();
         replayed.sort_by_key(|r| r.seq);
+        let stopped_at = target.map(|_| replayed.last().map_or(watermark, |r| r.seq));
         for r in &replayed {
             if r.user as usize >= n_users {
                 return Err(ServingError::Durability(format!(
@@ -1745,34 +1951,40 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         }
 
         // Histories fully reconstructed: build the fleet (item-range
-        // validation happens in try_new), then re-arm durability.
+        // validation happens in try_new), then re-arm durability —
+        // except for a point-in-time restore, whose state deliberately
+        // predates records still on disk (see `recover_at`).
         let mut engine = Self::try_new(sccf, histories, cfg)?;
-        engine.events_routed = max_seq;
-        for s in 0..engine.txs.len() {
-            let path = wal::wal_path(&dir, s);
-            let writer = if path.exists() {
-                WalWriter::reopen(&path, durability.fsync_every)?
-            } else {
-                WalWriter::create(&path, durability.fsync_every)?
-            };
-            // Replayed users must land in the next incremental
-            // checkpoint — their newest durable blob predates the
-            // replay.
-            let dirty: Vec<u32> = replayed
-                .iter()
-                .filter(|r| engine.epoch.route(r.user) == s)
-                .map(|r| r.user)
-                .collect();
-            engine.send(s, ShardMsg::Durability { wal: writer, dirty });
+        if let Some(stopped) = stopped_at {
+            engine.events_routed = stopped;
+        } else {
+            engine.events_routed = max_seq;
+            for s in 0..engine.txs.len() {
+                let path = wal::wal_path(&dir, s);
+                let writer = if path.exists() {
+                    WalWriter::reopen(&path, durability.fsync_every)?
+                } else {
+                    WalWriter::create(&path, durability.fsync_every)?
+                };
+                // Replayed users must land in the next incremental
+                // checkpoint — their newest durable blob predates the
+                // replay.
+                let dirty: Vec<u32> = replayed
+                    .iter()
+                    .filter(|r| engine.epoch.route(r.user) == s)
+                    .map(|r| r.user)
+                    .collect();
+                engine.send(s, ShardMsg::Durability { wal: writer, dirty });
+            }
+            let replay_debt = replayed.len() as u64;
+            engine.durability = Some(DurabilityState {
+                cfg: durability,
+                checkpoints: checkpoints_loaded as u64,
+                watermark,
+                last_checkpoint_bytes,
+                events_at_checkpoint: max_seq - replay_debt,
+            });
         }
-        let replay_debt = replayed.len() as u64;
-        engine.durability = Some(DurabilityState {
-            cfg: durability,
-            checkpoints: checkpoints_loaded as u64,
-            watermark,
-            last_checkpoint_bytes,
-            events_at_checkpoint: max_seq - replay_debt,
-        });
         let report = RecoveryReport {
             checkpoints_loaded,
             trailing_checkpoint_skipped,
@@ -1784,6 +1996,7 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             torn_files,
             truncated_bytes,
             max_seq,
+            stopped_at,
         };
         Ok((engine, report))
     }
@@ -2135,6 +2348,22 @@ fn shard_worker<M: InductiveUiModel>(
                     })
                     .collect();
                 let _ = reply.send(blobs);
+            }
+            ShardMsg::WalRotate {
+                seal_upto,
+                prune_upto,
+                reply,
+            } => {
+                let out = match walw.as_mut() {
+                    // Rotation failing means the durability contract's
+                    // disk bound is broken — surface it loudly, like
+                    // every other WAL I/O failure on this thread.
+                    Some(w) => w
+                        .rotate(seal_upto, prune_upto)
+                        .unwrap_or_else(|e| panic!("shard {shard}: wal rotate: {e}")),
+                    None => (0, 0),
+                };
+                let _ = reply.send(out);
             }
         }
     }

@@ -11,7 +11,13 @@
 //! orders events across shard files at replay time. Shard workers
 //! append *before* applying the event and `fsync` every
 //! `fsync_every` records, so the unsynced tail — the only region a
-//! crash can tear — is bounded by the fsync cadence.
+//! crash can tear — is bounded by the fsync cadence. Checkpoints
+//! rotate the log ([`WalWriter::rotate`]): the active segment is
+//! sealed by rename to `wal-{shard}-{max_seq:016}.log` once the
+//! checkpoint watermark covers it, and sealed segments below the
+//! *previous* watermark are pruned — WAL disk stays bounded by
+//! roughly one checkpoint interval per shard while recovery keeps
+//! enough depth for the trailing-corrupt-checkpoint fallback.
 //!
 //! **Checkpoint** (`ckpt-{epoch:08}.ckpt`, magic `SCCFCP01`): the
 //! magic, one CRC-framed header (`epoch`, `watermark`, `n_entries`),
@@ -201,12 +207,19 @@ pub struct WalStatus {
 /// a real power loss would have preserved.
 pub struct WalWriter {
     file: fs::File,
+    /// The active segment's path — kept so [`WalWriter::rotate`] can
+    /// seal it by rename and reopen a fresh segment in its place.
+    path: PathBuf,
     len: u64,
     synced_len: u64,
     appended: u64,
     syncs: u64,
     pending: u32,
     fsync_every: u32,
+    /// Highest sequence number in the active segment (0 when empty) —
+    /// the seal decision and the sealed segment's name both come from
+    /// it.
+    max_seq: u64,
     buf: Vec<u8>,
     frame: Vec<u8>,
 }
@@ -224,12 +237,14 @@ impl WalWriter {
         file.sync_data()?;
         Ok(Self {
             file,
+            path: path.to_path_buf(),
             len: WAL_MAGIC.len() as u64,
             synced_len: WAL_MAGIC.len() as u64,
             appended: 0,
             syncs: 0,
             pending: 0,
             fsync_every: fsync_every.max(1),
+            max_seq: 0,
             buf: Vec::with_capacity(RECORD_PAYLOAD_LEN),
             frame: Vec::with_capacity(RECORD_FRAME_LEN),
         })
@@ -237,22 +252,32 @@ impl WalWriter {
 
     /// Reopen an existing WAL for appending. The caller (recovery) has
     /// already scanned and truncated the file to its trusted prefix;
-    /// this just validates the magic and positions at the end.
+    /// this validates the magic, recovers the segment's highest
+    /// sequence number (for [`WalWriter::rotate`]'s seal decision) and
+    /// positions at the end.
     pub fn reopen(path: &Path, fsync_every: u32) -> Result<Self, WalError> {
         let bytes = fs::read(path)?;
         if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
             return Err(WalError::BadMagic);
         }
+        let max_seq = scan_wal(&bytes)?
+            .records
+            .iter()
+            .map(|&(_, r)| r.seq)
+            .max()
+            .unwrap_or(0);
         let file = fs::OpenOptions::new().append(true).open(path)?;
         let len = bytes.len() as u64;
         Ok(Self {
             file,
+            path: path.to_path_buf(),
             len,
             synced_len: len,
             appended: 0,
             syncs: 0,
             pending: 0,
             fsync_every: fsync_every.max(1),
+            max_seq,
             buf: Vec::with_capacity(RECORD_PAYLOAD_LEN),
             frame: Vec::with_capacity(RECORD_FRAME_LEN),
         })
@@ -268,10 +293,85 @@ impl WalWriter {
         self.len += self.frame.len() as u64;
         self.appended += 1;
         self.pending += 1;
+        self.max_seq = self.max_seq.max(rec.seq);
         if self.pending >= self.fsync_every {
             self.sync()?;
         }
         Ok(())
+    }
+
+    /// Segment rotation, called after a checkpoint: seal the active
+    /// segment once the checkpoint watermark covers every record in it
+    /// (`max_seq <= seal_upto`), then prune sealed segments wholly
+    /// covered by `prune_upto`. Returns `(sealed, pruned)` counts.
+    ///
+    /// Sealing renames `wal-{s}.log` to `wal-{s}-{max_seq:016}.log`
+    /// (still matched by [`list_wal_files`], so recovery replays sealed
+    /// segments with no special handling) and starts a fresh active
+    /// segment — this is what bounds the active file, and with pruning,
+    /// total WAL disk, to roughly one checkpoint interval per shard.
+    /// Pruning deletes a sealed segment only when its name's sequence
+    /// is `<= prune_upto`; the engine passes the *previous* watermark
+    /// there, deliberately keeping one extra checkpoint interval of
+    /// records on disk so recovery's trailing-corrupt-checkpoint
+    /// fallback (previous epoch + deeper replay) still finds them.
+    /// Everything is fsync'd (file, renames, directory) before return.
+    pub fn rotate(&mut self, seal_upto: u64, prune_upto: u64) -> Result<(u64, u64), WalError> {
+        self.sync()?;
+        let dir = self
+            .path
+            .parent()
+            .ok_or(WalError::Corrupt("wal path has no parent directory"))?
+            .to_path_buf();
+        let stem = self
+            .path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or(WalError::Corrupt("wal path has no file stem"))?
+            .to_string();
+        let mut sealed = 0u64;
+        if self.len > WAL_MAGIC.len() as u64 && self.max_seq <= seal_upto {
+            let sealed_path = dir.join(format!("{stem}-{:016}.log", self.max_seq));
+            fs::rename(&self.path, &sealed_path)?;
+            let mut file = fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&self.path)?;
+            file.write_all(WAL_MAGIC)?;
+            file.sync_data()?;
+            self.file = file;
+            self.len = WAL_MAGIC.len() as u64;
+            self.synced_len = self.len;
+            self.pending = 0;
+            self.max_seq = 0;
+            self.syncs += 1;
+            sealed = 1;
+        }
+        let mut pruned = 0u64;
+        let prefix = format!("{stem}-");
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(seq) = name
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix(".log"))
+                .and_then(|num| num.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if seq <= prune_upto {
+                fs::remove_file(&path)?;
+                pruned += 1;
+            }
+        }
+        if sealed > 0 || pruned > 0 {
+            // Durable renames/removals: the directory entry changes
+            // must survive a crash just like the data.
+            fs::File::open(&dir)?.sync_all()?;
+        }
+        Ok((sealed, pruned))
     }
 
     /// Force everything appended so far onto stable storage.
@@ -580,6 +680,81 @@ mod tests {
         let (records, tail, _) = read_and_repair_wal(&path).unwrap();
         assert_eq!(tail, WalTail::CorruptFrame);
         assert_eq!(records.len(), 2, "records after the flip are discarded");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotate_seals_prunes_and_keeps_records_replayable() {
+        let dir = tmp_dir("rotate");
+        let path = wal_path(&dir, 0);
+        let mut w = WalWriter::create(&path, 1).unwrap();
+        for s in 1..=4 {
+            w.append(rec(s)).unwrap();
+        }
+        // Checkpoint at watermark 4: seal [1..4], prune nothing (the
+        // previous watermark was 0 and the sealed name is seq 4).
+        let (sealed, pruned) = w.rotate(4, 0).unwrap();
+        assert_eq!((sealed, pruned), (1, 0));
+        assert_eq!(
+            w.status().len,
+            WAL_MAGIC.len() as u64,
+            "fresh active segment"
+        );
+        for s in 5..=7 {
+            w.append(rec(s)).unwrap();
+        }
+        // Both segments are visible to recovery's file listing and
+        // together carry the full record set.
+        let files = list_wal_files(&dir).unwrap();
+        assert_eq!(files.len(), 2, "{files:?}");
+        let mut all: Vec<u64> = files
+            .iter()
+            .flat_map(|f| {
+                scan_wal(&fs::read(f).unwrap())
+                    .unwrap()
+                    .records
+                    .into_iter()
+                    .map(|(_, r)| r.seq)
+            })
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (1..=7).collect::<Vec<u64>>());
+        // Next checkpoint at watermark 7, previous watermark 4: seal
+        // [5..7] and prune the seq-4 segment.
+        let (sealed, pruned) = w.rotate(7, 4).unwrap();
+        assert_eq!((sealed, pruned), (1, 1));
+        let files = list_wal_files(&dir).unwrap();
+        assert_eq!(files.len(), 2, "active + one sealed: {files:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotate_skips_empty_and_uncovered_segments() {
+        let dir = tmp_dir("rotate_skip");
+        let path = wal_path(&dir, 3);
+        let mut w = WalWriter::create(&path, 1).unwrap();
+        // Empty active segment: nothing to seal.
+        assert_eq!(w.rotate(100, 0).unwrap(), (0, 0));
+        w.append(rec(9)).unwrap();
+        // Watermark below the segment's newest record: must not seal
+        // (the segment still holds records a checkpoint doesn't cover).
+        assert_eq!(w.rotate(8, 0).unwrap(), (0, 0));
+        assert_eq!(w.rotate(9, 0).unwrap(), (1, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_recovers_max_seq_for_rotation() {
+        let dir = tmp_dir("reopen_seq");
+        let path = wal_path(&dir, 0);
+        let mut w = WalWriter::create(&path, 1).unwrap();
+        w.append(rec(41)).unwrap();
+        w.append(rec(42)).unwrap();
+        drop(w);
+        let mut w = WalWriter::reopen(&path, 1).unwrap();
+        assert_eq!(w.rotate(41, 0).unwrap(), (0, 0), "seq 42 uncovered");
+        assert_eq!(w.rotate(42, 0).unwrap(), (1, 0));
+        assert!(dir.join(format!("wal-0-{:016}.log", 42)).exists());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -88,6 +88,28 @@ impl OnlineStats {
     pub fn max(&self) -> f64 {
         self.max
     }
+
+    /// The accumulator's raw state `(n, mean, m2, min, max)` — the
+    /// serialization surface. Together with [`OnlineStats::from_parts`]
+    /// this round-trips an accumulator *exactly* (bit-identical f64s),
+    /// which is what lets aggregated timings cross a process boundary
+    /// without losing the merge algebra.
+    pub fn parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild an accumulator from [`OnlineStats::parts`]. The fields
+    /// are trusted as-is; feeding values that never came from a real
+    /// accumulator yields whatever statistics those values imply.
+    pub fn from_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
 }
 
 /// Z-normalize `values` in place: subtract the mean, divide by the standard

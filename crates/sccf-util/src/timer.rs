@@ -90,6 +90,21 @@ impl TimingStats {
     pub fn merge(&mut self, other: &TimingStats) {
         self.stats.merge(&other.stats);
     }
+
+    /// The underlying accumulator's raw state — see
+    /// [`OnlineStats::parts`]. With [`TimingStats::from_parts`] this
+    /// round-trips the aggregate exactly across a process boundary.
+    pub fn parts(&self) -> (u64, f64, f64, f64, f64) {
+        self.stats.parts()
+    }
+
+    /// Rebuild from [`TimingStats::parts`] — see
+    /// [`OnlineStats::from_parts`].
+    pub fn from_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            stats: OnlineStats::from_parts(n, mean, m2, min, max),
+        }
+    }
 }
 
 #[cfg(test)]

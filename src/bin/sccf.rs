@@ -6,7 +6,14 @@
 //!                 --out model.sccf [--dim D] [--epochs E] [--seed N]
 //! sccf eval       --data data.tsv --model model.sccf [--sccf] [--beta B] [--ks 20,50,100]
 //! sccf recommend  --data data.tsv --model model.sccf --user U [-n N] [--sccf]
+//! sccf serve-shard --base B --count C --total T [--port P] [--dir DIR] ...
+//! sccf route      [--procs P] [--shards-per-proc S] [--events N] ...
 //! ```
+//!
+//! `serve-shard` and `route` are the networked-fleet roles (see
+//! `sccf::net`): `serve-shard` hosts one window of the global shard
+//! space behind a TCP listener, `route` launches and supervises a
+//! whole loopback fleet and drives it through the fleet router.
 //!
 //! The model file is self-describing: a small envelope (kind, dimension,
 //! sequence cap, catalog size) ahead of the parameter snapshot, so `eval`
@@ -284,7 +291,11 @@ fn usage() -> ! {
          sccf train --data FILE --model fism|sasrec|gru4rec|caser|avgpool --out FILE\n        \
          [--dim D] [--epochs E] [--max-len L] [--seed N]\n  \
          sccf eval --data FILE --model FILE [--sccf true] [--beta B] [--ks 20,50,100]\n  \
-         sccf recommend --data FILE --model FILE --user U [--n N] [--sccf true]\n\n\
+         sccf recommend --data FILE --model FILE --user U [--n N] [--sccf true]\n  \
+         sccf serve-shard --base B --count C --total T [--vnodes V] [--port P]\n        \
+         [--dir DIR] [--model-file FILE] [--world-* ...]\n  \
+         sccf route [--procs P] [--shards-per-proc S] [--vnodes V] [--events N]\n        \
+         [--dir DIR] [--world-* ...]\n\n\
          datasets: ml1m-sim ml20m-sim games-sim beauty-sim taobao-sim"
     );
     exit(2)
@@ -522,6 +533,25 @@ fn cmd_recommend(flags: &Flags) -> Result<(), String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
+    // The fleet subcommands own their argument parsing (world flags,
+    // window flags) — dispatch them before the generic flag parser.
+    match cmd.as_str() {
+        "serve-shard" => {
+            if let Err(e) = sccf::net::serve_shard_main(&args[1..]) {
+                eprintln!("error: {e}");
+                exit(1);
+            }
+            return;
+        }
+        "route" => {
+            if let Err(e) = sccf::net::route_main(&args[1..]) {
+                eprintln!("error: {e}");
+                exit(1);
+            }
+            return;
+        }
+        _ => {}
+    }
     let flags = match Flags::parse(&args[1..]) {
         Ok(f) => f,
         Err(e) => {

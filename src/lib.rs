@@ -22,6 +22,7 @@
 //! | [`core`] | `sccf-core` | the SCCF framework + real-time engine + §V ranking stage |
 //! | [`eval`] | `sccf-eval` | HR/NDCG, leave-one-out protocol |
 //! | [`serving`] | `sccf-serving` | the unified `ServingApi`, event replay, sharded multi-writer engine, watermark buffer, A/B test simulator |
+//! | [`net`] | `sccf-net` | the networked shard fleet: wire protocol, shard server, fleet router, supervisor |
 //! | [`util`] | `sccf-util` | hashing, top-k, stats, tables, timers |
 //!
 //! ## Quickstart
@@ -70,6 +71,7 @@ pub use sccf_data as data;
 pub use sccf_eval as eval;
 pub use sccf_index as index;
 pub use sccf_models as models;
+pub use sccf_net as net;
 pub use sccf_serving as serving;
 pub use sccf_tensor as tensor;
 pub use sccf_util as util;

@@ -453,3 +453,166 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir_b);
     }
 }
+
+// ------------------------------------------- WAL rotation (bounded disk)
+
+/// Each checkpoint seals the active segment and prunes segments the
+/// *previous* watermark already covered, so on-disk WAL stays bounded
+/// by ~one checkpoint interval of slack per shard no matter how long
+/// the stream runs — and recovery still replays cleanly across the
+/// sealed-segment boundary.
+#[test]
+fn wal_rotation_bounds_disk_and_recovers_across_segments() {
+    const SHARDS: usize = 2;
+    const ROUND: u64 = 50;
+    const ROUNDS: u64 = 6;
+    const TAIL: u64 = 30;
+    let w = world();
+    let dir = scratch_dir("rotate");
+
+    let mut fleet = fresh_fleet(w, SHARDS);
+    fleet
+        .enable_durability(durability(&dir, 8))
+        .expect("fresh directory");
+    let mut fed = 0u64;
+    for round in 0..ROUNDS {
+        for _ in 0..ROUND {
+            let (u, i) = event_at(w, fed);
+            fleet.try_ingest(u, i).expect("ids in range");
+            fed += 1;
+        }
+        fleet.flush().expect("barrier");
+        fleet.checkpoint().expect("checkpoint");
+        // Active segment + at most one sealed segment of slack per
+        // shard: rotation must not let segments pile up.
+        let files = wal::list_wal_files(&dir).expect("wal dir lists");
+        assert!(
+            files.len() <= SHARDS * 2,
+            "round {round}: {} WAL files on disk — rotation is not pruning",
+            files.len()
+        );
+    }
+    // An uncheckpointed tail forces recovery to replay across the last
+    // sealed boundary.
+    for _ in 0..TAIL {
+        let (u, i) = event_at(w, fed);
+        fleet.try_ingest(u, i).expect("ids in range");
+        fed += 1;
+    }
+    fleet.flush().expect("barrier");
+    fleet.shutdown();
+
+    let (mut recovered, rec) =
+        ShardedEngine::recover(fresh_sccf(w), shard_cfg(SHARDS), durability(&dir, 8))
+            .expect("rotated directory recovers");
+    assert_eq!(
+        rec.replayed.len() as u64,
+        TAIL,
+        "replay covers exactly the tail"
+    );
+    assert_eq!(rec.max_seq, ROUNDS * ROUND + TAIL);
+
+    let mut reference = fresh_fleet(w, SHARDS);
+    for k in 0..fed {
+        let (u, i) = event_at(w, k);
+        reference.try_ingest(u, i).expect("ids in range");
+    }
+    reference.flush().expect("barrier");
+    assert_fleets_identical(&mut recovered, &mut reference, "after rotation");
+    recovered.shutdown();
+    reference.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ------------------------------------------- point-in-time restore
+
+/// `recover_at(target)` rewinds the fleet to "as of seq `target`":
+/// state is bit-identical to a fleet fed exactly that prefix, the
+/// report records where replay stopped, and the restored fleet comes up
+/// with durability disarmed (re-arming would collide with the
+/// surviving suffix on disk).
+#[test]
+fn point_in_time_restore_stops_exactly_at_target() {
+    const SHARDS: usize = 2;
+    const EVENTS: u64 = 200;
+    let w = world();
+    let dir = scratch_dir("pit");
+
+    let mut fleet = fresh_fleet(w, SHARDS);
+    fleet
+        .enable_durability(durability(&dir, 8))
+        .expect("fresh directory");
+    for k in 0..EVENTS {
+        let (u, i) = event_at(w, k);
+        fleet.try_ingest(u, i).expect("ids in range");
+        if k == 59 || k == 119 {
+            fleet.flush().expect("barrier");
+            fleet.checkpoint().expect("mid-stream checkpoint");
+        }
+    }
+    fleet.flush().expect("barrier");
+    fleet.shutdown();
+
+    // Targets straddle every interesting boundary. Rewind resolution
+    // is bounded by WAL rotation: the checkpoint at seq 120 pruned the
+    // sealed segment the previous watermark (60) covered, so a target
+    // *inside* the pruned interval (30) can only reach the newest
+    // checkpoint at or below it — seq 0. Within the retained window
+    // (61 onwards, one interval of slack plus the tail), the rewind is
+    // exact.
+    let mut reference = fresh_fleet(w, SHARDS);
+    let mut fed = 0u64;
+    for (target, applied) in [
+        (0u64, 0u64),
+        (30, 0), // pruned interval: clamps to checkpoint watermark 0
+        (90, 90),
+        (150, 150),
+        (EVENTS, EVENTS),
+        (EVENTS + 300, EVENTS),
+    ] {
+        let (mut restored, rec) = ShardedEngine::recover_at(
+            fresh_sccf(w),
+            shard_cfg(SHARDS),
+            durability(&dir, 8),
+            target,
+        )
+        .expect("every target restores");
+        assert_eq!(
+            rec.stopped_at,
+            Some(applied),
+            "target {target}: stopped_at records the highest applied seq"
+        );
+        while fed < applied {
+            let (u, i) = event_at(w, fed);
+            reference.try_ingest(u, i).expect("ids in range");
+            fed += 1;
+        }
+        reference.flush().expect("barrier");
+        assert_fleets_identical(&mut restored, &mut reference, &format!("target {target}"));
+        assert!(
+            matches!(restored.checkpoint(), Err(ServingError::Durability(_))),
+            "target {target}: a rewound fleet must come up disarmed"
+        );
+        restored.shutdown();
+    }
+    // A full recovery of the same directory still works afterwards —
+    // restore-at is read-only with respect to the log.
+    let (mut full, rec) =
+        ShardedEngine::recover(fresh_sccf(w), shard_cfg(SHARDS), durability(&dir, 8))
+            .expect("directory intact after PIT reads");
+    assert_eq!(
+        rec.stopped_at, None,
+        "plain recovery does not report a stop"
+    );
+    assert_eq!(rec.max_seq, EVENTS);
+    while fed < EVENTS {
+        let (u, i) = event_at(w, fed);
+        reference.try_ingest(u, i).expect("ids in range");
+        fed += 1;
+    }
+    reference.flush().expect("barrier");
+    assert_fleets_identical(&mut full, &mut reference, "full recovery after PIT");
+    full.shutdown();
+    reference.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

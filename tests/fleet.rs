@@ -1,0 +1,264 @@
+//! The networked fleet's headline contract, pinned: a multi-process
+//! fleet over loopback TCP is **bit-identical** to a single-process
+//! `ShardedEngine` with the same total shard count fed the same event
+//! stream — snapshot bytes and slate float bits — including across a
+//! supervised kill-and-restart of one member.
+//!
+//! The processes are the real `sccf` binary (`CARGO_BIN_EXE_sccf`)
+//! running `serve-shard`; nothing here is mocked. Determinism comes
+//! from the shared [`WorldSpec`] recipe plus a trained-model file every
+//! process rehydrates, so the only degrees of freedom left are the ones
+//! the wire protocol and the durability layer must preserve.
+
+use std::path::{Path, PathBuf};
+
+use sccf::net::{
+    Connection, FleetRouter, Request, Response, ServeShardArgs, ShardSpec, Supervisor, WorldSpec,
+};
+use sccf::serving::fleet::{FleetMember, FleetTopology};
+use sccf::serving::{RecQuery, RouterKind, ServingApi, ServingError, ShardedConfig, ShardedEngine};
+
+const TOTAL_SHARDS: usize = 4;
+const PROCS: usize = 2;
+const PER_PROC: usize = TOTAL_SHARDS / PROCS;
+
+fn spec() -> WorldSpec {
+    WorldSpec {
+        n_users: 48,
+        n_items: 32,
+        seed: 2026,
+        epochs: 2,
+        ..WorldSpec::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sccf_fleet_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// The same deterministic stream `tests/durability.rs` uses.
+fn event_at(spec: &WorldSpec, k: u64) -> (u32, u32) {
+    (
+        (k as u32).wrapping_mul(131) % spec.n_users as u32,
+        (k as u32).wrapping_mul(7919).wrapping_add(13) % spec.n_items as u32,
+    )
+}
+
+/// Launch `PROCS` real `sccf serve-shard` processes over the model
+/// file, each owning `PER_PROC` shards of the global space, each with
+/// its own durability directory under `root`.
+fn launch_fleet(spec: &WorldSpec, root: &Path, model: &Path) -> Supervisor {
+    let exe = PathBuf::from(env!("CARGO_BIN_EXE_sccf"));
+    let specs = (0..PROCS)
+        .map(|p| {
+            let args = ServeShardArgs {
+                base: p * PER_PROC,
+                count: PER_PROC,
+                total: TOTAL_SHARDS,
+                vnodes: 0,
+                dir: Some(root.join(format!("member-{p}"))),
+                world: spec.clone(),
+                model_file: Some(model.to_path_buf()),
+                ..ServeShardArgs::default()
+            };
+            let mut argv = vec!["serve-shard".to_string()];
+            argv.extend(args.to_args());
+            ShardSpec::new(exe.clone(), argv)
+        })
+        .collect();
+    Supervisor::launch(specs).expect("fleet launches")
+}
+
+fn connect_router(sup: &Supervisor) -> FleetRouter {
+    let members = (0..PROCS)
+        .map(|p| FleetMember {
+            base: p * PER_PROC,
+            count: PER_PROC,
+            addr: sup.addr(p),
+        })
+        .collect();
+    let topology = FleetTopology::try_new(TOTAL_SHARDS, 0, members).expect("valid tiling");
+    FleetRouter::connect(topology).expect("fleet handshake")
+}
+
+/// Bit-level equality: whole-population snapshot bytes plus id +
+/// score-bit slates for every user, fleet vs baseline.
+fn assert_fleet_matches_baseline(
+    spec: &WorldSpec,
+    router: &mut FleetRouter,
+    baseline: &mut ShardedEngine<sccf::models::Fism>,
+    context: &str,
+) {
+    let fleet_snap = router.snapshot_state().expect("fleet snapshot");
+    let base_snap = baseline.snapshot_state().expect("baseline snapshot");
+    assert!(
+        fleet_snap == base_snap,
+        "{context}: snapshot bytes diverge ({} vs {} bytes)",
+        fleet_snap.len(),
+        base_snap.len()
+    );
+    let users: Vec<u32> = (0..spec.n_users as u32).collect();
+    let slates = router
+        .recommend_many(&users, &RecQuery::top(5))
+        .expect("fleet slates");
+    for (&u, slate) in users.iter().zip(&slates) {
+        let rb = baseline
+            .try_recommend(u, &RecQuery::top(5))
+            .expect("valid user");
+        let fleet_bits: Vec<(u32, u32)> = slate
+            .items
+            .iter()
+            .map(|s| (s.id, s.score.to_bits()))
+            .collect();
+        let base_bits: Vec<(u32, u32)> =
+            rb.items.iter().map(|s| (s.id, s.score.to_bits())).collect();
+        assert_eq!(fleet_bits, base_bits, "{context}: user {u} slate diverges");
+    }
+}
+
+#[test]
+fn fleet_matches_single_process_bit_for_bit_across_kill_and_restart() {
+    let spec = spec();
+    let root = scratch_dir("equiv");
+    let model_path = root.join("model.fism");
+    std::fs::write(&model_path, spec.train_model()).expect("write model");
+
+    let mut sup = launch_fleet(&spec, &root, &model_path);
+    let mut router = connect_router(&sup);
+
+    // The reference: all four shards in this process, same world, same
+    // modulo ring the fleet's slice engines share (vnodes = 0).
+    let world = spec
+        .build(Some(&std::fs::read(&model_path).unwrap()))
+        .unwrap();
+    let mut baseline = ShardedEngine::try_new(
+        world.sccf,
+        world.histories,
+        ShardedConfig {
+            n_shards: TOTAL_SHARDS,
+            queue_capacity: 64,
+            router: RouterKind::Modulo,
+        },
+    )
+    .expect("baseline fleet");
+
+    let stream =
+        |lo: u64, hi: u64| -> Vec<(u32, u32)> { (lo..hi).map(|k| event_at(&spec, k)).collect() };
+
+    // Phase 1: both sides ingest the same prefix.
+    let phase1 = stream(0, 300);
+    assert_eq!(router.ingest_batch(&phase1).expect("fleet ingest"), 300);
+    assert_eq!(
+        baseline.ingest_batch(&phase1).expect("baseline ingest"),
+        300
+    );
+    router.flush().expect("fleet flush");
+    baseline.flush().expect("baseline flush");
+    assert_fleet_matches_baseline(&spec, &mut router, &mut baseline, "after phase 1");
+    let stats = router.serving_stats().expect("fleet stats");
+    assert_eq!(stats.events, 300, "merged stats count the whole stream");
+    assert!(stats.durability.enabled);
+
+    // Checkpoint, then keep writing past it so recovery must replay a
+    // WAL tail on top of the checkpoint chain.
+    let epochs = router.checkpoint_all().expect("fleet checkpoint");
+    assert_eq!(epochs.len(), PROCS);
+    let phase2 = stream(300, 450);
+    router.ingest_batch(&phase2).expect("fleet ingest");
+    baseline.ingest_batch(&phase2).expect("baseline ingest");
+    router.flush().expect("fleet flush");
+    // Every acknowledged event must be on disk before the crash; the
+    // wire ACK alone only proves the shard applied it in memory.
+    router.wal_sync_all().expect("fleet wal_sync");
+
+    // Crash member 1 (SIGKILL — no flush, no goodbye), supervise it
+    // back up, and re-point the router at the replacement.
+    sup.kill(1).expect("kill member 1");
+    let restarted = sup.check_and_restart().expect("control loop tick");
+    assert_eq!(restarted, vec![1], "only the killed member restarts");
+    router.reconnect(1, &sup.addr(1)).expect("reconnect");
+    assert_fleet_matches_baseline(&spec, &mut router, &mut baseline, "after restart");
+
+    // Phase 3: the stream continues across the restart seam.
+    let phase3 = stream(450, 600);
+    router.ingest_batch(&phase3).expect("fleet ingest");
+    baseline.ingest_batch(&phase3).expect("baseline ingest");
+    router.flush().expect("fleet flush");
+    assert_fleet_matches_baseline(&spec, &mut router, &mut baseline, "after phase 3");
+
+    // Operational counters are process-local and intentionally not
+    // durable: the restarted member counts from its recovery onwards,
+    // so the merged total covers the surviving member's whole stream
+    // plus the replacement's post-restart share — less than 600, but
+    // every shard still reports.
+    let stats = router.serving_stats().expect("fleet stats");
+    assert!(
+        stats.events < 600 && stats.events >= 150,
+        "restart resets the crashed member's counters (got {})",
+        stats.events
+    );
+    assert_eq!(
+        stats.shards.len(),
+        TOTAL_SHARDS,
+        "every shard reports after merge"
+    );
+    assert!(stats.durability.enabled);
+
+    router.shutdown_all().expect("graceful shutdown");
+    sup.shutdown();
+    baseline.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn remote_errors_and_routing_guards_cross_the_wire() {
+    let spec = spec();
+    let root = scratch_dir("errors");
+    let model_path = root.join("model.fism");
+    std::fs::write(&model_path, spec.train_model()).expect("write model");
+
+    let sup = launch_fleet(&spec, &root, &model_path);
+    let mut router = connect_router(&sup);
+
+    // Local validation: out-of-range ids fail before any bytes move.
+    let n_users = spec.n_users as u32;
+    let n_items = spec.n_items as u32;
+    assert!(matches!(
+        router.try_recommend(n_users, &RecQuery::top(5)),
+        Err(ServingError::UnknownUser { .. })
+    ));
+    // A batch with one bad event is rejected whole: fleet state must
+    // be untouched even though the batch spans members.
+    let before = router.snapshot_state().expect("snapshot");
+    let bad = vec![(0, 0), (1, n_items), (2, 1)];
+    assert!(matches!(
+        router.ingest_batch(&bad),
+        Err(ServingError::UnknownItem { .. })
+    ));
+    let after = router.snapshot_state().expect("snapshot");
+    assert!(before == after, "rejected batch must not move the fleet");
+
+    // Remote errors survive the wire as typed variants: dial member 0
+    // directly and ask it for a user it does not own.
+    let mut direct = Connection::connect(sup.addr(0).as_str()).expect("dial member 0");
+    let foreign = (0..n_users)
+        .find(|&u| router.owner_of(u) != 0)
+        .expect("some user lives on member 1");
+    match direct
+        .request(&Request::Recommend {
+            user: foreign,
+            query: RecQuery::top(5),
+        })
+        .expect("transport ok")
+    {
+        Response::Err(ServingError::NotOwned { user }) => assert_eq!(user, foreign),
+        other => panic!("expected NotOwned over the wire, got {other:?}"),
+    }
+
+    router.shutdown_all().expect("graceful shutdown");
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -406,3 +406,133 @@ proptest! {
         let _ = GlobalNeighborSnapshot::decode(&corrupt);
     }
 }
+
+// ------------------------------------ fleet wire protocol (sccf-net)
+
+/// A deterministic mixed bag of fleet requests for the stream
+/// properties below.
+fn fleet_requests(seed: u64, n: usize) -> Vec<sccf::net::Request> {
+    use proptest::Gen;
+    use sccf::net::Request;
+    use sccf::serving::RecQuery;
+    let mut g = Gen::new(seed);
+    (0..n)
+        .map(|_| match g.below(6) {
+            0 => Request::Ping,
+            1 => Request::IngestBatch(
+                (0..g.below(8))
+                    .map(|_| (g.below(100) as u32, g.below(100) as u32))
+                    .collect(),
+            ),
+            2 => Request::Recommend {
+                user: g.below(100) as u32,
+                query: RecQuery::top(1 + g.below(10) as usize),
+            },
+            3 => Request::Flush,
+            4 => Request::ExportUsers((0..g.below(6)).map(|_| g.below(100) as u32).collect()),
+            _ => Request::Checkpoint,
+        })
+        .collect()
+}
+
+/// Frame `reqs` into one contiguous stream; returns the stream and the
+/// byte offset where each frame ends.
+fn framed_stream(reqs: &[sccf::net::Request]) -> (Vec<u8>, Vec<usize>) {
+    use sccf::net::proto::write_message;
+    let mut stream = Vec::new();
+    let mut ends = Vec::new();
+    for r in reqs {
+        write_message(&mut stream, &r.encode()).expect("Vec sink never fails");
+        ends.push(stream.len());
+    }
+    (stream, ends)
+}
+
+/// Scan a framed stream to exhaustion: recovered messages, plus whether
+/// the stream ended cleanly (EOF at a frame boundary) or torn/corrupt.
+fn scan_stream(mut cursor: &[u8]) -> (Vec<sccf::net::Request>, bool) {
+    use sccf::net::proto::read_message;
+    use sccf::net::Request;
+    let mut buf = Vec::new();
+    let mut got = Vec::new();
+    let clean = loop {
+        match read_message(&mut cursor, &mut buf) {
+            Ok(Some(())) => match Request::decode(&buf) {
+                Ok(r) => got.push(r),
+                Err(_) => break false,
+            },
+            Ok(None) => break true,
+            Err(_) => break false,
+        }
+    };
+    (got, clean)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fleet frame scan under truncation: the survivors are exactly the
+    /// frames fully contained in the cut — an exact prefix of what was
+    /// sent — and the scan reports clean EOF iff the cut lands on a
+    /// frame boundary.
+    #[test]
+    fn fleet_stream_truncation_recovers_exact_prefix(
+        seed in 0u64..10_000,
+        n in 1usize..8,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let reqs = fleet_requests(seed, n);
+        let (stream, ends) = framed_stream(&reqs);
+        let cut = (stream.len() as f64 * cut_frac) as usize;
+        let n_complete = ends.iter().filter(|&&e| e <= cut).count();
+        let (got, clean) = scan_stream(&stream[..cut]);
+        prop_assert_eq!(&got[..], &reqs[..n_complete], "survivors must be an exact prefix");
+        prop_assert_eq!(clean, cut == 0 || ends.contains(&cut));
+    }
+
+    /// Single-bit corruption anywhere in a framed stream: frames before
+    /// the flip are recovered intact, the flipped frame is rejected by
+    /// the CRC, and nothing panics. A corrupted stream can never
+    /// surface an altered message as valid.
+    #[test]
+    fn fleet_stream_bit_flips_are_detected(
+        seed in 0u64..10_000,
+        n in 1usize..8,
+        flip_pos in 0usize..65_536,
+        flip_bit in 0u8..8,
+    ) {
+        let reqs = fleet_requests(seed, n);
+        let (mut stream, ends) = framed_stream(&reqs);
+        let pos = flip_pos % stream.len();
+        stream[pos] ^= 1 << flip_bit;
+        // The frame whose bytes contain `pos` is the first casualty.
+        let corrupt_idx = ends.partition_point(|&e| e <= pos);
+        let (got, clean) = scan_stream(&stream);
+        prop_assert_eq!(&got[..], &reqs[..corrupt_idx]);
+        prop_assert!(!clean, "a flipped bit must not scan as a clean stream");
+    }
+
+    /// The payload decoders themselves: every strict prefix of an
+    /// encoded request is a typed error, and arbitrary byte corruption
+    /// never panics or over-allocates.
+    #[test]
+    fn fleet_request_decoder_survives_truncation_and_corruption(
+        seed in 0u64..10_000,
+        cut_frac in 0.0f64..1.0,
+        flip_pos in 0usize..65_536,
+        flip_bit in 0u8..8,
+    ) {
+        use sccf::net::Request;
+        let req = fleet_requests(seed, 1).pop().expect("one request");
+        let bytes = req.encode();
+        prop_assert_eq!(Request::decode(&bytes).expect("own encoding decodes"), req);
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        prop_assert!(Request::decode(&bytes[..cut]).is_err(), "a strict prefix must not decode");
+        let mut corrupt = bytes.clone();
+        let pos = flip_pos % corrupt.len();
+        corrupt[pos] ^= 1 << flip_bit;
+        // Tag or count flips must fail cleanly; value flips may decode
+        // to different content. Either way: no panic, no OOM.
+        let _ = Request::decode(&corrupt);
+    }
+}

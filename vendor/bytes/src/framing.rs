@@ -29,6 +29,62 @@ pub enum Frame<'a> {
     Corrupt,
 }
 
+/// Write one frame to a byte-oriented stream (socket, file, pipe).
+///
+/// Same layout as [`encode_frame_into`]; the caller supplies the check
+/// word and should `flush` the writer when the frame must be visible to
+/// the peer (the codec itself never flushes).
+pub fn write_frame(w: &mut impl std::io::Write, check: u32, payload: &[u8]) -> std::io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame payload too large");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&check.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Read one frame from a byte-oriented stream into `payload`.
+///
+/// Returns `Ok(Some(check))` with `payload` holding the frame body,
+/// `Ok(None)` on clean EOF at a frame boundary (zero bytes read), and
+/// `Err` for everything else: EOF mid-frame maps to
+/// [`std::io::ErrorKind::UnexpectedEof`], a length field above
+/// [`MAX_FRAME_LEN`] maps to [`std::io::ErrorKind::InvalidData`] (the
+/// stream is not trustworthy past it). The caller verifies the returned
+/// check word against `payload`.
+pub fn read_frame(
+    r: &mut impl std::io::Read,
+    payload: &mut Vec<u8>,
+) -> std::io::Result<Option<u32>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    // Distinguish clean EOF (no bytes at all) from a torn header.
+    let mut filled = 0;
+    while filled < FRAME_HEADER_LEN {
+        match r.read(&mut header[filled..])? {
+            0 => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream ended mid frame header",
+                ));
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME_LEN",
+        ));
+    }
+    let check = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    payload.clear();
+    payload.resize(len, 0);
+    r.read_exact(payload)?;
+    Ok(Some(check))
+}
+
 /// Append one frame to `out`.
 pub fn encode_frame_into(out: &mut Vec<u8>, check: u32, payload: &[u8]) {
     assert!(payload.len() <= MAX_FRAME_LEN, "frame payload too large");
@@ -94,6 +150,47 @@ mod tests {
         buf.extend_from_slice(&0u32.to_le_bytes());
         buf.extend_from_slice(&[0u8; 32]);
         assert_eq!(decode_frame(&buf), Frame::Corrupt);
+    }
+
+    #[test]
+    fn stream_roundtrip_and_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 11, b"first").unwrap();
+        write_frame(&mut wire, 22, b"").unwrap();
+        let mut cursor = &wire[..];
+        let mut payload = Vec::new();
+        assert_eq!(read_frame(&mut cursor, &mut payload).unwrap(), Some(11));
+        assert_eq!(payload, b"first");
+        assert_eq!(read_frame(&mut cursor, &mut payload).unwrap(), Some(22));
+        assert_eq!(payload, b"");
+        assert_eq!(read_frame(&mut cursor, &mut payload).unwrap(), None);
+    }
+
+    #[test]
+    fn stream_truncation_is_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 5, b"payload bytes").unwrap();
+        let mut payload = Vec::new();
+        for cut in 1..wire.len() {
+            let mut cursor = &wire[..cut];
+            let err = read_frame(&mut cursor, &mut payload).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_oversized_length_is_invalid_data() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        let mut cursor = &wire[..];
+        let mut payload = Vec::new();
+        let err = read_frame(&mut cursor, &mut payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -45,7 +45,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|bench-serving|bench-sharded|bench-reshard|bench-quality|bench-recovery|bench-fleet|all> \
+        "usage: repro <table1|table2|table3|table4|table5|fig1|fig4|fig5|ablate-norm|ablate-window|extended|ranking|bench-serving|bench-sharded|bench-reshard|bench-quality|bench-recovery|bench-fleet|bench-control|all> \
          [--scale quick|full] [--seed N] [--dim D] [--beta B] [--out DIR] [--verbose]"
     );
     std::process::exit(2)
@@ -116,6 +116,7 @@ fn run_one(name: &str, h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Tabl
         "bench-quality" => experiments::bench_quality_to(h, out_dir),
         "bench-recovery" => experiments::bench_recovery_to(h, out_dir),
         "bench-fleet" => experiments::bench_fleet_to(h, out_dir),
+        "bench-control" => experiments::bench_control_to(h, out_dir),
         _ => usage(),
     }
 }
@@ -155,6 +156,7 @@ fn main() {
             "bench-quality",
             "bench-recovery",
             "bench-fleet",
+            "bench-control",
         ]
     } else {
         vec![args.experiment.as_str()]

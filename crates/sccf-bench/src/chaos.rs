@@ -2,7 +2,9 @@
 //!
 //! A seeded LCG scheduler interleaves every operation the serving
 //! fleet supports — ingest bursts, recommendations, live-reshard
-//! steps, tier-refresh steps, incremental checkpoints, forced WAL
+//! steps, tier-refresh steps, closed-loop policy ticks (a real
+//! [`PolicyState`] sampling real stats and actuating scale/refresh
+//! decisions), incremental checkpoints, forced WAL
 //! syncs — with **kill-and-recover** cycles that simulate a process
 //! crash at the file level: each shard's WAL is truncated back to a
 //! point inside its unsynced tail (anything past the last `fsync` may
@@ -36,6 +38,7 @@ use sccf_data::catalog::{ml1m_sim, Scale};
 use sccf_data::synthetic::generate;
 use sccf_data::LeaveOneOut;
 use sccf_models::{Fism, FismConfig, TrainConfig};
+use sccf_serving::control::{Decision, Observation, PolicyConfig, PolicyState};
 use sccf_serving::wal;
 use sccf_serving::{
     DurabilityConfig, RecQuery, RouterKind, ServingApi, ServingError, ShardedConfig, ShardedEngine,
@@ -218,6 +221,15 @@ pub struct ChaosReport {
     /// Acknowledged-but-undurable events lost to crashes (the loss
     /// window the fsync cadence buys; always 0 when `corrupt` is off).
     pub lost_events: u64,
+    /// Closed-loop policy ticks taken: each sampled real fleet stats
+    /// and ran [`PolicyState::decide`] on them.
+    pub policy_ticks: u64,
+    /// Reshards the *policy* (not the raw scheduler) initiated.
+    pub policy_scales: u64,
+    /// Tier refreshes (full or delta) the policy initiated. Kills can
+    /// land while one is mid-flight — the recovery pin then covers
+    /// crash-during-policy-epoch.
+    pub policy_refreshes: u64,
 }
 
 /// Run one seeded chaos schedule to completion. Panics — with the seed
@@ -269,6 +281,27 @@ pub fn run_chaos(world: &ChaosWorld, cfg: &ChaosConfig) -> ChaosReport {
     // attack must not target them.
     let mut last_recovery_wm: u64 = 0;
     let mut refreshing = false;
+    // The closed-loop policy rides along: some steps are control-plane
+    // ticks that sample *real* fleet stats and actuate whatever the
+    // pure policy decides, through the same public epoch ops the raw
+    // scheduler uses. Kills land on policy-begun epochs like any
+    // other, so the recovery bit-identity pin covers policy-driven
+    // fleets for free. The policy state itself lives host-side and
+    // survives kills — exactly like an external control process.
+    let mut policy = PolicyState::new(PolicyConfig {
+        min_shards: 1,
+        max_shards: 4,
+        scale_up_pressure: 0.05,
+        scale_down_pressure: 0.005,
+        sustain_ticks: 2,
+        scale_in_sustain_ticks: 8,
+        reshard_cooldown: 3,
+        refresh_staleness: 150,
+        refresh_cooldown: 4,
+    })
+    .expect("chaos policy config");
+    let mut policy_tick = 0u64;
+    let (mut last_sends, mut last_stalls) = (0u64, 0u64);
     let mut report = ChaosReport {
         steps: cfg.steps,
         ..Default::default()
@@ -277,7 +310,7 @@ pub fn run_chaos(world: &ChaosWorld, cfg: &ChaosConfig) -> ChaosReport {
     for step in 0..cfg.steps {
         match rng.below(100) {
             // Ingest a small burst.
-            0..=54 => {
+            0..=49 => {
                 let burst = 1 + rng.below(6);
                 for _ in 0..burst {
                     let user = rng.below(world.n_users as u64) as u32;
@@ -292,7 +325,7 @@ pub fn run_chaos(world: &ChaosWorld, cfg: &ChaosConfig) -> ChaosReport {
             }
             // Serve a recommendation (exercise the read path; the
             // bit-identity pin happens at kill time).
-            55..=69 => {
+            50..=63 => {
                 let user = rng.below(world.n_users as u64) as u32;
                 let res = engine
                     .try_recommend(user, &RecQuery::top(5))
@@ -304,7 +337,7 @@ pub fn run_chaos(world: &ChaosWorld, cfg: &ChaosConfig) -> ChaosReport {
                 report.recommends += 1;
             }
             // Drive (or start) an incremental epoch.
-            70..=77 => {
+            64..=71 => {
                 if engine.is_migrating() {
                     engine.reshard_step().unwrap_or_else(|e| {
                         panic!("[chaos seed {seed}] step {step} reshard_step: {e}")
@@ -334,9 +367,70 @@ pub fn run_chaos(world: &ChaosWorld, cfg: &ChaosConfig) -> ChaosReport {
                     report.refreshes_begun += 1;
                 }
             }
+            // A control-plane tick: sample real stats, feed the pure
+            // policy, actuate its decision.
+            72..=78 => {
+                let stats = engine
+                    .serving_stats()
+                    .unwrap_or_else(|e| panic!("[chaos seed {seed}] step {step} stats: {e}"));
+                let d_sends = stats.pressure.sends.saturating_sub(last_sends);
+                let d_stalls = stats.pressure.stalls.saturating_sub(last_stalls);
+                last_sends = stats.pressure.sends;
+                last_stalls = stats.pressure.stalls;
+                let stall_ratio = if d_sends == 0 {
+                    0.0
+                } else {
+                    d_stalls as f64 / d_sends as f64
+                };
+                let occupancy =
+                    stats.pressure.peak_queue as f64 / stats.pressure.queue_capacity.max(1) as f64;
+                policy_tick += 1;
+                let obs = Observation {
+                    tick: policy_tick,
+                    n_shards: engine.n_shards(),
+                    pressure: stall_ratio.max(occupancy),
+                    staleness: stats.neighborhood.events_since_refresh,
+                    tier_present: stats.neighborhood.two_tier,
+                    delta_ready: stats.neighborhood.delta_ready,
+                    epoch_in_flight: engine.is_migrating() || refreshing,
+                };
+                match policy.decide(&obs) {
+                    Decision::Hold => {}
+                    Decision::ScaleTo(m) => {
+                        engine
+                            .begin_reshard(shard_cfg(m), 4 + rng.below(8) as usize)
+                            .unwrap_or_else(|e| {
+                                panic!("[chaos seed {seed}] step {step} policy reshard: {e}")
+                            });
+                        report.reshards_begun += 1;
+                        report.policy_scales += 1;
+                    }
+                    Decision::RefreshFull => {
+                        engine
+                            .begin_refresh(8 + rng.below(16) as usize)
+                            .unwrap_or_else(|e| {
+                                panic!("[chaos seed {seed}] step {step} policy refresh: {e}")
+                            });
+                        refreshing = true;
+                        report.refreshes_begun += 1;
+                        report.policy_refreshes += 1;
+                    }
+                    Decision::RefreshDelta => {
+                        engine
+                            .begin_delta_refresh(8 + rng.below(16) as usize)
+                            .unwrap_or_else(|e| {
+                                panic!("[chaos seed {seed}] step {step} policy delta: {e}")
+                            });
+                        refreshing = true;
+                        report.refreshes_begun += 1;
+                        report.policy_refreshes += 1;
+                    }
+                }
+                report.policy_ticks += 1;
+            }
             // Checkpoint — and pin the whole-engine ops' typed
             // rejection while an epoch is in flight.
-            78..=85 => {
+            79..=85 => {
                 let in_epoch = engine.is_migrating() || refreshing;
                 match engine.checkpoint() {
                     Ok(_) => {
@@ -392,8 +486,12 @@ pub fn run_chaos(world: &ChaosWorld, cfg: &ChaosConfig) -> ChaosReport {
                 // The crash took any in-flight epoch with it; the
                 // sequence counter resumes after the highest surviving
                 // seq, exactly like the recovered router's. Everything
-                // that survived is durable from here on.
+                // that survived is durable from here on. The recovered
+                // engine's pressure counters restart at zero, so the
+                // policy's per-window baselines restart with them.
                 refreshing = false;
+                last_sends = 0;
+                last_stalls = 0;
                 next_seq = max_seq;
                 durable_floor = durable_floor.max(max_seq);
                 last_recovery_wm = wm;

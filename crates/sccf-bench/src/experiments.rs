@@ -2942,3 +2942,470 @@ pub fn bench_fleet_json(h: &HarnessConfig) -> FleetBenchOutput {
         json,
     }
 }
+
+// --------------------------------------------------------- bench-control
+
+pub fn bench_control_to(h: &HarnessConfig, out_dir: &std::path::Path) -> Vec<Table> {
+    let out = bench_control_json(h);
+    write_bench_artifact("bench-control", "BENCH_control.json", &out.json, out_dir);
+    vec![out.table, out.delta_table]
+}
+
+/// One delta-refresh cost measurement: touch `dirty_users` distinct
+/// users, run a delta refresh, record what it actually exported.
+pub struct DeltaCostPoint {
+    pub dirty_users: u64,
+    pub refresh_users: u64,
+    pub refresh_ms: f64,
+}
+
+/// What [`bench_control_json`] measured.
+pub struct ControlBenchOutput {
+    pub ticks: usize,
+    pub population: usize,
+    /// Open loop: static 1-shard fleet, no policy.
+    pub open_p99_ms: f64,
+    pub open_flash_p99_ms: f64,
+    /// p99 over the second half of the flash window — past the
+    /// policy's scaling transient.
+    pub open_flash_tail_p99_ms: f64,
+    /// p99 probe queue wait (messages ahead of the probe in its
+    /// shard's FIFO) — the headline latency proxy. Wall-clock p99
+    /// additionally depends on how many worker threads the host can
+    /// run in parallel, so on a single-core CI box it cannot show a
+    /// scaling win; queue wait can, deterministically.
+    pub open_wait_p99: f64,
+    pub open_flash_wait_p99: f64,
+    pub open_flash_tail_wait_p99: f64,
+    pub open_stall_ratio: f64,
+    /// Events applied since the open loop's only tier build — how
+    /// stale a never-refreshed tier ends up.
+    pub open_staleness: u64,
+    /// Closed loop: same start, [`sccf_serving::ControlDriver`] in
+    /// charge.
+    pub closed_p99_ms: f64,
+    pub closed_flash_p99_ms: f64,
+    pub closed_flash_tail_p99_ms: f64,
+    pub closed_wait_p99: f64,
+    pub closed_flash_wait_p99: f64,
+    pub closed_flash_tail_wait_p99: f64,
+    pub closed_stall_ratio: f64,
+    pub closed_staleness: u64,
+    pub closed_final_shards: usize,
+    pub scale_ups: usize,
+    pub scale_downs: usize,
+    pub full_refreshes: usize,
+    pub delta_refreshes: usize,
+    /// Full-population refresh cost, for contrast with the deltas.
+    pub full_refresh_users: u64,
+    pub full_refresh_ms: f64,
+    pub delta_cost: Vec<DeltaCostPoint>,
+    /// Every delta exported exactly its dirty set — the "cost tracks
+    /// write rate, not population" claim, checked not assumed.
+    pub delta_cost_tracks_dirty: bool,
+    pub table: Table,
+    pub delta_table: Table,
+    pub json: String,
+}
+
+/// The closed-loop control plane, measured against doing nothing: the
+/// same seeded diurnal + flash-sale trace (see
+/// [`crate::workload::WorkloadGen`]) replayed into (a) a static
+/// 1-shard fleet and (b) the same fleet under
+/// [`sccf_serving::ControlDriver`], which autoscales on queue
+/// pressure and keeps the frozen tier fresh with delta refreshes.
+/// Both loops sample stats once per tick (the operator's dashboard
+/// poll), so the measurement barrier is symmetric; the latency probe
+/// is the per-tick recommend batch.
+///
+/// The headline metric is **probe queue wait** — the number of
+/// messages ahead of each probe in its shard's FIFO at send time
+/// (`ShardedEngine::queue_depth_for`). Requests are answered FIFO, so
+/// on a parallel host queueing delay is proportional to this number;
+/// wall-clock p99 is also reported, but on a single-core CI host it
+/// is scheduler-bound (eight worker threads cannot run at once) and
+/// cannot show a scaling win, while queue wait shows it
+/// deterministically: the open loop pins at queue capacity, the
+/// closed loop divides the backlog by the shard count.
+///
+/// The second half isolates the delta-refresh claim: after a full
+/// refresh cleans every user, touch k users and measure what
+/// `refresh_global_tier_delta` exports — `k`, not the population.
+pub fn bench_control_json(h: &HarnessConfig) -> ControlBenchOutput {
+    use sccf_net::WorldSpec;
+    use sccf_serving::control::{ActuatorStep, ControlDriver, PolicyConfig};
+    use sccf_util::LatencyHistogram;
+
+    use crate::workload::{FlashSale, WorkloadConfig, WorkloadGen};
+
+    let (n_users, n_items, ticks, base_events) = match h.scale {
+        Scale::Quick => (400usize, 160usize, 96usize, 128usize),
+        Scale::Full => (2_000, 600, 192, 512),
+    };
+    let wl = WorkloadConfig {
+        seed: h.seed,
+        n_users: n_users as u32,
+        n_items: n_items as u32,
+        ticks,
+        base_events_per_tick: base_events,
+        recommends_per_tick: 16,
+        diurnal_period: ticks / 2,
+        diurnal_amplitude: 0.6,
+        user_skew: 2.0,
+        flash: Some(FlashSale {
+            start: ticks * 9 / 16,
+            len: ticks / 4,
+            multiplier: 12.0,
+            hot_item: 0,
+            hot_percent: 40,
+        }),
+    };
+    let spec = WorldSpec {
+        n_users,
+        n_items,
+        seed: h.seed,
+        ..WorldSpec::default()
+    };
+    // Train once; both loops rehydrate the same floats.
+    let model_bytes = spec.train_model();
+    let base_cfg = ShardedConfig {
+        n_shards: 1,
+        queue_capacity: 1024,
+        router: RouterKind::Consistent { vnodes: 16 },
+    };
+    let policy = PolicyConfig {
+        min_shards: 1,
+        max_shards: 8,
+        // Occupancy terms: scale out once some queue runs half full,
+        // scale in only when queues sit nearly empty for a long time.
+        scale_up_pressure: 0.5,
+        scale_down_pressure: 0.05,
+        sustain_ticks: 2,
+        scale_in_sustain_ticks: 24,
+        reshard_cooldown: 3,
+        refresh_staleness: (base_events * ticks / 4) as u64,
+        refresh_cooldown: 6,
+    };
+    let flash = wl.flash.expect("trace has a flash window");
+    let in_flash = |t: usize| t >= flash.start && t < flash.start + flash.len;
+    // The converged tail: the policy's scaling transient lives in the
+    // first half of the window; the second half shows what the scaled
+    // fleet actually delivers while the static fleet keeps melting.
+    let in_flash_tail = |t: usize| t >= flash.start + flash.len / 2 && t < flash.start + flash.len;
+    let query = RecQuery::top(10);
+
+    // --- open loop: static fleet, operator polls stats, nothing acts --
+    let world = spec.build(Some(&model_bytes)).expect("world builds");
+    let mut open = ShardedEngine::try_new(world.sccf, world.histories, base_cfg.clone())
+        .expect("open-loop engine");
+    // Both fleets start from the same freshly-built tier (the operator
+    // sets it up once). The open loop never refreshes again, so every
+    // recommend pays the same two-tier query path but its tier ages;
+    // the closed loop's policy keeps it fresh with deltas.
+    open.refresh_global_tier().expect("initial tier");
+    let mut open_all = LatencyHistogram::new();
+    let mut open_flash = LatencyHistogram::new();
+    let mut open_tail = LatencyHistogram::new();
+    let mut open_wait_all = LatencyHistogram::new();
+    let mut open_wait_flash = LatencyHistogram::new();
+    let mut open_wait_tail = LatencyHistogram::new();
+    let mut gen = WorkloadGen::new(wl);
+    while let Some(tick) = gen.next_tick() {
+        open.ingest_batch(&tick.events).expect("open ingest");
+        for &u in &tick.recommends {
+            // Queue wait: messages ahead of this probe in its shard's
+            // FIFO — the core-count-independent latency proxy (see
+            // `ShardedEngine::queue_depth_for`).
+            let wait = open.queue_depth_for(u) as f64;
+            let sw = Stopwatch::start();
+            open.try_recommend(u, &query).expect("open recommend");
+            let ms = sw.elapsed_ms();
+            open_all.record_ms(ms);
+            open_wait_all.record_ms(wait);
+            if in_flash(tick.tick) {
+                open_flash.record_ms(ms);
+                open_wait_flash.record_ms(wait);
+            }
+            if in_flash_tail(tick.tick) {
+                open_tail.record_ms(ms);
+                open_wait_tail.record_ms(wait);
+            }
+        }
+        let _ = open.serving_stats().expect("open stats");
+    }
+    let open_stats = open.serving_stats().expect("open stats");
+    let open_stall_ratio =
+        open_stats.pressure.stalls as f64 / open_stats.pressure.sends.max(1) as f64;
+    let open_staleness = open_stats.neighborhood.events_since_refresh;
+    open.shutdown();
+
+    // --- closed loop: same trace, ControlDriver in charge -------------
+    let world = spec.build(Some(&model_bytes)).expect("world builds");
+    let mut engine = ShardedEngine::try_new(world.sccf, world.histories, base_cfg.clone())
+        .expect("closed-loop engine");
+    engine.refresh_global_tier().expect("initial tier");
+    let mut driver = ControlDriver::new(engine, base_cfg, policy)
+        .expect("valid policy")
+        .with_batches(n_users / 2, n_users / 2);
+    let mut closed_all = LatencyHistogram::new();
+    let mut closed_flash = LatencyHistogram::new();
+    let mut closed_tail = LatencyHistogram::new();
+    let mut closed_wait_all = LatencyHistogram::new();
+    let mut closed_wait_flash = LatencyHistogram::new();
+    let mut closed_wait_tail = LatencyHistogram::new();
+    let mut gen = WorkloadGen::new(wl);
+    while let Some(tick) = gen.next_tick() {
+        driver
+            .engine_mut()
+            .ingest_batch(&tick.events)
+            .expect("closed ingest");
+        for &u in &tick.recommends {
+            let wait = driver.engine().queue_depth_for(u) as f64;
+            let sw = Stopwatch::start();
+            driver
+                .engine_mut()
+                .try_recommend(u, &query)
+                .expect("closed recommend");
+            let ms = sw.elapsed_ms();
+            closed_all.record_ms(ms);
+            closed_wait_all.record_ms(wait);
+            if in_flash(tick.tick) {
+                closed_flash.record_ms(ms);
+                closed_wait_flash.record_ms(wait);
+            }
+            if in_flash_tail(tick.tick) {
+                closed_tail.record_ms(ms);
+                closed_wait_tail.record_ms(wait);
+            }
+        }
+        driver.step().expect("control tick");
+    }
+    if std::env::var("SCCF_CONTROL_DEBUG").is_ok() {
+        for r in driver.log() {
+            eprintln!(
+                "t={} shards={} pressure={:.3} stale={} inflight={} dec={:?} step={:?}",
+                r.obs.tick,
+                r.obs.n_shards,
+                r.obs.pressure,
+                r.obs.staleness,
+                r.obs.epoch_in_flight,
+                r.decision,
+                r.step
+            );
+        }
+    }
+    driver.settle(64).expect("control plane drains");
+    let (mut scale_ups, mut scale_downs, mut full_refreshes, mut delta_refreshes) = (0, 0, 0, 0);
+    let mut shards = 1usize;
+    for r in driver.log() {
+        match r.step {
+            ActuatorStep::BeginReshard(m) => {
+                if m > shards {
+                    scale_ups += 1;
+                } else {
+                    scale_downs += 1;
+                }
+                shards = m;
+            }
+            ActuatorStep::BeginRefresh { delta: false } => full_refreshes += 1,
+            ActuatorStep::BeginRefresh { delta: true } => delta_refreshes += 1,
+            _ => {}
+        }
+    }
+    let closed_stats = driver.engine_mut().serving_stats().expect("closed stats");
+    let closed_stall_ratio =
+        closed_stats.pressure.stalls as f64 / closed_stats.pressure.sends.max(1) as f64;
+    let closed_staleness = closed_stats.neighborhood.events_since_refresh;
+    let closed_final_shards = driver.engine().n_shards();
+
+    // --- delta-refresh cost vs dirty-set size --------------------------
+    // A full refresh cleans every user; each round then touches k
+    // distinct users and the delta must export exactly those k.
+    let engine = driver.engine_mut();
+    let full_rep = engine.refresh_global_tier().expect("full refresh");
+    let mut delta_cost = Vec::new();
+    for pct in [1usize, 5, 20] {
+        let k = (n_users * pct / 100).max(1);
+        let touches: Vec<(u32, u32)> = (0..k as u32).map(|u| (u, u % n_items as u32)).collect();
+        engine.ingest_batch(&touches).expect("touch users");
+        engine.flush().expect("drain touches");
+        let rep = engine.refresh_global_tier_delta().expect("delta refresh");
+        delta_cost.push(DeltaCostPoint {
+            dirty_users: k as u64,
+            refresh_users: rep.users,
+            refresh_ms: rep.duration_ms,
+        });
+    }
+    let delta_cost_tracks_dirty = delta_cost
+        .iter()
+        .all(|p| p.refresh_users == p.dirty_users && p.refresh_users < n_users as u64);
+    driver.into_engine().shutdown();
+
+    let mut t = Table::new(
+        format!(
+            "Closed vs open loop — {n_users} users, {ticks} ticks, flash x{} at t={}",
+            flash.multiplier, flash.start
+        ),
+        &["metric", "open (static 1 shard)", "closed (policy-driven)"],
+    );
+    t.push(&[
+        "probe queue wait p99 (events)".to_string(),
+        format!("{:.0}", open_wait_all.p99_ms()),
+        format!("{:.0}", closed_wait_all.p99_ms()),
+    ]);
+    t.push(&[
+        "flash-window queue wait p99".to_string(),
+        format!("{:.0}", open_wait_flash.p99_ms()),
+        format!("{:.0}", closed_wait_flash.p99_ms()),
+    ]);
+    t.push(&[
+        "flash tail queue wait p99 (2nd half)".to_string(),
+        format!("{:.0}", open_wait_tail.p99_ms()),
+        format!("{:.0}", closed_wait_tail.p99_ms()),
+    ]);
+    t.push(&[
+        "recommend p99 (wall ms)".to_string(),
+        f4(open_all.p99_ms()),
+        f4(closed_all.p99_ms()),
+    ]);
+    t.push(&[
+        "flash-window p99 (wall ms)".to_string(),
+        f4(open_flash.p99_ms()),
+        f4(closed_flash.p99_ms()),
+    ]);
+    t.push(&[
+        "flash tail p99 (wall ms, 2nd half)".to_string(),
+        f4(open_tail.p99_ms()),
+        f4(closed_tail.p99_ms()),
+    ]);
+    t.push(&[
+        "router stall ratio".to_string(),
+        f4(open_stall_ratio),
+        f4(closed_stall_ratio),
+    ]);
+    t.push(&[
+        "final tier staleness (events)".to_string(),
+        open_staleness.to_string(),
+        closed_staleness.to_string(),
+    ]);
+    t.push(&[
+        "final shards".to_string(),
+        "1".to_string(),
+        closed_final_shards.to_string(),
+    ]);
+    t.push(&[
+        "scale-ups / scale-downs".to_string(),
+        "-".to_string(),
+        format!("{scale_ups} / {scale_downs}"),
+    ]);
+    t.push(&[
+        "tier refreshes (full / delta)".to_string(),
+        "-".to_string(),
+        format!("{full_refreshes} / {delta_refreshes}"),
+    ]);
+
+    let mut dt = Table::new(
+        format!("Delta refresh cost vs dirty-set size — population {n_users}"),
+        &["dirty users", "exported users", "refresh (ms)"],
+    );
+    dt.push(&[
+        format!("{n_users} (full)"),
+        full_rep.users.to_string(),
+        f2(full_rep.duration_ms),
+    ]);
+    for p in &delta_cost {
+        dt.push(&[
+            p.dirty_users.to_string(),
+            p.refresh_users.to_string(),
+            f2(p.refresh_ms),
+        ]);
+    }
+
+    let mut json = format!(
+        "{{\n  \"experiment\": \"bench-control\",\n  \"n_users\": {n_users},\n  \
+         \"n_items\": {n_items},\n  \"ticks\": {ticks},\n  \
+         \"base_events_per_tick\": {base_events},\n  \
+         \"flash_start\": {},\n  \"flash_len\": {},\n  \"flash_multiplier\": {:.1},\n  \
+         \"open_loop\": {{\n    \"shards\": 1,\n    \"p99_ms\": {:.4},\n    \
+         \"flash_p99_ms\": {:.4},\n    \"flash_tail_p99_ms\": {:.4},\n    \
+         \"wait_p99\": {:.1},\n    \"flash_wait_p99\": {:.1},\n    \
+         \"flash_tail_wait_p99\": {:.1},\n    \
+         \"stall_ratio\": {:.5},\n    \"final_staleness\": {open_staleness}\n  }},\n  \
+         \"closed_loop\": {{\n    \"final_shards\": {closed_final_shards},\n    \
+         \"p99_ms\": {:.4},\n    \"flash_p99_ms\": {:.4},\n    \
+         \"flash_tail_p99_ms\": {:.4},\n    \
+         \"wait_p99\": {:.1},\n    \"flash_wait_p99\": {:.1},\n    \
+         \"flash_tail_wait_p99\": {:.1},\n    \
+         \"stall_ratio\": {:.5},\n    \"scale_ups\": {scale_ups},\n    \
+         \"scale_downs\": {scale_downs},\n    \"full_refreshes\": {full_refreshes},\n    \
+         \"delta_refreshes\": {delta_refreshes},\n    \"final_staleness\": {closed_staleness}\n  }},\n  \
+         \"closed_beats_open_flash_tail_wait\": {},\n  \
+         \"delta_refresh\": {{\n    \"full_users\": {},\n    \"full_ms\": {:.3},\n    \
+         \"points\": [\n",
+        flash.start,
+        flash.len,
+        flash.multiplier,
+        open_all.p99_ms(),
+        open_flash.p99_ms(),
+        open_tail.p99_ms(),
+        open_wait_all.p99_ms(),
+        open_wait_flash.p99_ms(),
+        open_wait_tail.p99_ms(),
+        open_stall_ratio,
+        closed_all.p99_ms(),
+        closed_flash.p99_ms(),
+        closed_tail.p99_ms(),
+        closed_wait_all.p99_ms(),
+        closed_wait_flash.p99_ms(),
+        closed_wait_tail.p99_ms(),
+        closed_stall_ratio,
+        closed_wait_tail.p99_ms() <= open_wait_tail.p99_ms(),
+        full_rep.users,
+        full_rep.duration_ms,
+    );
+    for (i, p) in delta_cost.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"dirty_users\": {}, \"refresh_users\": {}, \"ms\": {:.3}}}{}\n",
+            p.dirty_users,
+            p.refresh_users,
+            p.refresh_ms,
+            if i + 1 < delta_cost.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"cost_tracks_dirty\": {delta_cost_tracks_dirty}\n  }}\n}}\n"
+    ));
+
+    ControlBenchOutput {
+        ticks,
+        population: n_users,
+        open_p99_ms: open_all.p99_ms(),
+        open_flash_p99_ms: open_flash.p99_ms(),
+        open_flash_tail_p99_ms: open_tail.p99_ms(),
+        open_wait_p99: open_wait_all.p99_ms(),
+        open_flash_wait_p99: open_wait_flash.p99_ms(),
+        open_flash_tail_wait_p99: open_wait_tail.p99_ms(),
+        open_stall_ratio,
+        open_staleness,
+        closed_p99_ms: closed_all.p99_ms(),
+        closed_flash_p99_ms: closed_flash.p99_ms(),
+        closed_flash_tail_p99_ms: closed_tail.p99_ms(),
+        closed_wait_p99: closed_wait_all.p99_ms(),
+        closed_flash_wait_p99: closed_wait_flash.p99_ms(),
+        closed_flash_tail_wait_p99: closed_wait_tail.p99_ms(),
+        closed_stall_ratio,
+        closed_staleness,
+        closed_final_shards,
+        scale_ups,
+        scale_downs,
+        full_refreshes,
+        delta_refreshes,
+        full_refresh_users: full_rep.users,
+        full_refresh_ms: full_rep.duration_ms,
+        delta_cost,
+        delta_cost_tracks_dirty,
+        table: t,
+        delta_table: dt,
+        json,
+    }
+}

@@ -8,6 +8,8 @@
 pub mod chaos;
 pub mod experiments;
 pub mod harness;
+pub mod workload;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport, ChaosWorld, Lcg};
 pub use harness::{HarnessConfig, ModelSuite, PreparedData};
+pub use workload::{FlashSale, TickTrace, WorkloadConfig, WorkloadGen};

@@ -1,0 +1,295 @@
+//! Seeded serving-trace generator for the closed-loop control bench.
+//!
+//! Produces a virtual-time event/recommend trace with the three load
+//! shapes an e-commerce control plane has to survive:
+//!
+//! * **power-law user popularity** — a small head of users produces
+//!   most events (the inverse-CDF trick: `u = N · r^skew` maps a
+//!   uniform `r` to a heavy-tailed rank),
+//! * **diurnal curve** — a triangle wave over `diurnal_period` ticks
+//!   scales the per-tick event volume (a triangle instead of a
+//!   sinusoid keeps the trace free of float transcendentals, so it is
+//!   bit-identical on every platform),
+//! * **flash-sale burst** — a window of ticks multiplies volume and
+//!   funnels a fraction of events onto one hot item.
+//!
+//! Everything derives from one [`Lcg`] seed and the virtual tick
+//! index — no wall clock anywhere — so a trace replays exactly:
+//! `WorkloadGen::new(cfg)` twice yields byte-identical tick
+//! sequences. That is what makes the control-plane bench and the
+//! policy simulation harness deterministic end to end.
+
+use crate::chaos::Lcg;
+
+/// Knobs for one synthetic serving trace.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    pub seed: u64,
+    pub n_users: u32,
+    pub n_items: u32,
+    /// Total virtual ticks in the trace.
+    pub ticks: usize,
+    /// Mean events per tick at the diurnal midline.
+    pub base_events_per_tick: usize,
+    /// Recommend requests per tick (constant: read load is steadier
+    /// than write load, and it is the latency probe).
+    pub recommends_per_tick: usize,
+    /// Ticks per simulated day for the diurnal triangle wave.
+    pub diurnal_period: usize,
+    /// Peak-to-midline swing as a fraction of the base rate, `0..=1`.
+    /// Volume ranges over `base · (1 ± amplitude)`.
+    pub diurnal_amplitude: f64,
+    /// Power-law skew `>= 1.0`; larger = heavier head. `1.0` is
+    /// uniform.
+    pub user_skew: f64,
+    /// Optional flash-sale burst window.
+    pub flash: Option<FlashSale>,
+}
+
+/// A flash sale: for `len` ticks starting at `start`, event volume is
+/// multiplied and `hot_percent` of events hit item `hot_item`.
+#[derive(Debug, Clone, Copy)]
+pub struct FlashSale {
+    pub start: usize,
+    pub len: usize,
+    /// Volume multiplier over the diurnal rate during the window.
+    pub multiplier: f64,
+    /// The item everyone is buying.
+    pub hot_item: u32,
+    /// Percent (0..=100) of window events that hit `hot_item`.
+    pub hot_percent: u64,
+}
+
+impl WorkloadConfig {
+    /// A small trace sized for tests and the CI bench: two simulated
+    /// days plus a flash sale in the second afternoon.
+    pub fn quick(seed: u64, n_users: u32, n_items: u32) -> Self {
+        Self {
+            seed,
+            n_users,
+            n_items,
+            ticks: 96,
+            base_events_per_tick: 64,
+            recommends_per_tick: 8,
+            diurnal_period: 48,
+            diurnal_amplitude: 0.5,
+            user_skew: 2.0,
+            flash: Some(FlashSale {
+                start: 60,
+                len: 12,
+                multiplier: 4.0,
+                hot_item: 0,
+                hot_percent: 40,
+            }),
+        }
+    }
+}
+
+/// One virtual tick of traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickTrace {
+    pub tick: usize,
+    /// `(user, item)` ingest events, in arrival order.
+    pub events: Vec<(u32, u32)>,
+    /// Users asking for a slate this tick.
+    pub recommends: Vec<u32>,
+}
+
+/// The seeded generator. [`WorkloadGen::next_tick`] yields ticks
+/// `0..cfg.ticks` and then `None`.
+pub struct WorkloadGen {
+    cfg: WorkloadConfig,
+    lcg: Lcg,
+    tick: usize,
+}
+
+impl WorkloadGen {
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        assert!(cfg.n_users > 0 && cfg.n_items > 0, "empty universe");
+        assert!(cfg.diurnal_period > 0, "diurnal_period must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&cfg.diurnal_amplitude),
+            "diurnal_amplitude must be in 0..=1"
+        );
+        assert!(cfg.user_skew >= 1.0, "user_skew must be >= 1.0");
+        let lcg = Lcg::new(cfg.seed);
+        Self { cfg, lcg, tick: 0 }
+    }
+
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// Diurnal triangle wave at tick `t`: `-1.0` at the trough,
+    /// `+1.0` at the peak, exactly periodic in `diurnal_period`.
+    fn triangle(&self, t: usize) -> f64 {
+        let p = self.cfg.diurnal_period;
+        let phase = t % p;
+        // Rise over the first half of the day, fall over the second.
+        let half = p as f64 / 2.0;
+        let x = phase as f64;
+        if x < half {
+            -1.0 + 2.0 * (x / half)
+        } else {
+            1.0 - 2.0 * ((x - half) / half)
+        }
+    }
+
+    /// Event volume scheduled for tick `t` (before sampling).
+    pub fn volume_at(&self, t: usize) -> usize {
+        let diurnal = 1.0 + self.cfg.diurnal_amplitude * self.triangle(t);
+        let mut rate = self.cfg.base_events_per_tick as f64 * diurnal;
+        if let Some(f) = self.cfg.flash {
+            if t >= f.start && t < f.start + f.len {
+                rate *= f.multiplier;
+            }
+        }
+        rate as usize
+    }
+
+    /// Power-law rank sample in `0..n`: heavier `skew` concentrates
+    /// mass on low ranks.
+    fn popular(lcg: &mut Lcg, n: u32, skew: f64) -> u32 {
+        // 53 uniform bits -> r in [0, 1); r^skew pushes toward 0.
+        let r = (lcg.next() >> 11) as f64 / (1u64 << 53) as f64;
+        let rank = (n as f64 * r.powf(skew)) as u32;
+        rank.min(n - 1)
+    }
+
+    /// Generate the next tick of traffic, or `None` past the end.
+    #[allow(clippy::should_implement_trait)] // tick stream, not a general Iterator
+    pub fn next_tick(&mut self) -> Option<TickTrace> {
+        if self.tick >= self.cfg.ticks {
+            return None;
+        }
+        let t = self.tick;
+        self.tick += 1;
+        let volume = self.volume_at(t);
+        let in_flash = self
+            .cfg
+            .flash
+            .filter(|f| t >= f.start && t < f.start + f.len);
+        let mut events = Vec::with_capacity(volume);
+        for _ in 0..volume {
+            let user = Self::popular(&mut self.lcg, self.cfg.n_users, self.cfg.user_skew);
+            let item = match in_flash {
+                Some(f) if self.lcg.chance(f.hot_percent) => f.hot_item.min(self.cfg.n_items - 1),
+                _ => Self::popular(&mut self.lcg, self.cfg.n_items, self.cfg.user_skew),
+            };
+            events.push((user, item));
+        }
+        let recommends = (0..self.cfg.recommends_per_tick)
+            .map(|_| Self::popular(&mut self.lcg, self.cfg.n_users, self.cfg.user_skew))
+            .collect();
+        Some(TickTrace {
+            tick: t,
+            events,
+            recommends,
+        })
+    }
+
+    /// Drain the whole trace into memory (tests, small benches).
+    pub fn collect_all(mut self) -> Vec<TickTrace> {
+        let mut out = Vec::with_capacity(self.cfg.ticks);
+        while let Some(t) = self.next_tick() {
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64) -> WorkloadConfig {
+        WorkloadConfig::quick(seed, 64, 32)
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let a = WorkloadGen::new(cfg(7)).collect_all();
+        let b = WorkloadGen::new(cfg(7)).collect_all();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 96);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadGen::new(cfg(7)).collect_all();
+        let b = WorkloadGen::new(cfg(8)).collect_all();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn flash_window_carries_the_burst() {
+        let gen = WorkloadGen::new(cfg(3));
+        let f = gen.config().flash.unwrap();
+        let ticks = WorkloadGen::new(cfg(3)).collect_all();
+        let window: usize = ticks[f.start..f.start + f.len]
+            .iter()
+            .map(|t| t.events.len())
+            .sum();
+        let before: usize = ticks[f.start - f.len..f.start]
+            .iter()
+            .map(|t| t.events.len())
+            .sum();
+        assert!(
+            window > 2 * before,
+            "flash window ({window} events) should dwarf the same-width \
+             window before it ({before} events)"
+        );
+        // And the hot item dominates the window's item distribution.
+        let hot = ticks[f.start..f.start + f.len]
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|&&(_, i)| i == f.hot_item)
+            .count();
+        assert!(hot * 3 > window, "hot item should take >1/3 of the burst");
+    }
+
+    #[test]
+    fn popularity_is_heavy_headed() {
+        let ticks = WorkloadGen::new(cfg(11)).collect_all();
+        let n_users = 64u32;
+        let mut counts = vec![0usize; n_users as usize];
+        for t in &ticks {
+            for &(u, _) in &t.events {
+                counts[u as usize] += 1;
+            }
+        }
+        let head: usize = counts[..(n_users as usize / 4)].iter().sum();
+        let total: usize = counts.iter().sum();
+        // With skew 2.0 the top quarter of ranks draws ~sqrt cdf:
+        // P(rank < N/4) = (1/4)^(1/2) = 1/2 of all events.
+        assert!(
+            head * 10 > total * 4,
+            "top-quarter users carry {head}/{total}, expected ~half"
+        );
+    }
+
+    #[test]
+    fn diurnal_swings_volume() {
+        let mut c = cfg(5);
+        c.flash = None;
+        let gen = WorkloadGen::new(c);
+        let peak = gen.volume_at(c.diurnal_period / 2); // triangle top
+        let trough = gen.volume_at(0); // triangle bottom
+        assert!(
+            peak > trough * 2,
+            "peak {peak} should be well above trough {trough} at amplitude 0.5"
+        );
+    }
+
+    #[test]
+    fn users_and_items_stay_in_range() {
+        for t in WorkloadGen::new(cfg(9)).collect_all() {
+            for (u, i) in t.events {
+                assert!(u < 64 && i < 32);
+            }
+            for u in t.recommends {
+                assert!(u < 64);
+            }
+        }
+    }
+}

@@ -354,6 +354,38 @@ impl<M: InductiveUiModel> SccfShared<M> {
             rows,
         )
     }
+
+    /// Delta sibling of [`SccfShared::build_neighbor_snapshot`]: patch
+    /// `prev` with export entries for only the users whose state changed
+    /// since it was built (the engines' tier-dirty sets). Entries get
+    /// the identical augmentation and window truncation as the full
+    /// path, and the accelerated structure is rebuilt with the same
+    /// seed, so when the entries cover every changed user the result is
+    /// bit-identical to a full rebuild at the same watermark — pinned
+    /// by `tests/serving_api.rs`.
+    pub fn build_neighbor_snapshot_delta(
+        &self,
+        prev: &GlobalNeighborSnapshot,
+        epoch: u64,
+        entries: impl IntoIterator<Item = (u32, Vec<f32>, Vec<u32>)>,
+    ) -> GlobalNeighborSnapshot {
+        let w = self.cfg.user_based.recent_window;
+        let rows = entries.into_iter().map(|(u, rep, history)| {
+            let vec = match &self.cfg.profiles {
+                Some(p) => p.augment(u, &rep),
+                None => rep,
+            };
+            let window = history[history.len().saturating_sub(w)..].to_vec();
+            (u, vec, window)
+        });
+        GlobalNeighborSnapshot::build_delta_with_mode(
+            prev,
+            epoch,
+            self.cfg.frozen_tier,
+            TIER_BUILD_SEED,
+            rows,
+        )
+    }
 }
 
 /// A built SCCF instance wrapping the inductive UI model `M`.

@@ -226,6 +226,54 @@ impl GlobalNeighborSnapshot {
         s
     }
 
+    /// Delta rebuild: a new epoch-stamped snapshot in which only the
+    /// supplied users' rows differ from `prev` — every other user keeps
+    /// `prev`'s vector bytes and frozen window verbatim. When the
+    /// supplied entries are exactly the users whose state changed since
+    /// `prev` was exported, the result is **bit-identical** to a full
+    /// [`GlobalNeighborSnapshot::build_with_mode`] over a complete
+    /// re-export at the same watermark: unchanged users would re-export
+    /// identical state, so splicing beats re-exporting without moving a
+    /// single float. The acceleration structure is rebuilt from the
+    /// patched index with the same `seed` — seeded builds over
+    /// identical slabs are byte-identical, which is what keeps the
+    /// equivalence through the accelerated modes too. Cost: one slab +
+    /// CSR splice (memcpy-bound) plus accel build; the expensive
+    /// per-user export/infer work is O(dirty), not O(population).
+    pub fn build_delta_with_mode(
+        prev: &Self,
+        epoch: u64,
+        mode: FrozenTierMode,
+        seed: u64,
+        entries: impl IntoIterator<Item = (u32, Vec<f32>, Vec<u32>)>,
+    ) -> Self {
+        let n_users = prev.n_users();
+        let mut new_windows: Vec<Option<Vec<u32>>> = vec![None; n_users];
+        let rows = entries.into_iter().map(|(user, vec, window)| {
+            new_windows[user as usize] = Some(window);
+            (user, vec)
+        });
+        let index = prev.index.with_rows(rows);
+        let mut win_offsets = Vec::with_capacity(n_users + 1);
+        let mut win_items = Vec::with_capacity(prev.win_items.len());
+        win_offsets.push(0u32);
+        for (u, replaced) in new_windows.iter().enumerate() {
+            match replaced {
+                Some(w) => win_items.extend_from_slice(w),
+                None => win_items.extend_from_slice(prev.frozen_window(u as u32)),
+            }
+            win_offsets.push(win_items.len() as u32);
+        }
+        let accel = FrozenTierAccel::build(mode, &index, seed).map(Arc::new);
+        Self {
+            epoch,
+            index,
+            win_offsets,
+            win_items,
+            accel,
+        }
+    }
+
     /// Population size (covered or not).
     pub fn n_users(&self) -> usize {
         self.index.len()
@@ -462,6 +510,83 @@ mod tests {
         hits.clear();
         s.search_append(&[1.0, 0.0], 4, &|u| u == 0, &mut hits);
         assert!(hits.iter().all(|h| h.id != 0));
+    }
+
+    #[test]
+    fn delta_build_matches_full_rebuild_bitwise() {
+        let prev = snapshot();
+        // User 2's window grows, user 1 becomes covered — the two ways
+        // a delta can change CSR geometry.
+        let delta: Vec<(u32, Vec<f32>, Vec<u32>)> = vec![
+            (2, vec![0.2, 0.9], vec![5, 6, 7]),
+            (1, vec![0.5, 0.5], vec![8]),
+        ];
+        let patched = GlobalNeighborSnapshot::build_delta_with_mode(
+            &prev,
+            8,
+            FrozenTierMode::Flat,
+            42,
+            delta.clone(),
+        );
+        let full = GlobalNeighborSnapshot::build(
+            8,
+            4,
+            2,
+            vec![
+                (0, vec![1.0, 0.0], vec![3, 4]),
+                (1, vec![0.5, 0.5], vec![8]),
+                (2, vec![0.2, 0.9], vec![5, 6, 7]),
+                (3, vec![0.7, 0.7], vec![]),
+            ],
+        );
+        assert_eq!(patched.encode(), full.encode());
+        assert_eq!(patched.covered_users(), 4);
+
+        // Empty delta at a new epoch differs only in the epoch stamp.
+        let noop = GlobalNeighborSnapshot::build_delta_with_mode(
+            &prev,
+            prev.epoch(),
+            FrozenTierMode::Flat,
+            42,
+            Vec::new(),
+        );
+        assert_eq!(noop.encode(), prev.encode());
+
+        // Through an accelerated mode the seeded rebuild keeps the
+        // byte-identity too.
+        let prev_fast = GlobalNeighborSnapshot::build_with_mode(
+            7,
+            4,
+            2,
+            FrozenTierMode::Hnsw { ef: 4 },
+            42,
+            vec![
+                (0, vec![1.0, 0.0], vec![3, 4]),
+                (2, vec![0.0, 1.0], vec![5]),
+                (3, vec![0.7, 0.7], vec![]),
+            ],
+        );
+        let patched_fast = GlobalNeighborSnapshot::build_delta_with_mode(
+            &prev_fast,
+            8,
+            FrozenTierMode::Hnsw { ef: 4 },
+            42,
+            delta.clone(),
+        );
+        let full_fast = GlobalNeighborSnapshot::build_with_mode(
+            8,
+            4,
+            2,
+            FrozenTierMode::Hnsw { ef: 4 },
+            42,
+            vec![
+                (0, vec![1.0, 0.0], vec![3, 4]),
+                (1, vec![0.5, 0.5], vec![8]),
+                (2, vec![0.2, 0.9], vec![5, 6, 7]),
+                (3, vec![0.7, 0.7], vec![]),
+            ],
+        );
+        assert_eq!(patched_fast.encode(), full_fast.encode());
     }
 
     #[test]

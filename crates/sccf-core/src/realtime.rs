@@ -96,6 +96,14 @@ pub struct RealtimeEngine<M: InductiveUiModel> {
     /// migration import, dropped on evict (the receiving shard marks the
     /// user instead).
     dirty: FxHashSet<u32>,
+    /// Global ids of users whose state changed since the last
+    /// [`RealtimeEngine::drain_tier_dirty_users`] — the *delta-refresh*
+    /// working set of the frozen global tier. Tracked independently of
+    /// `dirty` because checkpoints and tier refreshes drain on their own
+    /// cadences; marked and cleared at exactly the same sites, so after
+    /// a drain the set names precisely the users whose tier row could
+    /// differ from the last refresh watermark.
+    tier_dirty: FxHashSet<u32>,
     scratch: QueryScratch,
 }
 
@@ -120,6 +128,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
             recommends: 0,
             tier_events_at_install: 0,
             dirty: FxHashSet::default(),
+            tier_dirty: FxHashSet::default(),
             scratch,
         }
     }
@@ -259,6 +268,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
         };
         self.timings.record(timing);
         self.dirty.insert(user);
+        self.tier_dirty.insert(user);
         Ok((neighbors, timing))
     }
 
@@ -393,11 +403,43 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
     /// replayed users so the next incremental checkpoint covers them.
     pub fn mark_dirty(&mut self, user: u32) {
         self.dirty.insert(user);
+        self.tier_dirty.insert(user);
     }
 
     /// Users currently pending a checkpoint export.
     pub fn dirty_count(&self) -> usize {
         self.dirty.len()
+    }
+
+    /// Users whose state changed since their last acknowledged tier
+    /// export, sorted ascending for deterministic delta-refresh plan
+    /// order. A peek, not a drain: marks are cleared per user by
+    /// [`RealtimeEngine::ack_tier_export`] at export time, so a user
+    /// dirtied between this read and its export is handled exactly once.
+    pub fn tier_dirty_users(&self) -> Vec<u32> {
+        let mut users: Vec<u32> = self.tier_dirty.iter().copied().collect();
+        users.sort_unstable();
+        users
+    }
+
+    /// Users currently pending a delta tier-refresh export.
+    pub fn tier_dirty_count(&self) -> usize {
+        self.tier_dirty.len()
+    }
+
+    /// Acknowledge a tier export of `user`: the exported blob reflects
+    /// every change so far, so the user is clean *relative to the
+    /// snapshot being built*. Events arriving after this call re-mark
+    /// the user for the next delta.
+    pub fn ack_tier_export(&mut self, user: u32) {
+        self.tier_dirty.remove(&user);
+    }
+
+    /// Re-mark a user for the next delta tier refresh without changing
+    /// any state — an aborted refresh epoch re-marks the users whose
+    /// exports it already acknowledged but never installed.
+    pub fn mark_tier_dirty(&mut self, user: u32) {
+        self.tier_dirty.insert(user);
     }
 
     pub fn export_user(&self, user: u32) -> Result<Vec<u8>, QueryError> {
@@ -446,6 +488,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
         self.sccf.adopt_user(user, &history, &rep);
         self.histories.push(history);
         self.dirty.insert(user);
+        self.tier_dirty.insert(user);
         Ok(user)
     }
 
@@ -467,6 +510,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
         let slot = self.sccf.evict_user(user);
         self.histories.swap_remove(slot as usize);
         self.dirty.remove(&user);
+        self.tier_dirty.remove(&user);
         Ok(())
     }
 
@@ -534,6 +578,7 @@ impl<M: InductiveUiModel> RealtimeEngine<M> {
             recommends: 0,
             tier_events_at_install: 0,
             dirty: FxHashSet::default(),
+            tier_dirty: FxHashSet::default(),
             scratch,
         })
     }

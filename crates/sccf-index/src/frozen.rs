@@ -134,6 +134,44 @@ impl FrozenUserIndex {
         }
     }
 
+    /// Rebuild with a subset of rows overwritten — the *delta* path of
+    /// a global-tier refresh. Unchanged rows keep their slab bytes and
+    /// pre-computed norms verbatim; overwritten rows get a fresh norm
+    /// from the same per-row function [`FrozenUserIndex::from_rows`]
+    /// uses, so the result is **bit-identical** to a full `from_rows`
+    /// over the merged row set. Cost is one slab memcpy plus O(dirty ×
+    /// dim) norm work — no per-row recompute over the clean population.
+    ///
+    /// # Panics
+    /// Same contract as [`FrozenUserIndex::from_rows`]: ids must be
+    /// `< len()` and vectors `dim()`-dimensional.
+    pub fn with_rows(&self, rows: impl IntoIterator<Item = (u32, Vec<f32>)>) -> Self {
+        let n = self.len();
+        let mut data = self.data.clone();
+        let mut norms = self.norms.clone();
+        let mut covered = self.covered;
+        for (id, v) in rows {
+            assert!((id as usize) < n, "row id {id} outside population of {n}");
+            assert_eq!(v.len(), self.dim, "vector dimension mismatch for user {id}");
+            let i = id as usize;
+            let was = norms[i] > f32::EPSILON;
+            data[i * self.dim..(i + 1) * self.dim].copy_from_slice(&v);
+            norms[i] = sccf_tensor::mat::norm(&v);
+            let now = norms[i] > f32::EPSILON;
+            match (was, now) {
+                (false, true) => covered += 1,
+                (true, false) => covered -= 1,
+                _ => {}
+            }
+        }
+        Self {
+            dim: self.dim,
+            data,
+            norms,
+            covered,
+        }
+    }
+
     /// Population size (rows, covered or not).
     pub fn len(&self) -> usize {
         self.norms.len()
@@ -379,6 +417,32 @@ mod tests {
         assert_eq!(skipped.len(), 1);
         assert_eq!(skipped[0].id, 2);
         assert!(idx.search(&[0.0, 0.0], 3, &|_| false).is_empty());
+    }
+
+    #[test]
+    fn with_rows_matches_full_rebuild_bitwise() {
+        let base = FrozenUserIndex::from_rows(5, 3, rows());
+        // Overwrite user 1, cover previously-empty user 4, zero out
+        // user 3 — every covered-count transition in one delta.
+        let delta: Vec<(u32, Vec<f32>)> = vec![
+            (1, vec![0.4, -0.2, 0.6]),
+            (4, vec![0.0, 0.0, 1.0]),
+            (3, vec![0.0, 0.0, 0.0]),
+        ];
+        let patched = base.with_rows(delta.clone());
+        let mut merged = rows();
+        merged.extend(delta);
+        let full = FrozenUserIndex::from_rows(5, 3, merged);
+        assert_eq!(patched.covered(), full.covered());
+        assert_eq!(patched.encode(), full.encode());
+        for id in 0..5u32 {
+            assert_eq!(
+                patched.norms()[id as usize].to_bits(),
+                full.norms()[id as usize].to_bits()
+            );
+        }
+        // Empty delta is a byte-identical clone.
+        assert_eq!(base.with_rows([]).encode(), base.encode());
     }
 
     #[test]

@@ -36,8 +36,8 @@ use std::io::{self, Read, Write};
 use bytes::framing::{read_frame, write_frame};
 use sccf_core::{CandidateSource, EngineTimings, EventTiming, Exclusion, FrozenTierMode};
 use sccf_serving::api::{
-    DurabilityStats, MigrationStats, NeighborhoodStats, RecQuery, RecResponse, ServingError,
-    ServingStats,
+    DurabilityStats, MigrationStats, NeighborhoodStats, PressureStats, RecQuery, RecResponse,
+    ServingError, ServingStats,
 };
 use sccf_serving::sharded::ShardReport;
 use sccf_util::checksum::crc32;
@@ -405,6 +405,8 @@ fn put_stats(out: &mut Vec<u8>, s: &ServingStats) {
         put_u64(out, sh.recommends);
         put_timings(out, &sh.timings);
         put_bool(out, sh.retired);
+        put_u64(out, sh.queue_capacity as u64);
+        put_u64(out, sh.tier_dirty);
     }
     let m = &s.migration;
     put_bool(out, m.in_progress);
@@ -421,6 +423,8 @@ fn put_stats(out: &mut Vec<u8>, s: &ServingStats) {
     put_tier_mode(out, n.tier_mode);
     put_u64(out, n.tier_bytes);
     put_f64(out, n.tier_search_ns);
+    put_u64(out, n.last_refresh_users);
+    put_bool(out, n.delta_ready);
     let d = &s.durability;
     put_bool(out, d.enabled);
     put_u64(out, d.wal_records);
@@ -431,13 +435,19 @@ fn put_stats(out: &mut Vec<u8>, s: &ServingStats) {
     put_u64(out, d.checkpoint_watermark);
     put_u64(out, d.last_checkpoint_bytes);
     put_u64(out, d.events_since_checkpoint);
+    let p = &s.pressure;
+    put_u64(out, p.sends);
+    put_u64(out, p.stalls);
+    put_f64(out, p.stall_ms);
+    put_u64(out, p.queue_capacity);
+    put_u64(out, p.peak_queue);
 }
 
 fn get_stats(r: &mut Reader<'_>) -> Result<ServingStats, WireError> {
     let events = r.u64()?;
     let recommends = r.u64()?;
     let timings = get_timings(r)?;
-    let n_shards = r.count(3 * 8 + 2 * TIMING_LEN + 1)?;
+    let n_shards = r.count(5 * 8 + 2 * TIMING_LEN + 1)?;
     let mut shards = Vec::with_capacity(n_shards);
     for _ in 0..n_shards {
         shards.push(ShardReport {
@@ -446,6 +456,8 @@ fn get_stats(r: &mut Reader<'_>) -> Result<ServingStats, WireError> {
             recommends: r.u64()?,
             timings: get_timings(r)?,
             retired: r.bool()?,
+            queue_capacity: r.u64()? as usize,
+            tier_dirty: r.u64()?,
         });
     }
     let migration = MigrationStats {
@@ -464,6 +476,8 @@ fn get_stats(r: &mut Reader<'_>) -> Result<ServingStats, WireError> {
         tier_mode: get_tier_mode(r)?,
         tier_bytes: r.u64()?,
         tier_search_ns: r.f64()?,
+        last_refresh_users: r.u64()?,
+        delta_ready: r.bool()?,
     };
     let durability = DurabilityStats {
         enabled: r.bool()?,
@@ -476,6 +490,13 @@ fn get_stats(r: &mut Reader<'_>) -> Result<ServingStats, WireError> {
         last_checkpoint_bytes: r.u64()?,
         events_since_checkpoint: r.u64()?,
     };
+    let pressure = PressureStats {
+        sends: r.u64()?,
+        stalls: r.u64()?,
+        stall_ms: r.f64()?,
+        queue_capacity: r.u64()?,
+        peak_queue: r.u64()?,
+    };
     Ok(ServingStats {
         events,
         recommends,
@@ -484,6 +505,7 @@ fn get_stats(r: &mut Reader<'_>) -> Result<ServingStats, WireError> {
         migration,
         neighborhood,
         durability,
+        pressure,
     })
 }
 
@@ -917,6 +939,8 @@ mod tests {
                 recommends: 3,
                 timings,
                 retired: false,
+                queue_capacity: 1024,
+                tier_dirty: 7,
             }],
             migration: MigrationStats {
                 in_progress: true,
@@ -938,6 +962,8 @@ mod tests {
                 },
                 tier_bytes: 4096,
                 tier_search_ns: 12345.6,
+                last_refresh_users: 33,
+                delta_ready: true,
             },
             durability: DurabilityStats {
                 enabled: true,
@@ -949,6 +975,13 @@ mod tests {
                 checkpoint_watermark: 96,
                 last_checkpoint_bytes: 999,
                 events_since_checkpoint: 4,
+            },
+            pressure: PressureStats {
+                sends: 900,
+                stalls: 13,
+                stall_ms: 2.75,
+                queue_capacity: 1024,
+                peak_queue: 768,
             },
         };
         for resp in [

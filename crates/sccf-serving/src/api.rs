@@ -301,6 +301,52 @@ pub struct NeighborhoodStats {
     /// by probe queries when the snapshot was installed (0 before the
     /// first install, and on the plain engine where the tier is inert).
     pub tier_search_ns: f64,
+    /// Users the last completed refresh exported — the whole population
+    /// on a full refresh, the dirty set on a delta refresh. 0 before
+    /// the first refresh; the ratio to the population is the delta
+    /// path's cost saving.
+    pub last_refresh_users: u64,
+    /// A *delta* refresh is currently valid: the installed tier was
+    /// built by this fleet's own refresh pipeline, so the per-shard
+    /// dirty sets name exactly the rows that differ from it. False
+    /// after an external `install_global_tier` or a restore — run one
+    /// full refresh to re-arm.
+    pub delta_ready: bool,
+}
+
+/// Router-side queue backpressure, part of [`ServingStats`]. The
+/// router senses pressure where it exists: at the bounded shard
+/// queues. Two complementary signals, both sampled at send time so no
+/// probe ever has to ride the FIFO queue itself:
+///
+/// * a *stall* is one send that found the queue full and had to block
+///   until the worker drained — saturation, the hard edge;
+/// * `peak_queue` is the deepest any shard queue stood at a send —
+///   occupancy, which keeps rising toward capacity *before* sends
+///   start blocking, so the autoscaling policy
+///   (`sccf_serving::control`) can act ahead of the hard edge.
+///
+/// All zeros on the single-writer engine (no queues).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PressureStats {
+    /// Messages the router pushed onto shard queues (events,
+    /// recommendations, barriers, epoch traffic) this process lifetime.
+    pub sends: u64,
+    /// Sends that found the target queue full and blocked.
+    pub stalls: u64,
+    /// Total wall-clock milliseconds the router spent blocked on full
+    /// queues.
+    pub stall_ms: f64,
+    /// Current per-shard queue capacity (the most recent
+    /// `ShardedConfig::queue_capacity` applied — reshards swap
+    /// surviving workers' queues to the new capacity).
+    pub queue_capacity: u64,
+    /// High-water mark of any shard queue's depth observed at send
+    /// time **since the previous stats sample** (read-and-clear, so
+    /// each sample reports its own window). `peak_queue /
+    /// queue_capacity` is the occupancy ratio the control policy
+    /// thresholds on.
+    pub peak_queue: u64,
 }
 
 /// Durability-layer health, part of [`ServingStats`]: WAL volume, fsync
@@ -354,6 +400,9 @@ pub struct ServingStats {
     pub neighborhood: NeighborhoodStats,
     /// Durability-layer health (see `ShardedEngine::enable_durability`).
     pub durability: DurabilityStats,
+    /// Router-side queue backpressure (the autoscaling policy's input;
+    /// see `sccf_serving::control`).
+    pub pressure: PressureStats,
 }
 
 impl ServingStats {
@@ -532,6 +581,8 @@ impl<M: InductiveUiModel> ServingApi for RealtimeEngine<M> {
                     // live index covers everyone), so there is no
                     // frozen search to time.
                     tier_search_ns: 0.0,
+                    last_refresh_users: 0,
+                    delta_ready: false,
                 }
             }
         };
@@ -543,6 +594,7 @@ impl<M: InductiveUiModel> ServingApi for RealtimeEngine<M> {
             migration: MigrationStats::default(),
             neighborhood,
             durability: DurabilityStats::default(),
+            pressure: PressureStats::default(),
         })
     }
 

@@ -35,6 +35,15 @@
 //!   `docs/ARCHITECTURE.md` for the event-flow diagram, state split
 //!   and tier diagram; `docs/OPERATIONS.md` for the
 //!   scale-out/scale-in and refresh-cadence runbooks.
+//! * [`control`] — the **closed-loop control plane**: [`PolicyState`]
+//!   is a pure, wall-clock-free decision function (hysteresis bands +
+//!   sustain streaks + cooldowns over the router stall ratio and tier
+//!   staleness), and [`ControlDriver`] actuates it against a
+//!   [`ShardedEngine`] one step per virtual tick — begin/advance
+//!   reshard and refresh epochs automatically, preferring *delta*
+//!   tier refreshes (dirty users only) once the fleet has built its
+//!   own tier. Every decision replays exactly from an observation
+//!   sequence; `tests/control.rs` is the seeded simulation harness.
 //! * [`fleet`] — the socket-free half of the **networked shard
 //!   fleet**: [`FleetTopology`] validates that N processes' shard
 //!   windows tile one global [`HashRing`] (so user placement is
@@ -63,6 +72,7 @@
 pub mod ab_test;
 pub mod api;
 pub mod click_model;
+pub mod control;
 pub mod fleet;
 pub mod ring;
 pub mod sharded;
@@ -75,10 +85,13 @@ pub use ab_test::{
     FnCandidateGen,
 };
 pub use api::{
-    ApiCandidateGen, DurabilityStats, MigrationStats, NeighborhoodStats, RecQuery, RecResponse,
-    ServingApi, ServingError, ServingStats,
+    ApiCandidateGen, DurabilityStats, MigrationStats, NeighborhoodStats, PressureStats, RecQuery,
+    RecResponse, ServingApi, ServingError, ServingStats,
 };
 pub use click_model::ClickModel;
+pub use control::{
+    ActuatorStep, ControlDriver, Decision, Observation, PolicyConfig, PolicyState, TickReport,
+};
 pub use fleet::{merge_fleet_snapshots, merge_fleet_stats, FleetMember, FleetTopology};
 pub use ring::{HashRing, RingDecodeError};
 #[allow(deprecated)] // the legacy shim stays importable from its old path

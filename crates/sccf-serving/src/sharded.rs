@@ -86,7 +86,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use sccf_core::{
     decode_histories, decode_user_state, encode_histories, CandidateSource, EngineTimings,
     Exclusion, FrozenTierMode, GlobalNeighborSnapshot, NeighborSource, RealtimeEngine, Sccf,
@@ -98,8 +98,8 @@ use sccf_util::topk::Scored;
 use sccf_util::FxHashSet;
 
 use crate::api::{
-    DurabilityStats, MigrationStats, NeighborhoodStats, RecQuery, RecResponse, ServingApi,
-    ServingError, ServingStats,
+    DurabilityStats, MigrationStats, NeighborhoodStats, PressureStats, RecQuery, RecResponse,
+    ServingApi, ServingError, ServingStats,
 };
 use crate::ring::HashRing;
 use crate::stream::StreamEvent;
@@ -249,6 +249,15 @@ pub struct ShardReport {
     /// key to avoid conflating a retired worker's life with its
     /// successor's.
     pub retired: bool,
+    /// Capacity of the bounded queue this worker currently drains.
+    /// Reshards swap surviving workers onto fresh queues when the new
+    /// config's capacity differs, so this reflects the live value, not
+    /// the spawn-time one.
+    pub queue_capacity: usize,
+    /// Users on this shard dirtied since their last tier export — the
+    /// shard's share of the next *delta* refresh
+    /// ([`ShardedEngine::refresh_global_tier_delta`]).
+    pub tier_dirty: u64,
 }
 
 /// What one completed [`ShardedEngine::reshard`] did.
@@ -280,12 +289,17 @@ pub const DEFAULT_REFRESH_BATCH: usize = 256;
 pub struct RefreshReport {
     /// The epoch of the snapshot now installed in every worker.
     pub epoch: u64,
-    /// Users exported into the snapshot (the whole population).
+    /// Users exported into the snapshot: the whole population on a
+    /// full refresh, only the dirty set on a delta refresh.
     pub users: u64,
     /// Export batches the collection took.
     pub batches: u64,
     /// Wall time from `begin_refresh` to the install broadcast, ms.
     pub duration_ms: f64,
+    /// This was a delta refresh
+    /// ([`ShardedEngine::refresh_global_tier_delta`]): unexported users
+    /// kept their previous tier rows verbatim.
+    pub delta: bool,
 }
 
 /// Durability knobs: where the WAL + checkpoint files live and how
@@ -381,8 +395,12 @@ struct DurabilityState {
 
 /// Router-side state of an in-flight incremental tier refresh.
 struct RefreshEpoch {
-    /// Next unexported global user id (the plan is simply `0..n_users`
-    /// — every user is owned by exactly one stable-epoch shard).
+    /// `None` — a *full* refresh: the plan is simply `0..n_users`
+    /// (every user is owned by exactly one stable-epoch shard).
+    /// `Some(users)` — a *delta* refresh over exactly these users (the
+    /// fleet's tier-dirty sets at `begin_delta_refresh`, ascending).
+    plan: Option<Vec<u32>>,
+    /// Next unexported index into the plan.
     cursor: usize,
     /// Users exported per [`ShardedEngine::refresh_step`].
     batch: usize,
@@ -441,7 +459,31 @@ enum ShardMsg {
     /// reflects every event queued before it.
     TierExport {
         users: Vec<u32>,
+        /// Acknowledge each export against the engine's tier-dirty set
+        /// (the refresh pipeline: the blob feeds the snapshot being
+        /// built, so the user is clean relative to it). False for
+        /// diagnostic/fleet-level exports that install nothing locally.
+        clear_dirty: bool,
         reply: Sender<Vec<Vec<u8>>>,
+    },
+    /// The shard's current tier-dirty users (sorted; a peek — marks
+    /// are cleared per user at export time). Rides the FIFO queue, so
+    /// the set reflects every event routed before it: the delta
+    /// refresh plan.
+    TierDirty { reply: Sender<Vec<u32>> },
+    /// Re-mark users tier-dirty: an aborted refresh epoch already
+    /// acknowledged some exports whose snapshot will never install, so
+    /// the marks must come back or the next delta silently ships stale
+    /// rows.
+    TierMark { users: Vec<u32> },
+    /// Swap this worker onto a fresh bounded queue (a reshard changed
+    /// `queue_capacity`). Always the **last** message on the old
+    /// queue — the router drops the old sender right after — so FIFO
+    /// order across the swap is total: everything sent on the old
+    /// queue precedes everything sent on the new one.
+    SwapQueue {
+        rx: Receiver<ShardMsg>,
+        capacity: usize,
     },
     /// Global-tier refresh, swap side: install the freshly built
     /// snapshot (`None` disables the two-tier path). One `Arc` store on
@@ -616,6 +658,15 @@ pub struct ShardedEngine<M: InductiveUiModel + 'static> {
     tier_epoch: u64,
     /// Duration of the last completed refresh, milliseconds.
     last_refresh_ms: f64,
+    /// Users the last completed refresh exported (population on full,
+    /// dirty set on delta).
+    last_refresh_users: u64,
+    /// The installed tier was built by this fleet's own refresh
+    /// pipeline, so the per-shard tier-dirty sets name exactly the rows
+    /// differing from it — the precondition of a delta refresh. False
+    /// after `install_global_tier` (the artifact's provenance is
+    /// unknown) until the next full refresh completes.
+    tier_delta_ok: bool,
     /// Mean ns of one frozen-tier search, probed at tier install
     /// (reported via `ServingStats`; 0 with no tier).
     tier_search_ns: f64,
@@ -629,6 +680,19 @@ pub struct ShardedEngine<M: InductiveUiModel + 'static> {
     /// past every surviving record so sequences never collide.
     events_routed: u64,
     events_at_refresh: u64,
+    /// Current per-shard queue capacity: the most recent config's
+    /// value, applied to every live worker (reshards swap surviving
+    /// workers' queues when it changes).
+    queue_capacity: usize,
+    /// Router-side backpressure accounting (see
+    /// [`crate::api::PressureStats`]): total sends, sends that found a
+    /// full queue and blocked, and the wall time spent blocked.
+    sends: u64,
+    stalls: u64,
+    stall_ms: f64,
+    /// Deepest any shard queue stood at a send since the last stats
+    /// sample (read-and-clear in [`ServingApi::serving_stats`]).
+    peak_queue: usize,
     /// Durability layer, if armed (see
     /// [`ShardedEngine::enable_durability`]).
     durability: Option<DurabilityState>,
@@ -689,9 +753,10 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         for (s, (shard_sccf, shard_histories)) in shards.into_iter().zip(per_shard).enumerate() {
             let (tx, rx) = bounded::<ShardMsg>(cfg.queue_capacity);
             let engine = RealtimeEngine::new(shard_sccf, shard_histories);
+            let cap = cfg.queue_capacity;
             let handle = std::thread::Builder::new()
                 .name(format!("sccf-shard-{s}"))
-                .spawn(move || shard_worker(s, engine, rx))
+                .spawn(move || shard_worker(s, engine, rx, cap))
                 .expect("spawn shard worker");
             txs.push(tx);
             handles.push(Some(handle));
@@ -712,10 +777,17 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             refresh: None,
             tier_epoch: 0,
             last_refresh_ms: 0.0,
+            last_refresh_users: 0,
+            tier_delta_ok: false,
             tier_search_ns: 0.0,
             last_refresh_batches: 0,
             events_routed: 0,
             events_at_refresh: 0,
+            queue_capacity: cfg.queue_capacity,
+            sends: 0,
+            stalls: 0,
+            stall_ms: 0.0,
+            peak_queue: 0,
             durability: None,
         })
     }
@@ -747,6 +819,22 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
     /// Whether a live reshard is in flight (begun but not yet quiesced).
     pub fn is_migrating(&self) -> bool {
         matches!(self.epoch, Epoch::Migrating { .. })
+    }
+
+    /// True while an incremental tier refresh is in flight.
+    pub fn is_refreshing(&self) -> bool {
+        self.refresh.is_some()
+    }
+
+    /// How many messages a request for `user` would wait behind right
+    /// now: the current depth of the owning shard's queue. This is the
+    /// core-count-independent serving-latency proxy — a recommend is
+    /// answered FIFO behind this backlog, so on a parallel host its
+    /// queueing delay is proportional to this number, while wall-clock
+    /// measurements additionally depend on how many worker threads the
+    /// OS can actually run at once.
+    pub fn queue_depth_for(&self, user: u32) -> usize {
+        self.txs[self.epoch.route(user)].len()
     }
 
     /// A send failed, so shard `s`'s worker is gone: join it and
@@ -801,9 +889,31 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         Ok(())
     }
 
+    /// Push a message onto shard `s`'s queue, sensing backpressure on
+    /// the way: a non-blocking attempt first, and only when the queue
+    /// is full — the one observable symptom of an overloaded worker —
+    /// fall back to the blocking send, counting the stall and the time
+    /// blocked. `stalls / sends` is the autoscaling policy's pressure
+    /// signal ([`crate::api::PressureStats`]); queue *backlog* is
+    /// unobservable from here (any probe rides the same FIFO queue), so
+    /// blocked sends are the honest router-side measure.
     fn send(&mut self, s: usize, msg: ShardMsg) {
-        if self.txs[s].send(msg).is_err() {
-            self.propagate_worker_death(s);
+        self.sends += 1;
+        let depth = self.txs[s].len();
+        if depth > self.peak_queue {
+            self.peak_queue = depth;
+        }
+        match self.txs[s].try_send(msg) {
+            Ok(()) => {}
+            Err(TrySendError::Disconnected(_)) => self.propagate_worker_death(s),
+            Err(TrySendError::Full(msg)) => {
+                self.stalls += 1;
+                let sw = Stopwatch::start();
+                if self.txs[s].send(msg).is_err() {
+                    self.propagate_worker_death(s);
+                }
+                self.stall_ms += sw.elapsed_ms();
+            }
         }
     }
 
@@ -838,10 +948,11 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
     /// [`ShardedEngine::reshard_step`] yourself — this method is just
     /// that loop.
     ///
-    /// An N→N reshard under the same router is a no-op (zero users
-    /// moved, zero batches). `new_cfg.queue_capacity` applies to
-    /// workers spawned by this reshard; surviving workers keep their
-    /// original queues.
+    /// An N→N reshard under the same router is a no-op for routing
+    /// (zero users moved, zero batches) but still applies
+    /// `new_cfg.queue_capacity`: surviving workers are swapped onto
+    /// fresh queues at the new capacity (FIFO order preserved across
+    /// the swap), so a reshard is also the way to resize queues live.
     ///
     /// ```
     /// use sccf_core::{FrozenTierMode, IntegratorConfig, Sccf, SccfConfig, UserBasedConfig};
@@ -968,6 +1079,26 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         let plan: Vec<u32> = (0..self.n_users as u32)
             .filter(|&u| old_ring.route(u) != new_ring.route(u))
             .collect();
+        // Queue resize: swap every surviving worker onto a fresh queue
+        // at the new capacity. The swap message is the last message on
+        // the old queue (its sender is dropped right after), so FIFO
+        // order is total across the swap — nothing queued before it can
+        // be reordered behind anything sent on the new queue. Workers
+        // spawned below start on new-capacity queues directly.
+        if new_cfg.queue_capacity != self.queue_capacity {
+            for s in 0..self.txs.len() {
+                let (tx, rx) = bounded::<ShardMsg>(new_cfg.queue_capacity);
+                self.send(
+                    s,
+                    ShardMsg::SwapQueue {
+                        rx,
+                        capacity: new_cfg.queue_capacity,
+                    },
+                );
+                self.txs[s] = tx;
+            }
+            self.queue_capacity = new_cfg.queue_capacity;
+        }
         // Scale-out: spawn empty views for the new shards before any
         // routing can reach them. Freshly spawned workers inherit the
         // fleet's current global tier (if any) so their neighborhoods
@@ -984,9 +1115,10 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             let view = Sccf::empty_shard_view(&self.shared, self.n_users);
             let engine = RealtimeEngine::new(view, Vec::new());
             let (tx, rx) = bounded::<ShardMsg>(new_cfg.queue_capacity);
+            let cap = new_cfg.queue_capacity;
             let handle = std::thread::Builder::new()
                 .name(format!("sccf-shard-{s}"))
-                .spawn(move || shard_worker(s, engine, rx))
+                .spawn(move || shard_worker(s, engine, rx, cap))
                 .expect("spawn shard worker");
             self.txs.push(tx);
             self.handles.push(Some(handle));
@@ -1193,6 +1325,7 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             users: self.n_users as u64,
             batches: self.last_refresh_batches,
             duration_ms: self.last_refresh_ms,
+            delta: false,
         })
     }
 
@@ -1264,6 +1397,11 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         self.tier_search_ns =
             measure_tier_search_ns(&snapshot, self.shared.config().user_based.beta);
         self.current_tier = Some(snapshot);
+        // The artifact's provenance is unknown: the fleet's tier-dirty
+        // sets say which users changed since *their* last export, not
+        // since this snapshot was built. A delta on top of it could
+        // ship stale rows, so require one full refresh first.
+        self.tier_delta_ok = false;
         self.events_at_refresh = self.events_routed;
         Ok(())
     }
@@ -1316,12 +1454,84 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             ));
         }
         self.refresh = Some(RefreshEpoch {
+            plan: None,
             cursor: 0,
             batch,
             entries: Vec::with_capacity(self.n_users),
             batches: 0,
             started: Stopwatch::start(),
         });
+        Ok(())
+    }
+
+    /// Rebuild the global tier by *delta*: re-export only the users
+    /// dirtied since their last tier export and splice their rows into
+    /// the installed snapshot, leaving every clean user's row
+    /// byte-identical. Blocks until done (the
+    /// [`ShardedEngine::begin_delta_refresh`] /
+    /// [`ShardedEngine::refresh_step`] loop, like
+    /// [`ShardedEngine::refresh_global_tier`]). The result is
+    /// **bit-identical** to a full refresh at the same watermark
+    /// (pinned by `tests/serving_api.rs`) — clean users would re-export
+    /// identical state — but the expensive per-user export + inference
+    /// work is O(dirty), not O(population): refresh cost tracks the
+    /// write rate, which is what makes a staleness-driven refresh
+    /// policy affordable under diurnal load
+    /// (`sccf_serving::control`, `docs/OPERATIONS.md`).
+    pub fn refresh_global_tier_delta(&mut self) -> Result<RefreshReport, ServingError> {
+        self.begin_delta_refresh(DEFAULT_REFRESH_BATCH)?;
+        let users = self
+            .refresh
+            .as_ref()
+            .map_or(0, |r| r.plan.as_ref().map_or(0, |p| p.len() as u64));
+        while self.refresh.is_some() {
+            self.refresh_step()?;
+        }
+        Ok(RefreshReport {
+            epoch: self.tier_epoch,
+            users,
+            batches: self.last_refresh_batches,
+            duration_ms: self.last_refresh_ms,
+            delta: true,
+        })
+    }
+
+    /// Start an incremental *delta* tier refresh: collect every
+    /// shard's tier-dirty set (riding the FIFO queues, so it reflects
+    /// every event routed before this call) as the export plan, then
+    /// drive [`ShardedEngine::refresh_step`] exactly like a full
+    /// refresh. An empty dirty set still completes an epoch (one
+    /// no-op step) and installs a snapshot differing from the previous
+    /// one only in its epoch stamp — keeping the bit-identity with a
+    /// full refresh at the same watermark, which also bumps the epoch.
+    ///
+    /// On top of [`ShardedEngine::begin_refresh`]'s guards, errors if
+    /// no tier is installed or the installed tier did not come from
+    /// this fleet's own refresh pipeline
+    /// ([`crate::api::NeighborhoodStats::delta_ready`] is false — e.g.
+    /// right after [`ShardedEngine::install_global_tier`] of a
+    /// persisted artifact, whose staleness relative to the live dirty
+    /// sets is unknowable): run one full refresh first.
+    pub fn begin_delta_refresh(&mut self, batch: usize) -> Result<(), ServingError> {
+        if self.current_tier.is_none() || !self.tier_delta_ok {
+            return Err(ServingError::InvalidConfig(
+                "delta refresh needs a tier built by this fleet's own refresh pipeline; \
+                 run refresh_global_tier (full) first"
+                    .to_string(),
+            ));
+        }
+        self.begin_refresh(batch)?;
+        // The peek rides the queues behind every routed event; each
+        // user's mark is cleared later, when its export is collected.
+        let mut plan: Vec<u32> = self
+            .fan_out(|reply| ShardMsg::TierDirty { reply })
+            .into_iter()
+            .flatten()
+            .collect();
+        plan.sort_unstable();
+        let refresh = self.refresh.as_mut().expect("refresh just begun");
+        refresh.entries = Vec::with_capacity(plan.len());
+        refresh.plan = Some(plan);
         Ok(())
     }
 
@@ -1333,14 +1543,18 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         let Some(refresh) = &mut self.refresh else {
             return Ok(0);
         };
-        let end = refresh
-            .cursor
-            .saturating_add(refresh.batch)
-            .min(self.n_users);
+        let total = refresh.plan.as_ref().map_or(self.n_users, Vec::len);
+        let end = refresh.cursor.saturating_add(refresh.batch).min(total);
         // Group this batch by owning shard (stable epoch — refresh and
         // migration are mutually exclusive).
         let mut groups: Vec<(usize, Vec<u32>)> = Vec::new();
-        for u in refresh.cursor as u32..end as u32 {
+        let mut batch_users: Vec<u32> = Vec::with_capacity(end - refresh.cursor);
+        for i in refresh.cursor..end {
+            let u = match &refresh.plan {
+                Some(plan) => plan[i],
+                None => i as u32,
+            };
+            batch_users.push(u);
             let s = self.epoch.route(u);
             match groups.iter_mut().find(|(g, _)| *g == s) {
                 Some((_, v)) => v.push(u),
@@ -1350,10 +1564,21 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
         refresh.cursor = end;
         refresh.batches += 1;
         // Fan the exports out so shards infer in parallel, then collect.
+        // Each export is acknowledged against the shard's tier-dirty
+        // set as it happens: the blob feeds the snapshot being built,
+        // so the user is clean relative to it — and any event arriving
+        // after the export re-marks the user for the next delta.
         let mut waves = Vec::with_capacity(groups.len());
         for (s, users) in groups {
             let (reply, rx) = bounded(1);
-            self.send(s, ShardMsg::TierExport { users, reply });
+            self.send(
+                s,
+                ShardMsg::TierExport {
+                    users,
+                    clear_dirty: true,
+                    reply,
+                },
+            );
             waves.push((s, rx));
         }
         for (s, rx) in waves {
@@ -1371,23 +1596,49 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
                     // any) keeps serving, and begin_refresh /
                     // begin_reshard are free again. Completing with a
                     // hole would silently ship a snapshot missing this
-                    // batch's users.
+                    // batch's users. The exports this epoch already
+                    // acknowledged fed a snapshot that will never
+                    // install, so their tier-dirty marks must come
+                    // back — or the next delta would ship stale rows.
                     Err(e) => {
-                        self.refresh = None;
+                        let refresh = self.refresh.take().expect("refresh in flight");
+                        let mut stale: Vec<u32> =
+                            refresh.entries.iter().map(|(u, _, _)| *u).collect();
+                        stale.extend(&batch_users);
+                        self.remark_tier_dirty(stale);
                         return Err(e.into());
                     }
                 }
             }
         }
-        let remaining = self.n_users - end;
+        let remaining = total - end;
         if remaining == 0 {
             let refresh = self.refresh.take().expect("refresh in flight");
+            let delta_users = refresh.plan.as_ref().map(|p| p.len() as u64);
             self.tier_epoch += 1;
-            let snapshot = Arc::new(self.shared.build_neighbor_snapshot(
-                self.tier_epoch,
-                self.n_users,
-                refresh.entries,
-            ));
+            let snapshot = match delta_users {
+                // Full rebuild from the complete re-export.
+                None => Arc::new(self.shared.build_neighbor_snapshot(
+                    self.tier_epoch,
+                    self.n_users,
+                    refresh.entries,
+                )),
+                // Delta: splice the dirty rows into the installed
+                // snapshot — bit-identical to the full rebuild at this
+                // watermark, because every unexported user's state is
+                // unchanged since the previous export by construction.
+                Some(_) => {
+                    let prev = self
+                        .current_tier
+                        .as_ref()
+                        .expect("begin_delta_refresh requires an installed tier");
+                    Arc::new(self.shared.build_neighbor_snapshot_delta(
+                        prev,
+                        self.tier_epoch,
+                        refresh.entries,
+                    ))
+                }
+            };
             for s in 0..self.txs.len() {
                 self.send(
                     s,
@@ -1399,11 +1650,30 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             self.tier_search_ns =
                 measure_tier_search_ns(&snapshot, self.shared.config().user_based.beta);
             self.current_tier = Some(snapshot);
+            self.tier_delta_ok = true;
             self.events_at_refresh = self.events_routed;
             self.last_refresh_ms = refresh.started.elapsed_ms();
             self.last_refresh_batches = refresh.batches;
+            self.last_refresh_users = delta_users.unwrap_or(self.n_users as u64);
         }
         Ok(remaining)
+    }
+
+    /// Route tier-dirty re-marks to their owning shards — the repair
+    /// half of an aborted refresh epoch (see
+    /// [`ShardedEngine::refresh_step`]'s abort path).
+    fn remark_tier_dirty(&mut self, users: Vec<u32>) {
+        let mut groups: Vec<(usize, Vec<u32>)> = Vec::new();
+        for u in users {
+            let s = self.epoch.route(u);
+            match groups.iter_mut().find(|(g, _)| *g == s) {
+                Some((_, v)) => v.push(u),
+                None => groups.push((s, vec![u])),
+            }
+        }
+        for (s, users) in groups {
+            self.send(s, ShardMsg::TierMark { users });
+        }
     }
 
     /// Disable the two-tier path: every worker drops its frozen tier
@@ -1420,6 +1690,7 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
             self.send(s, ShardMsg::TierInstall { tier: None });
         }
         self.current_tier = None;
+        self.tier_delta_ok = false;
         self.tier_search_ns = 0.0;
         Ok(())
     }
@@ -1474,6 +1745,10 @@ impl<M: InductiveUiModel + 'static> ShardedEngine<M> {
                 s,
                 ShardMsg::TierExport {
                     users: batch,
+                    // A diagnostic/fleet-level export: nothing is
+                    // installed locally, so the local delta working
+                    // set must keep its marks.
+                    clear_dirty: false,
                     reply,
                 },
             );
@@ -2177,7 +2452,20 @@ impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
                 .as_ref()
                 .map_or(0, |t| t.tier_bytes() as u64),
             tier_search_ns: self.tier_search_ns,
+            last_refresh_users: self.last_refresh_users,
+            delta_ready: self.tier_delta_ok,
         };
+        stats.pressure = PressureStats {
+            sends: self.sends,
+            stalls: self.stalls,
+            stall_ms: self.stall_ms,
+            queue_capacity: self.queue_capacity as u64,
+            peak_queue: self.peak_queue as u64,
+        };
+        // The high-water mark is per sampling window: each stats
+        // sample starts a fresh window so occupancy reflects current
+        // load, not the worst moment in history.
+        self.peak_queue = 0;
         stats.durability = if self.durability.is_some() {
             let statuses: Vec<WalStatus> = self
                 .fan_out(|reply| ShardMsg::Wal { sync: false, reply })
@@ -2210,7 +2498,8 @@ impl<M: InductiveUiModel + 'static> ServingApi for ShardedEngine<M> {
 fn shard_worker<M: InductiveUiModel>(
     shard: usize,
     mut engine: RealtimeEngine<M>,
-    rx: Receiver<ShardMsg>,
+    mut rx: Receiver<ShardMsg>,
+    mut queue_capacity: usize,
 ) -> WorkerExit<M> {
     let mut events = 0u64;
     let mut recommends = 0u64;
@@ -2259,6 +2548,8 @@ fn shard_worker<M: InductiveUiModel>(
                     recommends,
                     timings: engine.timings().clone(),
                     retired: false,
+                    queue_capacity,
+                    tier_dirty: engine.tier_dirty_count() as u64,
                 });
             }
             ShardMsg::Export { reply } => {
@@ -2293,7 +2584,11 @@ fn shard_worker<M: InductiveUiModel>(
                 engine.canonicalize_owned();
                 let _ = reply.send(());
             }
-            ShardMsg::TierExport { users, reply } => {
+            ShardMsg::TierExport {
+                users,
+                clear_dirty,
+                reply,
+            } => {
                 // Router-planned collection over the stable ring: every
                 // listed user is owned here, so a failure is a refresh
                 // bug — surface it loudly. No eviction: the shard keeps
@@ -2301,12 +2596,35 @@ fn shard_worker<M: InductiveUiModel>(
                 let blobs: Vec<Vec<u8>> = users
                     .iter()
                     .map(|&u| {
-                        engine
+                        let blob = engine
                             .export_user(u)
-                            .unwrap_or_else(|e| panic!("shard {shard}: tier export {e}"))
+                            .unwrap_or_else(|e| panic!("shard {shard}: tier export {e}"));
+                        if clear_dirty {
+                            engine.ack_tier_export(u);
+                        }
+                        blob
                     })
                     .collect();
                 let _ = reply.send(blobs);
+            }
+            ShardMsg::TierDirty { reply } => {
+                let _ = reply.send(engine.tier_dirty_users());
+            }
+            ShardMsg::TierMark { users } => {
+                for u in users {
+                    engine.mark_tier_dirty(u);
+                }
+            }
+            ShardMsg::SwapQueue {
+                rx: new_rx,
+                capacity,
+            } => {
+                // The router dropped the old sender right after this
+                // message, so the old queue is fully drained: replace
+                // it. FIFO order is preserved — everything sent on the
+                // new queue was routed after everything processed above.
+                rx = new_rx;
+                queue_capacity = capacity;
             }
             ShardMsg::TierInstall { tier } => match tier {
                 Some(t) => engine.install_global_tier(t),
@@ -2380,6 +2698,8 @@ fn shard_worker<M: InductiveUiModel>(
         recommends,
         timings: engine.timings().clone(),
         retired: false,
+        queue_capacity,
+        tier_dirty: engine.tier_dirty_count() as u64,
     };
     (engine, report)
 }

@@ -25,6 +25,8 @@ fn chaos_ci_seeds_recover_bit_identically() {
     let mut skips = 0;
     let mut rejections = 0;
     let mut replayed = 0;
+    let mut policy_ticks = 0;
+    let mut policy_actions = 0;
     for &seed in &CI_SEEDS {
         let report = run_chaos(&world, &ChaosConfig::quick(seed));
         assert!(report.kills >= 1, "seed {seed}: no kill exercised");
@@ -36,6 +38,8 @@ fn chaos_ci_seeds_recover_bit_identically() {
         skips += report.trailing_skips;
         rejections += report.epoch_rejections;
         replayed += report.replayed_total;
+        policy_ticks += report.policy_ticks;
+        policy_actions += report.policy_scales + report.policy_refreshes;
     }
     // The seed set as a whole must exercise the interesting machinery;
     // a silent schedule regression (e.g. kills stop tearing tails)
@@ -53,6 +57,15 @@ fn chaos_ci_seeds_recover_bit_identically() {
         "no checkpoint/snapshot was ever rejected mid-epoch"
     );
     assert!(replayed > 0, "no WAL record was ever replayed");
+    // The closed-loop control plane must ride the same schedules: real
+    // policy ticks over real stats, with at least some of them
+    // actuating (so kills can land mid-policy-epoch and the recovery
+    // pin covers policy-driven fleets).
+    assert!(policy_ticks > 0, "no policy tick was ever taken");
+    assert!(
+        policy_actions > 0,
+        "the policy never actuated a scale or refresh across the seed set"
+    );
 }
 
 /// A no-corruption control: with crash simulation limited to clean

@@ -605,3 +605,90 @@ fn shutdown_mid_migration_drains_cleanly_with_complete_accounting() {
         "every accepted event processed exactly once before exit"
     );
 }
+
+#[test]
+fn reshard_swaps_surviving_workers_onto_new_capacity_queues() {
+    // Regression: a reshard whose target config changes `queue_capacity`
+    // used to resize only the freshly spawned workers' queues — the
+    // surviving workers kept draining their spawn-time queues, so an
+    // operator "raise the queues" reshard silently did nothing for the
+    // shards that needed it most. The swap must reach every survivor,
+    // worker-side (ShardReport), not just the router's bookkeeping
+    // (PressureStats).
+    let mut fleet = build_fleet(47, 2, 4);
+    for k in 0..30u32 {
+        fleet.try_ingest(k % 16, k % 16).expect("ids in range");
+    }
+    // Scale-out with a capacity raise, traffic flowing mid-migration.
+    fleet
+        .begin_reshard(
+            ShardedConfig {
+                n_shards: 4,
+                queue_capacity: 64,
+                router: RouterKind::Consistent { vnodes: 16 },
+            },
+            2,
+        )
+        .expect("begin reshard");
+    let mut extra = 0u64;
+    while fleet.is_migrating() {
+        for k in 0..4u32 {
+            fleet
+                .try_ingest(k % 16, (k + 5) % 16)
+                .expect("ids in range");
+            extra += 1;
+        }
+        fleet.reshard_step().expect("handoff");
+    }
+    let stats = fleet.serving_stats().expect("stats");
+    assert_eq!(
+        stats.pressure.queue_capacity, 64,
+        "router must report the post-reshard capacity"
+    );
+    assert_eq!(stats.events, 30 + extra, "no event lost across the swap");
+
+    // Capacity-only reshard: same shard count, same router — the plan
+    // is empty, no user moves, yet every queue must shrink to 2.
+    fleet
+        .begin_reshard(
+            ShardedConfig {
+                n_shards: 4,
+                queue_capacity: 2,
+                router: RouterKind::Consistent { vnodes: 16 },
+            },
+            8,
+        )
+        .expect("capacity-only reshard");
+    while fleet.is_migrating() {
+        fleet.reshard_step().expect("empty-plan steps");
+    }
+    // The shrunken queues still carry traffic (backpressure, no hang).
+    for k in 0..40u32 {
+        fleet
+            .try_ingest(k % 16, (k * 3) % 16)
+            .expect("ids in range");
+        extra += 1;
+    }
+    fleet.flush().expect("barrier");
+    for u in 0..16u32 {
+        assert!(!fleet
+            .try_recommend(u, &RecQuery::top(3))
+            .expect("valid user")
+            .items
+            .is_empty());
+    }
+    let reports = fleet.shutdown();
+    assert_eq!(reports.len(), 4);
+    for r in &reports {
+        assert_eq!(
+            r.queue_capacity, 2,
+            "shard {}: worker still drains an old-capacity queue",
+            r.shard
+        );
+    }
+    assert_eq!(
+        reports.iter().map(|r| r.events).sum::<u64>(),
+        30 + extra,
+        "every accepted event processed exactly once"
+    );
+}

@@ -10,18 +10,23 @@
 //! single-producer single-consumer event pipe; `std::sync::mpsc` is MPSC
 //! so that usage is a strict narrowing.
 
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
 /// Sending half of a bounded channel. Cloning is cheap (an `Arc` bump);
 /// the channel disconnects when every sender is dropped.
 pub struct Sender<T> {
     inner: mpsc::SyncSender<T>,
+    depth: Arc<AtomicUsize>,
+    cap: usize,
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         Self {
             inner: self.inner.clone(),
+            depth: Arc::clone(&self.depth),
+            cap: self.cap,
         }
     }
 }
@@ -31,39 +36,78 @@ impl<T> Sender<T> {
     /// receiver is gone (in which case the message comes back in the
     /// error).
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        self.inner
-            .send(msg)
-            .map_err(|mpsc::SendError(m)| SendError(m))
+        // Count before the message becomes visible so the receiver's
+        // matching decrement can never precede it (no underflow);
+        // `len` may transiently over-report by in-flight sends.
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        self.inner.send(msg).map_err(|mpsc::SendError(m)| {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            SendError(m)
+        })
     }
 
     /// Non-blocking send: fails fast with the message when the queue is
     /// full or disconnected.
     pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
-        self.inner.try_send(msg).map_err(|e| match e {
-            mpsc::TrySendError::Full(m) => TrySendError::Full(m),
-            mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        self.inner.try_send(msg).map_err(|e| {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            }
         })
+    }
+
+    /// Messages currently queued (as in `crossbeam_channel::Sender::len`).
+    /// A relaxed snapshot: exact when the channel is quiescent, within
+    /// one in-flight message otherwise.
+    pub fn len(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's bound (as in `crossbeam_channel::Sender::capacity`).
+    pub fn capacity(&self) -> Option<usize> {
+        Some(self.cap)
     }
 }
 
 /// Receiving half of a bounded channel.
 pub struct Receiver<T> {
     inner: mpsc::Receiver<T>,
+    depth: Arc<AtomicUsize>,
 }
 
 impl<T> Receiver<T> {
     /// Blocking receive: parks until a message arrives or every sender is
     /// dropped and the queue is drained.
     pub fn recv(&self) -> Result<T, RecvError> {
-        self.inner.recv().map_err(|_| RecvError)
+        let msg = self.inner.recv().map_err(|_| RecvError)?;
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        Ok(msg)
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        self.inner.try_recv().map_err(|e| match e {
+        let msg = self.inner.try_recv().map_err(|e| match e {
             mpsc::TryRecvError::Empty => TryRecvError::Empty,
             mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-        })
+        })?;
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        Ok(msg)
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Blocking iterator over incoming messages; ends when the channel
@@ -77,7 +121,15 @@ impl<T> Receiver<T> {
 /// every send blocks until a receiver takes the message).
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::sync_channel(cap);
-    (Sender { inner: tx }, Receiver { inner: rx })
+    let depth = Arc::new(AtomicUsize::new(0));
+    (
+        Sender {
+            inner: tx,
+            depth: Arc::clone(&depth),
+            cap,
+        },
+        Receiver { inner: rx, depth },
+    )
 }
 
 /// The channel disconnected; the unsent message is returned.
@@ -159,6 +211,28 @@ mod tests {
         let (tx, rx) = bounded(1);
         drop(rx);
         assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn len_tracks_queue_depth() {
+        let (tx, rx) = bounded(4);
+        assert_eq!(tx.len(), 0);
+        assert!(tx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        assert_eq!(tx.capacity(), Some(4));
+        rx.recv().unwrap();
+        assert_eq!(tx.len(), 1);
+        // Failed sends must not leak counts.
+        let (tx2, rx2) = bounded(1);
+        tx2.send(1).unwrap();
+        assert!(tx2.try_send(2).is_err());
+        assert_eq!(tx2.len(), 1);
+        drop(rx2);
+        assert!(tx2.send(3).is_err());
+        assert_eq!(tx2.len(), 1);
     }
 
     #[test]

@@ -2732,8 +2732,13 @@ pub struct FleetBenchOutput {
     pub procs: usize,
     pub shards_per_proc: usize,
     pub events: u64,
-    /// Batched ingest throughput through the loopback fleet router.
+    /// Pipelined multi-batch ingest throughput through the loopback
+    /// fleet router (depth-4 pipeline, the default transport).
     pub fleet_ingest_events_per_sec: f64,
+    /// The same router at pipeline depth 1 — the legacy strictly
+    /// sequential round-trip-per-batch transport, on the other half of
+    /// the same seeded stream.
+    pub fleet_ingest_seq_events_per_sec: f64,
     /// Same stream into an in-process `ShardedEngine` of equal width.
     pub inproc_ingest_events_per_sec: f64,
     /// Single-recommend round-trip over TCP, mean / p95 milliseconds.
@@ -2741,6 +2746,20 @@ pub struct FleetBenchOutput {
     pub rtt_p95_ms: f64,
     /// Single-recommend on the in-process engine, mean milliseconds.
     pub inproc_recommend_ms: f64,
+    /// Pipeline depth the pipelined measurements ran at.
+    pub pipeline_depth: usize,
+    /// Members in the wide fan-out point below.
+    pub fanout_procs: usize,
+    /// Average in-flight concurrency of a pipelined one-request-per-
+    /// member fan-out wave: Σ per-request outstanding span / wall.
+    /// Sequential fan-out holds this at 1.0 by construction; a
+    /// pipelined fan-out over N members approaches N.
+    pub fanout_overlap: f64,
+    pub fanout_overlap_seq: f64,
+    /// p95 wall time of one full fan-out wave (one recommend to every
+    /// member), sequential vs pipelined, same seeded user sequence.
+    pub wave_p95_seq_ms: f64,
+    pub wave_p95_pipelined_ms: f64,
     /// Did sampled fleet slates match the in-process engine bit for
     /// bit? (The correctness invariant riding along with the numbers.)
     pub sample_bitwise_equal: bool,
@@ -2750,17 +2769,24 @@ pub struct FleetBenchOutput {
 
 /// The cost of crossing process boundaries, measured: a 2-process ×
 /// 2-shard loopback fleet (spawned from this binary's own `serve-shard`
-/// role) versus a 4-shard in-process engine on the same event stream.
+/// role) versus a 4-shard in-process engine on the same event stream,
+/// plus a 4-member fan-out point that isolates the pipelined
+/// transport's overlap.
 ///
-/// Three numbers matter operationally: batched ingest throughput
-/// (amortizes framing across a whole batch per member), the
+/// Four numbers matter operationally: pipelined ingest throughput vs
+/// the depth-1 sequential transport on the same seeded stream, the
 /// single-recommend RTT (one framed round trip — the floor a remote
-/// deployment pays per uncached query), and the bitwise-equality bit
-/// (the fleet must not buy its numbers with drift).
+/// deployment pays per uncached query), the fan-out overlap (average
+/// in-flight concurrency of a one-request-per-member wave — the
+/// sum-of-RTTs → max-of-RTTs claim, measured), and the
+/// bitwise-equality bit (the fleet must not buy its numbers with
+/// drift).
 pub fn bench_fleet_json(h: &HarnessConfig) -> FleetBenchOutput {
     use std::time::Instant;
 
-    use sccf_net::{FleetRouter, ServeShardArgs, ShardSpec, Supervisor, WorldSpec};
+    use sccf_net::{
+        Connection, FleetRouter, Request, ServeShardArgs, ShardSpec, Supervisor, WorldSpec,
+    };
     use sccf_serving::fleet::{FleetMember, FleetTopology};
 
     const PROCS: usize = 2;
@@ -2835,15 +2861,67 @@ pub fn bench_fleet_json(h: &HarnessConfig) -> FleetBenchOutput {
         .collect();
 
     // --- ingest throughput, flush barrier included both sides ---------
-    let t0 = Instant::now();
-    router.ingest_batch(&events).expect("fleet ingest");
-    router.flush().expect("fleet flush");
-    let fleet_ingest_events_per_sec = n_events as f64 / t0.elapsed().as_secs_f64();
+    //
+    // Both transports get one half of the same seeded stream, in the
+    // same `PIPELINE_CHUNKS`-batch shape, so the only variable is the
+    // pipeline depth: depth 1 (each batch is a full round trip per
+    // member before the next starts) vs depth 4 (several batches in
+    // flight per member; the server's read-ahead overlaps socket
+    // reads with engine applies). The in-process baseline ingests
+    // each half as one batch: its best case. Every configuration runs
+    // `INGEST_REPS` times, interleaved, and reports its best rate —
+    // throughput is noise-floored, so best-of is the honest estimate
+    // of what the configuration can do. The fleet/inproc ratio is
+    // taken *within* a rep (the two legs run back-to-back, so
+    // machine-wide drift hits both and cancels) and the best paired
+    // rep is reported. Both engines see the same total stream (each
+    // half, `INGEST_REPS` times), so the bitwise check below still
+    // covers everything.
+    const PIPELINE_CHUNKS: usize = 8;
+    const INGEST_REPS: usize = 5;
+    let half = events.len() / 2;
+    let (seq_half, pipe_half) = events.split_at(half);
+    let to_batches = |half: &[(u32, u32)]| -> Vec<Vec<(u32, u32)>> {
+        let chunk = half.len().div_ceil(PIPELINE_CHUNKS);
+        half.chunks(chunk).map(<[_]>::to_vec).collect()
+    };
+    let seq_batches = to_batches(seq_half);
+    let pipe_batches = to_batches(pipe_half);
 
-    let t0 = Instant::now();
-    inproc.ingest_batch(&events).expect("in-process ingest");
-    inproc.flush().expect("in-process flush");
-    let inproc_ingest_events_per_sec = n_events as f64 / t0.elapsed().as_secs_f64();
+    let mut fleet_ingest_seq_events_per_sec = 0.0f64;
+    let mut fleet_ingest_events_per_sec = 0.0f64;
+    let mut inproc_ingest_events_per_sec = 0.0f64;
+    let mut fleet_over_inproc = 0.0f64;
+    for _rep in 0..INGEST_REPS {
+        router.set_pipeline_depth(1);
+        let t0 = Instant::now();
+        let acked = router
+            .ingest_batches(&seq_batches)
+            .expect("fleet ingest (seq)");
+        router.flush().expect("fleet flush");
+        let rate = seq_half.len() as f64 / t0.elapsed().as_secs_f64();
+        fleet_ingest_seq_events_per_sec = fleet_ingest_seq_events_per_sec.max(rate);
+        assert_eq!(acked, seq_half.len() as u64, "every event acknowledged");
+
+        router.set_pipeline_depth(sccf_net::DEFAULT_PIPELINE_DEPTH);
+        let t0 = Instant::now();
+        let acked = router
+            .ingest_batches(&pipe_batches)
+            .expect("fleet ingest (pipelined)");
+        router.flush().expect("fleet flush");
+        let pipe_rate = pipe_half.len() as f64 / t0.elapsed().as_secs_f64();
+        fleet_ingest_events_per_sec = fleet_ingest_events_per_sec.max(pipe_rate);
+        assert_eq!(acked, pipe_half.len() as u64, "every event acknowledged");
+
+        inproc.ingest_batch(seq_half).expect("in-process ingest");
+        inproc.flush().expect("in-process flush");
+        let t0 = Instant::now();
+        inproc.ingest_batch(pipe_half).expect("in-process ingest");
+        inproc.flush().expect("in-process flush");
+        let inproc_rate = pipe_half.len() as f64 / t0.elapsed().as_secs_f64();
+        inproc_ingest_events_per_sec = inproc_ingest_events_per_sec.max(inproc_rate);
+        fleet_over_inproc = fleet_over_inproc.max(pipe_rate / inproc_rate);
+    }
 
     // --- single-recommend RTT over TCP vs in-process -------------------
     let query = RecQuery::top(10);
@@ -2886,6 +2964,95 @@ pub fn bench_fleet_json(h: &HarnessConfig) -> FleetBenchOutput {
     router.shutdown_all().expect("graceful shutdown");
     sup.shutdown();
     inproc.shutdown();
+
+    // --- 4-member fan-out: overlap and wave latency --------------------
+    //
+    // One process per shard so a fan-out touches four sockets. Raw
+    // connections, one recommend per member per wave. `span` is the
+    // time each request is outstanding (send → its response); `wall`
+    // is the whole wave. Σ span / Σ wall is the average number of
+    // requests in flight: the sequential transport pays the RTTs one
+    // after another (overlap ≡ 1), the pipelined transport keeps every
+    // member's request on the wire at once (overlap → N even on one
+    // core, because the waiting — not the computing — is what
+    // overlaps).
+    const FAN_PROCS: usize = 4;
+    let fan_specs: Vec<ShardSpec> = (0..FAN_PROCS)
+        .map(|m| {
+            let args = ServeShardArgs {
+                base: m,
+                count: 1,
+                total: FAN_PROCS,
+                world: spec.clone(),
+                model_file: Some(model_path.clone()),
+                ..ServeShardArgs::default()
+            };
+            let mut argv = vec!["serve-shard".to_string()];
+            argv.extend(args.to_args());
+            ShardSpec::new(exe.clone(), argv)
+        })
+        .collect();
+    let fan_sup = Supervisor::launch(fan_specs).expect("fan-out fleet launches");
+    let mut fan_conns: Vec<Connection> = (0..FAN_PROCS)
+        .map(|m| {
+            let mut c = Connection::connect(fan_sup.addr(m).as_str()).expect("dial member");
+            c.hello().expect("handshake");
+            c
+        })
+        .collect();
+    // With a modulo ring and one shard per member, member m owns every
+    // user ≡ m (mod FAN_PROCS).
+    let user_for =
+        |m: usize, wave: usize| -> u32 { (m + FAN_PROCS * (wave % (n_users / FAN_PROCS))) as u32 };
+    let fan_req = |m: usize, wave: usize| Request::Recommend {
+        user: user_for(m, wave),
+        query: query.clone(),
+    };
+    let n_waves = (n_rtt / 2).max(50);
+    // Warmup: page in both paths before timing.
+    for w in 0..10 {
+        for (m, conn) in fan_conns.iter_mut().enumerate() {
+            conn.call(&fan_req(m, w)).expect("warmup");
+        }
+    }
+    let mut seq_span = 0.0f64;
+    let mut seq_wall = 0.0f64;
+    let mut seq_wave = sccf_util::LatencyHistogram::new();
+    for w in 0..n_waves {
+        let wave0 = Instant::now();
+        for (m, conn) in fan_conns.iter_mut().enumerate() {
+            let t = Instant::now();
+            conn.call(&fan_req(m, w)).expect("sequential wave");
+            seq_span += t.elapsed().as_secs_f64();
+        }
+        let wall = wave0.elapsed().as_secs_f64();
+        seq_wall += wall;
+        seq_wave.record_ms(wall * 1e3);
+    }
+    let mut pipe_span = 0.0f64;
+    let mut pipe_wall = 0.0f64;
+    let mut pipe_wave = sccf_util::LatencyHistogram::new();
+    let mut sent_at = [Instant::now(); FAN_PROCS];
+    for w in 0..n_waves {
+        let wave0 = Instant::now();
+        for (m, conn) in fan_conns.iter_mut().enumerate() {
+            sent_at[m] = Instant::now();
+            conn.send(&fan_req(m, w)).expect("pipelined send");
+        }
+        for (m, conn) in fan_conns.iter_mut().enumerate() {
+            conn.recv().expect("pipelined recv");
+            pipe_span += sent_at[m].elapsed().as_secs_f64();
+        }
+        let wall = wave0.elapsed().as_secs_f64();
+        pipe_wall += wall;
+        pipe_wave.record_ms(wall * 1e3);
+    }
+    let fanout_overlap_seq = seq_span / seq_wall;
+    let fanout_overlap = pipe_span / pipe_wall;
+    for conn in &mut fan_conns {
+        let _ = conn.call(&Request::Shutdown);
+    }
+    fan_sup.shutdown();
     let _ = std::fs::remove_dir_all(&tmp);
 
     let mut t = Table::new(
@@ -2895,9 +3062,14 @@ pub fn bench_fleet_json(h: &HarnessConfig) -> FleetBenchOutput {
         &["metric", "fleet (loopback TCP)", "in-process"],
     );
     t.push(&[
-        "ingest (events/s)".to_string(),
+        "ingest, pipelined depth 4 (events/s)".to_string(),
         format!("{fleet_ingest_events_per_sec:.0}"),
         format!("{inproc_ingest_events_per_sec:.0}"),
+    ]);
+    t.push(&[
+        "ingest, sequential depth 1 (events/s)".to_string(),
+        format!("{fleet_ingest_seq_events_per_sec:.0}"),
+        "—".to_string(),
     ]);
     t.push(&[
         "recommend mean (ms)".to_string(),
@@ -2910,6 +3082,16 @@ pub fn bench_fleet_json(h: &HarnessConfig) -> FleetBenchOutput {
         "—".to_string(),
     ]);
     t.push(&[
+        format!("{FAN_PROCS}-member fan-out overlap (pipelined)"),
+        format!("{fanout_overlap:.2}"),
+        format!("{fanout_overlap_seq:.2} sequential"),
+    ]);
+    t.push(&[
+        format!("{FAN_PROCS}-member wave p95 (ms, pipelined)"),
+        f2(pipe_wave.p95_ms()),
+        format!("{} sequential", f2(seq_wave.p95_ms())),
+    ]);
+    t.push(&[
         "sampled slates bit-identical".to_string(),
         sample_bitwise_equal.to_string(),
         "reference".to_string(),
@@ -2919,13 +3101,22 @@ pub fn bench_fleet_json(h: &HarnessConfig) -> FleetBenchOutput {
         "{{\n  \"experiment\": \"bench-fleet\",\n  \"procs\": {PROCS},\n  \
          \"shards_per_proc\": {PER},\n  \"total_shards\": {total},\n  \
          \"n_users\": {n_users},\n  \"n_items\": {n_items},\n  \"events\": {n_events},\n  \
+         \"pipeline_depth\": {},\n  \
          \"fleet_ingest_events_per_sec\": {fleet_ingest_events_per_sec:.1},\n  \
+         \"fleet_ingest_seq_events_per_sec\": {fleet_ingest_seq_events_per_sec:.1},\n  \
          \"inproc_ingest_events_per_sec\": {inproc_ingest_events_per_sec:.1},\n  \
          \"fleet_over_inproc\": {:.4},\n  \"rtt_mean_ms\": {rtt_mean_ms:.4},\n  \
          \"rtt_p95_ms\": {:.4},\n  \"inproc_recommend_ms\": {inproc_recommend_ms:.4},\n  \
+         \"fanout_procs\": {FAN_PROCS},\n  \"fanout_waves\": {n_waves},\n  \
+         \"fanout_overlap\": {fanout_overlap:.4},\n  \
+         \"fanout_overlap_seq\": {fanout_overlap_seq:.4},\n  \
+         \"wave_p95_seq_ms\": {:.4},\n  \"wave_p95_pipelined_ms\": {:.4},\n  \
          \"sample_bitwise_equal\": {sample_bitwise_equal}\n}}\n",
-        fleet_ingest_events_per_sec / inproc_ingest_events_per_sec,
+        sccf_net::DEFAULT_PIPELINE_DEPTH,
+        fleet_over_inproc,
         rtt.p95_ms(),
+        seq_wave.p95_ms(),
+        pipe_wave.p95_ms(),
     );
 
     FleetBenchOutput {
@@ -2933,10 +3124,17 @@ pub fn bench_fleet_json(h: &HarnessConfig) -> FleetBenchOutput {
         shards_per_proc: PER,
         events: n_events,
         fleet_ingest_events_per_sec,
+        fleet_ingest_seq_events_per_sec,
         inproc_ingest_events_per_sec,
         rtt_mean_ms,
         rtt_p95_ms: rtt.p95_ms(),
         inproc_recommend_ms,
+        pipeline_depth: sccf_net::DEFAULT_PIPELINE_DEPTH,
+        fanout_procs: FAN_PROCS,
+        fanout_overlap,
+        fanout_overlap_seq,
+        wave_p95_seq_ms: seq_wave.p95_ms(),
+        wave_p95_pipelined_ms: pipe_wave.p95_ms(),
         sample_bitwise_equal,
         table: t,
         json,

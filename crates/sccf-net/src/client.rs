@@ -1,14 +1,30 @@
-//! One persistent client connection to a shard server.
+//! One persistent, *pipelined* client connection to a shard server.
 //!
-//! A [`Connection`] is strictly request/response over one TCP stream:
-//! the caller writes one framed [`Request`], then blocks for one framed
-//! [`Response`]. The server handles each connection's requests in
-//! arrival order, which is what gives the fleet router its per-user
-//! read-your-writes guarantee for free — a user's events and the
-//! recommendation that must observe them travel the same FIFO
-//! connection to the same owning server.
+//! A [`Connection`] is split into independent send and receive halves
+//! over one TCP stream: [`Connection::send`] (or the non-flushing
+//! [`Connection::enqueue`]) frames a [`Request`] into an outbox and
+//! bumps a FIFO in-flight counter; [`Connection::recv`] awaits the
+//! response matching the *oldest* unanswered request. Multiple
+//! requests may be in flight at once — the wire protocol carries no
+//! correlation ids because none are needed: the server handles each
+//! connection's requests strictly in arrival order and answers in the
+//! same order, so the k-th outstanding `recv` always pairs with the
+//! k-th outstanding `send`. That same per-connection FIFO is what
+//! gives the fleet router its per-user read-your-writes guarantee — a
+//! user's events and the recommendation that must observe them travel
+//! the same connection to the same owning server.
+//!
+//! The legacy strict request/response round trip is still available as
+//! [`Connection::call`] = `send` + `recv` (it refuses to run while
+//! other responses are outstanding).
+//!
+//! Transport failures *poison* the connection: once any read or write
+//! fails, the response stream can no longer be trusted to line up with
+//! the in-flight queue, so every subsequent operation fails fast with
+//! a typed [`ServingError::Wire`] until the router replaces the
+//! connection (see `FleetRouter::reconnect`).
 
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -20,11 +36,21 @@ fn wire<E: std::fmt::Display>(context: &str) -> impl Fn(E) -> ServingError + '_ 
     move |e| ServingError::Wire(format!("{context}: {e}"))
 }
 
-/// A persistent framed connection to one shard server.
+/// A persistent framed connection to one shard server, with pipelined
+/// send/receive halves and a FIFO in-flight queue.
 pub struct Connection {
     reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    writer: TcpStream,
+    /// Framed requests not yet handed to the kernel; `written` bytes of
+    /// it already were (nonblocking flushes stop mid-frame at
+    /// `WouldBlock` and resume from that offset).
+    outbox: Vec<u8>,
+    written: usize,
+    /// Requests sent (or queued) whose responses have not been received.
+    in_flight: usize,
+    nonblocking: bool,
     buf: Vec<u8>,
+    poisoned: Option<String>,
 }
 
 impl Connection {
@@ -37,16 +63,30 @@ impl Connection {
 
     /// Wrap an already-established stream.
     pub fn from_stream(stream: TcpStream) -> Result<Self, ServingError> {
+        // Pipelining queues several small frames on one connection; with
+        // Nagle on, every frame after the first unacked one waits for the
+        // peer's (possibly delayed) ACK, which throttles depth > 1 back to
+        // sequential speed. Requests are already batched at the framing
+        // layer, so disable it.
+        stream
+            .set_nodelay(true)
+            .map_err(wire("setting TCP_NODELAY"))?;
         let write_half = stream.try_clone().map_err(wire("cloning stream"))?;
         Ok(Self {
             reader: BufReader::new(stream),
-            writer: BufWriter::new(write_half),
+            writer: write_half,
+            outbox: Vec::new(),
+            written: 0,
+            in_flight: 0,
+            nonblocking: false,
             buf: Vec::new(),
+            poisoned: None,
         })
     }
 
-    /// Bound how long one request may block on the socket. `None`
-    /// removes the bound.
+    /// Bound how long one blocking socket operation may take. `None`
+    /// removes the bound. (Nonblocking overlapped flushes driven by the
+    /// router's readiness loop are not covered by this bound.)
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServingError> {
         let stream = self.reader.get_ref();
         stream
@@ -55,19 +95,172 @@ impl Connection {
             .map_err(wire("setting timeout"))
     }
 
-    /// One request/response round trip. Remote [`Response::Err`]s are
-    /// *not* unwrapped here — matching on the success variant is the
-    /// caller's job (see [`Response::into_result`]).
-    pub fn request(&mut self, req: &Request) -> Result<Response, ServingError> {
-        let payload = req.encode();
-        write_message(&mut self.writer, &payload).map_err(wire("sending request"))?;
-        self.writer.flush().map_err(wire("sending request"))?;
-        match read_message(&mut self.reader, &mut self.buf).map_err(wire("reading response"))? {
-            None => Err(ServingError::Wire(
-                "server closed the connection mid-request".to_string(),
-            )),
-            Some(()) => Ok(Response::decode(&self.buf)?),
+    /// Number of requests whose responses are still owed by the server
+    /// (including any still sitting unflushed in the outbox).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Bytes framed but not yet handed to the kernel.
+    pub fn pending_bytes(&self) -> usize {
+        self.outbox.len() - self.written
+    }
+
+    /// Why this connection is dead, if it is.
+    pub fn poison_reason(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Mark the connection unusable; every later operation fails fast.
+    fn poison(&mut self, reason: String) -> ServingError {
+        let err = ServingError::Wire(reason.clone());
+        self.poisoned = Some(reason);
+        err
+    }
+
+    fn check_poisoned(&self) -> Result<(), ServingError> {
+        match &self.poisoned {
+            Some(reason) => Err(ServingError::Wire(format!("connection poisoned: {reason}"))),
+            None => Ok(()),
         }
+    }
+
+    /// The socket handle (for readiness registration).
+    pub(crate) fn socket(&self) -> &TcpStream {
+        &self.writer
+    }
+
+    /// Switch the socket between blocking and nonblocking modes.
+    pub(crate) fn set_nonblocking(&mut self, on: bool) -> Result<(), ServingError> {
+        if self.nonblocking == on {
+            return Ok(());
+        }
+        self.writer
+            .set_nonblocking(on)
+            .map_err(wire("switching blocking mode"))?;
+        self.nonblocking = on;
+        Ok(())
+    }
+
+    /// Frame `req` into the outbox *without* touching the socket, and
+    /// count it in flight. Pair every enqueue with exactly one
+    /// [`Connection::recv`]; flush happens on [`Connection::recv`] at
+    /// the latest, or explicitly via [`Connection::flush_outbox`] /
+    /// [`Connection::try_flush_outbox`].
+    pub fn enqueue(&mut self, req: &Request) -> Result<(), ServingError> {
+        self.check_poisoned()?;
+        let payload = req.encode();
+        write_message(&mut self.outbox, &payload).expect("Vec<u8> writes are infallible");
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Send `req` now: enqueue + blocking flush. The response is owed;
+    /// collect it with [`Connection::recv`].
+    pub fn send(&mut self, req: &Request) -> Result<(), ServingError> {
+        self.enqueue(req)?;
+        self.flush_outbox()
+    }
+
+    /// Blocking flush of everything in the outbox.
+    pub fn flush_outbox(&mut self) -> Result<(), ServingError> {
+        self.check_poisoned()?;
+        if self.pending_bytes() == 0 {
+            self.outbox.clear();
+            self.written = 0;
+            return Ok(());
+        }
+        self.set_nonblocking(false)?;
+        let written = self.written;
+        match self.writer.write_all(&self.outbox[written..]) {
+            Ok(()) => {
+                self.outbox.clear();
+                self.written = 0;
+                Ok(())
+            }
+            Err(e) => Err(self.poison(format!("sending request: {e}"))),
+        }
+    }
+
+    /// Nonblocking flush: push outbox bytes until the kernel pushes
+    /// back. `Ok(true)` = outbox drained; `Ok(false)` = `WouldBlock`,
+    /// try again when the socket reports writable.
+    pub fn try_flush_outbox(&mut self) -> Result<bool, ServingError> {
+        self.check_poisoned()?;
+        if self.pending_bytes() == 0 {
+            self.outbox.clear();
+            self.written = 0;
+            return Ok(true);
+        }
+        self.set_nonblocking(true)?;
+        loop {
+            let written = self.written;
+            match self.writer.write(&self.outbox[written..]) {
+                Ok(0) => {
+                    return Err(self.poison("sending request: socket wrote zero bytes".to_string()))
+                }
+                Ok(n) => {
+                    self.written += n;
+                    if self.pending_bytes() == 0 {
+                        self.outbox.clear();
+                        self.written = 0;
+                        return Ok(true);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(self.poison(format!("sending request: {e}"))),
+            }
+        }
+    }
+
+    /// Await the response for the *oldest* in-flight request. Never
+    /// hangs waiting for a response that was not requested: calling
+    /// with nothing in flight is a typed [`ServingError::Wire`].
+    /// Remote [`Response::Err`]s are *not* unwrapped here — matching
+    /// on the success variant is the caller's job (see
+    /// [`Response::into_result`]).
+    pub fn recv(&mut self) -> Result<Response, ServingError> {
+        self.check_poisoned()?;
+        if self.in_flight == 0 {
+            return Err(ServingError::Wire(
+                "recv with no request in flight".to_string(),
+            ));
+        }
+        // A reply can only arrive for a request the kernel has seen:
+        // finish our half first so we cannot deadlock on a full socket.
+        self.flush_outbox()?;
+        self.set_nonblocking(false)?;
+        match read_message(&mut self.reader, &mut self.buf) {
+            Ok(Some(())) => {
+                self.in_flight -= 1;
+                match Response::decode(&self.buf) {
+                    Ok(resp) => Ok(resp),
+                    Err(e) => Err(self.poison(format!("undecodable response: {e}"))),
+                }
+            }
+            Ok(None) => Err(self.poison(format!(
+                "server closed the connection with {} response(s) in flight",
+                self.in_flight
+            ))),
+            Err(e) => Err(self.poison(format!("reading response: {e}"))),
+        }
+    }
+
+    /// One strict request/response round trip (the legacy shape).
+    /// Refuses to interleave with pipelined traffic: any other response
+    /// in flight is an error, because the next frame on the wire would
+    /// not be the answer to `req`.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ServingError> {
+        self.check_poisoned()?;
+        if self.in_flight != 0 {
+            return Err(ServingError::Wire(format!(
+                "request while {} pipelined response(s) are in flight",
+                self.in_flight
+            )));
+        }
+        self.send(req)?;
+        self.recv()
     }
 
     /// [`Connection::request`] + error unwrapping in one call.

@@ -34,7 +34,7 @@ pub mod world;
 
 pub use client::Connection;
 pub use proto::{Request, Response, WireError, PROTOCOL_VERSION};
-pub use router::FleetRouter;
+pub use router::{FleetRouter, DEFAULT_PIPELINE_DEPTH};
 pub use server::{serve_shard_main, ServeShardArgs};
 pub use supervisor::{route_main, spawn_shard, ShardSpec, Supervisor};
 pub use world::{World, WorldSpec};

@@ -37,7 +37,7 @@ use bytes::framing::{read_frame, write_frame};
 use sccf_core::{CandidateSource, EngineTimings, EventTiming, Exclusion, FrozenTierMode};
 use sccf_serving::api::{
     DurabilityStats, MigrationStats, NeighborhoodStats, PressureStats, RecQuery, RecResponse,
-    ServingError, ServingStats,
+    ServingError, ServingStats, TransportStats,
 };
 use sccf_serving::sharded::ShardReport;
 use sccf_util::checksum::crc32;
@@ -46,7 +46,8 @@ use sccf_util::topk::Scored;
 
 /// Wire protocol version, checked by the [`Request::Hello`] handshake.
 /// Bump on any incompatible payload change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2: `TransportStats` block appended to the stats payload.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 // ----------------------------------------------------------- transport
 
@@ -441,6 +442,11 @@ fn put_stats(out: &mut Vec<u8>, s: &ServingStats) {
     put_f64(out, p.stall_ms);
     put_u64(out, p.queue_capacity);
     put_u64(out, p.peak_queue);
+    let t = &s.transport;
+    put_u64(out, t.requests);
+    put_u64(out, t.read_ahead_hits);
+    put_u64(out, t.peak_read_ahead);
+    put_u64(out, t.read_ahead_capacity);
 }
 
 fn get_stats(r: &mut Reader<'_>) -> Result<ServingStats, WireError> {
@@ -497,6 +503,12 @@ fn get_stats(r: &mut Reader<'_>) -> Result<ServingStats, WireError> {
         queue_capacity: r.u64()?,
         peak_queue: r.u64()?,
     };
+    let transport = TransportStats {
+        requests: r.u64()?,
+        read_ahead_hits: r.u64()?,
+        peak_read_ahead: r.u64()?,
+        read_ahead_capacity: r.u64()?,
+    };
     Ok(ServingStats {
         events,
         recommends,
@@ -506,6 +518,7 @@ fn get_stats(r: &mut Reader<'_>) -> Result<ServingStats, WireError> {
         neighborhood,
         durability,
         pressure,
+        transport,
     })
 }
 
@@ -982,6 +995,12 @@ mod tests {
                 stall_ms: 2.75,
                 queue_capacity: 1024,
                 peak_queue: 768,
+            },
+            transport: TransportStats {
+                requests: 4321,
+                read_ahead_hits: 1234,
+                peak_read_ahead: 4,
+                read_ahead_capacity: 4,
             },
         };
         for resp in [

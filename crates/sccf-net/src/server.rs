@@ -18,15 +18,28 @@
 //! that carries read-your-writes); the engine itself is the
 //! concurrency limit (one mutex — the `ShardedEngine` router fans out
 //! to worker threads internally).
+//!
+//! **Read-ahead.** Each connection splits into a *reader* thread and a
+//! *processing* loop joined by a bounded channel (`--read-ahead` frames
+//! deep, default 4; 0 restores the synchronous legacy loop). While the
+//! engine works on request *k*, the reader is already pulling and
+//! CRC-checking request *k+1* off the socket — so a pipelining router
+//! overlaps its socket time with engine work instead of parking behind
+//! it, and the socket buffer stops being the only pipeline. FIFO order
+//! is untouched: the channel is ordered and responses are written by
+//! the single processing loop in arrival order. The overlap actually
+//! achieved is observable as `ServingStats::transport`
+//! (`read_ahead_hits / requests`).
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use sccf_core::GlobalNeighborSnapshot;
 use sccf_models::Fism;
-use sccf_serving::api::{ServingApi, ServingError};
+use sccf_serving::api::{ServingApi, ServingError, TransportStats};
 use sccf_serving::sharded::{DurabilityConfig, RouterKind, ShardedConfig, ShardedEngine};
 
 use crate::proto::{read_message, write_message, Request, Response, PROTOCOL_VERSION};
@@ -41,6 +54,32 @@ struct ShardMeta {
     count: usize,
     total: usize,
     durable: bool,
+    read_ahead: usize,
+}
+
+/// Process-wide transport counters, shared by every connection and
+/// reported in [`Request::Stats`] responses as
+/// [`TransportStats`].
+#[derive(Default)]
+struct TransportCounters {
+    requests: AtomicU64,
+    read_ahead_hits: AtomicU64,
+    peak_read_ahead: AtomicU64,
+}
+
+impl TransportCounters {
+    fn snapshot(&self, read_ahead_capacity: usize) -> TransportStats {
+        TransportStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            read_ahead_hits: self.read_ahead_hits.load(Ordering::Relaxed),
+            peak_read_ahead: self.peak_read_ahead.load(Ordering::Relaxed),
+            read_ahead_capacity: read_ahead_capacity as u64,
+        }
+    }
+
+    fn observe_depth(&self, depth: u64) {
+        self.peak_read_ahead.fetch_max(depth, Ordering::Relaxed);
+    }
 }
 
 /// Everything `sccf serve-shard` takes on its command line.
@@ -67,6 +106,9 @@ pub struct ServeShardArgs {
     pub world: WorldSpec,
     /// Pre-trained model weights (skips in-process training).
     pub model_file: Option<PathBuf>,
+    /// Frames each connection's reader thread may buffer ahead of the
+    /// engine (0 = synchronous legacy loop, no read-ahead).
+    pub read_ahead: usize,
 }
 
 impl Default for ServeShardArgs {
@@ -82,6 +124,7 @@ impl Default for ServeShardArgs {
             checkpoint_every: 0,
             world: WorldSpec::default(),
             model_file: None,
+            read_ahead: 4,
         }
     }
 }
@@ -124,6 +167,7 @@ impl ServeShardArgs {
             checkpoint_every: parsed(&get, "checkpoint-every", d.checkpoint_every)?,
             world: WorldSpec::from_flag(get)?,
             model_file: get("model-file").map(PathBuf::from),
+            read_ahead: parsed(&get, "read-ahead", d.read_ahead)?,
         })
     }
 
@@ -146,6 +190,8 @@ impl ServeShardArgs {
             self.fsync_every.to_string(),
             "--checkpoint-every".into(),
             self.checkpoint_every.to_string(),
+            "--read-ahead".into(),
+            self.read_ahead.to_string(),
         ];
         if let Some(dir) = &self.dir {
             out.push("--dir".into());
@@ -194,6 +240,7 @@ pub fn run_shard_server(args: ServeShardArgs) -> Result<(), String> {
         count: args.count,
         total: args.total,
         durable: args.dir.is_some(),
+        read_ahead: args.read_ahead,
     };
     let cfg = ShardedConfig {
         n_shards: args.count,
@@ -248,67 +295,144 @@ pub fn run_shard_server(args: ServeShardArgs) -> Result<(), String> {
     std::io::stdout().flush().ok();
 
     let engine = Arc::new(Mutex::new(engine));
+    let counters = Arc::new(TransportCounters::default());
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
+        // Responses are single framed writes; with pipelined clients the
+        // next response must not queue behind Nagle waiting for an ACK.
+        stream.set_nodelay(true).ok();
         let engine = Arc::clone(&engine);
-        std::thread::spawn(move || serve_connection(stream, engine, meta));
+        let counters = Arc::clone(&counters);
+        std::thread::spawn(move || serve_connection(stream, engine, meta, counters));
     }
     Ok(())
 }
 
-fn serve_connection(stream: TcpStream, engine: Arc<Mutex<ShardedEngine<Fism>>>, meta: ShardMeta) {
+/// Process one decoded-frame payload: dispatch to the engine, write
+/// the framed response. Returns `false` when the connection is done
+/// (write failure). `Request::Shutdown` exits the process after
+/// acknowledging, exactly as before — any read-ahead frames behind it
+/// die with the process, which is the same outcome as a kill arriving
+/// between two requests.
+fn process_payload(
+    payload: &[u8],
+    engine: &Mutex<ShardedEngine<Fism>>,
+    meta: ShardMeta,
+    counters: &TransportCounters,
+    writer: &mut BufWriter<TcpStream>,
+) -> bool {
+    counters.requests.fetch_add(1, Ordering::Relaxed);
+    let response = match Request::decode(payload) {
+        Err(e) => Response::Err(ServingError::from(e)),
+        Ok(Request::Shutdown) => {
+            // Quiesce, acknowledge, exit: flush so every queued
+            // event reached its worker, sync so the WAL covers it.
+            let mut engine = engine.lock().expect("engine lock");
+            let result = engine.flush().and_then(|()| {
+                if meta.durable {
+                    engine.wal_sync().map(|_| ())
+                } else {
+                    Ok(())
+                }
+            });
+            let response = match result {
+                Ok(()) => Response::Done,
+                Err(e) => Response::Err(e),
+            };
+            let _ = write_message(writer, &response.encode());
+            let _ = writer.flush();
+            std::process::exit(0);
+        }
+        Ok(req) => {
+            let mut engine = engine.lock().expect("engine lock");
+            handle_request(&mut engine, req, meta, counters)
+        }
+    };
+    write_message(writer, &response.encode())
+        .and_then(|()| writer.flush())
+        .is_ok()
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    engine: Arc<Mutex<ShardedEngine<Fism>>>,
+    meta: ShardMeta,
+    counters: Arc<TransportCounters>,
+) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(write_half);
-    let mut buf = Vec::new();
-    loop {
-        match read_message(&mut reader, &mut buf) {
-            Ok(Some(())) => {}
-            // Clean close, torn stream or corrupt frame: this
-            // connection is done (the engine is untouched — a corrupt
-            // request was never decoded, let alone applied).
-            Ok(None) | Err(_) => return,
-        }
-        let response = match Request::decode(&buf) {
-            Err(e) => Response::Err(ServingError::from(e)),
-            Ok(Request::Shutdown) => {
-                // Quiesce, acknowledge, exit: flush so every queued
-                // event reached its worker, sync so the WAL covers it.
-                let mut engine = engine.lock().expect("engine lock");
-                let result = engine.flush().and_then(|()| {
-                    if meta.durable {
-                        engine.wal_sync().map(|_| ())
-                    } else {
-                        Ok(())
-                    }
-                });
-                let response = match result {
-                    Ok(()) => Response::Done,
-                    Err(e) => Response::Err(e),
-                };
-                let _ = write_message(&mut writer, &response.encode());
-                let _ = writer.flush();
-                std::process::exit(0);
+
+    if meta.read_ahead == 0 {
+        // Synchronous legacy loop: read one, process one.
+        let mut buf = Vec::new();
+        loop {
+            match read_message(&mut reader, &mut buf) {
+                Ok(Some(())) => {}
+                // Clean close, torn stream or corrupt frame: this
+                // connection is done (the engine is untouched — a
+                // corrupt request was never decoded, let alone applied).
+                Ok(None) | Err(_) => return,
             }
-            Ok(req) => {
-                let mut engine = engine.lock().expect("engine lock");
-                handle_request(&mut engine, req, meta)
+            if !process_payload(&buf, &engine, meta, &counters, &mut writer) {
+                return;
             }
-        };
-        if write_message(&mut writer, &response.encode())
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            return;
         }
     }
+
+    // Pipelined loop: a reader thread pulls and CRC-checks up to
+    // `read_ahead` frames ahead of the engine. The bounded channel is
+    // the depth limit; beyond it, backpressure falls back to the
+    // socket buffer as before.
+    let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(meta.read_ahead);
+    let reader_counters = Arc::clone(&counters);
+    let reader_thread = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        loop {
+            match read_message(&mut reader, &mut buf) {
+                Ok(Some(())) => {
+                    if tx.send(std::mem::take(&mut buf)).is_err() {
+                        return; // processing side is gone
+                    }
+                    reader_counters.observe_depth(tx.len() as u64);
+                }
+                // Clean close, torn stream or corrupt frame: stop
+                // reading; queued requests still get processed.
+                Ok(None) | Err(_) => return,
+            }
+        }
+    });
+    loop {
+        // A frame already buffered means its socket read overlapped the
+        // previous request's engine work — count the pipeline hit.
+        let payload = match rx.try_recv() {
+            Ok(p) => {
+                counters.read_ahead_hits.fetch_add(1, Ordering::Relaxed);
+                p
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => match rx.recv() {
+                Ok(p) => p,
+                Err(_) => break, // reader finished and the queue is drained
+            },
+            Err(crossbeam::channel::TryRecvError::Disconnected) => break,
+        };
+        if !process_payload(&payload, &engine, meta, &counters, &mut writer) {
+            break;
+        }
+    }
+    let _ = reader_thread.join();
 }
 
 /// One request against the engine. Pure dispatch: every engine error
 /// becomes a [`Response::Err`] and the connection lives on.
-fn handle_request(engine: &mut ShardedEngine<Fism>, req: Request, meta: ShardMeta) -> Response {
+fn handle_request(
+    engine: &mut ShardedEngine<Fism>,
+    req: Request,
+    meta: ShardMeta,
+    counters: &TransportCounters,
+) -> Response {
     fn ok_or_err<T>(r: Result<T, ServingError>, f: impl FnOnce(T) -> Response) -> Response {
         match r {
             Ok(v) => f(v),
@@ -340,7 +464,10 @@ fn handle_request(engine: &mut ShardedEngine<Fism>, req: Request, meta: ShardMet
             ok_or_err(engine.recommend_many(&users, &query), Response::Slates)
         }
         Request::Flush => ok_or_err(engine.flush(), |()| Response::Done),
-        Request::Stats => ok_or_err(engine.serving_stats(), |s| Response::Stats(Box::new(s))),
+        Request::Stats => ok_or_err(engine.serving_stats(), |mut s| {
+            s.transport = counters.snapshot(meta.read_ahead);
+            Response::Stats(Box::new(s))
+        }),
         Request::Snapshot => ok_or_err(engine.snapshot_state(), Response::Bytes),
         Request::Checkpoint => ok_or_err(engine.checkpoint(), Response::Watermark),
         Request::WalSync => ok_or_err(engine.wal_sync(), |_| Response::Done),
@@ -379,6 +506,7 @@ mod tests {
                 ..WorldSpec::default()
             },
             model_file: Some(PathBuf::from("/tmp/model.bin")),
+            read_ahead: 8,
         };
         let parsed = ServeShardArgs::parse(&args.to_args()).unwrap();
         assert_eq!(parsed, args);

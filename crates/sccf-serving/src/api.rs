@@ -378,6 +378,29 @@ pub struct DurabilityStats {
     pub events_since_checkpoint: u64,
 }
 
+/// Wire-transport pipelining counters, part of [`ServingStats`]:
+/// populated by the networked fleet's shard servers (`sccf-net`),
+/// all zeros on in-process engines — there is no wire to pipeline.
+///
+/// `read_ahead_hits / requests` is the overlap ratio: the fraction of
+/// requests that were already decoded-and-waiting when the engine
+/// finished the previous one, i.e. whose socket time was fully hidden
+/// behind engine work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Framed requests handled by this process's connection threads.
+    pub requests: u64,
+    /// Requests that were already buffered in a connection's read-ahead
+    /// queue when the engine picked them up (their read/decode
+    /// overlapped a predecessor's processing).
+    pub read_ahead_hits: u64,
+    /// High-water mark of any connection's read-ahead queue depth.
+    pub peak_read_ahead: u64,
+    /// Configured read-ahead queue capacity per connection
+    /// (0 = synchronous legacy loop, no read-ahead).
+    pub read_ahead_capacity: u64,
+}
+
 /// Unified serving statistics: subsumes the plain engine's
 /// [`EngineTimings`] and the sharded engine's per-shard reports in one
 /// shape, so dashboards and benches read both engine kinds identically.
@@ -403,6 +426,8 @@ pub struct ServingStats {
     /// Router-side queue backpressure (the autoscaling policy's input;
     /// see `sccf_serving::control`).
     pub pressure: PressureStats,
+    /// Wire-transport pipelining counters (networked fleet only).
+    pub transport: TransportStats,
 }
 
 impl ServingStats {
@@ -595,6 +620,7 @@ impl<M: InductiveUiModel> ServingApi for RealtimeEngine<M> {
             neighborhood,
             durability: DurabilityStats::default(),
             pressure: PressureStats::default(),
+            transport: TransportStats::default(),
         })
     }
 

@@ -217,6 +217,7 @@ pub fn merge_fleet_stats(
     let mut shards = Vec::new();
     let mut neighborhood = None;
     let mut durability = crate::api::DurabilityStats::default();
+    let mut transport = crate::api::TransportStats::default();
     for (member, stats) in parts {
         let base = topology.members().get(member).map_or(0, |m| m.base);
         for mut r in stats.shards {
@@ -237,11 +238,17 @@ pub fn merge_fleet_stats(
             durability.checkpoint_watermark.max(d.checkpoint_watermark);
         durability.last_checkpoint_bytes += d.last_checkpoint_bytes;
         durability.events_since_checkpoint += d.events_since_checkpoint;
+        let t = stats.transport;
+        transport.requests += t.requests;
+        transport.read_ahead_hits += t.read_ahead_hits;
+        transport.peak_read_ahead = transport.peak_read_ahead.max(t.peak_read_ahead);
+        transport.read_ahead_capacity = transport.read_ahead_capacity.max(t.read_ahead_capacity);
     }
     shards.sort_by_key(|r| r.shard);
     let mut out = ServingStats::from_shards(shards);
     out.neighborhood = neighborhood.unwrap_or_default();
     out.durability = durability;
+    out.transport = transport;
     out
 }
 

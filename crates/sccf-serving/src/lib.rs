@@ -86,7 +86,7 @@ pub use ab_test::{
 };
 pub use api::{
     ApiCandidateGen, DurabilityStats, MigrationStats, NeighborhoodStats, PressureStats, RecQuery,
-    RecResponse, ServingApi, ServingError, ServingStats,
+    RecResponse, ServingApi, ServingError, ServingStats, TransportStats,
 };
 pub use click_model::ClickModel;
 pub use control::{

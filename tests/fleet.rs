@@ -213,6 +213,184 @@ fn fleet_matches_single_process_bit_for_bit_across_kill_and_restart() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// The pipelined≡sequential pin: depth-4 multi-batch ingest (several
+/// requests in flight per connection) lands bit-identically to the
+/// single-process baseline fed the same concatenated stream, and the
+/// pipelined read path returns the same slate bits as the legacy
+/// depth-1 transport against the same fleet state. The stream revisits
+/// every user across many small batches, so this is also the per-user
+/// FIFO ordering pin under depth-k pipelining — one reordered event
+/// would move that user's history ring and change the bits.
+#[test]
+fn pipelined_ingest_matches_sequential_bit_for_bit() {
+    let spec = spec();
+    let root = scratch_dir("pipeline");
+    let model_path = root.join("model.fism");
+    std::fs::write(&model_path, spec.train_model()).expect("write model");
+
+    let sup = launch_fleet(&spec, &root, &model_path);
+    let mut router = connect_router(&sup);
+    router.set_pipeline_depth(4);
+
+    let world = spec
+        .build(Some(&std::fs::read(&model_path).unwrap()))
+        .unwrap();
+    let mut baseline = ShardedEngine::try_new(
+        world.sccf,
+        world.histories,
+        ShardedConfig {
+            n_shards: TOTAL_SHARDS,
+            queue_capacity: 64,
+            router: RouterKind::Modulo,
+        },
+    )
+    .expect("baseline fleet");
+
+    // 40 batches × 15 events: every user appears in many different
+    // batches, so depth-4 pipelining keeps several of each user's
+    // events in flight at once.
+    let batches: Vec<Vec<(u32, u32)>> = (0..40)
+        .map(|b| (0..15).map(|i| event_at(&spec, b * 15 + i)).collect())
+        .collect();
+    let flat: Vec<(u32, u32)> = batches.iter().flatten().copied().collect();
+    let total = router.ingest_batches(&batches).expect("pipelined ingest");
+    assert_eq!(total, flat.len() as u64, "every event acknowledged");
+    assert_eq!(router.in_flight(), 0, "collect drained the pipeline");
+    assert_eq!(
+        baseline.ingest_batch(&flat).expect("baseline ingest"),
+        flat.len() as u64
+    );
+    router.flush().expect("fleet flush");
+    baseline.flush().expect("baseline flush");
+    assert_fleet_matches_baseline(&spec, &mut router, &mut baseline, "after pipelined stream");
+
+    // Same fleet state read through both transports: pipelined
+    // two-phase fan-out vs legacy sequential — identical slate bits.
+    let users: Vec<u32> = (0..spec.n_users as u32).collect();
+    let pipelined = router
+        .recommend_many(&users, &RecQuery::top(5))
+        .expect("pipelined slates");
+    router.set_pipeline_depth(1);
+    let sequential = router
+        .recommend_many(&users, &RecQuery::top(5))
+        .expect("sequential slates");
+    for (u, (p, s)) in users.iter().zip(pipelined.iter().zip(&sequential)) {
+        let pb: Vec<(u32, u32)> = p.items.iter().map(|x| (x.id, x.score.to_bits())).collect();
+        let sb: Vec<(u32, u32)> = s.items.iter().map(|x| (x.id, x.score.to_bits())).collect();
+        assert_eq!(pb, sb, "user {u}: pipelined and sequential reads diverge");
+    }
+
+    // The servers actually pipelined: with depth-4 multi-batch ingest,
+    // some frames must have been waiting in a member's read-ahead queue
+    // while its engine worked on an earlier one.
+    router.set_pipeline_depth(4);
+    let stats = router.serving_stats().expect("fleet stats");
+    assert!(
+        stats.transport.requests > 0,
+        "transport counters cross the wire"
+    );
+    assert_eq!(stats.transport.read_ahead_capacity, 4, "default capacity");
+    assert!(
+        stats.transport.read_ahead_hits > 0,
+        "depth-4 ingest should land frames in the read-ahead queue \
+         (requests {}, hits {})",
+        stats.transport.requests,
+        stats.transport.read_ahead_hits
+    );
+
+    router.shutdown_all().expect("graceful shutdown");
+    sup.shutdown();
+    baseline.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Regression (reconnect-while-in-flight): replacing a member's
+/// connection while responses are owed must fail the pending collect
+/// with a typed `ServingError::Wire` — never hang on a socket that no
+/// longer exists — and the router must be usable again afterwards.
+#[test]
+fn reconnect_while_in_flight_fails_pending_recvs_typed() {
+    let spec = spec();
+    let root = scratch_dir("reconnect");
+    let model_path = root.join("model.fism");
+    std::fs::write(&model_path, spec.train_model()).expect("write model");
+
+    let sup = launch_fleet(&spec, &root, &model_path);
+    let mut router = connect_router(&sup);
+
+    // Queue a batch touching every member without collecting the acks.
+    let batch: Vec<(u32, u32)> = (0..60).map(|k| event_at(&spec, k)).collect();
+    router.ingest_send(&batch).expect("pipelined send");
+    assert!(router.in_flight() > 0, "acks are outstanding");
+
+    // Re-point member 0 at the same (still running) process: the old
+    // connection and the responses it is owed are abandoned.
+    router.reconnect(0, &sup.addr(0)).expect("reconnect");
+    match router.ingest_collect() {
+        Err(ServingError::Wire(msg)) => {
+            assert!(
+                msg.contains("lost to reconnect"),
+                "error should name the cause, got: {msg}"
+            );
+        }
+        other => panic!("expected a typed Wire error for lost responses, got {other:?}"),
+    }
+
+    // The loss is reported exactly once; afterwards the wire is clean.
+    assert_eq!(router.in_flight(), 0);
+    let more: Vec<(u32, u32)> = (60..120).map(|k| event_at(&spec, k)).collect();
+    assert_eq!(
+        router.ingest_batch(&more).expect("router recovered"),
+        more.len() as u64
+    );
+    router.flush().expect("flush after recovery");
+
+    router.shutdown_all().expect("graceful shutdown");
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Regression (best-effort control plane): a dead member must not
+/// shield the live ones from control fan-outs. With member 0 killed,
+/// `flush` reports the failure, and `shutdown_all` still delivers the
+/// shutdown to member 1 — the old first-error-returns behavior left
+/// member 1 running as a leaked process.
+#[test]
+fn control_fanouts_reach_all_members_past_a_dead_one() {
+    let spec = spec();
+    let root = scratch_dir("besteffort");
+    let model_path = root.join("model.fism");
+    std::fs::write(&model_path, spec.train_model()).expect("write model");
+
+    let mut sup = launch_fleet(&spec, &root, &model_path);
+    let mut router = connect_router(&sup);
+
+    sup.kill(0).expect("kill member 0");
+    assert!(router.flush().is_err(), "flush must report the dead member");
+    // Member 0's connection is poisoned now; shutdown is still
+    // delivered to member 1 and the combined error names the failure.
+    assert!(router.shutdown_all().is_err(), "member 0 cannot ack");
+
+    // Member 1 actually received the shutdown and exited: its port
+    // stops answering pings (each ping is a fresh connect, so this is
+    // the process, not a stale socket).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let mut gone = false;
+    while std::time::Instant::now() < deadline && !gone {
+        gone = !sup.ping(1);
+        if !gone {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+    }
+    assert!(
+        gone,
+        "member 1 should have exited on the best-effort shutdown"
+    );
+
+    sup.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn remote_errors_and_routing_guards_cross_the_wire() {
     let spec = spec();

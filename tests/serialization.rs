@@ -536,3 +536,140 @@ proptest! {
         let _ = Request::decode(&corrupt);
     }
 }
+
+// -------------------------------- pipelined stream delivery hazards
+//
+// A pipelined connection keeps several frames back-to-back on one TCP
+// stream, and the kernel is free to deliver them in arbitrary
+// fragments (partial reads) or accept them in arbitrary slivers
+// (short writes). The framing layer must reassemble the exact frame
+// sequence regardless — the FIFO request/response pairing the fleet
+// router relies on is only sound if fragmentation can never reorder,
+// merge, or bleed bytes across frames.
+
+/// A reader that fragments the stream into tiny variable-size chunks —
+/// the pathological TCP delivery `read_message` must reassemble.
+struct ChoppyReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    sizes: Vec<usize>,
+    k: usize,
+}
+
+impl std::io::Read for ChoppyReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.data.len() {
+            return Ok(0);
+        }
+        let want = self.sizes[self.k % self.sizes.len()].max(1);
+        self.k += 1;
+        let n = want.min(out.len()).min(self.data.len() - self.pos);
+        out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A writer that accepts only a few bytes per call (short writes) and
+/// dies outright once `budget` total bytes have been taken — the
+/// mid-frame connection loss a poisoned `Connection` models.
+struct DribbleWriter {
+    out: Vec<u8>,
+    sizes: Vec<usize>,
+    k: usize,
+    budget: usize,
+}
+
+impl std::io::Write for DribbleWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.out.len() >= self.budget {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "wire died mid-stream",
+            ));
+        }
+        let want = self.sizes[self.k % self.sizes.len()].max(1);
+        self.k += 1;
+        let n = want.min(buf.len()).min(self.budget - self.out.len());
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Partial reads: a pipelined stream delivered in arbitrary tiny
+    /// fragments reassembles to exactly the sent frame sequence — same
+    /// frames, same order, no bytes bleeding across frame boundaries,
+    /// clean EOF at the end.
+    #[test]
+    fn pipelined_stream_survives_arbitrary_read_fragmentation(
+        seed in 0u64..10_000,
+        n in 1usize..10,
+        sizes in prop::collection::vec(1usize..7, 1..8),
+    ) {
+        use sccf::net::proto::read_message;
+        use sccf::net::Request;
+        let reqs = fleet_requests(seed, n);
+        let (stream, _) = framed_stream(&reqs);
+        let mut rd = ChoppyReader { data: &stream, pos: 0, sizes: sizes.clone(), k: 0 };
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        loop {
+            match read_message(&mut rd, &mut buf) {
+                Ok(Some(())) => got.push(
+                    Request::decode(&buf).expect("reassembled frame decodes intact"),
+                ),
+                Ok(None) => break,
+                Err(e) => prop_assert!(
+                    false,
+                    "fragmented delivery of a clean stream must not error: {e}"
+                ),
+            }
+        }
+        prop_assert_eq!(&got[..], &reqs[..], "fragmentation reordered or bled frames");
+    }
+
+    /// Short writes: frames pushed through a writer that takes only a
+    /// few bytes per call and dies mid-stream leave a byte-exact prefix
+    /// of the clean stream on the wire. Scanning that prefix recovers
+    /// exactly the fully-written frames — a torn trailing frame is
+    /// detected, never surfaced as a message, and nothing panics.
+    #[test]
+    fn pipelined_short_writes_leave_an_exact_survivor_prefix(
+        seed in 0u64..10_000,
+        n in 1usize..10,
+        sizes in prop::collection::vec(1usize..7, 1..8),
+        budget_frac in 0.0f64..1.25,
+    ) {
+        use sccf::net::proto::write_message;
+        let reqs = fleet_requests(seed, n);
+        let (full, ends) = framed_stream(&reqs);
+        let budget = (full.len() as f64 * budget_frac) as usize;
+        let mut w = DribbleWriter { out: Vec::new(), sizes: sizes.clone(), k: 0, budget };
+        let mut accepted = 0usize;
+        for r in &reqs {
+            match write_message(&mut w, &r.encode()) {
+                Ok(()) => accepted += 1,
+                Err(_) => break, // poison point: no further frames enter the wire
+            }
+        }
+        // Whatever reached the wire is a byte-exact prefix of the clean
+        // stream — short writes never duplicated or skipped bytes.
+        prop_assert_eq!(&w.out[..], &full[..w.out.len()]);
+        // The receiver recovers exactly the frames fully on the wire.
+        let n_complete = ends.iter().filter(|&&e| e <= w.out.len()).count();
+        let (got, clean) = scan_stream(&w.out);
+        prop_assert_eq!(&got[..], &reqs[..n_complete], "survivors must be an exact prefix");
+        prop_assert!(accepted >= n_complete, "a frame cannot survive unacknowledged");
+        if budget >= full.len() {
+            prop_assert_eq!(accepted, n);
+            prop_assert!(clean, "an undamaged stream must scan to clean EOF");
+        }
+    }
+}

@@ -1,0 +1,604 @@
+//! Vendored readiness shim — a deliberate subset of the `mio` surface.
+//!
+//! The fleet router needs one thing from an event library: "which of
+//! these sockets can make progress right now?" so that a slow member
+//! cannot head-of-line-block writes to the others. This crate provides
+//! exactly that — [`Poll`] / [`Events`] / [`Token`] / [`Interest`] —
+//! with two backends behind one API:
+//!
+//! * **epoll** (Linux, default): direct `extern "C"` bindings to
+//!   `epoll_create1` / `epoll_ctl` / `epoll_wait`. std already links
+//!   libc, so no crates.io dependency is involved. Level-triggered,
+//!   which matches the "try the write, stop at `WouldBlock`" call
+//!   sites.
+//! * **portable** (any OS, or forced via `SCCF_NET_POLL=portable`):
+//!   reports every registered source as ready on each call, after a
+//!   short nap to avoid a hard spin. Correctness then rests entirely
+//!   on the caller's nonblocking sockets returning `WouldBlock`; the
+//!   backend only costs some extra syscalls on sources that cannot
+//!   progress yet.
+//!
+//! Like the other `vendor/` shims, this is an API subset grown on
+//! demand — extend it in place when new call sites need more surface.
+
+use std::io;
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registered source; echoed
+/// back on every [`Event`] for that source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness classes a registration can watch. Combine with `|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Wake when the source is readable.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Wake when the source is writable.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Does this interest include readability?
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Does this interest include writability?
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness notification from [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+}
+
+impl Event {
+    /// The token supplied at registration time.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// The source can (probably) be read without blocking. Error and
+    /// hang-up conditions also report readable so callers attempt the
+    /// I/O and observe the real `io::Error`.
+    pub fn is_readable(&self) -> bool {
+        self.readable || self.error
+    }
+
+    /// The source can (probably) be written without blocking. Error
+    /// and hang-up conditions also report writable, for the same
+    /// reason as [`Event::is_readable`].
+    pub fn is_writable(&self) -> bool {
+        self.writable || self.error
+    }
+}
+
+/// Reusable buffer of [`Event`]s filled by [`Poll::poll`].
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// An event buffer that yields at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterate the events from the most recent poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// True when the most recent poll produced no events.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Anything with a pollable OS handle. On Unix this is blanket-implemented
+/// for every `AsRawFd` type (sockets, pipes, …); elsewhere every type
+/// qualifies and only the portable backend is available.
+#[cfg(unix)]
+pub trait Source {
+    /// The raw file descriptor to register with the OS poller.
+    fn raw_fd(&self) -> i32;
+}
+
+#[cfg(unix)]
+impl<T: std::os::unix::io::AsRawFd> Source for T {
+    fn raw_fd(&self) -> i32 {
+        self.as_raw_fd()
+    }
+}
+
+/// Non-Unix stand-in: no OS handle is required because only the
+/// portable backend exists there.
+#[cfg(not(unix))]
+pub trait Source {
+    /// Identifier used only for registration bookkeeping.
+    fn raw_fd(&self) -> i32 {
+        0
+    }
+}
+
+#[cfg(not(unix))]
+impl<T> Source for T {}
+
+/// Which implementation backs a [`Poll`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux epoll via direct libc bindings.
+    Epoll,
+    /// Always-ready fallback driven by nonblocking I/O + `WouldBlock`.
+    Portable,
+}
+
+/// Reads `SCCF_NET_POLL` (`epoll` | `portable`) and falls back to the
+/// platform default: epoll on Linux, portable elsewhere.
+pub fn default_backend() -> Backend {
+    match std::env::var("SCCF_NET_POLL").as_deref() {
+        Ok("portable") => Backend::Portable,
+        Ok("epoll") => Backend::Epoll,
+        _ => {
+            if cfg!(target_os = "linux") {
+                Backend::Epoll
+            } else {
+                Backend::Portable
+            }
+        }
+    }
+}
+
+/// Readiness selector over a set of registered sources.
+#[derive(Debug)]
+pub struct Poll {
+    imp: Impl,
+}
+
+#[derive(Debug)]
+enum Impl {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::Epoll),
+    Portable(portable::Portable),
+}
+
+impl Poll {
+    /// Build a poller on the backend chosen by [`default_backend`].
+    /// If epoll is requested but unavailable, falls back to portable.
+    pub fn new() -> io::Result<Poll> {
+        Poll::with_backend(default_backend())
+    }
+
+    /// Build a poller on an explicit backend. Asking for epoll off
+    /// Linux (or when the syscall fails) degrades to portable rather
+    /// than erroring: the portable backend is always correct, just
+    /// less efficient.
+    pub fn with_backend(backend: Backend) -> io::Result<Poll> {
+        #[cfg(target_os = "linux")]
+        if backend == Backend::Epoll {
+            if let Ok(ep) = epoll::Epoll::new() {
+                return Ok(Poll {
+                    imp: Impl::Epoll(ep),
+                });
+            }
+        }
+        let _ = backend;
+        Ok(Poll {
+            imp: Impl::Portable(portable::Portable::default()),
+        })
+    }
+
+    /// Which backend this instance actually runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(_) => Backend::Epoll,
+            Impl::Portable(_) => Backend::Portable,
+        }
+    }
+
+    /// Start watching `source` for `interest`, tagging events with `token`.
+    pub fn register(
+        &mut self,
+        source: &impl Source,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(ep) => ep.ctl(epoll::EPOLL_CTL_ADD, source.raw_fd(), token, interest),
+            Impl::Portable(p) => p.register(source.raw_fd(), token, interest),
+        }
+    }
+
+    /// Replace the token/interest of an already-registered source.
+    pub fn reregister(
+        &mut self,
+        source: &impl Source,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(ep) => ep.ctl(epoll::EPOLL_CTL_MOD, source.raw_fd(), token, interest),
+            Impl::Portable(p) => p.reregister(source.raw_fd(), token, interest),
+        }
+    }
+
+    /// Stop watching `source`.
+    pub fn deregister(&mut self, source: &impl Source) -> io::Result<()> {
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(ep) => ep.ctl(
+                epoll::EPOLL_CTL_DEL,
+                source.raw_fd(),
+                Token(0),
+                Interest::READABLE,
+            ),
+            Impl::Portable(p) => p.deregister(source.raw_fd()),
+        }
+    }
+
+    /// Block until at least one source is ready (or `timeout` elapses),
+    /// filling `events`. `None` waits indefinitely. Spurious wake-ups
+    /// with an empty buffer are possible on both backends; callers
+    /// should loop.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.inner.clear();
+        match &mut self.imp {
+            #[cfg(target_os = "linux")]
+            Impl::Epoll(ep) => ep.wait(events, timeout),
+            Impl::Portable(p) => p.wait(events, timeout),
+        }
+    }
+}
+
+/// Portable fallback: every registered source is reported ready each
+/// call; a short nap keeps the resulting retry loop from hard-spinning.
+mod portable {
+    use super::{Event, Events, Interest, Token};
+    use std::io;
+    use std::time::Duration;
+
+    #[derive(Debug, Default)]
+    pub(super) struct Portable {
+        regs: Vec<(i32, Token, Interest)>,
+    }
+
+    impl Portable {
+        pub(super) fn register(
+            &mut self,
+            fd: i32,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            if self.regs.iter().any(|(f, _, _)| *f == fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.regs.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub(super) fn reregister(
+            &mut self,
+            fd: i32,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            match self.regs.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(slot) => {
+                    *slot = (fd, token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn deregister(&mut self, fd: i32) -> io::Result<()> {
+            let before = self.regs.len();
+            self.regs.retain(|(f, _, _)| *f != fd);
+            if self.regs.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            events: &mut Events,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            if self.regs.is_empty() {
+                // Nothing registered: honour the timeout (bounded so an
+                // accidental `None` cannot hang forever here).
+                std::thread::sleep(
+                    timeout
+                        .unwrap_or(Duration::from_millis(1))
+                        .min(Duration::from_millis(10)),
+                );
+                return Ok(());
+            }
+            // Nap briefly so "nothing progressed" retry loops stay polite,
+            // then claim readiness for everything.
+            std::thread::sleep(Duration::from_micros(200));
+            for &(_, token, interest) in self.regs.iter().take(events.capacity) {
+                events.inner.push(Event {
+                    token,
+                    readable: interest.is_readable(),
+                    writable: interest.is_writable(),
+                    error: false,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Linux epoll backend: direct `extern "C"` declarations against the
+/// libc that std already links — no crates.io involved.
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{Event, Events, Interest, Token};
+    use std::io;
+    use std::time::Duration;
+
+    pub(super) const EPOLL_CTL_ADD: i32 = 1;
+    pub(super) const EPOLL_CTL_DEL: i32 = 2;
+    pub(super) const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+
+    // The kernel ABI packs this struct on x86-64.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Epoll {
+        epfd: i32,
+        scratch: Vec<EpollEvent>,
+    }
+
+    impl std::fmt::Debug for EpollEvent {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            let (ev, data) = (self.events, self.data);
+            write!(f, "EpollEvent {{ events: {ev:#x}, data: {data} }}")
+        }
+    }
+
+    impl Epoll {
+        pub(super) fn new() -> io::Result<Epoll> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll {
+                epfd,
+                scratch: Vec::new(),
+            })
+        }
+
+        pub(super) fn ctl(
+            &mut self,
+            op: i32,
+            fd: i32,
+            token: Token,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let mut bits = 0u32;
+            if interest.is_readable() {
+                bits |= EPOLLIN;
+            }
+            if interest.is_writable() {
+                bits |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent {
+                events: bits,
+                data: token.0 as u64,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub(super) fn wait(
+            &mut self,
+            events: &mut Events,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            };
+            self.scratch
+                .resize(events.capacity, EpollEvent { events: 0, data: 0 });
+            let n = loop {
+                let rc = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.scratch.as_mut_ptr(),
+                        self.scratch.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for raw in &self.scratch[..n] {
+                let (bits, data) = (raw.events, raw.data);
+                events.inner.push(Event {
+                    token: Token(data as usize),
+                    readable: bits & EPOLLIN != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let a = TcpStream::connect(addr).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    fn exercise(backend: Backend) {
+        let (a, mut b) = socket_pair();
+        let mut poll = Poll::with_backend(backend).expect("poll");
+        poll.register(&a, Token(7), Interest::READABLE | Interest::WRITABLE)
+            .expect("register");
+
+        // A fresh socket with empty buffers is writable.
+        let mut events = Events::with_capacity(8);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut writable = false;
+        while std::time::Instant::now() < deadline && !writable {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .expect("poll writable");
+            writable = events
+                .iter()
+                .any(|e| e.token() == Token(7) && e.is_writable());
+        }
+        assert!(writable, "socket never reported writable on {backend:?}");
+
+        // Readability appears once the peer writes.
+        b.write_all(b"ping").expect("peer write");
+        b.flush().expect("peer flush");
+        let mut readable = false;
+        while std::time::Instant::now() < deadline && !readable {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .expect("poll readable");
+            readable = events
+                .iter()
+                .any(|e| e.token() == Token(7) && e.is_readable());
+        }
+        assert!(readable, "socket never reported readable on {backend:?}");
+        let mut buf = [0u8; 4];
+        (&a).read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"ping");
+
+        poll.deregister(&a).expect("deregister");
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .expect("poll after deregister");
+        assert!(
+            events.iter().all(|e| e.token() != Token(7)),
+            "deregistered fd still reported"
+        );
+    }
+
+    #[test]
+    fn epoll_backend_reports_readiness() {
+        if cfg!(target_os = "linux") {
+            let poll = Poll::with_backend(Backend::Epoll).expect("poll");
+            assert_eq!(poll.backend(), Backend::Epoll);
+        }
+        exercise(Backend::Epoll); // degrades to portable off Linux
+    }
+
+    #[test]
+    fn portable_backend_reports_readiness() {
+        exercise(Backend::Portable);
+    }
+
+    #[test]
+    fn reregister_moves_token_and_interest() {
+        let (a, _b) = socket_pair();
+        let mut poll = Poll::new().expect("poll");
+        poll.register(&a, Token(1), Interest::WRITABLE)
+            .expect("register");
+        poll.reregister(&a, Token(2), Interest::WRITABLE)
+            .expect("reregister");
+        let mut events = Events::with_capacity(4);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut seen = false;
+        while std::time::Instant::now() < deadline && !seen {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .expect("poll");
+            assert!(
+                events.iter().all(|e| e.token() != Token(1)),
+                "stale token after reregister"
+            );
+            seen = events
+                .iter()
+                .any(|e| e.token() == Token(2) && e.is_writable());
+        }
+        assert!(seen, "reregistered token never reported");
+    }
+
+    #[test]
+    fn interest_combinators() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+}
